@@ -1,0 +1,66 @@
+//! Criterion bench over cycle-accurate simulation throughput: the
+//! generated Table 3 netlists interpreted against the board models,
+//! and the model-level (hand-written component) pipeline for
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hdp_bench::{build_design_sim, run_design_sim};
+use hdp_core::golden::PixelOp;
+use hdp_core::model::{Algorithm, VideoPipelineModel};
+use hdp_core::pixel::{Frame, PixelFormat};
+use hdp_metagen::design::{DesignKind, DesignParams, Style};
+use std::hint::black_box;
+
+fn bench_netlist_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist_sim_frame");
+    let frame = Frame::noise(32, 8, PixelFormat::Gray8, 9);
+    let n = frame.pixels().len();
+    group.throughput(Throughput::Elements(n as u64));
+    for (kind, gap, out_len) in [
+        (DesignKind::Saa2vga1, 0u32, n),
+        (DesignKind::Blur, 1, (32 - 2) * (8 - 2)),
+    ] {
+        group.bench_function(kind.label().replace(' ', ""), |b| {
+            b.iter(|| {
+                let (mut sim, sink) = build_design_sim(
+                    kind,
+                    Style::Pattern,
+                    DesignParams::small(32),
+                    frame.pixels().to_vec(),
+                    gap,
+                    out_len,
+                );
+                let budget = n as u64 * u64::from(gap + 1) * 4 + 2000;
+                black_box(run_design_sim(&mut sim, sink, budget))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_sim_frame");
+    let frame = Frame::noise(32, 8, PixelFormat::Gray8, 10);
+    group.throughput(Throughput::Elements(frame.pixels().len() as u64));
+    group.bench_function("saa2vga_fifo", |b| {
+        let model = VideoPipelineModel::new(
+            "m",
+            PixelFormat::Gray8,
+            32,
+            8,
+            Algorithm::Transform(PixelOp::Identity),
+        )
+        .unwrap();
+        b.iter(|| black_box(model.process_frame(&frame).unwrap()))
+    });
+    group.bench_function("blur_line_buffer", |b| {
+        let model = VideoPipelineModel::new("m", PixelFormat::Gray8, 32, 8, Algorithm::Blur)
+            .unwrap()
+            .with_source_gap(1);
+        b.iter(|| black_box(model.process_frame(&frame).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_netlist_sim, bench_model_sim);
+criterion_main!(benches);

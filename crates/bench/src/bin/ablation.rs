@@ -1,0 +1,98 @@
+//! Ablation experiments over the design choices DESIGN.md calls out:
+//!
+//! 1. **Wrapper dissolution** — the pattern designs with and without
+//!    the synthesis optimisation, quantifying the raw cost of the
+//!    iterator wrappers that the paper claims "will be dissolved at
+//!    the time of synthesizing the design".
+//! 2. **Operation pruning** — the generated read buffer with the full
+//!    method set vs. pruned to the copy algorithm's needs.
+//! 3. **Engine selection** — streaming vs. sequenced copy over FIFO
+//!    containers: cycles per frame, justifying the generator's
+//!    implementation choice.
+
+use hdp_core::golden::PixelOp;
+use hdp_core::model::{Algorithm, EngineHandle, VideoPipelineModel};
+use hdp_core::pixel::{Frame, PixelFormat};
+use hdp_metagen::container_gen::{rbuffer_fifo, ContainerParams};
+use hdp_metagen::design::{generate, DesignKind, DesignParams, Style};
+use hdp_metagen::ops::{MethodOp, OpSet};
+use hdp_synth::{dissolve_wrappers, map_resources};
+
+fn main() {
+    println!("ablation 1: wrapper dissolution (pattern designs)");
+    println!(
+        "  {:<11} {:>16} {:>16} {:>14}",
+        "design", "raw FF/LUT", "dissolved", "wrappers gone"
+    );
+    for kind in DesignKind::ALL {
+        let d = generate(kind, Style::Pattern, DesignParams::paper_default()).unwrap();
+        let raw = map_resources(&d.netlist);
+        let opt = map_resources(&dissolve_wrappers(&d.netlist).unwrap());
+        let bufs = d
+            .netlist
+            .cells()
+            .iter()
+            .filter(|c| matches!(c.prim(), hdp_hdl::prim::Prim::Buf { .. }))
+            .count();
+        println!(
+            "  {:<11} {:>16} {:>16} {:>14}",
+            kind.label(),
+            format!("{}/{}", raw.ffs, raw.luts),
+            format!("{}/{}", opt.ffs, opt.luts),
+            bufs
+        );
+    }
+    println!("  (wrapper buffers are free even unmapped; dissolution removes the cells)");
+    println!();
+
+    println!("ablation 2: operation pruning (generated rbuffer_fifo)");
+    let params = ContainerParams::paper_default();
+    for (label, ops) in [
+        ("empty+size+pop (figure 4)", OpSet::figure4()),
+        ("pop only (copy needs)", OpSet::of(&[MethodOp::Pop])),
+    ] {
+        let nl = rbuffer_fifo(params, ops).unwrap();
+        let r = map_resources(&dissolve_wrappers(&nl).unwrap());
+        println!(
+            "  {:<26} {:>2} ports  {:>2} cells  {:>2} LUTs",
+            label,
+            nl.entity().ports().len(),
+            nl.cells().len(),
+            r.luts
+        );
+    }
+    println!();
+
+    println!("ablation 3: engine selection (64x16 frame over FIFO containers)");
+    let frame = Frame::noise(64, 16, PixelFormat::Gray8, 3);
+    let model = VideoPipelineModel::new(
+        "m",
+        PixelFormat::Gray8,
+        64,
+        16,
+        Algorithm::Transform(PixelOp::Identity),
+    )
+    .unwrap();
+    // The elaborator picks streaming for FIFO targets; measure it.
+    let mut fast = model.elaborate(&frame).unwrap();
+    assert!(matches!(fast.engine(), EngineHandle::Streaming(_)));
+    fast.run_to_completion().unwrap();
+    let streaming_cycles = fast.sim.cycle();
+    // Force the sequenced engine by inserting width adaptation with a
+    // trivial ratio is not possible; instead compare against the SRAM
+    // binding (which forces sequencing) at latency 1.
+    let slow_model = model
+        .retarget_input(hdp_core::spec::PhysicalTarget::ExternalSram { latency: 1 })
+        .retarget_output(hdp_core::spec::PhysicalTarget::ExternalSram { latency: 1 })
+        .with_source_gap(15);
+    let mut slow = slow_model.elaborate(&frame).unwrap();
+    assert!(matches!(slow.engine(), EngineHandle::Sequenced(_)));
+    slow.run_to_completion().unwrap();
+    let sequenced_cycles = slow.sim.cycle();
+    println!("  streaming over FIFOs : {streaming_cycles} cycles (~1 px/cycle)");
+    println!("  sequenced over SRAMs : {sequenced_cycles} cycles (memory-bound)");
+    println!(
+        "  ratio: {:.1}x — why the generator picks per-target implementations",
+        sequenced_cycles as f64 / streaming_cycles as f64
+    );
+}

@@ -1,0 +1,27 @@
+//! Prints the seeded hardware design pattern catalog — the §5 future
+//! work ("there is a need to develop a hardware version of a design
+//! pattern catalog").
+
+use hdp_core::catalog::{catalog, HardwareStatus};
+
+fn main() {
+    println!("hardware design pattern catalog (seed)");
+    println!();
+    println!("{:<16} {:<12} {:<22} reading", "pattern", "class", "status");
+    println!("{}", "-".repeat(100));
+    for e in catalog() {
+        let status = match e.status {
+            HardwareStatus::EstablishedPractice => "established practice",
+            HardwareStatus::ThisLibrary => "this library (DATE'05)",
+            HardwareStatus::Open => "open",
+            HardwareStatus::NoCounterpart => "no counterpart",
+        };
+        println!(
+            "{:<16} {:<12} {:<22} {}",
+            e.name,
+            e.class.to_string(),
+            status,
+            e.hardware_reading
+        );
+    }
+}

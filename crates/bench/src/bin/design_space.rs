@@ -1,0 +1,56 @@
+//! Regenerates the §3.4 design-space characterisation: every
+//! container×target×parameter implementation on the XSB-300E, with
+//! area, access time and power, plus constraint-driven regions of
+//! interest.
+
+use hdp_synth::characterize::{region_of_interest, sweep, Constraints, SweepGrid};
+use hdp_synth::Xsb300e;
+
+fn main() {
+    let board = Xsb300e::new();
+    let points = sweep(&board, &SweepGrid::default()).expect("sweep runs");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", hdp_synth::characterize::to_csv(&points));
+        return;
+    }
+    println!(
+        "design-space characterisation on the {} ({} points)",
+        board.device.name,
+        points.len()
+    );
+    println!();
+    for p in &points {
+        println!("{p}");
+    }
+    println!();
+    for (label, constraints) in [
+        (
+            "cost-driven (no block RAM)",
+            Constraints {
+                max_brams: Some(0),
+                ..Constraints::default()
+            },
+        ),
+        (
+            "performance-driven (1 cycle/access)",
+            Constraints {
+                max_access_cycles: Some(1),
+                ..Constraints::default()
+            },
+        ),
+        (
+            "power budget (<= 18 mW)",
+            Constraints {
+                max_power_mw: Some(18.0),
+                ..Constraints::default()
+            },
+        ),
+    ] {
+        let roi = region_of_interest(&points, constraints);
+        println!("region of interest: {label} — {} points", roi.len());
+        for p in roi {
+            println!("  {p}");
+        }
+        println!();
+    }
+}

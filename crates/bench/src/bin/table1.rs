@@ -1,0 +1,42 @@
+//! Regenerates the paper's **Table 1**: the classification of the
+//! common containers by access type (random / sequential) and
+//! traversal (forward / backward), straight from the library's
+//! taxonomy data.
+
+use hdp_core::classify::ContainerKind;
+
+fn main() {
+    println!("Table 1. Common containers");
+    println!();
+    println!(
+        "{:<14} | {:^15} | {:^17}",
+        "Containers", "Random", "Sequential"
+    );
+    println!(
+        "{:<14} | {:^7}{:^8} | {:^8}{:^9}",
+        "", "Input", "Output", "Input", "Output"
+    );
+    println!("{}", "-".repeat(54));
+    for kind in ContainerKind::ALL {
+        let c = kind.classification();
+        let tick = |b: bool| if b { "yes" } else { "-" };
+        println!(
+            "{:<14} | {:^7}{:^8} | {:^8}{:^9}",
+            kind.to_string(),
+            tick(c.random_input),
+            tick(c.random_output),
+            c.sequential_input.to_string(),
+            c.sequential_output.to_string()
+        );
+    }
+    println!();
+    println!("supported iterator kinds per container:");
+    for kind in ContainerKind::ALL {
+        let kinds: Vec<String> = kind
+            .supported_iterators()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        println!("  {:<14} {}", kind.to_string(), kinds.join(", "));
+    }
+}

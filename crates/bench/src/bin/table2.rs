@@ -1,0 +1,30 @@
+//! Regenerates the paper's **Table 2**: the iterator operations,
+//! their meaning, and which iterator kinds provide them.
+
+use hdp_core::classify::{IterKind, IterOp};
+
+fn main() {
+    println!("Table 2. Iterator Operations");
+    println!();
+    println!("{:<9} | {:<26} | Applicability", "Operation", "Meaning");
+    println!("{}", "-".repeat(72));
+    for op in IterOp::ALL {
+        let kinds: Vec<String> = IterKind::ALL
+            .iter()
+            .filter(|k| k.supports(op))
+            .map(ToString::to_string)
+            .collect();
+        println!(
+            "{:<9} | {:<26} | {}",
+            op.to_string(),
+            op.meaning(),
+            kinds.join(", ")
+        );
+    }
+    println!();
+    println!("operation sets per iterator kind:");
+    for kind in IterKind::ALL {
+        let ops: Vec<String> = kind.operations().iter().map(ToString::to_string).collect();
+        println!("  {:<13} {}", kind.to_string(), ops.join(", "));
+    }
+}

@@ -1,0 +1,156 @@
+//! # hdp-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | binary | artefact |
+//! |---|---|
+//! | `table1` | Table 1 — container classification |
+//! | `table2` | Table 2 — iterator operations |
+//! | `table3` | Table 3 — pattern vs. custom synthesis results |
+//! | `figure4_5` | Figures 4 and 5 — generated VHDL components |
+//! | `design_space` | §3.4 — characterisation sweep and regions of interest |
+//!
+//! Criterion benches (`cargo bench`) measure the generator, the
+//! synthesis flow and cycle-accurate simulation throughput of the
+//! Table 3 designs.
+
+use hdp_metagen::design::{generate, DesignKind, DesignParams, Style};
+use hdp_sim::devices::{Sram, VideoIn, VideoOut};
+use hdp_sim::{NetlistComponent, SignalId, Simulator};
+
+/// Builds a ready-to-run simulation of one generated Table 3 design:
+/// the design netlist plus video source, sink and (for the SRAM
+/// design) two external memories. Returns the simulator and the sink
+/// handle.
+///
+/// # Panics
+///
+/// Panics on generation or wiring failures — the harness treats those
+/// as fatal.
+#[must_use]
+pub fn build_design_sim(
+    kind: DesignKind,
+    style: Style,
+    params: DesignParams,
+    pixels: Vec<u64>,
+    gap: u32,
+    out_len: usize,
+) -> (Simulator, hdp_sim::ComponentId) {
+    let design = generate(kind, style, params).expect("design generates");
+    let mut sim = Simulator::new();
+    let vid_valid = sim.add_signal("vid_valid", 1).unwrap();
+    let vid_data = sim.add_signal("vid_data", params.data_width).unwrap();
+    let vga_valid = sim.add_signal("vga_valid", 1).unwrap();
+    let vga_data = sim.add_signal("vga_data", params.data_width).unwrap();
+    let mut map: Vec<(String, SignalId)> = vec![
+        ("vid_valid".into(), vid_valid),
+        ("vid_data".into(), vid_data),
+        ("vga_valid".into(), vga_valid),
+        ("vga_data".into(), vga_data),
+    ];
+    if kind == DesignKind::Saa2vga2 {
+        for prefix in ["im", "om"] {
+            let req = sim.add_signal(format!("{prefix}_req"), 1).unwrap();
+            let we = sim.add_signal(format!("{prefix}_we"), 1).unwrap();
+            let addr = sim
+                .add_signal(format!("{prefix}_addr"), params.addr_width)
+                .unwrap();
+            let wdata = sim
+                .add_signal(format!("{prefix}_wdata"), params.data_width)
+                .unwrap();
+            let ack = sim.add_signal(format!("{prefix}_ack"), 1).unwrap();
+            let rdata = sim
+                .add_signal(format!("{prefix}_rdata"), params.data_width)
+                .unwrap();
+            sim.add_component(Sram::new(
+                format!("sram_{prefix}"),
+                params.addr_width,
+                params.data_width,
+                2,
+                req,
+                we,
+                addr,
+                wdata,
+                ack,
+                rdata,
+            ));
+            for (p, s) in [
+                (format!("{prefix}_req"), req),
+                (format!("{prefix}_we"), we),
+                (format!("{prefix}_addr"), addr),
+                (format!("{prefix}_wdata"), wdata),
+                (format!("{prefix}_ack"), ack),
+                (format!("{prefix}_rdata"), rdata),
+            ] {
+                map.push((p, s));
+            }
+        }
+    }
+    let map_refs: Vec<(&str, SignalId)> = map.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+    let dut =
+        NetlistComponent::new("dut", design.netlist, sim.bus(), &map_refs).expect("design wires");
+    sim.add_component(dut);
+    sim.add_component(VideoIn::new(
+        "video_decoder",
+        pixels,
+        params.data_width,
+        gap,
+        false,
+        vid_valid,
+        vid_data,
+    ));
+    let sink = sim.add_component(VideoOut::new(
+        "vga_coder",
+        out_len,
+        None,
+        vga_valid,
+        vga_data,
+    ));
+    sim.reset().unwrap();
+    (sim, sink)
+}
+
+/// Runs a built design simulation until a frame is collected or the
+/// cycle budget runs out; returns the frame.
+///
+/// # Panics
+///
+/// Panics on simulation errors or if no frame arrives in time.
+#[must_use]
+pub fn run_design_sim(sim: &mut Simulator, sink: hdp_sim::ComponentId, budget: u64) -> Vec<u64> {
+    let mut remaining = budget;
+    while remaining > 0 {
+        let chunk = remaining.min(256);
+        sim.run(chunk).expect("simulation error");
+        remaining -= chunk;
+        if !sim.component::<VideoOut>(sink).unwrap().frames().is_empty() {
+            break;
+        }
+    }
+    sim.component::<VideoOut>(sink)
+        .unwrap()
+        .frames()
+        .first()
+        .cloned()
+        .expect("frame collected within budget")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_the_fifo_design() {
+        let pixels: Vec<u64> = (0..32).map(|i| i & 0xFF).collect();
+        let (mut sim, sink) = build_design_sim(
+            DesignKind::Saa2vga1,
+            Style::Pattern,
+            DesignParams::small(8),
+            pixels.clone(),
+            0,
+            pixels.len(),
+        );
+        let out = run_design_sim(&mut sim, sink, 4000);
+        assert_eq!(out, pixels);
+    }
+}

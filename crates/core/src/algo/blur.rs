@@ -1,0 +1,250 @@
+//! The blur convolution engine of the paper's third evaluation design.
+
+use crate::iface::{ColumnIface, IterIface};
+use crate::pixel::PixelFormat;
+use hdp_sim::{Component, SignalBus, SimError};
+
+/// One column of three vertically adjacent pixels.
+#[derive(Debug, Clone, Copy, Default)]
+struct Column {
+    top: u64,
+    mid: u64,
+    bot: u64,
+}
+
+/// 3×3 blur engine fed by the specialised column iterator.
+///
+/// "We have implemented a blur filter that processes an image coming
+/// from the video decoder ... The rbuffer container, instead of a
+/// simple FIFO has been mapped over a special one ... structured to
+/// provide 3 pixels in a column for each access. This makes the
+/// convolution product in the blur algorithm very simple and quite
+/// efficient since ideally a new filtered pixel can be generated at
+/// each clock cycle." (§4)
+///
+/// The engine keeps the two previous columns in registers; with the
+/// current column from the iterator it has the full 3×3 window and
+/// emits one blurred pixel per `inc` once at least two columns of the
+/// current line have passed. The kernel is the binomial
+/// `[1 2 1; 2 4 2; 1 2 1] / 16`, matching
+/// [`crate::golden::blur3x3`] bit for bit.
+#[derive(Debug)]
+pub struct BlurEngine {
+    name: String,
+    format: PixelFormat,
+    line_width: usize,
+    input: ColumnIface,
+    output: IterIface,
+    left: Column,
+    center: Column,
+    /// Position (x) of the *incoming* column within its line.
+    x: usize,
+    emitted: u64,
+}
+
+impl BlurEngine {
+    /// Creates the engine for lines of `line_width` pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_width < 3` (no interior pixels exist).
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        format: PixelFormat,
+        line_width: usize,
+        input: ColumnIface,
+        output: IterIface,
+    ) -> Self {
+        assert!(line_width >= 3, "line width must be at least 3");
+        Self {
+            name: name.into(),
+            format,
+            line_width,
+            input,
+            output,
+            left: Column::default(),
+            center: Column::default(),
+            x: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Blurred pixels emitted since reset.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn kernel(&self, right: Column) -> u64 {
+        let conv = |shift: u32| -> u64 {
+            let ch = |p: u64| p >> shift & 0xFF;
+            let acc = ch(self.left.top)
+                + 2 * ch(self.center.top)
+                + ch(right.top)
+                + 2 * ch(self.left.mid)
+                + 4 * ch(self.center.mid)
+                + 2 * ch(right.mid)
+                + ch(self.left.bot)
+                + 2 * ch(self.center.bot)
+                + ch(right.bot);
+            acc >> 4
+        };
+        match self.format {
+            PixelFormat::Gray8 => conv(0),
+            PixelFormat::Rgb24 => conv(16) << 16 | conv(8) << 8 | conv(0),
+        }
+    }
+}
+
+impl Component for BlurEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let avail = bus.read(self.input.avail)?.to_u64() == Some(1);
+        let can_write = bus.read(self.output.can_write)?.to_u64() == Some(1);
+        let window_full = self.x >= 2;
+        // Advance whenever a column is available, but stall on a full
+        // window if the output cannot take the pixel.
+        let advance = avail && (!window_full || can_write);
+        let emit = advance && window_full;
+        bus.drive_u64(self.input.inc, u64::from(advance))?;
+        bus.drive_u64(self.output.write, u64::from(emit))?;
+        bus.drive_u64(self.output.inc, u64::from(emit))?;
+        bus.drive_u64(self.output.read, 0)?;
+        if emit {
+            let right = Column {
+                top: bus.read_u64(self.input.top, &self.name)?,
+                mid: bus.read_u64(self.input.mid, &self.name)?,
+                bot: bus.read_u64(self.input.bot, &self.name)?,
+            };
+            bus.drive_u64(self.output.wdata, self.kernel(right))?;
+        } else {
+            let width = bus.width(self.output.wdata)?;
+            bus.drive(
+                self.output.wdata,
+                hdp_hdl::LogicVector::unknown(width).map_err(SimError::from)?,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let avail = bus.read(self.input.avail)?.to_u64() == Some(1);
+        let can_write = bus.read(self.output.can_write)?.to_u64() == Some(1);
+        let window_full = self.x >= 2;
+        let advance = avail && (!window_full || can_write);
+        if advance {
+            if window_full {
+                self.emitted += 1;
+            }
+            let current = Column {
+                top: bus.read_u64(self.input.top, &self.name)?,
+                mid: bus.read_u64(self.input.mid, &self.name)?,
+                bot: bus.read_u64(self.input.bot, &self.name)?,
+            };
+            self.left = self.center;
+            self.center = current;
+            self.x += 1;
+            if self.x == self.line_width {
+                self.x = 0; // next line: window refills
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.left = Column::default();
+        self.center = Column::default();
+        self.x = 0;
+        self.emitted = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::{blur3x3, BlurBorder};
+    use crate::hw::{ColumnBuffer, WriteBufferFifo};
+    use crate::iface::StreamIface;
+    use crate::pixel::Frame;
+    use hdp_sim::devices::{VideoIn, VideoOut};
+    use hdp_sim::Simulator;
+
+    /// Runs the full blur pipeline over a frame and returns the
+    /// blurred pixels.
+    fn run_blur(frame: &Frame, gap: u32) -> Vec<u64> {
+        let (w, h) = (frame.width(), frame.height());
+        let bits = frame.format().bits();
+        let out_len = (w - 2) * (h - 2);
+        let mut sim = Simulator::new();
+        let vin = StreamIface::alloc(&mut sim, "vin", bits).unwrap();
+        let col = ColumnIface::alloc(&mut sim, "col", bits).unwrap();
+        let it_out = IterIface::alloc(&mut sim, "it_out", bits).unwrap();
+        let vout = StreamIface::alloc(&mut sim, "vout", bits).unwrap();
+        sim.add_component(VideoIn::new(
+            "src",
+            frame.pixels().to_vec(),
+            bits,
+            gap,
+            false,
+            vin.valid,
+            vin.data,
+        ));
+        sim.add_component(ColumnBuffer::new("rb", w, bits, vin, col));
+        sim.add_component(BlurEngine::new("blur", frame.format(), w, col, it_out));
+        sim.add_component(WriteBufferFifo::new("wb", 16, it_out, vout));
+        let sink = sim.add_component(VideoOut::new("sink", out_len, None, vout.valid, vout.data));
+        sim.reset().unwrap();
+        sim.run((w * h) as u64 * u64::from(gap + 1) + 200).unwrap();
+        sim.component::<VideoOut>(sink)
+            .unwrap()
+            .frames()
+            .first()
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn blur_matches_golden_on_gradient() {
+        let frame = Frame::gradient(8, 6, PixelFormat::Gray8);
+        let golden = blur3x3(&frame, BlurBorder::Crop).unwrap();
+        // gap=1: the column buffer consumes at most one column per
+        // cycle while the source pauses between pixels.
+        let hw = run_blur(&frame, 1);
+        assert_eq!(hw, golden.pixels());
+    }
+
+    #[test]
+    fn blur_matches_golden_on_noise() {
+        let frame = Frame::noise(10, 7, PixelFormat::Gray8, 99);
+        let golden = blur3x3(&frame, BlurBorder::Crop).unwrap();
+        let hw = run_blur(&frame, 1);
+        assert_eq!(hw, golden.pixels());
+    }
+
+    #[test]
+    fn blur_rgb_matches_golden() {
+        let frame = Frame::noise(6, 5, PixelFormat::Rgb24, 7);
+        let golden = blur3x3(&frame, BlurBorder::Crop).unwrap();
+        let hw = run_blur(&frame, 1);
+        assert_eq!(hw, golden.pixels());
+    }
+
+    #[test]
+    fn blur_output_count_is_interior_size() {
+        let frame = Frame::gradient(7, 7, PixelFormat::Gray8);
+        let hw = run_blur(&frame, 1);
+        assert_eq!(hw.len(), 5 * 5);
+    }
+
+    #[test]
+    fn uniform_frame_blurs_to_itself() {
+        let frame = Frame::from_pixels(5, 5, PixelFormat::Gray8, vec![80; 25]).unwrap();
+        let hw = run_blur(&frame, 1);
+        assert!(hw.iter().all(|&p| p == 80), "{hw:?}");
+    }
+}

@@ -1,0 +1,359 @@
+//! Binary image labelling engine.
+//!
+//! Named by the paper as a domain algorithm the library should offer
+//! ("binary image labelling for image processing applications",
+//! §3.2.2; "specific application domains such as video image
+//! processing demand specific libraries including common algorithms
+//! (convolution filters, image labelling ...)", §5). This is the
+//! classic two-pass connected-component architecture:
+//!
+//! * **Scan** — one pixel per cycle from the input stream; a
+//!   previous-row label line buffer and a left-label register supply
+//!   the two causal neighbours (4-connectivity); a new provisional
+//!   label is allocated when both are background, otherwise the
+//!   minimum neighbour label is taken and conflicting labels are
+//!   merged in an equivalence table. Provisional labels land in a
+//!   frame store (block RAM in hardware).
+//! * **Resolve** — the equivalence table is walked root-wards and the
+//!   roots renumbered densely (roots are the minimal provisional
+//!   label of each component, so ascending root order equals raster
+//!   first-touch order, matching [`crate::golden::label`]).
+//! * **Emit** — the frame store is streamed out, one resolved label
+//!   per cycle, on the output stream.
+
+use crate::iface::StreamIface;
+use hdp_sim::{Component, SignalBus, SimError};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Scan,
+    Resolve,
+    Emit,
+    Done,
+}
+
+/// Streaming two-pass connected-component labeller (4-connectivity).
+///
+/// Consumes `width * height` pixels on the upstream interface (any
+/// nonzero value is foreground), then emits the same number of labels
+/// downstream: background pixels as 0, components numbered from 1 in
+/// raster first-touch order — bit-identical to
+/// [`crate::golden::label`].
+#[derive(Debug)]
+pub struct LabelEngine {
+    name: String,
+    width: usize,
+    height: usize,
+    max_labels: usize,
+    up: StreamIface,
+    down: StreamIface,
+    phase: Phase,
+    x: usize,
+    y: usize,
+    left: u64,
+    prev_row: Vec<u64>,
+    frame: Vec<u64>,
+    parent: Vec<usize>,
+    next_label: u64,
+    rename: Vec<u64>,
+    resolve_cursor: usize,
+    component_count: usize,
+    emit_cursor: usize,
+}
+
+impl LabelEngine {
+    /// Creates the engine for `width` × `height` frames. `max_labels`
+    /// bounds the provisional-label memory (a hardware resource);
+    /// overflowing it is a protocol error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        width: usize,
+        height: usize,
+        max_labels: usize,
+        up: StreamIface,
+        down: StreamIface,
+    ) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be positive");
+        assert!(max_labels > 0, "label memory must be positive");
+        Self {
+            name: name.into(),
+            width,
+            height,
+            max_labels,
+            up,
+            down,
+            phase: Phase::Scan,
+            x: 0,
+            y: 0,
+            left: 0,
+            prev_row: vec![0; width],
+            frame: vec![0; width * height],
+            parent: vec![0; 1],
+            next_label: 1,
+            rename: Vec::new(),
+            resolve_cursor: 1,
+            component_count: 0,
+            emit_cursor: 0,
+        }
+    }
+
+    /// Components found in the last completed frame.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.component_count
+    }
+
+    /// Whether the whole frame has been labelled and emitted.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+}
+
+impl Component for LabelEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        match self.phase {
+            Phase::Emit => {
+                let i = self.emit_cursor;
+                let prov = self.frame[i];
+                let label = if prov == 0 {
+                    0
+                } else {
+                    // Path was fully compressed during Resolve; a
+                    // single table read suffices, as in hardware.
+                    self.rename[self.parent[prov as usize]]
+                };
+                bus.drive_u64(self.down.valid, 1)?;
+                bus.drive_u64(self.down.data, label)?;
+            }
+            _ => {
+                bus.drive_u64(self.down.valid, 0)?;
+                let width = bus.width(self.down.data)?;
+                bus.drive(
+                    self.down.data,
+                    hdp_hdl::LogicVector::unknown(width).map_err(SimError::from)?,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        match self.phase {
+            Phase::Scan => {
+                if bus.read(self.up.valid)?.to_u64() != Some(1) {
+                    return Ok(());
+                }
+                let pixel = bus.read_u64(self.up.data, &self.name)?;
+                let fg = pixel != 0;
+                let up_label = if self.y > 0 { self.prev_row[self.x] } else { 0 };
+                let left_label = if self.x > 0 { self.left } else { 0 };
+                let label = if !fg {
+                    0
+                } else {
+                    match (left_label, up_label) {
+                        (0, 0) => {
+                            if self.next_label as usize >= self.max_labels {
+                                return Err(SimError::Protocol {
+                                    component: self.name.clone(),
+                                    message: format!(
+                                        "provisional label memory exhausted ({})",
+                                        self.max_labels
+                                    ),
+                                });
+                            }
+                            let l = self.next_label;
+                            self.parent.push(l as usize);
+                            self.next_label += 1;
+                            l
+                        }
+                        (l, 0) | (0, l) => l,
+                        (l, u) => {
+                            let (rl, ru) = (self.find(l as usize), self.find(u as usize));
+                            if rl != ru {
+                                let (lo, hi) = (rl.min(ru), rl.max(ru));
+                                self.parent[hi] = lo;
+                            }
+                            l.min(u)
+                        }
+                    }
+                };
+                self.frame[self.y * self.width + self.x] = label;
+                self.prev_row[self.x] = label;
+                self.left = label;
+                self.x += 1;
+                if self.x == self.width {
+                    self.x = 0;
+                    self.left = 0;
+                    self.y += 1;
+                    if self.y == self.height {
+                        self.phase = Phase::Resolve;
+                        self.rename = vec![0; self.parent.len()];
+                    }
+                }
+            }
+            Phase::Resolve => {
+                // One label resolved per cycle, as a hardware table
+                // walker would.
+                if self.resolve_cursor < self.parent.len() {
+                    let root = self.find(self.resolve_cursor);
+                    // Fully compress this entry for the Emit phase.
+                    self.parent[self.resolve_cursor] = root;
+                    if self.rename[root] == 0 {
+                        self.component_count += 1;
+                        self.rename[root] = self.component_count as u64;
+                    }
+                    self.resolve_cursor += 1;
+                } else {
+                    self.phase = Phase::Emit;
+                }
+            }
+            Phase::Emit => {
+                self.emit_cursor += 1;
+                if self.emit_cursor == self.frame.len() {
+                    self.phase = Phase::Done;
+                }
+            }
+            Phase::Done => {}
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.phase = Phase::Scan;
+        self.x = 0;
+        self.y = 0;
+        self.left = 0;
+        self.prev_row.fill(0);
+        self.frame.fill(0);
+        self.parent = vec![0; 1];
+        self.next_label = 1;
+        self.rename.clear();
+        self.resolve_cursor = 1;
+        self.component_count = 0;
+        self.emit_cursor = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden;
+    use crate::pixel::{Frame, PixelFormat};
+    use hdp_sim::devices::{VideoIn, VideoOut};
+    use hdp_sim::Simulator;
+
+    fn run_labeller(frame: &Frame) -> (Vec<u64>, usize) {
+        let (w, h) = (frame.width(), frame.height());
+        let mut sim = Simulator::new();
+        let up = StreamIface::alloc(&mut sim, "up", 8).unwrap();
+        let down = StreamIface::alloc(&mut sim, "down", 16).unwrap();
+        sim.add_component(VideoIn::new(
+            "src",
+            frame.pixels().to_vec(),
+            8,
+            0,
+            false,
+            up.valid,
+            up.data,
+        ));
+        let engine = sim.add_component(LabelEngine::new("label", w, h, 256, up, down));
+        let sink = sim.add_component(VideoOut::new("sink", w * h, None, down.valid, down.data));
+        sim.reset().unwrap();
+        // Scan + resolve + emit comfortably fits in 4x the pixel count
+        // plus the label-table walk.
+        sim.run((4 * w * h + 600) as u64).unwrap();
+        let labels = sim.component::<VideoOut>(sink).unwrap().frames()[0].clone();
+        let count = sim
+            .component::<LabelEngine>(engine)
+            .unwrap()
+            .component_count();
+        (labels, count)
+    }
+
+    #[test]
+    fn two_bars_get_two_labels() {
+        let f = Frame::from_pixels(3, 2, PixelFormat::Gray8, vec![9, 0, 9, 9, 0, 9]).unwrap();
+        let (labels, count) = run_labeller(&f);
+        assert_eq!(count, 2);
+        assert_eq!(labels, vec![1, 0, 2, 1, 0, 2]);
+    }
+
+    #[test]
+    fn u_shape_merges() {
+        let f = Frame::from_pixels(3, 2, PixelFormat::Gray8, vec![9, 0, 9, 9, 9, 9]).unwrap();
+        let (labels, count) = run_labeller(&f);
+        assert_eq!(count, 1);
+        assert!(labels.iter().all(|&l| l == 0 || l == 1));
+    }
+
+    #[test]
+    fn matches_golden_on_noise_threshold() {
+        // Threshold a noise frame to get irregular blobs.
+        let noise = Frame::noise(12, 9, PixelFormat::Gray8, 5);
+        let binary = golden::pixel_map(&noise, golden::PixelOp::Threshold(140));
+        let (hw_labels, hw_count) = run_labeller(&binary);
+        let (golden_labels, golden_count) = golden::label(&binary);
+        assert_eq!(hw_count, golden_count);
+        assert_eq!(hw_labels, golden_labels);
+    }
+
+    #[test]
+    fn matches_golden_on_checkerboard() {
+        let f = Frame::checkerboard(8, 8, PixelFormat::Gray8, 2);
+        let (hw_labels, hw_count) = run_labeller(&f);
+        let (golden_labels, golden_count) = golden::label(&f);
+        assert_eq!(hw_count, golden_count);
+        assert_eq!(hw_labels, golden_labels);
+    }
+
+    #[test]
+    fn empty_frame_has_no_components() {
+        let f = Frame::from_pixels(4, 4, PixelFormat::Gray8, vec![0; 16]).unwrap();
+        let (labels, count) = run_labeller(&f);
+        assert_eq!(count, 0);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn label_memory_exhaustion_is_protocol_error() {
+        // Isolated pixels on a checkerboard need one label each; cap
+        // the table below that.
+        let f = Frame::checkerboard(8, 8, PixelFormat::Gray8, 1);
+        let mut sim = Simulator::new();
+        let up = StreamIface::alloc(&mut sim, "up", 8).unwrap();
+        let down = StreamIface::alloc(&mut sim, "down", 16).unwrap();
+        sim.add_component(VideoIn::new(
+            "src",
+            f.pixels().to_vec(),
+            8,
+            0,
+            false,
+            up.valid,
+            up.data,
+        ));
+        sim.add_component(LabelEngine::new("label", 8, 8, 4, up, down));
+        sim.add_component(VideoOut::new("sink", 64, None, down.valid, down.data));
+        sim.reset().unwrap();
+        let err = sim.run(200).unwrap_err();
+        assert!(matches!(err, SimError::Protocol { .. }));
+    }
+}

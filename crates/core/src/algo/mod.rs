@@ -1,0 +1,31 @@
+//! Algorithm engines: hardware written *only* against the iterator
+//! interface.
+//!
+//! "Every one should use the interface provided by iterators to
+//! access data in the containers. This would guarantee reusability of
+//! the algorithm, despite of the container chosen for a certain
+//! implementation." (§3.2.3). None of the engines here knows whether
+//! its iterators front a FIFO core, an external SRAM or a 3-line
+//! buffer — that is the entire point of the pattern.
+//!
+//! * [`TransformStreaming`] / [`TransformSequenced`] — pixel-wise
+//!   transform (and, with [`crate::golden::PixelOp::Identity`], the
+//!   paper's `copy` algorithm). The streaming variant issues read and
+//!   write in parallel every cycle ("all these operations can be
+//!   performed in parallel in a hardware implementation", §3.3) and
+//!   needs single-cycle iterators; the sequenced variant is a
+//!   fetch/store FSM that works over any iterator timing, which is
+//!   what the generator selects for SRAM-backed containers.
+//! * [`BlurEngine`] — the 3×3 convolution of the evaluation's third
+//!   design, fed by the specialised column iterator.
+
+//! * [`LabelEngine`] — two-pass binary image labelling, the domain
+//!   algorithm §3.2.2 and §5 name for the image-processing library.
+
+mod blur;
+mod label;
+mod transform;
+
+pub use blur::BlurEngine;
+pub use label::LabelEngine;
+pub use transform::{TransformSequenced, TransformStreaming};

@@ -1,0 +1,413 @@
+//! The transform (and copy) algorithm engines.
+
+use crate::golden::PixelOp;
+use crate::iface::IterIface;
+use crate::pixel::PixelFormat;
+use hdp_sim::{Component, SignalBus, SimError};
+
+/// Streaming transform: one element per cycle when both iterators are
+/// ready.
+///
+/// "The copy algorithm is almost trivial: an endless loop that
+/// sequences read and write operations and iterator forwarding for
+/// both containers. All these operations can be performed in parallel
+/// in a hardware implementation." (§3.3). Every cycle in which
+/// `in.can_read` and `out.can_write` both hold, the engine asserts
+/// `read`+`inc` on the input iterator and `write`+`inc` on the output
+/// iterator and forwards `f(rdata)` combinationally — exactly the
+/// endless loop of the paper, with `f` a [`PixelOp`]
+/// ([`PixelOp::Identity`] makes it the copy algorithm).
+///
+/// Requires single-cycle iterators (FIFO-class containers); pair
+/// multi-cycle containers with [`TransformSequenced`] instead.
+#[derive(Debug)]
+pub struct TransformStreaming {
+    name: String,
+    op: PixelOp,
+    format: PixelFormat,
+    input: IterIface,
+    output: IterIface,
+    transferred: u64,
+    limit: Option<u64>,
+}
+
+impl TransformStreaming {
+    /// Creates the engine. With `limit`, the endless loop stops after
+    /// that many elements (useful for finite testbenches).
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        op: PixelOp,
+        format: PixelFormat,
+        input: IterIface,
+        output: IterIface,
+        limit: Option<u64>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            op,
+            format,
+            input,
+            output,
+            transferred: 0,
+            limit,
+        }
+    }
+
+    /// Elements transferred since reset.
+    #[must_use]
+    pub fn transferred(&self) -> u64 {
+        self.transferred
+    }
+
+    fn active(&self) -> bool {
+        self.limit.is_none_or(|l| self.transferred < l)
+    }
+}
+
+impl Component for TransformStreaming {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let can_read = bus.read(self.input.can_read)?.to_u64() == Some(1);
+        let can_write = bus.read(self.output.can_write)?.to_u64() == Some(1);
+        let go = self.active() && can_read && can_write;
+        bus.drive_u64(self.input.read, u64::from(go))?;
+        bus.drive_u64(self.input.inc, u64::from(go))?;
+        bus.drive_u64(self.input.write, 0)?;
+        bus.drive_u64(self.output.write, u64::from(go))?;
+        bus.drive_u64(self.output.inc, u64::from(go))?;
+        bus.drive_u64(self.output.read, 0)?;
+        if go {
+            let v = bus.read_u64(self.input.rdata, &self.name)?;
+            bus.drive_u64(self.output.wdata, self.op.apply(v, self.format))?;
+        } else {
+            let width = bus.width(self.output.wdata)?;
+            bus.drive(
+                self.output.wdata,
+                hdp_hdl::LogicVector::unknown(width).map_err(SimError::from)?,
+            )?;
+        }
+        // Unused input-iterator write data.
+        let width = bus.width(self.input.wdata)?;
+        bus.drive(
+            self.input.wdata,
+            hdp_hdl::LogicVector::unknown(width).map_err(SimError::from)?,
+        )?;
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let can_read = bus.read(self.input.can_read)?.to_u64() == Some(1);
+        let can_write = bus.read(self.output.can_write)?.to_u64() == Some(1);
+        if self.active() && can_read && can_write {
+            self.transferred += 1;
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.transferred = 0;
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeqState {
+    Fetch,
+    Store,
+}
+
+/// Sequenced transform: a fetch/store FSM that tolerates any iterator
+/// timing.
+///
+/// Fetch: hold `read`+`inc` on the input iterator until its `done`
+/// pulse, latch the element. Store: hold `write`+`inc` on the output
+/// iterator with the transformed element until its `done`. This is
+/// the specialisation the generator picks when a container is
+/// multi-cycle (external SRAM, width adapters): slower than
+/// [`TransformStreaming`], but correct over every target — the
+/// §4 observation that the SRAM design's "performance will depend on
+/// memory access times".
+#[derive(Debug)]
+pub struct TransformSequenced {
+    name: String,
+    op: PixelOp,
+    format: PixelFormat,
+    input: IterIface,
+    output: IterIface,
+    state: SeqState,
+    latched: u64,
+    transferred: u64,
+    limit: Option<u64>,
+}
+
+impl TransformSequenced {
+    /// Creates the engine. With `limit`, stops after that many
+    /// elements.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        op: PixelOp,
+        format: PixelFormat,
+        input: IterIface,
+        output: IterIface,
+        limit: Option<u64>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            op,
+            format,
+            input,
+            output,
+            state: SeqState::Fetch,
+            latched: 0,
+            transferred: 0,
+            limit,
+        }
+    }
+
+    /// Elements transferred since reset.
+    #[must_use]
+    pub fn transferred(&self) -> u64 {
+        self.transferred
+    }
+
+    fn active(&self) -> bool {
+        self.limit.is_none_or(|l| self.transferred < l)
+    }
+}
+
+impl Component for TransformSequenced {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let fetching = self.active() && self.state == SeqState::Fetch;
+        let storing = self.active() && self.state == SeqState::Store;
+        bus.drive_u64(self.input.read, u64::from(fetching))?;
+        bus.drive_u64(self.input.inc, u64::from(fetching))?;
+        bus.drive_u64(self.input.write, 0)?;
+        bus.drive_u64(self.output.write, u64::from(storing))?;
+        bus.drive_u64(self.output.inc, u64::from(storing))?;
+        bus.drive_u64(self.output.read, 0)?;
+        if storing {
+            bus.drive_u64(self.output.wdata, self.op.apply(self.latched, self.format))?;
+        } else {
+            let width = bus.width(self.output.wdata)?;
+            bus.drive(
+                self.output.wdata,
+                hdp_hdl::LogicVector::unknown(width).map_err(SimError::from)?,
+            )?;
+        }
+        let width = bus.width(self.input.wdata)?;
+        bus.drive(
+            self.input.wdata,
+            hdp_hdl::LogicVector::unknown(width).map_err(SimError::from)?,
+        )?;
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        if !self.active() {
+            return Ok(());
+        }
+        match self.state {
+            SeqState::Fetch => {
+                if bus.read(self.input.done)?.to_u64() == Some(1) {
+                    self.latched = bus.read_u64(self.input.rdata, &self.name)?;
+                    self.state = SeqState::Store;
+                }
+            }
+            SeqState::Store => {
+                if bus.read(self.output.done)?.to_u64() == Some(1) {
+                    self.transferred += 1;
+                    self.state = SeqState::Fetch;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.state = SeqState::Fetch;
+        self.latched = 0;
+        self.transferred = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw::{ReadBufferFifo, ReadBufferSram, WriteBufferFifo, WriteBufferSram};
+    use crate::iface::{SramPort, StreamIface};
+    use hdp_sim::devices::{VideoIn, VideoOut};
+    use hdp_sim::Simulator;
+
+    /// Full FIFO pipeline: video -> rbuffer -> engine -> wbuffer -> sink.
+    fn fifo_pipeline(op: PixelOp, pixels: Vec<u64>, streaming: bool) -> Vec<u64> {
+        let mut sim = Simulator::new();
+        let n = pixels.len();
+        let vin = StreamIface::alloc(&mut sim, "vin", 8).unwrap();
+        let it_in = IterIface::alloc(&mut sim, "it_in", 8).unwrap();
+        let it_out = IterIface::alloc(&mut sim, "it_out", 8).unwrap();
+        let vout = StreamIface::alloc(&mut sim, "vout", 8).unwrap();
+        sim.add_component(VideoIn::new(
+            "src", pixels, 8, 0, false, vin.valid, vin.data,
+        ));
+        sim.add_component(ReadBufferFifo::new("rb", 16, 8, vin, it_in));
+        if streaming {
+            sim.add_component(TransformStreaming::new(
+                "engine",
+                op,
+                PixelFormat::Gray8,
+                it_in,
+                it_out,
+                Some(n as u64),
+            ));
+        } else {
+            sim.add_component(TransformSequenced::new(
+                "engine",
+                op,
+                PixelFormat::Gray8,
+                it_in,
+                it_out,
+                Some(n as u64),
+            ));
+        }
+        sim.add_component(WriteBufferFifo::new("wb", 16, it_out, vout));
+        let sink = sim.add_component(VideoOut::new("sink", n, None, vout.valid, vout.data));
+        sim.reset().unwrap();
+        sim.run(20 * n as u64 + 50).unwrap();
+        sim.component::<VideoOut>(sink)
+            .unwrap()
+            .frames()
+            .first()
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn streaming_copy_preserves_stream() {
+        let pixels = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        let out = fifo_pipeline(PixelOp::Identity, pixels.clone(), true);
+        assert_eq!(out, pixels);
+    }
+
+    #[test]
+    fn sequenced_copy_preserves_stream() {
+        let pixels = vec![9u64, 8, 7, 6];
+        let out = fifo_pipeline(PixelOp::Identity, pixels.clone(), false);
+        assert_eq!(out, pixels);
+    }
+
+    #[test]
+    fn streaming_invert_matches_golden() {
+        let pixels = vec![0u64, 1, 128, 255];
+        let out = fifo_pipeline(PixelOp::Invert, pixels, true);
+        assert_eq!(out, vec![255, 254, 127, 0]);
+    }
+
+    #[test]
+    fn streaming_threshold_matches_golden() {
+        let pixels = vec![10u64, 200, 99, 100];
+        let out = fifo_pipeline(PixelOp::Threshold(100), pixels, true);
+        assert_eq!(out, vec![0, 255, 0, 255]);
+    }
+
+    #[test]
+    fn streaming_achieves_one_pixel_per_cycle() {
+        // Measure: with a continuous source, N pixels take about N
+        // cycles (plus small pipeline fill), the paper's "maximum
+        // performance" FIFO configuration.
+        let mut sim = Simulator::new();
+        let n = 64u64;
+        let pixels: Vec<u64> = (0..n).map(|i| i & 0xFF).collect();
+        let vin = StreamIface::alloc(&mut sim, "vin", 8).unwrap();
+        let it_in = IterIface::alloc(&mut sim, "it_in", 8).unwrap();
+        let it_out = IterIface::alloc(&mut sim, "it_out", 8).unwrap();
+        let vout = StreamIface::alloc(&mut sim, "vout", 8).unwrap();
+        sim.add_component(VideoIn::new(
+            "src", pixels, 8, 0, false, vin.valid, vin.data,
+        ));
+        sim.add_component(ReadBufferFifo::new("rb", 16, 8, vin, it_in));
+        let engine = sim.add_component(TransformStreaming::new(
+            "engine",
+            PixelOp::Identity,
+            PixelFormat::Gray8,
+            it_in,
+            it_out,
+            Some(n),
+        ));
+        sim.add_component(WriteBufferFifo::new("wb", 16, it_out, vout));
+        sim.add_component(VideoOut::new(
+            "sink", n as usize, None, vout.valid, vout.data,
+        ));
+        sim.reset().unwrap();
+        let mut cycles = 0;
+        for _ in 0..(4 * n) {
+            sim.step().unwrap();
+            cycles += 1;
+            if sim
+                .component::<TransformStreaming>(engine)
+                .unwrap()
+                .transferred()
+                == n
+            {
+                break;
+            }
+        }
+        assert!(
+            cycles <= n + 8,
+            "streaming copy should be ~1 px/cycle, took {cycles} for {n}"
+        );
+    }
+
+    /// SRAM pipeline (separate SRAMs for input and output, the
+    /// saa2vga 2 configuration): uses the sequenced engine and a
+    /// paced video source.
+    #[test]
+    fn sequenced_copy_over_two_srams() {
+        let mut sim = Simulator::new();
+        let pixels = vec![11u64, 22, 33, 44];
+        let n = pixels.len();
+        let vin = StreamIface::alloc(&mut sim, "vin", 8).unwrap();
+        let it_in = IterIface::alloc(&mut sim, "it_in", 8).unwrap();
+        let it_out = IterIface::alloc(&mut sim, "it_out", 8).unwrap();
+        let vout = StreamIface::alloc(&mut sim, "vout", 8).unwrap();
+        let mem_in = SramPort::alloc(&mut sim, "mi", 16, 8).unwrap();
+        let mem_out = SramPort::alloc(&mut sim, "mo", 16, 8).unwrap();
+        sim.add_component(mem_in.device("sram_in", 16, 8, 2));
+        sim.add_component(mem_out.device("sram_out", 16, 8, 2));
+        // Gap 15 between pixels: memory (latency 2, ~5 cycles/txn)
+        // keeps up with the decoder.
+        sim.add_component(VideoIn::new(
+            "src",
+            pixels.clone(),
+            8,
+            15,
+            false,
+            vin.valid,
+            vin.data,
+        ));
+        sim.add_component(ReadBufferSram::new("rb", 64, 0, 8, vin, it_in, mem_in));
+        sim.add_component(TransformSequenced::new(
+            "engine",
+            PixelOp::Identity,
+            PixelFormat::Gray8,
+            it_in,
+            it_out,
+            Some(n as u64),
+        ));
+        sim.add_component(WriteBufferSram::new("wb", 64, 0, it_out, vout, mem_out));
+        let sink = sim.add_component(VideoOut::new("sink", n, None, vout.valid, vout.data));
+        sim.reset().unwrap();
+        sim.run(2000).unwrap();
+        let frames = sim.component::<VideoOut>(sink).unwrap().frames();
+        assert_eq!(frames, &[pixels]);
+    }
+}

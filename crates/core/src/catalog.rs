@@ -1,0 +1,192 @@
+//! The hardware design pattern catalog.
+//!
+//! "There is a need to develop a hardware version of a design pattern
+//! catalog, similar to what is already available in software" (§3, §5).
+//! This module seeds that catalog: the GoF patterns discussed by the
+//! paper and its related work, each annotated with its class, its
+//! hardware status and how (or whether) it maps to hardware design.
+
+use std::fmt;
+
+/// GoF pattern classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternClass {
+    /// Object-creation patterns.
+    Creational,
+    /// Composition patterns.
+    Structural,
+    /// Interaction/algorithm patterns.
+    Behavioural,
+}
+
+impl fmt::Display for PatternClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PatternClass::Creational => "creational",
+            PatternClass::Structural => "structural",
+            PatternClass::Behavioural => "behavioural",
+        })
+    }
+}
+
+/// How far the pattern has been translated to hardware design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HardwareStatus {
+    /// Already close to established hardware practice (the prior work
+    /// the paper cites covers these).
+    EstablishedPractice,
+    /// Translated by this paper (and implemented by this library).
+    ThisLibrary,
+    /// A candidate the paper leaves open.
+    Open,
+    /// The paper notes many patterns have no hardware counterpart.
+    NoCounterpart,
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone)]
+pub struct PatternEntry {
+    /// Pattern name (GoF terminology).
+    pub name: &'static str,
+    /// GoF class.
+    pub class: PatternClass,
+    /// Hardware translation status.
+    pub status: HardwareStatus,
+    /// How the pattern reads in hardware terms.
+    pub hardware_reading: &'static str,
+}
+
+/// The seeded catalog, in (class, name) order.
+#[must_use]
+pub fn catalog() -> Vec<PatternEntry> {
+    vec![
+        PatternEntry {
+            name: "Builder",
+            class: PatternClass::Creational,
+            status: HardwareStatus::EstablishedPractice,
+            hardware_reading: "generator scripts assembling parameterized component instances \
+                               (the metaprogramming layer itself)",
+        },
+        PatternEntry {
+            name: "Prototype",
+            class: PatternClass::Creational,
+            status: HardwareStatus::EstablishedPractice,
+            hardware_reading: "template instantiation of pre-characterised IP configurations",
+        },
+        PatternEntry {
+            name: "Singleton",
+            class: PatternClass::Creational,
+            status: HardwareStatus::NoCounterpart,
+            hardware_reading: "every hardware instance is physical; uniqueness is a floorplan \
+                               property, not a pattern",
+        },
+        PatternEntry {
+            name: "Adapter",
+            class: PatternClass::Structural,
+            status: HardwareStatus::EstablishedPractice,
+            hardware_reading: "interface wrappers / bus bridges (wrapper generation in IP \
+                               methodologies)",
+        },
+        PatternEntry {
+            name: "Facade",
+            class: PatternClass::Structural,
+            status: HardwareStatus::EstablishedPractice,
+            hardware_reading: "a bus interface unit hiding a subsystem behind one port map",
+        },
+        PatternEntry {
+            name: "Proxy",
+            class: PatternClass::Structural,
+            status: HardwareStatus::EstablishedPractice,
+            hardware_reading: "registered or arbitrated stand-ins for a shared physical \
+                               resource (the generated SRAM arbiter port)",
+        },
+        PatternEntry {
+            name: "Iterator",
+            class: PatternClass::Behavioural,
+            status: HardwareStatus::ThisLibrary,
+            hardware_reading: "a traversal interface (inc/dec/read/write/index) decoupling \
+                               algorithms from container implementations; concrete iterators \
+                               instantiated at design time",
+        },
+        PatternEntry {
+            name: "Strategy",
+            class: PatternClass::Behavioural,
+            status: HardwareStatus::Open,
+            hardware_reading: "selectable datapath variants behind one operation interface \
+                               (candidate: the per-target engine selection of the generator)",
+        },
+        PatternEntry {
+            name: "Observer",
+            class: PatternClass::Behavioural,
+            status: HardwareStatus::Open,
+            hardware_reading: "event/interrupt fan-out to subscribed components",
+        },
+        PatternEntry {
+            name: "Template Method",
+            class: PatternClass::Behavioural,
+            status: HardwareStatus::Open,
+            hardware_reading: "algorithm metamodels with target-specific hook fragments (the \
+                               paper's deferred future work)",
+        },
+    ]
+}
+
+/// Catalog entries of one class.
+#[must_use]
+pub fn by_class(class: PatternClass) -> Vec<PatternEntry> {
+    catalog().into_iter().filter(|e| e.class == class).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterator_is_the_behavioural_contribution() {
+        let it = catalog()
+            .into_iter()
+            .find(|e| e.name == "Iterator")
+            .expect("iterator in catalog");
+        assert_eq!(it.class, PatternClass::Behavioural);
+        assert_eq!(it.status, HardwareStatus::ThisLibrary);
+    }
+
+    #[test]
+    fn prior_work_covers_structural_and_creational_only() {
+        // "all previously published works are entirely devoted to
+        // structural and creational patterns" — no behavioural entry
+        // may be EstablishedPractice.
+        for e in catalog() {
+            if e.status == HardwareStatus::EstablishedPractice {
+                assert_ne!(e.class, PatternClass::Behavioural, "{}", e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn every_class_is_represented() {
+        for class in [
+            PatternClass::Creational,
+            PatternClass::Structural,
+            PatternClass::Behavioural,
+        ] {
+            assert!(!by_class(class).is_empty(), "{class}");
+        }
+    }
+
+    #[test]
+    fn some_patterns_have_no_counterpart() {
+        // "Many of the most successful design patterns do not have a
+        // hardware counterpart."
+        assert!(catalog()
+            .iter()
+            .any(|e| e.status == HardwareStatus::NoCounterpart));
+    }
+
+    #[test]
+    fn readings_are_nonempty() {
+        for e in catalog() {
+            assert!(!e.hardware_reading.is_empty(), "{}", e.name);
+        }
+    }
+}

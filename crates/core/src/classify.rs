@@ -1,0 +1,461 @@
+//! The library taxonomy: Tables 1 and 2 of the paper, as data.
+//!
+//! Table 1 classifies the basic containers "depending on the type of
+//! memory access required (random or sequential), and the type of
+//! traversal allowed (forward, backwards or both)". Table 2 lists the
+//! iterator operations and the iterator kinds each applies to. Both
+//! tables are encoded here verbatim so the rest of the library — and
+//! the Table 1/Table 2 conformance experiments — can check models
+//! against them.
+
+use std::fmt;
+
+/// The six basic containers of the library (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContainerKind {
+    /// LIFO stack.
+    Stack,
+    /// FIFO queue.
+    Queue,
+    /// Read buffer: a stream the design consumes (the video input of
+    /// the motivating example).
+    ReadBuffer,
+    /// Write buffer: a stream the design produces (the video output).
+    WriteBuffer,
+    /// Randomly addressable vector.
+    Vector,
+    /// Associative array keyed by arbitrary values.
+    AssocArray,
+}
+
+impl ContainerKind {
+    /// All container kinds, in Table 1 row order.
+    pub const ALL: [ContainerKind; 6] = [
+        ContainerKind::Stack,
+        ContainerKind::Queue,
+        ContainerKind::ReadBuffer,
+        ContainerKind::WriteBuffer,
+        ContainerKind::Vector,
+        ContainerKind::AssocArray,
+    ];
+
+    /// The Table 1 row for this container.
+    #[must_use]
+    pub fn classification(self) -> Classification {
+        use Traversal::{Both, Forward, None as NoTrav};
+        match self {
+            // stack:        random -, -   sequential F (input), B (output)
+            ContainerKind::Stack => Classification {
+                random_input: false,
+                random_output: false,
+                sequential_input: Forward,
+                sequential_output: Traversal::Backward,
+            },
+            // queue:        random -, -   sequential F, F
+            ContainerKind::Queue => Classification {
+                random_input: false,
+                random_output: false,
+                sequential_input: Forward,
+                sequential_output: Forward,
+            },
+            // read buffer:  random -, -   sequential F, -
+            ContainerKind::ReadBuffer => Classification {
+                random_input: false,
+                random_output: false,
+                sequential_input: Forward,
+                sequential_output: NoTrav,
+            },
+            // write buffer: random -, -   sequential -, F
+            ContainerKind::WriteBuffer => Classification {
+                random_input: false,
+                random_output: false,
+                sequential_input: NoTrav,
+                sequential_output: Forward,
+            },
+            // vector:       random Y, Y   sequential F+B, F+B
+            ContainerKind::Vector => Classification {
+                random_input: true,
+                random_output: true,
+                sequential_input: Both,
+                sequential_output: Both,
+            },
+            // assoc. array: random Y, Y   sequential -, -
+            ContainerKind::AssocArray => Classification {
+                random_input: true,
+                random_output: true,
+                sequential_input: NoTrav,
+                sequential_output: NoTrav,
+            },
+        }
+    }
+
+    /// The iterator kinds this container supports, derived from the
+    /// classification: a container admits an iterator kind when the
+    /// kind's movement set is covered by the container's traversal
+    /// capabilities (in the input and/or output role).
+    #[must_use]
+    pub fn supported_iterators(self) -> Vec<IterKind> {
+        let c = self.classification();
+        let mut kinds = Vec::new();
+        let trav = c.sequential_input.union(c.sequential_output);
+        if trav.allows_forward() {
+            kinds.push(IterKind::Forward);
+        }
+        if trav.allows_backward() {
+            kinds.push(IterKind::Backward);
+        }
+        if trav == Traversal::Both {
+            kinds.push(IterKind::Bidirectional);
+        }
+        if c.random_input || c.random_output {
+            kinds.push(IterKind::Random);
+        }
+        kinds
+    }
+
+    /// Whether an *input* (reading) iterator may traverse this
+    /// container at all.
+    #[must_use]
+    pub fn readable(self) -> bool {
+        let c = self.classification();
+        c.random_input || c.sequential_input != Traversal::None
+    }
+
+    /// Whether an *output* (writing) iterator may traverse this
+    /// container at all.
+    #[must_use]
+    pub fn writable(self) -> bool {
+        let c = self.classification();
+        c.random_output || c.sequential_output != Traversal::None
+    }
+}
+
+impl fmt::Display for ContainerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ContainerKind::Stack => "stack",
+            ContainerKind::Queue => "queue",
+            ContainerKind::ReadBuffer => "read buffer",
+            ContainerKind::WriteBuffer => "write buffer",
+            ContainerKind::Vector => "vector",
+            ContainerKind::AssocArray => "assoc. array",
+        })
+    }
+}
+
+/// Traversal directions a sequential access role allows (a Table 1
+/// cell: `-`, `F`, `B` or `F, B`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Traversal {
+    /// No sequential access in this role.
+    None,
+    /// Forward only.
+    Forward,
+    /// Backward only.
+    Backward,
+    /// Both directions.
+    Both,
+}
+
+impl Traversal {
+    /// Whether forward movement is allowed.
+    #[must_use]
+    pub fn allows_forward(self) -> bool {
+        matches!(self, Traversal::Forward | Traversal::Both)
+    }
+
+    /// Whether backward movement is allowed.
+    #[must_use]
+    pub fn allows_backward(self) -> bool {
+        matches!(self, Traversal::Backward | Traversal::Both)
+    }
+
+    /// The union of two traversal capabilities.
+    #[must_use]
+    pub fn union(self, other: Traversal) -> Traversal {
+        match (
+            self.allows_forward() || other.allows_forward(),
+            self.allows_backward() || other.allows_backward(),
+        ) {
+            (true, true) => Traversal::Both,
+            (true, false) => Traversal::Forward,
+            (false, true) => Traversal::Backward,
+            (false, false) => Traversal::None,
+        }
+    }
+}
+
+impl fmt::Display for Traversal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Traversal::None => "-",
+            Traversal::Forward => "F",
+            Traversal::Backward => "B",
+            Traversal::Both => "F, B",
+        })
+    }
+}
+
+/// One row of Table 1: the access/traversal profile of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    /// Random access in the input (reading) role.
+    pub random_input: bool,
+    /// Random access in the output (writing) role.
+    pub random_output: bool,
+    /// Sequential traversal in the input role.
+    pub sequential_input: Traversal,
+    /// Sequential traversal in the output role.
+    pub sequential_output: Traversal,
+}
+
+/// The iterator kinds of §3.2.2 (forward, backward, bidirectional,
+/// random).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IterKind {
+    /// Moves forward only.
+    Forward,
+    /// Moves backward only.
+    Backward,
+    /// Moves in both directions.
+    Bidirectional,
+    /// Sets arbitrary positions.
+    Random,
+}
+
+impl IterKind {
+    /// All iterator kinds.
+    pub const ALL: [IterKind; 4] = [
+        IterKind::Forward,
+        IterKind::Backward,
+        IterKind::Bidirectional,
+        IterKind::Random,
+    ];
+
+    /// Whether this iterator kind provides `op` (Table 2's
+    /// applicability column).
+    #[must_use]
+    pub fn supports(self, op: IterOp) -> bool {
+        match op {
+            // "inc — move forward — F / F, B" (random iterators can
+            // also advance: they subsume bidirectional movement).
+            IterOp::Inc => matches!(
+                self,
+                IterKind::Forward | IterKind::Bidirectional | IterKind::Random
+            ),
+            // "dec — move backwards — B / F, B"
+            IterOp::Dec => matches!(
+                self,
+                IterKind::Backward | IterKind::Bidirectional | IterKind::Random
+            ),
+            // "read/write — random / F, B": every kind can access the
+            // element at the current position; whether the *container*
+            // permits reading or writing is the input/output role
+            // checked separately.
+            IterOp::Read | IterOp::Write => true,
+            // "index — set the current position — random"
+            IterOp::Index => self == IterKind::Random,
+        }
+    }
+
+    /// The operations this kind provides, in Table 2 order.
+    #[must_use]
+    pub fn operations(self) -> Vec<IterOp> {
+        IterOp::ALL
+            .into_iter()
+            .filter(|&op| self.supports(op))
+            .collect()
+    }
+}
+
+impl fmt::Display for IterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IterKind::Forward => "forward",
+            IterKind::Backward => "backward",
+            IterKind::Bidirectional => "bidirectional",
+            IterKind::Random => "random",
+        })
+    }
+}
+
+/// The iterator operations of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IterOp {
+    /// Move forward.
+    Inc,
+    /// Move backwards.
+    Dec,
+    /// Get the element at the current position.
+    Read,
+    /// Put the element at the current position.
+    Write,
+    /// Set the current position.
+    Index,
+}
+
+impl IterOp {
+    /// All operations, in Table 2 row order.
+    pub const ALL: [IterOp; 5] = [
+        IterOp::Inc,
+        IterOp::Dec,
+        IterOp::Read,
+        IterOp::Write,
+        IterOp::Index,
+    ];
+
+    /// The "Meaning" column of Table 2.
+    #[must_use]
+    pub fn meaning(self) -> &'static str {
+        match self {
+            IterOp::Inc => "move forward",
+            IterOp::Dec => "move backwards",
+            IterOp::Read => "get the element",
+            IterOp::Write => "put the element",
+            IterOp::Index => "set the current position",
+        }
+    }
+}
+
+impl fmt::Display for IterOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IterOp::Inc => "inc",
+            IterOp::Dec => "dec",
+            IterOp::Read => "read",
+            IterOp::Write => "write",
+            IterOp::Index => "index",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_stack_row() {
+        let c = ContainerKind::Stack.classification();
+        assert!(!c.random_input && !c.random_output);
+        assert_eq!(c.sequential_input, Traversal::Forward);
+        assert_eq!(c.sequential_output, Traversal::Backward);
+    }
+
+    #[test]
+    fn table1_queue_row() {
+        let c = ContainerKind::Queue.classification();
+        assert_eq!(c.sequential_input, Traversal::Forward);
+        assert_eq!(c.sequential_output, Traversal::Forward);
+    }
+
+    #[test]
+    fn table1_buffers_are_unidirectional() {
+        let r = ContainerKind::ReadBuffer.classification();
+        assert_eq!(r.sequential_input, Traversal::Forward);
+        assert_eq!(r.sequential_output, Traversal::None);
+        assert!(ContainerKind::ReadBuffer.readable());
+        assert!(!ContainerKind::ReadBuffer.writable());
+
+        let w = ContainerKind::WriteBuffer.classification();
+        assert_eq!(w.sequential_input, Traversal::None);
+        assert_eq!(w.sequential_output, Traversal::Forward);
+        assert!(!ContainerKind::WriteBuffer.readable());
+        assert!(ContainerKind::WriteBuffer.writable());
+    }
+
+    #[test]
+    fn table1_vector_row() {
+        let c = ContainerKind::Vector.classification();
+        assert!(c.random_input && c.random_output);
+        assert_eq!(c.sequential_input, Traversal::Both);
+        assert_eq!(c.sequential_output, Traversal::Both);
+    }
+
+    #[test]
+    fn table1_assoc_array_row() {
+        let c = ContainerKind::AssocArray.classification();
+        assert!(c.random_input && c.random_output);
+        assert_eq!(c.sequential_input, Traversal::None);
+        assert_eq!(c.sequential_output, Traversal::None);
+    }
+
+    #[test]
+    fn table2_forward_iterator_ops() {
+        let ops = IterKind::Forward.operations();
+        assert_eq!(ops, vec![IterOp::Inc, IterOp::Read, IterOp::Write]);
+    }
+
+    #[test]
+    fn table2_backward_iterator_ops() {
+        let ops = IterKind::Backward.operations();
+        assert_eq!(ops, vec![IterOp::Dec, IterOp::Read, IterOp::Write]);
+    }
+
+    #[test]
+    fn table2_bidirectional_iterator_ops() {
+        let ops = IterKind::Bidirectional.operations();
+        assert_eq!(
+            ops,
+            vec![IterOp::Inc, IterOp::Dec, IterOp::Read, IterOp::Write]
+        );
+    }
+
+    #[test]
+    fn table2_only_random_supports_index() {
+        for kind in IterKind::ALL {
+            assert_eq!(kind.supports(IterOp::Index), kind == IterKind::Random);
+        }
+    }
+
+    #[test]
+    fn vector_supports_every_iterator_kind() {
+        let kinds = ContainerKind::Vector.supported_iterators();
+        assert_eq!(kinds.len(), 4);
+    }
+
+    #[test]
+    fn queue_supports_forward_only() {
+        assert_eq!(
+            ContainerKind::Queue.supported_iterators(),
+            vec![IterKind::Forward]
+        );
+    }
+
+    #[test]
+    fn stack_supports_forward_and_backward() {
+        let kinds = ContainerKind::Stack.supported_iterators();
+        assert!(kinds.contains(&IterKind::Forward));
+        assert!(kinds.contains(&IterKind::Backward));
+        assert!(kinds.contains(&IterKind::Bidirectional));
+        assert!(!kinds.contains(&IterKind::Random));
+    }
+
+    #[test]
+    fn assoc_array_supports_random_only() {
+        assert_eq!(
+            ContainerKind::AssocArray.supported_iterators(),
+            vec![IterKind::Random]
+        );
+    }
+
+    #[test]
+    fn traversal_union() {
+        assert_eq!(
+            Traversal::Forward.union(Traversal::Backward),
+            Traversal::Both
+        );
+        assert_eq!(Traversal::None.union(Traversal::None), Traversal::None);
+        assert_eq!(
+            Traversal::Forward.union(Traversal::None),
+            Traversal::Forward
+        );
+    }
+
+    #[test]
+    fn display_matches_table_notation() {
+        assert_eq!(Traversal::Both.to_string(), "F, B");
+        assert_eq!(Traversal::None.to_string(), "-");
+        assert_eq!(ContainerKind::AssocArray.to_string(), "assoc. array");
+        assert_eq!(IterOp::Index.meaning(), "set the current position");
+    }
+}

@@ -1,0 +1,141 @@
+//! Error type for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a pattern-based model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An iterator kind was attached to a container that does not
+    /// support it (violates the Table 1 / Table 2 taxonomy).
+    IncompatibleIterator {
+        /// The iterator kind requested.
+        iterator: String,
+        /// The container kind it was attached to.
+        container: String,
+        /// Why the combination is illegal.
+        reason: String,
+    },
+    /// A container was mapped onto a physical target that cannot
+    /// implement it.
+    IncompatibleTarget {
+        /// The container kind.
+        container: String,
+        /// The physical target requested.
+        target: String,
+    },
+    /// An algorithm was bound to an iterator lacking a required
+    /// operation.
+    MissingOperation {
+        /// The algorithm name.
+        algorithm: String,
+        /// The iterator binding name.
+        iterator: String,
+        /// The operation that is missing.
+        operation: String,
+    },
+    /// A named model element does not exist.
+    UnknownElement {
+        /// The element kind (`"container"`, `"iterator"`, ...).
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A named model element was defined twice.
+    DuplicateElement {
+        /// The element kind.
+        kind: &'static str,
+        /// The duplicated name.
+        name: String,
+    },
+    /// A parameter is out of its legal range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        message: String,
+    },
+    /// A simulation step failed while exercising a model.
+    Sim(hdp_sim::SimError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::IncompatibleIterator {
+                iterator,
+                container,
+                reason,
+            } => write!(
+                f,
+                "iterator `{iterator}` cannot traverse container `{container}`: {reason}"
+            ),
+            CoreError::IncompatibleTarget { container, target } => write!(
+                f,
+                "container `{container}` cannot be implemented over target `{target}`"
+            ),
+            CoreError::MissingOperation {
+                algorithm,
+                iterator,
+                operation,
+            } => write!(
+                f,
+                "algorithm `{algorithm}` needs operation `{operation}` on iterator `{iterator}`"
+            ),
+            CoreError::UnknownElement { kind, name } => {
+                write!(f, "unknown {kind} `{name}`")
+            }
+            CoreError::DuplicateElement { kind, name } => {
+                write!(f, "duplicate {kind} `{name}`")
+            }
+            CoreError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            CoreError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hdp_sim::SimError> for CoreError {
+    fn from(e: hdp_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn messages_are_lowercase_without_period() {
+        let e = CoreError::UnknownElement {
+            kind: "container",
+            name: "rbuffer".into(),
+        };
+        let text = e.to_string();
+        assert!(text.starts_with("unknown"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn sim_error_is_wrapped_with_source() {
+        let e = CoreError::from(hdp_sim::SimError::NoConvergence { limit: 64 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,319 @@
+//! Behavioural models of the library algorithms.
+//!
+//! The paper demonstrates two algorithms — stream `copy` and an image
+//! `blur` filter — and names pixel-wise filtering and binary image
+//! labelling as domain algorithms the library should grow (§3.2.3,
+//! §5). All four live here as bit-exact references for the hardware
+//! engines in [`crate::algo`].
+
+use crate::pixel::{Frame, PixelFormat};
+use crate::CoreError;
+
+/// A pixel-wise transfer function, the parameter of the `transform`
+/// algorithm. Each variant is implementable as pure combinational
+/// hardware, which is why the set is closed rather than an arbitrary
+/// closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PixelOp {
+    /// Pass-through; `transform` with `Identity` *is* the paper's copy
+    /// algorithm.
+    Identity,
+    /// Photometric negative: `max - p` per channel.
+    Invert,
+    /// Binarise: `p >= threshold ? max : 0` (grayscale; applied to the
+    /// luma sum for RGB).
+    Threshold(u64),
+    /// Multiply and shift with saturation: `min(max, (p * mul) >> shift)`
+    /// per channel.
+    Gain {
+        /// Multiplier.
+        mul: u64,
+        /// Right shift after multiplying.
+        shift: u32,
+    },
+}
+
+impl PixelOp {
+    /// Applies the operation to one pixel of the given format.
+    #[must_use]
+    pub fn apply(self, pixel: u64, format: PixelFormat) -> u64 {
+        match format {
+            PixelFormat::Gray8 => self.apply_channel(pixel & 0xFF, 0xFF),
+            PixelFormat::Rgb24 => {
+                let r = self.apply_channel(pixel >> 16 & 0xFF, 0xFF);
+                let g = self.apply_channel(pixel >> 8 & 0xFF, 0xFF);
+                let b = self.apply_channel(pixel & 0xFF, 0xFF);
+                r << 16 | g << 8 | b
+            }
+        }
+    }
+
+    fn apply_channel(self, p: u64, max: u64) -> u64 {
+        match self {
+            PixelOp::Identity => p,
+            PixelOp::Invert => max - p,
+            PixelOp::Threshold(t) => {
+                if p >= t {
+                    max
+                } else {
+                    0
+                }
+            }
+            PixelOp::Gain { mul, shift } => ((p * mul) >> shift).min(max),
+        }
+    }
+}
+
+/// Applies a [`PixelOp`] to every pixel of a frame — the behavioural
+/// `transform` algorithm (and, with [`PixelOp::Identity`], `copy`).
+#[must_use]
+pub fn pixel_map(frame: &Frame, op: PixelOp) -> Frame {
+    let pixels = frame
+        .pixels()
+        .iter()
+        .map(|&p| op.apply(p, frame.format()))
+        .collect();
+    Frame::from_pixels(frame.width(), frame.height(), frame.format(), pixels)
+        .expect("mapped pixels stay in range")
+}
+
+/// Border policy for the blur filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlurBorder {
+    /// Emit only interior pixels: the output frame is
+    /// `(width-2) x (height-2)`. This matches the streaming hardware,
+    /// which has no window at the borders.
+    Crop,
+}
+
+/// 3×3 blur convolution with the hardware-friendly binomial kernel
+///
+/// ```text
+/// 1 2 1
+/// 2 4 2   / 16
+/// 1 2 1
+/// ```
+///
+/// (shifts and adds only — no divider), applied per channel. The
+/// paper's blur example processes the decoder stream through the
+/// 3-line buffer; this is its bit-exact reference.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if the frame is smaller
+/// than 3×3.
+pub fn blur3x3(frame: &Frame, border: BlurBorder) -> Result<Frame, CoreError> {
+    let BlurBorder::Crop = border;
+    let (w, h) = (frame.width(), frame.height());
+    if w < 3 || h < 3 {
+        return Err(CoreError::InvalidParameter {
+            name: "frame",
+            message: format!("{w}x{h} frame is too small for a 3x3 kernel"),
+        });
+    }
+    const KERNEL: [[u64; 3]; 3] = [[1, 2, 1], [2, 4, 2], [1, 2, 1]];
+    let channel = |x: usize, y: usize, shift: u32| -> u64 {
+        let mut acc = 0;
+        for (ky, row) in KERNEL.iter().enumerate() {
+            for (kx, &k) in row.iter().enumerate() {
+                let p = frame.pixel(x + kx - 1, y + ky - 1);
+                acc += k * (p >> shift & 0xFF);
+            }
+        }
+        acc >> 4
+    };
+    let mut pixels = Vec::with_capacity((w - 2) * (h - 2));
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let p = match frame.format() {
+                PixelFormat::Gray8 => channel(x, y, 0),
+                PixelFormat::Rgb24 => {
+                    channel(x, y, 16) << 16 | channel(x, y, 8) << 8 | channel(x, y, 0)
+                }
+            };
+            pixels.push(p);
+        }
+    }
+    Frame::from_pixels(w - 2, h - 2, frame.format(), pixels)
+}
+
+/// Binary image labelling: assigns a distinct label to every
+/// 4-connected component of nonzero pixels, in raster-scan first-touch
+/// order starting from 1 (background pixels stay 0). Returns the label
+/// map and the component count.
+///
+/// Named by the paper as a domain algorithm the library should offer
+/// ("binary image labelling for image processing applications",
+/// §3.2.2/§5).
+#[must_use]
+pub fn label(frame: &Frame) -> (Vec<u64>, usize) {
+    let (w, h) = (frame.width(), frame.height());
+    let fg: Vec<bool> = frame.pixels().iter().map(|&p| p != 0).collect();
+    let mut labels = vec![0u64; w * h];
+    let mut next = 1u64;
+    // Union-find over provisional labels (two-pass algorithm, the
+    // classic hardware-amenable formulation).
+    let mut parent: Vec<usize> = vec![0];
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            if !fg[i] {
+                continue;
+            }
+            let left = if x > 0 && fg[i - 1] { labels[i - 1] } else { 0 };
+            let up = if y > 0 && fg[i - w] { labels[i - w] } else { 0 };
+            labels[i] = match (left, up) {
+                (0, 0) => {
+                    parent.push(next as usize);
+                    let l = next;
+                    next += 1;
+                    l
+                }
+                (l, 0) | (0, l) => l,
+                (l, u) => {
+                    let (rl, ru) = (find(&mut parent, l as usize), find(&mut parent, u as usize));
+                    if rl != ru {
+                        let (lo, hi) = (rl.min(ru), rl.max(ru));
+                        parent[hi] = lo;
+                    }
+                    l.min(u)
+                }
+            };
+        }
+    }
+    // Second pass: resolve to roots and renumber densely in
+    // first-touch order.
+    let mut rename: Vec<u64> = vec![0; parent.len()];
+    let mut count = 0usize;
+    for l in labels.iter_mut() {
+        if *l == 0 {
+            continue;
+        }
+        let root = find(&mut parent, *l as usize);
+        if rename[root] == 0 {
+            count += 1;
+            rename[root] = count as u64;
+        }
+        *l = rename[root];
+    }
+    (labels, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gray(w: usize, h: usize, pixels: Vec<u64>) -> Frame {
+        Frame::from_pixels(w, h, PixelFormat::Gray8, pixels).unwrap()
+    }
+
+    #[test]
+    fn identity_map_is_copy() {
+        let f = Frame::noise(8, 8, PixelFormat::Gray8, 1);
+        assert_eq!(pixel_map(&f, PixelOp::Identity), f);
+    }
+
+    #[test]
+    fn invert_is_involutive() {
+        let f = Frame::noise(8, 8, PixelFormat::Rgb24, 2);
+        let ff = pixel_map(&pixel_map(&f, PixelOp::Invert), PixelOp::Invert);
+        assert_eq!(ff, f);
+    }
+
+    #[test]
+    fn threshold_binarises() {
+        let f = gray(2, 2, vec![10, 100, 200, 99]);
+        let t = pixel_map(&f, PixelOp::Threshold(100));
+        assert_eq!(t.pixels(), &[0, 255, 255, 0]);
+    }
+
+    #[test]
+    fn gain_saturates() {
+        let f = gray(2, 1, vec![100, 200]);
+        let g = pixel_map(&f, PixelOp::Gain { mul: 3, shift: 1 });
+        assert_eq!(g.pixels(), &[150, 255]); // 300>>1=150, 600>>1=300 -> 255
+    }
+
+    #[test]
+    fn rgb_ops_act_per_channel() {
+        let f = Frame::from_pixels(1, 1, PixelFormat::Rgb24, vec![0x102030]).unwrap();
+        let inv = pixel_map(&f, PixelOp::Invert);
+        assert_eq!(inv.pixels()[0], 0xEFDFCF);
+    }
+
+    #[test]
+    fn blur_uniform_frame_is_unchanged_in_interior() {
+        let f = gray(5, 5, vec![64; 25]);
+        let b = blur3x3(&f, BlurBorder::Crop).unwrap();
+        assert_eq!(b.width(), 3);
+        assert_eq!(b.height(), 3);
+        assert!(b.pixels().iter().all(|&p| p == 64));
+    }
+
+    #[test]
+    fn blur_kernel_weights() {
+        // Single bright pixel at the centre of a 3x3 frame: output is
+        // the centre weight 4/16 of 160 = 40.
+        let mut pixels = vec![0u64; 9];
+        pixels[4] = 160;
+        let f = gray(3, 3, pixels);
+        let b = blur3x3(&f, BlurBorder::Crop).unwrap();
+        assert_eq!(b.pixels(), &[40]);
+    }
+
+    #[test]
+    fn blur_rejects_tiny_frames() {
+        let f = gray(2, 2, vec![0; 4]);
+        assert!(blur3x3(&f, BlurBorder::Crop).is_err());
+    }
+
+    #[test]
+    fn blur_rgb_channels_do_not_bleed() {
+        // Pure-red frame blurs to pure red.
+        let f = Frame::from_pixels(3, 3, PixelFormat::Rgb24, vec![0xFF0000; 9]).unwrap();
+        let b = blur3x3(&f, BlurBorder::Crop).unwrap();
+        assert_eq!(b.pixels(), &[0xFF0000]);
+    }
+
+    #[test]
+    fn label_two_components() {
+        // 1 0 1
+        // 1 0 1
+        let f = gray(3, 2, vec![9, 0, 9, 9, 0, 9]);
+        let (labels, count) = label(&f);
+        assert_eq!(count, 2);
+        assert_eq!(labels, vec![1, 0, 2, 1, 0, 2]);
+    }
+
+    #[test]
+    fn label_merges_u_shape() {
+        // 1 0 1
+        // 1 1 1   -> single component despite two provisional labels
+        let f = gray(3, 2, vec![9, 0, 9, 9, 9, 9]);
+        let (labels, count) = label(&f);
+        assert_eq!(count, 1);
+        assert!(labels.iter().all(|&l| l == 0 || l == 1));
+    }
+
+    #[test]
+    fn label_empty_frame() {
+        let f = gray(3, 3, vec![0; 9]);
+        let (labels, count) = label(&f);
+        assert_eq!(count, 0);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn label_checkerboard_is_all_isolated() {
+        let f = Frame::checkerboard(4, 4, PixelFormat::Gray8, 1);
+        let (_, count) = label(&f);
+        assert_eq!(count, 8); // 8 foreground cells, none 4-connected
+    }
+}

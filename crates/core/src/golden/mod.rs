@@ -1,0 +1,364 @@
+//! Bit-exact behavioural models of the basic component library.
+//!
+//! Every hardware container and algorithm engine in this crate is
+//! verified against the models here: same operations, same results,
+//! with the timing abstracted away. This is the "behavioural level
+//! abstraction (algorithm)" the paper wants designers to reuse, kept
+//! executable so property tests can compare hardware against it under
+//! arbitrary operation interleavings.
+
+mod algo;
+
+pub use algo::{blur3x3, label, pixel_map, BlurBorder, PixelOp};
+
+use crate::CoreError;
+use std::collections::VecDeque;
+
+/// Behavioural FIFO queue with a capacity, the model of the `queue`,
+/// `read buffer` and `write buffer` containers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Queue {
+    data: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl Queue {
+    /// Creates a queue with the given capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            data: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Appends an element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on overflow.
+    pub fn push(&mut self, value: u64) -> Result<(), CoreError> {
+        if self.data.len() >= self.capacity {
+            return Err(CoreError::InvalidParameter {
+                name: "push",
+                message: "queue overflow".into(),
+            });
+        }
+        self.data.push_back(value);
+        Ok(())
+    }
+
+    /// Removes and returns the oldest element.
+    #[must_use]
+    pub fn pop(&mut self) -> Option<u64> {
+        self.data.pop_front()
+    }
+
+    /// The oldest element without removing it.
+    #[must_use]
+    pub fn front(&self) -> Option<u64> {
+        self.data.front().copied()
+    }
+
+    /// Number of stored elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no elements are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True if at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.data.len() >= self.capacity
+    }
+}
+
+/// Behavioural LIFO stack with a capacity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stack {
+    data: Vec<u64>,
+    capacity: usize,
+}
+
+impl Stack {
+    /// Creates a stack with the given capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Pushes an element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on overflow.
+    pub fn push(&mut self, value: u64) -> Result<(), CoreError> {
+        if self.data.len() >= self.capacity {
+            return Err(CoreError::InvalidParameter {
+                name: "push",
+                message: "stack overflow".into(),
+            });
+        }
+        self.data.push(value);
+        Ok(())
+    }
+
+    /// Removes and returns the newest element.
+    #[must_use]
+    pub fn pop(&mut self) -> Option<u64> {
+        self.data.pop()
+    }
+
+    /// The newest element without removing it.
+    #[must_use]
+    pub fn top(&self) -> Option<u64> {
+        self.data.last().copied()
+    }
+
+    /// Number of stored elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no elements are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True if at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.data.len() >= self.capacity
+    }
+}
+
+/// Behavioural random-access vector with an iterator cursor, the model
+/// for the `vector` container traversed by a random iterator: `index`
+/// sets the cursor, `inc`/`dec` move it, `read`/`write` access the
+/// element under it (Table 2 semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vector {
+    data: Vec<Option<u64>>,
+    cursor: usize,
+}
+
+impl Vector {
+    /// Creates a vector of `capacity` uninitialised elements with the
+    /// cursor at 0.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            data: vec![None; capacity],
+            cursor: 0,
+        }
+    }
+
+    /// Sets the cursor (`index` operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if out of range.
+    pub fn index(&mut self, pos: usize) -> Result<(), CoreError> {
+        if pos >= self.data.len() {
+            return Err(CoreError::InvalidParameter {
+                name: "index",
+                message: format!("position {pos} out of range {}", self.data.len()),
+            });
+        }
+        self.cursor = pos;
+        Ok(())
+    }
+
+    /// Moves the cursor forward (`inc`), wrapping at the end as a
+    /// hardware position counter does.
+    pub fn inc(&mut self) {
+        self.cursor = (self.cursor + 1) % self.data.len();
+    }
+
+    /// Moves the cursor backward (`dec`), wrapping at zero.
+    pub fn dec(&mut self) {
+        self.cursor = (self.cursor + self.data.len() - 1) % self.data.len();
+    }
+
+    /// Reads the element under the cursor (`read`); `None` if that
+    /// position was never written.
+    #[must_use]
+    pub fn read(&self) -> Option<u64> {
+        self.data[self.cursor]
+    }
+
+    /// Writes the element under the cursor (`write`).
+    pub fn write(&mut self, value: u64) {
+        self.data[self.cursor] = Some(value);
+    }
+
+    /// The current cursor position.
+    #[must_use]
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// The capacity in elements.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Behavioural direct-mapped associative array: the model of the
+/// hardware `assoc. array`, which stores each key in the slot selected
+/// by `key % capacity` with a tag compare, evicting any previous
+/// occupant — the realistic silicon implementation rather than an
+/// unbounded map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssocArray {
+    slots: Vec<Option<(u64, u64)>>, // (key, value)
+}
+
+impl AssocArray {
+    /// Creates an associative array with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            slots: vec![None; capacity],
+        }
+    }
+
+    fn slot(&self, key: u64) -> usize {
+        (key % self.slots.len() as u64) as usize
+    }
+
+    /// Inserts or replaces the binding for `key`, returning the
+    /// evicted binding if the slot held a *different* key.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<(u64, u64)> {
+        let s = self.slot(key);
+        let evicted = match self.slots[s] {
+            Some((k, v)) if k != key => Some((k, v)),
+            _ => None,
+        };
+        self.slots[s] = Some((key, value));
+        evicted
+    }
+
+    /// Looks up `key`; `None` on a miss (slot empty or holding a
+    /// different key).
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        match self.slots[self.slot(key)] {
+            Some((k, v)) if k == key => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of occupied slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True if nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// The slot capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_fifo_order_and_overflow() {
+        let mut q = Queue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert!(q.is_full());
+        assert!(q.push(3).is_err());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.front(), Some(2));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stack_lifo_order_and_overflow() {
+        let mut s = Stack::new(2);
+        s.push(1).unwrap();
+        s.push(2).unwrap();
+        assert!(s.push(3).is_err());
+        assert_eq!(s.top(), Some(2));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn vector_cursor_semantics() {
+        let mut v = Vector::new(4);
+        assert_eq!(v.read(), None);
+        v.write(10);
+        v.inc();
+        v.write(11);
+        v.index(0).unwrap();
+        assert_eq!(v.read(), Some(10));
+        v.inc();
+        assert_eq!(v.read(), Some(11));
+        v.dec();
+        assert_eq!(v.cursor(), 0);
+        assert!(v.index(4).is_err());
+    }
+
+    #[test]
+    fn vector_cursor_wraps() {
+        let mut v = Vector::new(3);
+        v.index(2).unwrap();
+        v.inc();
+        assert_eq!(v.cursor(), 0);
+        v.dec();
+        assert_eq!(v.cursor(), 2);
+    }
+
+    #[test]
+    fn assoc_array_direct_mapping() {
+        let mut a = AssocArray::new(4);
+        assert!(a.is_empty());
+        assert_eq!(a.insert(1, 100), None);
+        assert_eq!(a.lookup(1), Some(100));
+        // Key 5 maps to the same slot as key 1 (5 % 4 == 1): eviction.
+        assert_eq!(a.insert(5, 500), Some((1, 100)));
+        assert_eq!(a.lookup(5), Some(500));
+        assert_eq!(a.lookup(1), None);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn assoc_array_same_key_update_is_not_eviction() {
+        let mut a = AssocArray::new(4);
+        a.insert(2, 20);
+        assert_eq!(a.insert(2, 21), None);
+        assert_eq!(a.lookup(2), Some(21));
+    }
+}

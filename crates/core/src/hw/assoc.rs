@@ -1,0 +1,286 @@
+//! The `assoc. array` container with its random iterator.
+
+use crate::iface::RandomIterIface;
+use hdp_hdl::LogicVector;
+use hdp_sim::{Component, SignalBus, SignalId, SimError};
+
+/// Associative array over on-chip block RAM: a direct-mapped store
+/// with a tag compare, the classic silicon realisation of the Table 1
+/// `assoc. array` row (random input and output, no sequential
+/// traversal).
+///
+/// The random iterator's `pos` operand carries the **key**: `index`
+/// latches the current key; `write` binds it to `wdata`; `read` looks
+/// it up, raising the separate `found` output with `done` (a miss
+/// completes with `found` low — it is a result, not an error).
+/// `inc`/`dec` are meaningless for associative access and are
+/// rejected, matching the Table 1 row's empty sequential cells.
+#[derive(Debug)]
+pub struct AssocBram {
+    name: String,
+    width: usize,
+    it: RandomIterIface,
+    /// Hit/miss flag, valid with `done` on reads.
+    found: SignalId,
+    slots: Vec<Option<(u64, u64)>>,
+    key: u64,
+    completing: Option<AssocOp>,
+    fetched: Option<u64>,
+    hit: bool,
+    done_pulse: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AssocOp {
+    Read,
+    Write(u64),
+}
+
+impl AssocBram {
+    /// Creates an associative array of `capacity` slots holding
+    /// `width`-bit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        capacity: usize,
+        width: usize,
+        it: RandomIterIface,
+        found: SignalId,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            name: name.into(),
+            width,
+            it,
+            found,
+            slots: vec![None; capacity],
+            key: 0,
+            completing: None,
+            fetched: None,
+            hit: false,
+            done_pulse: false,
+        }
+    }
+
+    fn slot(&self, key: u64) -> usize {
+        (key % self.slots.len() as u64) as usize
+    }
+
+    /// Occupied slot count, for testbenches.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True if nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+}
+
+impl Component for AssocBram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let idle = self.completing.is_none();
+        bus.drive_u64(self.it.seq.can_read, u64::from(idle))?;
+        bus.drive_u64(self.it.seq.can_write, u64::from(idle))?;
+        bus.drive_u64(self.it.seq.done, u64::from(self.done_pulse))?;
+        bus.drive_u64(self.found, u64::from(self.hit))?;
+        match self.fetched {
+            Some(v) => bus.drive_u64(self.it.seq.rdata, v)?,
+            None => bus.drive(
+                self.it.seq.rdata,
+                LogicVector::unknown(self.width).map_err(SimError::from)?,
+            )?,
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        // Strobes still asserted while our `done` pulse is visible
+        // belong to the operation that just completed.
+        let done_visible = self.done_pulse;
+        self.done_pulse = false;
+        if done_visible {
+            return Ok(());
+        }
+        if let Some(op) = self.completing.take() {
+            let s = self.slot(self.key);
+            match op {
+                AssocOp::Read => match self.slots[s] {
+                    Some((k, v)) if k == self.key => {
+                        self.fetched = Some(v);
+                        self.hit = true;
+                    }
+                    _ => {
+                        self.fetched = None;
+                        self.hit = false;
+                    }
+                },
+                AssocOp::Write(v) => {
+                    self.slots[s] = Some((self.key, v));
+                    self.hit = true;
+                }
+            }
+            self.done_pulse = true;
+            return Ok(());
+        }
+        let inc = bus.read(self.it.seq.inc)?.to_u64() == Some(1);
+        let dec = bus.read(self.it.dec)?.to_u64() == Some(1);
+        if inc || dec {
+            return Err(SimError::Protocol {
+                component: self.name.clone(),
+                message: "sequential traversal of an associative array".into(),
+            });
+        }
+        let index = bus.read(self.it.index)?.to_u64() == Some(1);
+        let read = bus.read(self.it.seq.read)?.to_u64() == Some(1);
+        let write = bus.read(self.it.seq.write)?.to_u64() == Some(1);
+        if index {
+            self.key = bus.read_u64(self.it.pos, &self.name)?;
+            if !read && !write {
+                self.done_pulse = true;
+            }
+        }
+        if read && write {
+            return Err(SimError::Protocol {
+                component: self.name.clone(),
+                message: "simultaneous read and write".into(),
+            });
+        } else if read {
+            if index {
+                self.key = bus.read_u64(self.it.pos, &self.name)?;
+            }
+            self.completing = Some(AssocOp::Read);
+        } else if write {
+            if index {
+                self.key = bus.read_u64(self.it.pos, &self.name)?;
+            }
+            let v = bus.read_u64(self.it.seq.wdata, &self.name)?;
+            self.completing = Some(AssocOp::Write(v));
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.key = 0;
+        self.completing = None;
+        self.fetched = None;
+        self.hit = false;
+        self.done_pulse = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_sim::Simulator;
+
+    struct Rig {
+        sim: Simulator,
+        it: RandomIterIface,
+        found: SignalId,
+    }
+
+    fn rig(capacity: usize) -> Rig {
+        let mut sim = Simulator::new();
+        let it = RandomIterIface::alloc(&mut sim, "it", 16, 16).unwrap();
+        let found = sim.add_signal("it_found", 1).unwrap();
+        sim.add_component(AssocBram::new("dut", capacity, 16, it, found));
+        for s in [it.seq.read, it.seq.inc, it.seq.write, it.dec, it.index] {
+            sim.poke(s, 0).unwrap();
+        }
+        sim.poke(it.seq.wdata, 0).unwrap();
+        sim.poke(it.pos, 0).unwrap();
+        sim.reset().unwrap();
+        Rig { sim, it, found }
+    }
+
+    fn write(r: &mut Rig, key: u64, value: u64) {
+        r.sim.poke(r.it.pos, key).unwrap();
+        r.sim.poke(r.it.index, 1).unwrap();
+        r.sim.poke(r.it.seq.write, 1).unwrap();
+        r.sim.poke(r.it.seq.wdata, value).unwrap();
+        wait_done(r);
+        r.sim.poke(r.it.index, 0).unwrap();
+        r.sim.poke(r.it.seq.write, 0).unwrap();
+        r.sim.step().unwrap();
+    }
+
+    fn read(r: &mut Rig, key: u64) -> (Option<u64>, bool) {
+        r.sim.poke(r.it.pos, key).unwrap();
+        r.sim.poke(r.it.index, 1).unwrap();
+        r.sim.poke(r.it.seq.read, 1).unwrap();
+        wait_done(r);
+        let value = r.sim.peek(r.it.seq.rdata).unwrap().to_u64();
+        let hit = r.sim.peek(r.found).unwrap().to_u64() == Some(1);
+        r.sim.poke(r.it.index, 0).unwrap();
+        r.sim.poke(r.it.seq.read, 0).unwrap();
+        r.sim.step().unwrap();
+        (value, hit)
+    }
+
+    fn wait_done(r: &mut Rig) {
+        for _ in 0..20 {
+            r.sim.step().unwrap();
+            if r.sim.peek(r.it.seq.done).unwrap().to_u64() == Some(1) {
+                return;
+            }
+        }
+        panic!("op did not complete");
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut r = rig(8);
+        write(&mut r, 3, 300);
+        let (v, hit) = read(&mut r, 3);
+        assert!(hit);
+        assert_eq!(v, Some(300));
+    }
+
+    #[test]
+    fn miss_reports_not_found() {
+        let mut r = rig(8);
+        write(&mut r, 3, 300);
+        let (_, hit) = read(&mut r, 4);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn direct_mapped_eviction_matches_golden() {
+        let mut r = rig(4);
+        write(&mut r, 1, 100);
+        write(&mut r, 5, 500); // 5 % 4 == 1: evicts key 1
+        let (_, hit1) = read(&mut r, 1);
+        assert!(!hit1);
+        let (v5, hit5) = read(&mut r, 5);
+        assert!(hit5);
+        assert_eq!(v5, Some(500));
+        // The golden model agrees.
+        let mut g = crate::golden::AssocArray::new(4);
+        g.insert(1, 100);
+        g.insert(5, 500);
+        assert_eq!(g.lookup(1), None);
+        assert_eq!(g.lookup(5), Some(500));
+    }
+
+    #[test]
+    fn sequential_traversal_is_rejected() {
+        let mut r = rig(4);
+        r.sim.poke(r.it.seq.inc, 1).unwrap();
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+}

@@ -1,0 +1,39 @@
+//! Cycle-accurate hardware realisations of the basic component
+//! library.
+//!
+//! Each type here is a container *fused with its concrete iterator*,
+//! which is exactly what the paper's generator produces after the
+//! iterator wrapper dissolves ("iterators ... are only wrappers that
+//! will be dissolved at the time of synthesizing the design", §4). One
+//! struct exists per (container, physical target) pair, mirroring the
+//! metamodel specialisations of §3.4:
+//!
+//! | container | FIFO core | LIFO core | block RAM | external SRAM | 3-line buffer |
+//! |---|---|---|---|---|---|
+//! | read buffer | [`ReadBufferFifo`] | — | — | [`ReadBufferSram`] | [`ColumnBuffer`] |
+//! | write buffer | [`WriteBufferFifo`] | — | — | [`WriteBufferSram`] | — |
+//! | stack | — | [`StackLifo`] | — | [`StackSram`] | — |
+//! | vector | — | — | [`VectorBram`] | [`VectorSram`] | — |
+//! | assoc. array | — | — | [`AssocBram`] | — | — |
+//!
+//! [`ReadWidthAdapter`] / [`WriteWidthAdapter`] implement the §3.3
+//! pixel-format change (a 24-bit pixel over an 8-bit container in
+//! three consecutive accesses), and [`SramArbiter`] the shared-RAM
+//! arbitration the metaprogramming layer generates for containers
+//! sharing one external memory.
+
+mod adapter;
+mod arbiter;
+mod assoc;
+mod read_buffer;
+mod stack;
+mod vector;
+mod write_buffer;
+
+pub use adapter::{ReadWidthAdapter, WriteWidthAdapter};
+pub use arbiter::{ArbiterPolicy, SramArbiter};
+pub use assoc::AssocBram;
+pub use read_buffer::{ColumnBuffer, ReadBufferFifo, ReadBufferSram};
+pub use stack::{StackLifo, StackSram};
+pub use vector::{VectorBram, VectorSram};
+pub use write_buffer::{WriteBufferFifo, WriteBufferSram};

@@ -1,0 +1,652 @@
+//! The `rbuffer` container with its forward input iterator, over each
+//! physical target.
+
+use crate::iface::{ColumnIface, IterIface, SramPort, StreamIface};
+use hdp_hdl::LogicVector;
+use hdp_sim::{Component, SignalBus, SimError};
+use std::collections::VecDeque;
+
+/// Read buffer over an on-chip FIFO core — the Figure 4 component.
+///
+/// Upstream, a valid/data pixel stream pushes elements (the video
+/// decoder "pushes pixels whether or not the design is ready", so a
+/// push into a full buffer is an input overrun protocol error).
+/// Downstream it exposes the forward-input-iterator interface:
+/// `can_read` is the negated `empty` of the core, `rdata` shows the
+/// head element, `read`/`inc` complete in the same cycle. The iterator
+/// wrapper adds no logic at all, which is the paper's "negligible
+/// overhead" claim in miniature.
+#[derive(Debug)]
+pub struct ReadBufferFifo {
+    name: String,
+    depth: usize,
+    width: usize,
+    up: StreamIface,
+    it: IterIface,
+    data: VecDeque<u64>,
+}
+
+impl ReadBufferFifo {
+    /// Creates the container with `depth` elements of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        depth: usize,
+        width: usize,
+        up: StreamIface,
+        it: IterIface,
+    ) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        Self {
+            name: name.into(),
+            depth,
+            width,
+            up,
+            it,
+            data: VecDeque::new(),
+        }
+    }
+
+    /// Number of buffered elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no elements are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Component for ReadBufferFifo {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let can_read = !self.data.is_empty();
+        bus.drive_u64(self.it.can_read, u64::from(can_read))?;
+        bus.drive_u64(self.it.can_write, 0)?; // input iterator only
+        match self.data.front() {
+            Some(&head) => bus.drive_u64(self.it.rdata, head)?,
+            None => bus.drive(
+                self.it.rdata,
+                LogicVector::unknown(self.width).map_err(SimError::from)?,
+            )?,
+        }
+        let read = bus.read(self.it.read)?.to_u64() == Some(1);
+        let inc = bus.read(self.it.inc)?.to_u64() == Some(1);
+        bus.drive_u64(self.it.done, u64::from((read || inc) && can_read))?;
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let inc = bus.read(self.it.inc)?.to_u64() == Some(1);
+        if inc && !self.data.is_empty() {
+            self.data.pop_front();
+        }
+        let push = bus.read(self.up.valid)?.to_u64() == Some(1);
+        if push {
+            if self.data.len() >= self.depth {
+                return Err(SimError::Protocol {
+                    component: self.name.clone(),
+                    message: "input overrun: stream pushed into a full read buffer".into(),
+                });
+            }
+            let v = bus.read_u64(self.up.data, &self.name)?;
+            self.data.push_back(v);
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.data.clear();
+        Ok(())
+    }
+}
+
+/// The four-phase handshake progress of an SRAM-backed container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SramFsm {
+    Idle,
+    /// A write transaction (committing a pushed element) is in flight.
+    Writing,
+    /// A read transaction (fetching the head element) is in flight.
+    Reading,
+    /// Waiting one cycle for the controller to drop `ack`.
+    Release,
+}
+
+/// Read buffer over external static RAM — the Figure 5 component.
+///
+/// A circular buffer of `capacity` words starting at `base` in the
+/// external memory, managed by "a little finite state machine that
+/// controls memory access, as well as a few registers to store the
+/// begin and end pointers of the queue" (§3.4). Upstream pushes land
+/// in a small skid queue and drain to memory one transaction at a
+/// time; iterator reads fetch the head element. Pushes have priority
+/// — the video stream cannot wait, the algorithm can.
+#[derive(Debug)]
+pub struct ReadBufferSram {
+    name: String,
+    capacity: usize,
+    base: u64,
+    width: usize,
+    skid_depth: usize,
+    up: StreamIface,
+    it: IterIface,
+    mem: SramPort,
+    fsm: SramFsm,
+    head: u64,
+    tail: u64,
+    count: usize,
+    skid: VecDeque<u64>,
+    /// Fetched element presented on `rdata`.
+    fetched: Option<u64>,
+    /// `done` pulses this cycle.
+    done_pulse: bool,
+    /// The in-flight read should also advance the head (inc held).
+    reading_advances: bool,
+}
+
+impl ReadBufferSram {
+    /// Default skid-queue depth (absorbs pushes during a transaction).
+    pub const DEFAULT_SKID: usize = 4;
+
+    /// Creates the container over the SRAM master port `mem`, using
+    /// `capacity` words starting at address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        capacity: usize,
+        base: u64,
+        width: usize,
+        up: StreamIface,
+        it: IterIface,
+        mem: SramPort,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            name: name.into(),
+            capacity,
+            base,
+            width,
+            skid_depth: Self::DEFAULT_SKID,
+            up,
+            it,
+            mem,
+            fsm: SramFsm::Idle,
+            head: 0,
+            tail: 0,
+            count: 0,
+            skid: VecDeque::new(),
+            fetched: None,
+            done_pulse: false,
+            reading_advances: false,
+        }
+    }
+
+    /// Committed elements in memory (excluding the skid queue).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if no committed elements exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn addr(&self, index: u64) -> u64 {
+        self.base + index % self.capacity as u64
+    }
+}
+
+impl Component for ReadBufferSram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        bus.drive_u64(self.it.can_read, u64::from(self.count > 0))?;
+        bus.drive_u64(self.it.can_write, 0)?;
+        bus.drive_u64(self.it.done, u64::from(self.done_pulse))?;
+        match self.fetched {
+            Some(v) => bus.drive_u64(self.it.rdata, v)?,
+            None => bus.drive(
+                self.it.rdata,
+                LogicVector::unknown(self.width).map_err(SimError::from)?,
+            )?,
+        }
+        // Drive the memory port from the FSM state.
+        match self.fsm {
+            SramFsm::Idle | SramFsm::Release => {
+                bus.drive_u64(self.mem.req, 0)?;
+                bus.drive_u64(self.mem.we, 0)?;
+                bus.drive_u64(self.mem.addr, self.addr(self.head))?;
+                bus.drive_u64(self.mem.wdata, 0)?;
+            }
+            SramFsm::Writing => {
+                bus.drive_u64(self.mem.req, 1)?;
+                bus.drive_u64(self.mem.we, 1)?;
+                bus.drive_u64(self.mem.addr, self.addr(self.tail))?;
+                bus.drive_u64(
+                    self.mem.wdata,
+                    *self.skid.front().expect("writing implies skid data"),
+                )?;
+            }
+            SramFsm::Reading => {
+                bus.drive_u64(self.mem.req, 1)?;
+                bus.drive_u64(self.mem.we, 0)?;
+                bus.drive_u64(self.mem.addr, self.addr(self.head))?;
+                bus.drive_u64(self.mem.wdata, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        self.done_pulse = false;
+        // Absorb upstream pushes into the skid queue.
+        if bus.read(self.up.valid)?.to_u64() == Some(1) {
+            if self.skid.len() >= self.skid_depth {
+                return Err(SimError::Protocol {
+                    component: self.name.clone(),
+                    message: "input overrun: skid queue full (video faster than memory)".into(),
+                });
+            }
+            self.skid.push_back(bus.read_u64(self.up.data, &self.name)?);
+        }
+        let ack = bus.read(self.mem.ack)?.to_u64() == Some(1);
+        let read_op = bus.read(self.it.read)?.to_u64() == Some(1);
+        let inc_op = bus.read(self.it.inc)?.to_u64() == Some(1);
+        match self.fsm {
+            SramFsm::Idle => {
+                if !self.skid.is_empty() {
+                    if self.count >= self.capacity {
+                        return Err(SimError::Protocol {
+                            component: self.name.clone(),
+                            message: "buffer overflow: circular buffer full".into(),
+                        });
+                    }
+                    self.fsm = SramFsm::Writing;
+                } else if (read_op || inc_op) && self.count > 0 {
+                    self.reading_advances = inc_op;
+                    self.fsm = SramFsm::Reading;
+                }
+            }
+            SramFsm::Writing => {
+                if ack {
+                    self.skid.pop_front();
+                    self.tail = self.tail.wrapping_add(1);
+                    self.count += 1;
+                    self.fsm = SramFsm::Release;
+                }
+            }
+            SramFsm::Reading => {
+                if ack {
+                    let v = bus.read_u64(self.mem.rdata, &self.name)?;
+                    self.fetched = Some(v);
+                    self.done_pulse = true;
+                    if self.reading_advances {
+                        self.head = self.head.wrapping_add(1);
+                        self.count -= 1;
+                    }
+                    self.fsm = SramFsm::Release;
+                }
+            }
+            SramFsm::Release => {
+                self.fsm = SramFsm::Idle;
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.fsm = SramFsm::Idle;
+        self.head = 0;
+        self.tail = 0;
+        self.count = 0;
+        self.skid.clear();
+        self.fetched = None;
+        self.done_pulse = false;
+        self.reading_advances = false;
+        Ok(())
+    }
+}
+
+/// Read buffer over the 3-line buffer, exposing the specialised
+/// *column iterator* of the blur example: every access yields three
+/// vertically adjacent pixels (§4).
+///
+/// The window logic is identical to
+/// [`hdp_sim::devices::LineBuffer3`]; this type owns it and presents
+/// the [`ColumnIface`] iterator on top, so the blur algorithm never
+/// sees line-buffer pins.
+#[derive(Debug)]
+pub struct ColumnBuffer {
+    name: String,
+    line_width: usize,
+    data_width: usize,
+    up: StreamIface,
+    it: ColumnIface,
+    window: VecDeque<u64>,
+    pushed: u64,
+    popped: u64,
+}
+
+impl ColumnBuffer {
+    /// Creates the container for lines of `line_width` pixels of
+    /// `data_width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_width` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        line_width: usize,
+        data_width: usize,
+        up: StreamIface,
+        it: ColumnIface,
+    ) -> Self {
+        assert!(line_width > 0, "line width must be positive");
+        Self {
+            name: name.into(),
+            line_width,
+            data_width,
+            up,
+            it,
+            window: VecDeque::new(),
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        2 * self.line_width + 1
+    }
+
+    fn column_ready(&self) -> bool {
+        self.pushed > self.popped + 2 * self.line_width as u64
+    }
+}
+
+impl Component for ColumnBuffer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        bus.drive_u64(self.it.avail, u64::from(self.column_ready()))?;
+        if self.column_ready() {
+            let w = self.line_width;
+            bus.drive_u64(self.it.top, self.window[0])?;
+            bus.drive_u64(self.it.mid, self.window[w])?;
+            bus.drive_u64(self.it.bot, self.window[2 * w])?;
+        } else {
+            let x = LogicVector::unknown(self.data_width).map_err(SimError::from)?;
+            bus.drive(self.it.top, x)?;
+            bus.drive(self.it.mid, x)?;
+            bus.drive(self.it.bot, x)?;
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        if bus.read(self.it.inc)?.to_u64() == Some(1) {
+            if !self.column_ready() {
+                return Err(SimError::Protocol {
+                    component: self.name.clone(),
+                    message: "inc with no column available".into(),
+                });
+            }
+            self.window.pop_front();
+            self.popped += 1;
+        }
+        if bus.read(self.up.valid)?.to_u64() == Some(1) {
+            if self.window.len() >= self.capacity() {
+                return Err(SimError::Protocol {
+                    component: self.name.clone(),
+                    message: "input overrun: line window full".into(),
+                });
+            }
+            self.window
+                .push_back(bus.read_u64(self.up.data, &self.name)?);
+            self.pushed += 1;
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.window.clear();
+        self.pushed = 0;
+        self.popped = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_sim::Simulator;
+
+    struct FifoRig {
+        sim: Simulator,
+        up: StreamIface,
+        it: IterIface,
+    }
+
+    fn fifo_rig(depth: usize) -> FifoRig {
+        let mut sim = Simulator::new();
+        let up = StreamIface::alloc(&mut sim, "up", 8).unwrap();
+        let it = IterIface::alloc(&mut sim, "it", 8).unwrap();
+        sim.add_component(ReadBufferFifo::new("dut", depth, 8, up, it));
+        sim.poke(up.valid, 0).unwrap();
+        sim.poke(up.data, 0).unwrap();
+        sim.poke(it.read, 0).unwrap();
+        sim.poke(it.inc, 0).unwrap();
+        sim.poke(it.write, 0).unwrap();
+        sim.poke(it.wdata, 0).unwrap();
+        sim.reset().unwrap();
+        FifoRig { sim, up, it }
+    }
+
+    fn push(r: &mut FifoRig, v: u64) {
+        r.sim.poke(r.up.valid, 1).unwrap();
+        r.sim.poke(r.up.data, v).unwrap();
+        r.sim.step().unwrap();
+        r.sim.poke(r.up.valid, 0).unwrap();
+    }
+
+    #[test]
+    fn fifo_backed_iterator_reads_in_order() {
+        let mut r = fifo_rig(8);
+        for v in [5u64, 6, 7] {
+            push(&mut r, v);
+        }
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.it.can_read).unwrap().to_u64(), Some(1));
+        let mut seen = Vec::new();
+        r.sim.poke(r.it.read, 1).unwrap();
+        r.sim.poke(r.it.inc, 1).unwrap();
+        for _ in 0..3 {
+            r.sim.settle().unwrap();
+            assert_eq!(r.sim.peek(r.it.done).unwrap().to_u64(), Some(1));
+            seen.push(r.sim.peek(r.it.rdata).unwrap().to_u64().unwrap());
+            r.sim.step().unwrap();
+        }
+        assert_eq!(seen, vec![5, 6, 7]);
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.it.can_read).unwrap().to_u64(), Some(0));
+        assert_eq!(r.sim.peek(r.it.done).unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn read_without_inc_peeks() {
+        let mut r = fifo_rig(8);
+        push(&mut r, 42);
+        r.sim.poke(r.it.read, 1).unwrap();
+        r.sim.step().unwrap();
+        r.sim.step().unwrap();
+        // Still there: no inc, no pop.
+        assert_eq!(r.sim.peek(r.it.rdata).unwrap().to_u64(), Some(42));
+        assert_eq!(r.sim.peek(r.it.can_read).unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn overrun_is_protocol_error() {
+        let mut r = fifo_rig(1);
+        push(&mut r, 1);
+        r.sim.poke(r.up.valid, 1).unwrap();
+        r.sim.poke(r.up.data, 2).unwrap();
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn cannot_write_through_input_iterator() {
+        let r = fifo_rig(4);
+        // can_write is constantly 0: the Table 1 read-buffer row has no
+        // output role.
+        assert_eq!(r.sim.peek(r.it.can_write).unwrap().to_u64(), Some(0));
+    }
+
+    struct SramRig {
+        sim: Simulator,
+        up: StreamIface,
+        it: IterIface,
+    }
+
+    fn sram_rig(latency: u32) -> SramRig {
+        let mut sim = Simulator::new();
+        let up = StreamIface::alloc(&mut sim, "up", 8).unwrap();
+        let it = IterIface::alloc(&mut sim, "it", 8).unwrap();
+        let mem = SramPort::alloc(&mut sim, "mem", 16, 8).unwrap();
+        sim.add_component(mem.device("u_sram", 16, 8, latency));
+        sim.add_component(ReadBufferSram::new("dut", 64, 0, 8, up, it, mem));
+        sim.poke(up.valid, 0).unwrap();
+        sim.poke(up.data, 0).unwrap();
+        sim.poke(it.read, 0).unwrap();
+        sim.poke(it.inc, 0).unwrap();
+        sim.poke(it.write, 0).unwrap();
+        sim.poke(it.wdata, 0).unwrap();
+        sim.reset().unwrap();
+        SramRig { sim, up, it }
+    }
+
+    #[test]
+    fn sram_backed_iterator_round_trip() {
+        let mut r = sram_rig(2);
+        // Push three pixels, spaced out so the memory keeps up.
+        for v in [11u64, 22, 33] {
+            r.sim.poke(r.up.valid, 1).unwrap();
+            r.sim.poke(r.up.data, v).unwrap();
+            r.sim.step().unwrap();
+            r.sim.poke(r.up.valid, 0).unwrap();
+            r.sim.run(6).unwrap(); // let the write transaction finish
+        }
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.it.can_read).unwrap().to_u64(), Some(1));
+        // Stream out with read+inc held.
+        r.sim.poke(r.it.read, 1).unwrap();
+        r.sim.poke(r.it.inc, 1).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..60 {
+            r.sim.step().unwrap();
+            if r.sim.peek(r.it.done).unwrap().to_u64() == Some(1) {
+                seen.push(r.sim.peek(r.it.rdata).unwrap().to_u64().unwrap());
+                if seen.len() == 3 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(seen, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn sram_reads_take_latency_cycles() {
+        let mut fast = sram_rig(1);
+        let mut slow = sram_rig(6);
+        for r in [&mut fast, &mut slow] {
+            r.sim.poke(r.up.valid, 1).unwrap();
+            r.sim.poke(r.up.data, 9).unwrap();
+            r.sim.step().unwrap();
+            r.sim.poke(r.up.valid, 0).unwrap();
+            r.sim.run(16).unwrap();
+            r.sim.poke(r.it.read, 1).unwrap();
+        }
+        let cycles = |r: &mut SramRig| -> u64 {
+            let mut n = 0;
+            for _ in 0..40 {
+                r.sim.step().unwrap();
+                n += 1;
+                if r.sim.peek(r.it.done).unwrap().to_u64() == Some(1) {
+                    return n;
+                }
+            }
+            panic!("no done");
+        };
+        let f = cycles(&mut fast);
+        let s = cycles(&mut slow);
+        assert!(s > f, "higher latency must take longer ({f} vs {s})");
+    }
+
+    #[test]
+    fn skid_overrun_is_protocol_error() {
+        // Latency so high that back-to-back pushes overflow the skid.
+        let mut r = sram_rig(20);
+        r.sim.poke(r.up.valid, 1).unwrap();
+        r.sim.poke(r.up.data, 1).unwrap();
+        let mut failed = false;
+        for _ in 0..20 {
+            match r.sim.step() {
+                Ok(()) => {}
+                Err(SimError::Protocol { message, .. }) => {
+                    assert!(message.contains("overrun"));
+                    failed = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(failed, "continuous pushes at latency 20 must overrun");
+    }
+
+    #[test]
+    fn column_buffer_presents_columns() {
+        let mut sim = Simulator::new();
+        let up = StreamIface::alloc(&mut sim, "up", 8).unwrap();
+        let it = ColumnIface::alloc(&mut sim, "col", 8).unwrap();
+        sim.add_component(ColumnBuffer::new("dut", 3, 8, up, it));
+        sim.poke(up.valid, 0).unwrap();
+        sim.poke(up.data, 0).unwrap();
+        sim.poke(it.inc, 0).unwrap();
+        sim.reset().unwrap();
+        // Push 7 pixels = 2*3+1: first column ready.
+        for i in 0..7u64 {
+            sim.poke(up.valid, 1).unwrap();
+            sim.poke(up.data, i).unwrap();
+            sim.step().unwrap();
+        }
+        sim.poke(up.valid, 0).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek(it.avail).unwrap().to_u64(), Some(1));
+        assert_eq!(sim.peek(it.top).unwrap().to_u64(), Some(0));
+        assert_eq!(sim.peek(it.mid).unwrap().to_u64(), Some(3));
+        assert_eq!(sim.peek(it.bot).unwrap().to_u64(), Some(6));
+    }
+}

@@ -1,0 +1,453 @@
+//! The `stack` container: forward input iterator (push side) and
+//! backward output iterator (pop side), per the Table 1 row.
+
+use crate::iface::{IterIface, SramPort};
+use hdp_hdl::LogicVector;
+use hdp_sim::{Component, SignalBus, SimError};
+
+/// Stack over an on-chip LIFO core.
+///
+/// The single [`IterIface`] carries both roles of the Table 1 stack
+/// row: `write`+`inc` pushes (the forward input iterator), `read`+`dec`
+/// pops (the backward output iterator), `read` alone peeks the top.
+#[derive(Debug)]
+pub struct StackLifo {
+    name: String,
+    depth: usize,
+    width: usize,
+    it: IterIface,
+    dec: hdp_sim::SignalId,
+    data: Vec<u64>,
+}
+
+impl StackLifo {
+    /// Creates the stack with `depth` elements of `width` bits. `dec`
+    /// is the backward-movement strobe of the pop iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        depth: usize,
+        width: usize,
+        it: IterIface,
+        dec: hdp_sim::SignalId,
+    ) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        Self {
+            name: name.into(),
+            depth,
+            width,
+            it,
+            dec,
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of stored elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no elements are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Component for StackLifo {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let can_read = !self.data.is_empty();
+        let can_write = self.data.len() < self.depth;
+        bus.drive_u64(self.it.can_read, u64::from(can_read))?;
+        bus.drive_u64(self.it.can_write, u64::from(can_write))?;
+        match self.data.last() {
+            Some(&top) => bus.drive_u64(self.it.rdata, top)?,
+            None => bus.drive(
+                self.it.rdata,
+                LogicVector::unknown(self.width).map_err(SimError::from)?,
+            )?,
+        }
+        let write = bus.read(self.it.write)?.to_u64() == Some(1);
+        let read = bus.read(self.it.read)?.to_u64() == Some(1);
+        let dec = bus.read(self.dec)?.to_u64() == Some(1);
+        let done = (write && can_write) || ((read || dec) && can_read);
+        bus.drive_u64(self.it.done, u64::from(done))?;
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let write = bus.read(self.it.write)?.to_u64() == Some(1);
+        let inc = bus.read(self.it.inc)?.to_u64() == Some(1);
+        let dec = bus.read(self.dec)?.to_u64() == Some(1);
+        if write && inc && dec {
+            return Err(SimError::Protocol {
+                component: self.name.clone(),
+                message: "simultaneous push and pop on a stack iterator".into(),
+            });
+        }
+        if dec {
+            if self.data.pop().is_none() {
+                return Err(SimError::Protocol {
+                    component: self.name.clone(),
+                    message: "dec (pop) on empty stack".into(),
+                });
+            }
+        } else if write && inc {
+            if self.data.len() >= self.depth {
+                return Err(SimError::Protocol {
+                    component: self.name.clone(),
+                    message: "write (push) on full stack".into(),
+                });
+            }
+            self.data.push(bus.read_u64(self.it.wdata, &self.name)?);
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.data.clear();
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StackFsm {
+    Idle,
+    Pushing,
+    Popping,
+    Release,
+}
+
+/// Stack over external static RAM: a stack-pointer register plus the
+/// req/ack transaction FSM of §3.4.
+#[derive(Debug)]
+pub struct StackSram {
+    name: String,
+    capacity: usize,
+    base: u64,
+    width: usize,
+    it: IterIface,
+    dec: hdp_sim::SignalId,
+    mem: SramPort,
+    fsm: StackFsm,
+    sp: u64,
+    pending_push: Option<u64>,
+    fetched: Option<u64>,
+    done_pulse: bool,
+}
+
+impl StackSram {
+    /// Creates the stack over the SRAM master port `mem`, using
+    /// `capacity` words starting at address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        capacity: usize,
+        base: u64,
+        width: usize,
+        it: IterIface,
+        dec: hdp_sim::SignalId,
+        mem: SramPort,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            name: name.into(),
+            capacity,
+            base,
+            width,
+            it,
+            dec,
+            mem,
+            fsm: StackFsm::Idle,
+            sp: 0,
+            pending_push: None,
+            fetched: None,
+            done_pulse: false,
+        }
+    }
+
+    /// Number of stored elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sp as usize
+    }
+
+    /// True if no elements are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sp == 0
+    }
+}
+
+impl Component for StackSram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let can_read = self.sp > 0 && self.fsm == StackFsm::Idle;
+        let can_write = (self.sp as usize) < self.capacity
+            && self.pending_push.is_none()
+            && self.fsm == StackFsm::Idle;
+        bus.drive_u64(self.it.can_read, u64::from(can_read))?;
+        bus.drive_u64(self.it.can_write, u64::from(can_write))?;
+        bus.drive_u64(self.it.done, u64::from(self.done_pulse))?;
+        match self.fetched {
+            Some(v) => bus.drive_u64(self.it.rdata, v)?,
+            None => bus.drive(
+                self.it.rdata,
+                LogicVector::unknown(self.width).map_err(SimError::from)?,
+            )?,
+        }
+        match self.fsm {
+            StackFsm::Idle | StackFsm::Release => {
+                bus.drive_u64(self.mem.req, 0)?;
+                bus.drive_u64(self.mem.we, 0)?;
+                bus.drive_u64(self.mem.addr, self.base)?;
+                bus.drive_u64(self.mem.wdata, 0)?;
+            }
+            StackFsm::Pushing => {
+                bus.drive_u64(self.mem.req, 1)?;
+                bus.drive_u64(self.mem.we, 1)?;
+                bus.drive_u64(self.mem.addr, self.base + self.sp)?;
+                bus.drive_u64(
+                    self.mem.wdata,
+                    self.pending_push.expect("pushing implies pending"),
+                )?;
+            }
+            StackFsm::Popping => {
+                bus.drive_u64(self.mem.req, 1)?;
+                bus.drive_u64(self.mem.we, 0)?;
+                bus.drive_u64(self.mem.addr, self.base + self.sp - 1)?;
+                bus.drive_u64(self.mem.wdata, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        self.done_pulse = false;
+        let write = bus.read(self.it.write)?.to_u64() == Some(1);
+        let inc = bus.read(self.it.inc)?.to_u64() == Some(1);
+        let read = bus.read(self.it.read)?.to_u64() == Some(1);
+        let dec = bus.read(self.dec)?.to_u64() == Some(1);
+        let ack = bus.read(self.mem.ack)?.to_u64() == Some(1);
+        match self.fsm {
+            StackFsm::Idle => {
+                if write && inc && (self.sp as usize) < self.capacity {
+                    self.pending_push = Some(bus.read_u64(self.it.wdata, &self.name)?);
+                    self.fsm = StackFsm::Pushing;
+                } else if (read || dec) && self.sp > 0 {
+                    self.fsm = StackFsm::Popping;
+                }
+            }
+            StackFsm::Pushing => {
+                if ack {
+                    self.pending_push = None;
+                    self.sp += 1;
+                    self.done_pulse = true;
+                    self.fsm = StackFsm::Release;
+                }
+            }
+            StackFsm::Popping => {
+                if ack {
+                    self.fetched = Some(bus.read_u64(self.mem.rdata, &self.name)?);
+                    if dec {
+                        self.sp -= 1;
+                    }
+                    self.done_pulse = true;
+                    self.fsm = StackFsm::Release;
+                }
+            }
+            StackFsm::Release => {
+                self.fsm = StackFsm::Idle;
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.fsm = StackFsm::Idle;
+        self.sp = 0;
+        self.pending_push = None;
+        self.fetched = None;
+        self.done_pulse = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_sim::{SignalId, Simulator};
+
+    struct Rig {
+        sim: Simulator,
+        it: IterIface,
+        dec: SignalId,
+    }
+
+    fn lifo_rig(depth: usize) -> Rig {
+        let mut sim = Simulator::new();
+        let it = IterIface::alloc(&mut sim, "it", 8).unwrap();
+        let dec = sim.add_signal("it_dec", 1).unwrap();
+        sim.add_component(StackLifo::new("dut", depth, 8, it, dec));
+        for s in [it.read, it.inc, it.write, dec] {
+            sim.poke(s, 0).unwrap();
+        }
+        sim.poke(it.wdata, 0).unwrap();
+        sim.reset().unwrap();
+        Rig { sim, it, dec }
+    }
+
+    fn sram_rig(latency: u32) -> Rig {
+        let mut sim = Simulator::new();
+        let it = IterIface::alloc(&mut sim, "it", 8).unwrap();
+        let dec = sim.add_signal("it_dec", 1).unwrap();
+        let mem = SramPort::alloc(&mut sim, "mem", 16, 8).unwrap();
+        sim.add_component(mem.device("u_sram", 16, 8, latency));
+        sim.add_component(StackSram::new("dut", 32, 0, 8, it, dec, mem));
+        for s in [it.read, it.inc, it.write, dec] {
+            sim.poke(s, 0).unwrap();
+        }
+        sim.poke(it.wdata, 0).unwrap();
+        sim.reset().unwrap();
+        Rig { sim, it, dec }
+    }
+
+    /// Asserts strobes, waits for the settled pre-edge `done`, commits
+    /// the edge, then releases — the way an engine FSM sequences ops.
+    fn push_blocking(r: &mut Rig, v: u64) {
+        r.sim.poke(r.it.write, 1).unwrap();
+        r.sim.poke(r.it.inc, 1).unwrap();
+        r.sim.poke(r.it.wdata, v).unwrap();
+        for _ in 0..40 {
+            r.sim.settle().unwrap();
+            if r.sim.peek(r.it.done).unwrap().to_u64() == Some(1) {
+                r.sim.step().unwrap(); // commit the push
+                r.sim.poke(r.it.write, 0).unwrap();
+                r.sim.poke(r.it.inc, 0).unwrap();
+                r.sim.step().unwrap();
+                return;
+            }
+            r.sim.step().unwrap();
+        }
+        panic!("push did not complete");
+    }
+
+    fn pop_blocking(r: &mut Rig) -> u64 {
+        r.sim.poke(r.it.read, 1).unwrap();
+        r.sim.poke(r.dec, 1).unwrap();
+        for _ in 0..40 {
+            r.sim.settle().unwrap();
+            if r.sim.peek(r.it.done).unwrap().to_u64() == Some(1) {
+                // Sample the element before the edge that commits the
+                // pop (for the combinational LIFO core the top changes
+                // right at the edge).
+                let v = r.sim.peek(r.it.rdata).unwrap().to_u64().unwrap();
+                r.sim.step().unwrap();
+                r.sim.poke(r.it.read, 0).unwrap();
+                r.sim.poke(r.dec, 0).unwrap();
+                r.sim.step().unwrap();
+                return v;
+            }
+            r.sim.step().unwrap();
+        }
+        panic!("pop did not complete");
+    }
+
+    #[test]
+    fn lifo_stack_reverses_order() {
+        let mut r = lifo_rig(8);
+        for v in [1u64, 2, 3] {
+            push_blocking(&mut r, v);
+        }
+        assert_eq!(pop_blocking(&mut r), 3);
+        assert_eq!(pop_blocking(&mut r), 2);
+        assert_eq!(pop_blocking(&mut r), 1);
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.it.can_read).unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn sram_stack_reverses_order() {
+        let mut r = sram_rig(2);
+        for v in [10u64, 20, 30] {
+            push_blocking(&mut r, v);
+        }
+        assert_eq!(pop_blocking(&mut r), 30);
+        assert_eq!(pop_blocking(&mut r), 20);
+        assert_eq!(pop_blocking(&mut r), 10);
+    }
+
+    #[test]
+    fn lifo_peek_does_not_pop() {
+        let mut r = lifo_rig(8);
+        push_blocking(&mut r, 77);
+        r.sim.poke(r.it.read, 1).unwrap();
+        r.sim.run(3).unwrap();
+        r.sim.poke(r.it.read, 0).unwrap();
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.it.can_read).unwrap().to_u64(), Some(1));
+        assert_eq!(pop_blocking(&mut r), 77);
+    }
+
+    #[test]
+    fn lifo_pop_on_empty_is_error() {
+        let mut r = lifo_rig(4);
+        r.sim.poke(r.dec, 1).unwrap();
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn lifo_simultaneous_push_pop_is_error() {
+        let mut r = lifo_rig(4);
+        push_blocking(&mut r, 1);
+        r.sim.poke(r.it.write, 1).unwrap();
+        r.sim.poke(r.it.inc, 1).unwrap();
+        r.sim.poke(r.dec, 1).unwrap();
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn sram_stack_peek_preserves_depth() {
+        let mut r = sram_rig(1);
+        push_blocking(&mut r, 5);
+        push_blocking(&mut r, 6);
+        // Peek: read without dec.
+        r.sim.poke(r.it.read, 1).unwrap();
+        let mut peeked = None;
+        for _ in 0..20 {
+            r.sim.step().unwrap();
+            if r.sim.peek(r.it.done).unwrap().to_u64() == Some(1) {
+                peeked = r.sim.peek(r.it.rdata).unwrap().to_u64();
+                break;
+            }
+        }
+        r.sim.poke(r.it.read, 0).unwrap();
+        r.sim.step().unwrap();
+        assert_eq!(peeked, Some(6));
+        assert_eq!(pop_blocking(&mut r), 6);
+        assert_eq!(pop_blocking(&mut r), 5);
+    }
+}

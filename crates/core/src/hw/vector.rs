@@ -1,0 +1,515 @@
+//! The `vector` container with its random iterator.
+
+use crate::iface::{RandomIterIface, SramPort};
+use hdp_hdl::LogicVector;
+use hdp_sim::{Component, SignalBus, SimError};
+
+/// Which access a multi-cycle vector operation is performing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VecOp {
+    Read,
+    Write(u64),
+}
+
+/// Vector over on-chip block RAM with a full random iterator: `index`
+/// sets the position register, `inc`/`dec` move it (wrapping),
+/// `read`/`write` access the element under it with the one-cycle
+/// latency of a synchronous Block SelectRAM.
+///
+/// `index`, `inc` and `dec` are positional operations and complete
+/// immediately (pure register updates); `read`/`write` pulse `done`
+/// on the following cycle. A movement strobed together with an access
+/// applies *after* the access (post-increment semantics), which is
+/// what lets `read`+`inc` stream through the vector.
+#[derive(Debug)]
+pub struct VectorBram {
+    name: String,
+    width: usize,
+    it: RandomIterIface,
+    mem: Vec<Option<u64>>,
+    cursor: u64,
+    /// Access captured last edge, completing this cycle.
+    completing: Option<VecOp>,
+    fetched: Option<u64>,
+    done_pulse: bool,
+}
+
+impl VectorBram {
+    /// Creates a vector of `capacity` elements of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        capacity: usize,
+        width: usize,
+        it: RandomIterIface,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            name: name.into(),
+            width,
+            it,
+            mem: vec![None; capacity],
+            cursor: 0,
+            completing: None,
+            fetched: None,
+            done_pulse: false,
+        }
+    }
+
+    /// The element capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// The current cursor position.
+    #[must_use]
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Backdoor read for testbenches.
+    #[must_use]
+    pub fn word(&self, index: usize) -> Option<u64> {
+        self.mem.get(index).copied().flatten()
+    }
+}
+
+impl Component for VectorBram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let idle = self.completing.is_none();
+        bus.drive_u64(self.it.seq.can_read, u64::from(idle))?;
+        bus.drive_u64(self.it.seq.can_write, u64::from(idle))?;
+        bus.drive_u64(self.it.seq.done, u64::from(self.done_pulse))?;
+        match self.fetched {
+            Some(v) => bus.drive_u64(self.it.seq.rdata, v)?,
+            None => bus.drive(
+                self.it.seq.rdata,
+                LogicVector::unknown(self.width).map_err(SimError::from)?,
+            )?,
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        // Strobes still asserted while our `done` pulse is visible
+        // belong to the operation that just completed.
+        let done_visible = self.done_pulse;
+        self.done_pulse = false;
+        if done_visible {
+            return Ok(());
+        }
+        // Complete the access captured on the previous edge.
+        if let Some(op) = self.completing.take() {
+            match op {
+                VecOp::Read => {
+                    self.fetched = self.mem[self.cursor as usize];
+                    if self.fetched.is_none() {
+                        return Err(SimError::Protocol {
+                            component: self.name.clone(),
+                            message: format!("read of uninitialised element {}", self.cursor),
+                        });
+                    }
+                }
+                VecOp::Write(v) => self.mem[self.cursor as usize] = Some(v),
+            }
+            self.done_pulse = true;
+            // Post-access movement.
+            self.apply_movement(bus)?;
+            return Ok(());
+        }
+        // Positional operations apply immediately.
+        let index = bus.read(self.it.index)?.to_u64() == Some(1);
+        let read = bus.read(self.it.seq.read)?.to_u64() == Some(1);
+        let write = bus.read(self.it.seq.write)?.to_u64() == Some(1);
+        if index {
+            let pos = bus.read_u64(self.it.pos, &self.name)?;
+            if pos as usize >= self.mem.len() {
+                return Err(SimError::Protocol {
+                    component: self.name.clone(),
+                    message: format!("index {pos} out of range {}", self.mem.len()),
+                });
+            }
+            self.cursor = pos;
+            self.done_pulse = true;
+        } else if read && write {
+            return Err(SimError::Protocol {
+                component: self.name.clone(),
+                message: "simultaneous read and write".into(),
+            });
+        } else if read {
+            self.completing = Some(VecOp::Read);
+        } else if write {
+            let v = bus.read_u64(self.it.seq.wdata, &self.name)?;
+            self.completing = Some(VecOp::Write(v));
+        } else {
+            // Bare movement.
+            self.apply_movement(bus)?;
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.cursor = 0;
+        self.completing = None;
+        self.fetched = None;
+        self.done_pulse = false;
+        // Block RAM contents survive reset.
+        Ok(())
+    }
+}
+
+impl VectorBram {
+    fn apply_movement(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let inc = bus.read(self.it.seq.inc)?.to_u64() == Some(1);
+        let dec = bus.read(self.it.dec)?.to_u64() == Some(1);
+        let n = self.mem.len() as u64;
+        if inc && !dec {
+            self.cursor = (self.cursor + 1) % n;
+        } else if dec && !inc {
+            self.cursor = (self.cursor + n - 1) % n;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VsFsm {
+    Idle,
+    Access(VecOp),
+    Release,
+}
+
+/// Vector over external static RAM: the same random iterator, with
+/// each `read`/`write` becoming a req/ack transaction of the
+/// configured latency.
+#[derive(Debug)]
+pub struct VectorSram {
+    name: String,
+    capacity: usize,
+    base: u64,
+    width: usize,
+    it: RandomIterIface,
+    mem: SramPort,
+    fsm: VsFsm,
+    cursor: u64,
+    fetched: Option<u64>,
+    done_pulse: bool,
+}
+
+impl VectorSram {
+    /// Creates the vector over the SRAM master port `mem`, using
+    /// `capacity` words starting at address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        capacity: usize,
+        base: u64,
+        width: usize,
+        it: RandomIterIface,
+        mem: SramPort,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            name: name.into(),
+            capacity,
+            base,
+            width,
+            it,
+            mem,
+            fsm: VsFsm::Idle,
+            cursor: 0,
+            fetched: None,
+            done_pulse: false,
+        }
+    }
+
+    /// The current cursor position.
+    #[must_use]
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+}
+
+impl Component for VectorSram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let idle = self.fsm == VsFsm::Idle;
+        bus.drive_u64(self.it.seq.can_read, u64::from(idle))?;
+        bus.drive_u64(self.it.seq.can_write, u64::from(idle))?;
+        bus.drive_u64(self.it.seq.done, u64::from(self.done_pulse))?;
+        match self.fetched {
+            Some(v) => bus.drive_u64(self.it.seq.rdata, v)?,
+            None => bus.drive(
+                self.it.seq.rdata,
+                LogicVector::unknown(self.width).map_err(SimError::from)?,
+            )?,
+        }
+        match self.fsm {
+            VsFsm::Idle | VsFsm::Release => {
+                bus.drive_u64(self.mem.req, 0)?;
+                bus.drive_u64(self.mem.we, 0)?;
+                bus.drive_u64(self.mem.addr, self.base + self.cursor)?;
+                bus.drive_u64(self.mem.wdata, 0)?;
+            }
+            VsFsm::Access(op) => {
+                bus.drive_u64(self.mem.req, 1)?;
+                bus.drive_u64(self.mem.addr, self.base + self.cursor)?;
+                match op {
+                    VecOp::Read => {
+                        bus.drive_u64(self.mem.we, 0)?;
+                        bus.drive_u64(self.mem.wdata, 0)?;
+                    }
+                    VecOp::Write(v) => {
+                        bus.drive_u64(self.mem.we, 1)?;
+                        bus.drive_u64(self.mem.wdata, v)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let done_visible = self.done_pulse;
+        self.done_pulse = false;
+        let ack = bus.read(self.mem.ack)?.to_u64() == Some(1);
+        match self.fsm {
+            VsFsm::Idle if done_visible => {}
+            VsFsm::Idle => {
+                let index = bus.read(self.it.index)?.to_u64() == Some(1);
+                let read = bus.read(self.it.seq.read)?.to_u64() == Some(1);
+                let write = bus.read(self.it.seq.write)?.to_u64() == Some(1);
+                if index {
+                    let pos = bus.read_u64(self.it.pos, &self.name)?;
+                    if pos as usize >= self.capacity {
+                        return Err(SimError::Protocol {
+                            component: self.name.clone(),
+                            message: format!("index {pos} out of range {}", self.capacity),
+                        });
+                    }
+                    self.cursor = pos;
+                    self.done_pulse = true;
+                } else if read {
+                    self.fsm = VsFsm::Access(VecOp::Read);
+                } else if write {
+                    let v = bus.read_u64(self.it.seq.wdata, &self.name)?;
+                    self.fsm = VsFsm::Access(VecOp::Write(v));
+                } else {
+                    self.apply_movement(bus)?;
+                }
+            }
+            VsFsm::Access(op) => {
+                if ack {
+                    if let VecOp::Read = op {
+                        self.fetched = Some(bus.read_u64(self.mem.rdata, &self.name)?);
+                    }
+                    self.done_pulse = true;
+                    self.apply_movement(bus)?;
+                    self.fsm = VsFsm::Release;
+                }
+            }
+            VsFsm::Release => self.fsm = VsFsm::Idle,
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.fsm = VsFsm::Idle;
+        self.cursor = 0;
+        self.fetched = None;
+        self.done_pulse = false;
+        Ok(())
+    }
+}
+
+impl VectorSram {
+    fn apply_movement(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let inc = bus.read(self.it.seq.inc)?.to_u64() == Some(1);
+        let dec = bus.read(self.it.dec)?.to_u64() == Some(1);
+        let n = self.capacity as u64;
+        if inc && !dec {
+            self.cursor = (self.cursor + 1) % n;
+        } else if dec && !inc {
+            self.cursor = (self.cursor + n - 1) % n;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_sim::Simulator;
+
+    struct Rig {
+        sim: Simulator,
+        it: RandomIterIface,
+    }
+
+    fn bram_rig(capacity: usize) -> Rig {
+        let mut sim = Simulator::new();
+        let it = RandomIterIface::alloc(&mut sim, "it", 8, 8).unwrap();
+        sim.add_component(VectorBram::new("dut", capacity, 8, it));
+        for s in [it.seq.read, it.seq.inc, it.seq.write, it.dec, it.index] {
+            sim.poke(s, 0).unwrap();
+        }
+        sim.poke(it.seq.wdata, 0).unwrap();
+        sim.poke(it.pos, 0).unwrap();
+        sim.reset().unwrap();
+        Rig { sim, it }
+    }
+
+    fn sram_rig(capacity: usize, latency: u32) -> Rig {
+        let mut sim = Simulator::new();
+        let it = RandomIterIface::alloc(&mut sim, "it", 8, 8).unwrap();
+        let mem = SramPort::alloc(&mut sim, "mem", 16, 8).unwrap();
+        sim.add_component(mem.device("u_sram", 16, 8, latency));
+        sim.add_component(VectorSram::new("dut", capacity, 0, 8, it, mem));
+        for s in [it.seq.read, it.seq.inc, it.seq.write, it.dec, it.index] {
+            sim.poke(s, 0).unwrap();
+        }
+        sim.poke(it.seq.wdata, 0).unwrap();
+        sim.poke(it.pos, 0).unwrap();
+        sim.reset().unwrap();
+        Rig { sim, it }
+    }
+
+    /// Issues one op (strobe set, wait done, strobe clear).
+    fn op(
+        r: &mut Rig,
+        strobes: &[hdp_sim::SignalId],
+        wdata: Option<u64>,
+        pos: Option<u64>,
+    ) -> Option<u64> {
+        if let Some(v) = wdata {
+            r.sim.poke(r.it.seq.wdata, v).unwrap();
+        }
+        if let Some(p) = pos {
+            r.sim.poke(r.it.pos, p).unwrap();
+        }
+        for &s in strobes {
+            r.sim.poke(s, 1).unwrap();
+        }
+        for _ in 0..40 {
+            r.sim.step().unwrap();
+            if r.sim.peek(r.it.seq.done).unwrap().to_u64() == Some(1) {
+                let out = r.sim.peek(r.it.seq.rdata).unwrap().to_u64();
+                for &s in strobes {
+                    r.sim.poke(s, 0).unwrap();
+                }
+                r.sim.step().unwrap();
+                return out;
+            }
+        }
+        panic!("op did not complete");
+    }
+
+    #[test]
+    fn bram_write_then_read_by_index() {
+        let mut r = bram_rig(16);
+        let (read, write, index) = (r.it.seq.read, r.it.seq.write, r.it.index);
+        op(&mut r, &[index], None, Some(5));
+        op(&mut r, &[write], Some(0xAB), None);
+        op(&mut r, &[index], None, Some(0));
+        op(&mut r, &[index], None, Some(5));
+        assert_eq!(op(&mut r, &[read], None, None), Some(0xAB));
+    }
+
+    #[test]
+    fn bram_read_inc_streams() {
+        let mut r = bram_rig(4);
+        let (read, write, inc, index) = (r.it.seq.read, r.it.seq.write, r.it.seq.inc, r.it.index);
+        // Fill 0..4 with write+inc.
+        for v in [10u64, 11, 12, 13] {
+            op(&mut r, &[write, inc], Some(v), None);
+        }
+        // Cursor wrapped to 0; read back with read+inc.
+        op(&mut r, &[index], None, Some(0));
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            seen.push(op(&mut r, &[read, inc], None, None).unwrap());
+        }
+        assert_eq!(seen, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn bram_dec_moves_backwards_with_wrap() {
+        let mut r = bram_rig(4);
+        let (write, inc, dec, read, index) = (
+            r.it.seq.write,
+            r.it.seq.inc,
+            r.it.dec,
+            r.it.seq.read,
+            r.it.index,
+        );
+        for v in [1u64, 2, 3, 4] {
+            op(&mut r, &[write, inc], Some(v), None);
+        }
+        op(&mut r, &[index], None, Some(0));
+        // dec wraps to position 3.
+        op(&mut r, &[read, dec], None, None); // read pos 0 = 1, then move to 3
+        assert_eq!(op(&mut r, &[read], None, None), Some(4));
+    }
+
+    #[test]
+    fn bram_uninitialised_read_is_error() {
+        let mut r = bram_rig(4);
+        r.sim.poke(r.it.seq.read, 1).unwrap();
+        r.sim.step().unwrap(); // capture
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn bram_index_out_of_range_is_error() {
+        let mut r = bram_rig(4);
+        r.sim.poke(r.it.index, 1).unwrap();
+        r.sim.poke(r.it.pos, 4).unwrap();
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn sram_vector_round_trip() {
+        let mut r = sram_rig(16, 2);
+        let (read, write, index) = (r.it.seq.read, r.it.seq.write, r.it.index);
+        op(&mut r, &[index], None, Some(7));
+        op(&mut r, &[write], Some(0x5C), None);
+        assert_eq!(op(&mut r, &[read], None, None), Some(0x5C));
+    }
+
+    #[test]
+    fn sram_vector_streams_with_inc() {
+        let mut r = sram_rig(8, 1);
+        let (read, write, inc, index) = (r.it.seq.read, r.it.seq.write, r.it.seq.inc, r.it.index);
+        for v in [9u64, 8, 7] {
+            op(&mut r, &[write, inc], Some(v), None);
+        }
+        op(&mut r, &[index], None, Some(0));
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            seen.push(op(&mut r, &[read, inc], None, None).unwrap());
+        }
+        assert_eq!(seen, vec![9, 8, 7]);
+    }
+}

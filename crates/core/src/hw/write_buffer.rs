@@ -1,0 +1,457 @@
+//! The `wbuffer` container with its forward output iterator, over
+//! each physical target.
+
+use crate::iface::{IterIface, SramPort, StreamIface};
+use hdp_hdl::LogicVector;
+use hdp_sim::{Component, SignalBus, SimError};
+use std::collections::VecDeque;
+
+/// Write buffer over an on-chip FIFO core.
+///
+/// Upstream it exposes the forward-output-iterator interface: a
+/// `write`+`inc` pair appends the element ("put and advance"); a
+/// `write` without `inc` stages the value at the current position,
+/// committed by a later `inc` — the exact Table 2 split of `write`
+/// and `inc`. Downstream it drains itself one element per cycle onto
+/// a valid/data stream (the VGA side of Figure 3).
+#[derive(Debug)]
+pub struct WriteBufferFifo {
+    name: String,
+    depth: usize,
+    it: IterIface,
+    down: StreamIface,
+    data: VecDeque<u64>,
+    staged: Option<u64>,
+}
+
+impl WriteBufferFifo {
+    /// Creates the container with `depth` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, depth: usize, it: IterIface, down: StreamIface) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        Self {
+            name: name.into(),
+            depth,
+            it,
+            down,
+            data: VecDeque::new(),
+            staged: None,
+        }
+    }
+
+    /// Number of buffered (committed) elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no elements are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Component for WriteBufferFifo {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let can_write = self.data.len() < self.depth;
+        bus.drive_u64(self.it.can_write, u64::from(can_write))?;
+        bus.drive_u64(self.it.can_read, 0)?; // output iterator only
+        let write = bus.read(self.it.write)?.to_u64() == Some(1);
+        let inc = bus.read(self.it.inc)?.to_u64() == Some(1);
+        bus.drive_u64(self.it.done, u64::from((write || inc) && can_write))?;
+        bus.drive(
+            self.it.rdata,
+            LogicVector::unknown(bus.width(self.it.rdata)?).map_err(SimError::from)?,
+        )?;
+        // Drain side: present the head; it pops every cycle.
+        match self.data.front() {
+            Some(&head) => {
+                bus.drive_u64(self.down.valid, 1)?;
+                bus.drive_u64(self.down.data, head)?;
+            }
+            None => {
+                bus.drive_u64(self.down.valid, 0)?;
+                bus.drive(
+                    self.down.data,
+                    LogicVector::unknown(bus.width(self.down.data)?).map_err(SimError::from)?,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        // Sample flow control with the same (pre-drain) occupancy that
+        // eval used, so `done` and the actual commit agree.
+        let can_write = self.data.len() < self.depth;
+        // Drain: the element presented this cycle is consumed.
+        if !self.data.is_empty() {
+            self.data.pop_front();
+        }
+        let write = bus.read(self.it.write)?.to_u64() == Some(1);
+        let inc = bus.read(self.it.inc)?.to_u64() == Some(1);
+        if write && can_write {
+            let v = bus.read_u64(self.it.wdata, &self.name)?;
+            if inc {
+                self.data.push_back(v);
+            } else {
+                self.staged = Some(v);
+            }
+        } else if inc && can_write {
+            if let Some(v) = self.staged.take() {
+                self.data.push_back(v);
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.data.clear();
+        self.staged = None;
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WbFsm {
+    Idle,
+    /// Committing an iterator write to memory.
+    Writing,
+    /// Fetching the head element for the drain stream.
+    Draining,
+    /// Waiting for `ack` to drop.
+    Release,
+}
+
+/// Write buffer over external static RAM.
+///
+/// The same circular-buffer FSM as
+/// [`crate::hw::ReadBufferSram`], with the roles mirrored: iterator
+/// `write`+`inc` operations append through SRAM write transactions,
+/// and the drain side fetches committed elements one read transaction
+/// at a time, emitting them on the downstream valid/data stream.
+/// Iterator writes have priority over draining.
+#[derive(Debug)]
+pub struct WriteBufferSram {
+    name: String,
+    capacity: usize,
+    base: u64,
+    it: IterIface,
+    down: StreamIface,
+    mem: SramPort,
+    fsm: WbFsm,
+    head: u64,
+    tail: u64,
+    count: usize,
+    /// Pending iterator write (captured wdata).
+    pending: Option<u64>,
+    done_pulse: bool,
+    /// Drained element to present downstream for one cycle.
+    drained: Option<u64>,
+}
+
+impl WriteBufferSram {
+    /// Creates the container over the SRAM master port `mem`, using
+    /// `capacity` words starting at address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        capacity: usize,
+        base: u64,
+        it: IterIface,
+        down: StreamIface,
+        mem: SramPort,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            name: name.into(),
+            capacity,
+            base,
+            it,
+            down,
+            mem,
+            fsm: WbFsm::Idle,
+            head: 0,
+            tail: 0,
+            count: 0,
+            pending: None,
+            done_pulse: false,
+            drained: None,
+        }
+    }
+
+    /// Committed elements in memory.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if no committed elements exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn addr(&self, index: u64) -> u64 {
+        self.base + index % self.capacity as u64
+    }
+}
+
+impl Component for WriteBufferSram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        // can_write: room in the buffer and no write already pending.
+        let can_write = self.count < self.capacity && self.pending.is_none();
+        bus.drive_u64(self.it.can_write, u64::from(can_write))?;
+        bus.drive_u64(self.it.can_read, 0)?;
+        bus.drive_u64(self.it.done, u64::from(self.done_pulse))?;
+        bus.drive(
+            self.it.rdata,
+            LogicVector::unknown(bus.width(self.it.rdata)?).map_err(SimError::from)?,
+        )?;
+        match self.drained {
+            Some(v) => {
+                bus.drive_u64(self.down.valid, 1)?;
+                bus.drive_u64(self.down.data, v)?;
+            }
+            None => {
+                bus.drive_u64(self.down.valid, 0)?;
+                bus.drive(
+                    self.down.data,
+                    LogicVector::unknown(bus.width(self.down.data)?).map_err(SimError::from)?,
+                )?;
+            }
+        }
+        match self.fsm {
+            WbFsm::Idle | WbFsm::Release => {
+                bus.drive_u64(self.mem.req, 0)?;
+                bus.drive_u64(self.mem.we, 0)?;
+                bus.drive_u64(self.mem.addr, self.addr(self.head))?;
+                bus.drive_u64(self.mem.wdata, 0)?;
+            }
+            WbFsm::Writing => {
+                bus.drive_u64(self.mem.req, 1)?;
+                bus.drive_u64(self.mem.we, 1)?;
+                bus.drive_u64(self.mem.addr, self.addr(self.tail))?;
+                bus.drive_u64(
+                    self.mem.wdata,
+                    self.pending.expect("writing implies pending data"),
+                )?;
+            }
+            WbFsm::Draining => {
+                bus.drive_u64(self.mem.req, 1)?;
+                bus.drive_u64(self.mem.we, 0)?;
+                bus.drive_u64(self.mem.addr, self.addr(self.head))?;
+                bus.drive_u64(self.mem.wdata, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        // While our `done` pulse is visible, the engine's strobes are
+        // still asserted for the operation that just finished — do not
+        // capture them as a new operation.
+        let done_visible = self.done_pulse;
+        self.done_pulse = false;
+        self.drained = None;
+        // Capture an iterator write ("write && inc" = put and advance).
+        let write = bus.read(self.it.write)?.to_u64() == Some(1);
+        let inc = bus.read(self.it.inc)?.to_u64() == Some(1);
+        if write && inc && !done_visible && self.pending.is_none() && self.count < self.capacity {
+            self.pending = Some(bus.read_u64(self.it.wdata, &self.name)?);
+        }
+        let ack = bus.read(self.mem.ack)?.to_u64() == Some(1);
+        match self.fsm {
+            WbFsm::Idle => {
+                if self.pending.is_some() {
+                    self.fsm = WbFsm::Writing;
+                } else if self.count > 0 {
+                    self.fsm = WbFsm::Draining;
+                }
+            }
+            WbFsm::Writing => {
+                if ack {
+                    self.pending = None;
+                    self.tail = self.tail.wrapping_add(1);
+                    self.count += 1;
+                    self.done_pulse = true;
+                    self.fsm = WbFsm::Release;
+                }
+            }
+            WbFsm::Draining => {
+                if ack {
+                    self.drained = Some(bus.read_u64(self.mem.rdata, &self.name)?);
+                    self.head = self.head.wrapping_add(1);
+                    self.count -= 1;
+                    self.fsm = WbFsm::Release;
+                }
+            }
+            WbFsm::Release => {
+                self.fsm = WbFsm::Idle;
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.fsm = WbFsm::Idle;
+        self.head = 0;
+        self.tail = 0;
+        self.count = 0;
+        self.pending = None;
+        self.done_pulse = false;
+        self.drained = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_sim::devices::VideoOut;
+    use hdp_sim::Simulator;
+
+    struct FifoRig {
+        sim: Simulator,
+        it: IterIface,
+        down: StreamIface,
+    }
+
+    fn fifo_rig(depth: usize) -> FifoRig {
+        let mut sim = Simulator::new();
+        let it = IterIface::alloc(&mut sim, "it", 8).unwrap();
+        let down = StreamIface::alloc(&mut sim, "down", 8).unwrap();
+        sim.add_component(WriteBufferFifo::new("dut", depth, it, down));
+        for s in [it.read, it.inc, it.write] {
+            sim.poke(s, 0).unwrap();
+        }
+        sim.poke(it.wdata, 0).unwrap();
+        sim.reset().unwrap();
+        FifoRig { sim, it, down }
+    }
+
+    #[test]
+    fn write_inc_flows_to_drain_stream() {
+        let mut sim = Simulator::new();
+        let it = IterIface::alloc(&mut sim, "it", 8).unwrap();
+        let down = StreamIface::alloc(&mut sim, "down", 8).unwrap();
+        sim.add_component(WriteBufferFifo::new("dut", 8, it, down));
+        let sink = sim.add_component(VideoOut::new("sink", 3, None, down.valid, down.data));
+        for s in [it.read, it.inc, it.write] {
+            sim.poke(s, 0).unwrap();
+        }
+        sim.poke(it.wdata, 0).unwrap();
+        sim.reset().unwrap();
+        sim.poke(it.write, 1).unwrap();
+        sim.poke(it.inc, 1).unwrap();
+        for v in [7u64, 8, 9] {
+            sim.poke(it.wdata, v).unwrap();
+            sim.step().unwrap();
+        }
+        sim.poke(it.write, 0).unwrap();
+        sim.poke(it.inc, 0).unwrap();
+        sim.run(4).unwrap();
+        let frames = sim.component::<VideoOut>(sink).unwrap().frames();
+        assert_eq!(frames, &[vec![7, 8, 9]]);
+    }
+
+    #[test]
+    fn staged_write_commits_on_inc() {
+        let mut r = fifo_rig(8);
+        r.sim.poke(r.it.write, 1).unwrap();
+        r.sim.poke(r.it.wdata, 55).unwrap();
+        r.sim.step().unwrap(); // stage 55
+        r.sim.poke(r.it.write, 0).unwrap();
+        r.sim.step().unwrap(); // nothing committed yet
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.down.valid).unwrap().to_u64(), Some(0));
+        r.sim.poke(r.it.inc, 1).unwrap();
+        r.sim.step().unwrap(); // commit
+        r.sim.poke(r.it.inc, 0).unwrap();
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.down.valid).unwrap().to_u64(), Some(1));
+        assert_eq!(r.sim.peek(r.down.data).unwrap().to_u64(), Some(55));
+    }
+
+    #[test]
+    fn cannot_read_through_output_iterator() {
+        let r = fifo_rig(4);
+        assert_eq!(r.sim.peek(r.it.can_read).unwrap().to_u64(), Some(0));
+    }
+
+    struct SramRig {
+        sim: Simulator,
+        it: IterIface,
+        sink: hdp_sim::ComponentId,
+    }
+
+    fn sram_rig(latency: u32) -> SramRig {
+        let mut sim = Simulator::new();
+        let it = IterIface::alloc(&mut sim, "it", 8).unwrap();
+        let down = StreamIface::alloc(&mut sim, "down", 8).unwrap();
+        let mem = SramPort::alloc(&mut sim, "mem", 16, 8).unwrap();
+        sim.add_component(mem.device("u_sram", 16, 8, latency));
+        sim.add_component(WriteBufferSram::new("dut", 64, 0, it, down, mem));
+        let sink = sim.add_component(VideoOut::new("sink", 3, None, down.valid, down.data));
+        for s in [it.read, it.inc, it.write] {
+            sim.poke(s, 0).unwrap();
+        }
+        sim.poke(it.wdata, 0).unwrap();
+        sim.reset().unwrap();
+        SramRig { sim, it, sink }
+    }
+
+    #[test]
+    fn sram_write_buffer_round_trip() {
+        let mut r = sram_rig(2);
+        r.sim.poke(r.it.write, 1).unwrap();
+        r.sim.poke(r.it.inc, 1).unwrap();
+        let mut written = 0;
+        let values = [3u64, 4, 5];
+        r.sim.poke(r.it.wdata, values[0]).unwrap();
+        for _ in 0..200 {
+            r.sim.step().unwrap();
+            if r.sim.peek(r.it.done).unwrap().to_u64() == Some(1) {
+                written += 1;
+                if written == values.len() {
+                    r.sim.poke(r.it.write, 0).unwrap();
+                    r.sim.poke(r.it.inc, 0).unwrap();
+                    break;
+                }
+                r.sim.poke(r.it.wdata, values[written]).unwrap();
+            }
+        }
+        assert_eq!(written, 3, "all three writes must complete");
+        r.sim.run(40).unwrap(); // allow draining
+        let frames = r.sim.component::<VideoOut>(r.sink).unwrap().frames();
+        assert_eq!(frames, &[vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn can_write_deasserts_while_transaction_pending() {
+        let mut r = sram_rig(8);
+        r.sim.poke(r.it.write, 1).unwrap();
+        r.sim.poke(r.it.inc, 1).unwrap();
+        r.sim.poke(r.it.wdata, 1).unwrap();
+        r.sim.step().unwrap(); // capture pending
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.it.can_write).unwrap().to_u64(), Some(0));
+    }
+}

@@ -1,0 +1,274 @@
+//! Hardware interface bundles: the signal-level form of the iterator
+//! pattern.
+//!
+//! Figure 2 of the paper gives the Iterator its class diagram; in
+//! hardware the "interface" is a bundle of ports. [`IterIface`] is
+//! that bundle for sequential iterators, [`RandomIterIface`] adds the
+//! `dec`/`index` operations of Table 2, [`ColumnIface`] is the
+//! specialised iterator of the blur example, and [`SramPort`] is the
+//! implementation interface of Figure 5.
+//!
+//! ## Operation protocol
+//!
+//! * The algorithm asserts one or more operation strobes (`read`,
+//!   `write`, `inc`, ...) and holds them.
+//! * The iterator performs back-to-back operations while strobes stay
+//!   asserted, pulsing `done` for one cycle per completed operation
+//!   (a FIFO-backed iterator completes one per cycle; an SRAM-backed
+//!   one per memory transaction).
+//! * `rdata` is valid when `done` pulses for a read and holds until
+//!   the next completion.
+//! * `can_read` / `can_write` expose flow-control state (container
+//!   non-empty / non-full); an operation strobed while impossible
+//!   simply waits — it is never an error at this interface, which is
+//!   what lets the same algorithm run unmodified over any container.
+
+use hdp_sim::{SignalId, SimError, Simulator};
+
+/// A valid/data pixel stream (video decoder output, VGA input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamIface {
+    /// Data is present this cycle.
+    pub valid: SignalId,
+    /// The pixel payload.
+    pub data: SignalId,
+}
+
+impl StreamIface {
+    /// Allocates the stream signals `"<prefix>_valid"` and
+    /// `"<prefix>_data"`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signal-creation failures (duplicate names, bad width).
+    pub fn alloc(sim: &mut Simulator, prefix: &str, data_width: usize) -> Result<Self, SimError> {
+        Ok(Self {
+            valid: sim.add_signal(format!("{prefix}_valid"), 1)?,
+            data: sim.add_signal(format!("{prefix}_data"), data_width)?,
+        })
+    }
+}
+
+/// The sequential iterator interface: `inc`, `read`, `write` plus data
+/// and flow control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterIface {
+    /// Strobe: move forward.
+    pub inc: SignalId,
+    /// Strobe: get the element at the current position.
+    pub read: SignalId,
+    /// Strobe: put the element at the current position.
+    pub write: SignalId,
+    /// Element read from the container.
+    pub rdata: SignalId,
+    /// Element to write into the container.
+    pub wdata: SignalId,
+    /// One-cycle pulse per completed operation.
+    pub done: SignalId,
+    /// A read could complete now (container has data).
+    pub can_read: SignalId,
+    /// A write could complete now (container has room).
+    pub can_write: SignalId,
+}
+
+impl IterIface {
+    /// Allocates the eight interface signals with a common prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signal-creation failures.
+    pub fn alloc(sim: &mut Simulator, prefix: &str, data_width: usize) -> Result<Self, SimError> {
+        Ok(Self {
+            inc: sim.add_signal(format!("{prefix}_inc"), 1)?,
+            read: sim.add_signal(format!("{prefix}_read"), 1)?,
+            write: sim.add_signal(format!("{prefix}_write"), 1)?,
+            rdata: sim.add_signal(format!("{prefix}_rdata"), data_width)?,
+            wdata: sim.add_signal(format!("{prefix}_wdata"), data_width)?,
+            done: sim.add_signal(format!("{prefix}_done"), 1)?,
+            can_read: sim.add_signal(format!("{prefix}_can_read"), 1)?,
+            can_write: sim.add_signal(format!("{prefix}_can_write"), 1)?,
+        })
+    }
+}
+
+/// The random iterator interface: everything in [`IterIface`] plus
+/// `dec` and `index`/`pos` (Table 2's full operation set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomIterIface {
+    /// The sequential subset.
+    pub seq: IterIface,
+    /// Strobe: move backwards.
+    pub dec: SignalId,
+    /// Strobe: set the current position from `pos`.
+    pub index: SignalId,
+    /// The position operand of `index`.
+    pub pos: SignalId,
+}
+
+impl RandomIterIface {
+    /// Allocates all eleven interface signals with a common prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signal-creation failures.
+    pub fn alloc(
+        sim: &mut Simulator,
+        prefix: &str,
+        data_width: usize,
+        pos_width: usize,
+    ) -> Result<Self, SimError> {
+        Ok(Self {
+            seq: IterIface::alloc(sim, prefix, data_width)?,
+            dec: sim.add_signal(format!("{prefix}_dec"), 1)?,
+            index: sim.add_signal(format!("{prefix}_index"), 1)?,
+            pos: sim.add_signal(format!("{prefix}_pos"), pos_width)?,
+        })
+    }
+}
+
+/// The specialised column iterator of the blur example: each advance
+/// presents three vertically adjacent pixels (§4: the 3-line buffer is
+/// "structured to provide 3 pixels in a column for each access").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnIface {
+    /// Strobe: advance to the next column (the iterator's `inc`).
+    pub inc: SignalId,
+    /// A complete column is available.
+    pub avail: SignalId,
+    /// Pixel from the oldest line.
+    pub top: SignalId,
+    /// Pixel from the middle line.
+    pub mid: SignalId,
+    /// Pixel from the newest line.
+    pub bot: SignalId,
+}
+
+impl ColumnIface {
+    /// Allocates the five column-iterator signals with a common prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signal-creation failures.
+    pub fn alloc(sim: &mut Simulator, prefix: &str, data_width: usize) -> Result<Self, SimError> {
+        Ok(Self {
+            inc: sim.add_signal(format!("{prefix}_inc"), 1)?,
+            avail: sim.add_signal(format!("{prefix}_avail"), 1)?,
+            top: sim.add_signal(format!("{prefix}_top"), data_width)?,
+            mid: sim.add_signal(format!("{prefix}_mid"), data_width)?,
+            bot: sim.add_signal(format!("{prefix}_bot"), data_width)?,
+        })
+    }
+}
+
+/// One master side of the external SRAM handshake, the implementation
+/// interface of Figure 5 (`p_addr`, `p_data`, `req`, `ack`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramPort {
+    /// Transaction request.
+    pub req: SignalId,
+    /// Write (vs. read) transaction.
+    pub we: SignalId,
+    /// Word address.
+    pub addr: SignalId,
+    /// Write data.
+    pub wdata: SignalId,
+    /// Transaction completion.
+    pub ack: SignalId,
+    /// Read data, valid while `ack` is high on a read.
+    pub rdata: SignalId,
+}
+
+impl SramPort {
+    /// Allocates the six handshake signals with a common prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signal-creation failures.
+    pub fn alloc(
+        sim: &mut Simulator,
+        prefix: &str,
+        addr_width: usize,
+        data_width: usize,
+    ) -> Result<Self, SimError> {
+        Ok(Self {
+            req: sim.add_signal(format!("{prefix}_req"), 1)?,
+            we: sim.add_signal(format!("{prefix}_we"), 1)?,
+            addr: sim.add_signal(format!("{prefix}_addr"), addr_width)?,
+            wdata: sim.add_signal(format!("{prefix}_wdata"), data_width)?,
+            ack: sim.add_signal(format!("{prefix}_ack"), 1)?,
+            rdata: sim.add_signal(format!("{prefix}_rdata"), data_width)?,
+        })
+    }
+
+    /// Attaches an [`hdp_sim::devices::Sram`] device to this port.
+    ///
+    /// Convenience used by every SRAM-backed scenario: builds the
+    /// device with matching widths and this port's signals.
+    #[must_use]
+    pub fn device(
+        &self,
+        name: impl Into<String>,
+        addr_width: usize,
+        data_width: usize,
+        latency: u32,
+    ) -> hdp_sim::devices::Sram {
+        hdp_sim::devices::Sram::new(
+            name, addr_width, data_width, latency, self.req, self.we, self.addr, self.wdata,
+            self.ack, self.rdata,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_names_signals_with_prefix() {
+        let mut sim = Simulator::new();
+        let iface = IterIface::alloc(&mut sim, "it_in", 8).unwrap();
+        assert_eq!(sim.bus().name(iface.inc).unwrap(), "it_in_inc");
+        assert_eq!(sim.bus().name(iface.rdata).unwrap(), "it_in_rdata");
+        assert_eq!(sim.bus().width(iface.rdata).unwrap(), 8);
+        assert_eq!(sim.bus().width(iface.done).unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_prefix_is_rejected() {
+        let mut sim = Simulator::new();
+        IterIface::alloc(&mut sim, "it", 8).unwrap();
+        assert!(IterIface::alloc(&mut sim, "it", 8).is_err());
+    }
+
+    #[test]
+    fn random_iface_extends_sequential() {
+        let mut sim = Simulator::new();
+        let iface = RandomIterIface::alloc(&mut sim, "r", 16, 10).unwrap();
+        assert_eq!(sim.bus().width(iface.pos).unwrap(), 10);
+        assert_eq!(sim.bus().width(iface.seq.rdata).unwrap(), 16);
+    }
+
+    #[test]
+    fn column_iface_has_three_data_ports() {
+        let mut sim = Simulator::new();
+        let iface = ColumnIface::alloc(&mut sim, "col", 8).unwrap();
+        for s in [iface.top, iface.mid, iface.bot] {
+            assert_eq!(sim.bus().width(s).unwrap(), 8);
+        }
+    }
+
+    #[test]
+    fn sram_port_builds_matching_device() {
+        let mut sim = Simulator::new();
+        let port = SramPort::alloc(&mut sim, "p", 16, 8).unwrap();
+        let dev = port.device("sram", 16, 8, 2);
+        assert_eq!(dev.latency(), 2);
+    }
+
+    #[test]
+    fn stream_iface_alloc() {
+        let mut sim = Simulator::new();
+        let s = StreamIface::alloc(&mut sim, "vid", 24).unwrap();
+        assert_eq!(sim.bus().width(s.data).unwrap(), 24);
+    }
+}

@@ -1,0 +1,60 @@
+//! # hdp-core — model reuse through hardware design patterns
+//!
+//! The primary contribution of *"Model Reuse through Hardware Design
+//! Patterns"* (Rincón, Moya, Barba, López — DATE 2005): a hardware
+//! version of the GoF **Iterator** behavioural pattern and the
+//! STL-inspired **Basic Component Library** built on it, which
+//! decouples algorithms from the data structures they traverse so that
+//! retargeting a design (FIFO → external SRAM, 8-bit grayscale →
+//! 24-bit RGB) never touches the algorithm.
+//!
+//! The crate is organised around the paper's three concept families
+//! (§3.2):
+//!
+//! * **Containers** — [`classify`] encodes the Table 1 taxonomy
+//!   (access × traversal); [`spec`] describes concrete container
+//!   instances and their mapping onto physical targets; [`hw`] holds
+//!   cycle-accurate realisations over each target (FIFO core, LIFO
+//!   core, block RAM, external SRAM, 3-line buffer).
+//! * **Iterators** — [`classify`] encodes the Table 2 operation set
+//!   (`inc`, `dec`, `read`, `write`, `index`); [`iface`] defines the
+//!   hardware iterator interface as signal bundles; each container in
+//!   [`hw`] implements the interface for its traversal class.
+//! * **Algorithms** — [`algo`] holds engines written *only* against
+//!   the iterator interface: `copy`, pixel-wise transforms, and the
+//!   3×3 blur convolution of the paper's evaluation; [`golden`] holds
+//!   the bit-exact behavioural models they are verified against.
+//!
+//! [`model`] ties everything together: a [`model::VideoPipelineModel`] is the
+//! retargetable design description of the paper's Figure 3 —
+//! containers, iterators and algorithms bound by name, with physical
+//! targets chosen per container and changeable without touching the
+//! rest of the model.
+//!
+//! ## Example: Table 2 conformance
+//!
+//! ```
+//! use hdp_core::classify::{IterKind, IterOp};
+//!
+//! // Forward iterators move with `inc` but cannot move backwards.
+//! assert!(IterKind::Forward.supports(IterOp::Inc));
+//! assert!(!IterKind::Forward.supports(IterOp::Dec));
+//! // Only random iterators can set an arbitrary position.
+//! assert!(IterKind::Random.supports(IterOp::Index));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod catalog;
+pub mod classify;
+mod error;
+pub mod golden;
+pub mod hw;
+pub mod iface;
+pub mod model;
+pub mod pixel;
+pub mod spec;
+
+pub use error::CoreError;

@@ -1,0 +1,786 @@
+//! The system model: Figure 3 as a data structure.
+//!
+//! "Figure 3 shows the resulting model. Now data acquisition from the
+//! video decoder has been modelled as a read buffer container
+//! (rbuffer), while the output video stream is fed into a write
+//! buffer container (wbuffer). Access to rbuffer and wbuffer
+//! containers is abstracted through rbuffer_it and wbuffer_it
+//! iterators respectively." (§3.3)
+//!
+//! A [`VideoPipelineModel`] is that model: source → read buffer →
+//! iterator → algorithm → iterator → write buffer → sink. The
+//! physical target of each container is a *binding*, not part of the
+//! model: [`VideoPipelineModel::retarget_input`] /
+//! [`VideoPipelineModel::retarget_output`] change it without touching
+//! anything else — the paper's "embracing change" scenario. Pixel
+//! format and bus width are model parameters too; a mismatch inserts
+//! the §3.3 width adapters during elaboration.
+
+use crate::algo::{BlurEngine, TransformSequenced, TransformStreaming};
+use crate::classify::{ContainerKind, IterKind, IterOp};
+use crate::golden::PixelOp;
+use crate::hw::{
+    ColumnBuffer, ReadBufferFifo, ReadBufferSram, ReadWidthAdapter, WriteBufferFifo,
+    WriteBufferSram, WriteWidthAdapter,
+};
+use crate::iface::{ColumnIface, IterIface, SramPort, StreamIface};
+use crate::pixel::{join_pixel, split_pixel, Frame, PixelFormat};
+use crate::spec::{ContainerSpec, PhysicalTarget};
+use crate::CoreError;
+use hdp_sim::devices::{VideoIn, VideoOut};
+use hdp_sim::{ComponentId, Simulator};
+
+/// The algorithm placed between the two iterators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Pixel-wise transform; [`PixelOp::Identity`] is the paper's
+    /// copy algorithm (the `saa2vga` designs).
+    Transform(PixelOp),
+    /// The 3×3 blur convolution (the `blur` design). Requires the
+    /// input container to be bound to the 3-line buffer.
+    Blur,
+}
+
+/// The retargetable model of the paper's image-processing example.
+#[derive(Debug, Clone)]
+pub struct VideoPipelineModel {
+    name: String,
+    format: PixelFormat,
+    frame_width: usize,
+    frame_height: usize,
+    algorithm: Algorithm,
+    input_target: PhysicalTarget,
+    output_target: PhysicalTarget,
+    buffer_capacity: usize,
+    /// Memory/stream word width in bits; narrower than the pixel
+    /// format inserts width adapters (§3.3).
+    bus_width: usize,
+    /// Blanking cycles between source pixels.
+    source_gap: u32,
+}
+
+impl VideoPipelineModel {
+    /// Creates the Figure 3 model with both containers over FIFO
+    /// cores (the `saa2vga 1` configuration), a 512-element capacity
+    /// and the bus as wide as the pixel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for frames smaller
+    /// than 3×3 when the algorithm is [`Algorithm::Blur`], or any
+    /// zero dimension.
+    pub fn new(
+        name: impl Into<String>,
+        format: PixelFormat,
+        frame_width: usize,
+        frame_height: usize,
+        algorithm: Algorithm,
+    ) -> Result<Self, CoreError> {
+        if frame_width == 0 || frame_height == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "frame",
+                message: "frame dimensions must be positive".into(),
+            });
+        }
+        if algorithm == Algorithm::Blur && (frame_width < 3 || frame_height < 3) {
+            return Err(CoreError::InvalidParameter {
+                name: "frame",
+                message: "blur needs at least a 3x3 frame".into(),
+            });
+        }
+        let input_target = if algorithm == Algorithm::Blur {
+            PhysicalTarget::LineBuffer3 {
+                line_width: frame_width,
+            }
+        } else {
+            PhysicalTarget::FifoCore
+        };
+        Ok(Self {
+            name: name.into(),
+            format,
+            frame_width,
+            frame_height,
+            algorithm,
+            input_target,
+            output_target: PhysicalTarget::FifoCore,
+            buffer_capacity: 512,
+            bus_width: format.bits(),
+            source_gap: 0,
+        })
+    }
+
+    /// The model name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pixel format.
+    #[must_use]
+    pub fn format(&self) -> PixelFormat {
+        self.format
+    }
+
+    /// The input container's current physical binding.
+    #[must_use]
+    pub fn input_target(&self) -> PhysicalTarget {
+        self.input_target
+    }
+
+    /// The output container's current physical binding.
+    #[must_use]
+    pub fn output_target(&self) -> PhysicalTarget {
+        self.output_target
+    }
+
+    /// Rebinds the input container — the §3.3 change "the input video
+    /// stream is now fed into a RAM". The rest of the model is
+    /// untouched.
+    #[must_use]
+    pub fn retarget_input(mut self, target: PhysicalTarget) -> Self {
+        self.input_target = target;
+        self
+    }
+
+    /// Rebinds the output container.
+    #[must_use]
+    pub fn retarget_output(mut self, target: PhysicalTarget) -> Self {
+        self.output_target = target;
+        self
+    }
+
+    /// Sets the container capacity in elements.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.buffer_capacity = capacity;
+        self
+    }
+
+    /// Sets the memory word width — the §3.3 pixel-format scenario:
+    /// a 24-bit pixel over an 8-bit bus makes the generated iterators
+    /// "perform three consecutive container reads/writes".
+    #[must_use]
+    pub fn with_bus_width(mut self, bus_width: usize) -> Self {
+        self.bus_width = bus_width;
+        self
+    }
+
+    /// Sets the source blanking gap (cycles between pixels).
+    #[must_use]
+    pub fn with_source_gap(mut self, gap: u32) -> Self {
+        self.source_gap = gap;
+        self
+    }
+
+    /// Whether elaboration will insert width adapters.
+    #[must_use]
+    pub fn needs_adaptation(&self) -> bool {
+        self.bus_width != self.format.bits()
+    }
+
+    /// Validates the model against the library taxonomy (Tables 1
+    /// and 2) and the target-mapping rules of §3.4.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::IncompatibleTarget`] — a container bound to a
+    ///   target that cannot implement it.
+    /// * [`CoreError::IncompatibleIterator`] — e.g. the blur column
+    ///   iterator on a non-line-buffer target.
+    /// * [`CoreError::MissingOperation`] — an algorithm needing an
+    ///   operation its iterator kind lacks.
+    /// * [`CoreError::InvalidParameter`] — bus width not dividing the
+    ///   pixel width, or capacities too small for a frame line.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let data_width = self.bus_width;
+        if data_width == 0 || !self.format.bits().is_multiple_of(data_width) {
+            return Err(CoreError::InvalidParameter {
+                name: "bus_width",
+                message: format!(
+                    "{data_width} bits does not divide the {} pixel",
+                    self.format
+                ),
+            });
+        }
+        let rbuffer =
+            ContainerSpec::new(ContainerKind::ReadBuffer, data_width, self.buffer_capacity)?;
+        rbuffer.check_target(self.input_target)?;
+        let wbuffer =
+            ContainerSpec::new(ContainerKind::WriteBuffer, data_width, self.buffer_capacity)?;
+        wbuffer.check_target(self.output_target)?;
+        // Iterator attachment per Table 1: the copy/transform input
+        // iterator is a forward input iterator on the rbuffer.
+        if !ContainerKind::ReadBuffer
+            .supported_iterators()
+            .contains(&IterKind::Forward)
+            || !ContainerKind::ReadBuffer.readable()
+        {
+            return Err(CoreError::IncompatibleIterator {
+                iterator: IterKind::Forward.to_string(),
+                container: ContainerKind::ReadBuffer.to_string(),
+                reason: "read buffer must admit a forward input iterator".into(),
+            });
+        }
+        // The algorithms need inc+read on the input and inc+write on
+        // the output (Table 2).
+        for op in [IterOp::Inc, IterOp::Read] {
+            if !IterKind::Forward.supports(op) {
+                return Err(CoreError::MissingOperation {
+                    algorithm: format!("{:?}", self.algorithm),
+                    iterator: "rbuffer_it".into(),
+                    operation: op.to_string(),
+                });
+            }
+        }
+        for op in [IterOp::Inc, IterOp::Write] {
+            if !IterKind::Forward.supports(op) {
+                return Err(CoreError::MissingOperation {
+                    algorithm: format!("{:?}", self.algorithm),
+                    iterator: "wbuffer_it".into(),
+                    operation: op.to_string(),
+                });
+            }
+        }
+        match self.algorithm {
+            Algorithm::Blur => {
+                // The specialised column iterator only exists on the
+                // 3-line buffer.
+                if !matches!(self.input_target, PhysicalTarget::LineBuffer3 { .. }) {
+                    return Err(CoreError::IncompatibleIterator {
+                        iterator: "column".into(),
+                        container: ContainerKind::ReadBuffer.to_string(),
+                        reason: format!(
+                            "the blur column iterator needs the 3-line buffer, not {}",
+                            self.input_target
+                        ),
+                    });
+                }
+                if self.needs_adaptation() {
+                    return Err(CoreError::InvalidParameter {
+                        name: "bus_width",
+                        message: "the column iterator does not support width adaptation".into(),
+                    });
+                }
+            }
+            Algorithm::Transform(_) => {}
+        }
+        Ok(())
+    }
+
+    /// Elaborates the model into a running simulation fed with
+    /// `frame`, choosing engine variants and inserting adapters the
+    /// way the paper's generator would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures and simulator wiring errors.
+    pub fn elaborate(&self, frame: &Frame) -> Result<Elaborated, CoreError> {
+        self.validate()?;
+        if frame.width() != self.frame_width
+            || frame.height() != self.frame_height
+            || frame.format() != self.format
+        {
+            return Err(CoreError::InvalidParameter {
+                name: "frame",
+                message: "frame does not match the model dimensions/format".into(),
+            });
+        }
+        let mut sim = Simulator::new();
+        let pixel_bits = self.format.bits();
+        let bus_bits = self.bus_width;
+        let factor = pixel_bits / bus_bits;
+        // The source emits bus-width words (the decoder's bus *is* the
+        // container's input bus).
+        let words: Vec<u64> = frame
+            .pixels()
+            .iter()
+            .flat_map(|&p| split_pixel(p, bus_bits, factor))
+            .collect();
+        let n_words = words.len();
+        let vin = StreamIface::alloc(&mut sim, "vin", bus_bits)?;
+        sim.add_component(VideoIn::new(
+            "video_decoder",
+            words,
+            bus_bits,
+            self.source_gap,
+            false,
+            vin.valid,
+            vin.data,
+        ));
+        // Output stream and sink.
+        let vout = StreamIface::alloc(&mut sim, "vout", bus_bits)?;
+        let expected_out_words = match self.algorithm {
+            Algorithm::Transform(_) => n_words,
+            Algorithm::Blur => (self.frame_width - 2) * (self.frame_height - 2),
+        };
+        let sink = sim.add_component(VideoOut::new(
+            "vga_coder",
+            expected_out_words,
+            None,
+            vout.valid,
+            vout.data,
+        ));
+        // Output container.
+        let wb_narrow = IterIface::alloc(&mut sim, "wbuffer_it", bus_bits)?;
+        match self.output_target {
+            PhysicalTarget::FifoCore => {
+                sim.add_component(WriteBufferFifo::new(
+                    "wbuffer_fifo",
+                    self.buffer_capacity,
+                    wb_narrow,
+                    vout,
+                ));
+            }
+            PhysicalTarget::ExternalSram { latency } => {
+                let port = SramPort::alloc(&mut sim, "wb_mem", 16, bus_bits)?;
+                sim.add_component(port.device("sram_out", 16, bus_bits, latency));
+                sim.add_component(WriteBufferSram::new(
+                    "wbuffer_sram",
+                    self.buffer_capacity,
+                    0,
+                    wb_narrow,
+                    vout,
+                    port,
+                ));
+            }
+            other => {
+                return Err(CoreError::IncompatibleTarget {
+                    container: ContainerKind::WriteBuffer.to_string(),
+                    target: other.to_string(),
+                })
+            }
+        }
+        // Width adaptation on the output side.
+        let out_iface = if factor > 1 {
+            let wide = IterIface::alloc(&mut sim, "wbuffer_it_wide", pixel_bits)?;
+            sim.add_component(WriteWidthAdapter::new(
+                "wb_adapter",
+                pixel_bits,
+                bus_bits,
+                wide,
+                wb_narrow,
+            ));
+            wide
+        } else {
+            wb_narrow
+        };
+        // Input container, engine.
+        let engine = match self.algorithm {
+            Algorithm::Blur => {
+                let col = ColumnIface::alloc(&mut sim, "rbuffer_it", bus_bits)?;
+                sim.add_component(ColumnBuffer::new(
+                    "rbuffer_lines",
+                    self.frame_width,
+                    bus_bits,
+                    vin,
+                    col,
+                ));
+                EngineHandle::Blur(sim.add_component(BlurEngine::new(
+                    "blur",
+                    self.format,
+                    self.frame_width,
+                    col,
+                    out_iface,
+                )))
+            }
+            Algorithm::Transform(op) => {
+                let rb_narrow = IterIface::alloc(&mut sim, "rbuffer_it", bus_bits)?;
+                let single_cycle_in = match self.input_target {
+                    PhysicalTarget::FifoCore => {
+                        sim.add_component(ReadBufferFifo::new(
+                            "rbuffer_fifo",
+                            self.buffer_capacity,
+                            bus_bits,
+                            vin,
+                            rb_narrow,
+                        ));
+                        true
+                    }
+                    PhysicalTarget::ExternalSram { latency } => {
+                        let port = SramPort::alloc(&mut sim, "rb_mem", 16, bus_bits)?;
+                        sim.add_component(port.device("sram_in", 16, bus_bits, latency));
+                        sim.add_component(ReadBufferSram::new(
+                            "rbuffer_sram",
+                            self.buffer_capacity,
+                            0,
+                            bus_bits,
+                            vin,
+                            rb_narrow,
+                            port,
+                        ));
+                        false
+                    }
+                    other => {
+                        return Err(CoreError::IncompatibleTarget {
+                            container: ContainerKind::ReadBuffer.to_string(),
+                            target: other.to_string(),
+                        })
+                    }
+                };
+                let in_iface = if factor > 1 {
+                    let wide = IterIface::alloc(&mut sim, "rbuffer_it_wide", pixel_bits)?;
+                    sim.add_component(ReadWidthAdapter::new(
+                        "rb_adapter",
+                        pixel_bits,
+                        bus_bits,
+                        wide,
+                        rb_narrow,
+                    ));
+                    wide
+                } else {
+                    rb_narrow
+                };
+                let single_cycle_out = self.output_target == PhysicalTarget::FifoCore;
+                let limit = Some((self.frame_width * self.frame_height) as u64);
+                // The generator's implementation selection: streaming
+                // when every iterator completes in one cycle.
+                if single_cycle_in && single_cycle_out && factor == 1 {
+                    EngineHandle::Streaming(sim.add_component(TransformStreaming::new(
+                        "transform",
+                        op,
+                        self.format,
+                        in_iface,
+                        out_iface,
+                        limit,
+                    )))
+                } else {
+                    EngineHandle::Sequenced(sim.add_component(TransformSequenced::new(
+                        "transform",
+                        op,
+                        self.format,
+                        in_iface,
+                        out_iface,
+                        limit,
+                    )))
+                }
+            }
+        };
+        sim.reset()?;
+        Ok(Elaborated {
+            sim,
+            sink,
+            engine,
+            bus_bits,
+            factor,
+            format: self.format,
+            out_width: match self.algorithm {
+                Algorithm::Transform(_) => self.frame_width,
+                Algorithm::Blur => self.frame_width - 2,
+            },
+            out_height: match self.algorithm {
+                Algorithm::Transform(_) => self.frame_height,
+                Algorithm::Blur => self.frame_height - 2,
+            },
+        })
+    }
+
+    /// Convenience: elaborate, run until one output frame is
+    /// collected, and return it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration and simulation errors, and reports a
+    /// timeout as [`CoreError::InvalidParameter`].
+    pub fn process_frame(&self, frame: &Frame) -> Result<Frame, CoreError> {
+        let mut elaborated = self.elaborate(frame)?;
+        elaborated.run_to_completion()?;
+        elaborated.output_frame()
+    }
+}
+
+/// Handle to the elaborated engine, for post-run inspection.
+#[derive(Debug, Clone, Copy)]
+pub enum EngineHandle {
+    /// A [`TransformStreaming`] instance.
+    Streaming(ComponentId),
+    /// A [`TransformSequenced`] instance.
+    Sequenced(ComponentId),
+    /// A [`BlurEngine`] instance.
+    Blur(ComponentId),
+}
+
+/// A running, elaborated pipeline.
+#[derive(Debug)]
+pub struct Elaborated {
+    /// The simulator holding the whole design.
+    pub sim: Simulator,
+    sink: ComponentId,
+    engine: EngineHandle,
+    bus_bits: usize,
+    factor: usize,
+    format: PixelFormat,
+    out_width: usize,
+    out_height: usize,
+}
+
+impl Elaborated {
+    /// Which engine variant elaboration selected.
+    #[must_use]
+    pub fn engine(&self) -> EngineHandle {
+        self.engine
+    }
+
+    /// Runs until the sink has a complete frame (or a generous cycle
+    /// budget is exhausted).
+    ///
+    /// # Errors
+    ///
+    /// Simulation errors, or [`CoreError::InvalidParameter`] on
+    /// timeout.
+    pub fn run_to_completion(&mut self) -> Result<(), CoreError> {
+        let budget = 400_000u64;
+        let sink = self.sink;
+        let mut remaining = budget;
+        while remaining > 0 {
+            let chunk = remaining.min(512);
+            self.sim.run(chunk)?;
+            remaining -= chunk;
+            let frames = self
+                .sim
+                .component::<VideoOut>(sink)
+                .expect("sink exists")
+                .frames();
+            if !frames.is_empty() {
+                return Ok(());
+            }
+        }
+        Err(CoreError::InvalidParameter {
+            name: "run_to_completion",
+            message: format!("no complete frame after {budget} cycles"),
+        })
+    }
+
+    /// The first collected output frame, reassembling bus words into
+    /// pixels when width adapters are in play.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if no frame has been
+    /// collected yet.
+    pub fn output_frame(&self) -> Result<Frame, CoreError> {
+        let frames = self
+            .sim
+            .component::<VideoOut>(self.sink)
+            .expect("sink exists")
+            .frames();
+        let Some(words) = frames.first() else {
+            return Err(CoreError::InvalidParameter {
+                name: "output_frame",
+                message: "no complete frame collected".into(),
+            });
+        };
+        let pixels: Vec<u64> = words
+            .chunks(self.factor)
+            .map(|chunk| join_pixel(chunk, self.bus_bits))
+            .collect();
+        Frame::from_pixels(self.out_width, self.out_height, self.format, pixels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden;
+
+    #[test]
+    fn model_validates_the_fifo_configuration() {
+        let m = VideoPipelineModel::new(
+            "saa2vga",
+            PixelFormat::Gray8,
+            8,
+            8,
+            Algorithm::Transform(PixelOp::Identity),
+        )
+        .unwrap();
+        m.validate().unwrap();
+        assert_eq!(m.input_target(), PhysicalTarget::FifoCore);
+    }
+
+    #[test]
+    fn retarget_keeps_model_valid() {
+        let m = VideoPipelineModel::new(
+            "saa2vga",
+            PixelFormat::Gray8,
+            8,
+            8,
+            Algorithm::Transform(PixelOp::Identity),
+        )
+        .unwrap()
+        .retarget_input(PhysicalTarget::ExternalSram { latency: 2 })
+        .retarget_output(PhysicalTarget::ExternalSram { latency: 2 });
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn vector_target_for_buffer_is_rejected() {
+        let m = VideoPipelineModel::new(
+            "bad",
+            PixelFormat::Gray8,
+            8,
+            8,
+            Algorithm::Transform(PixelOp::Identity),
+        )
+        .unwrap()
+        .retarget_input(PhysicalTarget::LifoCore);
+        assert!(matches!(
+            m.validate(),
+            Err(CoreError::IncompatibleTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn blur_requires_line_buffer() {
+        let m = VideoPipelineModel::new("blur", PixelFormat::Gray8, 8, 8, Algorithm::Blur)
+            .unwrap()
+            .retarget_input(PhysicalTarget::FifoCore);
+        assert!(matches!(
+            m.validate(),
+            Err(CoreError::IncompatibleIterator { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bus_width_is_rejected() {
+        let m = VideoPipelineModel::new(
+            "bad",
+            PixelFormat::Rgb24,
+            8,
+            8,
+            Algorithm::Transform(PixelOp::Identity),
+        )
+        .unwrap()
+        .with_bus_width(7);
+        assert!(matches!(
+            m.validate(),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn fifo_pipeline_copies_frame() {
+        let frame = Frame::noise(8, 6, PixelFormat::Gray8, 3);
+        let m = VideoPipelineModel::new(
+            "saa2vga_1",
+            PixelFormat::Gray8,
+            8,
+            6,
+            Algorithm::Transform(PixelOp::Identity),
+        )
+        .unwrap();
+        let out = m.process_frame(&frame).unwrap();
+        assert_eq!(out, frame);
+    }
+
+    #[test]
+    fn sram_pipeline_copies_frame_without_model_change() {
+        let frame = Frame::noise(6, 4, PixelFormat::Gray8, 4);
+        let m = VideoPipelineModel::new(
+            "saa2vga_2",
+            PixelFormat::Gray8,
+            6,
+            4,
+            Algorithm::Transform(PixelOp::Identity),
+        )
+        .unwrap()
+        .retarget_input(PhysicalTarget::ExternalSram { latency: 2 })
+        .retarget_output(PhysicalTarget::ExternalSram { latency: 2 })
+        .with_source_gap(15);
+        let out = m.process_frame(&frame).unwrap();
+        assert_eq!(out, frame);
+    }
+
+    #[test]
+    fn engine_selection_follows_targets() {
+        let frame = Frame::gradient(4, 4, PixelFormat::Gray8);
+        let fifo = VideoPipelineModel::new(
+            "m1",
+            PixelFormat::Gray8,
+            4,
+            4,
+            Algorithm::Transform(PixelOp::Identity),
+        )
+        .unwrap();
+        let e1 = fifo.elaborate(&frame).unwrap();
+        assert!(matches!(e1.engine(), EngineHandle::Streaming(_)));
+        let sram = fifo
+            .clone()
+            .retarget_input(PhysicalTarget::ExternalSram { latency: 1 })
+            .with_source_gap(15);
+        let e2 = sram.elaborate(&frame).unwrap();
+        assert!(matches!(e2.engine(), EngineHandle::Sequenced(_)));
+    }
+
+    #[test]
+    fn blur_pipeline_matches_golden() {
+        let frame = Frame::noise(8, 6, PixelFormat::Gray8, 11);
+        let m = VideoPipelineModel::new("blur", PixelFormat::Gray8, 8, 6, Algorithm::Blur)
+            .unwrap()
+            .with_source_gap(1);
+        let out = m.process_frame(&frame).unwrap();
+        let golden = golden::blur3x3(&frame, golden::BlurBorder::Crop).unwrap();
+        assert_eq!(out, golden);
+    }
+
+    #[test]
+    fn rgb_over_8bit_bus_inserts_adapters_and_copies() {
+        let frame = Frame::noise(4, 3, PixelFormat::Rgb24, 5);
+        let m = VideoPipelineModel::new(
+            "rgb_narrow",
+            PixelFormat::Rgb24,
+            4,
+            3,
+            Algorithm::Transform(PixelOp::Identity),
+        )
+        .unwrap()
+        .with_bus_width(8)
+        .with_source_gap(8);
+        assert!(m.needs_adaptation());
+        let out = m.process_frame(&frame).unwrap();
+        assert_eq!(out, frame);
+    }
+
+    #[test]
+    fn rgb_over_24bit_bus_needs_no_adapters() {
+        let frame = Frame::noise(4, 3, PixelFormat::Rgb24, 6);
+        let m = VideoPipelineModel::new(
+            "rgb_wide",
+            PixelFormat::Rgb24,
+            4,
+            3,
+            Algorithm::Transform(PixelOp::Identity),
+        )
+        .unwrap();
+        assert!(!m.needs_adaptation());
+        let out = m.process_frame(&frame).unwrap();
+        assert_eq!(out, frame);
+    }
+
+    #[test]
+    fn invert_pipeline_matches_golden() {
+        let frame = Frame::noise(5, 5, PixelFormat::Gray8, 8);
+        let m = VideoPipelineModel::new(
+            "invert",
+            PixelFormat::Gray8,
+            5,
+            5,
+            Algorithm::Transform(PixelOp::Invert),
+        )
+        .unwrap();
+        let out = m.process_frame(&frame).unwrap();
+        assert_eq!(out, golden::pixel_map(&frame, PixelOp::Invert));
+    }
+
+    #[test]
+    fn mismatched_frame_is_rejected() {
+        let frame = Frame::gradient(4, 4, PixelFormat::Gray8);
+        let m = VideoPipelineModel::new(
+            "m",
+            PixelFormat::Gray8,
+            8,
+            8,
+            Algorithm::Transform(PixelOp::Identity),
+        )
+        .unwrap();
+        assert!(m.elaborate(&frame).is_err());
+    }
+}

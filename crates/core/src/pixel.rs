@@ -1,0 +1,279 @@
+//! Pixel formats and frames: the data the motivating example moves.
+
+use crate::CoreError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Pixel representation, the §3.3 design parameter whose change the
+/// pattern absorbs ("from 8-bit grayscale to 24-bit RGB").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PixelFormat {
+    /// 8-bit grayscale.
+    Gray8,
+    /// 24-bit RGB, 8 bits per channel packed `0xRRGGBB`.
+    Rgb24,
+}
+
+impl PixelFormat {
+    /// Pixel width in bits.
+    #[must_use]
+    pub fn bits(self) -> usize {
+        match self {
+            PixelFormat::Gray8 => 8,
+            PixelFormat::Rgb24 => 24,
+        }
+    }
+
+    /// Largest legal pixel value.
+    #[must_use]
+    pub fn max_value(self) -> u64 {
+        (1 << self.bits()) - 1
+    }
+}
+
+impl fmt::Display for PixelFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PixelFormat::Gray8 => "gray8",
+            PixelFormat::Rgb24 => "rgb24",
+        })
+    }
+}
+
+/// A video frame: row-major pixels of a [`PixelFormat`].
+///
+/// The paper's test platform captures frames from a camera; we
+/// generate deterministic synthetic frames instead ([`Frame::gradient`],
+/// [`Frame::noise`], [`Frame::checkerboard`]) so every experiment is
+/// reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: usize,
+    height: usize,
+    format: PixelFormat,
+    pixels: Vec<u64>,
+}
+
+impl Frame {
+    /// Creates a frame from raw row-major pixels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the dimensions are
+    /// zero, do not match the pixel count, or a pixel exceeds the
+    /// format's range.
+    pub fn from_pixels(
+        width: usize,
+        height: usize,
+        format: PixelFormat,
+        pixels: Vec<u64>,
+    ) -> Result<Self, CoreError> {
+        if width == 0 || height == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "dimensions",
+                message: format!("{width}x{height} frame is empty"),
+            });
+        }
+        if pixels.len() != width * height {
+            return Err(CoreError::InvalidParameter {
+                name: "pixels",
+                message: format!(
+                    "expected {} pixels for {width}x{height}, got {}",
+                    width * height,
+                    pixels.len()
+                ),
+            });
+        }
+        if let Some(&bad) = pixels.iter().find(|&&p| p > format.max_value()) {
+            return Err(CoreError::InvalidParameter {
+                name: "pixels",
+                message: format!("pixel value {bad:#x} exceeds {format} range"),
+            });
+        }
+        Ok(Self {
+            width,
+            height,
+            format,
+            pixels,
+        })
+    }
+
+    /// A diagonal gradient frame, cheap to eyeball in failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    #[must_use]
+    pub fn gradient(width: usize, height: usize, format: PixelFormat) -> Self {
+        let pixels = (0..width * height)
+            .map(|i| {
+                let x = (i % width) as u64;
+                let y = (i / width) as u64;
+                (x * 7 + y * 13) & format.max_value()
+            })
+            .collect();
+        Self::from_pixels(width, height, format, pixels).expect("generated pixels are in range")
+    }
+
+    /// A deterministic pseudo-random frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    #[must_use]
+    pub fn noise(width: usize, height: usize, format: PixelFormat, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pixels = (0..width * height)
+            .map(|_| rng.gen_range(0..=format.max_value()))
+            .collect();
+        Self::from_pixels(width, height, format, pixels).expect("generated pixels are in range")
+    }
+
+    /// A binary checkerboard (0 / max), useful for the labelling
+    /// algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width`, `height` or `cell` is zero.
+    #[must_use]
+    pub fn checkerboard(width: usize, height: usize, format: PixelFormat, cell: usize) -> Self {
+        assert!(cell > 0, "cell size must be positive");
+        let pixels = (0..width * height)
+            .map(|i| {
+                let x = (i % width) / cell;
+                let y = (i / width) / cell;
+                if (x + y).is_multiple_of(2) {
+                    format.max_value()
+                } else {
+                    0
+                }
+            })
+            .collect();
+        Self::from_pixels(width, height, format, pixels).expect("generated pixels are in range")
+    }
+
+    /// Frame width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The pixel format.
+    #[must_use]
+    pub fn format(&self) -> PixelFormat {
+        self.format
+    }
+
+    /// The row-major pixel data.
+    #[must_use]
+    pub fn pixels(&self) -> &[u64] {
+        &self.pixels
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the frame.
+    #[must_use]
+    pub fn pixel(&self, x: usize, y: usize) -> u64 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Consumes the frame, returning the raw pixels.
+    #[must_use]
+    pub fn into_pixels(self) -> Vec<u64> {
+        self.pixels
+    }
+}
+
+/// Splits a pixel into `count` bus words of `bus_bits` each, **most
+/// significant first** — the §3.3 scenario of a 24-bit RGB pixel
+/// carried over an 8-bit memory bus in "three consecutive container
+/// reads/writes".
+#[must_use]
+pub fn split_pixel(pixel: u64, bus_bits: usize, count: usize) -> Vec<u64> {
+    (0..count)
+        .rev()
+        .map(|i| (pixel >> (i * bus_bits)) & ((1 << bus_bits) - 1))
+        .collect()
+}
+
+/// Reassembles a pixel from bus words produced by [`split_pixel`].
+#[must_use]
+pub fn join_pixel(words: &[u64], bus_bits: usize) -> u64 {
+    words
+        .iter()
+        .fold(0, |acc, &w| (acc << bus_bits) | (w & ((1 << bus_bits) - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_have_expected_widths() {
+        assert_eq!(PixelFormat::Gray8.bits(), 8);
+        assert_eq!(PixelFormat::Rgb24.bits(), 24);
+        assert_eq!(PixelFormat::Gray8.max_value(), 255);
+        assert_eq!(PixelFormat::Rgb24.max_value(), 0xFF_FFFF);
+    }
+
+    #[test]
+    fn from_pixels_validates() {
+        assert!(Frame::from_pixels(0, 4, PixelFormat::Gray8, vec![]).is_err());
+        assert!(Frame::from_pixels(2, 2, PixelFormat::Gray8, vec![0; 3]).is_err());
+        assert!(Frame::from_pixels(2, 2, PixelFormat::Gray8, vec![0, 1, 2, 256]).is_err());
+        assert!(Frame::from_pixels(2, 2, PixelFormat::Gray8, vec![0, 1, 2, 255]).is_ok());
+    }
+
+    #[test]
+    fn gradient_is_deterministic_and_in_range() {
+        let a = Frame::gradient(8, 4, PixelFormat::Gray8);
+        let b = Frame::gradient(8, 4, PixelFormat::Gray8);
+        assert_eq!(a, b);
+        assert!(a.pixels().iter().all(|&p| p <= 255));
+        assert_eq!(a.pixel(1, 0), 7);
+        assert_eq!(a.pixel(0, 1), 13);
+    }
+
+    #[test]
+    fn noise_depends_on_seed_only() {
+        let a = Frame::noise(8, 8, PixelFormat::Rgb24, 42);
+        let b = Frame::noise(8, 8, PixelFormat::Rgb24, 42);
+        let c = Frame::noise(8, 8, PixelFormat::Rgb24, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.pixels().iter().all(|&p| p <= 0xFF_FFFF));
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let f = Frame::checkerboard(4, 4, PixelFormat::Gray8, 2);
+        assert_eq!(f.pixel(0, 0), 255);
+        assert_eq!(f.pixel(2, 0), 0);
+        assert_eq!(f.pixel(0, 2), 0);
+        assert_eq!(f.pixel(2, 2), 255);
+    }
+
+    #[test]
+    fn split_join_round_trip() {
+        let pixel = 0xAABBCC;
+        let words = split_pixel(pixel, 8, 3);
+        assert_eq!(words, vec![0xAA, 0xBB, 0xCC]);
+        assert_eq!(join_pixel(&words, 8), pixel);
+    }
+
+    #[test]
+    fn split_is_msb_first() {
+        assert_eq!(split_pixel(0x123456, 8, 3)[0], 0x12);
+    }
+}

@@ -1,0 +1,257 @@
+//! Container specifications and their mapping onto physical targets.
+//!
+//! In the paper, "containers may be mapped to several physical
+//! devices" and "metaprogramming defers until the last moment the
+//! selection of the proper implementation of a container" (§3.4). A
+//! [`ContainerSpec`] is the target-independent part of that decision;
+//! [`PhysicalTarget`] is the deferred choice.
+
+use crate::classify::ContainerKind;
+use crate::CoreError;
+use std::fmt;
+
+/// A physical device a container may be implemented over (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhysicalTarget {
+    /// On-chip FIFO core (built from block RAM plus pointer logic).
+    FifoCore,
+    /// On-chip LIFO core.
+    LifoCore,
+    /// On-chip block RAM, directly addressed.
+    BlockRam,
+    /// External static RAM behind a req/ack controller with the given
+    /// access latency in cycles.
+    ExternalSram {
+        /// Access latency in clock cycles (at least 1).
+        latency: u32,
+    },
+    /// The special 3-line buffer of the blur example, which presents
+    /// three vertically adjacent pixels per access (§4).
+    LineBuffer3 {
+        /// Pixels per video line.
+        line_width: usize,
+    },
+}
+
+impl PhysicalTarget {
+    /// Whether the target is on-chip (consumes FPGA block RAM) or an
+    /// external part.
+    #[must_use]
+    pub fn is_on_chip(self) -> bool {
+        !matches!(self, PhysicalTarget::ExternalSram { .. })
+    }
+}
+
+impl fmt::Display for PhysicalTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysicalTarget::FifoCore => f.write_str("fifo core"),
+            PhysicalTarget::LifoCore => f.write_str("lifo core"),
+            PhysicalTarget::BlockRam => f.write_str("block ram"),
+            PhysicalTarget::ExternalSram { latency } => {
+                write!(f, "external sram (latency {latency})")
+            }
+            PhysicalTarget::LineBuffer3 { line_width } => {
+                write!(f, "3-line buffer (line {line_width})")
+            }
+        }
+    }
+}
+
+/// A target-independent container instance: kind, element width and
+/// capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerSpec {
+    kind: ContainerKind,
+    data_width: usize,
+    capacity: usize,
+}
+
+impl ContainerSpec {
+    /// Describes a container holding `capacity` elements of
+    /// `data_width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a zero capacity or
+    /// a width outside `1..=64`.
+    pub fn new(kind: ContainerKind, data_width: usize, capacity: usize) -> Result<Self, CoreError> {
+        if data_width == 0 || data_width > 64 {
+            return Err(CoreError::InvalidParameter {
+                name: "data_width",
+                message: format!("{data_width} bits (must be 1..=64)"),
+            });
+        }
+        if capacity == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "capacity",
+                message: "capacity must be positive".into(),
+            });
+        }
+        Ok(Self {
+            kind,
+            data_width,
+            capacity,
+        })
+    }
+
+    /// The container kind.
+    #[must_use]
+    pub fn kind(&self) -> ContainerKind {
+        self.kind
+    }
+
+    /// Element width in bits.
+    #[must_use]
+    pub fn data_width(&self) -> usize {
+        self.data_width
+    }
+
+    /// Capacity in elements.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The physical targets able to implement this container.
+    ///
+    /// Following §3.4: every container "can be implemented in any kind
+    /// of RAM memory"; sequential containers additionally map onto the
+    /// matching stream core — queues and read/write buffers onto FIFO
+    /// cores, stacks onto LIFO cores — and a read buffer may use the
+    /// special 3-line buffer for convolution workloads.
+    #[must_use]
+    pub fn allowed_targets(&self) -> Vec<PhysicalTarget> {
+        let ram = [
+            PhysicalTarget::BlockRam,
+            PhysicalTarget::ExternalSram { latency: 1 },
+        ];
+        let mut targets: Vec<PhysicalTarget> = Vec::new();
+        match self.kind {
+            ContainerKind::Queue | ContainerKind::WriteBuffer => {
+                targets.push(PhysicalTarget::FifoCore);
+            }
+            ContainerKind::ReadBuffer => {
+                targets.push(PhysicalTarget::FifoCore);
+                targets.push(PhysicalTarget::LineBuffer3 { line_width: 0 });
+            }
+            ContainerKind::Stack => {
+                targets.push(PhysicalTarget::LifoCore);
+            }
+            ContainerKind::Vector | ContainerKind::AssocArray => {}
+        }
+        targets.extend(ram);
+        targets
+    }
+
+    /// Checks that `target` can implement this container.
+    ///
+    /// Latency and line-width parameters are not compared — only the
+    /// target family matters for legality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IncompatibleTarget`] for an illegal pair
+    /// (e.g. a vector over a FIFO core, which cannot provide random
+    /// access).
+    pub fn check_target(&self, target: PhysicalTarget) -> Result<(), CoreError> {
+        let ok = self
+            .allowed_targets()
+            .iter()
+            .any(|t| std::mem::discriminant(t) == std::mem::discriminant(&target));
+        if ok {
+            Ok(())
+        } else {
+            Err(CoreError::IncompatibleTarget {
+                container: self.kind.to_string(),
+                target: target.to_string(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for ContainerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} x {} bits)",
+            self.kind, self.capacity, self.data_width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validates_parameters() {
+        assert!(ContainerSpec::new(ContainerKind::Queue, 0, 16).is_err());
+        assert!(ContainerSpec::new(ContainerKind::Queue, 65, 16).is_err());
+        assert!(ContainerSpec::new(ContainerKind::Queue, 8, 0).is_err());
+        assert!(ContainerSpec::new(ContainerKind::Queue, 8, 16).is_ok());
+    }
+
+    #[test]
+    fn queue_maps_to_fifo_and_rams() {
+        let spec = ContainerSpec::new(ContainerKind::Queue, 8, 64).unwrap();
+        spec.check_target(PhysicalTarget::FifoCore).unwrap();
+        spec.check_target(PhysicalTarget::BlockRam).unwrap();
+        spec.check_target(PhysicalTarget::ExternalSram { latency: 3 })
+            .unwrap();
+        assert!(spec.check_target(PhysicalTarget::LifoCore).is_err());
+    }
+
+    #[test]
+    fn stack_maps_to_lifo_not_fifo() {
+        let spec = ContainerSpec::new(ContainerKind::Stack, 8, 64).unwrap();
+        spec.check_target(PhysicalTarget::LifoCore).unwrap();
+        assert!(spec.check_target(PhysicalTarget::FifoCore).is_err());
+    }
+
+    #[test]
+    fn vector_needs_random_access_device() {
+        let spec = ContainerSpec::new(ContainerKind::Vector, 8, 256).unwrap();
+        spec.check_target(PhysicalTarget::BlockRam).unwrap();
+        spec.check_target(PhysicalTarget::ExternalSram { latency: 2 })
+            .unwrap();
+        assert!(spec.check_target(PhysicalTarget::FifoCore).is_err());
+        assert!(spec
+            .check_target(PhysicalTarget::LineBuffer3 { line_width: 64 })
+            .is_err());
+    }
+
+    #[test]
+    fn read_buffer_admits_line_buffer() {
+        let spec = ContainerSpec::new(ContainerKind::ReadBuffer, 8, 64).unwrap();
+        spec.check_target(PhysicalTarget::LineBuffer3 { line_width: 64 })
+            .unwrap();
+        spec.check_target(PhysicalTarget::FifoCore).unwrap();
+    }
+
+    #[test]
+    fn latency_does_not_affect_legality() {
+        let spec = ContainerSpec::new(ContainerKind::WriteBuffer, 8, 64).unwrap();
+        for latency in [1, 2, 10] {
+            spec.check_target(PhysicalTarget::ExternalSram { latency })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn on_chip_classification() {
+        assert!(PhysicalTarget::FifoCore.is_on_chip());
+        assert!(PhysicalTarget::BlockRam.is_on_chip());
+        assert!(!PhysicalTarget::ExternalSram { latency: 1 }.is_on_chip());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let spec = ContainerSpec::new(ContainerKind::ReadBuffer, 8, 512).unwrap();
+        assert_eq!(spec.to_string(), "read buffer (512 x 8 bits)");
+        assert_eq!(
+            PhysicalTarget::ExternalSram { latency: 2 }.to_string(),
+            "external sram (latency 2)"
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Four-state logic values modelled after VHDL `std_logic`.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A single four-state logic value.
+///
+/// The paper's generated components are plain VHDL using `std_logic`
+/// ports (Figures 4 and 5). Of the nine `std_logic` states only four are
+/// relevant to synthesis and cycle simulation: strong `'0'`/`'1'`, the
+/// unknown `'X'` produced by uninitialised storage or bus conflicts, and
+/// the high-impedance `'Z'` used on shared buses (the external SRAM data
+/// bus on the XSB-300E board is such a bus).
+///
+/// Logical operators follow the IEEE 1164 resolution rules restricted to
+/// these four states: `Z` behaves as an unknown input to gates.
+///
+/// # Example
+///
+/// ```
+/// use hdp_hdl::Bit;
+///
+/// assert_eq!(Bit::One & Bit::Zero, Bit::Zero);
+/// assert_eq!(Bit::One & Bit::X, Bit::X);
+/// assert_eq!(Bit::Zero & Bit::X, Bit::Zero); // 0 dominates AND
+/// assert_eq!(!Bit::Zero, Bit::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Bit {
+    /// Strong logic low, `'0'`.
+    #[default]
+    Zero,
+    /// Strong logic high, `'1'`.
+    One,
+    /// Unknown, `'X'`.
+    X,
+    /// High impedance, `'Z'`.
+    Z,
+}
+
+impl Bit {
+    /// Returns `true` if the value is a defined `0` or `1`.
+    ///
+    /// ```
+    /// use hdp_hdl::Bit;
+    /// assert!(Bit::One.is_defined());
+    /// assert!(!Bit::Z.is_defined());
+    /// ```
+    #[must_use]
+    pub fn is_defined(self) -> bool {
+        matches!(self, Bit::Zero | Bit::One)
+    }
+
+    /// Converts to `bool`, treating `X` and `Z` as undefined.
+    ///
+    /// ```
+    /// use hdp_hdl::Bit;
+    /// assert_eq!(Bit::One.to_bool(), Some(true));
+    /// assert_eq!(Bit::X.to_bool(), None);
+    /// ```
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Bit::Zero => Some(false),
+            Bit::One => Some(true),
+            Bit::X | Bit::Z => None,
+        }
+    }
+
+    /// IEEE 1164 resolution of two drivers on the same net.
+    ///
+    /// `Z` yields to any driven value; conflicting strong drivers
+    /// resolve to `X`.
+    ///
+    /// ```
+    /// use hdp_hdl::Bit;
+    /// assert_eq!(Bit::Z.resolve(Bit::One), Bit::One);
+    /// assert_eq!(Bit::One.resolve(Bit::Zero), Bit::X);
+    /// assert_eq!(Bit::Z.resolve(Bit::Z), Bit::Z);
+    /// ```
+    #[must_use]
+    pub fn resolve(self, other: Bit) -> Bit {
+        match (self, other) {
+            (Bit::Z, b) => b,
+            (a, Bit::Z) => a,
+            (a, b) if a == b => a,
+            _ => Bit::X,
+        }
+    }
+
+    /// The VHDL character literal for this value (`'0'`, `'1'`, `'X'`, `'Z'`).
+    #[must_use]
+    pub fn to_char(self) -> char {
+        match self {
+            Bit::Zero => '0',
+            Bit::One => '1',
+            Bit::X => 'X',
+            Bit::Z => 'Z',
+        }
+    }
+
+    /// Parses a VHDL character literal.
+    ///
+    /// Accepts `0`, `1`, `X`/`x`, `Z`/`z`, plus the common aliases
+    /// `U`/`u`, `W`/`w`, `-` (mapped to `X`) and `L`/`H` (mapped to the
+    /// corresponding strong value), following `to_X01Z` semantics.
+    ///
+    /// ```
+    /// use hdp_hdl::Bit;
+    /// assert_eq!(Bit::from_char('H'), Some(Bit::One));
+    /// assert_eq!(Bit::from_char('q'), None);
+    /// ```
+    #[must_use]
+    pub fn from_char(c: char) -> Option<Bit> {
+        match c {
+            '0' | 'L' | 'l' => Some(Bit::Zero),
+            '1' | 'H' | 'h' => Some(Bit::One),
+            'X' | 'x' | 'U' | 'u' | 'W' | 'w' | '-' => Some(Bit::X),
+            'Z' | 'z' => Some(Bit::Z),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(value: bool) -> Self {
+        if value {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+impl Not for Bit {
+    type Output = Bit;
+
+    fn not(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+            Bit::X | Bit::Z => Bit::X,
+        }
+    }
+}
+
+impl BitAnd for Bit {
+    type Output = Bit;
+
+    fn bitand(self, rhs: Bit) -> Bit {
+        match (self, rhs) {
+            (Bit::Zero, _) | (_, Bit::Zero) => Bit::Zero,
+            (Bit::One, Bit::One) => Bit::One,
+            _ => Bit::X,
+        }
+    }
+}
+
+impl BitOr for Bit {
+    type Output = Bit;
+
+    fn bitor(self, rhs: Bit) -> Bit {
+        match (self, rhs) {
+            (Bit::One, _) | (_, Bit::One) => Bit::One,
+            (Bit::Zero, Bit::Zero) => Bit::Zero,
+            _ => Bit::X,
+        }
+    }
+}
+
+impl BitXor for Bit {
+    type Output = Bit;
+
+    fn bitxor(self, rhs: Bit) -> Bit {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Bit::from(a ^ b),
+            _ => Bit::X,
+        }
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'{}'", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Bit; 4] = [Bit::Zero, Bit::One, Bit::X, Bit::Z];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Bit::One & Bit::One, Bit::One);
+        assert_eq!(Bit::One & Bit::Zero, Bit::Zero);
+        assert_eq!(Bit::Zero & Bit::X, Bit::Zero);
+        assert_eq!(Bit::One & Bit::X, Bit::X);
+        assert_eq!(Bit::Z & Bit::One, Bit::X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Bit::Zero | Bit::Zero, Bit::Zero);
+        assert_eq!(Bit::One | Bit::X, Bit::One);
+        assert_eq!(Bit::Zero | Bit::X, Bit::X);
+        assert_eq!(Bit::Z | Bit::Zero, Bit::X);
+    }
+
+    #[test]
+    fn xor_is_defined_only_on_defined_inputs() {
+        assert_eq!(Bit::One ^ Bit::Zero, Bit::One);
+        assert_eq!(Bit::One ^ Bit::One, Bit::Zero);
+        for b in ALL {
+            assert_eq!(Bit::X ^ b, Bit::X);
+            assert_eq!(b ^ Bit::Z, Bit::X);
+        }
+    }
+
+    #[test]
+    fn not_inverts_defined_values() {
+        assert_eq!(!Bit::Zero, Bit::One);
+        assert_eq!(!Bit::One, Bit::Zero);
+        assert_eq!(!Bit::X, Bit::X);
+        assert_eq!(!Bit::Z, Bit::X);
+    }
+
+    #[test]
+    fn resolution_is_commutative() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.resolve(b), b.resolve(a), "{a} resolve {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_z_is_identity() {
+        for a in ALL {
+            assert_eq!(Bit::Z.resolve(a), a);
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for a in ALL {
+            assert_eq!(Bit::from_char(a.to_char()), Some(a));
+        }
+    }
+
+    #[test]
+    fn from_bool() {
+        assert_eq!(Bit::from(true), Bit::One);
+        assert_eq!(Bit::from(false), Bit::Zero);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Bit::default(), Bit::Zero);
+    }
+
+    #[test]
+    fn display_uses_vhdl_literal_syntax() {
+        assert_eq!(Bit::One.to_string(), "'1'");
+        assert_eq!(Bit::Z.to_string(), "'Z'");
+    }
+}

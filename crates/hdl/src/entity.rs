@@ -1,0 +1,368 @@
+//! Entity declarations: the external interface of a generated component.
+
+use crate::ident::is_valid_identifier;
+use crate::HdlError;
+use std::fmt;
+
+/// Direction of an entity port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Input port (`in`).
+    In,
+    /// Output port (`out`).
+    Out,
+    /// Bidirectional port (`inout`), used for shared tri-state buses
+    /// such as an external SRAM data bus.
+    InOut,
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PortDir::In => "in",
+            PortDir::Out => "out",
+            PortDir::InOut => "inout",
+        })
+    }
+}
+
+/// A single entity port.
+///
+/// The paper's generated entities (Figures 4 and 5) partition ports into
+/// three groups: *methods* (operation strobes such as `m_pop`), *params*
+/// (operation data such as `data`/`done`) and the *implementation
+/// interface* (physical-device pins such as `p_read` or `p_addr`). The
+/// optional [`Port::group`] label preserves this structure so the VHDL
+/// printer can reproduce the figure layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    name: String,
+    dir: PortDir,
+    width: usize,
+    group: Option<String>,
+}
+
+impl Port {
+    /// The port name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The port direction.
+    #[must_use]
+    pub fn dir(&self) -> PortDir {
+        self.dir
+    }
+
+    /// The port width in bits. Width 1 renders as `std_logic`, wider
+    /// ports as `std_logic_vector(width-1 downto 0)`.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The interface group this port belongs to, if any.
+    #[must_use]
+    pub fn group(&self) -> Option<&str> {
+        self.group.as_deref()
+    }
+}
+
+/// The value of an entity generic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenericValue {
+    /// An `integer` generic.
+    Int(i64),
+    /// A `natural` generic constrained to be non-negative.
+    Natural(u64),
+    /// A `string` generic.
+    Str(String),
+}
+
+impl fmt::Display for GenericValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenericValue::Int(v) => write!(f, "{v}"),
+            GenericValue::Natural(v) => write!(f, "{v}"),
+            GenericValue::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+/// An entity generic with its default value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Generic {
+    name: String,
+    value: GenericValue,
+}
+
+impl Generic {
+    /// The generic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The default value.
+    #[must_use]
+    pub fn value(&self) -> &GenericValue {
+        &self.value
+    }
+
+    /// The VHDL type name for this generic.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self.value {
+            GenericValue::Int(_) => "integer",
+            GenericValue::Natural(_) => "natural",
+            GenericValue::Str(_) => "string",
+        }
+    }
+}
+
+/// A VHDL entity declaration: name, generics and ports.
+///
+/// Construct with [`Entity::builder`]. See the crate-level example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    name: String,
+    generics: Vec<Generic>,
+    ports: Vec<Port>,
+}
+
+impl Entity {
+    /// Starts building an entity with the given name.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> EntityBuilder {
+        EntityBuilder {
+            name: name.into(),
+            generics: Vec::new(),
+            ports: Vec::new(),
+            current_group: None,
+        }
+    }
+
+    /// The entity name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared generics, in declaration order.
+    #[must_use]
+    pub fn generics(&self) -> &[Generic] {
+        &self.generics
+    }
+
+    /// The declared ports, in declaration order.
+    #[must_use]
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Looks up a port by name.
+    #[must_use]
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Ports belonging to the given interface group, in declaration order.
+    pub fn ports_in_group<'a>(&'a self, group: &'a str) -> impl Iterator<Item = &'a Port> + 'a {
+        self.ports
+            .iter()
+            .filter(move |p| p.group.as_deref() == Some(group))
+    }
+}
+
+impl fmt::Display for Entity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "entity {} ({} ports)", self.name, self.ports.len())
+    }
+}
+
+/// Incremental builder for [`Entity`].
+///
+/// Port and generic declarations validate names and widths eagerly, so
+/// a bad declaration fails at the call site rather than at `build`.
+#[derive(Debug, Clone)]
+pub struct EntityBuilder {
+    name: String,
+    generics: Vec<Generic>,
+    ports: Vec<Port>,
+    current_group: Option<String>,
+}
+
+impl EntityBuilder {
+    /// Begins an interface group; subsequent ports carry this label until
+    /// the next [`EntityBuilder::group`] call.
+    #[must_use]
+    pub fn group(mut self, label: impl Into<String>) -> Self {
+        self.current_group = Some(label.into());
+        self
+    }
+
+    /// Declares a port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::InvalidIdentifier`], [`HdlError::InvalidWidth`]
+    /// or [`HdlError::DuplicateName`]; the same error resurfaces from
+    /// [`EntityBuilder::build`].
+    pub fn port(mut self, name: &str, dir: PortDir, width: usize) -> Result<Self, HdlError> {
+        if !is_valid_identifier(name) {
+            return Err(HdlError::InvalidIdentifier { name: name.into() });
+        }
+        if width == 0 || width > crate::vector::MAX_WIDTH {
+            return Err(HdlError::InvalidWidth { width });
+        }
+        if self.ports.iter().any(|p| p.name == name) {
+            return Err(HdlError::DuplicateName {
+                name: name.into(),
+                kind: "port",
+            });
+        }
+        self.ports.push(Port {
+            name: name.into(),
+            dir,
+            width,
+            group: self.current_group.clone(),
+        });
+        Ok(self)
+    }
+
+    /// Declares a generic with a default value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::InvalidIdentifier`] or
+    /// [`HdlError::DuplicateName`].
+    pub fn generic(mut self, name: &str, value: GenericValue) -> Result<Self, HdlError> {
+        if !is_valid_identifier(name) {
+            return Err(HdlError::InvalidIdentifier { name: name.into() });
+        }
+        if self.generics.iter().any(|g| g.name == name) {
+            return Err(HdlError::DuplicateName {
+                name: name.into(),
+                kind: "generic",
+            });
+        }
+        self.generics.push(Generic {
+            name: name.into(),
+            value,
+        });
+        Ok(self)
+    }
+
+    /// Finishes the entity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::InvalidIdentifier`] if the entity name is
+    /// illegal.
+    pub fn build(self) -> Result<Entity, HdlError> {
+        if !is_valid_identifier(&self.name) {
+            return Err(HdlError::InvalidIdentifier { name: self.name });
+        }
+        Ok(Entity {
+            name: self.name,
+            generics: self.generics,
+            ports: self.ports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rbuffer_fifo() -> Entity {
+        Entity::builder("rbuffer_fifo")
+            .group("methods")
+            .port("m_empty", PortDir::In, 1)
+            .unwrap()
+            .port("m_size", PortDir::In, 1)
+            .unwrap()
+            .port("m_pop", PortDir::In, 1)
+            .unwrap()
+            .group("params")
+            .port("data", PortDir::Out, 8)
+            .unwrap()
+            .port("done", PortDir::Out, 1)
+            .unwrap()
+            .group("implementation interface")
+            .port("p_empty", PortDir::In, 1)
+            .unwrap()
+            .port("p_read", PortDir::Out, 1)
+            .unwrap()
+            .port("p_data", PortDir::In, 8)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_paper_figure4_entity() {
+        let e = rbuffer_fifo();
+        assert_eq!(e.name(), "rbuffer_fifo");
+        assert_eq!(e.ports().len(), 8);
+        assert_eq!(e.port("data").unwrap().width(), 8);
+        assert_eq!(e.port("p_read").unwrap().dir(), PortDir::Out);
+    }
+
+    #[test]
+    fn groups_partition_ports() {
+        let e = rbuffer_fifo();
+        let methods: Vec<&str> = e.ports_in_group("methods").map(Port::name).collect();
+        assert_eq!(methods, vec!["m_empty", "m_size", "m_pop"]);
+        let implementation: Vec<&str> = e
+            .ports_in_group("implementation interface")
+            .map(Port::name)
+            .collect();
+        assert_eq!(implementation, vec!["p_empty", "p_read", "p_data"]);
+    }
+
+    #[test]
+    fn duplicate_port_is_rejected() {
+        let result = Entity::builder("e")
+            .port("data", PortDir::In, 1)
+            .unwrap()
+            .port("data", PortDir::Out, 1);
+        assert!(matches!(result, Err(HdlError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn invalid_entity_name_is_rejected_at_build() {
+        assert!(matches!(
+            Entity::builder("entity").build(),
+            Err(HdlError::InvalidIdentifier { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_width_port_is_rejected() {
+        assert!(matches!(
+            Entity::builder("e").port("p", PortDir::In, 0),
+            Err(HdlError::InvalidWidth { width: 0 })
+        ));
+    }
+
+    #[test]
+    fn generics_carry_types() {
+        let e = Entity::builder("e")
+            .generic("depth", GenericValue::Natural(512))
+            .unwrap()
+            .generic("device", GenericValue::Str("fifo".into()))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(e.generics()[0].type_name(), "natural");
+        assert_eq!(e.generics()[1].type_name(), "string");
+        assert_eq!(e.generics()[1].value().to_string(), "\"fifo\"");
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(rbuffer_fifo().to_string().contains("rbuffer_fifo"));
+    }
+}

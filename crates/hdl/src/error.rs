@@ -1,0 +1,157 @@
+//! Error types for the HDL intermediate representation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating HDL structures.
+///
+/// Every fallible public operation in [`crate`] returns this type, so a
+/// single `?`-friendly error covers entity construction, netlist wiring
+/// and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdlError {
+    /// A name is not a legal VHDL basic identifier.
+    InvalidIdentifier {
+        /// The offending name.
+        name: String,
+    },
+    /// Two ports, generics, nets or cells share the same name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+        /// What kind of object carries the name (`"port"`, `"net"`, ...).
+        kind: &'static str,
+    },
+    /// A vector was declared or used with width zero or above the
+    /// supported maximum of 64 bits.
+    InvalidWidth {
+        /// The requested width.
+        width: usize,
+    },
+    /// Two connected objects disagree on width.
+    WidthMismatch {
+        /// Description of the connection site.
+        context: String,
+        /// Width expected at the site.
+        expected: usize,
+        /// Width actually found.
+        found: usize,
+    },
+    /// A net is driven by more than one cell output or input port.
+    MultipleDrivers {
+        /// Name of the multiply-driven net.
+        net: String,
+    },
+    /// A net has no driver at all.
+    NoDriver {
+        /// Name of the undriven net.
+        net: String,
+    },
+    /// A cell pin or entity port was left unconnected.
+    Unconnected {
+        /// Description of the dangling pin.
+        context: String,
+    },
+    /// A referenced net, cell or port does not exist.
+    NotFound {
+        /// What kind of object was looked up.
+        kind: &'static str,
+        /// The name or index that failed to resolve.
+        name: String,
+    },
+    /// The combinational part of a netlist contains a cycle.
+    CombinationalLoop {
+        /// Name of a net on the cycle.
+        net: String,
+    },
+    /// A value does not fit in the vector width it was assigned to.
+    ValueOverflow {
+        /// The value that overflowed.
+        value: u64,
+        /// The destination width in bits.
+        width: usize,
+    },
+    /// An index into a vector or memory is out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The valid length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdlError::InvalidIdentifier { name } => {
+                write!(f, "invalid VHDL identifier `{name}`")
+            }
+            HdlError::DuplicateName { name, kind } => {
+                write!(f, "duplicate {kind} name `{name}`")
+            }
+            HdlError::InvalidWidth { width } => {
+                write!(f, "invalid vector width {width} (must be 1..=64)")
+            }
+            HdlError::WidthMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "width mismatch at {context}: expected {expected}, found {found}"
+            ),
+            HdlError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            HdlError::NoDriver { net } => write!(f, "net `{net}` has no driver"),
+            HdlError::Unconnected { context } => {
+                write!(f, "unconnected pin at {context}")
+            }
+            HdlError::NotFound { kind, name } => write!(f, "{kind} `{name}` not found"),
+            HdlError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net `{net}`")
+            }
+            HdlError::ValueOverflow { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits")
+            }
+            HdlError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+        }
+    }
+}
+
+impl Error for HdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = HdlError::InvalidIdentifier {
+            name: "9bad".into(),
+        };
+        let text = err.to_string();
+        assert!(text.starts_with("invalid"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdlError>();
+    }
+
+    #[test]
+    fn width_mismatch_mentions_both_widths() {
+        let err = HdlError::WidthMismatch {
+            context: "port data".into(),
+            expected: 8,
+            found: 24,
+        };
+        let text = err.to_string();
+        assert!(text.contains('8') && text.contains("24"));
+    }
+}

@@ -1,0 +1,200 @@
+//! VHDL identifier legality checks.
+
+/// VHDL'93 reserved words that may not be used as identifiers.
+const RESERVED: &[&str] = &[
+    "abs",
+    "access",
+    "after",
+    "alias",
+    "all",
+    "and",
+    "architecture",
+    "array",
+    "assert",
+    "attribute",
+    "begin",
+    "block",
+    "body",
+    "buffer",
+    "bus",
+    "case",
+    "component",
+    "configuration",
+    "constant",
+    "disconnect",
+    "downto",
+    "else",
+    "elsif",
+    "end",
+    "entity",
+    "exit",
+    "file",
+    "for",
+    "function",
+    "generate",
+    "generic",
+    "group",
+    "guarded",
+    "if",
+    "impure",
+    "in",
+    "inertial",
+    "inout",
+    "is",
+    "label",
+    "library",
+    "linkage",
+    "literal",
+    "loop",
+    "map",
+    "mod",
+    "nand",
+    "new",
+    "next",
+    "nor",
+    "not",
+    "null",
+    "of",
+    "on",
+    "open",
+    "or",
+    "others",
+    "out",
+    "package",
+    "port",
+    "postponed",
+    "procedure",
+    "process",
+    "pure",
+    "range",
+    "record",
+    "register",
+    "reject",
+    "rem",
+    "report",
+    "return",
+    "rol",
+    "ror",
+    "select",
+    "severity",
+    "signal",
+    "shared",
+    "sla",
+    "sll",
+    "sra",
+    "srl",
+    "subtype",
+    "then",
+    "to",
+    "transport",
+    "type",
+    "unaffected",
+    "units",
+    "until",
+    "use",
+    "variable",
+    "wait",
+    "when",
+    "while",
+    "with",
+    "xnor",
+    "xor",
+];
+
+/// Returns `true` if `name` is a legal VHDL basic identifier.
+///
+/// A basic identifier starts with a letter, continues with letters,
+/// digits or single underscores, does not end with an underscore, and is
+/// not a reserved word (case-insensitively).
+///
+/// # Example
+///
+/// ```
+/// use hdp_hdl::is_valid_identifier;
+///
+/// assert!(is_valid_identifier("rbuffer_fifo"));
+/// assert!(is_valid_identifier("p_addr"));
+/// assert!(!is_valid_identifier("9lives"));
+/// assert!(!is_valid_identifier("double__under"));
+/// assert!(!is_valid_identifier("signal"));
+/// assert!(!is_valid_identifier("trailing_"));
+/// ```
+#[must_use]
+pub fn is_valid_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    if !first.is_ascii_alphabetic() {
+        return false;
+    }
+    let mut prev_underscore = false;
+    for c in chars {
+        if c == '_' {
+            if prev_underscore {
+                return false;
+            }
+            prev_underscore = true;
+        } else if c.is_ascii_alphanumeric() {
+            prev_underscore = false;
+        } else {
+            return false;
+        }
+    }
+    if name.ends_with('_') {
+        return false;
+    }
+    let lower = name.to_ascii_lowercase();
+    !RESERVED.contains(&lower.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_paper_identifiers() {
+        for name in [
+            "rbuffer_fifo",
+            "rbuffer_sram",
+            "m_empty",
+            "m_size",
+            "m_pop",
+            "data",
+            "done",
+            "p_empty",
+            "p_read",
+            "p_data",
+            "p_addr",
+            "req",
+            "ack",
+            "wbuffer_it",
+        ] {
+            assert!(is_valid_identifier(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn rejects_reserved_words_case_insensitively() {
+        assert!(!is_valid_identifier("entity"));
+        assert!(!is_valid_identifier("ENTITY"));
+        assert!(!is_valid_identifier("Signal"));
+    }
+
+    #[test]
+    fn rejects_malformed_names() {
+        assert!(!is_valid_identifier(""));
+        assert!(!is_valid_identifier("_lead"));
+        assert!(!is_valid_identifier("trail_"));
+        assert!(!is_valid_identifier("a__b"));
+        assert!(!is_valid_identifier("has space"));
+        assert!(!is_valid_identifier("ünïcode"));
+        assert!(!is_valid_identifier("3com"));
+    }
+
+    #[test]
+    fn single_letter_is_valid() {
+        assert!(is_valid_identifier("a"));
+        assert!(is_valid_identifier("q0"));
+    }
+}

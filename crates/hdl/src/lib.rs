@@ -1,0 +1,60 @@
+//! # hdp-hdl — hardware description intermediate representation
+//!
+//! This crate is the lowest substrate of the `hdp` workspace, the
+//! reproduction of *"Model Reuse through Hardware Design Patterns"*
+//! (Rincón et al., DATE 2005). The paper's metaprogramming code generator
+//! emits "a set of efficient VHDL components, ready to be synthesized"
+//! (§3.4); this crate provides everything such a generator needs:
+//!
+//! * [`Bit`] and [`LogicVector`] — four-state logic values modelled after
+//!   VHDL's `std_logic` / `std_logic_vector`.
+//! * [`Entity`], [`Port`], [`Generic`] — component interface declarations,
+//!   mirroring the entities of the paper's Figures 4 and 5.
+//! * [`Netlist`] and the primitive cell library in [`prim`] — structural
+//!   architectures built from technology primitives (registers, LUT logic,
+//!   adders, comparators, muxes, counters, block RAM and FIFO macros).
+//! * [`vhdl`] — a VHDL pretty-printer that renders entities and structural
+//!   architectures as synthesizable VHDL'93 text.
+//! * [`validate`] — structural sanity checks (single driver per net, port
+//!   width agreement, dangling pins, identifier legality).
+//!
+//! Downstream, `hdp-sim` interprets netlists cycle-accurately and
+//! `hdp-synth` maps them onto Spartan-IIE resources to reproduce the
+//! paper's Table 3.
+//!
+//! ## Example
+//!
+//! ```
+//! use hdp_hdl::{Entity, PortDir};
+//!
+//! # fn main() -> Result<(), hdp_hdl::HdlError> {
+//! let entity = Entity::builder("rbuffer_fifo")
+//!     .port("m_pop", PortDir::In, 1)?
+//!     .port("data", PortDir::Out, 8)?
+//!     .port("done", PortDir::Out, 1)?
+//!     .build()?;
+//! assert_eq!(entity.name(), "rbuffer_fifo");
+//! assert_eq!(entity.ports().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bit;
+mod entity;
+mod error;
+mod ident;
+mod netlist;
+pub mod prim;
+pub mod validate;
+mod vector;
+pub mod vhdl;
+
+pub use bit::Bit;
+pub use entity::{Entity, EntityBuilder, Generic, GenericValue, Port, PortDir};
+pub use error::HdlError;
+pub use ident::is_valid_identifier;
+pub use netlist::{Cell, CellId, Net, NetId, Netlist, PortBinding};
+pub use vector::{LogicVector, MAX_WIDTH};

@@ -1,0 +1,643 @@
+//! Structural netlists: graphs of primitive cells connected by nets.
+
+use crate::prim::Prim;
+use crate::{Entity, HdlError, PortDir};
+
+/// Identifier of a net inside one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// The raw index of the net.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a cell inside one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) usize);
+
+impl CellId {
+    /// The raw index of the cell.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A named wire of a fixed width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    name: String,
+    width: usize,
+}
+
+impl Net {
+    /// The net name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The net width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// An instantiated primitive with its pin connections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    name: String,
+    prim: Prim,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+}
+
+impl Cell {
+    /// The instance name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The primitive this cell instantiates.
+    #[must_use]
+    pub fn prim(&self) -> &Prim {
+        &self.prim
+    }
+
+    /// Nets connected to the input pins, in pin order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Nets connected to the output pins, in pin order.
+    #[must_use]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+}
+
+/// Association between an entity port and an internal net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortBinding {
+    port: String,
+    net: NetId,
+}
+
+impl PortBinding {
+    /// The bound entity port name.
+    #[must_use]
+    pub fn port(&self) -> &str {
+        &self.port
+    }
+
+    /// The internal net carrying the port.
+    #[must_use]
+    pub fn net(&self) -> NetId {
+        self.net
+    }
+}
+
+/// A structural architecture: an [`Entity`] plus a graph of primitive
+/// cells and nets, the output format of the metaprogramming generator.
+///
+/// The single implicit clock and synchronous reset of the paper's
+/// designs are not modelled as nets; sequential primitives are clocked
+/// by the simulator and reset globally, which matches the generated
+/// VHDL's single `clk`/`rst` pair.
+///
+/// # Example
+///
+/// ```
+/// use hdp_hdl::{Entity, Netlist, PortDir};
+/// use hdp_hdl::prim::Prim;
+///
+/// # fn main() -> Result<(), hdp_hdl::HdlError> {
+/// let entity = Entity::builder("inc8")
+///     .port("a", PortDir::In, 8)?
+///     .port("y", PortDir::Out, 8)?
+///     .build()?;
+/// let mut netlist = Netlist::new(entity);
+/// let a = netlist.add_net("a", 8)?;
+/// let y = netlist.add_net("y", 8)?;
+/// netlist.add_cell("u_inc", Prim::Inc { width: 8 }, vec![a], vec![y])?;
+/// netlist.bind_port("a", a)?;
+/// netlist.bind_port("y", y)?;
+/// hdp_hdl::validate::check(&netlist)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    entity: Entity,
+    nets: Vec<Net>,
+    cells: Vec<Cell>,
+    bindings: Vec<PortBinding>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist implementing `entity`.
+    #[must_use]
+    pub fn new(entity: Entity) -> Self {
+        Self {
+            entity,
+            nets: Vec::new(),
+            cells: Vec::new(),
+            bindings: Vec::new(),
+        }
+    }
+
+    /// The entity this netlist implements.
+    #[must_use]
+    pub fn entity(&self) -> &Entity {
+        &self.entity
+    }
+
+    /// All nets, indexable by [`NetId::index`].
+    #[must_use]
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All cells, indexable by [`CellId::index`].
+    #[must_use]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// All port bindings.
+    #[must_use]
+    pub fn bindings(&self) -> &[PortBinding] {
+        &self.bindings
+    }
+
+    /// Looks up a net by id.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0]
+    }
+
+    /// Looks up a cell by id.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.0]
+    }
+
+    /// Finds a net by name.
+    #[must_use]
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets.iter().position(|n| n.name == name).map(NetId)
+    }
+
+    /// The net bound to the named entity port, if bound.
+    #[must_use]
+    pub fn port_net(&self, port: &str) -> Option<NetId> {
+        self.bindings.iter().find(|b| b.port == port).map(|b| b.net)
+    }
+
+    /// Adds a net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::InvalidIdentifier`], [`HdlError::InvalidWidth`]
+    /// or [`HdlError::DuplicateName`].
+    pub fn add_net(&mut self, name: impl Into<String>, width: usize) -> Result<NetId, HdlError> {
+        let name = name.into();
+        if !crate::is_valid_identifier(&name) {
+            return Err(HdlError::InvalidIdentifier { name });
+        }
+        if width == 0 || width > crate::vector::MAX_WIDTH {
+            return Err(HdlError::InvalidWidth { width });
+        }
+        if self.nets.iter().any(|n| n.name == name) {
+            return Err(HdlError::DuplicateName { name, kind: "net" });
+        }
+        self.nets.push(Net { name, width });
+        Ok(NetId(self.nets.len() - 1))
+    }
+
+    /// Adds a cell, eagerly checking the pin contract of its primitive
+    /// against the connected net widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns the primitive's own validation error, plus
+    /// [`HdlError::WidthMismatch`] for wrong pin counts or widths,
+    /// [`HdlError::NotFound`] for dangling net ids and
+    /// [`HdlError::DuplicateName`] for a repeated instance name.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        prim: Prim,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+    ) -> Result<CellId, HdlError> {
+        let name = name.into();
+        if !crate::is_valid_identifier(&name) {
+            return Err(HdlError::InvalidIdentifier { name });
+        }
+        if self.cells.iter().any(|c| c.name == name) {
+            return Err(HdlError::DuplicateName { name, kind: "cell" });
+        }
+        prim.validate()?;
+        let in_w = prim.input_widths();
+        let out_w = prim.output_widths();
+        if inputs.len() != in_w.len() {
+            return Err(HdlError::WidthMismatch {
+                context: format!("cell `{name}` input pin count"),
+                expected: in_w.len(),
+                found: inputs.len(),
+            });
+        }
+        if outputs.len() != out_w.len() {
+            return Err(HdlError::WidthMismatch {
+                context: format!("cell `{name}` output pin count"),
+                expected: out_w.len(),
+                found: outputs.len(),
+            });
+        }
+        for (pin, (&net, &want)) in inputs.iter().zip(in_w.iter()).enumerate() {
+            let actual = self.net_width(net, &name)?;
+            if actual != want {
+                return Err(HdlError::WidthMismatch {
+                    context: format!("cell `{name}` input pin {pin}"),
+                    expected: want,
+                    found: actual,
+                });
+            }
+        }
+        for (pin, (&net, &want)) in outputs.iter().zip(out_w.iter()).enumerate() {
+            let actual = self.net_width(net, &name)?;
+            if actual != want {
+                return Err(HdlError::WidthMismatch {
+                    context: format!("cell `{name}` output pin {pin}"),
+                    expected: want,
+                    found: actual,
+                });
+            }
+        }
+        self.cells.push(Cell {
+            name,
+            prim,
+            inputs,
+            outputs,
+        });
+        Ok(CellId(self.cells.len() - 1))
+    }
+
+    fn net_width(&self, net: NetId, cell: &str) -> Result<usize, HdlError> {
+        self.nets
+            .get(net.0)
+            .map(|n| n.width)
+            .ok_or_else(|| HdlError::NotFound {
+                kind: "net",
+                name: format!("net #{} (cell `{cell}`)", net.0),
+            })
+    }
+
+    /// Binds an entity port to an internal net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::NotFound`] for an unknown port or net,
+    /// [`HdlError::WidthMismatch`] for a width disagreement and
+    /// [`HdlError::DuplicateName`] if the port is already bound.
+    pub fn bind_port(&mut self, port: &str, net: NetId) -> Result<(), HdlError> {
+        let Some(decl) = self.entity.port(port) else {
+            return Err(HdlError::NotFound {
+                kind: "port",
+                name: port.into(),
+            });
+        };
+        let width = self.net_width(net, port)?;
+        if decl.width() != width {
+            return Err(HdlError::WidthMismatch {
+                context: format!("binding of port `{port}`"),
+                expected: decl.width(),
+                found: width,
+            });
+        }
+        if self.bindings.iter().any(|b| b.port == port) {
+            return Err(HdlError::DuplicateName {
+                name: port.into(),
+                kind: "port binding",
+            });
+        }
+        self.bindings.push(PortBinding {
+            port: port.into(),
+            net,
+        });
+        Ok(())
+    }
+
+    /// Lists every driver of each net: cell output pins plus input /
+    /// inout port bindings. Index by [`NetId::index`].
+    #[must_use]
+    pub fn drivers(&self) -> Vec<Vec<Driver>> {
+        let mut drivers: Vec<Vec<Driver>> = vec![Vec::new(); self.nets.len()];
+        for (ci, cell) in self.cells.iter().enumerate() {
+            for (pin, &net) in cell.outputs.iter().enumerate() {
+                drivers[net.0].push(Driver::CellOutput {
+                    cell: CellId(ci),
+                    pin,
+                });
+            }
+        }
+        for binding in &self.bindings {
+            let dir = self
+                .entity
+                .port(&binding.port)
+                .expect("binding validated against entity")
+                .dir();
+            if matches!(dir, PortDir::In | PortDir::InOut) {
+                drivers[binding.net.0].push(Driver::InputPort {
+                    port: binding.port.clone(),
+                });
+            }
+        }
+        drivers
+    }
+
+    /// Computes a topological order of the *combinational* cells.
+    ///
+    /// Sequential cells are excluded (their outputs act as sources).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::CombinationalLoop`] naming a net on the cycle.
+    pub fn comb_topo_order(&self) -> Result<Vec<CellId>, HdlError> {
+        // Kahn's algorithm over combinational cells, with nets as the
+        // intermediate dependency carriers.
+        let mut net_ready = vec![false; self.nets.len()];
+        // Nets driven only by sequential cells or ports start ready.
+        let mut comb_driver: Vec<Vec<usize>> = vec![Vec::new(); self.nets.len()];
+        for (ci, cell) in self.cells.iter().enumerate() {
+            if cell.prim.is_sequential() {
+                continue;
+            }
+            for &net in &cell.outputs {
+                comb_driver[net.0].push(ci);
+            }
+        }
+        for (ni, drivers) in comb_driver.iter().enumerate() {
+            if drivers.is_empty() {
+                net_ready[ni] = true;
+            }
+        }
+        let comb_cells: Vec<usize> = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.prim.is_sequential())
+            .map(|(i, _)| i)
+            .collect();
+        let mut placed = vec![false; self.cells.len()];
+        let mut order = Vec::with_capacity(comb_cells.len());
+        loop {
+            let mut progressed = false;
+            for &ci in &comb_cells {
+                if placed[ci] {
+                    continue;
+                }
+                let cell = &self.cells[ci];
+                if cell.inputs.iter().all(|n| net_ready[n.0]) {
+                    placed[ci] = true;
+                    order.push(CellId(ci));
+                    progressed = true;
+                    // Outputs become ready once *all* their comb drivers
+                    // are placed (tri-state buses have several).
+                    for &net in &cell.outputs {
+                        if comb_driver[net.0].iter().all(|&d| placed[d]) {
+                            net_ready[net.0] = true;
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if order.len() != comb_cells.len() {
+            let stuck = comb_cells
+                .iter()
+                .find(|&&ci| !placed[ci])
+                .expect("some cell is unplaced");
+            let net = self.cells[*stuck]
+                .inputs
+                .iter()
+                .find(|n| !net_ready[n.0])
+                .expect("unplaced cell has an unready input");
+            return Err(HdlError::CombinationalLoop {
+                net: self.nets[net.0].name.clone(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Counts instances of each primitive mnemonic, for reports.
+    #[must_use]
+    pub fn prim_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut hist: Vec<(&'static str, usize)> = Vec::new();
+        for cell in &self.cells {
+            let key = cell.prim.mnemonic();
+            match hist.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => hist.push((key, 1)),
+            }
+        }
+        hist.sort_by_key(|(k, _)| *k);
+        hist
+    }
+}
+
+/// One driver of a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Driver {
+    /// Driven by a cell output pin.
+    CellOutput {
+        /// The driving cell.
+        cell: CellId,
+        /// The output pin index on that cell.
+        pin: usize,
+    },
+    /// Driven from outside through an `in` or `inout` port.
+    InputPort {
+        /// The port name.
+        port: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim::GateOp;
+    use crate::PortDir;
+
+    fn simple_entity() -> Entity {
+        Entity::builder("e")
+            .port("a", PortDir::In, 8)
+            .unwrap()
+            .port("y", PortDir::Out, 8)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_query_small_netlist() {
+        let mut nl = Netlist::new(simple_entity());
+        let a = nl.add_net("a", 8).unwrap();
+        let y = nl.add_net("y", 8).unwrap();
+        let c = nl
+            .add_cell("u0", Prim::Inc { width: 8 }, vec![a], vec![y])
+            .unwrap();
+        nl.bind_port("a", a).unwrap();
+        nl.bind_port("y", y).unwrap();
+        assert_eq!(nl.cell(c).name(), "u0");
+        assert_eq!(nl.find_net("y"), Some(y));
+        assert_eq!(nl.port_net("a"), Some(a));
+        assert_eq!(nl.prim_histogram(), vec![("inc", 1)]);
+    }
+
+    #[test]
+    fn pin_width_mismatch_is_rejected() {
+        let mut nl = Netlist::new(simple_entity());
+        let a = nl.add_net("a", 4).unwrap();
+        let y = nl.add_net("y", 8).unwrap();
+        let err = nl.add_cell("u0", Prim::Inc { width: 8 }, vec![a], vec![y]);
+        assert!(matches!(err, Err(HdlError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn pin_count_mismatch_is_rejected() {
+        let mut nl = Netlist::new(simple_entity());
+        let a = nl.add_net("a", 8).unwrap();
+        let y = nl.add_net("y", 8).unwrap();
+        let err = nl.add_cell(
+            "u0",
+            Prim::Gate {
+                op: GateOp::And,
+                width: 8,
+            },
+            vec![a],
+            vec![y],
+        );
+        assert!(matches!(err, Err(HdlError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut nl = Netlist::new(simple_entity());
+        nl.add_net("n", 1).unwrap();
+        assert!(matches!(
+            nl.add_net("n", 1),
+            Err(HdlError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn binding_unknown_port_fails() {
+        let mut nl = Netlist::new(simple_entity());
+        let n = nl.add_net("n", 8).unwrap();
+        assert!(matches!(
+            nl.bind_port("nope", n),
+            Err(HdlError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn binding_width_mismatch_fails() {
+        let mut nl = Netlist::new(simple_entity());
+        let n = nl.add_net("n", 4).unwrap();
+        assert!(matches!(
+            nl.bind_port("a", n),
+            Err(HdlError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn double_binding_fails() {
+        let mut nl = Netlist::new(simple_entity());
+        let n = nl.add_net("n", 8).unwrap();
+        nl.bind_port("a", n).unwrap();
+        assert!(matches!(
+            nl.bind_port("a", n),
+            Err(HdlError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut nl = Netlist::new(simple_entity());
+        let a = nl.add_net("a", 8).unwrap();
+        let m = nl.add_net("m", 8).unwrap();
+        let y = nl.add_net("y", 8).unwrap();
+        // Add in reverse dependency order on purpose.
+        let c1 = nl
+            .add_cell("second", Prim::Inc { width: 8 }, vec![m], vec![y])
+            .unwrap();
+        let c0 = nl
+            .add_cell("first", Prim::Inc { width: 8 }, vec![a], vec![m])
+            .unwrap();
+        let order = nl.comb_topo_order().unwrap();
+        let pos = |c: CellId| order.iter().position(|&x| x == c).unwrap();
+        assert!(pos(c0) < pos(c1));
+    }
+
+    #[test]
+    fn comb_loop_is_detected() {
+        let mut nl = Netlist::new(simple_entity());
+        let x = nl.add_net("x", 8).unwrap();
+        let z = nl.add_net("z", 8).unwrap();
+        nl.add_cell("u0", Prim::Inc { width: 8 }, vec![x], vec![z])
+            .unwrap();
+        nl.add_cell("u1", Prim::Inc { width: 8 }, vec![z], vec![x])
+            .unwrap();
+        assert!(matches!(
+            nl.comb_topo_order(),
+            Err(HdlError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn register_breaks_loop() {
+        let mut nl = Netlist::new(simple_entity());
+        let x = nl.add_net("x", 8).unwrap();
+        let z = nl.add_net("z", 8).unwrap();
+        nl.add_cell("u0", Prim::Inc { width: 8 }, vec![x], vec![z])
+            .unwrap();
+        nl.add_cell(
+            "u1",
+            Prim::Reg {
+                width: 8,
+                has_enable: false,
+                reset_value: 0,
+            },
+            vec![z],
+            vec![x],
+        )
+        .unwrap();
+        assert!(nl.comb_topo_order().is_ok());
+    }
+
+    #[test]
+    fn drivers_lists_cells_and_input_ports() {
+        let mut nl = Netlist::new(simple_entity());
+        let a = nl.add_net("a", 8).unwrap();
+        let y = nl.add_net("y", 8).unwrap();
+        nl.add_cell("u0", Prim::Inc { width: 8 }, vec![a], vec![y])
+            .unwrap();
+        nl.bind_port("a", a).unwrap();
+        nl.bind_port("y", y).unwrap();
+        let drivers = nl.drivers();
+        assert_eq!(drivers[a.index()].len(), 1); // input port
+        assert_eq!(drivers[y.index()].len(), 1); // cell output
+        assert!(matches!(drivers[a.index()][0], Driver::InputPort { .. }));
+    }
+}

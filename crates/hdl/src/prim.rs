@@ -1,0 +1,942 @@
+//! Technology primitive cells.
+//!
+//! The metaprogramming generator of the paper emits VHDL that synthesis
+//! tools map onto FPGA primitives: flip-flops, 4-input LUT logic, carry
+//! chains, Block SelectRAMs and vendor FIFO cores ("these cores are
+//! commonly found in FPGA designs", §3.4). This module defines that
+//! primitive vocabulary. A [`crate::Netlist`] is a graph of these cells;
+//! `hdp-sim` interprets them cycle-accurately and `hdp-synth` maps them
+//! onto Spartan-IIE resources.
+//!
+//! Every primitive is *pure structure*: combinational evaluation lives in
+//! [`Prim::eval_comb`]; sequential primitives ([`Prim::is_sequential`])
+//! keep their state in the simulator, not here.
+
+use crate::{Bit, HdlError, LogicVector};
+
+/// Comparison performed by [`Prim::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpKind {
+    /// Equality, `a = b`.
+    Eq,
+    /// Inequality, `a /= b`.
+    Ne,
+    /// Unsigned less-than, `a < b`.
+    Lt,
+    /// Unsigned greater-or-equal, `a >= b`.
+    Ge,
+}
+
+/// Bitwise gate operation performed by [`Prim::Gate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+}
+
+/// A technology primitive cell.
+///
+/// Pin order conventions are documented per variant; [`Prim::input_widths`]
+/// and [`Prim::output_widths`] give the exact contract that netlist
+/// validation enforces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Prim {
+    /// A register (bank of D flip-flops) with synchronous reset and
+    /// optional clock enable.
+    ///
+    /// Inputs: `[d]`, or `[d, en]` when `has_enable`. Outputs: `[q]`.
+    /// Reset (global, synchronous) loads `reset_value`.
+    Reg {
+        /// Register width in bits.
+        width: usize,
+        /// Whether the register has a clock-enable pin.
+        has_enable: bool,
+        /// Value loaded on synchronous reset.
+        reset_value: u64,
+    },
+    /// A constant driver. Inputs: none. Outputs: `[q]`.
+    Const {
+        /// The constant value.
+        value: LogicVector,
+    },
+    /// Bitwise NOT. Inputs: `[a]`. Outputs: `[y]`.
+    Not {
+        /// Operand width.
+        width: usize,
+    },
+    /// A two-input bitwise gate. Inputs: `[a, b]`. Outputs: `[y]`.
+    Gate {
+        /// The operation.
+        op: GateOp,
+        /// Operand width.
+        width: usize,
+    },
+    /// OR-reduction of a vector to one bit. Inputs: `[a]`. Outputs: `[y]` (1 bit).
+    ReduceOr {
+        /// Input width.
+        width: usize,
+    },
+    /// AND-reduction of a vector to one bit. Inputs: `[a]`. Outputs: `[y]` (1 bit).
+    ReduceAnd {
+        /// Input width.
+        width: usize,
+    },
+    /// Unsigned adder, wrapping. Inputs: `[a, b]`. Outputs: `[y]`.
+    Add {
+        /// Operand and result width.
+        width: usize,
+    },
+    /// Unsigned subtractor, wrapping. Inputs: `[a, b]`. Outputs: `[y]`.
+    Sub {
+        /// Operand and result width.
+        width: usize,
+    },
+    /// Incrementer (`a + 1`), wrapping. Inputs: `[a]`. Outputs: `[y]`.
+    ///
+    /// Kept distinct from [`Prim::Add`] because the generated iterator
+    /// `inc` operation maps to a dedicated half-adder carry chain that is
+    /// cheaper than a full adder.
+    Inc {
+        /// Operand and result width.
+        width: usize,
+    },
+    /// Unsigned comparator. Inputs: `[a, b]`. Outputs: `[y]` (1 bit).
+    Cmp {
+        /// The comparison kind.
+        kind: CmpKind,
+        /// Operand width.
+        width: usize,
+    },
+    /// Multiplexer. Inputs: `[sel, d0, d1, ..., d(ways-1)]`.
+    /// Outputs: `[y]`. `sel` has `ceil(log2(ways))` bits.
+    Mux {
+        /// Data width.
+        width: usize,
+        /// Number of data inputs (at least 2).
+        ways: usize,
+    },
+    /// Constant bit-slice. Inputs: `[a]` (`in_width` bits).
+    /// Outputs: `[y]` (`len` bits taken from `low`).
+    Slice {
+        /// Input width.
+        in_width: usize,
+        /// Least significant extracted bit.
+        low: usize,
+        /// Number of extracted bits.
+        len: usize,
+    },
+    /// Concatenation. Inputs: one net per element, **most significant
+    /// first** (VHDL `&` order). Outputs: `[y]` of the summed width.
+    Concat {
+        /// Widths of the inputs, most significant first.
+        widths: Vec<usize>,
+    },
+    /// A multi-output truth table (PLA-style), the generic form of FSM
+    /// next-state and output logic emitted by the generator.
+    ///
+    /// Inputs: one net per entry of `in_widths` (most significant first,
+    /// concatenated to index the table). Outputs: `[y]` of `out_width`
+    /// bits. `table[i]` holds the output word for concatenated input `i`
+    /// and must have `2^sum(in_widths)` entries.
+    TruthTable {
+        /// Widths of the inputs, most significant first.
+        in_widths: Vec<usize>,
+        /// Output width.
+        out_width: usize,
+        /// Output value per input combination.
+        table: Vec<u64>,
+    },
+    /// Tri-state buffer: drives `a` when `en` is high, `'Z'` otherwise.
+    /// Inputs: `[en, a]`. Outputs: `[y]`.
+    ///
+    /// Several tri-state buffers may drive the same net; the netlist
+    /// validator exempts them from the single-driver rule.
+    TriBuf {
+        /// Data width.
+        width: usize,
+    },
+    /// A buffer/alias. Inputs: `[a]`. Outputs: `[y]`. Free after
+    /// synthesis — this is what the paper means by iterators being
+    /// "wrappers that will be dissolved at the time of synthesizing".
+    Buf {
+        /// Data width.
+        width: usize,
+    },
+    /// Synchronous-read block RAM (one write port, one read port), the
+    /// Spartan-IIE Block SelectRAM. Sequential.
+    ///
+    /// Inputs: `[we, waddr, wdata, raddr]`. Outputs: `[rdata]` (valid one
+    /// cycle after `raddr`).
+    BlockRam {
+        /// Address width; depth is `2^addr_width` words.
+        addr_width: usize,
+        /// Data width.
+        data_width: usize,
+    },
+    /// A vendor FIFO core macro (built from block RAM plus pointer
+    /// logic). Sequential.
+    ///
+    /// Inputs: `[push, pop, wdata]`. Outputs: `[rdata, empty, full]`.
+    /// `rdata` shows the head element combinationally (first-word
+    /// fall-through).
+    FifoMacro {
+        /// Capacity in elements.
+        depth: usize,
+        /// Element width.
+        width: usize,
+    },
+    /// A vendor LIFO (stack) core macro. Sequential.
+    ///
+    /// Inputs: `[push, pop, wdata]`. Outputs: `[rdata, empty, full]`.
+    /// `rdata` shows the top element combinationally.
+    LifoMacro {
+        /// Capacity in elements.
+        depth: usize,
+        /// Element width.
+        width: usize,
+    },
+}
+
+/// Number of select bits needed to address `ways` inputs.
+#[must_use]
+pub fn sel_width(ways: usize) -> usize {
+    usize::max(
+        1,
+        usize::BITS as usize - (ways - 1).leading_zeros() as usize,
+    )
+}
+
+impl Prim {
+    /// The widths this primitive expects on its input pins, in pin order.
+    #[must_use]
+    pub fn input_widths(&self) -> Vec<usize> {
+        match self {
+            Prim::Reg {
+                width, has_enable, ..
+            } => {
+                if *has_enable {
+                    vec![*width, 1]
+                } else {
+                    vec![*width]
+                }
+            }
+            Prim::Const { .. } => vec![],
+            Prim::Not { width }
+            | Prim::Inc { width }
+            | Prim::ReduceOr { width }
+            | Prim::ReduceAnd { width }
+            | Prim::Buf { width } => vec![*width],
+            Prim::Gate { width, .. }
+            | Prim::Add { width }
+            | Prim::Sub { width }
+            | Prim::Cmp { width, .. } => {
+                vec![*width, *width]
+            }
+            Prim::Mux { width, ways } => {
+                let mut v = vec![sel_width(*ways)];
+                v.extend(std::iter::repeat_n(*width, *ways));
+                v
+            }
+            Prim::Slice { in_width, .. } => vec![*in_width],
+            Prim::Concat { widths } => widths.clone(),
+            Prim::TruthTable { in_widths, .. } => in_widths.clone(),
+            Prim::TriBuf { width } => vec![1, *width],
+            Prim::BlockRam {
+                addr_width,
+                data_width,
+            } => vec![1, *addr_width, *data_width, *addr_width],
+            Prim::FifoMacro { width, .. } | Prim::LifoMacro { width, .. } => {
+                vec![1, 1, *width]
+            }
+        }
+    }
+
+    /// The widths this primitive drives on its output pins, in pin order.
+    #[must_use]
+    pub fn output_widths(&self) -> Vec<usize> {
+        match self {
+            Prim::Reg { width, .. } => vec![*width],
+            Prim::Const { value } => vec![value.width()],
+            Prim::Not { width }
+            | Prim::Gate { width, .. }
+            | Prim::Add { width }
+            | Prim::Sub { width }
+            | Prim::Inc { width }
+            | Prim::Mux { width, .. }
+            | Prim::TriBuf { width }
+            | Prim::Buf { width } => vec![*width],
+            Prim::ReduceOr { .. } | Prim::ReduceAnd { .. } | Prim::Cmp { .. } => vec![1],
+            Prim::Slice { len, .. } => vec![*len],
+            Prim::Concat { widths } => vec![widths.iter().sum()],
+            Prim::TruthTable { out_width, .. } => vec![*out_width],
+            Prim::BlockRam { data_width, .. } => vec![*data_width],
+            Prim::FifoMacro { width, .. } | Prim::LifoMacro { width, .. } => {
+                vec![*width, 1, 1]
+            }
+        }
+    }
+
+    /// Whether this primitive holds state across clock edges.
+    ///
+    /// Sequential primitives break combinational paths: their outputs
+    /// are topological sources and their inputs are sinks.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        matches!(
+            self,
+            Prim::Reg { .. }
+                | Prim::BlockRam { .. }
+                | Prim::FifoMacro { .. }
+                | Prim::LifoMacro { .. }
+        )
+    }
+
+    /// Validates internal consistency of the primitive parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::InvalidWidth`] for zero or oversized widths,
+    /// and [`HdlError::IndexOutOfRange`] for slice bounds or truth-table
+    /// size mismatches.
+    pub fn validate(&self) -> Result<(), HdlError> {
+        let check = |w: usize| -> Result<(), HdlError> {
+            if w == 0 || w > crate::vector::MAX_WIDTH {
+                Err(HdlError::InvalidWidth { width: w })
+            } else {
+                Ok(())
+            }
+        };
+        for w in self
+            .input_widths()
+            .iter()
+            .chain(self.output_widths().iter())
+        {
+            check(*w)?;
+        }
+        match self {
+            Prim::Reg {
+                width, reset_value, ..
+            } => {
+                if *width < 64 && *reset_value >> *width != 0 {
+                    return Err(HdlError::ValueOverflow {
+                        value: *reset_value,
+                        width: *width,
+                    });
+                }
+                Ok(())
+            }
+            Prim::Mux { ways, .. } => {
+                if *ways < 2 {
+                    return Err(HdlError::InvalidWidth { width: *ways });
+                }
+                Ok(())
+            }
+            Prim::Slice { in_width, low, len } => {
+                if low + len > *in_width {
+                    return Err(HdlError::IndexOutOfRange {
+                        index: low + len - 1,
+                        len: *in_width,
+                    });
+                }
+                Ok(())
+            }
+            Prim::TruthTable {
+                in_widths,
+                out_width,
+                table,
+            } => {
+                let total: usize = in_widths.iter().sum();
+                if total > 20 {
+                    // Keep tables bounded; the generator never needs more.
+                    return Err(HdlError::InvalidWidth { width: total });
+                }
+                let expected = 1usize << total;
+                if table.len() != expected {
+                    return Err(HdlError::IndexOutOfRange {
+                        index: table.len(),
+                        len: expected,
+                    });
+                }
+                for &word in table {
+                    if *out_width < 64 && word >> *out_width != 0 {
+                        return Err(HdlError::ValueOverflow {
+                            value: word,
+                            width: *out_width,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Prim::FifoMacro { depth, .. } | Prim::LifoMacro { depth, .. } => {
+                if *depth == 0 {
+                    return Err(HdlError::InvalidWidth { width: 0 });
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Evaluates a *combinational* primitive on concrete input values.
+    ///
+    /// Undefined (`X`/`Z`) inputs poison arithmetic and table lookups to
+    /// all-`X` outputs, matching pessimistic VHDL simulation. Sequential
+    /// primitives have no combinational function and return an empty
+    /// vector; the simulator owns their state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::WidthMismatch`] if `inputs` disagree with
+    /// [`Prim::input_widths`].
+    pub fn eval_comb(&self, inputs: &[LogicVector]) -> Result<Vec<LogicVector>, HdlError> {
+        let expect = self.input_widths();
+        if inputs.len() != expect.len() {
+            return Err(HdlError::WidthMismatch {
+                context: format!("{self:?} pin count"),
+                expected: expect.len(),
+                found: inputs.len(),
+            });
+        }
+        for (i, (input, w)) in inputs.iter().zip(expect.iter()).enumerate() {
+            if input.width() != *w {
+                return Err(HdlError::WidthMismatch {
+                    context: format!("{self:?} input pin {i}"),
+                    expected: *w,
+                    found: input.width(),
+                });
+            }
+        }
+        let out_w = self.output_widths();
+        let poison = |w: usize| LogicVector::unknown(w).expect("validated width");
+        let ok = match self {
+            Prim::Reg { .. }
+            | Prim::BlockRam { .. }
+            | Prim::FifoMacro { .. }
+            | Prim::LifoMacro { .. } => return Ok(Vec::new()),
+            Prim::Const { value } => vec![*value],
+            Prim::Not { width } => match inputs[0].to_u64() {
+                Some(a) => {
+                    vec![LogicVector::from_u64(!a & lv_mask(*width), *width)
+                        .expect("masked value fits")]
+                }
+                None => vec![poison(*width)],
+            },
+            Prim::Gate { op, width } => match (inputs[0].to_u64(), inputs[1].to_u64()) {
+                (Some(a), Some(b)) => {
+                    let y = match op {
+                        GateOp::And => a & b,
+                        GateOp::Or => a | b,
+                        GateOp::Xor => a ^ b,
+                    };
+                    vec![LogicVector::from_u64(y, *width).expect("masked value fits")]
+                }
+                // Bitwise gates can still produce defined bits when one
+                // operand dominates (0 for AND, 1 for OR).
+                _ => {
+                    let mut y = LogicVector::unknown(*width).expect("validated width");
+                    for i in 0..*width {
+                        let a = inputs[0].bit(i).expect("within width");
+                        let b = inputs[1].bit(i).expect("within width");
+                        let bit = match op {
+                            GateOp::And => a & b,
+                            GateOp::Or => a | b,
+                            GateOp::Xor => a ^ b,
+                        };
+                        y.set(i, bit).expect("within width");
+                    }
+                    vec![y]
+                }
+            },
+            Prim::ReduceOr { .. } => {
+                let any_one = inputs[0].iter().any(|b| b == Bit::One);
+                let all_defined = inputs[0].is_defined();
+                vec![if any_one {
+                    lv_bit(true)
+                } else if all_defined {
+                    lv_bit(false)
+                } else {
+                    poison(1)
+                }]
+            }
+            Prim::ReduceAnd { .. } => {
+                let any_zero = inputs[0].iter().any(|b| b == Bit::Zero);
+                let all_defined = inputs[0].is_defined();
+                vec![if any_zero {
+                    lv_bit(false)
+                } else if all_defined {
+                    lv_bit(true)
+                } else {
+                    poison(1)
+                }]
+            }
+            Prim::Add { width } => match (inputs[0].to_u64(), inputs[1].to_u64()) {
+                (Some(a), Some(b)) => {
+                    vec![
+                        LogicVector::from_u64(a.wrapping_add(b) & lv_mask(*width), *width)
+                            .expect("masked value fits"),
+                    ]
+                }
+                _ => vec![poison(*width)],
+            },
+            Prim::Sub { width } => match (inputs[0].to_u64(), inputs[1].to_u64()) {
+                (Some(a), Some(b)) => {
+                    vec![
+                        LogicVector::from_u64(a.wrapping_sub(b) & lv_mask(*width), *width)
+                            .expect("masked value fits"),
+                    ]
+                }
+                _ => vec![poison(*width)],
+            },
+            Prim::Inc { width } => match inputs[0].to_u64() {
+                Some(a) => vec![
+                    LogicVector::from_u64(a.wrapping_add(1) & lv_mask(*width), *width)
+                        .expect("masked value fits"),
+                ],
+                None => vec![poison(*width)],
+            },
+            Prim::Cmp { kind, .. } => match (inputs[0].to_u64(), inputs[1].to_u64()) {
+                (Some(a), Some(b)) => {
+                    let y = match kind {
+                        CmpKind::Eq => a == b,
+                        CmpKind::Ne => a != b,
+                        CmpKind::Lt => a < b,
+                        CmpKind::Ge => a >= b,
+                    };
+                    vec![lv_bit(y)]
+                }
+                _ => vec![poison(1)],
+            },
+            Prim::Mux { width, ways } => match inputs[0].to_u64() {
+                Some(sel) if (sel as usize) < *ways => vec![inputs[1 + sel as usize]],
+                _ => vec![poison(*width)],
+            },
+            Prim::Slice { low, len, .. } => {
+                vec![inputs[0].slice(*low, *len).expect("validated bounds")]
+            }
+            Prim::Concat { .. } => {
+                // Inputs are most significant first.
+                let mut acc = inputs[0];
+                for input in &inputs[1..] {
+                    acc = acc.concat(input).expect("validated total width");
+                }
+                vec![acc]
+            }
+            Prim::TruthTable {
+                out_width, table, ..
+            } => {
+                // Ternary evaluation: enumerate every value of the
+                // undefined input bits; an output bit is defined when
+                // it agrees across the whole enumeration. This models
+                // how real LUT logic recovers from `X` on don't-care
+                // inputs — essential for generated FSMs whose
+                // handshake inputs start undefined.
+                let mut known: u64 = 0;
+                let mut x_positions: Vec<u32> = Vec::new();
+                let mut bit_pos = 0u32;
+                for input in inputs.iter().rev() {
+                    for i in 0..input.width() {
+                        match input.bit(i).expect("within width") {
+                            Bit::One => known |= 1 << bit_pos,
+                            Bit::Zero => {}
+                            Bit::X | Bit::Z => x_positions.push(bit_pos),
+                        }
+                        bit_pos += 1;
+                    }
+                }
+                const MAX_X_ENUM: usize = 10;
+                if x_positions.len() > MAX_X_ENUM {
+                    return Ok(vec![poison(*out_width)]);
+                }
+                let full = if *out_width >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << *out_width) - 1
+                };
+                let mut ones = full; // bits that were 1 in every combo
+                let mut zeros = full; // bits that were 0 in every combo
+                for combo in 0..(1u64 << x_positions.len()) {
+                    let mut index = known;
+                    for (i, &pos) in x_positions.iter().enumerate() {
+                        if combo >> i & 1 == 1 {
+                            index |= 1 << pos;
+                        }
+                    }
+                    let word = table[index as usize];
+                    ones &= word;
+                    zeros &= !word;
+                }
+                let mut out = LogicVector::unknown(*out_width).expect("validated");
+                for i in 0..*out_width {
+                    if ones >> i & 1 == 1 {
+                        out.set(i, Bit::One).expect("within width");
+                    } else if zeros >> i & 1 == 1 {
+                        out.set(i, Bit::Zero).expect("within width");
+                    }
+                }
+                vec![out]
+            }
+            Prim::TriBuf { width } => match inputs[0].to_u64() {
+                Some(1) => vec![inputs[1]],
+                Some(_) => vec![LogicVector::high_z(*width).expect("validated width")],
+                None => vec![poison(*width)],
+            },
+            Prim::Buf { .. } => vec![inputs[0]],
+        };
+        debug_assert_eq!(ok.len(), out_w.len());
+        Ok(ok)
+    }
+
+    /// A short mnemonic used in reports and VHDL comments.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Prim::Reg { .. } => "reg",
+            Prim::Const { .. } => "const",
+            Prim::Not { .. } => "not",
+            Prim::Gate {
+                op: GateOp::And, ..
+            } => "and",
+            Prim::Gate { op: GateOp::Or, .. } => "or",
+            Prim::Gate {
+                op: GateOp::Xor, ..
+            } => "xor",
+            Prim::ReduceOr { .. } => "reduce_or",
+            Prim::ReduceAnd { .. } => "reduce_and",
+            Prim::Add { .. } => "add",
+            Prim::Sub { .. } => "sub",
+            Prim::Inc { .. } => "inc",
+            Prim::Cmp { .. } => "cmp",
+            Prim::Mux { .. } => "mux",
+            Prim::Slice { .. } => "slice",
+            Prim::Concat { .. } => "concat",
+            Prim::TruthTable { .. } => "table",
+            Prim::TriBuf { .. } => "tribuf",
+            Prim::Buf { .. } => "buf",
+            Prim::BlockRam { .. } => "bram",
+            Prim::FifoMacro { .. } => "fifo",
+            Prim::LifoMacro { .. } => "lifo",
+        }
+    }
+}
+
+fn lv_mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn lv_bit(value: bool) -> LogicVector {
+    LogicVector::from_u64(u64::from(value), 1).expect("1-bit value")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lv(value: u64, width: usize) -> LogicVector {
+        LogicVector::from_u64(value, width).unwrap()
+    }
+
+    #[test]
+    fn sel_width_covers_way_counts() {
+        assert_eq!(sel_width(2), 1);
+        assert_eq!(sel_width(3), 2);
+        assert_eq!(sel_width(4), 2);
+        assert_eq!(sel_width(5), 3);
+        assert_eq!(sel_width(8), 3);
+        assert_eq!(sel_width(9), 4);
+    }
+
+    #[test]
+    fn add_wraps() {
+        let add = Prim::Add { width: 8 };
+        let y = add.eval_comb(&[lv(250, 8), lv(10, 8)]).unwrap();
+        assert_eq!(y[0].to_u64(), Some(4));
+    }
+
+    #[test]
+    fn sub_wraps() {
+        let sub = Prim::Sub { width: 8 };
+        let y = sub.eval_comb(&[lv(3, 8), lv(5, 8)]).unwrap();
+        assert_eq!(y[0].to_u64(), Some(254));
+    }
+
+    #[test]
+    fn inc_matches_add_one() {
+        let inc = Prim::Inc { width: 4 };
+        assert_eq!(inc.eval_comb(&[lv(15, 4)]).unwrap()[0].to_u64(), Some(0));
+        assert_eq!(inc.eval_comb(&[lv(7, 4)]).unwrap()[0].to_u64(), Some(8));
+    }
+
+    #[test]
+    fn cmp_kinds() {
+        for (kind, a, b, want) in [
+            (CmpKind::Eq, 5, 5, 1),
+            (CmpKind::Eq, 5, 6, 0),
+            (CmpKind::Ne, 5, 6, 1),
+            (CmpKind::Lt, 5, 6, 1),
+            (CmpKind::Lt, 6, 5, 0),
+            (CmpKind::Ge, 6, 5, 1),
+            (CmpKind::Ge, 5, 5, 1),
+        ] {
+            let cmp = Prim::Cmp { kind, width: 8 };
+            let y = cmp.eval_comb(&[lv(a, 8), lv(b, 8)]).unwrap();
+            assert_eq!(y[0].to_u64(), Some(want), "{kind:?} {a} {b}");
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mux = Prim::Mux { width: 8, ways: 3 };
+        let inputs = [lv(2, 2), lv(10, 8), lv(20, 8), lv(30, 8)];
+        assert_eq!(mux.eval_comb(&inputs).unwrap()[0].to_u64(), Some(30));
+    }
+
+    #[test]
+    fn mux_out_of_range_select_is_x() {
+        let mux = Prim::Mux { width: 8, ways: 3 };
+        let inputs = [lv(3, 2), lv(10, 8), lv(20, 8), lv(30, 8)];
+        assert_eq!(mux.eval_comb(&inputs).unwrap()[0].to_u64(), None);
+    }
+
+    #[test]
+    fn truth_table_lookup() {
+        // 2-bit input -> 2x the value, 3-bit output.
+        let tt = Prim::TruthTable {
+            in_widths: vec![2],
+            out_width: 3,
+            table: vec![0, 2, 4, 6],
+        };
+        tt.validate().unwrap();
+        assert_eq!(tt.eval_comb(&[lv(3, 2)]).unwrap()[0].to_u64(), Some(6));
+    }
+
+    #[test]
+    fn truth_table_multi_input_index_order_is_msb_first() {
+        // inputs (a:1bit, b:1bit): index = a<<1 | b
+        let tt = Prim::TruthTable {
+            in_widths: vec![1, 1],
+            out_width: 2,
+            table: vec![0, 1, 2, 3],
+        };
+        let y = tt.eval_comb(&[lv(1, 1), lv(0, 1)]).unwrap();
+        assert_eq!(y[0].to_u64(), Some(2));
+    }
+
+    #[test]
+    fn ternary_eval_defines_bits_independent_of_x() {
+        // y = a (2-bit identity on input a, ignoring input b).
+        let tt = Prim::TruthTable {
+            in_widths: vec![2, 1],
+            out_width: 2,
+            table: vec![0, 0, 1, 1, 2, 2, 3, 3],
+        };
+        let a = lv(0b10, 2);
+        let b_x = LogicVector::unknown(1).unwrap();
+        // b is X but the output does not depend on it: fully defined.
+        let y = tt.eval_comb(&[a, b_x]).unwrap();
+        assert_eq!(y[0].to_u64(), Some(0b10));
+    }
+
+    #[test]
+    fn ternary_eval_poisons_only_dependent_bits() {
+        // out bit0 = b, out bit1 = a. With b undefined, bit1 stays
+        // defined and bit0 is X.
+        let tt = Prim::TruthTable {
+            in_widths: vec![1, 1],
+            out_width: 2,
+            table: vec![0b00, 0b01, 0b10, 0b11],
+        };
+        let a = lv(1, 1);
+        let b_x = LogicVector::unknown(1).unwrap();
+        let y = tt.eval_comb(&[a, b_x]).unwrap();
+        assert_eq!(y[0].bit(1).unwrap(), Bit::One);
+        assert_eq!(y[0].bit(0).unwrap(), Bit::X);
+    }
+
+    #[test]
+    fn ternary_eval_treats_z_as_unknown() {
+        let tt = Prim::TruthTable {
+            in_widths: vec![1],
+            out_width: 1,
+            table: vec![0, 1],
+        };
+        let z = LogicVector::high_z(1).unwrap();
+        assert_eq!(tt.eval_comb(&[z]).unwrap()[0].to_u64(), None);
+        // A constant-output table is defined even on Z input.
+        let konst = Prim::TruthTable {
+            in_widths: vec![1],
+            out_width: 1,
+            table: vec![1, 1],
+        };
+        assert_eq!(konst.eval_comb(&[z]).unwrap()[0].to_u64(), Some(1));
+    }
+
+    #[test]
+    fn ternary_eval_gives_up_past_the_enumeration_cap() {
+        // 12 undefined bits exceed the 10-bit enumeration cap: all X,
+        // even for a constant table.
+        let tt = Prim::TruthTable {
+            in_widths: vec![12],
+            out_width: 1,
+            table: vec![1; 1 << 12],
+        };
+        let x = LogicVector::unknown(12).unwrap();
+        assert_eq!(tt.eval_comb(&[x]).unwrap()[0].to_u64(), None);
+    }
+
+    #[test]
+    fn truth_table_size_mismatch_rejected() {
+        let tt = Prim::TruthTable {
+            in_widths: vec![2],
+            out_width: 1,
+            table: vec![0, 1],
+        };
+        assert!(tt.validate().is_err());
+    }
+
+    #[test]
+    fn tribuf_releases_bus() {
+        let buf = Prim::TriBuf { width: 4 };
+        let driven = buf.eval_comb(&[lv(1, 1), lv(9, 4)]).unwrap();
+        assert_eq!(driven[0].to_u64(), Some(9));
+        let released = buf.eval_comb(&[lv(0, 1), lv(9, 4)]).unwrap();
+        assert_eq!(released[0], LogicVector::high_z(4).unwrap());
+    }
+
+    #[test]
+    fn and_with_dominating_zero_is_defined() {
+        let and = Prim::Gate {
+            op: GateOp::And,
+            width: 2,
+        };
+        let x = LogicVector::unknown(2).unwrap();
+        let y = and.eval_comb(&[lv(0, 2), x]).unwrap();
+        assert_eq!(y[0].to_u64(), Some(0));
+    }
+
+    #[test]
+    fn arithmetic_poisons_on_x() {
+        let add = Prim::Add { width: 8 };
+        let x = LogicVector::unknown(8).unwrap();
+        assert_eq!(add.eval_comb(&[x, lv(1, 8)]).unwrap()[0].to_u64(), None);
+    }
+
+    #[test]
+    fn reduce_or_and() {
+        let ror = Prim::ReduceOr { width: 4 };
+        assert_eq!(ror.eval_comb(&[lv(0, 4)]).unwrap()[0].to_u64(), Some(0));
+        assert_eq!(ror.eval_comb(&[lv(2, 4)]).unwrap()[0].to_u64(), Some(1));
+        let rand = Prim::ReduceAnd { width: 4 };
+        assert_eq!(rand.eval_comb(&[lv(0xF, 4)]).unwrap()[0].to_u64(), Some(1));
+        assert_eq!(rand.eval_comb(&[lv(0xE, 4)]).unwrap()[0].to_u64(), Some(0));
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let slice = Prim::Slice {
+            in_width: 8,
+            low: 4,
+            len: 4,
+        };
+        assert_eq!(
+            slice.eval_comb(&[lv(0xAB, 8)]).unwrap()[0].to_u64(),
+            Some(0xA)
+        );
+        let concat = Prim::Concat { widths: vec![4, 4] };
+        let y = concat.eval_comb(&[lv(0xA, 4), lv(0xB, 4)]).unwrap();
+        assert_eq!(y[0].to_u64(), Some(0xAB));
+    }
+
+    #[test]
+    fn sequential_prims_have_no_comb_eval() {
+        let reg = Prim::Reg {
+            width: 8,
+            has_enable: true,
+            reset_value: 0,
+        };
+        assert!(reg.is_sequential());
+        assert!(reg.eval_comb(&[lv(0, 8), lv(1, 1)]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn width_mismatch_is_reported() {
+        let add = Prim::Add { width: 8 };
+        assert!(matches!(
+            add.eval_comb(&[lv(0, 4), lv(0, 8)]),
+            Err(HdlError::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            add.eval_comb(&[lv(0, 8)]),
+            Err(HdlError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reg_reset_value_validated() {
+        let reg = Prim::Reg {
+            width: 4,
+            has_enable: false,
+            reset_value: 16,
+        };
+        assert!(reg.validate().is_err());
+    }
+
+    #[test]
+    fn pin_contracts_are_consistent() {
+        let prims: Vec<Prim> = vec![
+            Prim::Reg {
+                width: 8,
+                has_enable: true,
+                reset_value: 0,
+            },
+            Prim::Const { value: lv(5, 4) },
+            Prim::Not { width: 3 },
+            Prim::Gate {
+                op: GateOp::Xor,
+                width: 5,
+            },
+            Prim::ReduceOr { width: 7 },
+            Prim::Add { width: 16 },
+            Prim::Inc { width: 16 },
+            Prim::Cmp {
+                kind: CmpKind::Lt,
+                width: 9,
+            },
+            Prim::Mux { width: 8, ways: 5 },
+            Prim::Slice {
+                in_width: 8,
+                low: 2,
+                len: 3,
+            },
+            Prim::Concat {
+                widths: vec![8, 8, 8],
+            },
+            Prim::TriBuf { width: 8 },
+            Prim::Buf { width: 8 },
+            Prim::BlockRam {
+                addr_width: 9,
+                data_width: 8,
+            },
+            Prim::FifoMacro {
+                depth: 512,
+                width: 8,
+            },
+            Prim::LifoMacro {
+                depth: 16,
+                width: 8,
+            },
+        ];
+        for prim in prims {
+            prim.validate().unwrap_or_else(|e| panic!("{prim:?}: {e}"));
+            assert!(!prim.mnemonic().is_empty());
+            assert!(!prim.output_widths().is_empty(), "{prim:?}");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Structural validation of netlists.
+//!
+//! The paper's generator promises "efficient VHDL components, ready to
+//! be synthesized" (§3.4); these checks are the "ready" part: every
+//! entity port bound, every net driven exactly once (tri-state buses
+//! excepted), no dangling logic and no combinational cycles.
+
+use crate::netlist::Driver;
+use crate::prim::Prim;
+use crate::{HdlError, Netlist, PortDir};
+
+/// Runs the full structural check suite on a netlist.
+///
+/// The individual checks are also exposed ([`check_bindings`],
+/// [`check_drivers`], [`check_no_comb_loops`]) for targeted diagnostics.
+///
+/// # Errors
+///
+/// Returns the first failure found, in the order: bindings, drivers,
+/// combinational loops.
+///
+/// # Example
+///
+/// ```
+/// use hdp_hdl::{Entity, Netlist, PortDir, validate};
+/// use hdp_hdl::prim::Prim;
+///
+/// # fn main() -> Result<(), hdp_hdl::HdlError> {
+/// let entity = Entity::builder("pass")
+///     .port("a", PortDir::In, 4)?
+///     .port("y", PortDir::Out, 4)?
+///     .build()?;
+/// let mut netlist = Netlist::new(entity);
+/// let a = netlist.add_net("a", 4)?;
+/// let y = netlist.add_net("y", 4)?;
+/// netlist.add_cell("u0", Prim::Buf { width: 4 }, vec![a], vec![y])?;
+/// netlist.bind_port("a", a)?;
+/// netlist.bind_port("y", y)?;
+/// validate::check(&netlist)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn check(netlist: &Netlist) -> Result<(), HdlError> {
+    check_bindings(netlist)?;
+    check_drivers(netlist)?;
+    check_no_comb_loops(netlist)?;
+    Ok(())
+}
+
+/// Checks that every entity port is bound to a net.
+///
+/// # Errors
+///
+/// Returns [`HdlError::Unconnected`] naming the first unbound port.
+pub fn check_bindings(netlist: &Netlist) -> Result<(), HdlError> {
+    for port in netlist.entity().ports() {
+        if netlist.port_net(port.name()).is_none() {
+            return Err(HdlError::Unconnected {
+                context: format!(
+                    "port `{}` of entity `{}`",
+                    port.name(),
+                    netlist.entity().name()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks the single-driver rule.
+///
+/// A net must have exactly one driver, except:
+///
+/// * nets driven exclusively by [`Prim::TriBuf`] outputs (and optionally
+///   an `inout` port) may have several drivers — that is a tri-state
+///   bus, resolved at simulation time;
+/// * nets read by nothing and driven by nothing are reported as
+///   undriven, to catch generator bugs early.
+///
+/// # Errors
+///
+/// Returns [`HdlError::MultipleDrivers`] or [`HdlError::NoDriver`].
+pub fn check_drivers(netlist: &Netlist) -> Result<(), HdlError> {
+    let drivers = netlist.drivers();
+    for (ni, net_drivers) in drivers.iter().enumerate() {
+        let net = &netlist.nets()[ni];
+        match net_drivers.len() {
+            0 => {
+                return Err(HdlError::NoDriver {
+                    net: net.name().to_owned(),
+                })
+            }
+            1 => {}
+            _ => {
+                let all_tristate = net_drivers.iter().all(|d| match d {
+                    Driver::CellOutput { cell, .. } => {
+                        matches!(netlist.cell(*cell).prim(), Prim::TriBuf { .. })
+                    }
+                    Driver::InputPort { port } => {
+                        let decl = netlist
+                            .entity()
+                            .port(port)
+                            .expect("binding validated against entity");
+                        decl.dir() == PortDir::InOut
+                    }
+                });
+                if !all_tristate {
+                    return Err(HdlError::MultipleDrivers {
+                        net: net.name().to_owned(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that the combinational part of the netlist is acyclic.
+///
+/// # Errors
+///
+/// Returns [`HdlError::CombinationalLoop`] naming a net on the cycle.
+pub fn check_no_comb_loops(netlist: &Netlist) -> Result<(), HdlError> {
+    netlist.comb_topo_order().map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Entity;
+
+    fn entity() -> Entity {
+        Entity::builder("t")
+            .port("a", PortDir::In, 4)
+            .unwrap()
+            .port("y", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unbound_port_is_reported() {
+        let mut nl = Netlist::new(entity());
+        let a = nl.add_net("a", 4).unwrap();
+        nl.bind_port("a", a).unwrap();
+        let err = check_bindings(&nl).unwrap_err();
+        assert!(matches!(err, HdlError::Unconnected { context } if context.contains("`y`")));
+    }
+
+    #[test]
+    fn undriven_net_is_reported() {
+        let mut nl = Netlist::new(entity());
+        let a = nl.add_net("a", 4).unwrap();
+        let _floating = nl.add_net("floating", 4).unwrap();
+        nl.bind_port("a", a).unwrap();
+        let err = check_drivers(&nl).unwrap_err();
+        assert!(matches!(err, HdlError::NoDriver { net } if net == "floating"));
+    }
+
+    #[test]
+    fn double_driver_is_reported() {
+        let mut nl = Netlist::new(entity());
+        let a = nl.add_net("a", 4).unwrap();
+        let y = nl.add_net("y", 4).unwrap();
+        nl.add_cell("u0", Prim::Buf { width: 4 }, vec![a], vec![y])
+            .unwrap();
+        nl.add_cell("u1", Prim::Buf { width: 4 }, vec![a], vec![y])
+            .unwrap();
+        nl.bind_port("a", a).unwrap();
+        nl.bind_port("y", y).unwrap();
+        let err = check_drivers(&nl).unwrap_err();
+        assert!(matches!(err, HdlError::MultipleDrivers { net } if net == "y"));
+    }
+
+    #[test]
+    fn tristate_bus_passes_driver_check() {
+        let mut nl = Netlist::new(entity());
+        let a = nl.add_net("a", 4).unwrap();
+        let en0 = nl.add_net("en0", 1).unwrap();
+        let en1 = nl.add_net("en1", 1).unwrap();
+        let bus = nl.add_net("shared_bus", 4).unwrap();
+        let one = nl
+            .add_net("one", 1)
+            .and_then(|n| {
+                nl.add_cell(
+                    "c1",
+                    Prim::Const {
+                        value: crate::LogicVector::from_u64(1, 1).unwrap(),
+                    },
+                    vec![],
+                    vec![n],
+                )?;
+                Ok(n)
+            })
+            .unwrap();
+        nl.add_cell("b0", Prim::Buf { width: 1 }, vec![one], vec![en0])
+            .unwrap();
+        nl.add_cell("b1", Prim::Buf { width: 1 }, vec![one], vec![en1])
+            .unwrap();
+        nl.add_cell("t0", Prim::TriBuf { width: 4 }, vec![en0, a], vec![bus])
+            .unwrap();
+        nl.add_cell("t1", Prim::TriBuf { width: 4 }, vec![en1, a], vec![bus])
+            .unwrap();
+        nl.bind_port("a", a).unwrap();
+        nl.bind_port("y", bus).unwrap();
+        check_drivers(&nl).unwrap();
+    }
+
+    #[test]
+    fn full_check_passes_on_good_netlist() {
+        let mut nl = Netlist::new(entity());
+        let a = nl.add_net("a", 4).unwrap();
+        let y = nl.add_net("y", 4).unwrap();
+        nl.add_cell("u0", Prim::Inc { width: 4 }, vec![a], vec![y])
+            .unwrap();
+        nl.bind_port("a", a).unwrap();
+        nl.bind_port("y", y).unwrap();
+        check(&nl).unwrap();
+    }
+}

@@ -1,0 +1,659 @@
+//! VHDL'93 emission.
+//!
+//! Renders [`Entity`] declarations in the exact layout of the paper's
+//! Figures 4 and 5 (ports grouped by interface-section comments) and
+//! structural [`Netlist`] architectures as synthesizable RTL.
+
+use crate::prim::{CmpKind, GateOp, Prim};
+use crate::{Entity, NetId, Netlist};
+use std::fmt::Write;
+
+/// The VHDL subtype for a port or signal of the given width.
+#[must_use]
+pub fn type_of(width: usize) -> String {
+    if width == 1 {
+        "std_logic".to_owned()
+    } else {
+        format!("std_logic_vector({} downto 0)", width - 1)
+    }
+}
+
+/// Renders an entity declaration.
+///
+/// Ports that carry a [`crate::Port::group`] label are preceded by a
+/// `-- group` comment the first time the group appears, reproducing the
+/// figure layout of the paper:
+///
+/// ```text
+/// entity rbuffer_fifo is
+///   port (
+///     -- methods
+///     m_empty : in std_logic;
+///     ...
+/// ```
+#[must_use]
+pub fn emit_entity(entity: &Entity) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "entity {} is", entity.name());
+    if !entity.generics().is_empty() {
+        let _ = writeln!(out, "  generic (");
+        for (i, g) in entity.generics().iter().enumerate() {
+            let sep = if i + 1 == entity.generics().len() {
+                ""
+            } else {
+                ";"
+            };
+            let _ = writeln!(
+                out,
+                "    {} : {} := {}{}",
+                g.name(),
+                g.type_name(),
+                g.value(),
+                sep
+            );
+        }
+        let _ = writeln!(out, "  );");
+    }
+    if !entity.ports().is_empty() {
+        let _ = writeln!(out, "  port (");
+        let mut last_group: Option<&str> = None;
+        for (i, p) in entity.ports().iter().enumerate() {
+            if p.group() != last_group {
+                if let Some(g) = p.group() {
+                    let _ = writeln!(out, "    -- {g}");
+                }
+                last_group = p.group();
+            }
+            let sep = if i + 1 == entity.ports().len() {
+                ""
+            } else {
+                ";"
+            };
+            let _ = writeln!(
+                out,
+                "    {} : {} {}{}",
+                p.name(),
+                p.dir(),
+                type_of(p.width()),
+                sep
+            );
+        }
+        let _ = writeln!(out, "  );");
+    }
+    let _ = writeln!(out, "end {};", entity.name());
+    out
+}
+
+fn net_ref(netlist: &Netlist, id: NetId) -> String {
+    netlist.net(id).name().to_owned()
+}
+
+fn unsigned(expr: &str) -> String {
+    format!("unsigned({expr})")
+}
+
+fn to_slv(expr: &str, width: usize) -> String {
+    if width == 1 {
+        expr.to_string()
+    } else {
+        format!("std_logic_vector({expr})")
+    }
+}
+
+fn literal(value: u64, width: usize) -> String {
+    if width == 1 {
+        format!("'{}'", value & 1)
+    } else {
+        let mut s = String::with_capacity(width + 2);
+        s.push('"');
+        for i in (0..width).rev() {
+            s.push(if value >> i & 1 == 1 { '1' } else { '0' });
+        }
+        s.push('"');
+        s
+    }
+}
+
+fn bool_expr(cond: &str) -> String {
+    format!("'1' when {cond} else '0'")
+}
+
+/// Renders a structural architecture for the netlist.
+///
+/// Combinational primitives become concurrent signal assignments;
+/// registers and truth tables become processes; block RAM, FIFO and
+/// LIFO macros become component instantiations of the vendor cores the
+/// paper relies on ("commonly found in FPGA designs", §3.4).
+///
+/// # Errors
+///
+/// Propagates [`crate::HdlError`] from structural validation — only a
+/// valid netlist can be printed.
+pub fn emit_architecture(netlist: &Netlist, arch_name: &str) -> Result<String, crate::HdlError> {
+    crate::validate::check(netlist)?;
+    let entity = netlist.entity();
+    let mut out = String::new();
+    let _ = writeln!(out, "architecture {arch_name} of {} is", entity.name());
+    // A net stands directly for a port only when it carries the
+    // port's own name. Otherwise (e.g. after wrapper dissolution
+    // remapped a binding onto an internal net, or one net serves two
+    // ports) it is declared as a signal and connected to the port
+    // with an explicit assignment below.
+    let direct: Vec<NetId> = netlist
+        .bindings()
+        .iter()
+        .filter(|b| netlist.net(b.net()).name() == b.port())
+        .map(|b| b.net())
+        .collect();
+    for (ni, net) in netlist.nets().iter().enumerate() {
+        if !direct.contains(&NetId(ni)) {
+            let _ = writeln!(out, "  signal {} : {};", net.name(), type_of(net.width()));
+        }
+    }
+    // Component declarations for macros.
+    let mut declared: Vec<&'static str> = Vec::new();
+    for cell in netlist.cells() {
+        let decl = match cell.prim() {
+            Prim::BlockRam { .. } if !declared.contains(&"bram") => {
+                declared.push("bram");
+                Some(
+                    "  component block_ram is\n    generic (addr_width : natural; data_width : natural);\n    port (clk : in std_logic; we : in std_logic;\n          waddr : in std_logic_vector; wdata : in std_logic_vector;\n          raddr : in std_logic_vector; rdata : out std_logic_vector);\n  end component;\n",
+                )
+            }
+            Prim::FifoMacro { .. } if !declared.contains(&"fifo") => {
+                declared.push("fifo");
+                Some(
+                    "  component fifo_core is\n    generic (depth : natural; width : natural);\n    port (clk : in std_logic; rst : in std_logic;\n          push : in std_logic; pop : in std_logic;\n          wdata : in std_logic_vector; rdata : out std_logic_vector;\n          empty : out std_logic; full : out std_logic);\n  end component;\n",
+                )
+            }
+            Prim::LifoMacro { .. } if !declared.contains(&"lifo") => {
+                declared.push("lifo");
+                Some(
+                    "  component lifo_core is\n    generic (depth : natural; width : natural);\n    port (clk : in std_logic; rst : in std_logic;\n          push : in std_logic; pop : in std_logic;\n          wdata : in std_logic_vector; rdata : out std_logic_vector;\n          empty : out std_logic; full : out std_logic);\n  end component;\n",
+                )
+            }
+            _ => None,
+        };
+        if let Some(d) = decl {
+            out.push_str(d);
+        }
+    }
+    let _ = writeln!(out, "begin");
+    // Explicit port connections for indirectly-bound nets.
+    for binding in netlist.bindings() {
+        let net = netlist.net(binding.net());
+        if net.name() == binding.port() {
+            continue;
+        }
+        let dir = entity
+            .port(binding.port())
+            .expect("binding validated against entity")
+            .dir();
+        match dir {
+            crate::PortDir::In => {
+                let _ = writeln!(out, "  {} <= {};", net.name(), binding.port());
+            }
+            crate::PortDir::Out | crate::PortDir::InOut => {
+                let _ = writeln!(out, "  {} <= {};", binding.port(), net.name());
+            }
+        }
+    }
+    for cell in netlist.cells() {
+        emit_cell(&mut out, netlist, cell);
+    }
+    let _ = writeln!(out, "end {arch_name};");
+    Ok(out)
+}
+
+fn emit_cell(out: &mut String, netlist: &Netlist, cell: &crate::Cell) {
+    let r = |i: usize| net_ref(netlist, cell.inputs()[i]);
+    let w = |i: usize| net_ref(netlist, cell.outputs()[i]);
+    match cell.prim() {
+        Prim::Const { value } => {
+            let _ = writeln!(out, "  {} <= {};", w(0), value);
+        }
+        Prim::Buf { .. } => {
+            let _ = writeln!(
+                out,
+                "  {} <= {};  -- wrapper, dissolves in synthesis",
+                w(0),
+                r(0)
+            );
+        }
+        Prim::Not { .. } => {
+            let _ = writeln!(out, "  {} <= not {};", w(0), r(0));
+        }
+        Prim::Gate { op, .. } => {
+            let opname = match op {
+                GateOp::And => "and",
+                GateOp::Or => "or",
+                GateOp::Xor => "xor",
+            };
+            let _ = writeln!(out, "  {} <= {} {} {};", w(0), r(0), opname, r(1));
+        }
+        Prim::ReduceOr { width } => {
+            let cmp = format!("{} /= {}", r(0), literal(0, *width));
+            let _ = writeln!(out, "  {} <= {};", w(0), bool_expr(&cmp));
+        }
+        Prim::ReduceAnd { width } => {
+            let ones = (1u128 << width) - 1;
+            let cmp = format!("{} = {}", r(0), literal(ones as u64, *width));
+            let _ = writeln!(out, "  {} <= {};", w(0), bool_expr(&cmp));
+        }
+        Prim::Add { width } => {
+            let expr = format!("{} + {}", unsigned(&r(0)), unsigned(&r(1)));
+            let _ = writeln!(out, "  {} <= {};", w(0), to_slv(&expr, *width));
+        }
+        Prim::Sub { width } => {
+            let expr = format!("{} - {}", unsigned(&r(0)), unsigned(&r(1)));
+            let _ = writeln!(out, "  {} <= {};", w(0), to_slv(&expr, *width));
+        }
+        Prim::Inc { width } => {
+            let expr = format!("{} + 1", unsigned(&r(0)));
+            let _ = writeln!(out, "  {} <= {};", w(0), to_slv(&expr, *width));
+        }
+        Prim::Cmp { kind, .. } => {
+            let op = match kind {
+                CmpKind::Eq => "=",
+                CmpKind::Ne => "/=",
+                CmpKind::Lt => "<",
+                CmpKind::Ge => ">=",
+            };
+            let cmp = format!("{} {} {}", unsigned(&r(0)), op, unsigned(&r(1)));
+            let _ = writeln!(out, "  {} <= {};", w(0), bool_expr(&cmp));
+        }
+        Prim::Mux { ways, .. } => {
+            let _ = writeln!(out, "  with {} select", r(0));
+            for i in 0..*ways {
+                let sel_w = crate::prim::sel_width(*ways);
+                let choice = if i + 1 == *ways {
+                    "others".to_owned()
+                } else {
+                    literal(i as u64, sel_w)
+                };
+                let term = if i + 1 == *ways { ";" } else { "," };
+                let _ = writeln!(out, "    {} <= {} when {}{}", w(0), r(1 + i), choice, term);
+            }
+        }
+        Prim::Slice { low, len, .. } => {
+            let hi = low + len - 1;
+            let idx = if *len == 1 {
+                format!("({low})")
+            } else {
+                format!("({hi} downto {low})")
+            };
+            let _ = writeln!(out, "  {} <= {}{};", w(0), r(0), idx);
+        }
+        Prim::Concat { widths } => {
+            let parts: Vec<String> = (0..widths.len()).map(r).collect();
+            let _ = writeln!(out, "  {} <= {};", w(0), parts.join(" & "));
+        }
+        Prim::TriBuf { width } => {
+            let z = if *width == 1 {
+                "'Z'".to_owned()
+            } else {
+                "(others => 'Z')".to_owned()
+            };
+            let _ = writeln!(
+                out,
+                "  {} <= {} when {} = '1' else {};",
+                w(0),
+                r(1),
+                r(0),
+                z
+            );
+        }
+        Prim::TruthTable {
+            in_widths,
+            out_width,
+            table,
+        } => {
+            // Rendered as a case process over the concatenated inputs —
+            // this is how the generated FSM next-state logic reads.
+            let sel: Vec<String> = (0..in_widths.len()).map(r).collect();
+            let total: usize = in_widths.iter().sum();
+            let _ = writeln!(out, "  process ({})", sel.join(", "));
+            let _ = writeln!(out, "  begin");
+            let _ = writeln!(out, "    case {} is", sel.join(" & "));
+            for (i, &word) in table.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "      when {} => {} <= {};",
+                    literal(i as u64, total),
+                    w(0),
+                    literal(word, *out_width)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "      when others => {} <= {};",
+                w(0),
+                if *out_width == 1 {
+                    "'X'".to_owned()
+                } else {
+                    "(others => 'X')".to_owned()
+                }
+            );
+            let _ = writeln!(out, "    end case;");
+            let _ = writeln!(out, "  end process;");
+        }
+        Prim::Reg {
+            width,
+            has_enable,
+            reset_value,
+        } => {
+            let _ = writeln!(out, "  process (clk)");
+            let _ = writeln!(out, "  begin");
+            let _ = writeln!(out, "    if rising_edge(clk) then");
+            let _ = writeln!(out, "      if rst = '1' then");
+            let _ = writeln!(
+                out,
+                "        {} <= {};",
+                w(0),
+                literal(*reset_value, *width)
+            );
+            if *has_enable {
+                let _ = writeln!(out, "      elsif {} = '1' then", r(1));
+            } else {
+                let _ = writeln!(out, "      else");
+            }
+            let _ = writeln!(out, "        {} <= {};", w(0), r(0));
+            let _ = writeln!(out, "      end if;");
+            let _ = writeln!(out, "    end if;");
+            let _ = writeln!(out, "  end process;");
+        }
+        Prim::BlockRam {
+            addr_width,
+            data_width,
+        } => {
+            let _ = writeln!(
+                out,
+                "  {} : block_ram generic map (addr_width => {addr_width}, data_width => {data_width})",
+                cell.name()
+            );
+            let _ = writeln!(
+                out,
+                "    port map (clk => clk, we => {}, waddr => {}, wdata => {}, raddr => {}, rdata => {});",
+                r(0), r(1), r(2), r(3), w(0)
+            );
+        }
+        Prim::FifoMacro { depth, width } => {
+            let _ = writeln!(
+                out,
+                "  {} : fifo_core generic map (depth => {depth}, width => {width})",
+                cell.name()
+            );
+            let _ = writeln!(
+                out,
+                "    port map (clk => clk, rst => rst, push => {}, pop => {}, wdata => {}, rdata => {}, empty => {}, full => {});",
+                r(0), r(1), r(2), w(0), w(1), w(2)
+            );
+        }
+        Prim::LifoMacro { depth, width } => {
+            let _ = writeln!(
+                out,
+                "  {} : lifo_core generic map (depth => {depth}, width => {width})",
+                cell.name()
+            );
+            let _ = writeln!(
+                out,
+                "    port map (clk => clk, rst => rst, push => {}, pop => {}, wdata => {}, rdata => {}, empty => {}, full => {});",
+                r(0), r(1), r(2), w(0), w(1), w(2)
+            );
+        }
+    }
+}
+
+/// Renders a complete design unit: library clause, entity and
+/// architecture.
+///
+/// # Errors
+///
+/// Propagates structural validation failures from
+/// [`emit_architecture`].
+pub fn emit_component(netlist: &Netlist, arch_name: &str) -> Result<String, crate::HdlError> {
+    let mut out = String::new();
+    out.push_str("library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n");
+    out.push_str(&emit_entity(netlist.entity()));
+    out.push('\n');
+    out.push_str(&emit_architecture(netlist, arch_name)?);
+    Ok(out)
+}
+
+/// True if the port needs a `clk`/`rst` pair in the emitted design —
+/// i.e. the netlist contains sequential primitives.
+#[must_use]
+pub fn needs_clock(netlist: &Netlist) -> bool {
+    netlist.cells().iter().any(|c| c.prim().is_sequential())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim::Prim;
+    use crate::{Entity, LogicVector, Netlist, PortDir};
+
+    fn figure4_entity() -> Entity {
+        Entity::builder("rbuffer_fifo")
+            .group("methods")
+            .port("m_empty", PortDir::In, 1)
+            .unwrap()
+            .port("m_size", PortDir::In, 1)
+            .unwrap()
+            .port("m_pop", PortDir::In, 1)
+            .unwrap()
+            .group("params")
+            .port("data", PortDir::Out, 8)
+            .unwrap()
+            .port("done", PortDir::Out, 1)
+            .unwrap()
+            .group("implementation interface")
+            .port("p_empty", PortDir::In, 1)
+            .unwrap()
+            .port("p_read", PortDir::Out, 1)
+            .unwrap()
+            .port("p_data", PortDir::In, 8)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn entity_layout_matches_figure4() {
+        let text = emit_entity(&figure4_entity());
+        let expected = "\
+entity rbuffer_fifo is
+  port (
+    -- methods
+    m_empty : in std_logic;
+    m_size : in std_logic;
+    m_pop : in std_logic;
+    -- params
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_empty : in std_logic;
+    p_read : out std_logic;
+    p_data : in std_logic_vector(7 downto 0)
+  );
+end rbuffer_fifo;
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn generics_render_with_defaults() {
+        let e = Entity::builder("g")
+            .generic("depth", crate::GenericValue::Natural(512))
+            .unwrap()
+            .port("q", PortDir::Out, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        let text = emit_entity(&e);
+        assert!(text.contains("depth : natural := 512"));
+    }
+
+    fn small_netlist() -> Netlist {
+        let entity = Entity::builder("incr")
+            .port("a", PortDir::In, 8)
+            .unwrap()
+            .port("y", PortDir::Out, 8)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let a = nl.add_net("a", 8).unwrap();
+        let y = nl.add_net("y", 8).unwrap();
+        nl.add_cell("u_inc", Prim::Inc { width: 8 }, vec![a], vec![y])
+            .unwrap();
+        nl.bind_port("a", a).unwrap();
+        nl.bind_port("y", y).unwrap();
+        nl
+    }
+
+    #[test]
+    fn architecture_renders_arithmetic() {
+        let text = emit_architecture(&small_netlist(), "rtl").unwrap();
+        assert!(text.contains("architecture rtl of incr is"));
+        assert!(text.contains("y <= std_logic_vector(unsigned(a) + 1);"));
+        assert!(text.contains("end rtl;"));
+    }
+
+    #[test]
+    fn component_includes_library_clause() {
+        let text = emit_component(&small_netlist(), "rtl").unwrap();
+        assert!(text.starts_with("library ieee;"));
+        assert!(text.contains("entity incr is"));
+    }
+
+    #[test]
+    fn invalid_netlist_is_rejected() {
+        let entity = Entity::builder("bad")
+            .port("y", PortDir::Out, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        let nl = Netlist::new(entity); // port never bound
+        assert!(emit_architecture(&nl, "rtl").is_err());
+    }
+
+    #[test]
+    fn const_and_tribuf_render() {
+        let entity = Entity::builder("drv")
+            .port("en", PortDir::In, 1)
+            .unwrap()
+            .port("bus_io", PortDir::Out, 8)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let en = nl.add_net("en", 1).unwrap();
+        let c = nl.add_net("cval", 8).unwrap();
+        let b = nl.add_net("bus_io", 8).unwrap();
+        nl.add_cell(
+            "u_c",
+            Prim::Const {
+                value: LogicVector::from_u64(0xA5, 8).unwrap(),
+            },
+            vec![],
+            vec![c],
+        )
+        .unwrap();
+        nl.add_cell("u_t", Prim::TriBuf { width: 8 }, vec![en, c], vec![b])
+            .unwrap();
+        nl.bind_port("en", en).unwrap();
+        nl.bind_port("bus_io", b).unwrap();
+        let text = emit_architecture(&nl, "rtl").unwrap();
+        assert!(text.contains("cval <= \"10100101\";"));
+        assert!(text.contains("bus_io <= cval when en = '1' else (others => 'Z');"));
+        assert!(text.contains("signal cval"));
+    }
+
+    #[test]
+    fn register_renders_clocked_process() {
+        let entity = Entity::builder("r")
+            .port("d", PortDir::In, 4)
+            .unwrap()
+            .port("q", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let d = nl.add_net("d", 4).unwrap();
+        let q = nl.add_net("q", 4).unwrap();
+        nl.add_cell(
+            "u_r",
+            Prim::Reg {
+                width: 4,
+                has_enable: false,
+                reset_value: 5,
+            },
+            vec![d],
+            vec![q],
+        )
+        .unwrap();
+        nl.bind_port("d", d).unwrap();
+        nl.bind_port("q", q).unwrap();
+        let text = emit_architecture(&nl, "rtl").unwrap();
+        assert!(text.contains("rising_edge(clk)"));
+        assert!(text.contains("q <= \"0101\";"));
+        assert!(needs_clock(&nl));
+    }
+
+    #[test]
+    fn fifo_macro_instantiates_core() {
+        let entity = Entity::builder("f")
+            .port("push", PortDir::In, 1)
+            .unwrap()
+            .port("pop", PortDir::In, 1)
+            .unwrap()
+            .port("wdata", PortDir::In, 8)
+            .unwrap()
+            .port("rdata", PortDir::Out, 8)
+            .unwrap()
+            .port("empty", PortDir::Out, 1)
+            .unwrap()
+            .port("full", PortDir::Out, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let push = nl.add_net("push", 1).unwrap();
+        let pop = nl.add_net("pop", 1).unwrap();
+        let wdata = nl.add_net("wdata", 8).unwrap();
+        let rdata = nl.add_net("rdata", 8).unwrap();
+        let empty = nl.add_net("empty", 1).unwrap();
+        let full = nl.add_net("full", 1).unwrap();
+        nl.add_cell(
+            "u_fifo",
+            Prim::FifoMacro {
+                depth: 512,
+                width: 8,
+            },
+            vec![push, pop, wdata],
+            vec![rdata, empty, full],
+        )
+        .unwrap();
+        for (p, n) in [
+            ("push", push),
+            ("pop", pop),
+            ("wdata", wdata),
+            ("rdata", rdata),
+            ("empty", empty),
+            ("full", full),
+        ] {
+            nl.bind_port(p, n).unwrap();
+        }
+        let text = emit_architecture(&nl, "rtl").unwrap();
+        assert!(text.contains("component fifo_core"));
+        assert!(text.contains("u_fifo : fifo_core generic map (depth => 512, width => 8)"));
+    }
+
+    #[test]
+    fn type_of_widths() {
+        assert_eq!(type_of(1), "std_logic");
+        assert_eq!(type_of(8), "std_logic_vector(7 downto 0)");
+        assert_eq!(type_of(16), "std_logic_vector(15 downto 0)");
+    }
+}

@@ -1,0 +1,488 @@
+//! Generated algorithm components.
+//!
+//! The paper leaves algorithm metamodels as future work ("Algorithms
+//! can be also described through metamodels, although they have not
+//! been considered in this paper", §3.4). This module implements that
+//! future work so complete designs can be generated and synthesized:
+//! the copy/transform FSMs and the blur convolution datapath, each as
+//! a standalone component netlist.
+
+use crate::fsm::{lower_fsm, state_bits, Rtl};
+use hdp_hdl::prim::{CmpKind, Prim};
+use hdp_hdl::{Entity, HdlError, NetId, Netlist, PortDir};
+
+/// The pixel-wise transfer functions the generator can lower to
+/// combinational logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformOp {
+    /// Pass-through — the copy algorithm.
+    Identity,
+    /// Bitwise complement (photometric negative for full-range data).
+    Invert,
+    /// `p >= t ? max : 0`.
+    Threshold(u64),
+}
+
+impl TransformOp {
+    /// Emits the combinational logic for this transfer function.
+    fn emit(self, rtl: &mut Rtl<'_>, input: NetId, width: usize) -> Result<NetId, HdlError> {
+        match self {
+            TransformOp::Identity => rtl.buf(input),
+            TransformOp::Invert => rtl.not(input),
+            TransformOp::Threshold(t) => {
+                let t_net = rtl.constant(t, width)?;
+                let ge = rtl.cmp(CmpKind::Ge, input, t_net)?;
+                let max = rtl.constant((1 << width) - 1, width)?;
+                let zero = rtl.constant(0, width)?;
+                rtl.mux2(ge, zero, max)
+            }
+        }
+    }
+}
+
+/// Generates the streaming copy/transform engine for single-cycle
+/// (FIFO-class) iterators: "an endless loop that sequences read and
+/// write operations and iterator forwarding for both containers. All
+/// these operations can be performed in parallel" (§3.3).
+///
+/// Ports: `in_avail`/`out_ready` (iterator flow control) in,
+/// `in_data` in; `advance` (simultaneous pop+push strobe) out,
+/// `out_data` out.
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures.
+pub fn transform_streaming(
+    name: &str,
+    data_width: usize,
+    op: TransformOp,
+) -> Result<Netlist, HdlError> {
+    let entity = Entity::builder(name)
+        .group("input iterator")
+        .port("in_avail", PortDir::In, 1)?
+        .port("in_data", PortDir::In, data_width)?
+        .group("output iterator")
+        .port("out_ready", PortDir::In, 1)?
+        .port("advance", PortDir::Out, 1)?
+        .port("out_data", PortDir::Out, data_width)?
+        .build()?;
+    let mut nl = Netlist::new(entity);
+    let in_avail = nl.add_net("in_avail", 1)?;
+    let in_data = nl.add_net("in_data", data_width)?;
+    let out_ready = nl.add_net("out_ready", 1)?;
+    let advance = nl.add_net("advance", 1)?;
+    let out_data = nl.add_net("out_data", data_width)?;
+    for (p, n) in [
+        ("in_avail", in_avail),
+        ("in_data", in_data),
+        ("out_ready", out_ready),
+        ("advance", advance),
+        ("out_data", out_data),
+    ] {
+        nl.bind_port(p, n)?;
+    }
+    let mut rtl = Rtl::new(&mut nl);
+    let go = rtl.and(in_avail, out_ready)?;
+    rtl.buf_into(advance, go)?;
+    let transformed = op.emit(&mut rtl, in_data, data_width)?;
+    rtl.buf_into(out_data, transformed)?;
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+/// Generates the sequenced copy/transform engine for multi-cycle
+/// iterators (the SRAM designs): a fetch/store FSM with a data latch.
+///
+/// Ports: `in_done` in, `in_data` in, `in_req` out (fetch strobe);
+/// `out_done` in, `out_req` out (store strobe), `out_data` out.
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures.
+pub fn transform_sequenced(
+    name: &str,
+    data_width: usize,
+    op: TransformOp,
+) -> Result<Netlist, HdlError> {
+    let entity = Entity::builder(name)
+        .group("input iterator")
+        .port("in_done", PortDir::In, 1)?
+        .port("in_data", PortDir::In, data_width)?
+        .port("in_req", PortDir::Out, 1)?
+        .group("output iterator")
+        .port("out_done", PortDir::In, 1)?
+        .port("out_req", PortDir::Out, 1)?
+        .port("out_data", PortDir::Out, data_width)?
+        .build()?;
+    let mut nl = Netlist::new(entity);
+    let in_done = nl.add_net("in_done", 1)?;
+    let in_data = nl.add_net("in_data", data_width)?;
+    let in_req = nl.add_net("in_req", 1)?;
+    let out_done = nl.add_net("out_done", 1)?;
+    let out_req = nl.add_net("out_req", 1)?;
+    let out_data = nl.add_net("out_data", data_width)?;
+    for (p, n) in [
+        ("in_done", in_done),
+        ("in_data", in_data),
+        ("in_req", in_req),
+        ("out_done", out_done),
+        ("out_req", out_req),
+        ("out_data", out_data),
+    ] {
+        nl.bind_port(p, n)?;
+    }
+    let mut rtl = Rtl::new(&mut nl);
+    // FSM: Fetch(0) / Store(1) / Gap(2) — the Gap state drops the
+    // store strobe for one cycle so the container sees a clean edge.
+    // Inputs: in_done, out_done. Outputs: in_req, out_req, latch_en.
+    let (_s, outs) = lower_fsm(&mut rtl, 3, 0, &[in_done, out_done], 3, |s, ins| {
+        let (ind, outd) = (ins[0] == 1, ins[1] == 1);
+        const IN_REQ: u64 = 1;
+        const OUT_REQ: u64 = 2;
+        const LATCH: u64 = 4;
+        match s {
+            0 if ind => (1, LATCH),
+            0 => (0, IN_REQ),
+            1 if outd => (2, 0),
+            1 => (1, OUT_REQ),
+            _ => (0, 0),
+        }
+    })?;
+    let fetch_req = rtl.slice(outs, 0, 1)?;
+    let store_req = rtl.slice(outs, 1, 1)?;
+    let latch = rtl.slice(outs, 2, 1)?;
+    let held = rtl.reg(in_data, Some(latch), 0)?;
+    let transformed = op.emit(&mut rtl, held, data_width)?;
+    rtl.buf_into(in_req, fetch_req)?;
+    rtl.buf_into(out_req, store_req)?;
+    rtl.buf_into(out_data, transformed)?;
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+/// Generates the blur convolution datapath: per column, the vertical
+/// sum `top + 2*mid + bot` is computed and shifted through two column
+/// registers; the horizontal combination `(left + 2*centre + right)
+/// >> 4` yields one pixel per column once two columns of the line
+/// > > have passed — "ideally a new filtered pixel can be generated at
+/// > > each clock cycle" (§4).
+///
+/// Ports: `col_valid`, `top`, `mid`, `bot` in; `out_valid`,
+/// `out_data` out.
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures.
+pub fn blur_datapath(
+    name: &str,
+    line_width: usize,
+    data_width: usize,
+) -> Result<Netlist, HdlError> {
+    let entity = Entity::builder(name)
+        .group("column iterator")
+        .port("col_valid", PortDir::In, 1)?
+        .port("top", PortDir::In, data_width)?
+        .port("mid", PortDir::In, data_width)?
+        .port("bot", PortDir::In, data_width)?
+        .group("output")
+        .port("out_valid", PortDir::Out, 1)?
+        .port("out_data", PortDir::Out, data_width)?
+        .build()?;
+    let mut nl = Netlist::new(entity);
+    let col_valid = nl.add_net("col_valid", 1)?;
+    let top = nl.add_net("top", data_width)?;
+    let mid = nl.add_net("mid", data_width)?;
+    let bot = nl.add_net("bot", data_width)?;
+    let out_valid = nl.add_net("out_valid", 1)?;
+    let out_data = nl.add_net("out_data", data_width)?;
+    for (p, n) in [
+        ("col_valid", col_valid),
+        ("top", top),
+        ("mid", mid),
+        ("bot", bot),
+        ("out_valid", out_valid),
+        ("out_data", out_data),
+    ] {
+        nl.bind_port(p, n)?;
+    }
+    let mut rtl = Rtl::new(&mut nl);
+    let sum_w = data_width + 2; // 1+2+1 weights
+    let out_w = data_width + 4; // full kernel sum before >>4
+                                // Vertical column sum, pipelined: stage A registers the partial
+                                // sums (top+bot and mid<<1) so the path from the line buffer is a
+                                // single adder; stage B completes the column sum and holds the
+                                // two-deep window. One column enters and one pixel leaves per
+                                // cycle, at a one-cycle latency.
+    let top_w = rtl.zext(top, sum_w)?;
+    let bot_w = rtl.zext(bot, sum_w)?;
+    let mid_w = rtl.zext(mid, sum_w - 1)?;
+    let zero1 = rtl.constant(0, 1)?;
+    let mid2 = rtl.concat(&[mid_w, zero1])?; // mid << 1
+    let tb = rtl.add(top_w, bot_w)?;
+    // Stage A.
+    let tb_r = rtl.reg(tb, Some(col_valid), 0)?;
+    let mid2_r = rtl.reg(mid2, Some(col_valid), 0)?;
+    let va = rtl.reg(col_valid, None, 0)?;
+    // Stage B.
+    let col_sum = rtl.add(tb_r, mid2_r)?;
+    let centre = rtl.reg(col_sum, Some(va), 0)?;
+    let left = rtl.reg(centre, Some(va), 0)?;
+    // Horizontal combination: left + (centre << 1) + right.
+    let left_w = rtl.zext(left, out_w)?;
+    let right_w = rtl.zext(col_sum, out_w)?;
+    let centre_w = rtl.zext(centre, out_w - 1)?;
+    let centre2 = rtl.concat(&[centre_w, zero1])?;
+    let lr = rtl.add(left_w, right_w)?;
+    let full = rtl.add(lr, centre2)?;
+    let pixel = rtl.slice(full, 4, data_width)?;
+    rtl.buf_into(out_data, pixel)?;
+    // Column position counter on the delayed stream: output valid
+    // once x >= 2 within the line.
+    let xw = state_bits(line_width.next_power_of_two().max(2));
+    let x = rtl.wire("xpos", xw)?;
+    let x_inc = rtl.inc(x)?;
+    let at_end = rtl.eq_const(x, line_width as u64 - 1)?;
+    let zero_x = rtl.constant(0, xw)?;
+    let x_next = rtl.mux2(at_end, x_inc, zero_x)?;
+    rtl.reg_into(x, x_next, Some(va), 0)?;
+    let two = rtl.constant(2, xw)?;
+    let window_full = rtl.cmp(CmpKind::Ge, x, two)?;
+    let valid = rtl.and(va, window_full)?;
+    rtl.buf_into(out_valid, valid)?;
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+/// Counts the combinational gate cells of a netlist (everything that
+/// is not a register, macro or wrapper), a cheap structural metric
+/// used in tests.
+#[must_use]
+pub fn logic_cell_count(nl: &Netlist) -> usize {
+    nl.cells()
+        .iter()
+        .filter(|c| {
+            !matches!(
+                c.prim(),
+                Prim::Reg { .. }
+                    | Prim::Buf { .. }
+                    | Prim::BlockRam { .. }
+                    | Prim::FifoMacro { .. }
+                    | Prim::LifoMacro { .. }
+                    | Prim::Const { .. }
+            )
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_sim::{NetlistComponent, Simulator};
+
+    #[test]
+    fn streaming_copy_is_combinational() {
+        let nl = transform_streaming("copy", 8, TransformOp::Identity).unwrap();
+        assert!(nl
+            .cells()
+            .iter()
+            .all(|c| !matches!(c.prim(), Prim::Reg { .. })));
+    }
+
+    #[test]
+    fn streaming_engine_forwards_when_both_ready() {
+        let nl = transform_streaming("copy", 8, TransformOp::Identity).unwrap();
+        let mut sim = Simulator::new();
+        let in_avail = sim.add_signal("in_avail", 1).unwrap();
+        let in_data = sim.add_signal("in_data", 8).unwrap();
+        let out_ready = sim.add_signal("out_ready", 1).unwrap();
+        let advance = sim.add_signal("advance", 1).unwrap();
+        let out_data = sim.add_signal("out_data", 8).unwrap();
+        let dut = NetlistComponent::new(
+            "dut",
+            nl,
+            sim.bus(),
+            &[
+                ("in_avail", in_avail),
+                ("in_data", in_data),
+                ("out_ready", out_ready),
+                ("advance", advance),
+                ("out_data", out_data),
+            ],
+        )
+        .unwrap();
+        sim.add_component(dut);
+        sim.poke(in_avail, 1).unwrap();
+        sim.poke(in_data, 0x7E).unwrap();
+        sim.poke(out_ready, 0).unwrap();
+        sim.reset().unwrap();
+        assert_eq!(sim.peek(advance).unwrap().to_u64(), Some(0));
+        sim.poke(out_ready, 1).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek(advance).unwrap().to_u64(), Some(1));
+        assert_eq!(sim.peek(out_data).unwrap().to_u64(), Some(0x7E));
+    }
+
+    #[test]
+    fn invert_op_complements() {
+        let nl = transform_streaming("inv", 8, TransformOp::Invert).unwrap();
+        let mut sim = Simulator::new();
+        let in_avail = sim.add_signal("in_avail", 1).unwrap();
+        let in_data = sim.add_signal("in_data", 8).unwrap();
+        let out_ready = sim.add_signal("out_ready", 1).unwrap();
+        let advance = sim.add_signal("advance", 1).unwrap();
+        let out_data = sim.add_signal("out_data", 8).unwrap();
+        let dut = NetlistComponent::new(
+            "dut",
+            nl,
+            sim.bus(),
+            &[
+                ("in_avail", in_avail),
+                ("in_data", in_data),
+                ("out_ready", out_ready),
+                ("advance", advance),
+                ("out_data", out_data),
+            ],
+        )
+        .unwrap();
+        sim.add_component(dut);
+        sim.poke(in_avail, 1).unwrap();
+        sim.poke(out_ready, 1).unwrap();
+        sim.poke(in_data, 0x0F).unwrap();
+        sim.reset().unwrap();
+        assert_eq!(sim.peek(out_data).unwrap().to_u64(), Some(0xF0));
+    }
+
+    #[test]
+    fn threshold_op_binarises() {
+        let nl = transform_streaming("thr", 8, TransformOp::Threshold(100)).unwrap();
+        let mut sim = Simulator::new();
+        let in_avail = sim.add_signal("in_avail", 1).unwrap();
+        let in_data = sim.add_signal("in_data", 8).unwrap();
+        let out_ready = sim.add_signal("out_ready", 1).unwrap();
+        let advance = sim.add_signal("advance", 1).unwrap();
+        let out_data = sim.add_signal("out_data", 8).unwrap();
+        let dut = NetlistComponent::new(
+            "dut",
+            nl,
+            sim.bus(),
+            &[
+                ("in_avail", in_avail),
+                ("in_data", in_data),
+                ("out_ready", out_ready),
+                ("advance", advance),
+                ("out_data", out_data),
+            ],
+        )
+        .unwrap();
+        sim.add_component(dut);
+        sim.poke(in_avail, 1).unwrap();
+        sim.poke(out_ready, 1).unwrap();
+        sim.poke(in_data, 99).unwrap();
+        sim.reset().unwrap();
+        assert_eq!(sim.peek(out_data).unwrap().to_u64(), Some(0));
+        sim.poke(in_data, 100).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek(out_data).unwrap().to_u64(), Some(255));
+    }
+
+    #[test]
+    fn sequenced_engine_has_state_and_latch() {
+        let nl = transform_sequenced("copy_seq", 8, TransformOp::Identity).unwrap();
+        let regs = nl
+            .cells()
+            .iter()
+            .filter(|c| matches!(c.prim(), Prim::Reg { .. }))
+            .count();
+        assert!(regs >= 2, "state + data latch, found {regs}");
+    }
+
+    #[test]
+    fn blur_datapath_computes_kernel() {
+        // Feed three uniform columns of value 80: the kernel of a
+        // uniform field returns the field.
+        let nl = blur_datapath("blur", 8, 8).unwrap();
+        let mut sim = Simulator::new();
+        let col_valid = sim.add_signal("col_valid", 1).unwrap();
+        let top = sim.add_signal("top", 8).unwrap();
+        let mid = sim.add_signal("mid", 8).unwrap();
+        let bot = sim.add_signal("bot", 8).unwrap();
+        let out_valid = sim.add_signal("out_valid", 1).unwrap();
+        let out_data = sim.add_signal("out_data", 8).unwrap();
+        let dut = NetlistComponent::new(
+            "dut",
+            nl,
+            sim.bus(),
+            &[
+                ("col_valid", col_valid),
+                ("top", top),
+                ("mid", mid),
+                ("bot", bot),
+                ("out_valid", out_valid),
+                ("out_data", out_data),
+            ],
+        )
+        .unwrap();
+        sim.add_component(dut);
+        for (s, v) in [(col_valid, 1u64), (top, 80), (mid, 80), (bot, 80)] {
+            sim.poke(s, v).unwrap();
+        }
+        sim.reset().unwrap();
+        // Columns 0 and 1 fill the window; column 2 emits one cycle
+        // later (pipeline stage A).
+        sim.step().unwrap(); // col 0 into stage A
+        sim.step().unwrap(); // col 0 -> centre, col 1 into stage A
+        sim.step().unwrap(); // col 1 -> centre, col 0 -> left
+        sim.settle().unwrap();
+        assert_eq!(sim.peek(out_valid).unwrap().to_u64(), Some(1));
+        assert_eq!(sim.peek(out_data).unwrap().to_u64(), Some(80));
+    }
+
+    #[test]
+    fn blur_matches_golden_formula_on_impulse() {
+        // Columns: (0,0,0), (0,160,0), (0,0,0): centre weight 4/16.
+        let nl = blur_datapath("blur", 8, 8).unwrap();
+        let mut sim = Simulator::new();
+        let col_valid = sim.add_signal("col_valid", 1).unwrap();
+        let top = sim.add_signal("top", 8).unwrap();
+        let mid = sim.add_signal("mid", 8).unwrap();
+        let bot = sim.add_signal("bot", 8).unwrap();
+        let out_valid = sim.add_signal("out_valid", 1).unwrap();
+        let out_data = sim.add_signal("out_data", 8).unwrap();
+        let dut = NetlistComponent::new(
+            "dut",
+            nl,
+            sim.bus(),
+            &[
+                ("col_valid", col_valid),
+                ("top", top),
+                ("mid", mid),
+                ("bot", bot),
+                ("out_valid", out_valid),
+                ("out_data", out_data),
+            ],
+        )
+        .unwrap();
+        sim.add_component(dut);
+        sim.poke(col_valid, 1).unwrap();
+        for (s, v) in [(top, 0u64), (mid, 0), (bot, 0)] {
+            sim.poke(s, v).unwrap();
+        }
+        sim.reset().unwrap();
+        sim.step().unwrap(); // column 0: zeros
+        sim.poke(mid, 160).unwrap();
+        sim.step().unwrap(); // column 1: impulse
+        sim.poke(mid, 0).unwrap();
+        sim.step().unwrap(); // column 2: zeros; pipeline catches up
+        sim.settle().unwrap();
+        // Window (0, impulse, 0) visible: out = 4*160/16 = 40.
+        assert_eq!(sim.peek(out_valid).unwrap().to_u64(), Some(1));
+        assert_eq!(sim.peek(out_data).unwrap().to_u64(), Some(40));
+    }
+
+    #[test]
+    fn logic_cell_count_ignores_wrappers() {
+        let copy = transform_streaming("copy", 8, TransformOp::Identity).unwrap();
+        // copy = 1 AND gate; wrappers/bufs not counted.
+        assert_eq!(logic_cell_count(&copy), 1);
+    }
+}

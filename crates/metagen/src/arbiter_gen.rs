@@ -1,0 +1,367 @@
+//! Generated arbitration logic for shared physical resources.
+//!
+//! "\[Metaprogramming\] allows automatic generation of arbitration
+//! logic for shared physical resources (e.g. RAM)." (§3.4)
+
+use crate::fsm::{lower_fsm, Rtl};
+use hdp_hdl::{Entity, HdlError, NetId, Netlist, PortDir};
+
+/// Grant policy of the generated arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Lowest-index master wins.
+    FixedPriority,
+    /// Rotating priority (bounded fairness).
+    RoundRobin,
+}
+
+/// Generates an `n`-master arbiter for one req/ack memory port.
+///
+/// Per-master ports: `mI_req`, `mI_we`, `mI_addr`, `mI_wdata` in,
+/// `mI_ack`, `mI_rdata` out. Downstream: `s_req`, `s_we`, `s_addr`,
+/// `s_wdata` out, `s_ack`, `s_rdata` in. A grant is held for the
+/// whole four-phase transaction.
+///
+/// # Errors
+///
+/// Returns [`HdlError::InvalidWidth`] for `n` outside `2..=4` (the
+/// FSM table grows as `2^n`; wider arbiters would cascade), plus
+/// netlist-construction failures.
+pub fn arbiter(
+    name: &str,
+    n: usize,
+    addr_width: usize,
+    data_width: usize,
+    policy: Policy,
+) -> Result<Netlist, HdlError> {
+    if !(2..=4).contains(&n) {
+        return Err(HdlError::InvalidWidth { width: n });
+    }
+    let mut builder = Entity::builder(name);
+    for i in 0..n {
+        builder = builder
+            .group(format!("master {i}"))
+            .port(&format!("m{i}_req"), PortDir::In, 1)?
+            .port(&format!("m{i}_we"), PortDir::In, 1)?
+            .port(&format!("m{i}_addr"), PortDir::In, addr_width)?
+            .port(&format!("m{i}_wdata"), PortDir::In, data_width)?
+            .port(&format!("m{i}_ack"), PortDir::Out, 1)?
+            .port(&format!("m{i}_rdata"), PortDir::Out, data_width)?;
+    }
+    let entity = builder
+        .group("memory port")
+        .port("s_req", PortDir::Out, 1)?
+        .port("s_we", PortDir::Out, 1)?
+        .port("s_addr", PortDir::Out, addr_width)?
+        .port("s_wdata", PortDir::Out, data_width)?
+        .port("s_ack", PortDir::In, 1)?
+        .port("s_rdata", PortDir::In, data_width)?
+        .build()?;
+    let mut nl = Netlist::new(entity);
+    let mut m_req = Vec::new();
+    let mut m_we = Vec::new();
+    let mut m_addr = Vec::new();
+    let mut m_wdata = Vec::new();
+    let mut m_ack = Vec::new();
+    let mut m_rdata = Vec::new();
+    for i in 0..n {
+        let req = nl.add_net(format!("m{i}_req"), 1)?;
+        let we = nl.add_net(format!("m{i}_we"), 1)?;
+        let addr = nl.add_net(format!("m{i}_addr"), addr_width)?;
+        let wdata = nl.add_net(format!("m{i}_wdata"), data_width)?;
+        let ack = nl.add_net(format!("m{i}_ack"), 1)?;
+        let rdata = nl.add_net(format!("m{i}_rdata"), data_width)?;
+        for (p, net) in [
+            (format!("m{i}_req"), req),
+            (format!("m{i}_we"), we),
+            (format!("m{i}_addr"), addr),
+            (format!("m{i}_wdata"), wdata),
+            (format!("m{i}_ack"), ack),
+            (format!("m{i}_rdata"), rdata),
+        ] {
+            nl.bind_port(&p, net)?;
+        }
+        m_req.push(req);
+        m_we.push(we);
+        m_addr.push(addr);
+        m_wdata.push(wdata);
+        m_ack.push(ack);
+        m_rdata.push(rdata);
+    }
+    let s_req = nl.add_net("s_req", 1)?;
+    let s_we = nl.add_net("s_we", 1)?;
+    let s_addr = nl.add_net("s_addr", addr_width)?;
+    let s_wdata = nl.add_net("s_wdata", data_width)?;
+    let s_ack = nl.add_net("s_ack", 1)?;
+    let s_rdata = nl.add_net("s_rdata", data_width)?;
+    for (p, net) in [
+        ("s_req", s_req),
+        ("s_we", s_we),
+        ("s_addr", s_addr),
+        ("s_wdata", s_wdata),
+        ("s_ack", s_ack),
+        ("s_rdata", s_rdata),
+    ] {
+        nl.bind_port(p, net)?;
+    }
+    let mut rtl = Rtl::new(&mut nl);
+    // Grant FSM. States: for fixed priority, Idle(0) and Granted_i
+    // (1+i). For round robin, Idle_last(i) (0..n) paired with
+    // Granted_i (n+i): the idle state remembers the last grantee.
+    // Outputs: one-hot grant vector (n bits).
+    let n_states = match policy {
+        Policy::FixedPriority => 1 + n,
+        Policy::RoundRobin => 2 * n,
+    };
+    let reqs: Vec<NetId> = m_req.clone();
+    let (_state, grant_vec) = lower_fsm(
+        &mut rtl,
+        n_states,
+        match policy {
+            Policy::FixedPriority => 0,
+            // Idle with last = n-1, so master 0 is first in rotation.
+            Policy::RoundRobin => (n - 1) as u64,
+        },
+        &reqs,
+        n,
+        |s, ins| {
+            let requesting = |i: usize| ins[i] == 1;
+            match policy {
+                Policy::FixedPriority => {
+                    if s == 0 {
+                        // Idle: grant the lowest requester.
+                        for i in 0..n {
+                            if requesting(i) {
+                                return (1 + i as u64, 0);
+                            }
+                        }
+                        (0, 0)
+                    } else {
+                        let i = (s - 1) as usize;
+                        if requesting(i) {
+                            (s, 1 << i)
+                        } else {
+                            (0, 0)
+                        }
+                    }
+                }
+                Policy::RoundRobin => {
+                    if s < n as u64 {
+                        // Idle, last grantee was s: rotate.
+                        let last = s as usize;
+                        for offset in 1..=n {
+                            let i = (last + offset) % n;
+                            if requesting(i) {
+                                return ((n + i) as u64, 0);
+                            }
+                        }
+                        (s, 0)
+                    } else {
+                        let i = (s as usize) - n;
+                        if requesting(i) {
+                            (s, 1 << i)
+                        } else {
+                            (i as u64, 0) // idle, remembering last = i
+                        }
+                    }
+                }
+            }
+        },
+    )?;
+    // Downstream command muxing and per-master response gating.
+    let mut req_any = rtl.constant(0, 1)?;
+    let mut we_any = rtl.constant(0, 1)?;
+    let mut addr_mux = rtl.constant(0, addr_width)?;
+    let mut wdata_mux = rtl.constant(0, data_width)?;
+    for i in 0..n {
+        let g = rtl.slice(grant_vec, i, 1)?;
+        let gated_req = rtl.and(g, m_req[i])?;
+        req_any = rtl.or(req_any, gated_req)?;
+        let gated_we = rtl.and(g, m_we[i])?;
+        we_any = rtl.or(we_any, gated_we)?;
+        addr_mux = rtl.mux2(g, addr_mux, m_addr[i])?;
+        wdata_mux = rtl.mux2(g, wdata_mux, m_wdata[i])?;
+        let ack_i = rtl.and(g, s_ack)?;
+        rtl.buf_into(m_ack[i], ack_i)?;
+        rtl.buf_into(m_rdata[i], s_rdata)?;
+    }
+    rtl.buf_into(s_req, req_any)?;
+    rtl.buf_into(s_we, we_any)?;
+    rtl.buf_into(s_addr, addr_mux)?;
+    rtl.buf_into(s_wdata, wdata_mux)?;
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_sim::{NetlistComponent, SignalId, Simulator};
+
+    struct Rig {
+        sim: Simulator,
+        m_req: Vec<SignalId>,
+        m_we: Vec<SignalId>,
+        m_addr: Vec<SignalId>,
+        m_wdata: Vec<SignalId>,
+        m_ack: Vec<SignalId>,
+        m_rdata: Vec<SignalId>,
+    }
+
+    fn rig(n: usize, policy: Policy, latency: u32) -> Rig {
+        let nl = arbiter("arb", n, 16, 8, policy).unwrap();
+        let mut sim = Simulator::new();
+        let mut map: Vec<(String, SignalId)> = Vec::new();
+        let mut m_req = Vec::new();
+        let mut m_we = Vec::new();
+        let mut m_addr = Vec::new();
+        let mut m_wdata = Vec::new();
+        let mut m_ack = Vec::new();
+        let mut m_rdata = Vec::new();
+        for i in 0..n {
+            let req = sim.add_signal(format!("m{i}_req"), 1).unwrap();
+            let we = sim.add_signal(format!("m{i}_we"), 1).unwrap();
+            let addr = sim.add_signal(format!("m{i}_addr"), 16).unwrap();
+            let wdata = sim.add_signal(format!("m{i}_wdata"), 8).unwrap();
+            let ack = sim.add_signal(format!("m{i}_ack"), 1).unwrap();
+            let rdata = sim.add_signal(format!("m{i}_rdata"), 8).unwrap();
+            for (name, s) in [
+                (format!("m{i}_req"), req),
+                (format!("m{i}_we"), we),
+                (format!("m{i}_addr"), addr),
+                (format!("m{i}_wdata"), wdata),
+                (format!("m{i}_ack"), ack),
+                (format!("m{i}_rdata"), rdata),
+            ] {
+                map.push((name, s));
+            }
+            for s in [req, we, addr, wdata] {
+                sim.poke(s, 0).unwrap();
+            }
+            m_req.push(req);
+            m_we.push(we);
+            m_addr.push(addr);
+            m_wdata.push(wdata);
+            m_ack.push(ack);
+            m_rdata.push(rdata);
+        }
+        let s_req = sim.add_signal("s_req", 1).unwrap();
+        let s_we = sim.add_signal("s_we", 1).unwrap();
+        let s_addr = sim.add_signal("s_addr", 16).unwrap();
+        let s_wdata = sim.add_signal("s_wdata", 8).unwrap();
+        let s_ack = sim.add_signal("s_ack", 1).unwrap();
+        let s_rdata = sim.add_signal("s_rdata", 8).unwrap();
+        for (name, s) in [
+            ("s_req", s_req),
+            ("s_we", s_we),
+            ("s_addr", s_addr),
+            ("s_wdata", s_wdata),
+            ("s_ack", s_ack),
+            ("s_rdata", s_rdata),
+        ] {
+            map.push((name.to_owned(), s));
+        }
+        sim.add_component(hdp_sim::devices::Sram::new(
+            "u_sram", 16, 8, latency, s_req, s_we, s_addr, s_wdata, s_ack, s_rdata,
+        ));
+        let map_refs: Vec<(&str, SignalId)> = map.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+        let dut = NetlistComponent::new("arb", nl, sim.bus(), &map_refs).unwrap();
+        sim.add_component(dut);
+        sim.reset().unwrap();
+        Rig {
+            sim,
+            m_req,
+            m_we,
+            m_addr,
+            m_wdata,
+            m_ack,
+            m_rdata,
+        }
+    }
+
+    fn write(r: &mut Rig, i: usize, addr: u64, value: u64) {
+        r.sim.poke(r.m_req[i], 1).unwrap();
+        r.sim.poke(r.m_we[i], 1).unwrap();
+        r.sim.poke(r.m_addr[i], addr).unwrap();
+        r.sim.poke(r.m_wdata[i], value).unwrap();
+        for _ in 0..40 {
+            r.sim.step().unwrap();
+            if r.sim.peek(r.m_ack[i]).unwrap().to_u64() == Some(1) {
+                r.sim.poke(r.m_req[i], 0).unwrap();
+                r.sim.poke(r.m_we[i], 0).unwrap();
+                r.sim.step().unwrap();
+                return;
+            }
+        }
+        panic!("master {i} never acked");
+    }
+
+    fn read(r: &mut Rig, i: usize, addr: u64) -> u64 {
+        r.sim.poke(r.m_req[i], 1).unwrap();
+        r.sim.poke(r.m_we[i], 0).unwrap();
+        r.sim.poke(r.m_addr[i], addr).unwrap();
+        for _ in 0..40 {
+            r.sim.step().unwrap();
+            if r.sim.peek(r.m_ack[i]).unwrap().to_u64() == Some(1) {
+                let v = r.sim.peek(r.m_rdata[i]).unwrap().to_u64().unwrap();
+                r.sim.poke(r.m_req[i], 0).unwrap();
+                r.sim.step().unwrap();
+                return v;
+            }
+        }
+        panic!("master {i} never acked");
+    }
+
+    #[test]
+    fn generated_arbiter_shares_memory() {
+        let mut r = rig(2, Policy::FixedPriority, 2);
+        write(&mut r, 0, 5, 0xA1);
+        write(&mut r, 1, 6, 0xB2);
+        assert_eq!(read(&mut r, 1, 5), 0xA1);
+        assert_eq!(read(&mut r, 0, 6), 0xB2);
+    }
+
+    #[test]
+    fn generated_round_robin_works() {
+        let mut r = rig(2, Policy::RoundRobin, 1);
+        write(&mut r, 0, 1, 10);
+        write(&mut r, 1, 2, 20);
+        write(&mut r, 0, 3, 30);
+        assert_eq!(read(&mut r, 0, 2), 20);
+    }
+
+    #[test]
+    fn three_master_arbiter_generates() {
+        let nl = arbiter("arb3", 3, 16, 8, Policy::RoundRobin).unwrap();
+        assert!(nl.entity().port("m2_req").is_some());
+    }
+
+    #[test]
+    fn master_count_bounds() {
+        assert!(arbiter("a", 1, 16, 8, Policy::FixedPriority).is_err());
+        assert!(arbiter("a", 5, 16, 8, Policy::FixedPriority).is_err());
+    }
+
+    #[test]
+    fn simultaneous_requests_never_double_ack() {
+        let mut r = rig(3, Policy::RoundRobin, 2);
+        for i in 0..3 {
+            r.sim.poke(r.m_req[i], 1).unwrap();
+            r.sim.poke(r.m_we[i], 1).unwrap();
+            r.sim.poke(r.m_addr[i], i as u64).unwrap();
+            r.sim.poke(r.m_wdata[i], i as u64).unwrap();
+        }
+        for _ in 0..40 {
+            r.sim.step().unwrap();
+            let acks = (0..3)
+                .filter(|&i| r.sim.peek(r.m_ack[i]).unwrap().to_u64() == Some(1))
+                .count();
+            assert!(acks <= 1);
+            for i in 0..3 {
+                if r.sim.peek(r.m_ack[i]).unwrap().to_u64() == Some(1) {
+                    r.sim.poke(r.m_req[i], 0).unwrap();
+                }
+            }
+        }
+    }
+}

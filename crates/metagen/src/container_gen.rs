@@ -1,0 +1,503 @@
+//! Customized container components, one per (container, target) pair.
+//!
+//! "The physical entity of a container implemented over a static RAM
+//! ... will include a port for each operation and each parameter from
+//! the functional interface (read, empty ...), in addition to all the
+//! ports related to the SRAM interface (p_addr, p_data ...)." (§3.4)
+//!
+//! [`rbuffer_fifo`] reproduces the paper's Figure 4 and
+//! [`rbuffer_sram`] its Figure 5. Operation pruning is real: only the
+//! method ports in the requested [`OpSet`] appear in the entity, and
+//! only their logic appears in the architecture.
+
+use crate::fsm::{lower_fsm, Rtl};
+use crate::ops::{MethodOp, OpSet};
+use hdp_hdl::{Entity, HdlError, Netlist, PortDir};
+
+/// Parameters common to all generated containers.
+#[derive(Debug, Clone, Copy)]
+pub struct ContainerParams {
+    /// Element width in bits.
+    pub data_width: usize,
+    /// Capacity in elements (rounded up to a power of two for
+    /// pointer arithmetic).
+    pub depth: usize,
+    /// Address width of the physical memory interface (Figure 5 uses
+    /// 16 bits).
+    pub addr_width: usize,
+}
+
+impl ContainerParams {
+    /// The paper's running configuration: 8-bit pixels, 512-element
+    /// buffers, 16-bit external address bus.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            data_width: 8,
+            depth: 512,
+            addr_width: 16,
+        }
+    }
+
+    fn pointer_width(&self) -> usize {
+        crate::fsm::state_bits(self.depth.next_power_of_two().max(2))
+    }
+}
+
+/// Generates the Figure 4 component: `rbuffer_fifo`, a read buffer
+/// over a FIFO core device.
+///
+/// The entity matches the figure port for port (for
+/// [`OpSet::figure4`]); the architecture "is simply a wrapper of the
+/// FIFO core, and hardly includes any logic" — a guarded pop strobe
+/// and result multiplexing onto `done`:
+///
+/// * `m_pop` pops and presents the head on `data`; `done` confirms.
+/// * `m_empty` answers on `done` (high = empty).
+/// * `m_size` answers on `done` (high = non-empty; the 1-bit `done`
+///   port carries a size-nonzero flag, the only size query the copy
+///   algorithm needs).
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures; returns
+/// [`HdlError::Unconnected`] if `ops` is empty (a container with no
+/// operations has no interface).
+pub fn rbuffer_fifo(params: ContainerParams, ops: OpSet) -> Result<Netlist, HdlError> {
+    if ops.is_empty() {
+        return Err(HdlError::Unconnected {
+            context: "rbuffer_fifo with an empty operation set".into(),
+        });
+    }
+    let w = params.data_width;
+    let mut builder = Entity::builder("rbuffer_fifo").group("methods");
+    for op in [MethodOp::Empty, MethodOp::Size, MethodOp::Pop] {
+        if ops.contains(op) {
+            builder = builder.port(op.port_name(), PortDir::In, 1)?;
+        }
+    }
+    builder = builder
+        .group("params")
+        .port("data", PortDir::Out, w)?
+        .port("done", PortDir::Out, 1)?
+        .group("implementation interface")
+        .port("p_empty", PortDir::In, 1)?
+        .port("p_read", PortDir::Out, 1)?
+        .port("p_data", PortDir::In, w)?;
+    let entity = builder.build()?;
+    let mut nl = Netlist::new(entity.clone());
+    let p_empty = nl.add_net("p_empty", 1)?;
+    let p_read = nl.add_net("p_read", 1)?;
+    let p_data = nl.add_net("p_data", w)?;
+    let data = nl.add_net("data", w)?;
+    let done = nl.add_net("done", 1)?;
+    nl.bind_port("p_empty", p_empty)?;
+    nl.bind_port("p_read", p_read)?;
+    nl.bind_port("p_data", p_data)?;
+    nl.bind_port("data", data)?;
+    nl.bind_port("done", done)?;
+    let mut rtl = Rtl::new(&mut nl);
+    // data is a pure wrapper of the device data bus.
+    rtl.buf_into(data, p_data)?;
+    let not_empty = rtl.not(p_empty)?;
+    // Guarded pop strobe, and the done/result mux per selected op.
+    let zero = rtl.constant(0, 1)?;
+    let (pop_net, mut done_expr) = if ops.contains(MethodOp::Pop) {
+        let m_pop = rtl.netlist().add_net("m_pop", 1)?;
+        rtl.netlist().bind_port("m_pop", m_pop)?;
+        let pop_ok = rtl.and(m_pop, not_empty)?;
+        (pop_ok, pop_ok)
+    } else {
+        (zero, zero)
+    };
+    rtl.buf_into(p_read, pop_net)?;
+    if ops.contains(MethodOp::Empty) {
+        let m_empty = rtl.netlist().add_net("m_empty", 1)?;
+        rtl.netlist().bind_port("m_empty", m_empty)?;
+        let empty_ans = rtl.and(m_empty, p_empty)?;
+        done_expr = rtl.or(done_expr, empty_ans)?;
+    }
+    if ops.contains(MethodOp::Size) {
+        let m_size = rtl.netlist().add_net("m_size", 1)?;
+        rtl.netlist().bind_port("m_size", m_size)?;
+        let size_ans = rtl.and(m_size, not_empty)?;
+        done_expr = rtl.or(done_expr, size_ans)?;
+    }
+    rtl.buf_into(done, done_expr)?;
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+/// Generates the Figure 5 component: `rbuffer_sram`, a read buffer
+/// over external static RAM.
+///
+/// The entity keeps the Figure 4 functional interface but swaps the
+/// implementation interface for the Figure 5 pins: `p_addr`,
+/// `p_data`, `req`, `ack` (plus the write-side pins the circular
+/// buffer needs to commit incoming stream data: `s_valid`/`s_data`
+/// upstream and `p_we`/`p_wdata` towards the controller). The
+/// architecture is the paper's "little finite state machine that
+/// controls memory access, as well as a few registers to store the
+/// begin and end pointers of the queue (implemented as a circular
+/// buffer)".
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures; rejects an empty op set.
+pub fn rbuffer_sram(params: ContainerParams, ops: OpSet) -> Result<Netlist, HdlError> {
+    if ops.is_empty() {
+        return Err(HdlError::Unconnected {
+            context: "rbuffer_sram with an empty operation set".into(),
+        });
+    }
+    let w = params.data_width;
+    let aw = params.addr_width;
+    let pw = params.pointer_width();
+    let mut builder = Entity::builder("rbuffer_sram").group("methods");
+    for op in [MethodOp::Empty, MethodOp::Size, MethodOp::Pop] {
+        if ops.contains(op) {
+            builder = builder.port(op.port_name(), PortDir::In, 1)?;
+        }
+    }
+    let entity = builder
+        .group("params")
+        .port("data", PortDir::Out, w)?
+        .port("done", PortDir::Out, 1)?
+        .group("stream interface")
+        .port("s_valid", PortDir::In, 1)?
+        .port("s_data", PortDir::In, w)?
+        .group("implementation interface")
+        .port("p_addr", PortDir::Out, aw)?
+        .port("p_data", PortDir::In, w)?
+        .port("p_we", PortDir::Out, 1)?
+        .port("p_wdata", PortDir::Out, w)?
+        .port("req", PortDir::Out, 1)?
+        .port("ack", PortDir::In, 1)?
+        .build()?;
+    let mut nl = Netlist::new(entity);
+    let data = nl.add_net("data", w)?;
+    let done = nl.add_net("done", 1)?;
+    let s_valid = nl.add_net("s_valid", 1)?;
+    let s_data = nl.add_net("s_data", w)?;
+    let p_addr = nl.add_net("p_addr", aw)?;
+    let p_data = nl.add_net("p_data", w)?;
+    let p_we = nl.add_net("p_we", 1)?;
+    let p_wdata = nl.add_net("p_wdata", w)?;
+    let req = nl.add_net("req", 1)?;
+    let ack = nl.add_net("ack", 1)?;
+    for (p, n) in [
+        ("data", data),
+        ("done", done),
+        ("s_valid", s_valid),
+        ("s_data", s_data),
+        ("p_addr", p_addr),
+        ("p_data", p_data),
+        ("p_we", p_we),
+        ("p_wdata", p_wdata),
+        ("req", req),
+        ("ack", ack),
+    ] {
+        nl.bind_port(p, n)?;
+    }
+    let pop_in = if ops.contains(MethodOp::Pop) {
+        let m_pop = nl.add_net("m_pop", 1)?;
+        nl.bind_port("m_pop", m_pop)?;
+        Some(m_pop)
+    } else {
+        None
+    };
+    let empty_in = if ops.contains(MethodOp::Empty) {
+        let m_empty = nl.add_net("m_empty", 1)?;
+        nl.bind_port("m_empty", m_empty)?;
+        Some(m_empty)
+    } else {
+        None
+    };
+    let size_in = if ops.contains(MethodOp::Size) {
+        let m_size = nl.add_net("m_size", 1)?;
+        nl.bind_port("m_size", m_size)?;
+        Some(m_size)
+    } else {
+        None
+    };
+    let mut rtl = Rtl::new(&mut nl);
+    // Begin/end pointer and count registers of the circular buffer.
+    let head = rtl.wire("head", pw)?;
+    let tail = rtl.wire("tail", pw)?;
+    let count = rtl.wire("count", pw + 1)?;
+    // Skid register absorbing one stream element during a transaction.
+    let skid_valid = rtl.wire("skid_valid", 1)?;
+    let skid_data = rtl.reg(s_data, Some(s_valid), 0)?;
+    let count_zero = rtl.eq_const(count, 0)?;
+    let pop_req = match pop_in {
+        Some(p) => p,
+        None => rtl.constant(0, 1)?,
+    };
+    // FSM: Idle(0) -> Write(1)/Read(2) -> Release(3) -> Idle.
+    // Inputs: skid_valid, pop_req, ack, count_zero.
+    // Outputs (LSB first): req, we, sel_tail, commit_w, commit_r, pop_done.
+    let (_state, outs) = lower_fsm(
+        &mut rtl,
+        4,
+        0,
+        &[skid_valid, pop_req, ack, count_zero],
+        6,
+        |s, ins| {
+            let (skid, pop, ack, zero) = (ins[0] == 1, ins[1] == 1, ins[2] == 1, ins[3] == 1);
+            const REQ: u64 = 1;
+            const WE: u64 = 2;
+            const SEL_TAIL: u64 = 4;
+            const COMMIT_W: u64 = 8;
+            const COMMIT_R: u64 = 16;
+            const POP_DONE: u64 = 32;
+            match s {
+                // Idle: writes (stream commits) take priority.
+                0 if skid => (1, 0),
+                0 if pop && !zero => (2, 0),
+                0 => (0, 0),
+                // Write transaction at the tail pointer.
+                1 if ack => (3, REQ | WE | SEL_TAIL | COMMIT_W),
+                1 => (1, REQ | WE | SEL_TAIL),
+                // Read transaction at the head pointer.
+                2 if ack => (3, REQ | COMMIT_R | POP_DONE),
+                2 => (2, REQ),
+                // Release: wait for ack to drop.
+                _ => (0, 0),
+            }
+        },
+    )?;
+    let fsm_req = rtl.slice(outs, 0, 1)?;
+    let fsm_we = rtl.slice(outs, 1, 1)?;
+    let sel_tail = rtl.slice(outs, 2, 1)?;
+    let commit_w = rtl.slice(outs, 3, 1)?;
+    let commit_r = rtl.slice(outs, 4, 1)?;
+    let pop_done = rtl.slice(outs, 5, 1)?;
+    rtl.buf_into(req, fsm_req)?;
+    rtl.buf_into(p_we, fsm_we)?;
+    rtl.buf_into(p_wdata, skid_data)?;
+    // Pointer datapath.
+    let head_next = rtl.inc(head)?;
+    rtl.reg_into(head, head_next, Some(commit_r), 0)?;
+    let tail_next = rtl.inc(tail)?;
+    rtl.reg_into(tail, tail_next, Some(commit_w), 0)?;
+    let count_up = rtl.inc(count)?;
+    let one_w = rtl.constant(1, pw + 1)?;
+    let count_down = rtl.sub(count, one_w)?;
+    let count_delta = rtl.mux2(commit_w, count_down, count_up)?;
+    let count_change = rtl.or(commit_w, commit_r)?;
+    rtl.reg_into(count, count_delta, Some(count_change), 0)?;
+    // Skid-valid flag: set on s_valid, cleared on commit_w.
+    let not_commit_w = rtl.not(commit_w)?;
+    let held = rtl.and(skid_valid, not_commit_w)?;
+    let skid_next = rtl.or(held, s_valid)?;
+    rtl.reg_into(skid_valid, skid_next, None, 0)?;
+    // Address mux, zero-extended onto the 16-bit external bus.
+    let ptr = rtl.mux2(sel_tail, head, tail)?;
+    let addr = rtl.zext(ptr, aw)?;
+    rtl.buf_into(p_addr, addr)?;
+    // Fetched-element register and done/result outputs.
+    let fetched = rtl.reg(p_data, Some(commit_r), 0)?;
+    rtl.buf_into(data, fetched)?;
+    let mut done_expr = pop_done;
+    if let Some(m_empty) = empty_in {
+        let empty_ans = rtl.and(m_empty, count_zero)?;
+        done_expr = rtl.or(done_expr, empty_ans)?;
+    }
+    if let Some(m_size) = size_in {
+        let nonzero = rtl.not(count_zero)?;
+        let size_ans = rtl.and(m_size, nonzero)?;
+        done_expr = rtl.or(done_expr, size_ans)?;
+    }
+    rtl.buf_into(done, done_expr)?;
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+/// Generates a write buffer over a FIFO core device: the mirror image
+/// of Figure 4 with `m_push`/`wdata` replacing `m_pop`/`data`.
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures; rejects an empty op set.
+pub fn wbuffer_fifo(params: ContainerParams, ops: OpSet) -> Result<Netlist, HdlError> {
+    if ops.is_empty() {
+        return Err(HdlError::Unconnected {
+            context: "wbuffer_fifo with an empty operation set".into(),
+        });
+    }
+    let w = params.data_width;
+    let mut builder = Entity::builder("wbuffer_fifo").group("methods");
+    for op in [MethodOp::Full, MethodOp::Push] {
+        if ops.contains(op) {
+            builder = builder.port(op.port_name(), PortDir::In, 1)?;
+        }
+    }
+    let entity = builder
+        .group("params")
+        .port("wdata", PortDir::In, w)?
+        .port("done", PortDir::Out, 1)?
+        .group("implementation interface")
+        .port("p_full", PortDir::In, 1)?
+        .port("p_write", PortDir::Out, 1)?
+        .port("p_data", PortDir::Out, w)?
+        .build()?;
+    let mut nl = Netlist::new(entity);
+    let wdata = nl.add_net("wdata", w)?;
+    let done = nl.add_net("done", 1)?;
+    let p_full = nl.add_net("p_full", 1)?;
+    let p_write = nl.add_net("p_write", 1)?;
+    let p_data = nl.add_net("p_data", w)?;
+    for (p, n) in [
+        ("wdata", wdata),
+        ("done", done),
+        ("p_full", p_full),
+        ("p_write", p_write),
+        ("p_data", p_data),
+    ] {
+        nl.bind_port(p, n)?;
+    }
+    let mut rtl = Rtl::new(&mut nl);
+    rtl.buf_into(p_data, wdata)?;
+    let not_full = rtl.not(p_full)?;
+    let zero = rtl.constant(0, 1)?;
+    let (push_net, mut done_expr) = if ops.contains(MethodOp::Push) {
+        let m_push = rtl.netlist().add_net("m_push", 1)?;
+        rtl.netlist().bind_port("m_push", m_push)?;
+        let push_ok = rtl.and(m_push, not_full)?;
+        (push_ok, push_ok)
+    } else {
+        (zero, zero)
+    };
+    rtl.buf_into(p_write, push_net)?;
+    if ops.contains(MethodOp::Full) {
+        let m_full = rtl.netlist().add_net("m_full", 1)?;
+        rtl.netlist().bind_port("m_full", m_full)?;
+        let full_ans = rtl.and(m_full, p_full)?;
+        done_expr = rtl.or(done_expr, full_ans)?;
+    }
+    rtl.buf_into(done, done_expr)?;
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_hdl::prim::Prim;
+    use hdp_hdl::vhdl;
+
+    #[test]
+    fn figure4_entity_matches_paper() {
+        let nl = rbuffer_fifo(ContainerParams::paper_default(), OpSet::figure4()).unwrap();
+        let text = vhdl::emit_entity(nl.entity());
+        let expected = "\
+entity rbuffer_fifo is
+  port (
+    -- methods
+    m_empty : in std_logic;
+    m_size : in std_logic;
+    m_pop : in std_logic;
+    -- params
+    data : out std_logic_vector(7 downto 0);
+    done : out std_logic;
+    -- implementation interface
+    p_empty : in std_logic;
+    p_read : out std_logic;
+    p_data : in std_logic_vector(7 downto 0)
+  );
+end rbuffer_fifo;
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn pruning_removes_unused_method_ports() {
+        let nl = rbuffer_fifo(
+            ContainerParams::paper_default(),
+            OpSet::of(&[MethodOp::Pop]),
+        )
+        .unwrap();
+        assert!(nl.entity().port("m_pop").is_some());
+        assert!(nl.entity().port("m_empty").is_none());
+        assert!(nl.entity().port("m_size").is_none());
+        // And the pruned variant is strictly smaller.
+        let full = rbuffer_fifo(ContainerParams::paper_default(), OpSet::figure4()).unwrap();
+        assert!(nl.cells().len() < full.cells().len());
+    }
+
+    #[test]
+    fn empty_op_set_is_rejected() {
+        assert!(rbuffer_fifo(ContainerParams::paper_default(), OpSet::new()).is_err());
+        assert!(rbuffer_sram(ContainerParams::paper_default(), OpSet::new()).is_err());
+        assert!(wbuffer_fifo(ContainerParams::paper_default(), OpSet::new()).is_err());
+    }
+
+    #[test]
+    fn figure5_entity_has_sram_pins() {
+        let nl = rbuffer_sram(ContainerParams::paper_default(), OpSet::figure4()).unwrap();
+        let e = nl.entity();
+        assert_eq!(e.name(), "rbuffer_sram");
+        assert_eq!(e.port("p_addr").unwrap().width(), 16);
+        assert_eq!(e.port("p_data").unwrap().width(), 8);
+        assert!(e.port("req").is_some());
+        assert!(e.port("ack").is_some());
+        // No FIFO pins.
+        assert!(e.port("p_empty").is_none());
+        assert!(e.port("p_read").is_none());
+    }
+
+    #[test]
+    fn figure5_architecture_has_pointer_registers() {
+        let nl = rbuffer_sram(ContainerParams::paper_default(), OpSet::figure4()).unwrap();
+        let regs: usize = nl
+            .cells()
+            .iter()
+            .filter(|c| matches!(c.prim(), Prim::Reg { .. }))
+            .count();
+        // head, tail, count, skid data, skid valid, fetched, fsm state.
+        assert!(regs >= 7, "expected pointer registers, found {regs}");
+    }
+
+    #[test]
+    fn fifo_wrapper_is_nearly_free() {
+        // The paper: the FIFO-backed container is "simply a wrapper
+        // of the FIFO core, and hardly includes any logic". Compare
+        // cell counts.
+        let fifo = rbuffer_fifo(ContainerParams::paper_default(), OpSet::figure4()).unwrap();
+        let sram = rbuffer_sram(ContainerParams::paper_default(), OpSet::figure4()).unwrap();
+        assert!(
+            fifo.cells().len() * 3 < sram.cells().len(),
+            "wrapper ({}) should be far smaller than the SRAM FSM ({})",
+            fifo.cells().len(),
+            sram.cells().len()
+        );
+    }
+
+    #[test]
+    fn generated_components_emit_vhdl() {
+        for nl in [
+            rbuffer_fifo(ContainerParams::paper_default(), OpSet::figure4()).unwrap(),
+            rbuffer_sram(ContainerParams::paper_default(), OpSet::figure4()).unwrap(),
+            wbuffer_fifo(
+                ContainerParams::paper_default(),
+                OpSet::of(&[MethodOp::Push, MethodOp::Full]),
+            )
+            .unwrap(),
+        ] {
+            let text = vhdl::emit_component(&nl, "generated").unwrap();
+            assert!(text.contains("library ieee;"));
+            assert!(text.contains(&format!("entity {} is", nl.entity().name())));
+        }
+    }
+
+    #[test]
+    fn wbuffer_prunes_full_query() {
+        let nl = wbuffer_fifo(
+            ContainerParams::paper_default(),
+            OpSet::of(&[MethodOp::Push]),
+        )
+        .unwrap();
+        assert!(nl.entity().port("m_push").is_some());
+        assert!(nl.entity().port("m_full").is_none());
+    }
+}

@@ -1,0 +1,903 @@
+//! Assembly of the paper's three evaluation designs (Table 3).
+//!
+//! Each design exists in two styles:
+//!
+//! * [`Style::Pattern`] — generated from the component library: the
+//!   container metamodels (pruned to the operations the copy/blur
+//!   algorithms use), the iterator wrappers and the generated
+//!   algorithm engines, composed exactly as the Figure 3 model
+//!   dictates.
+//! * [`Style::Custom`] — the ad-hoc baseline a designer would write
+//!   directly against the device cores: the same datapath with the
+//!   wrapper layers omitted and, for the SRAM design, the three
+//!   control FSMs fused into one.
+//!
+//! The paper's claim is that after synthesis the two styles cost the
+//! same ("there is a negligible overhead for the pattern-based
+//! implementation ... iterators ... are only wrappers that will be
+//! dissolved at the time of synthesizing the design", §4) — the
+//! `table3` experiment in `hdp-bench` measures exactly that.
+
+use crate::fsm::{lower_fsm, state_bits, Rtl};
+use hdp_hdl::prim::{CmpKind, Prim};
+use hdp_hdl::{Entity, EntityBuilder, HdlError, NetId, Netlist, PortDir};
+
+/// The communication protocol the generator selects between a
+/// container and its physical device — "transparent selection of the
+/// communication protocol between components. Here transparency refers
+/// to the model, not to the designer" (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Free-running strobe interface: operations complete in the same
+    /// cycle (on-chip stream cores and registered RAM).
+    FreeRunning,
+    /// Four-phase request/acknowledge handshake: operations span a
+    /// transaction (external memory behind a controller).
+    ReqAck,
+}
+
+/// The protocol the generator selects for a physical target.
+///
+/// # Example
+///
+/// ```
+/// use hdp_core::spec::PhysicalTarget;
+/// use hdp_metagen::design::{protocol_for, Protocol};
+///
+/// assert_eq!(protocol_for(PhysicalTarget::FifoCore), Protocol::FreeRunning);
+/// assert_eq!(
+///     protocol_for(PhysicalTarget::ExternalSram { latency: 2 }),
+///     Protocol::ReqAck
+/// );
+/// ```
+#[must_use]
+pub fn protocol_for(target: hdp_core::spec::PhysicalTarget) -> Protocol {
+    use hdp_core::spec::PhysicalTarget;
+    match target {
+        PhysicalTarget::FifoCore
+        | PhysicalTarget::LifoCore
+        | PhysicalTarget::BlockRam
+        | PhysicalTarget::LineBuffer3 { .. } => Protocol::FreeRunning,
+        PhysicalTarget::ExternalSram { .. } => Protocol::ReqAck,
+    }
+}
+
+/// Which of the Table 3 designs to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignKind {
+    /// Video in → copy → video out, containers over FIFO cores
+    /// ("maximum performance at the highest cost").
+    Saa2vga1,
+    /// The same model with both containers over external SRAM
+    /// ("much smaller, but performance will depend on memory access
+    /// times").
+    Saa2vga2,
+    /// Video in → 3-line buffer → 3×3 blur → video out.
+    Blur,
+}
+
+impl DesignKind {
+    /// All Table 3 rows in order.
+    pub const ALL: [DesignKind; 3] = [DesignKind::Saa2vga1, DesignKind::Saa2vga2, DesignKind::Blur];
+
+    /// The Table 3 row label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignKind::Saa2vga1 => "saa2vga 1",
+            DesignKind::Saa2vga2 => "saa2vga 2",
+            DesignKind::Blur => "blur",
+        }
+    }
+}
+
+/// Implementation style: library-generated or hand-written baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Style {
+    /// Generated through the iterator pattern and component library.
+    Pattern,
+    /// Ad-hoc implementation directly over the device cores.
+    Custom,
+}
+
+/// Generation parameters for the Table 3 designs.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignParams {
+    /// Pixel width in bits.
+    pub data_width: usize,
+    /// FIFO/circular-buffer capacity in elements.
+    pub depth: usize,
+    /// Video line width in pixels (blur only).
+    pub line_width: usize,
+    /// External address bus width (SRAM design only).
+    pub addr_width: usize,
+}
+
+impl DesignParams {
+    /// The configuration of the paper's experiments: 8-bit pixels,
+    /// 512-element buffers, 16-bit external address bus; a 512-pixel
+    /// line for the blur (so each line store fills one 4-kbit block
+    /// RAM, matching the "2 block RAM" column).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            data_width: 8,
+            depth: 512,
+            line_width: 512,
+            addr_width: 16,
+        }
+    }
+
+    /// A scaled-down configuration for fast functional simulation.
+    #[must_use]
+    pub fn small(line_width: usize) -> Self {
+        Self {
+            data_width: 8,
+            depth: 64,
+            line_width,
+            addr_width: 16,
+        }
+    }
+}
+
+/// A generated design: one flat netlist plus its identity.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Which Table 3 row this is.
+    pub kind: DesignKind,
+    /// Pattern-based or custom.
+    pub style: Style,
+    /// The flat netlist (device macros included).
+    pub netlist: Netlist,
+}
+
+/// Generates one Table 3 design.
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures.
+pub fn generate(kind: DesignKind, style: Style, params: DesignParams) -> Result<Design, HdlError> {
+    let netlist = match kind {
+        DesignKind::Saa2vga1 => saa2vga_fifo(style, params)?,
+        DesignKind::Saa2vga2 => saa2vga_sram(style, params)?,
+        DesignKind::Blur => blur(style, params)?,
+    };
+    Ok(Design {
+        kind,
+        style,
+        netlist,
+    })
+}
+
+fn stream_entity(name: &str, data_width: usize) -> EntityBuilder {
+    Entity::builder(name)
+        .group("video in")
+        .port("vid_valid", PortDir::In, 1)
+        .expect("static port")
+        .port("vid_data", PortDir::In, data_width)
+        .expect("static port")
+        .group("video out")
+        .port("vga_valid", PortDir::Out, 1)
+        .expect("static port")
+        .port("vga_data", PortDir::Out, data_width)
+        .expect("static port")
+}
+
+struct StreamNets {
+    vid_valid: NetId,
+    vid_data: NetId,
+    vga_valid: NetId,
+    vga_data: NetId,
+}
+
+fn bind_stream(nl: &mut Netlist, data_width: usize) -> Result<StreamNets, HdlError> {
+    let vid_valid = nl.add_net("vid_valid", 1)?;
+    let vid_data = nl.add_net("vid_data", data_width)?;
+    let vga_valid = nl.add_net("vga_valid", 1)?;
+    let vga_data = nl.add_net("vga_data", data_width)?;
+    nl.bind_port("vid_valid", vid_valid)?;
+    nl.bind_port("vid_data", vid_data)?;
+    nl.bind_port("vga_valid", vga_valid)?;
+    nl.bind_port("vga_data", vga_data)?;
+    Ok(StreamNets {
+        vid_valid,
+        vid_data,
+        vga_valid,
+        vga_data,
+    })
+}
+
+/// Instantiates a FIFO core macro and returns `(rdata, empty, full)`.
+fn fifo_macro(
+    rtl: &mut Rtl<'_>,
+    name: &str,
+    depth: usize,
+    width: usize,
+    push: NetId,
+    pop: NetId,
+    wdata: NetId,
+) -> Result<(NetId, NetId, NetId), HdlError> {
+    let rdata = rtl.wire(&format!("{name}_rdata"), width)?;
+    let empty = rtl.wire(&format!("{name}_empty"), 1)?;
+    let full = rtl.wire(&format!("{name}_full"), 1)?;
+    rtl.netlist().add_cell(
+        name,
+        Prim::FifoMacro { depth, width },
+        vec![push, pop, wdata],
+        vec![rdata, empty, full],
+    )?;
+    Ok((rdata, empty, full))
+}
+
+/// The `saa2vga 1` design: two on-chip FIFO cores and the streaming
+/// copy engine.
+fn saa2vga_fifo(style: Style, p: DesignParams) -> Result<Netlist, HdlError> {
+    let name = match style {
+        Style::Pattern => "saa2vga1_pattern",
+        Style::Custom => "saa2vga1_custom",
+    };
+    let entity = stream_entity(name, p.data_width).build()?;
+    let mut nl = Netlist::new(entity);
+    let s = bind_stream(&mut nl, p.data_width)?;
+    let mut rtl = Rtl::new(&mut nl);
+    let w = p.data_width;
+    // Input synchroniser (the decoder lives on its own clock; both
+    // styles need it).
+    let vid_v1 = rtl.reg(s.vid_valid, None, 0)?;
+    let vid_d1 = rtl.reg(s.vid_data, None, 0)?;
+    // rbuffer over a FIFO core.
+    let pop_in = rtl.wire("pop_in", 1)?;
+    let (in_rdata, in_empty, _in_full) = fifo_macro(
+        &mut rtl,
+        "u_rbuffer_fifo",
+        p.depth,
+        w,
+        vid_v1,
+        pop_in,
+        vid_d1,
+    )?;
+    // wbuffer over a FIFO core.
+    let push_out = rtl.wire("push_out", 1)?;
+    let out_wdata = rtl.wire("out_wdata", w)?;
+    let drain = rtl.wire("drain", 1)?;
+    let (out_rdata, out_empty, out_full) = fifo_macro(
+        &mut rtl,
+        "u_wbuffer_fifo",
+        p.depth,
+        w,
+        push_out,
+        drain,
+        out_wdata,
+    )?;
+    let avail = rtl.not(in_empty)?;
+    let ready = rtl.not(out_full)?;
+    let go = rtl.and(avail, ready)?;
+    match style {
+        Style::Pattern => {
+            // Iterator wrappers: pure renamings of the container
+            // methods ("no more than a wrapper that renames some
+            // signals") plus the copy engine between them.
+            let it_in_data = rtl.buf(in_rdata)?; // rbuffer_it data path
+            let it_in_pop = rtl.buf(go)?; // copy drives it_inc+it_read
+            let it_out_push = rtl.buf(go)?; // wbuffer_it write+inc
+            let it_out_data = rtl.buf(it_in_data)?; // copy: out <= in
+            rtl.buf_into(pop_in, it_in_pop)?;
+            rtl.buf_into(push_out, it_out_push)?;
+            rtl.buf_into(out_wdata, it_out_data)?;
+        }
+        Style::Custom => {
+            // Ad-hoc: drive the cores directly.
+            rtl.buf_into(pop_in, go)?;
+            rtl.buf_into(push_out, go)?;
+            rtl.buf_into(out_wdata, in_rdata)?;
+        }
+    }
+    // VGA drain: one pixel per cycle whenever available.
+    let out_avail = rtl.not(out_empty)?;
+    rtl.buf_into(drain, out_avail)?;
+    rtl.buf_into(s.vga_valid, out_avail)?;
+    rtl.buf_into(s.vga_data, out_rdata)?;
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+/// Nets of one external SRAM master port on the design entity.
+struct MemNets {
+    req: NetId,
+    we: NetId,
+    addr: NetId,
+    wdata: NetId,
+    ack: NetId,
+    rdata: NetId,
+}
+
+fn bind_mem(nl: &mut Netlist, prefix: &str, aw: usize, dw: usize) -> Result<MemNets, HdlError> {
+    let req = nl.add_net(format!("{prefix}_req"), 1)?;
+    let we = nl.add_net(format!("{prefix}_we"), 1)?;
+    let addr = nl.add_net(format!("{prefix}_addr"), aw)?;
+    let wdata = nl.add_net(format!("{prefix}_wdata"), dw)?;
+    let ack = nl.add_net(format!("{prefix}_ack"), 1)?;
+    let rdata = nl.add_net(format!("{prefix}_rdata"), dw)?;
+    for (port, net) in [
+        (format!("{prefix}_req"), req),
+        (format!("{prefix}_we"), we),
+        (format!("{prefix}_addr"), addr),
+        (format!("{prefix}_wdata"), wdata),
+        (format!("{prefix}_ack"), ack),
+        (format!("{prefix}_rdata"), rdata),
+    ] {
+        nl.bind_port(&port, net)?;
+    }
+    Ok(MemNets {
+        req,
+        we,
+        addr,
+        wdata,
+        ack,
+        rdata,
+    })
+}
+
+fn mem_ports(builder: EntityBuilder, prefix: &str, aw: usize, dw: usize) -> EntityBuilder {
+    builder
+        .group(format!("{prefix} sram"))
+        .port(&format!("{prefix}_req"), PortDir::Out, 1)
+        .expect("static port")
+        .port(&format!("{prefix}_we"), PortDir::Out, 1)
+        .expect("static port")
+        .port(&format!("{prefix}_addr"), PortDir::Out, aw)
+        .expect("static port")
+        .port(&format!("{prefix}_wdata"), PortDir::Out, dw)
+        .expect("static port")
+        .port(&format!("{prefix}_ack"), PortDir::In, 1)
+        .expect("static port")
+        .port(&format!("{prefix}_rdata"), PortDir::In, dw)
+        .expect("static port")
+}
+
+/// Circular-buffer pointer datapath shared by the SRAM containers:
+/// head/tail/count registers plus the address mux.
+struct PointerNets {
+    count_zero: NetId,
+    addr: NetId,
+}
+
+fn pointer_datapath(
+    rtl: &mut Rtl<'_>,
+    hint: &str,
+    pw: usize,
+    aw: usize,
+    commit_w: NetId,
+    commit_r: NetId,
+    sel_tail: NetId,
+) -> Result<PointerNets, HdlError> {
+    let head = rtl.wire(&format!("{hint}_head"), pw)?;
+    let tail = rtl.wire(&format!("{hint}_tail"), pw)?;
+    let count = rtl.wire(&format!("{hint}_count"), pw + 1)?;
+    let head_next = rtl.inc(head)?;
+    rtl.reg_into(head, head_next, Some(commit_r), 0)?;
+    let tail_next = rtl.inc(tail)?;
+    rtl.reg_into(tail, tail_next, Some(commit_w), 0)?;
+    let count_up = rtl.inc(count)?;
+    let one = rtl.constant(1, pw + 1)?;
+    let count_down = rtl.sub(count, one)?;
+    let count_delta = rtl.mux2(commit_w, count_down, count_up)?;
+    let count_change = rtl.or(commit_w, commit_r)?;
+    rtl.reg_into(count, count_delta, Some(count_change), 0)?;
+    let count_zero = rtl.eq_const(count, 0)?;
+    let ptr = rtl.mux2(sel_tail, head, tail)?;
+    let addr = rtl.zext(ptr, aw)?;
+    Ok(PointerNets { count_zero, addr })
+}
+
+/// The `saa2vga 2` design: both streams through separate external
+/// static RAMs.
+fn saa2vga_sram(style: Style, p: DesignParams) -> Result<Netlist, HdlError> {
+    let name = match style {
+        Style::Pattern => "saa2vga2_pattern",
+        Style::Custom => "saa2vga2_custom",
+    };
+    let (w, aw) = (p.data_width, p.addr_width);
+    let pw = state_bits(p.depth.next_power_of_two().max(2));
+    let builder = stream_entity(name, w);
+    let builder = mem_ports(builder, "im", aw, w);
+    let builder = mem_ports(builder, "om", aw, w);
+    let entity = builder.build()?;
+    let mut nl = Netlist::new(entity);
+    let s = bind_stream(&mut nl, w)?;
+    let im = bind_mem(&mut nl, "im", aw, w)?;
+    let om = bind_mem(&mut nl, "om", aw, w)?;
+    let mut rtl = Rtl::new(&mut nl);
+    // Input synchroniser and skid register (both styles).
+    let vid_v1 = rtl.reg(s.vid_valid, None, 0)?;
+    let vid_d1 = rtl.reg(s.vid_data, None, 0)?;
+    let skid_valid = rtl.wire("skid_valid", 1)?;
+    let skid_data = rtl.reg(vid_d1, Some(vid_v1), 0)?;
+    rtl.buf_into(im.wdata, skid_data)?;
+    match style {
+        Style::Pattern => {
+            // --- rbuffer_sram (generated, pruned to pop/done) ---
+            let pop_req = rtl.wire("pop_req", 1)?;
+            let in_count_zero = rtl.wire("in_count_zero", 1)?;
+            let (_st, in_outs) = lower_fsm(
+                &mut rtl,
+                4,
+                0,
+                &[skid_valid, pop_req, im.ack, in_count_zero],
+                6,
+                rbuffer_fsm_logic,
+            )?;
+            let in_req = rtl.slice(in_outs, 0, 1)?;
+            let in_we = rtl.slice(in_outs, 1, 1)?;
+            let in_sel_tail = rtl.slice(in_outs, 2, 1)?;
+            let in_commit_w = rtl.slice(in_outs, 3, 1)?;
+            let in_commit_r = rtl.slice(in_outs, 4, 1)?;
+            let pop_done = rtl.slice(in_outs, 5, 1)?;
+            rtl.buf_into(im.req, in_req)?;
+            rtl.buf_into(im.we, in_we)?;
+            let in_ptrs = pointer_datapath(
+                &mut rtl,
+                "rb",
+                pw,
+                aw,
+                in_commit_w,
+                in_commit_r,
+                in_sel_tail,
+            )?;
+            rtl.buf_into(in_count_zero, in_ptrs.count_zero)?;
+            rtl.buf_into(im.addr, in_ptrs.addr)?;
+            let fetched = rtl.reg(im.rdata, Some(in_commit_r), 0)?;
+            // --- iterator wrappers ---
+            // `done` is registered (Moore) so the container FSM and
+            // the engine FSM never form a combinational cycle.
+            let it_in_data = rtl.buf(fetched)?;
+            let pop_done_r = rtl.reg(pop_done, None, 0)?;
+            let it_in_done = rtl.buf(pop_done_r)?;
+            // --- generated sequenced copy engine ---
+            let out_done = rtl.wire("out_done", 1)?;
+            let (_cs, copy_outs) = lower_fsm(
+                &mut rtl,
+                3,
+                0,
+                &[it_in_done, out_done],
+                3,
+                copy_sequenced_logic,
+            )?;
+            let fetch_req = rtl.slice(copy_outs, 0, 1)?;
+            let store_req = rtl.slice(copy_outs, 1, 1)?;
+            let latch = rtl.slice(copy_outs, 2, 1)?;
+            rtl.buf_into(pop_req, fetch_req)?;
+            let held = rtl.reg(it_in_data, Some(latch), 0)?;
+            // --- wbuffer_sram (generated, pruned to push/done) ---
+            let it_out_data = rtl.buf(held)?;
+            let it_out_req = rtl.buf(store_req)?;
+            rtl.buf_into(om.wdata, it_out_data)?;
+            let out_count_zero = rtl.wire("out_count_zero", 1)?;
+            let (_wst, out_outs) = lower_fsm(
+                &mut rtl,
+                4,
+                0,
+                &[it_out_req, out_count_zero, om.ack],
+                6,
+                wbuffer_fsm_logic,
+            )?;
+            let o_req = rtl.slice(out_outs, 0, 1)?;
+            let o_we = rtl.slice(out_outs, 1, 1)?;
+            let o_sel_tail = rtl.slice(out_outs, 2, 1)?;
+            let o_commit_w = rtl.slice(out_outs, 3, 1)?;
+            let o_commit_d = rtl.slice(out_outs, 4, 1)?;
+            let push_done = rtl.slice(out_outs, 5, 1)?;
+            rtl.buf_into(om.req, o_req)?;
+            rtl.buf_into(om.we, o_we)?;
+            let out_ptrs =
+                pointer_datapath(&mut rtl, "wb", pw, aw, o_commit_w, o_commit_d, o_sel_tail)?;
+            rtl.buf_into(out_count_zero, out_ptrs.count_zero)?;
+            rtl.buf_into(om.addr, out_ptrs.addr)?;
+            let push_done_r = rtl.reg(push_done, None, 0)?;
+            rtl.buf_into(out_done, push_done_r)?;
+            // VGA side: register the drained element.
+            let vga_v = rtl.reg(o_commit_d, None, 0)?;
+            let vga_d = rtl.reg(om.rdata, Some(o_commit_d), 0)?;
+            rtl.buf_into(s.vga_valid, vga_v)?;
+            rtl.buf_into(s.vga_data, vga_d)?;
+            // Skid-valid flag, cleared by the input commit.
+            let not_cw = rtl.not(in_commit_w)?;
+            let held_flag = rtl.and(skid_valid, not_cw)?;
+            let skid_next = rtl.or(held_flag, vid_v1)?;
+            rtl.reg_into(skid_valid, skid_next, None, 0)?;
+        }
+        Style::Custom => {
+            // Ad-hoc: one fused FSM runs the whole pixel path.
+            // States: Idle(0) WrA(1) RelA(2) RdA(3) RelB(4) WrB(5)
+            //         RelC(6) RdB(7) RelD(8).
+            // Inputs: skid_valid, im.ack, om.ack, cntA_zero, cntB_zero.
+            // Outputs: ia_req, ia_we, ia_sel_tail, ia_commit_w,
+            //          ia_commit_r, ob_req, ob_we, ob_sel_tail,
+            //          ob_commit_w, ob_commit_d, latch (11 bits).
+            let cnt_a_zero = rtl.wire("cnt_a_zero", 1)?;
+            let cnt_b_zero = rtl.wire("cnt_b_zero", 1)?;
+            let (_st, outs) = lower_fsm(
+                &mut rtl,
+                9,
+                0,
+                &[skid_valid, im.ack, om.ack, cnt_a_zero, cnt_b_zero],
+                11,
+                custom_sram_fsm_logic,
+            )?;
+            let ia_req = rtl.slice(outs, 0, 1)?;
+            let ia_we = rtl.slice(outs, 1, 1)?;
+            let ia_sel_tail = rtl.slice(outs, 2, 1)?;
+            let ia_commit_w = rtl.slice(outs, 3, 1)?;
+            let ia_commit_r = rtl.slice(outs, 4, 1)?;
+            let ob_req = rtl.slice(outs, 5, 1)?;
+            let ob_we = rtl.slice(outs, 6, 1)?;
+            let ob_sel_tail = rtl.slice(outs, 7, 1)?;
+            let ob_commit_w = rtl.slice(outs, 8, 1)?;
+            let ob_commit_d = rtl.slice(outs, 9, 1)?;
+            let latch = rtl.slice(outs, 10, 1)?;
+            rtl.buf_into(im.req, ia_req)?;
+            rtl.buf_into(im.we, ia_we)?;
+            rtl.buf_into(om.req, ob_req)?;
+            rtl.buf_into(om.we, ob_we)?;
+            let a_ptrs = pointer_datapath(
+                &mut rtl,
+                "ra",
+                pw,
+                aw,
+                ia_commit_w,
+                ia_commit_r,
+                ia_sel_tail,
+            )?;
+            rtl.buf_into(cnt_a_zero, a_ptrs.count_zero)?;
+            rtl.buf_into(im.addr, a_ptrs.addr)?;
+            let b_ptrs = pointer_datapath(
+                &mut rtl,
+                "rb",
+                pw,
+                aw,
+                ob_commit_w,
+                ob_commit_d,
+                ob_sel_tail,
+            )?;
+            rtl.buf_into(cnt_b_zero, b_ptrs.count_zero)?;
+            rtl.buf_into(om.addr, b_ptrs.addr)?;
+            let held = rtl.reg(im.rdata, Some(latch), 0)?;
+            rtl.buf_into(om.wdata, held)?;
+            let vga_v = rtl.reg(ob_commit_d, None, 0)?;
+            let vga_d = rtl.reg(om.rdata, Some(ob_commit_d), 0)?;
+            rtl.buf_into(s.vga_valid, vga_v)?;
+            rtl.buf_into(s.vga_data, vga_d)?;
+            let not_cw = rtl.not(ia_commit_w)?;
+            let held_flag = rtl.and(skid_valid, not_cw)?;
+            let skid_next = rtl.or(held_flag, vid_v1)?;
+            rtl.reg_into(skid_valid, skid_next, None, 0)?;
+        }
+    }
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+/// FSM logic of the generated SRAM read buffer (also used by the
+/// standalone Figure 5 component).
+fn rbuffer_fsm_logic(s: u64, ins: &[u64]) -> (u64, u64) {
+    let (skid, pop, ack, zero) = (ins[0] == 1, ins[1] == 1, ins[2] == 1, ins[3] == 1);
+    const REQ: u64 = 1;
+    const WE: u64 = 2;
+    const SEL_TAIL: u64 = 4;
+    const COMMIT_W: u64 = 8;
+    const COMMIT_R: u64 = 16;
+    const POP_DONE: u64 = 32;
+    match s {
+        0 if skid => (1, 0),
+        0 if pop && !zero => (2, 0),
+        0 => (0, 0),
+        1 if ack => (3, REQ | WE | SEL_TAIL | COMMIT_W),
+        1 => (1, REQ | WE | SEL_TAIL),
+        2 if ack => (3, REQ | COMMIT_R | POP_DONE),
+        2 => (2, REQ),
+        _ => (0, 0),
+    }
+}
+
+/// FSM logic of the generated SRAM write buffer.
+fn wbuffer_fsm_logic(s: u64, ins: &[u64]) -> (u64, u64) {
+    let (push, zero, ack) = (ins[0] == 1, ins[1] == 1, ins[2] == 1);
+    const REQ: u64 = 1;
+    const WE: u64 = 2;
+    const SEL_TAIL: u64 = 4;
+    const COMMIT_W: u64 = 8;
+    const COMMIT_D: u64 = 16;
+    const PUSH_DONE: u64 = 32;
+    match s {
+        0 if push => (1, 0),
+        0 if !zero => (2, 0),
+        0 => (0, 0),
+        // Write transaction (iterator push) at the tail.
+        1 if ack => (3, REQ | WE | SEL_TAIL | COMMIT_W | PUSH_DONE),
+        1 => (1, REQ | WE | SEL_TAIL),
+        // Drain transaction (read the head for the VGA).
+        2 if ack => (3, REQ | COMMIT_D),
+        2 => (2, REQ),
+        _ => (0, 0),
+    }
+}
+
+/// FSM logic of the generated sequenced copy engine.
+fn copy_sequenced_logic(s: u64, ins: &[u64]) -> (u64, u64) {
+    let (ind, outd) = (ins[0] == 1, ins[1] == 1);
+    const IN_REQ: u64 = 1;
+    const OUT_REQ: u64 = 2;
+    const LATCH: u64 = 4;
+    match s {
+        0 if ind => (1, LATCH),
+        0 => (0, IN_REQ),
+        1 if outd => (2, 0),
+        1 => (1, OUT_REQ),
+        _ => (0, 0),
+    }
+}
+
+/// FSM logic of the fused custom SRAM design.
+fn custom_sram_fsm_logic(s: u64, ins: &[u64]) -> (u64, u64) {
+    let (skid, ack_a, ack_b, a_zero, b_zero) = (
+        ins[0] == 1,
+        ins[1] == 1,
+        ins[2] == 1,
+        ins[3] == 1,
+        ins[4] == 1,
+    );
+    const IA_REQ: u64 = 1;
+    const IA_WE: u64 = 2;
+    const IA_SEL_TAIL: u64 = 4;
+    const IA_COMMIT_W: u64 = 8;
+    const IA_COMMIT_R: u64 = 16;
+    const OB_REQ: u64 = 32;
+    const OB_WE: u64 = 64;
+    const OB_SEL_TAIL: u64 = 128;
+    const OB_COMMIT_W: u64 = 256;
+    const OB_COMMIT_D: u64 = 512;
+    const LATCH: u64 = 1024;
+    match s {
+        // Idle: commit input pixel first, then move one element along
+        // the pipeline, then drain to the VGA.
+        0 if skid => (1, 0),
+        0 if !a_zero => (3, 0),
+        0 if !b_zero => (7, 0),
+        0 => (0, 0),
+        // Write incoming pixel to RAM A.
+        1 if ack_a => (2, IA_REQ | IA_WE | IA_SEL_TAIL | IA_COMMIT_W),
+        1 => (1, IA_REQ | IA_WE | IA_SEL_TAIL),
+        2 => (0, 0),
+        // Read RAM A head (the "copy" fetch).
+        3 if ack_a => (4, IA_REQ | IA_COMMIT_R | LATCH),
+        3 => (3, IA_REQ),
+        4 => (5, 0),
+        // Write to RAM B (the "copy" store).
+        5 if ack_b => (6, OB_REQ | OB_WE | OB_SEL_TAIL | OB_COMMIT_W),
+        5 => (5, OB_REQ | OB_WE | OB_SEL_TAIL),
+        6 => (0, 0),
+        // Drain RAM B head to the VGA.
+        7 if ack_b => (8, OB_REQ | OB_COMMIT_D),
+        7 => (7, OB_REQ),
+        _ => (0, 0),
+    }
+}
+
+/// The `blur` design: 3-line buffer from two cascaded FIFO cores plus
+/// the convolution datapath.
+fn blur(style: Style, p: DesignParams) -> Result<Netlist, HdlError> {
+    let name = match style {
+        Style::Pattern => "blur_pattern",
+        Style::Custom => "blur_custom",
+    };
+    let entity = stream_entity(name, p.data_width).build()?;
+    let mut nl = Netlist::new(entity);
+    let s = bind_stream(&mut nl, p.data_width)?;
+    let mut rtl = Rtl::new(&mut nl);
+    let w = p.data_width;
+    let lw = p.line_width;
+    // Input synchroniser.
+    let vid_v1 = rtl.reg(s.vid_valid, None, 0)?;
+    let vid_d1 = rtl.reg(s.vid_data, None, 0)?;
+    // 3-line buffer as two cascaded line FIFOs ("a special [FIFO]
+    // ... structured to provide 3 pixels in a column for each
+    // access"). bot = incoming pixel, mid = one line ago, top = two
+    // lines ago.
+    let f1_pop = rtl.wire("f1_pop", 1)?;
+    let (mid_raw, _f1_empty, f1_full) =
+        fifo_macro(&mut rtl, "u_line1", lw, w, vid_v1, f1_pop, vid_d1)?;
+    let f2_push = rtl.wire("f2_push", 1)?;
+    let f2_pop = rtl.wire("f2_pop", 1)?;
+    let (top_raw, _f2_empty, f2_full) =
+        fifo_macro(&mut rtl, "u_line2", lw, w, f2_push, f2_pop, mid_raw)?;
+    let shift1 = rtl.and(vid_v1, f1_full)?;
+    rtl.buf_into(f1_pop, shift1)?;
+    rtl.buf_into(f2_push, shift1)?;
+    let both_full = rtl.and(f1_full, f2_full)?;
+    let col_valid_raw = rtl.and(vid_v1, both_full)?;
+    rtl.buf_into(f2_pop, col_valid_raw)?;
+    // Column iterator (pattern style wraps it, custom uses it raw).
+    let (col_valid, top, mid, bot) = match style {
+        Style::Pattern => (
+            rtl.buf(col_valid_raw)?,
+            rtl.buf(top_raw)?,
+            rtl.buf(mid_raw)?,
+            rtl.buf(vid_d1)?,
+        ),
+        Style::Custom => (col_valid_raw, top_raw, mid_raw, vid_d1),
+    };
+    // Convolution datapath (shared structure with
+    // `algo_gen::blur_datapath`): pipelined so that "ideally a new
+    // filtered pixel can be generated at each clock cycle" at the
+    // system clock. Stage A registers the partial vertical sums,
+    // stage B holds the column-sum window.
+    let sum_w = w + 2;
+    let out_w = w + 4;
+    let top_w = rtl.zext(top, sum_w)?;
+    let bot_w = rtl.zext(bot, sum_w)?;
+    let mid_w = rtl.zext(mid, sum_w - 1)?;
+    let zero1 = rtl.constant(0, 1)?;
+    let mid2 = rtl.concat(&[mid_w, zero1])?;
+    let tb = rtl.add(top_w, bot_w)?;
+    // Stage A.
+    let tb_r = rtl.reg(tb, Some(col_valid), 0)?;
+    let mid2_r = rtl.reg(mid2, Some(col_valid), 0)?;
+    let va = rtl.reg(col_valid, None, 0)?;
+    // Stage B: the right column sum and the two-deep window.
+    let col_sum = rtl.add(tb_r, mid2_r)?;
+    let centre = rtl.reg(col_sum, Some(va), 0)?;
+    let left = rtl.reg(centre, Some(va), 0)?;
+    let left_w = rtl.zext(left, out_w)?;
+    let right_w = rtl.zext(col_sum, out_w)?;
+    let centre_w = rtl.zext(centre, out_w - 1)?;
+    let centre2 = rtl.concat(&[centre_w, zero1])?;
+    let lr = rtl.add(left_w, right_w)?;
+    let full_sum = rtl.add(lr, centre2)?;
+    let pixel = rtl.slice(full_sum, 4, w)?;
+    // Column position counter, running on the delayed column stream.
+    let xw = state_bits(lw.next_power_of_two().max(2));
+    let x = rtl.wire("xpos", xw)?;
+    let x_inc = rtl.inc(x)?;
+    let at_end = rtl.eq_const(x, lw as u64 - 1)?;
+    let zero_x = rtl.constant(0, xw)?;
+    let x_next = rtl.mux2(at_end, x_inc, zero_x)?;
+    rtl.reg_into(x, x_next, Some(va), 0)?;
+    let two = rtl.constant(2, xw)?;
+    let window_full = rtl.cmp(CmpKind::Ge, x, two)?;
+    let blur_valid = rtl.and(va, window_full)?;
+    // Output wbuffer FIFO and VGA drain.
+    let drain = rtl.wire("drain", 1)?;
+    let (push, wdata) = match style {
+        Style::Pattern => (rtl.buf(blur_valid)?, rtl.buf(pixel)?),
+        Style::Custom => (blur_valid, pixel),
+    };
+    let (out_rdata, out_empty, _out_full) =
+        fifo_macro(&mut rtl, "u_wbuffer_fifo", 16, w, push, drain, wdata)?;
+    let out_avail = rtl.not(out_empty)?;
+    rtl.buf_into(drain, out_avail)?;
+    rtl.buf_into(s.vga_valid, out_avail)?;
+    rtl.buf_into(s.vga_data, out_rdata)?;
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_designs_generate_and_validate() {
+        for kind in DesignKind::ALL {
+            for style in [Style::Pattern, Style::Custom] {
+                let d = generate(kind, style, DesignParams::paper_default())
+                    .unwrap_or_else(|e| panic!("{kind:?}/{style:?}: {e}"));
+                assert_eq!(d.kind, kind);
+                hdp_hdl::validate::check(&d.netlist).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_has_wrappers_custom_does_not() {
+        let p = generate(
+            DesignKind::Saa2vga1,
+            Style::Pattern,
+            DesignParams::paper_default(),
+        )
+        .unwrap();
+        let c = generate(
+            DesignKind::Saa2vga1,
+            Style::Custom,
+            DesignParams::paper_default(),
+        )
+        .unwrap();
+        let bufs = |nl: &Netlist| {
+            nl.cells()
+                .iter()
+                .filter(|cell| matches!(cell.prim(), Prim::Buf { .. }))
+                .count()
+        };
+        assert!(
+            bufs(&p.netlist) > bufs(&c.netlist),
+            "pattern wrappers should add buffer cells"
+        );
+    }
+
+    #[test]
+    fn fifo_design_uses_two_block_ram_macros() {
+        let d = generate(
+            DesignKind::Saa2vga1,
+            Style::Pattern,
+            DesignParams::paper_default(),
+        )
+        .unwrap();
+        let fifos = d
+            .netlist
+            .cells()
+            .iter()
+            .filter(|c| matches!(c.prim(), Prim::FifoMacro { .. }))
+            .count();
+        assert_eq!(fifos, 2);
+    }
+
+    #[test]
+    fn sram_design_has_no_block_ram() {
+        let d = generate(
+            DesignKind::Saa2vga2,
+            Style::Pattern,
+            DesignParams::paper_default(),
+        )
+        .unwrap();
+        let macros = d
+            .netlist
+            .cells()
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.prim(),
+                    Prim::FifoMacro { .. } | Prim::BlockRam { .. } | Prim::LifoMacro { .. }
+                )
+            })
+            .count();
+        assert_eq!(macros, 0);
+    }
+
+    #[test]
+    fn sram_design_exposes_two_memory_ports() {
+        let d = generate(
+            DesignKind::Saa2vga2,
+            Style::Custom,
+            DesignParams::paper_default(),
+        )
+        .unwrap();
+        let e = d.netlist.entity();
+        assert!(e.port("im_req").is_some());
+        assert!(e.port("om_req").is_some());
+        assert_eq!(e.port("im_addr").unwrap().width(), 16);
+    }
+
+    #[test]
+    fn blur_uses_three_fifo_macros() {
+        // Two line stores plus the output buffer.
+        let d = generate(
+            DesignKind::Blur,
+            Style::Pattern,
+            DesignParams::paper_default(),
+        )
+        .unwrap();
+        let fifos = d
+            .netlist
+            .cells()
+            .iter()
+            .filter(|c| matches!(c.prim(), Prim::FifoMacro { .. }))
+            .count();
+        assert_eq!(fifos, 3);
+    }
+
+    #[test]
+    fn labels_match_table3_rows() {
+        assert_eq!(DesignKind::Saa2vga1.label(), "saa2vga 1");
+        assert_eq!(DesignKind::Saa2vga2.label(), "saa2vga 2");
+        assert_eq!(DesignKind::Blur.label(), "blur");
+    }
+}

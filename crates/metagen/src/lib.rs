@@ -1,0 +1,51 @@
+//! # hdp-metagen — the metaprogramming code generator
+//!
+//! §3.4 of the paper: "Our solution is based on the concept of
+//! metaprogramming. An automatic code generator produces customized
+//! versions of containers and iterators from a code template. The
+//! template includes information on the available operations, shared
+//! resources and parameterized code fragments. The result is a set of
+//! efficient VHDL components, ready to be synthesized."
+//!
+//! This crate is that generator, targeting the [`hdp_hdl`] netlist IR
+//! (from which VHDL is printed):
+//!
+//! * [`ops`] — the operation sets of the metamodel; unused operations
+//!   are pruned from the generated components ("including only those
+//!   resources that are really used by the selected operations").
+//! * [`fsm`] — the template engine's FSM lowering: symbolic states
+//!   and guarded transitions become a state register plus truth-table
+//!   next-state/output logic.
+//! * [`container_gen`] — customized containers per physical target:
+//!   the `rbuffer_fifo` of Figure 4, the `rbuffer_sram` of Figure 5,
+//!   write buffers, stacks and vectors.
+//! * [`iterator_gen`] — concrete iterators. Over single-cycle
+//!   containers they are pure renaming wrappers ("no more than a
+//!   wrapper that renames some signals"), dissolved by the synthesis
+//!   optimizer; width adaptation generates the §3.3 multi-access
+//!   iterator FSMs.
+//! * [`arbiter_gen`] — arbitration logic for shared physical
+//!   resources.
+//! * [`algo_gen`] — algorithm FSMs/datapaths (copy, transform, blur).
+//!   The paper leaves algorithm metamodels as future work; they are
+//!   implemented here as an extension so complete designs can be
+//!   generated and synthesized.
+//! * [`design`] — assembly of the paper's three evaluation designs
+//!   (`saa2vga 1`, `saa2vga 2`, `blur`) as multi-component designs
+//!   ready for `hdp-synth`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo_gen;
+pub mod arbiter_gen;
+pub mod assoc_gen;
+pub mod container_gen;
+pub mod design;
+pub mod fsm;
+pub mod iterator_gen;
+pub mod ops;
+pub mod stack_gen;
+
+pub use design::{Design, DesignKind};
+pub use ops::{MethodOp, OpSet};

@@ -1,0 +1,204 @@
+//! Operation sets: the "available operations" of the metamodel.
+
+use std::fmt;
+
+/// A container/iterator method the metamodel can generate logic for.
+///
+/// These are the method ports of the generated entities — `m_pop`,
+/// `m_empty` and `m_size` in Figure 4 — plus the remaining Table 2
+/// operations. The generator only materialises the ports and logic of
+/// the operations actually selected (§3.4: "including only those
+/// resources that are really used by the selected operations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodOp {
+    /// Query: is the container empty? (`m_empty`)
+    Empty,
+    /// Query: element count. (`m_size`)
+    Size,
+    /// Consume the head/top element. (`m_pop`)
+    Pop,
+    /// Append/push an element. (`m_push`)
+    Push,
+    /// Query: is the container full? (`m_full`)
+    Full,
+    /// Iterator: get the element at the current position.
+    Read,
+    /// Iterator: put the element at the current position.
+    Write,
+    /// Iterator: move forward.
+    Inc,
+    /// Iterator: move backwards.
+    Dec,
+    /// Iterator: set the current position.
+    Index,
+}
+
+impl MethodOp {
+    /// All operations.
+    pub const ALL: [MethodOp; 10] = [
+        MethodOp::Empty,
+        MethodOp::Size,
+        MethodOp::Pop,
+        MethodOp::Push,
+        MethodOp::Full,
+        MethodOp::Read,
+        MethodOp::Write,
+        MethodOp::Inc,
+        MethodOp::Dec,
+        MethodOp::Index,
+    ];
+
+    /// The method-port name (`m_pop`, `m_empty`, ...).
+    #[must_use]
+    pub fn port_name(self) -> &'static str {
+        match self {
+            MethodOp::Empty => "m_empty",
+            MethodOp::Size => "m_size",
+            MethodOp::Pop => "m_pop",
+            MethodOp::Push => "m_push",
+            MethodOp::Full => "m_full",
+            MethodOp::Read => "m_read",
+            MethodOp::Write => "m_write",
+            MethodOp::Inc => "m_inc",
+            MethodOp::Dec => "m_dec",
+            MethodOp::Index => "m_index",
+        }
+    }
+}
+
+impl fmt::Display for MethodOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.port_name())
+    }
+}
+
+/// A set of selected operations.
+///
+/// # Example
+///
+/// ```
+/// use hdp_metagen::{MethodOp, OpSet};
+///
+/// let ops = OpSet::of(&[MethodOp::Pop, MethodOp::Empty]);
+/// assert!(ops.contains(MethodOp::Pop));
+/// assert!(!ops.contains(MethodOp::Size));
+/// assert_eq!(ops.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpSet(u16);
+
+impl OpSet {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// A set holding exactly the given operations.
+    #[must_use]
+    pub fn of(ops: &[MethodOp]) -> Self {
+        let mut set = Self::new();
+        for &op in ops {
+            set = set.with(op);
+        }
+        set
+    }
+
+    /// The Figure 4 read-buffer set: `empty`, `size`, `pop`.
+    #[must_use]
+    pub fn figure4() -> Self {
+        Self::of(&[MethodOp::Empty, MethodOp::Size, MethodOp::Pop])
+    }
+
+    fn bit(op: MethodOp) -> u16 {
+        1 << MethodOp::ALL
+            .iter()
+            .position(|&o| o == op)
+            .expect("op in ALL")
+    }
+
+    /// Returns the set with `op` added.
+    #[must_use]
+    pub fn with(self, op: MethodOp) -> Self {
+        Self(self.0 | Self::bit(op))
+    }
+
+    /// Whether `op` is selected.
+    #[must_use]
+    pub fn contains(self, op: MethodOp) -> bool {
+        self.0 & Self::bit(op) != 0
+    }
+
+    /// Number of selected operations.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if no operations are selected.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the selected operations in [`MethodOp::ALL`]
+    /// order.
+    pub fn iter(self) -> impl Iterator<Item = MethodOp> {
+        MethodOp::ALL
+            .into_iter()
+            .filter(move |&op| self.contains(op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let s = OpSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        for op in MethodOp::ALL {
+            assert!(!s.contains(op));
+        }
+    }
+
+    #[test]
+    fn with_and_contains() {
+        let s = OpSet::new().with(MethodOp::Read).with(MethodOp::Inc);
+        assert!(s.contains(MethodOp::Read));
+        assert!(s.contains(MethodOp::Inc));
+        assert!(!s.contains(MethodOp::Write));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn with_is_idempotent() {
+        let s = OpSet::of(&[MethodOp::Pop]);
+        assert_eq!(s.with(MethodOp::Pop), s);
+    }
+
+    #[test]
+    fn figure4_set() {
+        let s = OpSet::figure4();
+        assert!(s.contains(MethodOp::Empty));
+        assert!(s.contains(MethodOp::Size));
+        assert!(s.contains(MethodOp::Pop));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn iter_respects_order() {
+        let s = OpSet::of(&[MethodOp::Inc, MethodOp::Empty]);
+        let ops: Vec<MethodOp> = s.iter().collect();
+        assert_eq!(ops, vec![MethodOp::Empty, MethodOp::Inc]);
+    }
+
+    #[test]
+    fn port_names_are_m_prefixed() {
+        for op in MethodOp::ALL {
+            assert!(op.port_name().starts_with("m_"), "{op}");
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Generated stack and vector containers — the remaining rows of
+//! Table 1 as metamodel specialisations.
+
+use crate::fsm::{state_bits, Rtl};
+use crate::ops::{MethodOp, OpSet};
+use hdp_hdl::prim::Prim;
+use hdp_hdl::{Entity, HdlError, Netlist, PortDir};
+
+/// Generates the stack container over an on-chip LIFO core: like the
+/// Figure 4 wrapper, "hardly any logic" — guarded push/pop strobes
+/// and result multiplexing onto `done`.
+///
+/// Operations: `push` (+`wdata`), `pop` (result on `data`), `empty`,
+/// `full` — pruned to the requested [`OpSet`].
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures; rejects an empty op set.
+pub fn stack_lifo(
+    params: crate::container_gen::ContainerParams,
+    ops: OpSet,
+) -> Result<Netlist, HdlError> {
+    if ops.is_empty() {
+        return Err(HdlError::Unconnected {
+            context: "stack_lifo with an empty operation set".into(),
+        });
+    }
+    let w = params.data_width;
+    let mut builder = Entity::builder("stack_lifo").group("methods");
+    for op in [
+        MethodOp::Empty,
+        MethodOp::Full,
+        MethodOp::Push,
+        MethodOp::Pop,
+    ] {
+        if ops.contains(op) {
+            builder = builder.port(op.port_name(), PortDir::In, 1)?;
+        }
+    }
+    let entity = builder
+        .group("params")
+        .port("wdata", PortDir::In, w)?
+        .port("data", PortDir::Out, w)?
+        .port("done", PortDir::Out, 1)?
+        .group("implementation interface")
+        .port("p_empty", PortDir::In, 1)?
+        .port("p_full", PortDir::In, 1)?
+        .port("p_push", PortDir::Out, 1)?
+        .port("p_pop", PortDir::Out, 1)?
+        .port("p_wdata", PortDir::Out, w)?
+        .port("p_rdata", PortDir::In, w)?
+        .build()?;
+    let mut nl = Netlist::new(entity);
+    let wdata = nl.add_net("wdata", w)?;
+    let data = nl.add_net("data", w)?;
+    let done = nl.add_net("done", 1)?;
+    let p_empty = nl.add_net("p_empty", 1)?;
+    let p_full = nl.add_net("p_full", 1)?;
+    let p_push = nl.add_net("p_push", 1)?;
+    let p_pop = nl.add_net("p_pop", 1)?;
+    let p_wdata = nl.add_net("p_wdata", w)?;
+    let p_rdata = nl.add_net("p_rdata", w)?;
+    for (p, n) in [
+        ("wdata", wdata),
+        ("data", data),
+        ("done", done),
+        ("p_empty", p_empty),
+        ("p_full", p_full),
+        ("p_push", p_push),
+        ("p_pop", p_pop),
+        ("p_wdata", p_wdata),
+        ("p_rdata", p_rdata),
+    ] {
+        nl.bind_port(p, n)?;
+    }
+    let mut rtl = Rtl::new(&mut nl);
+    rtl.buf_into(p_wdata, wdata)?;
+    rtl.buf_into(data, p_rdata)?;
+    let not_empty = rtl.not(p_empty)?;
+    let not_full = rtl.not(p_full)?;
+    let zero = rtl.constant(0, 1)?;
+    let mut done_expr = zero;
+    let push_net = if ops.contains(MethodOp::Push) {
+        let m_push = rtl.netlist().add_net("m_push", 1)?;
+        rtl.netlist().bind_port("m_push", m_push)?;
+        let ok = rtl.and(m_push, not_full)?;
+        done_expr = rtl.or(done_expr, ok)?;
+        ok
+    } else {
+        zero
+    };
+    rtl.buf_into(p_push, push_net)?;
+    let pop_net = if ops.contains(MethodOp::Pop) {
+        let m_pop = rtl.netlist().add_net("m_pop", 1)?;
+        rtl.netlist().bind_port("m_pop", m_pop)?;
+        let ok = rtl.and(m_pop, not_empty)?;
+        done_expr = rtl.or(done_expr, ok)?;
+        ok
+    } else {
+        zero
+    };
+    rtl.buf_into(p_pop, pop_net)?;
+    if ops.contains(MethodOp::Empty) {
+        let m_empty = rtl.netlist().add_net("m_empty", 1)?;
+        rtl.netlist().bind_port("m_empty", m_empty)?;
+        let ans = rtl.and(m_empty, p_empty)?;
+        done_expr = rtl.or(done_expr, ans)?;
+    }
+    if ops.contains(MethodOp::Full) {
+        let m_full = rtl.netlist().add_net("m_full", 1)?;
+        rtl.netlist().bind_port("m_full", m_full)?;
+        let ans = rtl.and(m_full, p_full)?;
+        done_expr = rtl.or(done_expr, ans)?;
+    }
+    rtl.buf_into(done, done_expr)?;
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+/// Generates the vector container over on-chip block RAM with its
+/// random iterator: a position register moved by `inc`/`dec`/`index`
+/// and a synchronous-read block RAM accessed by `read`/`write`
+/// (Table 1's fully random row).
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures; rejects an empty op set.
+pub fn vector_bram(
+    params: crate::container_gen::ContainerParams,
+    ops: OpSet,
+) -> Result<Netlist, HdlError> {
+    if ops.is_empty() {
+        return Err(HdlError::Unconnected {
+            context: "vector_bram with an empty operation set".into(),
+        });
+    }
+    let w = params.data_width;
+    let aw = state_bits(params.depth.next_power_of_two().max(2));
+    let mut builder = Entity::builder("vector_bram").group("methods");
+    for op in [
+        MethodOp::Read,
+        MethodOp::Write,
+        MethodOp::Inc,
+        MethodOp::Dec,
+        MethodOp::Index,
+    ] {
+        if ops.contains(op) {
+            builder = builder.port(op.port_name(), PortDir::In, 1)?;
+        }
+    }
+    let entity = builder
+        .group("params")
+        .port("pos", PortDir::In, aw)?
+        .port("wdata", PortDir::In, w)?
+        .port("data", PortDir::Out, w)?
+        .port("done", PortDir::Out, 1)?
+        .build()?;
+    let mut nl = Netlist::new(entity);
+    let pos = nl.add_net("pos", aw)?;
+    let wdata = nl.add_net("wdata", w)?;
+    let data = nl.add_net("data", w)?;
+    let done = nl.add_net("done", 1)?;
+    for (p, n) in [
+        ("pos", pos),
+        ("wdata", wdata),
+        ("data", data),
+        ("done", done),
+    ] {
+        nl.bind_port(p, n)?;
+    }
+    let method = |nl: &mut Netlist, op: MethodOp| -> Result<Option<hdp_hdl::NetId>, HdlError> {
+        if ops.contains(op) {
+            let n = nl.add_net(op.port_name(), 1)?;
+            nl.bind_port(op.port_name(), n)?;
+            Ok(Some(n))
+        } else {
+            Ok(None)
+        }
+    };
+    let m_read = method(&mut nl, MethodOp::Read)?;
+    let m_write = method(&mut nl, MethodOp::Write)?;
+    let m_inc = method(&mut nl, MethodOp::Inc)?;
+    let m_dec = method(&mut nl, MethodOp::Dec)?;
+    let m_index = method(&mut nl, MethodOp::Index)?;
+    let mut rtl = Rtl::new(&mut nl);
+    let zero1 = rtl.constant(0, 1)?;
+    let read = m_read.unwrap_or(zero1);
+    let write = m_write.unwrap_or(zero1);
+    let inc = m_inc.unwrap_or(zero1);
+    let dec = m_dec.unwrap_or(zero1);
+    let index = m_index.unwrap_or(zero1);
+    // Position register: index loads, inc/dec move (index wins).
+    let cursor = rtl.wire("cursor", aw)?;
+    let cursor_inc = rtl.inc(cursor)?;
+    let one = rtl.constant(1, aw)?;
+    let cursor_dec = rtl.sub(cursor, one)?;
+    let moved = rtl.mux2(dec, cursor_inc, cursor_dec)?;
+    let next = rtl.mux2(index, moved, pos)?;
+    let any_move = rtl.or(inc, dec)?;
+    let load = rtl.or(any_move, index)?;
+    rtl.reg_into(cursor, next, Some(load), 0)?;
+    // Block RAM: write at cursor; synchronous read at cursor.
+    let rdata = rtl.wire("rdata", w)?;
+    rtl.netlist().add_cell(
+        "u_bram",
+        Prim::BlockRam {
+            addr_width: aw,
+            data_width: w,
+        },
+        vec![write, cursor, wdata, cursor],
+        vec![rdata],
+    )?;
+    rtl.buf_into(data, rdata)?;
+    // done: writes and position ops complete immediately; reads one
+    // cycle later (synchronous RAM) — modelled by a registered strobe.
+    let read_d = rtl.reg(read, None, 0)?;
+    let imm = rtl.or(write, load)?;
+    let done_expr = rtl.or(imm, read_d)?;
+    rtl.buf_into(done, done_expr)?;
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container_gen::ContainerParams;
+    use hdp_sim::devices::LifoCore;
+    use hdp_sim::{NetlistComponent, Simulator};
+
+    fn all_stack_ops() -> OpSet {
+        OpSet::of(&[
+            MethodOp::Push,
+            MethodOp::Pop,
+            MethodOp::Empty,
+            MethodOp::Full,
+        ])
+    }
+
+    #[test]
+    fn stack_generates_and_prunes() {
+        let params = ContainerParams::paper_default();
+        let full = stack_lifo(params, all_stack_ops()).unwrap();
+        assert!(full.entity().port("m_push").is_some());
+        let pruned = stack_lifo(params, OpSet::of(&[MethodOp::Push])).unwrap();
+        assert!(pruned.entity().port("m_pop").is_none());
+        assert!(pruned.cells().len() < full.cells().len());
+    }
+
+    #[test]
+    fn generated_stack_reverses_on_a_lifo_device() {
+        let params = ContainerParams {
+            data_width: 8,
+            depth: 8,
+            addr_width: 16,
+        };
+        let nl = stack_lifo(params, all_stack_ops()).unwrap();
+        let mut sim = Simulator::new();
+        let p_push = sim.add_signal("p_push", 1).unwrap();
+        let p_pop = sim.add_signal("p_pop", 1).unwrap();
+        let p_wdata = sim.add_signal("p_wdata", 8).unwrap();
+        let p_rdata = sim.add_signal("p_rdata", 8).unwrap();
+        let p_empty = sim.add_signal("p_empty", 1).unwrap();
+        let p_full = sim.add_signal("p_full", 1).unwrap();
+        sim.add_component(LifoCore::new(
+            "u_lifo", 8, 8, p_push, p_pop, p_wdata, p_rdata, p_empty, p_full,
+        ));
+        let m_push = sim.add_signal("m_push", 1).unwrap();
+        let m_pop = sim.add_signal("m_pop", 1).unwrap();
+        let m_empty = sim.add_signal("m_empty", 1).unwrap();
+        let m_full = sim.add_signal("m_full", 1).unwrap();
+        let wdata = sim.add_signal("wdata", 8).unwrap();
+        let data = sim.add_signal("data", 8).unwrap();
+        let done = sim.add_signal("done", 1).unwrap();
+        let dut = NetlistComponent::new(
+            "stack",
+            nl,
+            sim.bus(),
+            &[
+                ("m_empty", m_empty),
+                ("m_full", m_full),
+                ("m_push", m_push),
+                ("m_pop", m_pop),
+                ("wdata", wdata),
+                ("data", data),
+                ("done", done),
+                ("p_empty", p_empty),
+                ("p_full", p_full),
+                ("p_push", p_push),
+                ("p_pop", p_pop),
+                ("p_wdata", p_wdata),
+                ("p_rdata", p_rdata),
+            ],
+        )
+        .unwrap();
+        sim.add_component(dut);
+        for s in [m_push, m_pop, m_empty, m_full, wdata] {
+            sim.poke(s, 0).unwrap();
+        }
+        sim.reset().unwrap();
+        for v in [1u64, 2, 3] {
+            sim.poke(m_push, 1).unwrap();
+            sim.poke(wdata, v).unwrap();
+            sim.step().unwrap();
+        }
+        sim.poke(m_push, 0).unwrap();
+        sim.poke(m_pop, 1).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            sim.settle().unwrap();
+            assert_eq!(sim.peek(done).unwrap().to_u64(), Some(1));
+            seen.push(sim.peek(data).unwrap().to_u64().unwrap());
+            sim.step().unwrap();
+        }
+        assert_eq!(seen, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn generated_vector_random_access() {
+        let params = ContainerParams {
+            data_width: 8,
+            depth: 16,
+            addr_width: 16,
+        };
+        let nl = vector_bram(
+            params,
+            OpSet::of(&[
+                MethodOp::Read,
+                MethodOp::Write,
+                MethodOp::Inc,
+                MethodOp::Dec,
+                MethodOp::Index,
+            ]),
+        )
+        .unwrap();
+        let mut sim = Simulator::new();
+        let mut sig = |n: &str, w: usize| sim.add_signal(n, w).unwrap();
+        let m_read = sig("m_read", 1);
+        let m_write = sig("m_write", 1);
+        let m_inc = sig("m_inc", 1);
+        let m_dec = sig("m_dec", 1);
+        let m_index = sig("m_index", 1);
+        let pos = sig("pos", 4);
+        let wdata = sig("wdata", 8);
+        let data = sig("data", 8);
+        let done = sig("done", 1);
+        let dut = NetlistComponent::new(
+            "vec",
+            nl,
+            sim.bus(),
+            &[
+                ("m_read", m_read),
+                ("m_write", m_write),
+                ("m_inc", m_inc),
+                ("m_dec", m_dec),
+                ("m_index", m_index),
+                ("pos", pos),
+                ("wdata", wdata),
+                ("data", data),
+                ("done", done),
+            ],
+        )
+        .unwrap();
+        sim.add_component(dut);
+        for s in [m_read, m_write, m_inc, m_dec, m_index, pos, wdata] {
+            sim.poke(s, 0).unwrap();
+        }
+        sim.reset().unwrap();
+        // index 5; write 0xAB; index 2; index 5; read -> 0xAB.
+        sim.poke(m_index, 1).unwrap();
+        sim.poke(pos, 5).unwrap();
+        sim.step().unwrap();
+        sim.poke(m_index, 0).unwrap();
+        sim.poke(m_write, 1).unwrap();
+        sim.poke(wdata, 0xAB).unwrap();
+        sim.step().unwrap();
+        sim.poke(m_write, 0).unwrap();
+        sim.poke(m_index, 1).unwrap();
+        sim.poke(pos, 2).unwrap();
+        sim.step().unwrap();
+        sim.poke(pos, 5).unwrap();
+        sim.step().unwrap();
+        sim.poke(m_index, 0).unwrap();
+        sim.poke(m_read, 1).unwrap();
+        sim.step().unwrap(); // synchronous read completes at this edge
+        assert_eq!(sim.peek(done).unwrap().to_u64(), Some(1));
+        assert_eq!(sim.peek(data).unwrap().to_u64(), Some(0xAB));
+        sim.poke(m_read, 0).unwrap();
+    }
+
+    #[test]
+    fn vector_inc_moves_cursor() {
+        let params = ContainerParams {
+            data_width: 8,
+            depth: 8,
+            addr_width: 16,
+        };
+        let nl = vector_bram(
+            params,
+            OpSet::of(&[
+                MethodOp::Read,
+                MethodOp::Write,
+                MethodOp::Inc,
+                MethodOp::Index,
+            ]),
+        )
+        .unwrap();
+        // dec pruned away.
+        assert!(nl.entity().port("m_dec").is_none());
+        let mut sim = Simulator::new();
+        let mut sig = |n: &str, w: usize| sim.add_signal(n, w).unwrap();
+        let m_read = sig("m_read", 1);
+        let m_write = sig("m_write", 1);
+        let m_inc = sig("m_inc", 1);
+        let m_index = sig("m_index", 1);
+        let pos = sig("pos", 3);
+        let wdata = sig("wdata", 8);
+        let data = sig("data", 8);
+        let done = sig("done", 1);
+        let dut = NetlistComponent::new(
+            "vec",
+            nl,
+            sim.bus(),
+            &[
+                ("m_read", m_read),
+                ("m_write", m_write),
+                ("m_inc", m_inc),
+                ("m_index", m_index),
+                ("pos", pos),
+                ("wdata", wdata),
+                ("data", data),
+                ("done", done),
+            ],
+        )
+        .unwrap();
+        sim.add_component(dut);
+        for s in [m_read, m_write, m_inc, m_index, pos, wdata] {
+            sim.poke(s, 0).unwrap();
+        }
+        sim.reset().unwrap();
+        // Write 10 at 0, inc, write 11 at 1; index 0; read 10; inc; read 11.
+        sim.poke(m_write, 1).unwrap();
+        sim.poke(wdata, 10).unwrap();
+        sim.step().unwrap();
+        sim.poke(m_write, 0).unwrap();
+        sim.poke(m_inc, 1).unwrap();
+        sim.step().unwrap();
+        sim.poke(m_inc, 0).unwrap();
+        sim.poke(m_write, 1).unwrap();
+        sim.poke(wdata, 11).unwrap();
+        sim.step().unwrap();
+        sim.poke(m_write, 0).unwrap();
+        sim.poke(m_index, 1).unwrap();
+        sim.poke(pos, 0).unwrap();
+        sim.step().unwrap();
+        sim.poke(m_index, 0).unwrap();
+        sim.poke(m_read, 1).unwrap();
+        sim.step().unwrap();
+        sim.poke(m_read, 0).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek(data).unwrap().to_u64(), Some(10));
+        sim.poke(m_inc, 1).unwrap();
+        sim.step().unwrap();
+        sim.poke(m_inc, 0).unwrap();
+        sim.poke(m_read, 1).unwrap();
+        sim.step().unwrap();
+        sim.poke(m_read, 0).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek(data).unwrap().to_u64(), Some(11));
+    }
+}

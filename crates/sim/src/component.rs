@@ -1,0 +1,71 @@
+//! The [`Component`] trait implemented by every simulated hardware model.
+
+use crate::{SignalBus, SimError};
+
+/// A clocked hardware component.
+///
+/// The simulator drives components in two phases per clock cycle:
+///
+/// 1. **Settle** — [`Component::eval`] is called repeatedly (delta
+///    cycles) until no signal changes. `eval` must be a pure function
+///    of the current signal values and the component's *registered*
+///    state: read inputs, drive outputs, never update state.
+/// 2. **Clock edge** — [`Component::tick`] is called exactly once with
+///    the settled signal values. `tick` samples inputs and updates
+///    internal state; outputs become visible in the next cycle's
+///    settle phase.
+///
+/// This split gives well-defined synchronous semantics: every
+/// component observes the same settled pre-edge values, exactly like
+/// flip-flops sharing one clock.
+pub trait Component {
+    /// The instance name, used in error reports and traces.
+    fn name(&self) -> &str;
+
+    /// Combinational settle: drive outputs from inputs and registered
+    /// state. Called one or more times per cycle; must be idempotent
+    /// for fixed inputs.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report wiring mistakes and protocol violations
+    /// as [`SimError`].
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError>;
+
+    /// Clock edge: sample settled inputs and update registered state.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report protocol violations (overflow, underrun,
+    /// handshake misuse) as [`SimError`].
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError>;
+
+    /// Synchronous reset: restore power-on state. The default does
+    /// nothing, which suits purely combinational components.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may report wiring mistakes as [`SimError`].
+    fn reset(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let _ = bus;
+        Ok(())
+    }
+}
+
+impl<T: Component + ?Sized> Component for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        (**self).eval(bus)
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        (**self).tick(bus)
+    }
+
+    fn reset(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        (**self).reset(bus)
+    }
+}

@@ -1,0 +1,213 @@
+//! Synchronous-read block RAM (Block SelectRAM model).
+
+use crate::{Component, SignalBus, SignalId, SimError};
+use hdp_hdl::LogicVector;
+
+/// A dual-port synchronous block RAM: one write port, one read port,
+/// read data registered (valid one cycle after the address), modelling
+/// the Spartan-IIE Block SelectRAM that backs the paper's on-chip
+/// containers.
+///
+/// Ports: `we`, `waddr`, `wdata`, `raddr` in; `rdata` out.
+/// Write-before-read on an address collision, matching the
+/// `WRITE_FIRST` mode of the silicon.
+#[derive(Debug)]
+pub struct Bram {
+    name: String,
+    addr_width: usize,
+    data_width: usize,
+    we: SignalId,
+    waddr: SignalId,
+    wdata: SignalId,
+    raddr: SignalId,
+    rdata: SignalId,
+    mem: Vec<Option<u64>>,
+    out: Option<u64>,
+}
+
+impl Bram {
+    /// Creates a block RAM of `2^addr_width` words of `data_width` bits.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        addr_width: usize,
+        data_width: usize,
+        we: SignalId,
+        waddr: SignalId,
+        wdata: SignalId,
+        raddr: SignalId,
+        rdata: SignalId,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            addr_width,
+            data_width,
+            we,
+            waddr,
+            wdata,
+            raddr,
+            rdata,
+            mem: vec![None; 1 << addr_width],
+            out: None,
+        }
+    }
+
+    /// Direct backdoor read, for testbench checking.
+    #[must_use]
+    pub fn word(&self, addr: usize) -> Option<u64> {
+        self.mem.get(addr).copied().flatten()
+    }
+
+    /// Direct backdoor write, for testbench preloading.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Protocol`] if `addr` is out of range.
+    pub fn preload(&mut self, addr: usize, value: u64) -> Result<(), SimError> {
+        let len = self.mem.len();
+        match self.mem.get_mut(addr) {
+            Some(slot) => {
+                *slot = Some(value);
+                Ok(())
+            }
+            None => Err(SimError::Protocol {
+                component: self.name.clone(),
+                message: format!("preload address {addr} out of range (depth {len})"),
+            }),
+        }
+    }
+
+    /// The address width in bits.
+    #[must_use]
+    pub fn addr_width(&self) -> usize {
+        self.addr_width
+    }
+}
+
+impl Component for Bram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        match self.out {
+            Some(v) => bus.drive_u64(self.rdata, v)?,
+            None => bus.drive(
+                self.rdata,
+                LogicVector::unknown(self.data_width).map_err(SimError::from)?,
+            )?,
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let we = bus.read(self.we)?.to_u64() == Some(1);
+        if we {
+            let addr = bus.read_u64(self.waddr, &self.name)? as usize;
+            let data = bus.read_u64(self.wdata, &self.name)?;
+            self.mem[addr] = Some(data);
+        }
+        // Registered read; write-first on collision because the write
+        // above already landed.
+        if let Some(addr) = bus.read(self.raddr)?.to_u64() {
+            self.out = self.mem[addr as usize];
+        } else {
+            self.out = None;
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.out = None;
+        // Contents survive reset, as in real block RAM.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    struct Rig {
+        sim: Simulator,
+        we: SignalId,
+        waddr: SignalId,
+        wdata: SignalId,
+        raddr: SignalId,
+        rdata: SignalId,
+    }
+
+    fn rig() -> Rig {
+        let mut sim = Simulator::new();
+        let we = sim.add_signal("we", 1).unwrap();
+        let waddr = sim.add_signal("waddr", 4).unwrap();
+        let wdata = sim.add_signal("wdata", 8).unwrap();
+        let raddr = sim.add_signal("raddr", 4).unwrap();
+        let rdata = sim.add_signal("rdata", 8).unwrap();
+        sim.add_component(Bram::new("dut", 4, 8, we, waddr, wdata, raddr, rdata));
+        sim.poke(we, 0).unwrap();
+        sim.poke(waddr, 0).unwrap();
+        sim.poke(wdata, 0).unwrap();
+        sim.poke(raddr, 0).unwrap();
+        sim.reset().unwrap();
+        Rig {
+            sim,
+            we,
+            waddr,
+            wdata,
+            raddr,
+            rdata,
+        }
+    }
+
+    #[test]
+    fn write_then_read_is_one_cycle_late() {
+        let mut r = rig();
+        r.sim.poke(r.we, 1).unwrap();
+        r.sim.poke(r.waddr, 3).unwrap();
+        r.sim.poke(r.wdata, 0x5A).unwrap();
+        r.sim.step().unwrap();
+        r.sim.poke(r.we, 0).unwrap();
+        r.sim.poke(r.raddr, 3).unwrap();
+        // Read data valid only after the next edge.
+        r.sim.step().unwrap();
+        assert_eq!(r.sim.peek(r.rdata).unwrap().to_u64(), Some(0x5A));
+    }
+
+    #[test]
+    fn collision_is_write_first() {
+        let mut r = rig();
+        r.sim.poke(r.we, 1).unwrap();
+        r.sim.poke(r.waddr, 7).unwrap();
+        r.sim.poke(r.wdata, 0x11).unwrap();
+        r.sim.poke(r.raddr, 7).unwrap();
+        r.sim.step().unwrap();
+        assert_eq!(r.sim.peek(r.rdata).unwrap().to_u64(), Some(0x11));
+    }
+
+    #[test]
+    fn uninitialised_read_is_undefined() {
+        let mut r = rig();
+        r.sim.poke(r.raddr, 9).unwrap();
+        r.sim.step().unwrap();
+        assert_eq!(r.sim.peek(r.rdata).unwrap().to_u64(), None);
+    }
+
+    #[test]
+    fn preload_and_word_backdoor() {
+        let mut sim = Simulator::new();
+        let we = sim.add_signal("we", 1).unwrap();
+        let waddr = sim.add_signal("waddr", 4).unwrap();
+        let wdata = sim.add_signal("wdata", 8).unwrap();
+        let raddr = sim.add_signal("raddr", 4).unwrap();
+        let rdata = sim.add_signal("rdata", 8).unwrap();
+        let mut bram = Bram::new("dut", 4, 8, we, waddr, wdata, raddr, rdata);
+        bram.preload(5, 99).unwrap();
+        assert_eq!(bram.word(5), Some(99));
+        assert_eq!(bram.word(6), None);
+        assert!(bram.preload(16, 0).is_err());
+        drop(sim);
+    }
+}

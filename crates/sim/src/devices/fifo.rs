@@ -1,0 +1,264 @@
+//! First-word-fall-through FIFO core.
+
+use crate::{Component, SignalBus, SignalId, SimError};
+use std::collections::VecDeque;
+
+/// A synchronous FIFO core with first-word fall-through, the on-chip
+/// queue device of the paper ("queues ... can be implemented over FIFO
+/// cores", §3.4).
+///
+/// Ports: `push`, `pop`, `wdata` in; `rdata`, `empty`, `full` out.
+/// `rdata` shows the head element whenever the FIFO is non-empty;
+/// `push` and `pop` are sampled on the clock edge and may be asserted
+/// in the same cycle (simultaneous enqueue/dequeue).
+///
+/// Pushing when full or popping when empty is a [`SimError::Protocol`]
+/// violation — the generated containers are expected to guard with
+/// `empty`/`full`, exactly as the paper's FSMs sequence "the buffer
+/// signals".
+#[derive(Debug)]
+pub struct FifoCore {
+    name: String,
+    depth: usize,
+    width: usize,
+    push: SignalId,
+    pop: SignalId,
+    wdata: SignalId,
+    rdata: SignalId,
+    empty: SignalId,
+    full: SignalId,
+    data: VecDeque<u64>,
+}
+
+impl FifoCore {
+    /// Creates a FIFO core of `depth` elements of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero (a zero-capacity core is a wiring bug,
+    /// not a runtime condition).
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        depth: usize,
+        width: usize,
+        push: SignalId,
+        pop: SignalId,
+        wdata: SignalId,
+        rdata: SignalId,
+        empty: SignalId,
+        full: SignalId,
+    ) -> Self {
+        assert!(depth > 0, "FIFO depth must be positive");
+        Self {
+            name: name.into(),
+            depth,
+            width,
+            push,
+            pop,
+            wdata,
+            rdata,
+            empty,
+            full,
+            data: VecDeque::new(),
+        }
+    }
+
+    /// Number of elements currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the FIFO holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    fn strobe(&self, bus: &SignalBus, id: SignalId) -> Result<bool, SimError> {
+        // Treat undefined control during reset ramp-up as deasserted.
+        Ok(bus.read(id)?.to_u64() == Some(1))
+    }
+}
+
+impl Component for FifoCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        bus.drive_u64(self.empty, u64::from(self.data.is_empty()))?;
+        bus.drive_u64(self.full, u64::from(self.data.len() >= self.depth))?;
+        match self.data.front() {
+            Some(&head) => bus.drive_u64(self.rdata, head)?,
+            None => bus.drive(
+                self.rdata,
+                hdp_hdl::LogicVector::unknown(self.width).map_err(SimError::from)?,
+            )?,
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let push = self.strobe(bus, self.push)?;
+        let pop = self.strobe(bus, self.pop)?;
+        if pop && self.data.pop_front().is_none() {
+            return Err(SimError::Protocol {
+                component: self.name.clone(),
+                message: "pop on empty fifo".into(),
+            });
+        }
+        if push {
+            if self.data.len() >= self.depth {
+                return Err(SimError::Protocol {
+                    component: self.name.clone(),
+                    message: "push on full fifo".into(),
+                });
+            }
+            let v = bus.read_u64(self.wdata, &self.name)?;
+            self.data.push_back(v);
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.data.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    struct Rig {
+        sim: Simulator,
+        push: SignalId,
+        pop: SignalId,
+        wdata: SignalId,
+        rdata: SignalId,
+        empty: SignalId,
+        full: SignalId,
+    }
+
+    fn rig(depth: usize) -> Rig {
+        let mut sim = Simulator::new();
+        let push = sim.add_signal("push", 1).unwrap();
+        let pop = sim.add_signal("pop", 1).unwrap();
+        let wdata = sim.add_signal("wdata", 8).unwrap();
+        let rdata = sim.add_signal("rdata", 8).unwrap();
+        let empty = sim.add_signal("empty", 1).unwrap();
+        let full = sim.add_signal("full", 1).unwrap();
+        sim.add_component(FifoCore::new(
+            "dut", depth, 8, push, pop, wdata, rdata, empty, full,
+        ));
+        sim.poke(push, 0).unwrap();
+        sim.poke(pop, 0).unwrap();
+        sim.poke(wdata, 0).unwrap();
+        sim.reset().unwrap();
+        Rig {
+            sim,
+            push,
+            pop,
+            wdata,
+            rdata,
+            empty,
+            full,
+        }
+    }
+
+    #[test]
+    fn starts_empty() {
+        let r = rig(4);
+        assert_eq!(r.sim.peek(r.empty).unwrap().to_u64(), Some(1));
+        assert_eq!(r.sim.peek(r.full).unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut r = rig(4);
+        for v in [10u64, 20, 30] {
+            r.sim.poke(r.push, 1).unwrap();
+            r.sim.poke(r.wdata, v).unwrap();
+            r.sim.step().unwrap();
+        }
+        r.sim.poke(r.push, 0).unwrap();
+        r.sim.settle().unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            seen.push(r.sim.peek(r.rdata).unwrap().to_u64().unwrap());
+            r.sim.poke(r.pop, 1).unwrap();
+            r.sim.step().unwrap();
+            r.sim.poke(r.pop, 0).unwrap();
+        }
+        assert_eq!(seen, vec![10, 20, 30]);
+        assert_eq!(r.sim.peek(r.empty).unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn full_flag_rises_at_capacity() {
+        let mut r = rig(2);
+        r.sim.poke(r.push, 1).unwrap();
+        r.sim.poke(r.wdata, 1).unwrap();
+        r.sim.step().unwrap();
+        assert_eq!(r.sim.peek(r.full).unwrap().to_u64(), Some(0));
+        r.sim.step().unwrap();
+        assert_eq!(r.sim.peek(r.full).unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn push_on_full_is_protocol_error() {
+        let mut r = rig(1);
+        r.sim.poke(r.push, 1).unwrap();
+        r.sim.poke(r.wdata, 9).unwrap();
+        r.sim.step().unwrap();
+        let err = r.sim.step().unwrap_err();
+        assert!(matches!(err, SimError::Protocol { .. }));
+    }
+
+    #[test]
+    fn pop_on_empty_is_protocol_error() {
+        let mut r = rig(2);
+        r.sim.poke(r.pop, 1).unwrap();
+        let err = r.sim.step().unwrap_err();
+        assert!(matches!(err, SimError::Protocol { .. }));
+    }
+
+    #[test]
+    fn simultaneous_push_pop_keeps_level() {
+        let mut r = rig(2);
+        r.sim.poke(r.push, 1).unwrap();
+        r.sim.poke(r.wdata, 5).unwrap();
+        r.sim.step().unwrap();
+        // Now 1 element; push+pop together.
+        r.sim.poke(r.pop, 1).unwrap();
+        r.sim.poke(r.wdata, 6).unwrap();
+        r.sim.step().unwrap();
+        r.sim.poke(r.push, 0).unwrap();
+        r.sim.poke(r.pop, 0).unwrap();
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.rdata).unwrap().to_u64(), Some(6));
+        assert_eq!(r.sim.peek(r.empty).unwrap().to_u64(), Some(0));
+        assert_eq!(r.sim.peek(r.full).unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut r = rig(4);
+        r.sim.poke(r.push, 1).unwrap();
+        r.sim.poke(r.wdata, 7).unwrap();
+        r.sim.step().unwrap();
+        r.sim.poke(r.push, 0).unwrap();
+        r.sim.reset().unwrap();
+        assert_eq!(r.sim.peek(r.empty).unwrap().to_u64(), Some(1));
+    }
+}

@@ -1,0 +1,203 @@
+//! LIFO (stack) core.
+
+use crate::{Component, SignalBus, SignalId, SimError};
+
+/// A synchronous LIFO core, the on-chip stack device of the paper
+/// ("queues and read/write buffers can also \[be\] mapped over LIFOs",
+/// §3.4).
+///
+/// Ports: `push`, `pop`, `wdata` in; `rdata`, `empty`, `full` out.
+/// `rdata` shows the top of the stack whenever it is non-empty.
+/// Simultaneous `push` and `pop` replace the top element.
+#[derive(Debug)]
+pub struct LifoCore {
+    name: String,
+    depth: usize,
+    width: usize,
+    push: SignalId,
+    pop: SignalId,
+    wdata: SignalId,
+    rdata: SignalId,
+    empty: SignalId,
+    full: SignalId,
+    data: Vec<u64>,
+}
+
+impl LifoCore {
+    /// Creates a LIFO core of `depth` elements of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        depth: usize,
+        width: usize,
+        push: SignalId,
+        pop: SignalId,
+        wdata: SignalId,
+        rdata: SignalId,
+        empty: SignalId,
+        full: SignalId,
+    ) -> Self {
+        assert!(depth > 0, "LIFO depth must be positive");
+        Self {
+            name: name.into(),
+            depth,
+            width,
+            push,
+            pop,
+            wdata,
+            rdata,
+            empty,
+            full,
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of elements currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the stack holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Component for LifoCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        bus.drive_u64(self.empty, u64::from(self.data.is_empty()))?;
+        bus.drive_u64(self.full, u64::from(self.data.len() >= self.depth))?;
+        match self.data.last() {
+            Some(&top) => bus.drive_u64(self.rdata, top)?,
+            None => bus.drive(
+                self.rdata,
+                hdp_hdl::LogicVector::unknown(self.width).map_err(SimError::from)?,
+            )?,
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let push = bus.read(self.push)?.to_u64() == Some(1);
+        let pop = bus.read(self.pop)?.to_u64() == Some(1);
+        if pop && self.data.pop().is_none() {
+            return Err(SimError::Protocol {
+                component: self.name.clone(),
+                message: "pop on empty lifo".into(),
+            });
+        }
+        if push {
+            if self.data.len() >= self.depth {
+                return Err(SimError::Protocol {
+                    component: self.name.clone(),
+                    message: "push on full lifo".into(),
+                });
+            }
+            let v = bus.read_u64(self.wdata, &self.name)?;
+            self.data.push(v);
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.data.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    struct Rig {
+        sim: Simulator,
+        push: SignalId,
+        pop: SignalId,
+        wdata: SignalId,
+        rdata: SignalId,
+        empty: SignalId,
+    }
+
+    fn rig(depth: usize) -> Rig {
+        let mut sim = Simulator::new();
+        let push = sim.add_signal("push", 1).unwrap();
+        let pop = sim.add_signal("pop", 1).unwrap();
+        let wdata = sim.add_signal("wdata", 8).unwrap();
+        let rdata = sim.add_signal("rdata", 8).unwrap();
+        let empty = sim.add_signal("empty", 1).unwrap();
+        let full = sim.add_signal("full", 1).unwrap();
+        sim.add_component(LifoCore::new(
+            "dut", depth, 8, push, pop, wdata, rdata, empty, full,
+        ));
+        sim.poke(push, 0).unwrap();
+        sim.poke(pop, 0).unwrap();
+        sim.poke(wdata, 0).unwrap();
+        sim.reset().unwrap();
+        Rig {
+            sim,
+            push,
+            pop,
+            wdata,
+            rdata,
+            empty,
+        }
+    }
+
+    #[test]
+    fn lifo_order_is_reversed() {
+        let mut r = rig(4);
+        for v in [1u64, 2, 3] {
+            r.sim.poke(r.push, 1).unwrap();
+            r.sim.poke(r.wdata, v).unwrap();
+            r.sim.step().unwrap();
+        }
+        r.sim.poke(r.push, 0).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            r.sim.settle().unwrap();
+            seen.push(r.sim.peek(r.rdata).unwrap().to_u64().unwrap());
+            r.sim.poke(r.pop, 1).unwrap();
+            r.sim.step().unwrap();
+            r.sim.poke(r.pop, 0).unwrap();
+        }
+        assert_eq!(seen, vec![3, 2, 1]);
+        assert_eq!(r.sim.peek(r.empty).unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn pop_on_empty_is_protocol_error() {
+        let mut r = rig(2);
+        r.sim.poke(r.pop, 1).unwrap();
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn push_pop_replaces_top() {
+        let mut r = rig(4);
+        r.sim.poke(r.push, 1).unwrap();
+        r.sim.poke(r.wdata, 5).unwrap();
+        r.sim.step().unwrap();
+        r.sim.poke(r.pop, 1).unwrap();
+        r.sim.poke(r.wdata, 9).unwrap();
+        r.sim.step().unwrap();
+        r.sim.poke(r.push, 0).unwrap();
+        r.sim.poke(r.pop, 0).unwrap();
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.rdata).unwrap().to_u64(), Some(9));
+    }
+}

@@ -1,0 +1,298 @@
+//! The 3-line video buffer of the blur example.
+
+use crate::{Component, SignalBus, SignalId, SimError};
+use hdp_hdl::LogicVector;
+use std::collections::VecDeque;
+
+/// A 3-line pixel buffer that "provides 3 pixels in a column for each
+/// access" (§4) — the special FIFO the paper maps the blur example's
+/// `rbuffer` container onto, so that "ideally a new filtered pixel can
+/// be generated at each clock cycle".
+///
+/// Write side: `push`/`wdata`, a row-major pixel stream of lines of
+/// `line_width` pixels. Read side: when `avail` is high, `top`, `mid`
+/// and `bot` present the three vertically adjacent pixels of the
+/// current column; `pop` advances to the next column.
+///
+/// A column at absolute index *c* (row `c / line_width`, x
+/// `c % line_width`) is available once the pixel two lines below it
+/// has arrived. The device retains a window of `2 * line_width + 1`
+/// pixels; pushing beyond the window without popping overflows.
+#[derive(Debug)]
+pub struct LineBuffer3 {
+    name: String,
+    line_width: usize,
+    data_width: usize,
+    push: SignalId,
+    wdata: SignalId,
+    pop: SignalId,
+    avail: SignalId,
+    top: SignalId,
+    mid: SignalId,
+    bot: SignalId,
+    full: SignalId,
+    window: VecDeque<u64>,
+    pushed: u64,
+    popped: u64,
+}
+
+impl LineBuffer3 {
+    /// Creates a 3-line buffer for lines of `line_width` pixels of
+    /// `data_width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_width` is zero.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        line_width: usize,
+        data_width: usize,
+        push: SignalId,
+        wdata: SignalId,
+        pop: SignalId,
+        avail: SignalId,
+        top: SignalId,
+        mid: SignalId,
+        bot: SignalId,
+        full: SignalId,
+    ) -> Self {
+        assert!(line_width > 0, "line width must be positive");
+        Self {
+            name: name.into(),
+            line_width,
+            data_width,
+            push,
+            wdata,
+            pop,
+            avail,
+            top,
+            mid,
+            bot,
+            full,
+            window: VecDeque::new(),
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        2 * self.line_width + 1
+    }
+
+    fn column_ready(&self) -> bool {
+        self.pushed > self.popped + 2 * self.line_width as u64
+    }
+
+    fn column(&self) -> Option<(u64, u64, u64)> {
+        if !self.column_ready() {
+            return None;
+        }
+        let w = self.line_width;
+        Some((self.window[0], self.window[w], self.window[2 * w]))
+    }
+}
+
+impl Component for LineBuffer3 {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        bus.drive_u64(self.avail, u64::from(self.column_ready()))?;
+        bus.drive_u64(self.full, u64::from(self.window.len() >= self.capacity()))?;
+        match self.column() {
+            Some((t, m, b)) => {
+                bus.drive_u64(self.top, t)?;
+                bus.drive_u64(self.mid, m)?;
+                bus.drive_u64(self.bot, b)?;
+            }
+            None => {
+                let x = LogicVector::unknown(self.data_width).map_err(SimError::from)?;
+                bus.drive(self.top, x)?;
+                bus.drive(self.mid, x)?;
+                bus.drive(self.bot, x)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let push = bus.read(self.push)?.to_u64() == Some(1);
+        let pop = bus.read(self.pop)?.to_u64() == Some(1);
+        if pop {
+            if !self.column_ready() {
+                return Err(SimError::Protocol {
+                    component: self.name.clone(),
+                    message: "pop with no column available".into(),
+                });
+            }
+            self.window.pop_front();
+            self.popped += 1;
+        }
+        if push {
+            if self.window.len() >= self.capacity() {
+                return Err(SimError::Protocol {
+                    component: self.name.clone(),
+                    message: "push on full line buffer".into(),
+                });
+            }
+            let v = bus.read_u64(self.wdata, &self.name)?;
+            self.window.push_back(v);
+            self.pushed += 1;
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.window.clear();
+        self.pushed = 0;
+        self.popped = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    struct Rig {
+        sim: Simulator,
+        push: SignalId,
+        wdata: SignalId,
+        pop: SignalId,
+        avail: SignalId,
+        top: SignalId,
+        mid: SignalId,
+        bot: SignalId,
+    }
+
+    fn rig(line_width: usize) -> Rig {
+        let mut sim = Simulator::new();
+        let push = sim.add_signal("push", 1).unwrap();
+        let wdata = sim.add_signal("wdata", 8).unwrap();
+        let pop = sim.add_signal("pop", 1).unwrap();
+        let avail = sim.add_signal("avail", 1).unwrap();
+        let top = sim.add_signal("top", 8).unwrap();
+        let mid = sim.add_signal("mid", 8).unwrap();
+        let bot = sim.add_signal("bot", 8).unwrap();
+        let full = sim.add_signal("full", 1).unwrap();
+        sim.add_component(LineBuffer3::new(
+            "dut", line_width, 8, push, wdata, pop, avail, top, mid, bot, full,
+        ));
+        sim.poke(push, 0).unwrap();
+        sim.poke(pop, 0).unwrap();
+        sim.poke(wdata, 0).unwrap();
+        sim.reset().unwrap();
+        Rig {
+            sim,
+            push,
+            wdata,
+            pop,
+            avail,
+            top,
+            mid,
+            bot,
+        }
+    }
+
+    fn push(r: &mut Rig, v: u64) {
+        r.sim.poke(r.push, 1).unwrap();
+        r.sim.poke(r.wdata, v).unwrap();
+        r.sim.step().unwrap();
+        r.sim.poke(r.push, 0).unwrap();
+    }
+
+    /// Pixel value for (row, x) in the tests: 10*row + x.
+    fn px(row: u64, x: u64) -> u64 {
+        10 * row + x
+    }
+
+    #[test]
+    fn column_becomes_available_after_two_lines_plus_one() {
+        let w = 4;
+        let mut r = rig(w);
+        // The window holds 2w+1 pixels; the first column is ready
+        // exactly when pixel (row 2, x 0) — the (2w+1)-th — arrives.
+        for i in 0..(2 * w as u64 + 1) {
+            assert_eq!(
+                r.sim.peek(r.avail).unwrap().to_u64(),
+                Some(0),
+                "not available before pixel {i}"
+            );
+            push(&mut r, px(i / w as u64, i % w as u64));
+        }
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.avail).unwrap().to_u64(), Some(1));
+        assert_eq!(r.sim.peek(r.top).unwrap().to_u64(), Some(px(0, 0)));
+        assert_eq!(r.sim.peek(r.mid).unwrap().to_u64(), Some(px(1, 0)));
+        assert_eq!(r.sim.peek(r.bot).unwrap().to_u64(), Some(px(2, 0)));
+    }
+
+    #[test]
+    fn pop_slides_the_column() {
+        let w = 3;
+        let mut r = rig(w);
+        for i in 0..(2 * w as u64 + 1) {
+            push(&mut r, px(i / w as u64, i % w as u64));
+        }
+        // Column 0 ready; pop it, then push the next pixel (row2 x1).
+        r.sim.poke(r.pop, 1).unwrap();
+        r.sim.step().unwrap();
+        r.sim.poke(r.pop, 0).unwrap();
+        push(&mut r, px(2, 1));
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.avail).unwrap().to_u64(), Some(1));
+        assert_eq!(r.sim.peek(r.top).unwrap().to_u64(), Some(px(0, 1)));
+        assert_eq!(r.sim.peek(r.mid).unwrap().to_u64(), Some(px(1, 1)));
+        assert_eq!(r.sim.peek(r.bot).unwrap().to_u64(), Some(px(2, 1)));
+    }
+
+    #[test]
+    fn pop_without_column_is_error() {
+        let mut r = rig(4);
+        r.sim.poke(r.pop, 1).unwrap();
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn overflow_is_error() {
+        let w = 2;
+        let mut r = rig(w);
+        for i in 0..(2 * w + 1) as u64 {
+            push(&mut r, i);
+        }
+        r.sim.poke(r.push, 1).unwrap();
+        r.sim.poke(r.wdata, 99).unwrap();
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn simultaneous_push_pop_streams() {
+        let w = 2;
+        let mut r = rig(w);
+        for i in 0..(2 * w + 1) as u64 {
+            push(&mut r, i);
+        }
+        // Steady state: push and pop together each cycle.
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.avail).unwrap().to_u64(), Some(1));
+        r.sim.poke(r.push, 1).unwrap();
+        r.sim.poke(r.pop, 1).unwrap();
+        r.sim.poke(r.wdata, 5).unwrap();
+        r.sim.step().unwrap();
+        r.sim.poke(r.push, 0).unwrap();
+        r.sim.poke(r.pop, 0).unwrap();
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.avail).unwrap().to_u64(), Some(1));
+        assert_eq!(r.sim.peek(r.top).unwrap().to_u64(), Some(1));
+    }
+}

@@ -1,0 +1,34 @@
+//! Device models: the simulated XSB-300E board.
+//!
+//! The paper maps containers onto "physical devices" (§3.4): on-chip
+//! FIFO and LIFO cores, block RAM and external static RAM, and feeds
+//! them from a SAA7113 video decoder towards a VGA coder. Each model
+//! here reproduces the handshake and timing behaviour the generated
+//! components must cope with:
+//!
+//! * [`FifoCore`] / [`LifoCore`] — first-word-fall-through queue and
+//!   stack cores with `push`/`pop`/`empty`/`full`.
+//! * [`Bram`] — synchronous-read dual-port block RAM (1-cycle read).
+//! * [`Sram`] — external asynchronous SRAM behind a `req`/`ack`
+//!   controller with configurable access latency (Figure 5's
+//!   implementation interface).
+//! * [`LineBuffer3`] — the special 3-line buffer of the blur example
+//!   (§4) that "provides 3 pixels in a column for each access".
+//! * [`VideoIn`] — pixel-stream source standing in for the SAA7113
+//!   decoder, with configurable inter-pixel gaps (blanking).
+//! * [`VideoOut`] — pixel-stream sink standing in for the VGA coder,
+//!   collecting frames and checking stream discipline.
+
+mod bram;
+mod fifo;
+mod lifo;
+mod line_buffer;
+mod sram;
+mod video;
+
+pub use bram::Bram;
+pub use fifo::FifoCore;
+pub use lifo::LifoCore;
+pub use line_buffer::LineBuffer3;
+pub use sram::Sram;
+pub use video::{VideoIn, VideoOut};

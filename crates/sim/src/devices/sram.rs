@@ -1,0 +1,397 @@
+//! External static RAM behind a req/ack memory controller.
+
+use crate::{Component, SignalBus, SignalId, SimError};
+use hdp_hdl::LogicVector;
+
+/// The handshake state of the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Busy { remaining: u32 },
+    Ack,
+}
+
+/// External asynchronous SRAM behind a four-phase `req`/`ack`
+/// controller, the device of the paper's Figure 5 (`p_addr`,
+/// `p_data`, `req`, `ack`).
+///
+/// A transaction: the master drives `addr` (and `we`/`wdata` for a
+/// write) and raises `req`; after `latency` cycles the controller
+/// raises `ack`, with `rdata` valid for reads; the master drops `req`
+/// and the controller drops `ack`. The paper notes SRAM-mapped
+/// containers are "much smaller, but performance will depend on memory
+/// access times" (§4) — `latency` is that access time in clock cycles.
+///
+/// Changing `addr`, `we` or `wdata` while a transaction is in flight is
+/// a [`SimError::Protocol`] violation.
+#[derive(Debug)]
+pub struct Sram {
+    name: String,
+    data_width: usize,
+    latency: u32,
+    req: SignalId,
+    we: SignalId,
+    addr: SignalId,
+    wdata: SignalId,
+    ack: SignalId,
+    rdata: SignalId,
+    mem: Vec<Option<u64>>,
+    phase: Phase,
+    captured: Option<(u64, bool, u64)>, // addr, we, wdata
+    out: Option<u64>,
+    transactions: u64,
+}
+
+impl Sram {
+    /// Creates an SRAM of `2^addr_width` words of `data_width` bits
+    /// with the given access latency in cycles (minimum 1).
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        addr_width: usize,
+        data_width: usize,
+        latency: u32,
+        req: SignalId,
+        we: SignalId,
+        addr: SignalId,
+        wdata: SignalId,
+        ack: SignalId,
+        rdata: SignalId,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            data_width,
+            latency: latency.max(1),
+            req,
+            we,
+            addr,
+            wdata,
+            ack,
+            rdata,
+            mem: vec![None; 1 << addr_width],
+            phase: Phase::Idle,
+            captured: None,
+            out: None,
+            transactions: 0,
+        }
+    }
+
+    /// Direct backdoor read, for testbench checking.
+    #[must_use]
+    pub fn word(&self, addr: usize) -> Option<u64> {
+        self.mem.get(addr).copied().flatten()
+    }
+
+    /// Direct backdoor write, for testbench preloading.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Protocol`] if `addr` is out of range.
+    pub fn preload(&mut self, addr: usize, value: u64) -> Result<(), SimError> {
+        let len = self.mem.len();
+        match self.mem.get_mut(addr) {
+            Some(slot) => {
+                *slot = Some(value);
+                Ok(())
+            }
+            None => Err(SimError::Protocol {
+                component: self.name.clone(),
+                message: format!("preload address {addr} out of range (depth {len})"),
+            }),
+        }
+    }
+
+    /// Number of completed transactions since reset, for performance
+    /// accounting in the experiments.
+    #[must_use]
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// The configured access latency in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+}
+
+impl Component for Sram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        bus.drive_u64(self.ack, u64::from(self.phase == Phase::Ack))?;
+        match (self.phase, self.out) {
+            (Phase::Ack, Some(v)) => bus.drive_u64(self.rdata, v)?,
+            _ => bus.drive(
+                self.rdata,
+                LogicVector::unknown(self.data_width).map_err(SimError::from)?,
+            )?,
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let req = bus.read(self.req)?.to_u64() == Some(1);
+        match self.phase {
+            Phase::Idle => {
+                if req {
+                    let addr = bus.read_u64(self.addr, &self.name)?;
+                    let we = bus.read(self.we)?.to_u64() == Some(1);
+                    let wdata = if we {
+                        bus.read_u64(self.wdata, &self.name)?
+                    } else {
+                        0
+                    };
+                    if addr as usize >= self.mem.len() {
+                        return Err(SimError::Protocol {
+                            component: self.name.clone(),
+                            message: format!("address {addr} out of range"),
+                        });
+                    }
+                    self.captured = Some((addr, we, wdata));
+                    self.phase = if self.latency <= 1 {
+                        self.complete()?;
+                        Phase::Ack
+                    } else {
+                        Phase::Busy {
+                            remaining: self.latency - 1,
+                        }
+                    };
+                }
+            }
+            Phase::Busy { remaining } => {
+                if !req {
+                    return Err(SimError::Protocol {
+                        component: self.name.clone(),
+                        message: "req dropped mid-transaction".into(),
+                    });
+                }
+                let (addr, we, wdata) = self.captured.expect("busy implies capture");
+                let now_addr = bus.read_u64(self.addr, &self.name)?;
+                let now_we = bus.read(self.we)?.to_u64() == Some(1);
+                if now_addr != addr || now_we != we {
+                    return Err(SimError::Protocol {
+                        component: self.name.clone(),
+                        message: "address/control changed mid-transaction".into(),
+                    });
+                }
+                if we {
+                    let now_wdata = bus.read_u64(self.wdata, &self.name)?;
+                    if now_wdata != wdata {
+                        return Err(SimError::Protocol {
+                            component: self.name.clone(),
+                            message: "write data changed mid-transaction".into(),
+                        });
+                    }
+                }
+                if remaining <= 1 {
+                    self.complete()?;
+                    self.phase = Phase::Ack;
+                } else {
+                    self.phase = Phase::Busy {
+                        remaining: remaining - 1,
+                    };
+                }
+            }
+            Phase::Ack => {
+                if !req {
+                    self.phase = Phase::Idle;
+                    self.out = None;
+                    self.captured = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.phase = Phase::Idle;
+        self.captured = None;
+        self.out = None;
+        self.transactions = 0;
+        // Contents survive reset, as in a real part.
+        Ok(())
+    }
+}
+
+impl Sram {
+    fn complete(&mut self) -> Result<(), SimError> {
+        let (addr, we, wdata) = self.captured.expect("complete implies capture");
+        if we {
+            self.mem[addr as usize] = Some(wdata);
+            self.out = Some(wdata);
+        } else {
+            self.out = self.mem[addr as usize];
+            if self.out.is_none() {
+                // Reading uninitialised external memory returns garbage
+                // on silicon; surface it as a defined-but-arbitrary 0
+                // pattern is *too kind* — keep it undefined so bugs show.
+                self.out = None;
+            }
+        }
+        self.transactions += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    struct Rig {
+        sim: Simulator,
+        req: SignalId,
+        we: SignalId,
+        addr: SignalId,
+        wdata: SignalId,
+        ack: SignalId,
+        rdata: SignalId,
+    }
+
+    fn rig(latency: u32) -> Rig {
+        let mut sim = Simulator::new();
+        let req = sim.add_signal("req", 1).unwrap();
+        let we = sim.add_signal("we", 1).unwrap();
+        let addr = sim.add_signal("addr", 16).unwrap();
+        let wdata = sim.add_signal("wdata", 8).unwrap();
+        let ack = sim.add_signal("ack", 1).unwrap();
+        let rdata = sim.add_signal("rdata", 8).unwrap();
+        sim.add_component(Sram::new(
+            "dut", 16, 8, latency, req, we, addr, wdata, ack, rdata,
+        ));
+        for (s, v) in [(req, 0), (we, 0), (addr, 0), (wdata, 0)] {
+            sim.poke(s, v).unwrap();
+        }
+        sim.reset().unwrap();
+        Rig {
+            sim,
+            req,
+            we,
+            addr,
+            wdata,
+            ack,
+            rdata,
+        }
+    }
+
+    fn wait_ack(r: &mut Rig, max: u64) -> u64 {
+        let mut cycles = 0;
+        for _ in 0..max {
+            r.sim.step().unwrap();
+            cycles += 1;
+            if r.sim.peek(r.ack).unwrap().to_u64() == Some(1) {
+                return cycles;
+            }
+        }
+        panic!("no ack after {max} cycles");
+    }
+
+    fn write(r: &mut Rig, addr: u64, value: u64) {
+        r.sim.poke(r.req, 1).unwrap();
+        r.sim.poke(r.we, 1).unwrap();
+        r.sim.poke(r.addr, addr).unwrap();
+        r.sim.poke(r.wdata, value).unwrap();
+        wait_ack(r, 20);
+        r.sim.poke(r.req, 0).unwrap();
+        r.sim.poke(r.we, 0).unwrap();
+        r.sim.step().unwrap();
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut r = rig(2);
+        write(&mut r, 100, 0xAB);
+        r.sim.poke(r.req, 1).unwrap();
+        r.sim.poke(r.addr, 100).unwrap();
+        wait_ack(&mut r, 20);
+        assert_eq!(r.sim.peek(r.rdata).unwrap().to_u64(), Some(0xAB));
+        r.sim.poke(r.req, 0).unwrap();
+        r.sim.step().unwrap();
+        assert_eq!(r.sim.peek(r.ack).unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn latency_is_respected() {
+        for latency in [1u32, 3, 7] {
+            let mut r = rig(latency);
+            write(&mut r, 5, 1);
+            r.sim.poke(r.req, 1).unwrap();
+            r.sim.poke(r.addr, 5).unwrap();
+            let cycles = wait_ack(&mut r, 20);
+            assert_eq!(cycles, u64::from(latency), "latency {latency}");
+            r.sim.poke(r.req, 0).unwrap();
+            r.sim.step().unwrap();
+        }
+    }
+
+    #[test]
+    fn dropping_req_mid_transaction_is_error() {
+        let mut r = rig(4);
+        r.sim.poke(r.req, 1).unwrap();
+        r.sim.poke(r.addr, 0).unwrap();
+        r.sim.step().unwrap(); // transaction starts
+        r.sim.poke(r.req, 0).unwrap();
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn changing_addr_mid_transaction_is_error() {
+        let mut r = rig(4);
+        r.sim.poke(r.req, 1).unwrap();
+        r.sim.poke(r.addr, 0).unwrap();
+        r.sim.step().unwrap();
+        r.sim.poke(r.addr, 1).unwrap();
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn uninitialised_read_is_undefined() {
+        let mut r = rig(1);
+        r.sim.poke(r.req, 1).unwrap();
+        r.sim.poke(r.addr, 77).unwrap();
+        wait_ack(&mut r, 20);
+        assert_eq!(r.sim.peek(r.rdata).unwrap().to_u64(), None);
+    }
+
+    #[test]
+    fn transaction_counter_counts() {
+        let mut sim = Simulator::new();
+        let req = sim.add_signal("req", 1).unwrap();
+        let we = sim.add_signal("we", 1).unwrap();
+        let addr = sim.add_signal("addr", 8).unwrap();
+        let wdata = sim.add_signal("wdata", 8).unwrap();
+        let ack = sim.add_signal("ack", 1).unwrap();
+        let rdata = sim.add_signal("rdata", 8).unwrap();
+        let sram = Sram::new("dut", 8, 8, 1, req, we, addr, wdata, ack, rdata);
+        assert_eq!(sram.transactions(), 0);
+        assert_eq!(sram.latency(), 1);
+        drop(sim);
+    }
+
+    #[test]
+    fn out_of_range_address_is_error() {
+        let mut sim = Simulator::new();
+        let req = sim.add_signal("req", 1).unwrap();
+        let we = sim.add_signal("we", 1).unwrap();
+        let addr = sim.add_signal("addr", 16).unwrap();
+        let wdata = sim.add_signal("wdata", 8).unwrap();
+        let ack = sim.add_signal("ack", 1).unwrap();
+        let rdata = sim.add_signal("rdata", 8).unwrap();
+        // Memory only 2^8 deep but address bus 16 bits wide.
+        sim.add_component(Sram::new("dut", 8, 8, 1, req, we, addr, wdata, ack, rdata));
+        for (s, v) in [(req, 1), (we, 0), (addr, 300), (wdata, 0)] {
+            sim.poke(s, v).unwrap();
+        }
+        assert!(matches!(sim.step().unwrap_err(), SimError::Protocol { .. }));
+    }
+}

@@ -1,0 +1,334 @@
+//! Video stream source and sink (SAA7113 decoder / VGA coder models).
+
+use crate::{Component, SignalBus, SignalId, SimError};
+use hdp_hdl::LogicVector;
+
+/// A pixel-stream source standing in for the SAA7113 video decoder of
+/// the paper's Figure 1 pipeline.
+///
+/// Emits the pixels of a frame in row-major order, one pixel every
+/// `1 + gap` cycles (`gap` models horizontal blanking). Ports: `valid`
+/// and `data` out. There is **no backpressure** — like the real
+/// decoder, pixels arrive whether or not the design is ready, which is
+/// exactly why the paper's model interposes an input buffer container.
+#[derive(Debug)]
+pub struct VideoIn {
+    name: String,
+    data_width: usize,
+    frame: Vec<u64>,
+    gap: u32,
+    repeat: bool,
+    valid: SignalId,
+    data: SignalId,
+    index: usize,
+    countdown: u32,
+    frames_sent: u64,
+    exhausted: bool,
+}
+
+impl VideoIn {
+    /// Creates a source that streams `frame` (row-major pixels of
+    /// `data_width` bits), pausing `gap` cycles between pixels.
+    /// With `repeat`, the frame restarts indefinitely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is empty.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        frame: Vec<u64>,
+        data_width: usize,
+        gap: u32,
+        repeat: bool,
+        valid: SignalId,
+        data: SignalId,
+    ) -> Self {
+        assert!(!frame.is_empty(), "frame must contain pixels");
+        Self {
+            name: name.into(),
+            data_width,
+            frame,
+            gap,
+            repeat,
+            valid,
+            data,
+            index: 0,
+            countdown: 0,
+            frames_sent: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Number of complete frames streamed since reset.
+    #[must_use]
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// True once a non-repeating source has streamed its frame.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    fn emitting(&self) -> bool {
+        !self.exhausted && self.countdown == 0
+    }
+}
+
+impl Component for VideoIn {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        if self.emitting() {
+            bus.drive_u64(self.valid, 1)?;
+            bus.drive_u64(self.data, self.frame[self.index])?;
+        } else {
+            bus.drive_u64(self.valid, 0)?;
+            bus.drive(
+                self.data,
+                LogicVector::unknown(self.data_width).map_err(SimError::from)?,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        if self.exhausted {
+            return Ok(());
+        }
+        if self.countdown > 0 {
+            self.countdown -= 1;
+            return Ok(());
+        }
+        // The pixel currently presented has been consumed this edge.
+        self.index += 1;
+        self.countdown = self.gap;
+        if self.index >= self.frame.len() {
+            self.frames_sent += 1;
+            self.index = 0;
+            if !self.repeat {
+                self.exhausted = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.index = 0;
+        self.countdown = 0;
+        self.frames_sent = 0;
+        self.exhausted = false;
+        Ok(())
+    }
+}
+
+/// A pixel-stream sink standing in for the VGA coder of Figure 1.
+///
+/// Ports: `valid` and `data` in. Samples a pixel whenever `valid` is
+/// high on a clock edge and assembles frames of `frame_len` pixels.
+/// With a `max_gap`, the sink also enforces the real-time discipline a
+/// VGA DAC imposes: once a frame has started, more than `max_gap`
+/// cycles without a pixel is an underrun ([`SimError::Protocol`]).
+#[derive(Debug)]
+pub struct VideoOut {
+    name: String,
+    frame_len: usize,
+    max_gap: Option<u64>,
+    valid: SignalId,
+    data: SignalId,
+    current: Vec<u64>,
+    frames: Vec<Vec<u64>>,
+    idle_cycles: u64,
+}
+
+impl VideoOut {
+    /// Creates a sink collecting frames of `frame_len` pixels; with
+    /// `max_gap`, gaps longer than that many cycles mid-frame are
+    /// underruns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        frame_len: usize,
+        max_gap: Option<u64>,
+        valid: SignalId,
+        data: SignalId,
+    ) -> Self {
+        assert!(frame_len > 0, "frame length must be positive");
+        Self {
+            name: name.into(),
+            frame_len,
+            max_gap,
+            valid,
+            data,
+            current: Vec::new(),
+            frames: Vec::new(),
+            idle_cycles: 0,
+        }
+    }
+
+    /// The completed frames received since reset.
+    #[must_use]
+    pub fn frames(&self) -> &[Vec<u64>] {
+        &self.frames
+    }
+
+    /// Pixels of the frame currently being assembled.
+    #[must_use]
+    pub fn partial(&self) -> &[u64] {
+        &self.current
+    }
+}
+
+impl Component for VideoOut {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let valid = bus.read(self.valid)?.to_u64() == Some(1);
+        if valid {
+            self.idle_cycles = 0;
+            let v = bus.read_u64(self.data, &self.name)?;
+            self.current.push(v);
+            if self.current.len() == self.frame_len {
+                self.frames.push(std::mem::take(&mut self.current));
+            }
+        } else if !self.current.is_empty() {
+            self.idle_cycles += 1;
+            if let Some(max) = self.max_gap {
+                if self.idle_cycles > max {
+                    return Err(SimError::Protocol {
+                        component: self.name.clone(),
+                        message: format!(
+                            "underrun: {} idle cycles mid-frame (limit {max})",
+                            self.idle_cycles
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.current.clear();
+        self.frames.clear();
+        self.idle_cycles = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    #[test]
+    fn source_streams_frame_in_order() {
+        let mut sim = Simulator::new();
+        let valid = sim.add_signal("valid", 1).unwrap();
+        let data = sim.add_signal("data", 8).unwrap();
+        let frame = vec![1u64, 2, 3, 4];
+        let src = sim.add_component(VideoIn::new("src", frame.clone(), 8, 0, false, valid, data));
+        let sink = sim.add_component(VideoOut::new("sink", 4, None, valid, data));
+        sim.reset().unwrap();
+        sim.run(6).unwrap();
+        let src_ref = sim.component::<VideoIn>(src).unwrap();
+        assert_eq!(src_ref.frames_sent(), 1);
+        assert!(src_ref.is_exhausted());
+        let sink_ref = sim.component::<VideoOut>(sink).unwrap();
+        assert_eq!(sink_ref.frames(), std::slice::from_ref(&frame));
+        sim.settle().unwrap();
+        assert_eq!(sim.peek(valid).unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn gap_inserts_blanking() {
+        let mut sim = Simulator::new();
+        let valid = sim.add_signal("valid", 1).unwrap();
+        let data = sim.add_signal("data", 8).unwrap();
+        sim.add_component(VideoIn::new("src", vec![7, 8], 8, 2, false, valid, data));
+        sim.reset().unwrap();
+        let mut pattern = Vec::new();
+        for _ in 0..6 {
+            pattern.push(sim.peek(valid).unwrap().to_u64().unwrap());
+            sim.step().unwrap();
+        }
+        assert_eq!(pattern, vec![1, 0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn repeat_wraps_around() {
+        let mut sim = Simulator::new();
+        let valid = sim.add_signal("valid", 1).unwrap();
+        let data = sim.add_signal("data", 8).unwrap();
+        sim.add_component(VideoIn::new("src", vec![5, 6], 8, 0, true, valid, data));
+        sim.reset().unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            seen.push(sim.peek(data).unwrap().to_u64().unwrap());
+            sim.step().unwrap();
+        }
+        assert_eq!(seen, vec![5, 6, 5, 6, 5]);
+    }
+
+    #[test]
+    fn sink_collects_frames_and_detects_underrun() {
+        let mut sim = Simulator::new();
+        let valid = sim.add_signal("valid", 1).unwrap();
+        let data = sim.add_signal("data", 8).unwrap();
+        sim.add_component(VideoOut::new("sink", 2, Some(1), valid, data));
+        sim.poke(valid, 1).unwrap();
+        sim.poke(data, 9).unwrap();
+        sim.reset().unwrap();
+        sim.step().unwrap(); // pixel 1
+        sim.poke(valid, 0).unwrap();
+        sim.step().unwrap(); // one idle cycle, within limit
+        let err = sim.step().unwrap_err(); // second idle cycle: underrun
+        assert!(matches!(err, SimError::Protocol { .. }));
+    }
+
+    #[test]
+    fn sink_frame_boundaries() {
+        let mut sim = Simulator::new();
+        let valid = sim.add_signal("valid", 1).unwrap();
+        let data = sim.add_signal("data", 8).unwrap();
+        sim.add_component(VideoIn::new(
+            "src",
+            vec![1, 2, 3, 4, 5, 6],
+            8,
+            0,
+            false,
+            valid,
+            data,
+        ));
+        let sink = sim.add_component(VideoOut::new("sink", 3, None, valid, data));
+        sim.reset().unwrap();
+        sim.run(8).unwrap();
+        let sink_ref = sim.component::<VideoOut>(sink).unwrap();
+        assert_eq!(sink_ref.frames(), &[vec![1, 2, 3], vec![4, 5, 6]]);
+        assert!(sink_ref.partial().is_empty());
+    }
+
+    #[test]
+    fn component_downcast_to_wrong_type_is_none() {
+        let mut sim = Simulator::new();
+        let valid = sim.add_signal("valid", 1).unwrap();
+        let data = sim.add_signal("data", 8).unwrap();
+        let id = sim.add_component(VideoOut::new("sink", 3, None, valid, data));
+        assert!(sim.component::<VideoIn>(id).is_none());
+        assert!(sim.component::<VideoOut>(id).is_some());
+    }
+}

@@ -1,0 +1,66 @@
+//! # hdp-sim — cycle-accurate simulation substrate
+//!
+//! The paper evaluates its generated components on the XESS XSB-300E
+//! prototyping board (§3.4/§4): a Spartan-IIE FPGA surrounded by a
+//! SAA7113 video decoder, a VGA DAC and external static RAM. This crate
+//! replaces that board with deterministic device models and a
+//! delta-cycle simulator so the same designs can be exercised
+//! end-to-end on a workstation:
+//!
+//! * [`Simulator`] — two-phase clocked scheduler: combinational
+//!   settling to a fixpoint (delta cycles), then a synchronous clock
+//!   edge.
+//! * [`Component`] — the trait every hardware model implements.
+//! * [`devices`] — the board: FIFO and LIFO cores, synchronous block
+//!   RAM, external SRAM with a req/ack handshake and configurable
+//!   latency, a 3-line video buffer, a video-decoder stream source and
+//!   a VGA sink.
+//! * [`NetlistComponent`] — interprets an [`hdp_hdl::Netlist`] produced
+//!   by the metaprogramming generator, so generated designs and
+//!   hand-written models run side by side in one simulation.
+//! * [`probe`] — stimulus and monitor helpers for testbenches.
+//! * [`vcd`] — waveform dumping for debugging.
+//!
+//! ## Example
+//!
+//! ```
+//! use hdp_sim::{Simulator, devices::FifoCore};
+//!
+//! # fn main() -> Result<(), hdp_sim::SimError> {
+//! let mut sim = Simulator::new();
+//! let push = sim.add_signal("push", 1)?;
+//! let pop = sim.add_signal("pop", 1)?;
+//! let wdata = sim.add_signal("wdata", 8)?;
+//! let rdata = sim.add_signal("rdata", 8)?;
+//! let empty = sim.add_signal("empty", 1)?;
+//! let full = sim.add_signal("full", 1)?;
+//! sim.add_component(FifoCore::new("u_fifo", 16, 8, push, pop, wdata, rdata, empty, full));
+//! sim.reset()?;
+//! sim.poke(push, 1)?;
+//! sim.poke(wdata, 0x42)?;
+//! sim.step()?; // push 0x42
+//! sim.poke(push, 0)?;
+//! sim.step()?;
+//! assert_eq!(sim.peek(rdata)?.to_u64(), Some(0x42));
+//! assert_eq!(sim.peek(empty)?.to_u64(), Some(0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+pub mod devices;
+mod error;
+mod netlist_sim;
+pub mod probe;
+mod sched;
+mod signal;
+pub mod vcd;
+
+pub use component::Component;
+pub use error::SimError;
+pub use netlist_sim::NetlistComponent;
+pub use sched::{ComponentId, Simulator};
+pub use signal::{SignalBus, SignalId};

@@ -1,0 +1,653 @@
+//! Cycle-accurate interpretation of generated netlists.
+
+use crate::{Component, SignalBus, SignalId, SimError};
+use hdp_hdl::prim::Prim;
+use hdp_hdl::{CellId, LogicVector, Netlist, PortDir};
+use std::collections::VecDeque;
+
+/// Per-cell state of sequential primitives.
+#[derive(Debug, Clone)]
+enum SeqState {
+    None,
+    Reg(LogicVector),
+    Bram {
+        mem: Vec<Option<u64>>,
+        out: Option<u64>,
+    },
+    Fifo {
+        depth: usize,
+        data: VecDeque<u64>,
+    },
+    Lifo {
+        depth: usize,
+        data: Vec<u64>,
+    },
+}
+
+/// Runs an [`hdp_hdl::Netlist`] as a simulated [`Component`].
+///
+/// This is how the designs emitted by the metaprogramming generator
+/// are exercised against the board device models: the same netlist
+/// that `hdp-synth` maps onto Spartan-IIE resources is interpreted
+/// here, cell by cell, with full four-state semantics.
+///
+/// Entity ports are wired to simulator signals through the map given
+/// at construction. `inout` ports are not supported by the interpreter
+/// (the generated designs talk to the external SRAM through separate
+/// `in`/`out` pins plus the req/ack handshake, as in Figure 5).
+pub struct NetlistComponent {
+    name: String,
+    netlist: Netlist,
+    /// (port index in entity, sim signal) pairs.
+    port_wiring: Vec<(String, PortDir, hdp_hdl::NetId, SignalId)>,
+    topo: Vec<CellId>,
+    net_values: Vec<LogicVector>,
+    seq_state: Vec<SeqState>,
+    /// Nets driven by at least one combinational cell (pre-set to `Z`
+    /// each eval so tri-state resolution works).
+    comb_driven: Vec<bool>,
+}
+
+impl std::fmt::Debug for NetlistComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetlistComponent")
+            .field("name", &self.name)
+            .field("entity", &self.netlist.entity().name())
+            .field("cells", &self.netlist.cells().len())
+            .finish()
+    }
+}
+
+impl NetlistComponent {
+    /// Wraps a validated netlist, wiring each entity port to a
+    /// simulator signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns the netlist's own validation failure, a
+    /// [`SimError::Protocol`] for an unmapped or unsupported port, or a
+    /// width mismatch between a port and its signal.
+    pub fn new(
+        name: impl Into<String>,
+        netlist: Netlist,
+        bus: &SignalBus,
+        port_map: &[(&str, SignalId)],
+    ) -> Result<Self, SimError> {
+        let name = name.into();
+        hdp_hdl::validate::check(&netlist)?;
+        let topo = netlist.comb_topo_order()?;
+        let mut port_wiring = Vec::new();
+        for port in netlist.entity().ports() {
+            if port.dir() == PortDir::InOut {
+                return Err(SimError::Protocol {
+                    component: name,
+                    message: format!(
+                        "inout port `{}` is not supported by the netlist interpreter",
+                        port.name()
+                    ),
+                });
+            }
+            let Some(&(_, signal)) = port_map.iter().find(|(p, _)| *p == port.name()) else {
+                return Err(SimError::Protocol {
+                    component: name,
+                    message: format!("port `{}` is not mapped to a signal", port.name()),
+                });
+            };
+            if bus.width(signal)? != port.width() {
+                return Err(SimError::SignalWidth {
+                    signal: bus.name(signal)?.to_owned(),
+                    expected: port.width(),
+                    found: bus.width(signal)?,
+                });
+            }
+            let net = netlist
+                .port_net(port.name())
+                .expect("validated netlist binds every port");
+            port_wiring.push((port.name().to_owned(), port.dir(), net, signal));
+        }
+        for (p, _) in port_map {
+            if netlist.entity().port(p).is_none() {
+                return Err(SimError::Protocol {
+                    component: name,
+                    message: format!("mapped port `{p}` does not exist on the entity"),
+                });
+            }
+        }
+        let net_values: Vec<LogicVector> = netlist
+            .nets()
+            .iter()
+            .map(|n| LogicVector::unknown(n.width()).expect("net widths validated"))
+            .collect();
+        let mut comb_driven = vec![false; netlist.nets().len()];
+        let mut seq_state = Vec::with_capacity(netlist.cells().len());
+        for cell in netlist.cells() {
+            let state = match cell.prim() {
+                Prim::Reg { width, .. } => {
+                    SeqState::Reg(LogicVector::unknown(*width).expect("validated"))
+                }
+                Prim::BlockRam { addr_width, .. } => SeqState::Bram {
+                    mem: vec![None; 1 << addr_width],
+                    out: None,
+                },
+                Prim::FifoMacro { depth, .. } => SeqState::Fifo {
+                    depth: *depth,
+                    data: VecDeque::new(),
+                },
+                Prim::LifoMacro { depth, .. } => SeqState::Lifo {
+                    depth: *depth,
+                    data: Vec::new(),
+                },
+                _ => {
+                    for &net in cell.outputs() {
+                        comb_driven[net.index()] = true;
+                    }
+                    SeqState::None
+                }
+            };
+            seq_state.push(state);
+        }
+        Ok(Self {
+            name,
+            netlist,
+            port_wiring,
+            topo,
+            net_values,
+            seq_state,
+            comb_driven,
+        })
+    }
+
+    /// The wrapped netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The settled value of an internal net, for white-box assertions.
+    #[must_use]
+    pub fn net_value(&self, name: &str) -> Option<LogicVector> {
+        let id = self.netlist.find_net(name)?;
+        Some(self.net_values[id.index()])
+    }
+
+    fn drive_seq_outputs(&mut self) {
+        for (ci, cell) in self.netlist.cells().iter().enumerate() {
+            match (&self.seq_state[ci], cell.prim()) {
+                (SeqState::Reg(v), Prim::Reg { .. }) => {
+                    self.net_values[cell.outputs()[0].index()] = *v;
+                }
+                (SeqState::Bram { out, .. }, Prim::BlockRam { data_width, .. }) => {
+                    self.net_values[cell.outputs()[0].index()] = match out {
+                        Some(v) => LogicVector::from_u64(*v, *data_width).expect("stored word"),
+                        None => LogicVector::unknown(*data_width).expect("validated"),
+                    };
+                }
+                (SeqState::Fifo { depth, data }, Prim::FifoMacro { width, .. }) => {
+                    let outs = cell.outputs();
+                    self.net_values[outs[0].index()] = match data.front() {
+                        Some(&v) => LogicVector::from_u64(v, *width).expect("stored word"),
+                        None => LogicVector::unknown(*width).expect("validated"),
+                    };
+                    self.net_values[outs[1].index()] =
+                        LogicVector::from_u64(u64::from(data.is_empty()), 1).expect("1 bit");
+                    self.net_values[outs[2].index()] =
+                        LogicVector::from_u64(u64::from(data.len() >= *depth), 1).expect("1 bit");
+                }
+                (SeqState::Lifo { depth, data }, Prim::LifoMacro { width, .. }) => {
+                    let outs = cell.outputs();
+                    self.net_values[outs[0].index()] = match data.last() {
+                        Some(&v) => LogicVector::from_u64(v, *width).expect("stored word"),
+                        None => LogicVector::unknown(*width).expect("validated"),
+                    };
+                    self.net_values[outs[1].index()] =
+                        LogicVector::from_u64(u64::from(data.is_empty()), 1).expect("1 bit");
+                    self.net_values[outs[2].index()] =
+                        LogicVector::from_u64(u64::from(data.len() >= *depth), 1).expect("1 bit");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn strobe(&self, net: hdp_hdl::NetId) -> bool {
+        self.net_values[net.index()].to_u64() == Some(1)
+    }
+
+    fn word(&self, net: hdp_hdl::NetId, what: &str) -> Result<u64, SimError> {
+        self.net_values[net.index()]
+            .to_u64()
+            .ok_or_else(|| SimError::Protocol {
+                component: self.name.clone(),
+                message: format!("undefined {what} on net `{}`", self.netlist.net(net).name()),
+            })
+    }
+}
+
+impl Component for NetlistComponent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        // 1. Latch input ports into their nets.
+        for (_, dir, net, signal) in &self.port_wiring {
+            if *dir == PortDir::In {
+                self.net_values[net.index()] = bus.read(*signal)?;
+            }
+        }
+        // 2. Present sequential outputs.
+        self.drive_seq_outputs();
+        // 3. Pre-release tri-state buses.
+        for (ni, driven) in self.comb_driven.iter().enumerate() {
+            if *driven {
+                let width = self.net_values[ni].width();
+                self.net_values[ni] = LogicVector::high_z(width).expect("validated");
+            }
+        }
+        // 4. Evaluate combinational cells in topological order.
+        for &ci in &self.topo {
+            let cell = &self.netlist.cells()[ci.index()];
+            let inputs: Vec<LogicVector> = cell
+                .inputs()
+                .iter()
+                .map(|n| self.net_values[n.index()])
+                .collect();
+            let outputs = cell.prim().eval_comb(&inputs).map_err(SimError::from)?;
+            for (&net, value) in cell.outputs().iter().zip(outputs) {
+                let slot = &mut self.net_values[net.index()];
+                *slot = slot.resolve(&value).map_err(SimError::from)?;
+            }
+        }
+        // 5. Drive output ports.
+        for (_, dir, net, signal) in &self.port_wiring {
+            if *dir == PortDir::Out {
+                bus.drive(*signal, self.net_values[net.index()])?;
+            }
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        // net_values hold the settled pre-edge values from the last eval.
+        for ci in 0..self.netlist.cells().len() {
+            let cell = &self.netlist.cells()[ci];
+            let ins = cell.inputs().to_vec();
+            match cell.prim().clone() {
+                Prim::Reg { has_enable, .. } => {
+                    let load = if has_enable {
+                        self.strobe(ins[1])
+                    } else {
+                        true
+                    };
+                    if load {
+                        let d = self.net_values[ins[0].index()];
+                        if let SeqState::Reg(v) = &mut self.seq_state[ci] {
+                            *v = d;
+                        }
+                    }
+                }
+                Prim::BlockRam { .. } => {
+                    let we = self.strobe(ins[0]);
+                    let (waddr, wdata) = if we {
+                        (
+                            Some(self.word(ins[1], "write address")?),
+                            Some(self.word(ins[2], "write data")?),
+                        )
+                    } else {
+                        (None, None)
+                    };
+                    let raddr = self.net_values[ins[3].index()].to_u64();
+                    if let SeqState::Bram { mem, out } = &mut self.seq_state[ci] {
+                        if let (Some(a), Some(d)) = (waddr, wdata) {
+                            mem[a as usize] = Some(d);
+                        }
+                        *out = raddr.and_then(|a| mem[a as usize]);
+                    }
+                }
+                Prim::FifoMacro { .. } => {
+                    let push = self.strobe(ins[0]);
+                    let pop = self.strobe(ins[1]);
+                    let wdata = if push {
+                        Some(self.word(ins[2], "fifo write data")?)
+                    } else {
+                        None
+                    };
+                    let name = self.name.clone();
+                    let cell_name = cell.name().to_owned();
+                    if let SeqState::Fifo { depth, data } = &mut self.seq_state[ci] {
+                        if pop && data.pop_front().is_none() {
+                            return Err(SimError::Protocol {
+                                component: name,
+                                message: format!("pop on empty fifo `{cell_name}`"),
+                            });
+                        }
+                        if let Some(d) = wdata {
+                            if data.len() >= *depth {
+                                return Err(SimError::Protocol {
+                                    component: name,
+                                    message: format!("push on full fifo `{cell_name}`"),
+                                });
+                            }
+                            data.push_back(d);
+                        }
+                    }
+                }
+                Prim::LifoMacro { .. } => {
+                    let push = self.strobe(ins[0]);
+                    let pop = self.strobe(ins[1]);
+                    let wdata = if push {
+                        Some(self.word(ins[2], "lifo write data")?)
+                    } else {
+                        None
+                    };
+                    let name = self.name.clone();
+                    let cell_name = cell.name().to_owned();
+                    if let SeqState::Lifo { depth, data } = &mut self.seq_state[ci] {
+                        if pop && data.pop().is_none() {
+                            return Err(SimError::Protocol {
+                                component: name,
+                                message: format!("pop on empty lifo `{cell_name}`"),
+                            });
+                        }
+                        if let Some(d) = wdata {
+                            if data.len() >= *depth {
+                                return Err(SimError::Protocol {
+                                    component: name,
+                                    message: format!("push on full lifo `{cell_name}`"),
+                                });
+                            }
+                            data.push(d);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        for (ci, cell) in self.netlist.cells().iter().enumerate() {
+            match (&mut self.seq_state[ci], cell.prim()) {
+                (
+                    SeqState::Reg(v),
+                    Prim::Reg {
+                        width, reset_value, ..
+                    },
+                ) => {
+                    *v = LogicVector::from_u64(*reset_value, *width).expect("validated reset");
+                }
+                (SeqState::Bram { out, .. }, _) => *out = None,
+                (SeqState::Fifo { data, .. }, _) => data.clear(),
+                (SeqState::Lifo { data, .. }, _) => data.clear(),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use hdp_hdl::prim::Prim;
+    use hdp_hdl::Entity;
+
+    /// Counter netlist: q' = q + 1 via Reg + Inc.
+    fn counter_netlist() -> Netlist {
+        let entity = Entity::builder("counter")
+            .port("q", PortDir::Out, 8)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let q = nl.add_net("q", 8).unwrap();
+        let d = nl.add_net("d", 8).unwrap();
+        nl.add_cell(
+            "u_reg",
+            Prim::Reg {
+                width: 8,
+                has_enable: false,
+                reset_value: 0,
+            },
+            vec![d],
+            vec![q],
+        )
+        .unwrap();
+        nl.add_cell("u_inc", Prim::Inc { width: 8 }, vec![q], vec![d])
+            .unwrap();
+        nl.bind_port("q", q).unwrap();
+        nl
+    }
+
+    #[test]
+    fn counter_netlist_counts() {
+        let mut sim = Simulator::new();
+        let q = sim.add_signal("q", 8).unwrap();
+        let dut = NetlistComponent::new("dut", counter_netlist(), sim.bus(), &[("q", q)]).unwrap();
+        sim.add_component(dut);
+        sim.reset().unwrap();
+        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(0));
+        sim.run(7).unwrap();
+        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(7));
+    }
+
+    #[test]
+    fn unmapped_port_is_rejected() {
+        let sim = Simulator::new();
+        let err = NetlistComponent::new("dut", counter_netlist(), sim.bus(), &[]).unwrap_err();
+        assert!(matches!(err, SimError::Protocol { .. }));
+    }
+
+    #[test]
+    fn extra_mapped_port_is_rejected() {
+        let mut sim = Simulator::new();
+        let q = sim.add_signal("q", 8).unwrap();
+        let x = sim.add_signal("x", 8).unwrap();
+        let err = NetlistComponent::new(
+            "dut",
+            counter_netlist(),
+            sim.bus(),
+            &[("q", q), ("nope", x)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Protocol { .. }));
+    }
+
+    #[test]
+    fn width_mismatched_signal_is_rejected() {
+        let mut sim = Simulator::new();
+        let q = sim.add_signal("q", 4).unwrap();
+        let err =
+            NetlistComponent::new("dut", counter_netlist(), sim.bus(), &[("q", q)]).unwrap_err();
+        assert!(matches!(err, SimError::SignalWidth { .. }));
+    }
+
+    /// A fifo-macro wrapper netlist for protocol tests.
+    fn fifo_netlist(depth: usize) -> Netlist {
+        let entity = Entity::builder("f")
+            .port("push", PortDir::In, 1)
+            .unwrap()
+            .port("pop", PortDir::In, 1)
+            .unwrap()
+            .port("wdata", PortDir::In, 8)
+            .unwrap()
+            .port("rdata", PortDir::Out, 8)
+            .unwrap()
+            .port("empty", PortDir::Out, 1)
+            .unwrap()
+            .port("full", PortDir::Out, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let push = nl.add_net("push", 1).unwrap();
+        let pop = nl.add_net("pop", 1).unwrap();
+        let wdata = nl.add_net("wdata", 8).unwrap();
+        let rdata = nl.add_net("rdata", 8).unwrap();
+        let empty = nl.add_net("empty", 1).unwrap();
+        let full = nl.add_net("full", 1).unwrap();
+        nl.add_cell(
+            "u_fifo",
+            Prim::FifoMacro { depth, width: 8 },
+            vec![push, pop, wdata],
+            vec![rdata, empty, full],
+        )
+        .unwrap();
+        for (p, n) in [
+            ("push", push),
+            ("pop", pop),
+            ("wdata", wdata),
+            ("rdata", rdata),
+            ("empty", empty),
+            ("full", full),
+        ] {
+            nl.bind_port(p, n).unwrap();
+        }
+        nl
+    }
+
+    #[test]
+    fn fifo_macro_behaves_like_device() {
+        let mut sim = Simulator::new();
+        let push = sim.add_signal("push", 1).unwrap();
+        let pop = sim.add_signal("pop", 1).unwrap();
+        let wdata = sim.add_signal("wdata", 8).unwrap();
+        let rdata = sim.add_signal("rdata", 8).unwrap();
+        let empty = sim.add_signal("empty", 1).unwrap();
+        let full = sim.add_signal("full", 1).unwrap();
+        let dut = NetlistComponent::new(
+            "dut",
+            fifo_netlist(4),
+            sim.bus(),
+            &[
+                ("push", push),
+                ("pop", pop),
+                ("wdata", wdata),
+                ("rdata", rdata),
+                ("empty", empty),
+                ("full", full),
+            ],
+        )
+        .unwrap();
+        sim.add_component(dut);
+        sim.poke(push, 0).unwrap();
+        sim.poke(pop, 0).unwrap();
+        sim.poke(wdata, 0).unwrap();
+        sim.reset().unwrap();
+        assert_eq!(sim.peek(empty).unwrap().to_u64(), Some(1));
+        sim.poke(push, 1).unwrap();
+        sim.poke(wdata, 0x33).unwrap();
+        sim.step().unwrap();
+        sim.poke(push, 0).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek(rdata).unwrap().to_u64(), Some(0x33));
+        assert_eq!(sim.peek(empty).unwrap().to_u64(), Some(0));
+        // Pop on empty after draining is a protocol error.
+        sim.poke(pop, 1).unwrap();
+        sim.step().unwrap();
+        let err = sim.step().unwrap_err();
+        assert!(matches!(err, SimError::Protocol { .. }));
+    }
+
+    #[test]
+    fn lifo_macro_reverses_order() {
+        let entity = Entity::builder("l")
+            .port("push", PortDir::In, 1)
+            .unwrap()
+            .port("pop", PortDir::In, 1)
+            .unwrap()
+            .port("wdata", PortDir::In, 8)
+            .unwrap()
+            .port("rdata", PortDir::Out, 8)
+            .unwrap()
+            .port("empty", PortDir::Out, 1)
+            .unwrap()
+            .port("full", PortDir::Out, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let push = nl.add_net("push", 1).unwrap();
+        let pop = nl.add_net("pop", 1).unwrap();
+        let wdata = nl.add_net("wdata", 8).unwrap();
+        let rdata = nl.add_net("rdata", 8).unwrap();
+        let empty = nl.add_net("empty", 1).unwrap();
+        let full = nl.add_net("full", 1).unwrap();
+        nl.add_cell(
+            "u_lifo",
+            Prim::LifoMacro { depth: 4, width: 8 },
+            vec![push, pop, wdata],
+            vec![rdata, empty, full],
+        )
+        .unwrap();
+        for (p, n) in [
+            ("push", push),
+            ("pop", pop),
+            ("wdata", wdata),
+            ("rdata", rdata),
+            ("empty", empty),
+            ("full", full),
+        ] {
+            nl.bind_port(p, n).unwrap();
+        }
+        let mut sim = Simulator::new();
+        let push_s = sim.add_signal("push", 1).unwrap();
+        let pop_s = sim.add_signal("pop", 1).unwrap();
+        let wdata_s = sim.add_signal("wdata", 8).unwrap();
+        let rdata_s = sim.add_signal("rdata", 8).unwrap();
+        let empty_s = sim.add_signal("empty", 1).unwrap();
+        let full_s = sim.add_signal("full", 1).unwrap();
+        let dut = NetlistComponent::new(
+            "dut",
+            nl,
+            sim.bus(),
+            &[
+                ("push", push_s),
+                ("pop", pop_s),
+                ("wdata", wdata_s),
+                ("rdata", rdata_s),
+                ("empty", empty_s),
+                ("full", full_s),
+            ],
+        )
+        .unwrap();
+        sim.add_component(dut);
+        sim.poke(push_s, 0).unwrap();
+        sim.poke(pop_s, 0).unwrap();
+        sim.poke(wdata_s, 0).unwrap();
+        sim.reset().unwrap();
+        for v in [5u64, 6, 7] {
+            sim.poke(push_s, 1).unwrap();
+            sim.poke(wdata_s, v).unwrap();
+            sim.step().unwrap();
+        }
+        sim.poke(push_s, 0).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            sim.settle().unwrap();
+            seen.push(sim.peek(rdata_s).unwrap().to_u64().unwrap());
+            sim.poke(pop_s, 1).unwrap();
+            sim.step().unwrap();
+            sim.poke(pop_s, 0).unwrap();
+        }
+        assert_eq!(seen, vec![7, 6, 5]);
+        sim.settle().unwrap();
+        assert_eq!(sim.peek(empty_s).unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn net_value_white_box_probe() {
+        let mut sim = Simulator::new();
+        let q = sim.add_signal("q", 8).unwrap();
+        let dut = NetlistComponent::new("dut", counter_netlist(), sim.bus(), &[("q", q)]).unwrap();
+        let id = sim.add_component(dut);
+        sim.reset().unwrap();
+        sim.run(3).unwrap();
+        let dut = sim.component::<NetlistComponent>(id).unwrap();
+        assert_eq!(dut.net_value("q").unwrap().to_u64(), Some(3));
+        assert_eq!(dut.net_value("d").unwrap().to_u64(), Some(4));
+        assert!(dut.net_value("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Testbench helpers: stimulus drivers and signal monitors.
+
+use crate::{Component, SignalBus, SignalId, SimError};
+use hdp_hdl::LogicVector;
+
+/// Drives a signal with a precomputed per-cycle sequence, then holds
+/// the last value. A convenient way to express fixed stimulus in tests
+/// without hand-stepping the simulator.
+#[derive(Debug)]
+pub struct Stimulus {
+    name: String,
+    signal: SignalId,
+    values: Vec<u64>,
+    width: usize,
+    cursor: usize,
+}
+
+impl Stimulus {
+    /// Creates a stimulus driving `signal` (of `width` bits) with
+    /// `values[0]` in the first cycle, `values[1]` in the second, and
+    /// so on, holding the final value afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, signal: SignalId, width: usize, values: Vec<u64>) -> Self {
+        assert!(!values.is_empty(), "stimulus needs at least one value");
+        Self {
+            name: name.into(),
+            signal,
+            values,
+            width,
+            cursor: 0,
+        }
+    }
+}
+
+impl Component for Stimulus {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        let v = self.values[self.cursor.min(self.values.len() - 1)];
+        let value = LogicVector::from_u64(v, self.width).map_err(SimError::from)?;
+        bus.drive(self.signal, value)
+    }
+
+    fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        if self.cursor + 1 < self.values.len() {
+            self.cursor += 1;
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.cursor = 0;
+        Ok(())
+    }
+}
+
+/// Records the settled pre-edge value of a signal every cycle.
+#[derive(Debug)]
+pub struct Monitor {
+    name: String,
+    signal: SignalId,
+    trace: Vec<LogicVector>,
+}
+
+impl Monitor {
+    /// Creates a monitor for `signal`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, signal: SignalId) -> Self {
+        Self {
+            name: name.into(),
+            signal,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The recorded per-cycle values.
+    #[must_use]
+    pub fn trace(&self) -> &[LogicVector] {
+        &self.trace
+    }
+
+    /// The recorded values as integers, skipping undefined cycles.
+    #[must_use]
+    pub fn defined_values(&self) -> Vec<u64> {
+        self.trace.iter().filter_map(LogicVector::to_u64).collect()
+    }
+}
+
+impl Component for Monitor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        Ok(())
+    }
+
+    fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        self.trace.push(bus.read(self.signal)?);
+        Ok(())
+    }
+
+    fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.trace.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    #[test]
+    fn stimulus_plays_sequence_and_holds() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 8).unwrap();
+        sim.add_component(Stimulus::new("stim", s, 8, vec![3, 1, 4]));
+        let mon = sim.add_component(Monitor::new("mon", s));
+        sim.reset().unwrap();
+        sim.run(5).unwrap();
+        let mon = sim.component::<Monitor>(mon).unwrap();
+        assert_eq!(mon.defined_values(), vec![3, 1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn monitor_clears_on_reset() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 4).unwrap();
+        sim.poke(s, 2).unwrap();
+        let mon = sim.add_component(Monitor::new("mon", s));
+        sim.reset().unwrap();
+        sim.run(2).unwrap();
+        sim.reset().unwrap();
+        assert!(sim.component::<Monitor>(mon).unwrap().trace().is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Signals: the wires connecting simulated components.
+
+use crate::SimError;
+use hdp_hdl::LogicVector;
+
+/// Identifier of a signal inside one [`crate::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) usize);
+
+impl SignalId {
+    /// The raw index of the signal.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    name: String,
+    value: LogicVector,
+    /// Whether any component wrote the signal during the current
+    /// settle iteration (used for multi-driver resolution).
+    written_this_pass: bool,
+    /// Whether the value changed during the current settle iteration.
+    changed: bool,
+}
+
+/// The set of signal values visible to components.
+///
+/// Components receive a `&mut SignalBus` in [`crate::Component::eval`]
+/// and [`crate::Component::tick`]; they read inputs with
+/// [`SignalBus::read`] and drive outputs with [`SignalBus::drive`].
+///
+/// Driving follows VHDL resolution semantics per settle iteration: the
+/// first drive of an iteration replaces the value, later drives of the
+/// same iteration resolve against it bit by bit (so several tri-state
+/// drivers can legally share a bus by driving `'Z'` when inactive).
+#[derive(Debug, Default)]
+pub struct SignalBus {
+    slots: Vec<Slot>,
+}
+
+impl SignalBus {
+    pub(crate) fn add(
+        &mut self,
+        name: impl Into<String>,
+        width: usize,
+    ) -> Result<SignalId, SimError> {
+        let name = name.into();
+        if self.slots.iter().any(|s| s.name == name) {
+            return Err(SimError::DuplicateSignal { name });
+        }
+        let value = LogicVector::unknown(width).map_err(SimError::from)?;
+        self.slots.push(Slot {
+            name,
+            value,
+            written_this_pass: false,
+            changed: false,
+        });
+        Ok(SignalId(self.slots.len() - 1))
+    }
+
+    /// The number of signals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no signals exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The name of a signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSignal`] for a stale id.
+    pub fn name(&self, id: SignalId) -> Result<&str, SimError> {
+        self.slots
+            .get(id.0)
+            .map(|s| s.name.as_str())
+            .ok_or(SimError::UnknownSignal { index: id.0 })
+    }
+
+    /// The width of a signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSignal`] for a stale id.
+    pub fn width(&self, id: SignalId) -> Result<usize, SimError> {
+        self.slots
+            .get(id.0)
+            .map(|s| s.value.width())
+            .ok_or(SimError::UnknownSignal { index: id.0 })
+    }
+
+    /// Reads the current value of a signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSignal`] for a stale id.
+    pub fn read(&self, id: SignalId) -> Result<LogicVector, SimError> {
+        self.slots
+            .get(id.0)
+            .map(|s| s.value)
+            .ok_or(SimError::UnknownSignal { index: id.0 })
+    }
+
+    /// Reads a signal as a defined integer, treating undefined values
+    /// as a protocol error attributed to `component`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Protocol`] if the value contains `X`/`Z`.
+    pub fn read_u64(&self, id: SignalId, component: &str) -> Result<u64, SimError> {
+        let v = self.read(id)?;
+        v.to_u64().ok_or_else(|| SimError::Protocol {
+            component: component.to_owned(),
+            message: format!("signal `{}` is undefined ({v})", self.slots[id.0].name),
+        })
+    }
+
+    /// Drives a signal with a new value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SignalWidth`] on width mismatch or
+    /// [`SimError::UnknownSignal`] for a stale id.
+    pub fn drive(&mut self, id: SignalId, value: LogicVector) -> Result<(), SimError> {
+        let slot = self
+            .slots
+            .get_mut(id.0)
+            .ok_or(SimError::UnknownSignal { index: id.0 })?;
+        if slot.value.width() != value.width() {
+            return Err(SimError::SignalWidth {
+                signal: slot.name.clone(),
+                expected: slot.value.width(),
+                found: value.width(),
+            });
+        }
+        let new = if slot.written_this_pass {
+            slot.value.resolve(&value).map_err(SimError::from)?
+        } else {
+            value
+        };
+        if new != slot.value {
+            slot.value = new;
+            slot.changed = true;
+        }
+        slot.written_this_pass = true;
+        Ok(())
+    }
+
+    /// Drives a signal with a defined integer value.
+    ///
+    /// # Errors
+    ///
+    /// As [`SignalBus::drive`], plus width overflow from the value.
+    pub fn drive_u64(&mut self, id: SignalId, value: u64) -> Result<(), SimError> {
+        let width = self.width(id)?;
+        let v = LogicVector::from_u64(value, width).map_err(SimError::from)?;
+        self.drive(id, v)
+    }
+
+    /// Begins a settle iteration: clears per-pass write/change flags.
+    pub(crate) fn begin_pass(&mut self) {
+        for slot in &mut self.slots {
+            slot.written_this_pass = false;
+            slot.changed = false;
+        }
+    }
+
+    /// Whether any signal changed during the current settle iteration.
+    pub(crate) fn any_changed(&self) -> bool {
+        self.slots.iter().any(|s| s.changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_read_back() {
+        let mut bus = SignalBus::default();
+        let a = bus.add("a", 8).unwrap();
+        assert_eq!(bus.width(a).unwrap(), 8);
+        assert_eq!(bus.name(a).unwrap(), "a");
+        assert_eq!(bus.read(a).unwrap().to_u64(), None); // starts X
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut bus = SignalBus::default();
+        bus.add("a", 1).unwrap();
+        assert!(matches!(
+            bus.add("a", 1),
+            Err(SimError::DuplicateSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn drive_and_change_tracking() {
+        let mut bus = SignalBus::default();
+        let a = bus.add("a", 8).unwrap();
+        bus.begin_pass();
+        assert!(!bus.any_changed());
+        bus.drive_u64(a, 7).unwrap();
+        assert!(bus.any_changed());
+        assert_eq!(bus.read(a).unwrap().to_u64(), Some(7));
+        bus.begin_pass();
+        bus.drive_u64(a, 7).unwrap();
+        assert!(!bus.any_changed(), "same value is not a change");
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut bus = SignalBus::default();
+        let a = bus.add("a", 8).unwrap();
+        let v = LogicVector::from_u64(0, 4).unwrap();
+        assert!(matches!(bus.drive(a, v), Err(SimError::SignalWidth { .. })));
+    }
+
+    #[test]
+    fn second_drive_in_pass_resolves() {
+        let mut bus = SignalBus::default();
+        let a = bus.add("a", 4).unwrap();
+        bus.begin_pass();
+        bus.drive(a, LogicVector::high_z(4).unwrap()).unwrap();
+        bus.drive(a, LogicVector::from_u64(9, 4).unwrap()).unwrap();
+        assert_eq!(bus.read(a).unwrap().to_u64(), Some(9));
+        // Conflicting strong drivers resolve to X.
+        bus.begin_pass();
+        bus.drive(a, LogicVector::from_u64(0xF, 4).unwrap())
+            .unwrap();
+        bus.drive(a, LogicVector::from_u64(0x0, 4).unwrap())
+            .unwrap();
+        assert_eq!(bus.read(a).unwrap().to_u64(), None);
+    }
+
+    #[test]
+    fn read_u64_reports_undefined_as_protocol_error() {
+        let mut bus = SignalBus::default();
+        let a = bus.add("a", 4).unwrap();
+        let err = bus.read_u64(a, "dut").unwrap_err();
+        assert!(matches!(err, SimError::Protocol { component, .. } if component == "dut"));
+    }
+}

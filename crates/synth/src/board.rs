@@ -1,0 +1,120 @@
+//! The XSB-300E target platform.
+//!
+//! "As a target platform we use the XSB-300E board from XESS" (§4):
+//! a Xilinx Spartan-IIE XC2S300E with external SRAM, a SAA7113 video
+//! decoder and a VGA DAC.
+
+use crate::map::ResourceReport;
+
+/// An FPGA device's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Available flip-flops.
+    pub ffs: usize,
+    /// Available 4-input LUTs.
+    pub luts: usize,
+    /// Available Block SelectRAMs.
+    pub brams: usize,
+}
+
+impl Device {
+    /// Whether a mapped design fits this device.
+    #[must_use]
+    pub fn fits(&self, r: ResourceReport) -> bool {
+        r.ffs <= self.ffs && r.luts <= self.luts && r.brams <= self.brams
+    }
+
+    /// Utilisation of the scarcest resource, 0..=1 (or above 1 when
+    /// the design does not fit).
+    #[must_use]
+    pub fn utilisation(&self, r: ResourceReport) -> f64 {
+        let ff = r.ffs as f64 / self.ffs as f64;
+        let lut = r.luts as f64 / self.luts as f64;
+        let bram = r.brams as f64 / self.brams as f64;
+        ff.max(lut).max(bram)
+    }
+}
+
+/// The Spartan-IIE XC2S300E: 3072 slices (two LUT/FF pairs each) and
+/// sixteen 4-kbit Block SelectRAMs.
+pub const XC2S300E: Device = Device {
+    name: "XC2S300E",
+    ffs: 6144,
+    luts: 6144,
+    brams: 16,
+};
+
+/// The XSB-300E board: the FPGA plus its external SRAM timing.
+#[derive(Debug, Clone, Copy)]
+pub struct Xsb300e {
+    /// The FPGA.
+    pub device: Device,
+    /// External SRAM access latency in system-clock cycles for the
+    /// req/ack controller (a 10 ns asynchronous part behind
+    /// registered pads needs two cycles at ~100 MHz).
+    pub sram_latency_cycles: u32,
+}
+
+impl Default for Xsb300e {
+    fn default() -> Self {
+        Self {
+            device: XC2S300E,
+            sram_latency_cycles: 2,
+        }
+    }
+}
+
+impl Xsb300e {
+    /// The default board configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_designs_fit_the_device() {
+        // Table 3's largest row: 3145 FFs, 4170 LUTs, 2 block RAM.
+        let blur = ResourceReport {
+            ffs: 3145,
+            luts: 4170,
+            brams: 2,
+        };
+        assert!(XC2S300E.fits(blur));
+        assert!(XC2S300E.utilisation(blur) < 1.0);
+    }
+
+    #[test]
+    fn oversized_design_is_rejected() {
+        let huge = ResourceReport {
+            ffs: 10_000,
+            luts: 100,
+            brams: 0,
+        };
+        assert!(!XC2S300E.fits(huge));
+        assert!(XC2S300E.utilisation(huge) > 1.0);
+    }
+
+    #[test]
+    fn bram_is_the_scarce_resource_for_buffers() {
+        let r = ResourceReport {
+            ffs: 100,
+            luts: 100,
+            brams: 8,
+        };
+        assert_eq!(XC2S300E.utilisation(r), 0.5);
+    }
+
+    #[test]
+    fn board_default() {
+        let b = Xsb300e::new();
+        assert_eq!(b.device.name, "XC2S300E");
+        assert!(b.sram_latency_cycles >= 1);
+    }
+}

@@ -1,0 +1,450 @@
+//! Design-space characterisation (§3.4).
+//!
+//! "Since components are generated automatically, it is feasible to
+//! generate versions of each one for every physical target and range
+//! of configuration parameters. This characterization of the design
+//! space would delimit the region of interest given a certain set of
+//! constraints."
+//!
+//! [`sweep`] does exactly that: it invokes the metaprogramming
+//! generator for every container×target×parameter combination,
+//! synthesizes each variant, and records area, access time and power.
+//! [`region_of_interest`] then filters the table by constraints.
+
+use crate::board::Xsb300e;
+use crate::power::estimate_mw;
+use crate::{synthesize, SynthReport};
+use hdp_hdl::HdlError;
+use hdp_metagen::container_gen::{rbuffer_fifo, rbuffer_sram, wbuffer_fifo, ContainerParams};
+use hdp_metagen::design;
+use hdp_metagen::ops::{MethodOp, OpSet};
+use std::fmt;
+
+/// One point of the characterised design space.
+#[derive(Debug, Clone)]
+pub struct CharPoint {
+    /// Container family (`"rbuffer"`, `"wbuffer"`).
+    pub container: &'static str,
+    /// Physical target (`"fifo core"`, `"external sram"`).
+    pub target: &'static str,
+    /// Element width in bits.
+    pub data_width: usize,
+    /// Capacity in elements.
+    pub depth: usize,
+    /// On-chip cost and clock, device macro included.
+    pub report: SynthReport,
+    /// Cycles for one element access in steady state.
+    pub access_cycles: u32,
+    /// Estimated power at the achievable clock, in mW.
+    pub power_mw: f64,
+}
+
+impl fmt::Display for CharPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} over {:<13} {:>2}b x{:<4} | {:>4} FF {:>4} LUT {:>2} BRAM | {:>3.0} MHz | {:>2} cyc/access | {:>5.1} mW",
+            self.container,
+            self.target,
+            self.data_width,
+            self.depth,
+            self.report.ffs,
+            self.report.luts,
+            self.report.brams,
+            self.report.clk_mhz,
+            self.access_cycles,
+            self.power_mw
+        )
+    }
+}
+
+/// The parameter grid of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Element widths to characterise.
+    pub data_widths: Vec<usize>,
+    /// Capacities to characterise.
+    pub depths: Vec<usize>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        Self {
+            data_widths: vec![8, 16, 24],
+            depths: vec![64, 256, 512, 1024],
+        }
+    }
+}
+
+/// Runs the full characterisation sweep on the given board.
+///
+/// # Errors
+///
+/// Propagates generator and synthesis failures.
+pub fn sweep(board: &Xsb300e, grid: &SweepGrid) -> Result<Vec<CharPoint>, HdlError> {
+    let mut points = Vec::new();
+    let activity = 0.125;
+    for &data_width in &grid.data_widths {
+        for &depth in &grid.depths {
+            let params = ContainerParams {
+                data_width,
+                depth,
+                addr_width: 16,
+            };
+            // Read buffer over a FIFO core: container wrapper plus the
+            // dual-clock core macro.
+            {
+                let wrapper = synthesize(&rbuffer_fifo(params, OpSet::figure4())?)?;
+                let core = crate::map::prim_cost(&hdp_hdl::prim::Prim::FifoMacro {
+                    depth,
+                    width: data_width,
+                });
+                let report = SynthReport {
+                    ffs: wrapper.ffs + core.ffs,
+                    luts: wrapper.luts + core.luts,
+                    brams: wrapper.brams + core.brams,
+                    clk_mhz: wrapper.clk_mhz.min(125.0),
+                };
+                points.push(CharPoint {
+                    container: "rbuffer",
+                    target: "fifo core",
+                    data_width,
+                    depth,
+                    report,
+                    access_cycles: 1,
+                    power_mw: estimate_mw(
+                        crate::map::ResourceReport {
+                            ffs: report.ffs,
+                            luts: report.luts,
+                            brams: report.brams,
+                        },
+                        report.clk_mhz,
+                        activity,
+                    ),
+                });
+            }
+            // Read buffer over external SRAM: the generated FSM; the
+            // storage is off-chip.
+            {
+                let report = synthesize(&rbuffer_sram(params, OpSet::figure4())?)?;
+                let access = 2 * board.sram_latency_cycles + 2;
+                points.push(CharPoint {
+                    container: "rbuffer",
+                    target: "external sram",
+                    data_width,
+                    depth,
+                    report,
+                    access_cycles: access,
+                    power_mw: estimate_mw(
+                        crate::map::ResourceReport {
+                            ffs: report.ffs,
+                            luts: report.luts,
+                            brams: report.brams,
+                        },
+                        report.clk_mhz,
+                        activity,
+                    ),
+                });
+            }
+            // Write buffer over a FIFO core.
+            {
+                let wrapper = synthesize(&wbuffer_fifo(
+                    params,
+                    OpSet::of(&[MethodOp::Push, MethodOp::Full]),
+                )?)?;
+                let core = crate::map::prim_cost(&hdp_hdl::prim::Prim::FifoMacro {
+                    depth,
+                    width: data_width,
+                });
+                let report = SynthReport {
+                    ffs: wrapper.ffs + core.ffs,
+                    luts: wrapper.luts + core.luts,
+                    brams: wrapper.brams + core.brams,
+                    clk_mhz: wrapper.clk_mhz.min(125.0),
+                };
+                points.push(CharPoint {
+                    container: "wbuffer",
+                    target: "fifo core",
+                    data_width,
+                    depth,
+                    report,
+                    access_cycles: 1,
+                    power_mw: estimate_mw(
+                        crate::map::ResourceReport {
+                            ffs: report.ffs,
+                            luts: report.luts,
+                            brams: report.brams,
+                        },
+                        report.clk_mhz,
+                        activity,
+                    ),
+                });
+            }
+            // Stack over a LIFO core.
+            {
+                let wrapper = synthesize(&hdp_metagen::stack_gen::stack_lifo(
+                    params,
+                    OpSet::of(&[
+                        MethodOp::Push,
+                        MethodOp::Pop,
+                        MethodOp::Empty,
+                        MethodOp::Full,
+                    ]),
+                )?)?;
+                let core = crate::map::prim_cost(&hdp_hdl::prim::Prim::LifoMacro {
+                    depth,
+                    width: data_width,
+                });
+                let report = SynthReport {
+                    ffs: wrapper.ffs + core.ffs,
+                    luts: wrapper.luts + core.luts,
+                    brams: wrapper.brams + core.brams,
+                    clk_mhz: wrapper.clk_mhz.min(150.0),
+                };
+                points.push(CharPoint {
+                    container: "stack",
+                    target: "lifo core",
+                    data_width,
+                    depth,
+                    report,
+                    access_cycles: 1,
+                    power_mw: estimate_mw(
+                        crate::map::ResourceReport {
+                            ffs: report.ffs,
+                            luts: report.luts,
+                            brams: report.brams,
+                        },
+                        report.clk_mhz,
+                        activity,
+                    ),
+                });
+            }
+            // Vector over on-chip block RAM (random iterator).
+            {
+                let report = synthesize(&hdp_metagen::stack_gen::vector_bram(
+                    params,
+                    OpSet::of(&[
+                        MethodOp::Read,
+                        MethodOp::Write,
+                        MethodOp::Inc,
+                        MethodOp::Dec,
+                        MethodOp::Index,
+                    ]),
+                )?)?;
+                points.push(CharPoint {
+                    container: "vector",
+                    target: "block ram",
+                    data_width,
+                    depth,
+                    report,
+                    access_cycles: 2, // synchronous read: issue + data
+                    power_mw: estimate_mw(
+                        crate::map::ResourceReport {
+                            ffs: report.ffs,
+                            luts: report.luts,
+                            brams: report.brams,
+                        },
+                        report.clk_mhz,
+                        activity,
+                    ),
+                });
+            }
+        }
+    }
+    Ok(points)
+}
+
+/// Constraints delimiting the region of interest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Constraints {
+    /// Maximum block RAMs the container may consume.
+    pub max_brams: Option<usize>,
+    /// Maximum LUTs.
+    pub max_luts: Option<usize>,
+    /// Maximum flip-flops.
+    pub max_ffs: Option<usize>,
+    /// Maximum cycles per element access.
+    pub max_access_cycles: Option<u32>,
+    /// Maximum power in mW.
+    pub max_power_mw: Option<f64>,
+}
+
+/// Filters a sweep down to the points meeting every constraint — the
+/// paper's "region of interest given a certain set of constraints".
+#[must_use]
+pub fn region_of_interest(points: &[CharPoint], constraints: Constraints) -> Vec<&CharPoint> {
+    points
+        .iter()
+        .filter(|p| {
+            constraints.max_brams.is_none_or(|m| p.report.brams <= m)
+                && constraints.max_luts.is_none_or(|m| p.report.luts <= m)
+                && constraints.max_ffs.is_none_or(|m| p.report.ffs <= m)
+                && constraints
+                    .max_access_cycles
+                    .is_none_or(|m| p.access_cycles <= m)
+                && constraints.max_power_mw.is_none_or(|m| p.power_mw <= m)
+        })
+        .collect()
+}
+
+/// Serialises a sweep as CSV (header plus one row per point), for
+/// external plotting of the design space.
+#[must_use]
+pub fn to_csv(points: &[CharPoint]) -> String {
+    let mut out = String::from(
+        "container,target,data_width,depth,ffs,luts,brams,clk_mhz,access_cycles,power_mw\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{:.1},{},{:.2}\n",
+            p.container,
+            p.target,
+            p.data_width,
+            p.depth,
+            p.report.ffs,
+            p.report.luts,
+            p.report.brams,
+            p.report.clk_mhz,
+            p.access_cycles,
+            p.power_mw
+        ));
+    }
+    out
+}
+
+/// Synthesizes all six Table 3 rows (three designs × two styles) with
+/// the paper's default parameters — the core of the Table 3
+/// experiment.
+///
+/// # Errors
+///
+/// Propagates generator and synthesis failures.
+pub fn table3_rows() -> Result<Vec<(design::DesignKind, design::Style, SynthReport)>, HdlError> {
+    let mut rows = Vec::new();
+    for kind in design::DesignKind::ALL {
+        for style in [design::Style::Pattern, design::Style::Custom] {
+            let d = design::generate(kind, style, design::DesignParams::paper_default())?;
+            rows.push((kind, style, synthesize(&d.netlist)?));
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_metagen::design::{DesignKind, Style};
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let grid = SweepGrid {
+            data_widths: vec![8],
+            depths: vec![64, 512],
+        };
+        let points = sweep(&Xsb300e::new(), &grid).unwrap();
+        // 5 container/target combinations x 2 depths.
+        assert_eq!(points.len(), 10);
+        assert!(points.iter().all(|p| p.report.clk_mhz > 0.0));
+    }
+
+    #[test]
+    fn sram_container_uses_no_bram_fifo_does() {
+        let grid = SweepGrid {
+            data_widths: vec![8],
+            depths: vec![512],
+        };
+        let points = sweep(&Xsb300e::new(), &grid).unwrap();
+        let fifo = points
+            .iter()
+            .find(|p| p.container == "rbuffer" && p.target == "fifo core")
+            .unwrap();
+        let sram = points
+            .iter()
+            .find(|p| p.container == "rbuffer" && p.target == "external sram")
+            .unwrap();
+        assert!(fifo.report.brams > 0);
+        assert_eq!(sram.report.brams, 0);
+        // The paper's trade-off: the FIFO is the fast point, the SRAM
+        // the cheap point.
+        assert!(fifo.access_cycles < sram.access_cycles);
+        assert!(fifo.report.ffs > sram.report.ffs);
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let grid = SweepGrid {
+            data_widths: vec![8],
+            depths: vec![64],
+        };
+        let points = sweep(&Xsb300e::new(), &grid).unwrap();
+        let csv = to_csv(&points);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("container,target"));
+        assert_eq!(lines.count(), points.len());
+        assert!(csv.contains("fifo core"));
+    }
+
+    #[test]
+    fn region_of_interest_filters() {
+        let grid = SweepGrid {
+            data_widths: vec![8],
+            depths: vec![512],
+        };
+        let points = sweep(&Xsb300e::new(), &grid).unwrap();
+        let no_bram = region_of_interest(
+            &points,
+            Constraints {
+                max_brams: Some(0),
+                ..Constraints::default()
+            },
+        );
+        assert!(!no_bram.is_empty());
+        assert!(no_bram.iter().all(|p| p.report.brams == 0));
+        let fast = region_of_interest(
+            &points,
+            Constraints {
+                max_access_cycles: Some(1),
+                ..Constraints::default()
+            },
+        );
+        // Single-cycle access points are the stream cores.
+        assert!(fast
+            .iter()
+            .all(|p| p.target == "fifo core" || p.target == "lifo core"));
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn table3_shape_holds() {
+        let rows = table3_rows().unwrap();
+        assert_eq!(rows.len(), 6);
+        let get = |k: DesignKind, s: Style| {
+            rows.iter()
+                .find(|(kk, ss, _)| *kk == k && *ss == s)
+                .map(|(_, _, r)| *r)
+                .unwrap()
+        };
+        let s1p = get(DesignKind::Saa2vga1, Style::Pattern);
+        let s1c = get(DesignKind::Saa2vga1, Style::Custom);
+        let s2p = get(DesignKind::Saa2vga2, Style::Pattern);
+        let blur_p = get(DesignKind::Blur, Style::Pattern);
+        let blur_c = get(DesignKind::Blur, Style::Custom);
+        // Row 1: 2 block RAMs, pattern == custom after dissolution.
+        assert_eq!(s1p.brams, 2);
+        assert_eq!(s1p.ffs, s1c.ffs, "wrappers must dissolve");
+        assert_eq!(s1p.luts, s1c.luts);
+        // Row 2: no block RAM, smaller than row 1 in FFs (the paper's
+        // 147 vs 69 relation).
+        assert_eq!(s2p.brams, 0);
+        assert!(s2p.ffs < s1p.ffs, "{} !< {}", s2p.ffs, s1p.ffs);
+        // Row 3: blur is the big design.
+        assert!(blur_p.ffs > s1p.ffs);
+        assert!(blur_p.luts > s1p.luts);
+        assert_eq!(blur_p.brams, blur_c.brams);
+        // Negligible overhead everywhere (<= 2% or a few cells).
+        for (p, c) in [(s1p, s1c), (blur_p, blur_c)] {
+            let dl = p.luts.abs_diff(c.luts);
+            assert!(dl * 50 <= c.luts.max(50), "LUT delta {dl} too large");
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Resource mapping: primitive → Spartan-II FF / 4-LUT / Block
+//! SelectRAM costs.
+//!
+//! Every formula is documented at its match arm. Two calibration
+//! points deserve a note:
+//!
+//! * **FIFO cores** are costed as *dual-clock* vendor macros: on the
+//!   XSB-300E the SAA7113 video decoder runs on its own pixel clock,
+//!   so the generated designs' input FIFOs carry gray-code pointer
+//!   pairs and two-stage synchronisers in both directions — that is
+//!   why the paper's FIFO design (`saa2vga 1`, 147 FFs) is *larger*
+//!   than the SRAM design (`saa2vga 2`, 69 FFs) despite the latter's
+//!   extra FSM.
+//! * **Block SelectRAMs** are 4096 bits each (the Spartan-IIE
+//!   primitive), so a 512×8 FIFO costs exactly one block — matching
+//!   the "2 block RAM" of the paper's first design row.
+
+use hdp_hdl::prim::{CmpKind, Prim};
+use hdp_hdl::Netlist;
+
+/// Spartan-IIE Block SelectRAM capacity in bits.
+pub const BLOCK_RAM_BITS: usize = 4096;
+
+/// Mapped resource counts for one netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceReport {
+    /// Flip-flops.
+    pub ffs: usize,
+    /// 4-input LUTs.
+    pub luts: usize,
+    /// Block SelectRAMs.
+    pub brams: usize,
+}
+
+impl ResourceReport {
+    /// Component-wise sum.
+    // An `Add` impl would suggest operator semantics this plain struct
+    // does not otherwise carry; keep the explicit method.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn add(self, other: ResourceReport) -> ResourceReport {
+        ResourceReport {
+            ffs: self.ffs + other.ffs,
+            luts: self.luts + other.luts,
+            brams: self.brams + other.brams,
+        }
+    }
+}
+
+/// LUTs to realise one output bit of a `k`-input boolean function:
+/// one 4-LUT absorbs 4 inputs, each further LUT in the tree absorbs 3
+/// more.
+#[must_use]
+pub fn luts_for_inputs(k: usize) -> usize {
+    if k <= 4 {
+        1
+    } else {
+        1 + (k - 4).div_ceil(3)
+    }
+}
+
+/// Block RAMs for a `depth` × `width` memory.
+#[must_use]
+pub fn brams_for(depth: usize, width: usize) -> usize {
+    (depth * width).div_ceil(BLOCK_RAM_BITS)
+}
+
+fn addr_bits(depth: usize) -> usize {
+    usize::max(
+        1,
+        usize::BITS as usize - (depth.next_power_of_two() - 1).leading_zeros() as usize,
+    )
+}
+
+/// The resource cost of a single primitive.
+#[must_use]
+pub fn prim_cost(prim: &Prim) -> ResourceReport {
+    let r = ResourceReport::default();
+    match prim {
+        // Pure wiring: free. (Wrapper Bufs are normally dissolved
+        // before mapping; if one survives it is still just a wire.)
+        Prim::Const { .. } | Prim::Buf { .. } | Prim::Slice { .. } | Prim::Concat { .. } => r,
+        // Registers: one FF per bit; the clock enable uses the
+        // slice's dedicated CE pin.
+        Prim::Reg { width, .. } => ResourceReport { ffs: *width, ..r },
+        // Inverters fold into the downstream LUT's init vector.
+        Prim::Not { .. } => r,
+        // A two-input gate: one LUT per bit (a 4-LUT trivially holds
+        // a 2-input function; adjacent gates are not re-packed, which
+        // slightly overcounts both design styles equally).
+        Prim::Gate { width, .. } => ResourceReport { luts: *width, ..r },
+        // Reductions: a LUT tree over `width` inputs.
+        Prim::ReduceOr { width } | Prim::ReduceAnd { width } => ResourceReport {
+            luts: luts_for_inputs(*width),
+            ..r
+        },
+        // Carry-chain arithmetic: one LUT per bit.
+        Prim::Add { width } | Prim::Sub { width } | Prim::Inc { width } => {
+            ResourceReport { luts: *width, ..r }
+        }
+        // Comparators on the carry chain: equality packs two bits per
+        // LUT; magnitude needs the full borrow chain.
+        Prim::Cmp { kind, width } => ResourceReport {
+            luts: match kind {
+                CmpKind::Eq | CmpKind::Ne => width.div_ceil(2) + 1,
+                CmpKind::Lt | CmpKind::Ge => *width,
+            },
+            ..r
+        },
+        // A 2:1 mux per bit per stage: a 4-LUT implements one 2:1 mux
+        // bit, wider selects build a tree of ways-1 such muxes.
+        Prim::Mux { width, ways } => ResourceReport {
+            luts: width * (ways - 1),
+            ..r
+        },
+        // Truth-table logic: an independent LUT tree per output bit
+        // over all table inputs.
+        Prim::TruthTable {
+            in_widths,
+            out_width,
+            ..
+        } => {
+            let k: usize = in_widths.iter().sum();
+            ResourceReport {
+                luts: out_width * luts_for_inputs(k),
+                ..r
+            }
+        }
+        // Spartan-II has dedicated TBUF resources; no LUTs.
+        Prim::TriBuf { .. } => r,
+        // Single-port synchronous RAM: one registered read port is
+        // part of the block; no fabric cost beyond the blocks.
+        Prim::BlockRam {
+            addr_width,
+            data_width,
+        } => ResourceReport {
+            brams: brams_for(1 << addr_width, *data_width),
+            ..r
+        },
+        // FIFO macros. Small ones (up to 64 deep) map onto SRL16
+        // shift registers in distributed RAM, the way coregen builds
+        // shallow FIFOs: no block RAM, one LUT per 16 bits of
+        // storage, a small single-clock pointer. Deep FIFOs are
+        // dual-clock vendor macros (see module docs): binary and gray
+        // read/write pointers (4·aw), two 2-stage pointer
+        // synchronisers (4·aw), status flags and handshake registers.
+        Prim::FifoMacro { depth, width } => {
+            let aw = addr_bits(*depth);
+            if *depth <= 64 {
+                ResourceReport {
+                    ffs: 2 * aw + 4,
+                    luts: width * depth.div_ceil(16) + 2 * aw + 4,
+                    brams: 0,
+                }
+            } else {
+                ResourceReport {
+                    ffs: 8 * aw + 6,
+                    luts: 9 * aw + 8,
+                    brams: brams_for(*depth, *width),
+                }
+            }
+        }
+        // Single-clock LIFO macro: one stack pointer plus status.
+        Prim::LifoMacro { depth, width } => {
+            let aw = addr_bits(*depth);
+            ResourceReport {
+                ffs: aw + 4,
+                luts: 2 * aw + 6,
+                brams: brams_for(*depth, *width),
+            }
+        }
+    }
+}
+
+/// Maps a whole netlist.
+#[must_use]
+pub fn map_resources(netlist: &Netlist) -> ResourceReport {
+    netlist
+        .cells()
+        .iter()
+        .fold(ResourceReport::default(), |acc, c| {
+            acc.add(prim_cost(c.prim()))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_hdl::prim::GateOp;
+
+    #[test]
+    fn lut_tree_formula() {
+        assert_eq!(luts_for_inputs(1), 1);
+        assert_eq!(luts_for_inputs(4), 1);
+        assert_eq!(luts_for_inputs(5), 2);
+        assert_eq!(luts_for_inputs(7), 2);
+        assert_eq!(luts_for_inputs(8), 3);
+        assert_eq!(luts_for_inputs(10), 3);
+        assert_eq!(luts_for_inputs(13), 4);
+    }
+
+    #[test]
+    fn bram_packing() {
+        assert_eq!(brams_for(512, 8), 1); // exactly one 4-kbit block
+        assert_eq!(brams_for(512, 9), 2);
+        assert_eq!(brams_for(1024, 8), 2);
+        assert_eq!(brams_for(16, 8), 1);
+    }
+
+    #[test]
+    fn register_costs_ffs_only() {
+        let c = prim_cost(&Prim::Reg {
+            width: 10,
+            has_enable: true,
+            reset_value: 0,
+        });
+        assert_eq!(c.ffs, 10);
+        assert_eq!(c.luts, 0);
+    }
+
+    #[test]
+    fn wrappers_are_free() {
+        for prim in [
+            Prim::Buf { width: 24 },
+            Prim::Slice {
+                in_width: 24,
+                low: 8,
+                len: 8,
+            },
+            Prim::Concat { widths: vec![8, 8] },
+        ] {
+            let c = prim_cost(&prim);
+            assert_eq!(c, ResourceReport::default(), "{prim:?}");
+        }
+    }
+
+    #[test]
+    fn fifo_macro_is_chunky_dual_clock() {
+        let c = prim_cost(&Prim::FifoMacro {
+            depth: 512,
+            width: 8,
+        });
+        // aw = 9: 78 FFs, 89 LUTs, 1 block — two of these land near
+        // the paper's 147 FF / 169 LUT / 2 BRAM row.
+        assert_eq!(c.ffs, 78);
+        assert_eq!(c.luts, 89);
+        assert_eq!(c.brams, 1);
+    }
+
+    #[test]
+    fn truth_table_cost_scales_with_inputs_and_outputs() {
+        let small = prim_cost(&Prim::TruthTable {
+            in_widths: vec![2, 1],
+            out_width: 2,
+            table: vec![0; 8],
+        });
+        assert_eq!(small.luts, 2);
+        let big = prim_cost(&Prim::TruthTable {
+            in_widths: vec![3, 4],
+            out_width: 4,
+            table: vec![0; 128],
+        });
+        assert_eq!(big.luts, 4 * 2);
+    }
+
+    #[test]
+    fn gate_cost_per_bit() {
+        let c = prim_cost(&Prim::Gate {
+            op: GateOp::And,
+            width: 8,
+        });
+        assert_eq!(c.luts, 8);
+    }
+
+    #[test]
+    fn reports_add() {
+        let a = ResourceReport {
+            ffs: 1,
+            luts: 2,
+            brams: 3,
+        };
+        let b = ResourceReport {
+            ffs: 10,
+            luts: 20,
+            brams: 30,
+        };
+        assert_eq!(
+            a.add(b),
+            ResourceReport {
+                ffs: 11,
+                luts: 22,
+                brams: 33
+            }
+        );
+    }
+}

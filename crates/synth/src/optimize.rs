@@ -1,0 +1,177 @@
+//! Netlist optimization: wrapper dissolution.
+
+use hdp_hdl::prim::Prim;
+use hdp_hdl::{HdlError, NetId, Netlist};
+
+/// Removes every [`Prim::Buf`] cell by aliasing its output net to its
+/// input net — the synthesis behaviour the paper relies on: "the
+/// iterators, which are only wrappers that will be dissolved at the
+/// time of synthesizing the design" (§4).
+///
+/// Nets that end up with neither drivers nor readers are dropped.
+/// Entity port bindings are remapped through the aliases, so the
+/// optimized netlist implements the identical entity.
+///
+/// # Errors
+///
+/// Propagates structural errors from rebuilding the netlist; the
+/// result is re-validated before being returned.
+pub fn dissolve_wrappers(netlist: &Netlist) -> Result<Netlist, HdlError> {
+    // Union-find of net aliases: buf output -> buf input.
+    let n = netlist.nets().len();
+    let mut alias: Vec<usize> = (0..n).collect();
+    fn find(alias: &mut [usize], mut x: usize) -> usize {
+        while alias[x] != x {
+            alias[x] = alias[alias[x]];
+            x = alias[x];
+        }
+        x
+    }
+    for cell in netlist.cells() {
+        if matches!(cell.prim(), Prim::Buf { .. }) {
+            let input = cell.inputs()[0].index();
+            let output = cell.outputs()[0].index();
+            let ri = find(&mut alias, input);
+            let ro = find(&mut alias, output);
+            if ri != ro {
+                // The output is a pure alias of the input.
+                alias[ro] = ri;
+            }
+        }
+    }
+    // A port-bound net must survive; prefer binding roots onto
+    // port-bound representatives where possible. Instead of choosing
+    // representatives cleverly, remap everything to the root and keep
+    // any net that is used after remapping.
+    let root_of: Vec<usize> = (0..n).map(|i| find(&mut alias, i)).collect();
+    // Collect used roots (cell pins of surviving cells + port
+    // bindings).
+    let mut used = vec![false; n];
+    for cell in netlist.cells() {
+        if matches!(cell.prim(), Prim::Buf { .. }) {
+            continue;
+        }
+        for &net in cell.inputs().iter().chain(cell.outputs().iter()) {
+            used[root_of[net.index()]] = true;
+        }
+    }
+    for binding in netlist.bindings() {
+        used[root_of[binding.net().index()]] = true;
+    }
+    // Rebuild.
+    let mut out = Netlist::new(netlist.entity().clone());
+    let mut new_id: Vec<Option<NetId>> = vec![None; n];
+    for (i, net) in netlist.nets().iter().enumerate() {
+        if root_of[i] == i && used[i] {
+            let id = out.add_net(net.name().to_owned(), net.width())?;
+            new_id[i] = Some(id);
+        }
+    }
+    let map = |net: NetId, new_id: &[Option<NetId>]| -> NetId {
+        new_id[root_of[net.index()]].expect("used net was rebuilt")
+    };
+    for cell in netlist.cells() {
+        if matches!(cell.prim(), Prim::Buf { .. }) {
+            continue;
+        }
+        let inputs = cell.inputs().iter().map(|&x| map(x, &new_id)).collect();
+        let outputs = cell.outputs().iter().map(|&x| map(x, &new_id)).collect();
+        out.add_cell(cell.name().to_owned(), cell.prim().clone(), inputs, outputs)?;
+    }
+    for binding in netlist.bindings() {
+        out.bind_port(binding.port(), map(binding.net(), &new_id))?;
+    }
+    hdp_hdl::validate::check(&out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_hdl::{Entity, PortDir};
+
+    fn wrapped_inc() -> Netlist {
+        // a -> buf -> inc -> buf -> buf -> y
+        let entity = Entity::builder("w")
+            .port("a", PortDir::In, 8)
+            .unwrap()
+            .port("y", PortDir::Out, 8)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let a = nl.add_net("a", 8).unwrap();
+        let b1 = nl.add_net("b1", 8).unwrap();
+        let m = nl.add_net("m", 8).unwrap();
+        let b2 = nl.add_net("b2", 8).unwrap();
+        let y = nl.add_net("y", 8).unwrap();
+        nl.add_cell("w1", Prim::Buf { width: 8 }, vec![a], vec![b1])
+            .unwrap();
+        nl.add_cell("u", Prim::Inc { width: 8 }, vec![b1], vec![m])
+            .unwrap();
+        nl.add_cell("w2", Prim::Buf { width: 8 }, vec![m], vec![b2])
+            .unwrap();
+        nl.add_cell("w3", Prim::Buf { width: 8 }, vec![b2], vec![y])
+            .unwrap();
+        nl.bind_port("a", a).unwrap();
+        nl.bind_port("y", y).unwrap();
+        nl
+    }
+
+    #[test]
+    fn buffers_disappear() {
+        let nl = wrapped_inc();
+        let out = dissolve_wrappers(&nl).unwrap();
+        assert_eq!(out.cells().len(), 1);
+        assert_eq!(out.cells()[0].prim(), &Prim::Inc { width: 8 });
+        // Nets: just the inc input and output.
+        assert_eq!(out.nets().len(), 2);
+    }
+
+    #[test]
+    fn behaviour_is_preserved() {
+        use hdp_sim::{NetlistComponent, Simulator};
+        let original = wrapped_inc();
+        let optimized = dissolve_wrappers(&original).unwrap();
+        for nl in [original, optimized] {
+            let mut sim = Simulator::new();
+            let a = sim.add_signal("a", 8).unwrap();
+            let y = sim.add_signal("y", 8).unwrap();
+            let dut = NetlistComponent::new("dut", nl, sim.bus(), &[("a", a), ("y", y)]).unwrap();
+            sim.add_component(dut);
+            sim.poke(a, 41).unwrap();
+            sim.reset().unwrap();
+            assert_eq!(sim.peek(y).unwrap().to_u64(), Some(42));
+        }
+    }
+
+    #[test]
+    fn buffer_only_netlist_collapses_to_port_alias() {
+        let entity = Entity::builder("w")
+            .port("a", PortDir::In, 4)
+            .unwrap()
+            .port("y", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let a = nl.add_net("a", 4).unwrap();
+        let y = nl.add_net("y", 4).unwrap();
+        nl.add_cell("w1", Prim::Buf { width: 4 }, vec![a], vec![y])
+            .unwrap();
+        nl.bind_port("a", a).unwrap();
+        nl.bind_port("y", y).unwrap();
+        let out = dissolve_wrappers(&nl).unwrap();
+        assert!(out.cells().is_empty());
+        // Both ports bind the same surviving net.
+        assert_eq!(out.port_net("a"), out.port_net("y"));
+    }
+
+    #[test]
+    fn idempotent() {
+        let once = dissolve_wrappers(&wrapped_inc()).unwrap();
+        let twice = dissolve_wrappers(&once).unwrap();
+        assert_eq!(once.cells().len(), twice.cells().len());
+        assert_eq!(once.nets().len(), twice.nets().len());
+    }
+}

@@ -1,0 +1,80 @@
+//! Activity-based dynamic power model.
+//!
+//! Part of the §3.4 characterisation ("we obtained information about
+//! data access times for every container, area, power consumption").
+//! The model is the standard CV²f decomposition with per-resource
+//! effective-capacitance coefficients in µW/MHz, calibrated to the
+//! Spartan-II XPower classes.
+
+use crate::map::ResourceReport;
+
+/// Effective switching power per flip-flop, in µW/MHz at activity 1.
+pub const UW_PER_FF_MHZ: f64 = 0.60;
+/// Effective switching power per LUT, in µW/MHz at activity 1.
+pub const UW_PER_LUT_MHZ: f64 = 0.85;
+/// Effective switching power per active block RAM, in µW/MHz.
+pub const UW_PER_BRAM_MHZ: f64 = 22.0;
+/// Static (quiescent) power of the device in mW.
+pub const STATIC_MW: f64 = 15.0;
+
+/// Estimated power of a mapped design in mW.
+///
+/// `clk_mhz` is the operating clock and `activity` the average toggle
+/// rate (0..=1; 0.125 is the usual datapath default).
+///
+/// # Example
+///
+/// ```
+/// use hdp_synth::map::ResourceReport;
+/// use hdp_synth::power::estimate_mw;
+///
+/// let r = ResourceReport { ffs: 100, luts: 150, brams: 2 };
+/// let p = estimate_mw(r, 98.0, 0.125);
+/// assert!(p > 15.0); // above static floor
+/// ```
+#[must_use]
+pub fn estimate_mw(resources: ResourceReport, clk_mhz: f64, activity: f64) -> f64 {
+    let dynamic_uw = activity
+        * clk_mhz
+        * (resources.ffs as f64 * UW_PER_FF_MHZ
+            + resources.luts as f64 * UW_PER_LUT_MHZ
+            + resources.brams as f64 * UW_PER_BRAM_MHZ);
+    STATIC_MW + dynamic_uw / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_monotone_in_resources() {
+        let small = ResourceReport {
+            ffs: 10,
+            luts: 10,
+            brams: 0,
+        };
+        let big = ResourceReport {
+            ffs: 100,
+            luts: 100,
+            brams: 2,
+        };
+        assert!(estimate_mw(big, 100.0, 0.125) > estimate_mw(small, 100.0, 0.125));
+    }
+
+    #[test]
+    fn power_is_monotone_in_frequency_and_activity() {
+        let r = ResourceReport {
+            ffs: 50,
+            luts: 80,
+            brams: 1,
+        };
+        assert!(estimate_mw(r, 100.0, 0.125) > estimate_mw(r, 50.0, 0.125));
+        assert!(estimate_mw(r, 100.0, 0.25) > estimate_mw(r, 100.0, 0.125));
+    }
+
+    #[test]
+    fn idle_design_costs_static_power() {
+        let r = ResourceReport::default();
+        assert_eq!(estimate_mw(r, 100.0, 0.125), STATIC_MW);
+    }
+}

@@ -1,0 +1,283 @@
+//! Register-to-register critical-path timing model.
+//!
+//! Delays are calibrated to Spartan-IIE (-6) datasheet classes: LUT
+//! ~1.0 ns, average routed net ~1.3 ns, carry chain ~0.07 ns/bit,
+//! FF clock-to-out 1.3 ns, FF setup 1.1 ns, Block SelectRAM
+//! clock-to-out 3.1 ns. The model computes the longest purely
+//! combinational path between sequential elements (or ports) by
+//! dynamic programming over the combinational topological order.
+
+use hdp_hdl::prim::{CmpKind, Prim};
+use hdp_hdl::{HdlError, Netlist};
+
+/// LUT propagation delay in ns.
+pub const T_LUT: f64 = 1.0;
+/// Average routed net delay in ns.
+pub const T_NET: f64 = 1.3;
+/// Carry-chain delay per bit in ns.
+pub const T_CARRY_PER_BIT: f64 = 0.07;
+/// Flip-flop clock-to-out in ns.
+pub const T_CKO: f64 = 1.3;
+/// Flip-flop setup in ns.
+pub const T_SU: f64 = 1.1;
+/// Block SelectRAM clock-to-out in ns.
+pub const T_BRAM_CKO: f64 = 3.1;
+
+/// Combinational propagation delay through one primitive, in ns
+/// (excluding the input net delay, added per edge).
+#[must_use]
+pub fn prim_delay_ns(prim: &Prim) -> f64 {
+    match prim {
+        // Wiring and sequential primitives contribute no *through*
+        // delay; sequential launch/capture is handled separately.
+        Prim::Const { .. }
+        | Prim::Buf { .. }
+        | Prim::Slice { .. }
+        | Prim::Concat { .. }
+        | Prim::Not { .. }
+        | Prim::Reg { .. }
+        | Prim::BlockRam { .. }
+        | Prim::FifoMacro { .. }
+        | Prim::LifoMacro { .. } => 0.0,
+        Prim::Gate { .. } => T_LUT,
+        Prim::ReduceOr { width } | Prim::ReduceAnd { width } => {
+            T_LUT * levels_for_inputs(*width) as f64
+        }
+        Prim::Add { width } | Prim::Sub { width } | Prim::Inc { width } => {
+            T_LUT + T_CARRY_PER_BIT * *width as f64
+        }
+        Prim::Cmp { kind, width } => match kind {
+            CmpKind::Eq | CmpKind::Ne => T_LUT * levels_for_inputs(*width * 2) as f64 * 0.5,
+            CmpKind::Lt | CmpKind::Ge => T_LUT + T_CARRY_PER_BIT * *width as f64,
+        },
+        Prim::Mux { ways, .. } => {
+            let stages = usize::max(1, (usize::BITS - (ways - 1).leading_zeros()) as usize);
+            T_LUT * stages as f64
+        }
+        Prim::TruthTable { in_widths, .. } => {
+            let k: usize = in_widths.iter().sum();
+            T_LUT * levels_for_inputs(k) as f64
+        }
+        Prim::TriBuf { .. } => T_LUT, // TBUF enable path
+    }
+}
+
+/// LUT-tree depth for a `k`-input function.
+#[must_use]
+pub fn levels_for_inputs(k: usize) -> usize {
+    let mut remaining = k;
+    let mut levels = 0;
+    while remaining > 1 {
+        remaining = remaining.div_ceil(4);
+        levels += 1;
+    }
+    levels.max(1)
+}
+
+/// Launch delay of a sequential primitive's outputs in ns.
+fn launch_ns(prim: &Prim) -> f64 {
+    match prim {
+        Prim::Reg { .. } => T_CKO,
+        Prim::BlockRam { .. } => T_BRAM_CKO,
+        // FIFO/LIFO macro read data comes from the internal block RAM
+        // plus the fall-through bypass mux.
+        Prim::FifoMacro { .. } | Prim::LifoMacro { .. } => T_BRAM_CKO + T_LUT,
+        _ => 0.0,
+    }
+}
+
+/// The longest register-to-register (or port-to-register) path in ns,
+/// including launch, per-hop net delays and setup.
+///
+/// # Errors
+///
+/// Returns [`HdlError::CombinationalLoop`] if the netlist has one.
+pub fn critical_path_ns(netlist: &Netlist) -> Result<f64, HdlError> {
+    let order = netlist.comb_topo_order()?;
+    // Arrival time per net, in ns.
+    let mut arrival = vec![0.0f64; netlist.nets().len()];
+    // Seed: sequential outputs launch at their clock-to-out; input
+    // ports launch at an off-chip pad time (model: one net delay).
+    for cell in netlist.cells() {
+        if cell.prim().is_sequential() {
+            let t = launch_ns(cell.prim());
+            for &out in cell.outputs() {
+                arrival[out.index()] = arrival[out.index()].max(t);
+            }
+        }
+    }
+    for binding in netlist.bindings() {
+        let port = netlist
+            .entity()
+            .port(binding.port())
+            .expect("binding validated against entity");
+        if port.dir() == hdp_hdl::PortDir::In {
+            arrival[binding.net().index()] = arrival[binding.net().index()].max(T_NET);
+        }
+    }
+    // Propagate through combinational cells in topological order.
+    // Pure wiring (buffers, slices, concatenations, folded inverters)
+    // is not a routed hop: it disappears entirely in mapping, so it
+    // adds neither logic nor net delay.
+    for id in order {
+        let cell = &netlist.cells()[id.index()];
+        let worst_in = cell
+            .inputs()
+            .iter()
+            .map(|n| arrival[n.index()])
+            .fold(0.0f64, f64::max);
+        let logic = prim_delay_ns(cell.prim());
+        let is_wiring = matches!(
+            cell.prim(),
+            Prim::Buf { .. }
+                | Prim::Slice { .. }
+                | Prim::Concat { .. }
+                | Prim::Const { .. }
+                | Prim::Not { .. }
+        );
+        let t = if is_wiring {
+            worst_in
+        } else {
+            worst_in + T_NET + logic
+        };
+        for &out in cell.outputs() {
+            arrival[out.index()] = arrival[out.index()].max(t);
+        }
+    }
+    // Capture: the worst arrival at any sequential input plus setup;
+    // output ports capture with a pad time.
+    let mut worst: f64 = 0.0;
+    for cell in netlist.cells() {
+        if cell.prim().is_sequential() {
+            for &input in cell.inputs() {
+                worst = worst.max(arrival[input.index()] + T_NET + T_SU);
+            }
+        }
+    }
+    for binding in netlist.bindings() {
+        let port = netlist
+            .entity()
+            .port(binding.port())
+            .expect("binding validated against entity");
+        if port.dir() != hdp_hdl::PortDir::In {
+            worst = worst.max(arrival[binding.net().index()] + T_NET);
+        }
+    }
+    Ok(worst)
+}
+
+/// Achievable clock frequency estimate in MHz.
+///
+/// # Errors
+///
+/// Returns [`HdlError::CombinationalLoop`] if the netlist has one.
+pub fn fmax_mhz(netlist: &Netlist) -> Result<f64, HdlError> {
+    let path = critical_path_ns(netlist)?;
+    if path <= 0.0 {
+        // A netlist with no logic at all: report the global clock
+        // ceiling of the device family.
+        return Ok(200.0);
+    }
+    Ok((1000.0 / path).min(200.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_hdl::{Entity, Netlist, PortDir};
+
+    fn pipeline(depth_between_regs: usize) -> Netlist {
+        // reg -> inc^n -> reg
+        let entity = Entity::builder("p")
+            .port("d", PortDir::In, 8)
+            .unwrap()
+            .port("q", PortDir::Out, 8)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let d = nl.add_net("d", 8).unwrap();
+        let mut cur = nl.add_net("r0", 8).unwrap();
+        nl.add_cell(
+            "in_reg",
+            Prim::Reg {
+                width: 8,
+                has_enable: false,
+                reset_value: 0,
+            },
+            vec![d],
+            vec![cur],
+        )
+        .unwrap();
+        for i in 0..depth_between_regs {
+            let next = nl.add_net(format!("n{i}"), 8).unwrap();
+            nl.add_cell(
+                format!("u{i}"),
+                Prim::Inc { width: 8 },
+                vec![cur],
+                vec![next],
+            )
+            .unwrap();
+            cur = next;
+        }
+        let q = nl.add_net("q", 8).unwrap();
+        nl.add_cell(
+            "out_reg",
+            Prim::Reg {
+                width: 8,
+                has_enable: false,
+                reset_value: 0,
+            },
+            vec![cur],
+            vec![q],
+        )
+        .unwrap();
+        nl.bind_port("d", d).unwrap();
+        nl.bind_port("q", q).unwrap();
+        nl
+    }
+
+    #[test]
+    fn longer_logic_chains_are_slower() {
+        let f1 = fmax_mhz(&pipeline(1)).unwrap();
+        let f4 = fmax_mhz(&pipeline(4)).unwrap();
+        let f8 = fmax_mhz(&pipeline(8)).unwrap();
+        assert!(f1 > f4 && f4 > f8, "{f1} {f4} {f8}");
+    }
+
+    #[test]
+    fn single_stage_lands_in_spartan2_range() {
+        // One adder between registers: the classic ~100 MHz class.
+        let f = fmax_mhz(&pipeline(1)).unwrap();
+        assert!((80.0..200.0).contains(&f), "{f}");
+    }
+
+    #[test]
+    fn empty_netlist_reports_device_ceiling() {
+        let entity = Entity::builder("e")
+            .port("a", PortDir::In, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let a = nl.add_net("a", 1).unwrap();
+        nl.bind_port("a", a).unwrap();
+        assert_eq!(fmax_mhz(&nl).unwrap(), 200.0);
+    }
+
+    #[test]
+    fn levels_formula() {
+        assert_eq!(levels_for_inputs(1), 1);
+        assert_eq!(levels_for_inputs(4), 1);
+        assert_eq!(levels_for_inputs(5), 2);
+        assert_eq!(levels_for_inputs(16), 2);
+        assert_eq!(levels_for_inputs(17), 3);
+    }
+
+    #[test]
+    fn carry_chain_scales_with_width() {
+        let narrow = prim_delay_ns(&Prim::Add { width: 4 });
+        let wide = prim_delay_ns(&Prim::Add { width: 32 });
+        assert!(wide > narrow);
+    }
+}

@@ -1,0 +1,51 @@
+//! The §3.4 design-space characterisation: generate every
+//! container×target×parameter implementation, tabulate area, access
+//! time and power, and delimit regions of interest under constraints.
+//!
+//! ```text
+//! cargo run --example design_space
+//! ```
+
+use hdp::synth::characterize::{region_of_interest, sweep, Constraints, SweepGrid};
+use hdp::synth::Xsb300e;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = Xsb300e::new();
+    let grid = SweepGrid::default();
+    let points = sweep(&board, &grid)?;
+
+    println!(
+        "characterised {} implementations on the {}:",
+        points.len(),
+        board.device.name
+    );
+    println!();
+    for p in &points {
+        println!("  {p}");
+    }
+
+    println!();
+    println!("region of interest: no block RAM (cost-driven)");
+    for p in region_of_interest(
+        &points,
+        Constraints {
+            max_brams: Some(0),
+            ..Constraints::default()
+        },
+    ) {
+        println!("  {p}");
+    }
+
+    println!();
+    println!("region of interest: one access per cycle (performance-driven)");
+    for p in region_of_interest(
+        &points,
+        Constraints {
+            max_access_cycles: Some(1),
+            ..Constraints::default()
+        },
+    ) {
+        println!("  {p}");
+    }
+    Ok(())
+}

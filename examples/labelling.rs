@@ -1,0 +1,70 @@
+//! Binary image labelling — the domain algorithm the paper's §5 asks
+//! the library to grow ("convolution filters, image labelling ...").
+//! A noisy frame is thresholded and every 4-connected component gets
+//! a label, streamed through the two-pass hardware engine and checked
+//! against the behavioural golden model.
+//!
+//! ```text
+//! cargo run --example labelling
+//! ```
+
+use hdp::pattern::algo::LabelEngine;
+use hdp::pattern::golden::{self, PixelOp};
+use hdp::pattern::iface::StreamIface;
+use hdp::pattern::pixel::{Frame, PixelFormat};
+use hdp::sim::devices::{VideoIn, VideoOut};
+use hdp::sim::Simulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (w, h) = (24, 10);
+    let noise = Frame::noise(w, h, PixelFormat::Gray8, 12);
+    let binary = golden::pixel_map(&noise, PixelOp::Threshold(150));
+
+    let mut sim = Simulator::new();
+    let up = StreamIface::alloc(&mut sim, "pixels", 8)?;
+    let down = StreamIface::alloc(&mut sim, "labels", 16)?;
+    sim.add_component(VideoIn::new(
+        "camera",
+        binary.pixels().to_vec(),
+        8,
+        0,
+        false,
+        up.valid,
+        up.data,
+    ));
+    let engine = sim.add_component(LabelEngine::new("labeller", w, h, 256, up, down));
+    let sink = sim.add_component(VideoOut::new("sink", w * h, None, down.valid, down.data));
+    sim.reset()?;
+    sim.run((4 * w * h + 600) as u64)?;
+
+    let labels = sim
+        .component::<VideoOut>(sink)
+        .expect("sink present")
+        .frames()[0]
+        .clone();
+    let count = sim
+        .component::<LabelEngine>(engine)
+        .expect("engine present")
+        .component_count();
+
+    const GLYPHS: &[u8] = b".123456789abcdefghijklmnopqrstuvwxyz";
+    println!("binary input ({w}x{h}) and hardware labels:");
+    for y in 0..h {
+        let mut left = String::new();
+        let mut right = String::new();
+        for x in 0..w {
+            left.push(if binary.pixel(x, y) != 0 { '#' } else { '.' });
+            let l = labels[y * w + x] as usize;
+            right.push(GLYPHS[l.min(GLYPHS.len() - 1)] as char);
+        }
+        println!("{left}   {right}");
+    }
+    println!();
+    println!("components found by the hardware engine: {count}");
+
+    let (golden_labels, golden_count) = golden::label(&binary);
+    assert_eq!(labels, golden_labels);
+    assert_eq!(count, golden_count);
+    println!("matches the golden two-pass labelling: OK");
+    Ok(())
+}

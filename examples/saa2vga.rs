@@ -1,0 +1,77 @@
+//! The paper's motivating design (Figures 1 and 3): camera → video
+//! decoder → image processing → VGA coder → monitor, modelled with
+//! the iterator pattern — then retargeted from on-chip FIFOs to
+//! external SRAM *without touching the model*, the §3.3 "embracing
+//! change" scenario.
+//!
+//! ```text
+//! cargo run --example saa2vga
+//! ```
+
+use hdp::pattern::golden::PixelOp;
+use hdp::pattern::model::{Algorithm, EngineHandle, VideoPipelineModel};
+use hdp::pattern::pixel::{Frame, PixelFormat};
+use hdp::pattern::spec::PhysicalTarget;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (w, h) = (16, 12);
+    let frame = Frame::gradient(w, h, PixelFormat::Gray8);
+
+    // Figure 3: rbuffer --rbuffer_it--> copy --wbuffer_it--> wbuffer.
+    let model = VideoPipelineModel::new(
+        "saa2vga",
+        PixelFormat::Gray8,
+        w,
+        h,
+        Algorithm::Transform(PixelOp::Identity),
+    )?;
+    model.validate()?;
+
+    // Configuration 1: both containers over on-chip FIFO cores
+    // ("maximum performance at the highest cost").
+    let elaborated = model.elaborate(&frame)?;
+    let engine = elaborated.engine();
+    let mut elaborated = elaborated;
+    elaborated.run_to_completion()?;
+    let out1 = elaborated.output_frame()?;
+    println!(
+        "saa2vga over FIFO cores : engine={} cycles={} frame intact={}",
+        match engine {
+            EngineHandle::Streaming(_) => "streaming (1 px/cycle)",
+            EngineHandle::Sequenced(_) => "sequenced",
+            EngineHandle::Blur(_) => "blur",
+        },
+        elaborated.sim.cycle(),
+        out1 == frame
+    );
+
+    // "Let's suppose that the system must be modified for a new
+    // configuration, where both input and output streams are fed into
+    // two separate static RAMs. This change does not really affect
+    // the model." — only the target bindings change:
+    let retargeted = model
+        .retarget_input(PhysicalTarget::ExternalSram { latency: 2 })
+        .retarget_output(PhysicalTarget::ExternalSram { latency: 2 })
+        .with_source_gap(23); // external memory is slower than the pixel clock
+    retargeted.validate()?;
+    let elaborated = retargeted.elaborate(&frame)?;
+    let engine = elaborated.engine();
+    let mut elaborated = elaborated;
+    elaborated.run_to_completion()?;
+    let out2 = elaborated.output_frame()?;
+    println!(
+        "saa2vga over ext. SRAM  : engine={} cycles={} frame intact={}",
+        match engine {
+            EngineHandle::Streaming(_) => "streaming",
+            EngineHandle::Sequenced(_) => "sequenced (memory-bound)",
+            EngineHandle::Blur(_) => "blur",
+        },
+        elaborated.sim.cycle(),
+        out2 == frame
+    );
+
+    assert_eq!(out1, frame);
+    assert_eq!(out2, frame);
+    println!("model unchanged, implementation regenerated: OK");
+    Ok(())
+}

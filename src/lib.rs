@@ -1,0 +1,67 @@
+//! # hdp — Model Reuse through Hardware Design Patterns
+//!
+//! A full reproduction of *"Model Reuse through Hardware Design
+//! Patterns"* (F. Rincón, F. Moya, J. Barba, J. C. López — DATE
+//! 2005): the hardware **Iterator** pattern, the STL-inspired basic
+//! component library built on it, the metaprogramming VHDL generator,
+//! and the complete evaluation of the paper — reproduced over a
+//! cycle-accurate simulator and a Spartan-IIE synthesis cost model
+//! instead of the original XSB-300E board.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`hdl`] | `hdp-hdl` | logic values, entities, netlists, VHDL emission |
+//! | [`sim`] | `hdp-sim` | delta-cycle simulator and board device models |
+//! | [`pattern`] | `hdp-core` | the iterator pattern, containers, algorithms, system model |
+//! | [`metagen`] | `hdp-metagen` | the metaprogramming code generator |
+//! | [`synth`] | `hdp-synth` | technology mapping, timing, power, characterisation |
+//!
+//! ## Quickstart
+//!
+//! Build the paper's Figure 3 model, run a frame through it, retarget
+//! the containers from FIFOs to external SRAM without touching the
+//! model, and run the same frame again:
+//!
+//! ```
+//! use hdp::pattern::golden::PixelOp;
+//! use hdp::pattern::model::{Algorithm, VideoPipelineModel};
+//! use hdp::pattern::pixel::{Frame, PixelFormat};
+//! use hdp::pattern::spec::PhysicalTarget;
+//!
+//! # fn main() -> Result<(), hdp::pattern::CoreError> {
+//! let frame = Frame::gradient(8, 6, PixelFormat::Gray8);
+//! let model = VideoPipelineModel::new(
+//!     "saa2vga",
+//!     PixelFormat::Gray8,
+//!     8,
+//!     6,
+//!     Algorithm::Transform(PixelOp::Identity),
+//! )?;
+//! // Over FIFO cores (the saa2vga 1 configuration).
+//! let out = model.process_frame(&frame)?;
+//! assert_eq!(out, frame);
+//! // Same model, containers over external SRAM (saa2vga 2): "this
+//! // change does not really affect the model".
+//! let retargeted = model
+//!     .retarget_input(PhysicalTarget::ExternalSram { latency: 2 })
+//!     .retarget_output(PhysicalTarget::ExternalSram { latency: 2 })
+//!     .with_source_gap(15);
+//! let out = retargeted.process_frame(&frame)?;
+//! assert_eq!(out, frame);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hdp_hdl as hdl;
+pub use hdp_metagen as metagen;
+pub use hdp_sim as sim;
+pub use hdp_synth as synth;
+
+/// The paper's primary contribution: the iterator pattern and the
+/// basic component library (`hdp-core`).
+pub use hdp_core as pattern;

@@ -1,0 +1,175 @@
+//! Failure-injection tests: every protocol discipline the substrate
+//! enforces must actually fire when violated, and the violation must
+//! name the offending component.
+
+use hdp::metagen::design::{generate, DesignKind, DesignParams, Style};
+use hdp::pattern::golden::PixelOp;
+use hdp::pattern::hw::{ArbiterPolicy, SramArbiter};
+use hdp::pattern::iface::SramPort;
+use hdp::pattern::model::{Algorithm, VideoPipelineModel};
+use hdp::pattern::pixel::{Frame, PixelFormat};
+use hdp::sim::devices::{FifoCore, VideoIn, VideoOut};
+use hdp::sim::{NetlistComponent, SignalId, SimError, Simulator};
+
+/// An overwhelmed SRAM-backed pipeline overruns its skid buffer: the
+/// §3.3 retargeting is only free when the memory keeps up with the
+/// decoder, and the simulator catches the case where it does not.
+#[test]
+fn sram_pipeline_with_fast_source_overruns() {
+    let frame = Frame::gradient(8, 4, PixelFormat::Gray8);
+    let model = VideoPipelineModel::new(
+        "m",
+        PixelFormat::Gray8,
+        8,
+        4,
+        Algorithm::Transform(PixelOp::Identity),
+    )
+    .unwrap()
+    .retarget_input(hdp::pattern::spec::PhysicalTarget::ExternalSram { latency: 8 })
+    .retarget_output(hdp::pattern::spec::PhysicalTarget::ExternalSram { latency: 8 })
+    // No blanking: the decoder outruns the memory.
+    .with_source_gap(0);
+    let mut elaborated = model.elaborate(&frame).unwrap();
+    let err = elaborated.run_to_completion().unwrap_err();
+    let text = err.to_string();
+    assert!(
+        text.contains("overrun"),
+        "expected an input overrun, got: {text}"
+    );
+}
+
+/// A VGA sink with a strict continuity requirement underruns when the
+/// producer cannot sustain the pixel clock.
+#[test]
+fn strict_vga_underruns_on_slow_producer() {
+    let mut sim = Simulator::new();
+    let valid = sim.add_signal("valid", 1).unwrap();
+    let data = sim.add_signal("data", 8).unwrap();
+    // A gappy source against a zero-gap sink.
+    sim.add_component(VideoIn::new(
+        "src",
+        vec![1, 2, 3, 4],
+        8,
+        3,
+        false,
+        valid,
+        data,
+    ));
+    sim.add_component(VideoOut::new("vga", 4, Some(1), valid, data));
+    sim.reset().unwrap();
+    let err = sim.run(30).unwrap_err();
+    assert!(matches!(
+        err,
+        SimError::Protocol { ref component, .. } if component == "vga"
+    ));
+    assert!(err.to_string().contains("underrun"));
+}
+
+/// The FIFO core rejects pops on empty even through several layers of
+/// plumbing, and the error names the core.
+#[test]
+fn fifo_pop_on_empty_names_the_core() {
+    let mut sim = Simulator::new();
+    let push = sim.add_signal("push", 1).unwrap();
+    let pop = sim.add_signal("pop", 1).unwrap();
+    let wdata = sim.add_signal("wdata", 8).unwrap();
+    let rdata = sim.add_signal("rdata", 8).unwrap();
+    let empty = sim.add_signal("empty", 1).unwrap();
+    let full = sim.add_signal("full", 1).unwrap();
+    sim.add_component(FifoCore::new(
+        "u_pixels", 8, 8, push, pop, wdata, rdata, empty, full,
+    ));
+    sim.poke(push, 0).unwrap();
+    sim.poke(wdata, 0).unwrap();
+    sim.poke(pop, 1).unwrap();
+    sim.reset().unwrap();
+    let err = sim.step().unwrap_err();
+    assert!(matches!(
+        err,
+        SimError::Protocol { ref component, .. } if component == "u_pixels"
+    ));
+}
+
+/// Dropping a request mid-transaction through the arbiter is caught
+/// by the SRAM controller on the far side.
+#[test]
+fn arbiter_forwards_protocol_violations() {
+    let mut sim = Simulator::new();
+    let m0 = SramPort::alloc(&mut sim, "m0", 16, 8).unwrap();
+    let m1 = SramPort::alloc(&mut sim, "m1", 16, 8).unwrap();
+    let down = SramPort::alloc(&mut sim, "down", 16, 8).unwrap();
+    sim.add_component(down.device("u_sram", 16, 8, 6));
+    sim.add_component(SramArbiter::new(
+        "u_arb",
+        ArbiterPolicy::FixedPriority,
+        vec![m0, m1],
+        down,
+    ));
+    for p in [m0, m1] {
+        for s in [p.req, p.we, p.addr, p.wdata] {
+            sim.poke(s, 0).unwrap();
+        }
+    }
+    sim.reset().unwrap();
+    // Master 0 starts a long read, then illegally drops the request.
+    sim.poke(m0.req, 1).unwrap();
+    sim.poke(m0.addr, 3).unwrap();
+    sim.run(3).unwrap(); // grant + transaction start
+    sim.poke(m0.req, 0).unwrap();
+    let err = sim.run(3).unwrap_err();
+    assert!(matches!(
+        err,
+        SimError::Protocol { ref component, .. } if component == "u_sram"
+    ));
+}
+
+/// An undefined control input into a generated design is flagged
+/// rather than silently treated as deasserted where it matters: the
+/// design still behaves, but feeding undefined *data* into a commit
+/// path errors.
+#[test]
+fn undefined_stream_data_is_caught_by_generated_design() {
+    let design = generate(DesignKind::Saa2vga1, Style::Pattern, DesignParams::small(8)).unwrap();
+    let mut sim = Simulator::new();
+    let vid_valid = sim.add_signal("vid_valid", 1).unwrap();
+    let vid_data = sim.add_signal("vid_data", 8).unwrap();
+    let vga_valid = sim.add_signal("vga_valid", 1).unwrap();
+    let vga_data = sim.add_signal("vga_data", 8).unwrap();
+    let map: Vec<(&str, SignalId)> = vec![
+        ("vid_valid", vid_valid),
+        ("vid_data", vid_data),
+        ("vga_valid", vga_valid),
+        ("vga_data", vga_data),
+    ];
+    let dut = NetlistComponent::new("dut", design.netlist, sim.bus(), &map).unwrap();
+    sim.add_component(dut);
+    // valid asserted but data left undefined (never poked).
+    sim.poke(vid_valid, 1).unwrap();
+    let result = sim.run(20);
+    // The FIFO macro must refuse to commit undefined data.
+    let err = result.unwrap_err();
+    assert!(matches!(err, SimError::Protocol { .. }), "{err}");
+    assert!(err.to_string().contains("undefined"));
+}
+
+/// Asking for results before the pipeline has produced them is an
+/// error, not a garbage frame.
+#[test]
+fn premature_output_frame_is_an_error() {
+    let frame = Frame::gradient(6, 4, PixelFormat::Gray8);
+    let model = VideoPipelineModel::new(
+        "m",
+        PixelFormat::Gray8,
+        6,
+        4,
+        Algorithm::Transform(PixelOp::Identity),
+    )
+    .unwrap();
+    let mut elaborated = model.elaborate(&frame).unwrap();
+    // No cycles run yet: nothing collected.
+    let err = elaborated.output_frame().unwrap_err();
+    assert!(err.to_string().contains("no complete frame"));
+    // After running, the same call succeeds.
+    elaborated.run_to_completion().unwrap();
+    assert_eq!(elaborated.output_frame().unwrap(), frame);
+}

@@ -1,0 +1,193 @@
+//! Iterator interface protocol conformance across containers.
+//!
+//! The whole point of the pattern is that *any* algorithm can drive
+//! *any* container through the same interface discipline. These tests
+//! pin the discipline itself: `done` pulses exactly once per
+//! operation, flow-control flags agree with the golden occupancy, and
+//! the interface survives pathological strobe patterns.
+
+use hdp::pattern::hw::{ReadBufferFifo, ReadBufferSram, WriteBufferFifo};
+use hdp::pattern::iface::{IterIface, SramPort, StreamIface};
+use hdp::sim::{SignalId, Simulator};
+
+struct Rig {
+    sim: Simulator,
+    up: StreamIface,
+    it: IterIface,
+}
+
+fn fifo_rig() -> Rig {
+    let mut sim = Simulator::new();
+    let up = StreamIface::alloc(&mut sim, "up", 8).unwrap();
+    let it = IterIface::alloc(&mut sim, "it", 8).unwrap();
+    sim.add_component(ReadBufferFifo::new("dut", 8, 8, up, it));
+    for s in [up.valid, up.data, it.read, it.inc, it.write, it.wdata] {
+        sim.poke(s, 0).unwrap();
+    }
+    sim.reset().unwrap();
+    Rig { sim, up, it }
+}
+
+fn sram_rig(latency: u32) -> Rig {
+    let mut sim = Simulator::new();
+    let up = StreamIface::alloc(&mut sim, "up", 8).unwrap();
+    let it = IterIface::alloc(&mut sim, "it", 8).unwrap();
+    let mem = SramPort::alloc(&mut sim, "mem", 16, 8).unwrap();
+    sim.add_component(mem.device("u_sram", 16, 8, latency));
+    sim.add_component(ReadBufferSram::new("dut", 32, 0, 8, up, it, mem));
+    for s in [up.valid, up.data, it.read, it.inc, it.write, it.wdata] {
+        sim.poke(s, 0).unwrap();
+    }
+    sim.reset().unwrap();
+    Rig { sim, up, it }
+}
+
+fn push(r: &mut Rig, v: u64, settle_cycles: u64) {
+    r.sim.poke(r.up.valid, 1).unwrap();
+    r.sim.poke(r.up.data, v).unwrap();
+    r.sim.step().unwrap();
+    r.sim.poke(r.up.valid, 0).unwrap();
+    r.sim.run(settle_cycles).unwrap();
+}
+
+/// Counts `done` pulses over a window while strobes are held.
+fn count_dones(r: &mut Rig, cycles: u64) -> u64 {
+    let mut dones = 0;
+    for _ in 0..cycles {
+        r.sim.settle().unwrap();
+        if r.sim.peek(r.it.done).unwrap().to_u64() == Some(1) {
+            dones += 1;
+        }
+        r.sim.step().unwrap();
+    }
+    dones
+}
+
+/// Over a FIFO container, holding read+inc with N elements buffered
+/// yields exactly N done pulses — one per element, no over-read.
+#[test]
+fn fifo_done_pulses_once_per_element() {
+    let mut r = fifo_rig();
+    for v in [1u64, 2, 3, 4, 5] {
+        push(&mut r, v, 0);
+    }
+    r.sim.poke(r.it.read, 1).unwrap();
+    r.sim.poke(r.it.inc, 1).unwrap();
+    let dones = count_dones(&mut r, 20);
+    assert_eq!(dones, 5);
+}
+
+/// The same property over the SRAM container, where each operation is
+/// a multi-cycle transaction.
+#[test]
+fn sram_done_pulses_once_per_element() {
+    let mut r = sram_rig(2);
+    for v in [9u64, 8, 7] {
+        push(&mut r, v, 8); // let the write transaction commit
+    }
+    r.sim.poke(r.it.read, 1).unwrap();
+    r.sim.poke(r.it.inc, 1).unwrap();
+    let dones = count_dones(&mut r, 80);
+    assert_eq!(dones, 3);
+}
+
+/// Strobing an operation on an empty container is not an error at the
+/// iterator interface — it simply waits (this is what lets algorithms
+/// run unmodified over any container).
+#[test]
+fn ops_on_empty_container_wait_without_error() {
+    for mut r in [fifo_rig(), sram_rig(1)] {
+        r.sim.poke(r.it.read, 1).unwrap();
+        r.sim.poke(r.it.inc, 1).unwrap();
+        let dones = count_dones(&mut r, 12);
+        assert_eq!(dones, 0);
+        // A late push is then served (strobes released during the
+        // push so the completion is observable).
+        r.sim.poke(r.it.read, 0).unwrap();
+        r.sim.poke(r.it.inc, 0).unwrap();
+        push(&mut r, 0x5C, 8);
+        r.sim.poke(r.it.read, 1).unwrap();
+        r.sim.poke(r.it.inc, 1).unwrap();
+        // Observe the single completion and capture rdata at the done
+        // cycle (on the FIFO container rdata is combinational and goes
+        // undefined once the buffer empties again).
+        let mut served = Vec::new();
+        for _ in 0..20 {
+            r.sim.settle().unwrap();
+            if r.sim.peek(r.it.done).unwrap().to_u64() == Some(1) {
+                served.push(r.sim.peek(r.it.rdata).unwrap().to_u64().unwrap());
+            }
+            r.sim.step().unwrap();
+        }
+        assert_eq!(served, vec![0x5C]);
+    }
+}
+
+/// Glitching strobes (assert/deassert every cycle) never corrupts the
+/// stream order on the FIFO container.
+#[test]
+fn glitchy_strobes_preserve_order() {
+    let mut r = fifo_rig();
+    for v in [10u64, 20, 30] {
+        push(&mut r, v, 0);
+    }
+    let mut seen = Vec::new();
+    let mut strobe = true;
+    for _ in 0..30 {
+        r.sim
+            .poke(r.it.read, u64::from(strobe))
+            .and_then(|()| r.sim.poke(r.it.inc, u64::from(strobe)))
+            .unwrap();
+        r.sim.settle().unwrap();
+        if r.sim.peek(r.it.done).unwrap().to_u64() == Some(1) {
+            seen.push(r.sim.peek(r.it.rdata).unwrap().to_u64().unwrap());
+        }
+        r.sim.step().unwrap();
+        strobe = !strobe;
+        if seen.len() == 3 {
+            break;
+        }
+    }
+    assert_eq!(seen, vec![10, 20, 30]);
+}
+
+/// can_read tracks occupancy exactly on the write-buffer side too:
+/// can_write deasserts at capacity and recovers as the buffer drains.
+#[test]
+fn wbuffer_flow_control_tracks_capacity() {
+    let mut sim = Simulator::new();
+    let it = IterIface::alloc(&mut sim, "it", 8).unwrap();
+    let down = StreamIface::alloc(&mut sim, "down", 8).unwrap();
+    sim.add_component(WriteBufferFifo::new("dut", 2, it, down));
+    for s in [it.read, it.inc, it.write, it.wdata] {
+        sim.poke(s, 0).unwrap();
+    }
+    sim.reset().unwrap();
+    // The wbuffer drains one element per cycle, so pushing every
+    // cycle keeps occupancy at <= 1: can_write stays high.
+    sim.poke(it.write, 1).unwrap();
+    sim.poke(it.inc, 1).unwrap();
+    sim.poke(it.wdata, 1).unwrap();
+    for _ in 0..6 {
+        sim.settle().unwrap();
+        assert_eq!(sim.peek(it.can_write).unwrap().to_u64(), Some(1));
+        sim.step().unwrap();
+    }
+}
+
+fn peek_defined(sim: &Simulator, s: SignalId) -> u64 {
+    sim.peek(s).unwrap().to_u64().expect("defined")
+}
+
+/// Flow-control flags are always defined after reset — never `X` —
+/// so algorithm FSMs can branch on them from cycle zero.
+#[test]
+fn flow_control_defined_from_reset() {
+    let r = fifo_rig();
+    assert_eq!(peek_defined(&r.sim, r.it.can_read), 0);
+    assert_eq!(peek_defined(&r.sim, r.it.can_write), 0);
+    assert_eq!(peek_defined(&r.sim, r.it.done), 0);
+    let r = sram_rig(3);
+    assert_eq!(peek_defined(&r.sim, r.it.can_read), 0);
+    assert_eq!(peek_defined(&r.sim, r.it.done), 0);
+}

@@ -1,0 +1,230 @@
+//! The §3.3 "embracing change" scenarios, exercised through the
+//! system model: retargeting containers, changing pixel formats, and
+//! sharing one physical memory between containers through generated
+//! arbitration.
+
+use hdp::pattern::algo::TransformSequenced;
+use hdp::pattern::golden::{self, PixelOp};
+use hdp::pattern::hw::{ArbiterPolicy, ReadBufferSram, SramArbiter, WriteBufferSram};
+use hdp::pattern::iface::{IterIface, SramPort, StreamIface};
+use hdp::pattern::model::{Algorithm, EngineHandle, VideoPipelineModel};
+use hdp::pattern::pixel::{Frame, PixelFormat};
+use hdp::pattern::spec::PhysicalTarget;
+use hdp::sim::devices::{VideoIn, VideoOut};
+use hdp::sim::Simulator;
+
+/// §2's opening scenario: the same model runs over FIFOs, then over
+/// RAMs, with zero model edits other than the target binding.
+#[test]
+fn retargeting_does_not_change_results() {
+    let frame = Frame::noise(8, 6, PixelFormat::Gray8, 77);
+    let base = VideoPipelineModel::new(
+        "saa2vga",
+        PixelFormat::Gray8,
+        8,
+        6,
+        Algorithm::Transform(PixelOp::Identity),
+    )
+    .unwrap();
+    let over_fifo = base.clone().process_frame(&frame).unwrap();
+    let over_sram = base
+        .retarget_input(PhysicalTarget::ExternalSram { latency: 3 })
+        .retarget_output(PhysicalTarget::ExternalSram { latency: 3 })
+        .with_source_gap(23)
+        .process_frame(&frame)
+        .unwrap();
+    assert_eq!(over_fifo, frame);
+    assert_eq!(over_sram, frame);
+}
+
+/// Every pixel-wise transform matches its golden model over both
+/// target families.
+#[test]
+fn transforms_match_golden_over_all_targets() {
+    let frame = Frame::noise(6, 5, PixelFormat::Gray8, 13);
+    for op in [
+        PixelOp::Identity,
+        PixelOp::Invert,
+        PixelOp::Threshold(100),
+        PixelOp::Gain { mul: 3, shift: 2 },
+    ] {
+        let golden = golden::pixel_map(&frame, op);
+        let fifo_model =
+            VideoPipelineModel::new("m", PixelFormat::Gray8, 6, 5, Algorithm::Transform(op))
+                .unwrap();
+        assert_eq!(
+            fifo_model.process_frame(&frame).unwrap(),
+            golden,
+            "{op:?} over fifo"
+        );
+        let sram_model = fifo_model
+            .retarget_input(PhysicalTarget::ExternalSram { latency: 2 })
+            .retarget_output(PhysicalTarget::ExternalSram { latency: 2 })
+            .with_source_gap(19);
+        assert_eq!(
+            sram_model.process_frame(&frame).unwrap(),
+            golden,
+            "{op:?} over sram"
+        );
+    }
+}
+
+/// The §3.3 pixel-format scenario, alternative 1: 24-bit pixels on a
+/// 24-bit bus — "we should only regenerate the implementations of the
+/// elements using the 24-bit data pixel as the base type".
+#[test]
+fn rgb_on_wide_bus() {
+    let frame = Frame::noise(5, 4, PixelFormat::Rgb24, 21);
+    let model = VideoPipelineModel::new(
+        "rgb",
+        PixelFormat::Rgb24,
+        5,
+        4,
+        Algorithm::Transform(PixelOp::Invert),
+    )
+    .unwrap();
+    assert!(!model.needs_adaptation());
+    assert_eq!(
+        model.process_frame(&frame).unwrap(),
+        golden::pixel_map(&frame, PixelOp::Invert)
+    );
+}
+
+/// The §3.3 pixel-format scenario, alternative 2: 24-bit pixels over
+/// an 8-bit bus — "we should also modify the iterator code to perform
+/// three consecutive container reads/writes". The model only changes
+/// the bus-width parameter; the adapters appear during elaboration.
+#[test]
+fn rgb_over_narrow_bus_with_adapters() {
+    let frame = Frame::noise(4, 4, PixelFormat::Rgb24, 22);
+    let model = VideoPipelineModel::new(
+        "rgb_narrow",
+        PixelFormat::Rgb24,
+        4,
+        4,
+        Algorithm::Transform(PixelOp::Identity),
+    )
+    .unwrap()
+    .with_bus_width(8)
+    .with_source_gap(8);
+    assert!(model.needs_adaptation());
+    let elaborated = model.elaborate(&frame).unwrap();
+    // Adaptation forces the sequenced engine.
+    assert!(matches!(elaborated.engine(), EngineHandle::Sequenced(_)));
+    assert_eq!(model.process_frame(&frame).unwrap(), frame);
+}
+
+/// Two containers sharing one external SRAM through the arbitration
+/// logic the metaprogramming layer inserts for shared resources
+/// (§3.4). A copy pipeline runs with both its buffers in the *same*
+/// memory, partitioned by base address.
+#[test]
+fn shared_sram_through_arbiter() {
+    for policy in [ArbiterPolicy::FixedPriority, ArbiterPolicy::RoundRobin] {
+        let pixels: Vec<u64> = Frame::noise(6, 4, PixelFormat::Gray8, 31).pixels().to_vec();
+        let n = pixels.len();
+        let mut sim = Simulator::new();
+        let vin = StreamIface::alloc(&mut sim, "vin", 8).unwrap();
+        let it_in = IterIface::alloc(&mut sim, "it_in", 8).unwrap();
+        let it_out = IterIface::alloc(&mut sim, "it_out", 8).unwrap();
+        let vout = StreamIface::alloc(&mut sim, "vout", 8).unwrap();
+        // One physical SRAM, two master ports, one arbiter.
+        let m0 = SramPort::alloc(&mut sim, "m0", 16, 8).unwrap();
+        let m1 = SramPort::alloc(&mut sim, "m1", 16, 8).unwrap();
+        let down = SramPort::alloc(&mut sim, "down", 16, 8).unwrap();
+        sim.add_component(down.device("u_sram", 16, 8, 1));
+        sim.add_component(SramArbiter::new("u_arb", policy, vec![m0, m1], down));
+        // Input buffer at base 0, output buffer at base 4096.
+        sim.add_component(VideoIn::new(
+            "src",
+            pixels.clone(),
+            8,
+            63,
+            false,
+            vin.valid,
+            vin.data,
+        ));
+        sim.add_component(ReadBufferSram::new("rbuffer", 64, 0, 8, vin, it_in, m0));
+        sim.add_component(TransformSequenced::new(
+            "copy",
+            PixelOp::Identity,
+            PixelFormat::Gray8,
+            it_in,
+            it_out,
+            Some(n as u64),
+        ));
+        sim.add_component(WriteBufferSram::new("wbuffer", 64, 4096, it_out, vout, m1));
+        let sink = sim.add_component(VideoOut::new("sink", n, None, vout.valid, vout.data));
+        sim.reset().unwrap();
+        let mut remaining = 40_000u64;
+        while remaining > 0 {
+            sim.run(256).unwrap();
+            remaining -= 256;
+            if !sim.component::<VideoOut>(sink).unwrap().frames().is_empty() {
+                break;
+            }
+        }
+        let frames = sim.component::<VideoOut>(sink).unwrap().frames();
+        assert_eq!(frames.first().cloned(), Some(pixels), "{policy:?}");
+    }
+}
+
+/// The blur model produces the golden result over RGB as well — the
+/// "specific application domains ... demand specific libraries" and
+/// "specialized iterators" of §5.
+#[test]
+fn blur_model_rgb() {
+    let frame = Frame::noise(7, 5, PixelFormat::Rgb24, 41);
+    let model = VideoPipelineModel::new("blur_rgb", PixelFormat::Rgb24, 7, 5, Algorithm::Blur)
+        .unwrap()
+        .with_source_gap(1);
+    let golden = golden::blur3x3(&frame, golden::BlurBorder::Crop).unwrap();
+    assert_eq!(model.process_frame(&frame).unwrap(), golden);
+}
+
+/// Labelling golden model sanity over generated frames (the domain
+/// algorithm the paper names for the library).
+#[test]
+fn labelling_counts_checkerboard_components() {
+    let f = Frame::checkerboard(8, 8, PixelFormat::Gray8, 2);
+    let (labels, count) = golden::label(&f);
+    // 2x2 cells: 8 foreground cells, none 4-connected to each other.
+    assert_eq!(count, 8);
+    assert_eq!(labels.iter().filter(|&&l| l != 0).count(), 8 * 4);
+}
+
+/// A full-scale frame (64x64, the size class the paper's functional
+/// checks would use) through the streaming pipeline: validates the
+/// library at realistic workload sizes, not just toy frames.
+#[test]
+fn full_scale_frame_through_the_pipeline() {
+    let frame = Frame::noise(64, 64, PixelFormat::Gray8, 2026);
+    let model = VideoPipelineModel::new(
+        "saa2vga_fullscale",
+        PixelFormat::Gray8,
+        64,
+        64,
+        Algorithm::Transform(PixelOp::Identity),
+    )
+    .unwrap();
+    let out = model.process_frame(&frame).unwrap();
+    assert_eq!(out, frame);
+}
+
+/// Full-scale blur: 48x32 against the golden kernel.
+#[test]
+fn full_scale_blur_matches_golden() {
+    let frame = Frame::noise(48, 32, PixelFormat::Gray8, 2027);
+    let model = VideoPipelineModel::new(
+        "blur_fullscale",
+        PixelFormat::Gray8,
+        48,
+        32,
+        Algorithm::Blur,
+    )
+    .unwrap()
+    .with_source_gap(1);
+    let out = model.process_frame(&frame).unwrap();
+    let golden = golden::blur3x3(&frame, golden::BlurBorder::Crop).unwrap();
+    assert_eq!(out, golden);
+}
