@@ -4,11 +4,12 @@
 //! comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hdp_bench::{build_design_sim, run_design_sim};
+use hdp_bench::{build_design_sim, build_design_sim_scheduled, run_design_sim};
 use hdp_core::golden::PixelOp;
 use hdp_core::model::{Algorithm, VideoPipelineModel};
 use hdp_core::pixel::{Frame, PixelFormat};
 use hdp_metagen::design::{DesignKind, DesignParams, Style};
+use hdp_sim::SchedMode;
 use std::hint::black_box;
 
 fn bench_netlist_sim(c: &mut Criterion) {
@@ -62,5 +63,49 @@ fn bench_model_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_netlist_sim, bench_model_sim);
+/// Event-driven scheduling + incremental netlist evaluation against
+/// the legacy full-sweep/full-eval reference, on the blur-filter
+/// workload. The two configurations are asserted bit-identical before
+/// any time is measured.
+fn bench_sched_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_mode_blur_frame");
+    let frame = Frame::noise(32, 8, PixelFormat::Gray8, 11);
+    let n = frame.pixels().len();
+    let out_len = (32 - 2) * (8 - 2);
+    let gap = 1u32;
+    let budget = n as u64 * u64::from(gap + 1) * 4 + 2000;
+    let run = |mode: SchedMode, incremental: bool| {
+        let (mut sim, sink) = build_design_sim_scheduled(
+            DesignKind::Blur,
+            Style::Pattern,
+            DesignParams::small(32),
+            frame.pixels().to_vec(),
+            gap,
+            out_len,
+            mode,
+            incremental,
+        );
+        run_design_sim(&mut sim, sink, budget)
+    };
+    assert_eq!(
+        run(SchedMode::EventDriven, true),
+        run(SchedMode::FullSweep, false),
+        "schedulers must agree bit for bit"
+    );
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("event", |b| {
+        b.iter(|| black_box(run(SchedMode::EventDriven, true)))
+    });
+    group.bench_function("sweep", |b| {
+        b.iter(|| black_box(run(SchedMode::FullSweep, false)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_netlist_sim,
+    bench_model_sim,
+    bench_sched_modes
+);
 criterion_main!(benches);

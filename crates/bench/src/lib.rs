@@ -16,7 +16,7 @@
 
 use hdp_metagen::design::{generate, DesignKind, DesignParams, Style};
 use hdp_sim::devices::{Sram, VideoIn, VideoOut};
-use hdp_sim::{NetlistComponent, SignalId, Simulator};
+use hdp_sim::{NetlistComponent, SchedMode, SignalId, Simulator};
 
 /// Builds a ready-to-run simulation of one generated Table 3 design:
 /// the design netlist plus video source, sink and (for the SRAM
@@ -36,8 +36,42 @@ pub fn build_design_sim(
     gap: u32,
     out_len: usize,
 ) -> (Simulator, hdp_sim::ComponentId) {
+    build_design_sim_scheduled(
+        kind,
+        style,
+        params,
+        pixels,
+        gap,
+        out_len,
+        SchedMode::default(),
+        true,
+    )
+}
+
+/// [`build_design_sim`] with explicit scheduler configuration: the
+/// simulator's [`SchedMode`] and whether the netlist interpreter uses
+/// incremental evaluation. `(FullSweep, false)` reproduces the legacy
+/// evaluate-everything behaviour for baseline measurements.
+///
+/// # Panics
+///
+/// Panics on generation or wiring failures — the harness treats those
+/// as fatal.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn build_design_sim_scheduled(
+    kind: DesignKind,
+    style: Style,
+    params: DesignParams,
+    pixels: Vec<u64>,
+    gap: u32,
+    out_len: usize,
+    mode: SchedMode,
+    incremental: bool,
+) -> (Simulator, hdp_sim::ComponentId) {
     let design = generate(kind, style, params).expect("design generates");
     let mut sim = Simulator::new();
+    sim.set_mode(mode);
     let vid_valid = sim.add_signal("vid_valid", 1).unwrap();
     let vid_data = sim.add_signal("vid_data", params.data_width).unwrap();
     let vga_valid = sim.add_signal("vga_valid", 1).unwrap();
@@ -89,7 +123,12 @@ pub fn build_design_sim(
     let map_refs: Vec<(&str, SignalId)> = map.iter().map(|(n, s)| (n.as_str(), *s)).collect();
     let dut =
         NetlistComponent::new("dut", design.netlist, sim.bus(), &map_refs).expect("design wires");
-    sim.add_component(dut);
+    let dut = sim.add_component(dut);
+    if !incremental {
+        sim.component_mut::<NetlistComponent>(dut)
+            .expect("dut present")
+            .set_incremental(false);
+    }
     sim.add_component(VideoIn::new(
         "video_decoder",
         pixels,

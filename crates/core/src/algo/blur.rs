@@ -2,7 +2,7 @@
 
 use crate::iface::{ColumnIface, IterIface};
 use crate::pixel::PixelFormat;
-use hdp_sim::{Component, SignalBus, SimError};
+use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
 
 /// One column of three vertically adjacent pixels.
 #[derive(Debug, Clone, Copy, Default)]
@@ -161,6 +161,18 @@ impl Component for BlurEngine {
         self.x = 0;
         self.emitted = 0;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // Combinational: the advance/emit decision and the kernel's
+        // right column all flow through eval.
+        Sensitivity::Signals(vec![
+            self.input.avail,
+            self.output.can_write,
+            self.input.top,
+            self.input.mid,
+            self.input.bot,
+        ])
     }
 }
 

@@ -22,7 +22,7 @@
 //!   per cycle, on the output stream.
 
 use crate::iface::StreamIface;
-use hdp_sim::{Component, SignalBus, SimError};
+use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -250,6 +250,12 @@ impl Component for LabelEngine {
         self.component_count = 0;
         self.emit_cursor = 0;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval drives the output stream purely from phase/frame state;
+        // the input stream is sampled at the clock edge.
+        Sensitivity::Signals(vec![])
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::golden::PixelOp;
 use crate::iface::IterIface;
 use crate::pixel::PixelFormat;
-use hdp_sim::{Component, SignalBus, SimError};
+use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
 
 /// Streaming transform: one element per cycle when both iterators are
 /// ready.
@@ -111,6 +111,16 @@ impl Component for TransformStreaming {
     fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
         self.transferred = 0;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // Fully combinational: the handshake and the forwarded element
+        // all flow through eval.
+        Sensitivity::Signals(vec![
+            self.input.can_read,
+            self.output.can_write,
+            self.input.rdata,
+        ])
     }
 }
 
@@ -237,6 +247,12 @@ impl Component for TransformSequenced {
         self.latched = 0;
         self.transferred = 0;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval drives purely from the FSM and latched element; iterator
+        // handshakes are sampled at the clock edge.
+        Sensitivity::Signals(vec![])
     }
 }
 

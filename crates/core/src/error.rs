@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn sim_error_is_wrapped_with_source() {
-        let e = CoreError::from(hdp_sim::SimError::NoConvergence { limit: 64 });
+        let e = CoreError::from(hdp_sim::SimError::NoConvergence {
+            limit: 64,
+            oscillating: vec![],
+        });
         assert!(e.source().is_some());
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::iface::IterIface;
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, SignalBus, SimError};
+use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
 
 /// Read-side width adapter: presents a `wide`-bit forward input
 /// iterator over a container with a `narrow`-bit one.
@@ -151,6 +151,12 @@ impl Component for ReadWidthAdapter {
         self.done_pulse = false;
         Ok(())
     }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval combinationally folds the container's can_read into the
+        // engine-facing can_read; everything else comes from state.
+        Sensitivity::Signals(vec![self.container.can_read])
+    }
 }
 
 /// Write-side width adapter: presents a `wide`-bit forward output
@@ -274,6 +280,12 @@ impl Component for WriteWidthAdapter {
         self.emitting = None;
         self.done_pulse = false;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval combinationally folds the container's can_write into
+        // the engine-facing can_write; everything else is state.
+        Sensitivity::Signals(vec![self.container.can_write])
     }
 }
 

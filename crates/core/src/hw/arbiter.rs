@@ -8,7 +8,7 @@
 
 use crate::iface::SramPort;
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, SignalBus, SimError};
+use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
 
 /// Grant selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +166,18 @@ impl Component for SramArbiter {
         self.last = self.masters.len() - 1;
         self.grants.fill(0);
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // A combinational crossbar: forwards the granted master's
+        // command downstream and the memory's response back up, so it
+        // must re-run when any of those change.
+        let mut signals = Vec::new();
+        for m in &self.masters {
+            signals.extend([m.req, m.we, m.addr, m.wdata]);
+        }
+        signals.extend([self.down.ack, self.down.rdata]);
+        Sensitivity::Signals(signals)
     }
 }
 

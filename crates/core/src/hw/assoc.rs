@@ -2,7 +2,7 @@
 
 use crate::iface::RandomIterIface;
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, SignalBus, SignalId, SimError};
+use hdp_sim::{Component, Sensitivity, SignalBus, SignalId, SimError};
 
 /// Associative array over on-chip block RAM: a direct-mapped store
 /// with a tag compare, the classic silicon realisation of the Table 1
@@ -177,6 +177,12 @@ impl Component for AssocBram {
         self.hit = false;
         self.done_pulse = false;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval drives purely from registered state; strobes and the
+        // key are sampled at the clock edge.
+        Sensitivity::Signals(vec![])
     }
 }
 

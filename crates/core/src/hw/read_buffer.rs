@@ -3,7 +3,7 @@
 
 use crate::iface::{ColumnIface, IterIface, SramPort, StreamIface};
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, SignalBus, SimError};
+use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
 use std::collections::VecDeque;
 
 /// Read buffer over an on-chip FIFO core — the Figure 4 component.
@@ -108,6 +108,12 @@ impl Component for ReadBufferFifo {
     fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
         self.data.clear();
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval combinationally folds the read/inc strobes into `done`;
+        // everything else comes from buffered state.
+        Sensitivity::Signals(vec![self.it.read, self.it.inc])
     }
 }
 
@@ -324,6 +330,12 @@ impl Component for ReadBufferSram {
         self.reading_advances = false;
         Ok(())
     }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval drives purely from FSM/register state; the handshake and
+        // iterator strobes are sampled at the clock edge.
+        Sensitivity::Signals(vec![])
+    }
 }
 
 /// Read buffer over the 3-line buffer, exposing the specialised
@@ -434,6 +446,11 @@ impl Component for ColumnBuffer {
         self.pushed = 0;
         self.popped = 0;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval drives purely from the line window state.
+        Sensitivity::Signals(vec![])
     }
 }
 

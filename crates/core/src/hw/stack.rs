@@ -3,7 +3,7 @@
 
 use crate::iface::{IterIface, SramPort};
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, SignalBus, SimError};
+use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
 
 /// Stack over an on-chip LIFO core.
 ///
@@ -116,6 +116,12 @@ impl Component for StackLifo {
     fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
         self.data.clear();
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval folds the write/read/dec strobes into `done`; the rest
+        // comes from stack state.
+        Sensitivity::Signals(vec![self.it.write, self.it.read, self.dec])
     }
 }
 
@@ -287,6 +293,12 @@ impl Component for StackSram {
         self.fetched = None;
         self.done_pulse = false;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval drives purely from FSM/register state; strobes and the
+        // memory handshake are sampled at the clock edge.
+        Sensitivity::Signals(vec![])
     }
 }
 

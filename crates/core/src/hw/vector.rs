@@ -2,7 +2,7 @@
 
 use crate::iface::{RandomIterIface, SramPort};
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, SignalBus, SimError};
+use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
 
 /// Which access a multi-cycle vector operation is performing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +164,12 @@ impl Component for VectorBram {
         self.done_pulse = false;
         // Block RAM contents survive reset.
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval drives purely from registered state; strobes are
+        // sampled at the clock edge.
+        Sensitivity::Signals(vec![])
     }
 }
 
@@ -335,6 +341,12 @@ impl Component for VectorSram {
         self.fetched = None;
         self.done_pulse = false;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval drives purely from FSM/register state; the SRAM ack is
+        // sampled at the clock edge.
+        Sensitivity::Signals(vec![])
     }
 }
 

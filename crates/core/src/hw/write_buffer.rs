@@ -3,7 +3,7 @@
 
 use crate::iface::{IterIface, SramPort, StreamIface};
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, SignalBus, SimError};
+use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
 use std::collections::VecDeque;
 
 /// Write buffer over an on-chip FIFO core.
@@ -118,6 +118,12 @@ impl Component for WriteBufferFifo {
         self.data.clear();
         self.staged = None;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval combinationally folds the write/inc strobes into `done`;
+        // everything else comes from buffered state.
+        Sensitivity::Signals(vec![self.it.write, self.it.inc])
     }
 }
 
@@ -319,6 +325,12 @@ impl Component for WriteBufferSram {
         self.done_pulse = false;
         self.drained = None;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        // eval drives purely from FSM/register state; strobes and the
+        // memory handshake are sampled at the clock edge.
+        Sensitivity::Signals(vec![])
     }
 }
 

@@ -23,7 +23,50 @@
 //!   simply waits — it is never an error at this interface, which is
 //!   what lets the same algorithm run unmodified over any container.
 
-use hdp_sim::{SignalId, SimError, Simulator};
+use hdp_sim::{vcd::VcdRecorder, SignalId, SimError, Simulator};
+
+/// A named bundle of signals forming one hardware interface.
+///
+/// Every interface in this module is a plain struct of [`SignalId`]s
+/// with its own `alloc` constructor. This trait gives them a common
+/// shape so tooling can be written once per *bundle* instead of once
+/// per *signal*: waveform recording, monitoring, and sensitivity
+/// registration all want "every signal of this interface, with a
+/// port name" without caring which interface it is.
+///
+/// `alloc` here is the generic single-width form: auxiliary widths
+/// (the position operand of [`RandomIterIface`], the address of
+/// [`SramPort`]) default to the data width. Call the bundle's
+/// inherent `alloc` when those must differ — inherent associated
+/// functions shadow this one, so existing call sites are unaffected.
+pub trait IfaceBundle {
+    /// Allocates the bundle's signals as `"<prefix>_<port>"`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signal-creation failures (duplicate names, bad
+    /// width).
+    fn alloc(sim: &mut Simulator, prefix: &str, width: usize) -> Result<Self, SimError>
+    where
+        Self: Sized;
+
+    /// Every signal of the bundle with its port name.
+    fn signals(&self) -> Vec<(&'static str, SignalId)>;
+
+    /// Just the signal ids, in `signals` order — the form wanted by
+    /// sensitivity lists and probe constructors.
+    fn signal_ids(&self) -> Vec<SignalId> {
+        self.signals().iter().map(|&(_, s)| s).collect()
+    }
+
+    /// A waveform recorder watching the whole bundle.
+    fn recorder(&self, name: impl Into<String>) -> VcdRecorder
+    where
+        Self: Sized,
+    {
+        VcdRecorder::new(name, self.signal_ids())
+    }
+}
 
 /// A valid/data pixel stream (video decoder output, VGA input).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +89,16 @@ impl StreamIface {
             valid: sim.add_signal(format!("{prefix}_valid"), 1)?,
             data: sim.add_signal(format!("{prefix}_data"), data_width)?,
         })
+    }
+}
+
+impl IfaceBundle for StreamIface {
+    fn alloc(sim: &mut Simulator, prefix: &str, width: usize) -> Result<Self, SimError> {
+        Self::alloc(sim, prefix, width)
+    }
+
+    fn signals(&self) -> Vec<(&'static str, SignalId)> {
+        vec![("valid", self.valid), ("data", self.data)]
     }
 }
 
@@ -91,6 +144,25 @@ impl IterIface {
     }
 }
 
+impl IfaceBundle for IterIface {
+    fn alloc(sim: &mut Simulator, prefix: &str, width: usize) -> Result<Self, SimError> {
+        Self::alloc(sim, prefix, width)
+    }
+
+    fn signals(&self) -> Vec<(&'static str, SignalId)> {
+        vec![
+            ("inc", self.inc),
+            ("read", self.read),
+            ("write", self.write),
+            ("rdata", self.rdata),
+            ("wdata", self.wdata),
+            ("done", self.done),
+            ("can_read", self.can_read),
+            ("can_write", self.can_write),
+        ]
+    }
+}
+
 /// The random iterator interface: everything in [`IterIface`] plus
 /// `dec` and `index`/`pos` (Table 2's full operation set).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +198,20 @@ impl RandomIterIface {
     }
 }
 
+impl IfaceBundle for RandomIterIface {
+    /// The position operand gets the data width; use the inherent
+    /// `alloc` for an independent `pos_width`.
+    fn alloc(sim: &mut Simulator, prefix: &str, width: usize) -> Result<Self, SimError> {
+        Self::alloc(sim, prefix, width, width)
+    }
+
+    fn signals(&self) -> Vec<(&'static str, SignalId)> {
+        let mut s = self.seq.signals();
+        s.extend([("dec", self.dec), ("index", self.index), ("pos", self.pos)]);
+        s
+    }
+}
+
 /// The specialised column iterator of the blur example: each advance
 /// presents three vertically adjacent pixels (§4: the 3-line buffer is
 /// "structured to provide 3 pixels in a column for each access").
@@ -157,6 +243,22 @@ impl ColumnIface {
             mid: sim.add_signal(format!("{prefix}_mid"), data_width)?,
             bot: sim.add_signal(format!("{prefix}_bot"), data_width)?,
         })
+    }
+}
+
+impl IfaceBundle for ColumnIface {
+    fn alloc(sim: &mut Simulator, prefix: &str, width: usize) -> Result<Self, SimError> {
+        Self::alloc(sim, prefix, width)
+    }
+
+    fn signals(&self) -> Vec<(&'static str, SignalId)> {
+        vec![
+            ("inc", self.inc),
+            ("avail", self.avail),
+            ("top", self.top),
+            ("mid", self.mid),
+            ("bot", self.bot),
+        ]
     }
 }
 
@@ -219,6 +321,25 @@ impl SramPort {
     }
 }
 
+impl IfaceBundle for SramPort {
+    /// Address and data share `width`; use the inherent `alloc` for an
+    /// independent address width.
+    fn alloc(sim: &mut Simulator, prefix: &str, width: usize) -> Result<Self, SimError> {
+        Self::alloc(sim, prefix, width, width)
+    }
+
+    fn signals(&self) -> Vec<(&'static str, SignalId)> {
+        vec![
+            ("req", self.req),
+            ("we", self.we),
+            ("addr", self.addr),
+            ("wdata", self.wdata),
+            ("ack", self.ack),
+            ("rdata", self.rdata),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +391,69 @@ mod tests {
         let mut sim = Simulator::new();
         let s = StreamIface::alloc(&mut sim, "vid", 24).unwrap();
         assert_eq!(sim.bus().width(s.data).unwrap(), 24);
+    }
+
+    /// Allocates any bundle through the trait — the generic tooling
+    /// path.
+    fn alloc_generic<B: IfaceBundle>(
+        sim: &mut Simulator,
+        prefix: &str,
+        width: usize,
+    ) -> Result<B, SimError> {
+        B::alloc(sim, prefix, width)
+    }
+
+    #[test]
+    fn bundle_signals_name_every_port() {
+        let mut sim = Simulator::new();
+        let it: RandomIterIface = alloc_generic(&mut sim, "r", 8).unwrap();
+        let names: Vec<&str> = it.signals().iter().map(|&(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "inc",
+                "read",
+                "write",
+                "rdata",
+                "wdata",
+                "done",
+                "can_read",
+                "can_write",
+                "dec",
+                "index",
+                "pos"
+            ]
+        );
+        // Port names match the allocated bus names.
+        for (port, sig) in it.signals() {
+            assert_eq!(sim.bus().name(sig).unwrap(), format!("r_{port}"));
+        }
+    }
+
+    #[test]
+    fn bundle_signal_ids_feed_probes_and_sensitivity() {
+        let mut sim = Simulator::new();
+        let port: SramPort = alloc_generic(&mut sim, "mem", 8).unwrap();
+        assert_eq!(port.signal_ids().len(), 6);
+        // Trait alloc shares the width between address and data.
+        assert_eq!(sim.bus().width(port.addr).unwrap(), 8);
+        assert_eq!(sim.bus().width(port.wdata).unwrap(), 8);
+    }
+
+    #[test]
+    fn bundle_recorder_watches_whole_interface() {
+        let mut sim = Simulator::new();
+        let s: StreamIface = alloc_generic(&mut sim, "vid", 8).unwrap();
+        let rec = sim.add_component(s.recorder("vcd"));
+        sim.poke(s.valid, 1).unwrap();
+        sim.poke(s.data, 7).unwrap();
+        sim.reset().unwrap();
+        sim.run(1).unwrap();
+        let text = sim
+            .component::<hdp_sim::vcd::VcdRecorder>(rec)
+            .unwrap()
+            .render(sim.bus());
+        assert!(text.contains("vid_valid"));
+        assert!(text.contains("vid_data"));
     }
 }

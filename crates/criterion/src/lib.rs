@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! vendors the subset of the `criterion 0.5` API the workspace benches
+//! use: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with [`Throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then timed
+//! batches until a wall-clock budget is spent, reporting the mean
+//! time per iteration (and throughput when declared). No statistics,
+//! no plots, no baseline store — enough to compare two
+//! implementations in one run, which is what the workspace benches do.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Warm-up budget before measurement.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), None, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of a benchmark; calls back into the timed
+/// routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly until the measurement budget
+    /// is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: establish caches and an iteration-cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32);
+        let batch = per_iter
+            .map(|d| {
+                if d.is_zero() {
+                    1024
+                } else {
+                    (MEASURE_BUDGET.as_nanos() / d.as_nanos().max(1) / 10).clamp(1, 4096) as u64
+                }
+            })
+            .unwrap_or(1);
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.iters += batch;
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{id:<48} (no iterations timed)");
+        return;
+    }
+    let per_iter_ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("{} elem/s", si(n as f64 * 1e9 / per_iter_ns)),
+        Throughput::Bytes(n) => format!("{}B/s", si(n as f64 * 1e9 / per_iter_ns)),
+    });
+    match rate {
+        Some(r) => println!("{id:<48} {:>12}/iter  {r}", fmt_ns(per_iter_ns)),
+        None => println!("{id:<48} {:>12}/iter", fmt_ns(per_iter_ns)),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// The `main` of a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(2 + 2));
+        assert!(b.iters > 0);
+        assert!(b.elapsed >= MEASURE_BUDGET);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        // Not timed meaningfully — just exercises the API shape.
+        let mut group = c.benchmark_group("shape");
+        group.throughput(Throughput::Elements(4));
+        group.finish();
+    }
+
+    #[test]
+    fn formatting_helpers_cover_ranges() {
+        assert!(fmt_ns(10.0).contains("ns"));
+        assert!(fmt_ns(10_000.0).contains("µs"));
+        assert!(fmt_ns(10_000_000.0).contains("ms"));
+        assert!(fmt_ns(10_000_000_000.0).ends_with('s'));
+        assert!(si(5e9).contains('G'));
+        assert!(si(5e6).contains('M'));
+        assert!(si(5e3).contains('k'));
+    }
+}

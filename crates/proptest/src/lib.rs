@@ -1,0 +1,555 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! vendors the subset of the `proptest 1.x` API the workspace test
+//! suites use: [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! `any::<T>()`, integer-range and tuple strategies, a `[chars]{n}`
+//! regex-literal string strategy, `prop::collection::vec`,
+//! `prop::sample::select`, `prop_oneof!`, and the [`proptest!`] test
+//! macro.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs and the
+//!   deterministic case number instead of a minimised example.
+//! * **Deterministic seeding** — cases are derived from the test name
+//!   and case index, so failures reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-case RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one test case, derived from a test-name hash and the
+    /// case index.
+    #[must_use]
+    pub fn for_case(name_hash: u64, case: u64) -> Self {
+        TestRng {
+            state: name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample from empty range");
+        self.next_u64() % n
+    }
+}
+
+/// FNV-1a hash of a test name, used as the base seed.
+#[doc(hidden)]
+#[must_use]
+pub fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between several strategies (see [`prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Debug> Union<V> {
+    /// Builds the union; `options` must be non-empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T` (see [`Arbitrary`]).
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The strategy of arbitrary values of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                start + (if span == u64::MAX { rng.next_u64() } else { rng.below(span + 1) }) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// String strategy from a `[charset]{n}` regex literal.
+///
+/// Supports exactly the character-class-with-repetition form
+/// (`"[01XZ]{8}"`, ranges like `a-z` allowed inside the class); any
+/// other pattern panics, loudly, at generation time.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (charset, count) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported regex pattern `{self}` (want `[chars]{{n}}`)"));
+        (0..count)
+            .map(|_| charset[rng.below(charset.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut charset = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            for c in lo..=hi {
+                charset.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            charset.push(class[i]);
+            i += 1;
+        }
+    }
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((charset, 1));
+    }
+    let count: usize = tail.strip_prefix('{')?.strip_suffix('}')?.parse().ok()?;
+    Some((charset, count))
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Element-count specification: an exact size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + (rng.below(span.max(1)) as usize).min(span as usize);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Everything a proptest-based test file needs.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, Union,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body
+/// runs for `ProptestConfig::cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::name_hash(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(__seed, u64::from(__case));
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = {
+                    let mut __s = String::new();
+                    $(__s.push_str(&format!("{} = {:?}; ", stringify!($arg), &$arg));)+
+                    __s
+                };
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest `{}` failed at case {}/{} with inputs: {}",
+                        stringify!($name), __case, __config.cases, __inputs
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_sample_in_bounds() {
+        let mut rng = crate::TestRng::for_case(1, 0);
+        for _ in 0..200 {
+            let v = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (2usize..=5).generate(&mut rng);
+            assert!((2..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_from_class() {
+        let mut rng = crate::TestRng::for_case(2, 0);
+        let s = "[01XZ]{8}".generate(&mut rng);
+        assert_eq!(s.len(), 8);
+        assert!(s.chars().all(|c| "01XZ".contains(c)));
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::TestRng::for_case(3, 0);
+        for _ in 0..100 {
+            let v = prop::collection::vec(any::<u8>(), 1..120).generate(&mut rng);
+            assert!((1..120).contains(&v.len()));
+            let w = prop::collection::vec(any::<u8>(), 4).generate(&mut rng);
+            assert_eq!(w.len(), 4);
+        }
+    }
+
+    #[test]
+    fn oneof_map_flat_map_and_select_compose() {
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        enum Op {
+            Push(u8),
+            Pop,
+        }
+        let strat = prop_oneof![any::<u8>().prop_map(Op::Push), Just(Op::Pop)];
+        let nested = (2usize..=5).prop_flat_map(|n| prop::collection::vec(0u64..n as u64, n));
+        let mut rng = crate::TestRng::for_case(4, 0);
+        let mut seen_push = false;
+        let mut seen_pop = false;
+        for _ in 0..100 {
+            match strat.generate(&mut rng) {
+                Op::Push(_) => seen_push = true,
+                Op::Pop => seen_pop = true,
+            }
+            let v = nested.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < v.len() as u64));
+            let c = prop::sample::select(vec![1usize, 2, 3]).generate(&mut rng);
+            assert!((1..=3).contains(&c));
+        }
+        assert!(seen_push && seen_pop);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: bindings, tuples and assertions.
+        #[test]
+        fn macro_generates_cases(pair in (0u8..10, 0u8..10), flag in any::<bool>()) {
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+    }
+}

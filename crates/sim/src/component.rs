@@ -1,6 +1,25 @@
 //! The [`Component`] trait implemented by every simulated hardware model.
 
-use crate::{SignalBus, SimError};
+use crate::{SignalBus, SignalId, SimError};
+
+/// What wakes a component's [`Component::eval`] during settling.
+///
+/// The event-driven scheduler evaluates a component only when a signal
+/// it is sensitive to changed in the previous delta pass (plus once
+/// after every clock edge for clocked components, and once after
+/// reset). [`Sensitivity::Always`] opts out of that filtering and
+/// restores full-sweep behaviour for one component — the safe default
+/// for implementations that predate the sensitivity API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sensitivity {
+    /// Evaluate in every settle pass (full-sweep semantics).
+    Always,
+    /// Evaluate only when one of these signals changes. An empty list
+    /// is valid and means `eval` depends on registered state alone:
+    /// the component is still evaluated after clock edges and reset,
+    /// where that state changes.
+    Signals(Vec<SignalId>),
+}
 
 /// A clocked hardware component.
 ///
@@ -18,6 +37,21 @@ use crate::{SignalBus, SimError};
 /// This split gives well-defined synchronous semantics: every
 /// component observes the same settled pre-edge values, exactly like
 /// flip-flops sharing one clock.
+///
+/// ## Scheduling contract
+///
+/// Under the event-driven scheduler (the default,
+/// [`crate::SchedMode::EventDriven`]) two further declarations matter:
+///
+/// * [`Component::sensitivity`] names the signals whose changes require
+///   re-evaluation. Every signal `eval` *reads* must be listed —
+///   listing extra signals merely costs spurious wake-ups, omitting a
+///   read signal produces stale outputs. The default is
+///   [`Sensitivity::Always`], which is always correct.
+/// * [`Component::is_clocked`] splits sequential from combinational
+///   components: a component returning `false` promises its `tick` is
+///   a no-op and its `eval` output never depends on clock edges, so
+///   the scheduler may skip both.
 pub trait Component {
     /// The instance name, used in error reports and traces.
     fn name(&self) -> &str;
@@ -50,6 +84,19 @@ pub trait Component {
         let _ = bus;
         Ok(())
     }
+
+    /// The signals whose changes require re-evaluating this component
+    /// (see the trait-level scheduling contract). Must be stable for
+    /// the lifetime of the component; the scheduler caches it.
+    fn sensitivity(&self) -> Sensitivity {
+        Sensitivity::Always
+    }
+
+    /// Whether this component has clock-edge behaviour. Return `false`
+    /// only if [`Component::tick`] is a no-op.
+    fn is_clocked(&self) -> bool {
+        true
+    }
 }
 
 impl<T: Component + ?Sized> Component for Box<T> {
@@ -67,5 +114,13 @@ impl<T: Component + ?Sized> Component for Box<T> {
 
     fn reset(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
         (**self).reset(bus)
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        (**self).sensitivity()
+    }
+
+    fn is_clocked(&self) -> bool {
+        (**self).is_clocked()
     }
 }

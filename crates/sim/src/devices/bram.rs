@@ -123,6 +123,12 @@ impl Component for Bram {
         // Contents survive reset, as in real block RAM.
         Ok(())
     }
+
+    fn sensitivity(&self) -> crate::Sensitivity {
+        // eval drives the registered read output only; the address and
+        // write ports are sampled at the clock edge.
+        crate::Sensitivity::Signals(vec![])
+    }
 }
 
 #[cfg(test)]

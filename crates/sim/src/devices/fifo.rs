@@ -133,6 +133,12 @@ impl Component for FifoCore {
         self.data.clear();
         Ok(())
     }
+
+    fn sensitivity(&self) -> crate::Sensitivity {
+        // eval drives purely from queue state; push/pop/wdata are only
+        // sampled at the clock edge.
+        crate::Sensitivity::Signals(vec![])
+    }
 }
 
 #[cfg(test)]

@@ -114,6 +114,12 @@ impl Component for LifoCore {
         self.data.clear();
         Ok(())
     }
+
+    fn sensitivity(&self) -> crate::Sensitivity {
+        // eval drives purely from stack state; inputs are only sampled
+        // at the clock edge.
+        crate::Sensitivity::Signals(vec![])
+    }
 }
 
 #[cfg(test)]

@@ -151,6 +151,12 @@ impl Component for LineBuffer3 {
         self.popped = 0;
         Ok(())
     }
+
+    fn sensitivity(&self) -> crate::Sensitivity {
+        // eval drives purely from window state; push/pop/wdata are
+        // sampled at the clock edge.
+        crate::Sensitivity::Signals(vec![])
+    }
 }
 
 #[cfg(test)]

@@ -215,6 +215,12 @@ impl Component for Sram {
         // Contents survive reset, as in a real part.
         Ok(())
     }
+
+    fn sensitivity(&self) -> crate::Sensitivity {
+        // eval drives ack/rdata purely from the handshake phase; req
+        // and the address/data pins are sampled at the clock edge.
+        crate::Sensitivity::Signals(vec![])
+    }
 }
 
 impl Sram {

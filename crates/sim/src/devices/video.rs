@@ -124,6 +124,11 @@ impl Component for VideoIn {
         self.exhausted = false;
         Ok(())
     }
+
+    fn sensitivity(&self) -> crate::Sensitivity {
+        // A free-running source: eval drives purely from stream state.
+        crate::Sensitivity::Signals(vec![])
+    }
 }
 
 /// A pixel-stream sink standing in for the VGA coder of Figure 1.
@@ -227,6 +232,11 @@ impl Component for VideoOut {
         self.frames.clear();
         self.idle_cycles = 0;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> crate::Sensitivity {
+        // A pure sink: eval drives nothing at all.
+        crate::Sensitivity::Signals(vec![])
     }
 }
 

@@ -29,6 +29,10 @@ pub enum SimError {
     NoConvergence {
         /// The delta-cycle limit that was exhausted.
         limit: usize,
+        /// `signal (last driven by component)` descriptions of the
+        /// signals still changing in the final delta pass — the wires
+        /// of the feedback loop. Capped to the first few offenders.
+        oscillating: Vec<String>,
     },
     /// A component detected a protocol violation (FIFO overflow, VGA
     /// underrun, SRAM handshake misuse, ...).
@@ -58,8 +62,12 @@ impl fmt::Display for SimError {
                 f,
                 "signal `{signal}` has width {expected}, driven with width {found}"
             ),
-            SimError::NoConvergence { limit } => {
-                write!(f, "combinational settling exceeded {limit} delta cycles")
+            SimError::NoConvergence { limit, oscillating } => {
+                write!(f, "combinational settling exceeded {limit} delta cycles")?;
+                if !oscillating.is_empty() {
+                    write!(f, "; oscillating: {}", oscillating.join(", "))?;
+                }
+                Ok(())
             }
             SimError::Protocol { component, message } => {
                 write!(f, "protocol violation in `{component}`: {message}")
@@ -101,6 +109,21 @@ mod tests {
         let e = SimError::from(HdlError::InvalidWidth { width: 0 });
         assert!(e.source().is_some());
         assert!(e.to_string().contains("width"));
+    }
+
+    #[test]
+    fn no_convergence_names_oscillating_signals() {
+        let e = SimError::NoConvergence {
+            limit: 64,
+            oscillating: vec![
+                "x (last driven by `a`)".into(),
+                "y (last driven by `b`)".into(),
+            ],
+        };
+        let text = e.to_string();
+        assert!(text.contains("64"));
+        assert!(text.contains("x (last driven by `a`)"));
+        assert!(text.contains("y (last driven by `b`)"));
     }
 
     #[test]

@@ -9,8 +9,13 @@
 //!
 //! * [`Simulator`] — two-phase clocked scheduler: combinational
 //!   settling to a fixpoint (delta cycles), then a synchronous clock
-//!   edge.
-//! * [`Component`] — the trait every hardware model implements.
+//!   edge. Settling is event-driven by default — only components
+//!   sensitive to a changed signal re-evaluate — with a full-sweep
+//!   reference mode selectable via [`SchedMode`].
+//! * [`SimBuilder`] — builder-style construction that freezes the
+//!   scheduler's sensitivity tables once and applies power-on reset.
+//! * [`Component`] — the trait every hardware model implements,
+//!   including its [`Sensitivity`] declaration.
 //! * [`devices`] — the board: FIFO and LIFO cores, synchronous block
 //!   RAM, external SRAM with a req/ack handshake and configurable
 //!   latency, a 3-line video buffer, a video-decoder stream source and
@@ -24,18 +29,18 @@
 //! ## Example
 //!
 //! ```
-//! use hdp_sim::{Simulator, devices::FifoCore};
+//! use hdp_sim::{SimBuilder, devices::FifoCore};
 //!
 //! # fn main() -> Result<(), hdp_sim::SimError> {
-//! let mut sim = Simulator::new();
-//! let push = sim.add_signal("push", 1)?;
-//! let pop = sim.add_signal("pop", 1)?;
-//! let wdata = sim.add_signal("wdata", 8)?;
-//! let rdata = sim.add_signal("rdata", 8)?;
-//! let empty = sim.add_signal("empty", 1)?;
-//! let full = sim.add_signal("full", 1)?;
-//! sim.add_component(FifoCore::new("u_fifo", 16, 8, push, pop, wdata, rdata, empty, full));
-//! sim.reset()?;
+//! let mut b = SimBuilder::new();
+//! let push = b.signal("push", 1)?;
+//! let pop = b.signal("pop", 1)?;
+//! let wdata = b.signal("wdata", 8)?;
+//! let rdata = b.signal("rdata", 8)?;
+//! let empty = b.signal("empty", 1)?;
+//! let full = b.signal("full", 1)?;
+//! b.component(FifoCore::new("u_fifo", 16, 8, push, pop, wdata, rdata, empty, full));
+//! let mut sim = b.build()?; // sensitivity tables frozen, reset applied
 //! sim.poke(push, 1)?;
 //! sim.poke(wdata, 0x42)?;
 //! sim.step()?; // push 0x42
@@ -59,8 +64,8 @@ mod sched;
 mod signal;
 pub mod vcd;
 
-pub use component::Component;
+pub use component::{Component, Sensitivity};
 pub use error::SimError;
 pub use netlist_sim::NetlistComponent;
-pub use sched::{ComponentId, Simulator};
+pub use sched::{ComponentId, SchedMode, SimBuilder, Simulator};
 pub use signal::{SignalBus, SignalId};

@@ -1,9 +1,10 @@
 //! Cycle-accurate interpretation of generated netlists.
 
-use crate::{Component, SignalBus, SignalId, SimError};
+use crate::{Component, Sensitivity, SignalBus, SignalId, SimError};
 use hdp_hdl::prim::Prim;
 use hdp_hdl::{CellId, LogicVector, Netlist, PortDir};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Per-cell state of sequential primitives.
 #[derive(Debug, Clone)]
@@ -35,6 +36,19 @@ enum SeqState {
 /// at construction. `inout` ports are not supported by the interpreter
 /// (the generated designs talk to the external SRAM through separate
 /// `in`/`out` pins plus the req/ack handshake, as in Figure 5).
+///
+/// ## Incremental evaluation
+///
+/// The interpreter keeps a levelized view of the combinational cells
+/// (their position in the topological order is their *rank*). After
+/// the first full evaluation, each [`Component::eval`] re-evaluates
+/// only the fanout cone of what actually changed — input nets that
+/// latched a new value and outputs of sequential cells after a clock
+/// edge — draining a rank-ordered worklist so every cell still sees
+/// fully settled inputs. This makes a settle pass cost proportional to
+/// activity rather than to design size, and is bit-identical to the
+/// full sweep (the rank order is exactly the full sweep's visit
+/// order over the affected cells).
 pub struct NetlistComponent {
     name: String,
     netlist: Netlist,
@@ -44,8 +58,37 @@ pub struct NetlistComponent {
     net_values: Vec<LogicVector>,
     seq_state: Vec<SeqState>,
     /// Nets driven by at least one combinational cell (pre-set to `Z`
-    /// each eval so tri-state resolution works).
+    /// each full eval so tri-state resolution works).
     comb_driven: Vec<bool>,
+    /// Topological rank of each combinational cell (`usize::MAX` for
+    /// sequential cells, which never enter the worklist).
+    rank: Vec<usize>,
+    /// net index -> combinational cells reading it.
+    fanout: Vec<Vec<usize>>,
+    /// net index -> combinational cells driving it (len > 1 marks a
+    /// shared tri-state net whose drivers must co-evaluate).
+    comb_drivers: Vec<Vec<usize>>,
+    /// Indices of sequential cells (Reg / BlockRam / Fifo / Lifo).
+    seq_cells: Vec<usize>,
+    /// Worklist of scheduled combinational cells, drained in rank order.
+    heap: BinaryHeap<Reverse<(usize, usize)>>,
+    /// Whether a cell is currently on the worklist.
+    queued: Vec<bool>,
+    /// Scratch stack for transitive co-driver scheduling.
+    sched_stack: Vec<usize>,
+    /// Monotonic eval counter; a shared net is `Z`-reset the first time
+    /// a driver writes it in a given wave.
+    wave: u64,
+    net_wave: Vec<u64>,
+    /// Run the legacy whole-netlist evaluation once (construction,
+    /// reset, white-box mutation).
+    full_eval: bool,
+    /// Incremental evaluation enabled (the default). Off, every eval
+    /// re-runs the whole netlist — the reference path, kept for
+    /// differential testing and as a benchmark baseline.
+    incremental: bool,
+    /// A clock edge happened: sequential outputs must be re-presented.
+    seq_dirty: bool,
 }
 
 impl std::fmt::Debug for NetlistComponent {
@@ -119,8 +162,11 @@ impl NetlistComponent {
             .map(|n| LogicVector::unknown(n.width()).expect("net widths validated"))
             .collect();
         let mut comb_driven = vec![false; netlist.nets().len()];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); netlist.nets().len()];
+        let mut comb_drivers: Vec<Vec<usize>> = vec![Vec::new(); netlist.nets().len()];
+        let mut seq_cells = Vec::new();
         let mut seq_state = Vec::with_capacity(netlist.cells().len());
-        for cell in netlist.cells() {
+        for (ci, cell) in netlist.cells().iter().enumerate() {
             let state = match cell.prim() {
                 Prim::Reg { width, .. } => {
                     SeqState::Reg(LogicVector::unknown(*width).expect("validated"))
@@ -140,12 +186,25 @@ impl NetlistComponent {
                 _ => {
                     for &net in cell.outputs() {
                         comb_driven[net.index()] = true;
+                        comb_drivers[net.index()].push(ci);
+                    }
+                    for &net in cell.inputs() {
+                        fanout[net.index()].push(ci);
                     }
                     SeqState::None
                 }
             };
+            if !matches!(state, SeqState::None) {
+                seq_cells.push(ci);
+            }
             seq_state.push(state);
         }
+        let mut rank = vec![usize::MAX; netlist.cells().len()];
+        for (pos, &ci) in topo.iter().enumerate() {
+            rank[ci.index()] = pos;
+        }
+        let queued = vec![false; netlist.cells().len()];
+        let net_wave = vec![0; netlist.nets().len()];
         Ok(Self {
             name,
             netlist,
@@ -154,7 +213,29 @@ impl NetlistComponent {
             net_values,
             seq_state,
             comb_driven,
+            rank,
+            fanout,
+            comb_drivers,
+            seq_cells,
+            heap: BinaryHeap::new(),
+            queued,
+            sched_stack: Vec::new(),
+            wave: 0,
+            net_wave,
+            full_eval: true,
+            incremental: true,
+            seq_dirty: true,
         })
+    }
+
+    /// Enables or disables incremental evaluation (on by default).
+    /// Disabled, every settle pass re-evaluates the whole netlist in
+    /// topological order — bit-identical, just slower.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.incremental = enabled;
+        if !enabled {
+            self.full_eval = true;
+        }
     }
 
     /// The wrapped netlist.
@@ -170,43 +251,225 @@ impl NetlistComponent {
         Some(self.net_values[id.index()])
     }
 
+    /// The current output-net values a sequential cell presents, as
+    /// `(net index, value)` pairs. Empty for combinational cells.
+    fn seq_output_values(&self, ci: usize) -> Vec<(usize, LogicVector)> {
+        let cell = &self.netlist.cells()[ci];
+        match (&self.seq_state[ci], cell.prim()) {
+            (SeqState::Reg(v), Prim::Reg { .. }) => {
+                vec![(cell.outputs()[0].index(), *v)]
+            }
+            (SeqState::Bram { out, .. }, Prim::BlockRam { data_width, .. }) => {
+                let v = match out {
+                    Some(v) => LogicVector::from_u64(*v, *data_width).expect("stored word"),
+                    None => LogicVector::unknown(*data_width).expect("validated"),
+                };
+                vec![(cell.outputs()[0].index(), v)]
+            }
+            (SeqState::Fifo { depth, data }, Prim::FifoMacro { width, .. }) => {
+                let outs = cell.outputs();
+                let front = match data.front() {
+                    Some(&v) => LogicVector::from_u64(v, *width).expect("stored word"),
+                    None => LogicVector::unknown(*width).expect("validated"),
+                };
+                vec![
+                    (outs[0].index(), front),
+                    (
+                        outs[1].index(),
+                        LogicVector::from_u64(u64::from(data.is_empty()), 1).expect("1 bit"),
+                    ),
+                    (
+                        outs[2].index(),
+                        LogicVector::from_u64(u64::from(data.len() >= *depth), 1).expect("1 bit"),
+                    ),
+                ]
+            }
+            (SeqState::Lifo { depth, data }, Prim::LifoMacro { width, .. }) => {
+                let outs = cell.outputs();
+                let top = match data.last() {
+                    Some(&v) => LogicVector::from_u64(v, *width).expect("stored word"),
+                    None => LogicVector::unknown(*width).expect("validated"),
+                };
+                vec![
+                    (outs[0].index(), top),
+                    (
+                        outs[1].index(),
+                        LogicVector::from_u64(u64::from(data.is_empty()), 1).expect("1 bit"),
+                    ),
+                    (
+                        outs[2].index(),
+                        LogicVector::from_u64(u64::from(data.len() >= *depth), 1).expect("1 bit"),
+                    ),
+                ]
+            }
+            _ => Vec::new(),
+        }
+    }
+
     fn drive_seq_outputs(&mut self) {
-        for (ci, cell) in self.netlist.cells().iter().enumerate() {
-            match (&self.seq_state[ci], cell.prim()) {
-                (SeqState::Reg(v), Prim::Reg { .. }) => {
-                    self.net_values[cell.outputs()[0].index()] = *v;
-                }
-                (SeqState::Bram { out, .. }, Prim::BlockRam { data_width, .. }) => {
-                    self.net_values[cell.outputs()[0].index()] = match out {
-                        Some(v) => LogicVector::from_u64(*v, *data_width).expect("stored word"),
-                        None => LogicVector::unknown(*data_width).expect("validated"),
-                    };
-                }
-                (SeqState::Fifo { depth, data }, Prim::FifoMacro { width, .. }) => {
-                    let outs = cell.outputs();
-                    self.net_values[outs[0].index()] = match data.front() {
-                        Some(&v) => LogicVector::from_u64(v, *width).expect("stored word"),
-                        None => LogicVector::unknown(*width).expect("validated"),
-                    };
-                    self.net_values[outs[1].index()] =
-                        LogicVector::from_u64(u64::from(data.is_empty()), 1).expect("1 bit");
-                    self.net_values[outs[2].index()] =
-                        LogicVector::from_u64(u64::from(data.len() >= *depth), 1).expect("1 bit");
-                }
-                (SeqState::Lifo { depth, data }, Prim::LifoMacro { width, .. }) => {
-                    let outs = cell.outputs();
-                    self.net_values[outs[0].index()] = match data.last() {
-                        Some(&v) => LogicVector::from_u64(v, *width).expect("stored word"),
-                        None => LogicVector::unknown(*width).expect("validated"),
-                    };
-                    self.net_values[outs[1].index()] =
-                        LogicVector::from_u64(u64::from(data.is_empty()), 1).expect("1 bit");
-                    self.net_values[outs[2].index()] =
-                        LogicVector::from_u64(u64::from(data.len() >= *depth), 1).expect("1 bit");
-                }
-                _ => {}
+        for i in 0..self.seq_cells.len() {
+            let ci = self.seq_cells[i];
+            for (net, v) in self.seq_output_values(ci) {
+                self.net_values[net] = v;
             }
         }
+    }
+
+    /// Puts a combinational cell on the rank-ordered worklist, along
+    /// with (transitively) every co-driver of its shared output nets —
+    /// a shared tri-state net is only correct when all its drivers
+    /// contribute to the same resolution wave.
+    fn schedule_cell(&mut self, cell: usize) {
+        self.sched_stack.push(cell);
+        while let Some(ci) = self.sched_stack.pop() {
+            if self.queued[ci] {
+                continue;
+            }
+            self.queued[ci] = true;
+            self.heap.push(Reverse((self.rank[ci], ci)));
+            let n_outs = self.netlist.cells()[ci].outputs().len();
+            for k in 0..n_outs {
+                let net = self.netlist.cells()[ci].outputs()[k].index();
+                if self.comb_drivers[net].len() > 1 {
+                    for j in 0..self.comb_drivers[net].len() {
+                        self.sched_stack.push(self.comb_drivers[net][j]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Schedules every combinational reader of a net.
+    fn schedule_net_fanout(&mut self, net: usize) {
+        for k in 0..self.fanout[net].len() {
+            let reader = self.fanout[net][k];
+            self.schedule_cell(reader);
+        }
+    }
+
+    /// Legacy whole-netlist evaluation: every cell, in topological
+    /// order. Used for the first pass after construction, reset or
+    /// white-box mutation; also the reference the incremental path
+    /// must match bit for bit.
+    fn eval_full(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        // 1. Latch input ports into their nets.
+        for (_, dir, net, signal) in &self.port_wiring {
+            if *dir == PortDir::In {
+                self.net_values[net.index()] = bus.read(*signal)?;
+            }
+        }
+        // 2. Present sequential outputs.
+        self.drive_seq_outputs();
+        // 3. Pre-release tri-state buses.
+        for (ni, driven) in self.comb_driven.iter().enumerate() {
+            if *driven {
+                let width = self.net_values[ni].width();
+                self.net_values[ni] = LogicVector::high_z(width).expect("validated");
+            }
+        }
+        // 4. Evaluate combinational cells in topological order.
+        for idx in 0..self.topo.len() {
+            let ci = self.topo[idx];
+            let cell = &self.netlist.cells()[ci.index()];
+            let inputs: Vec<LogicVector> = cell
+                .inputs()
+                .iter()
+                .map(|n| self.net_values[n.index()])
+                .collect();
+            let outputs = cell.prim().eval_comb(&inputs).map_err(SimError::from)?;
+            for (&net, value) in cell.outputs().iter().zip(outputs) {
+                let slot = &mut self.net_values[net.index()];
+                *slot = slot.resolve(&value).map_err(SimError::from)?;
+            }
+        }
+        // 5. Drive output ports.
+        for (_, dir, net, signal) in &self.port_wiring {
+            if *dir == PortDir::Out {
+                bus.drive(*signal, self.net_values[net.index()])?;
+            }
+        }
+        // The netlist is now fully settled from current inputs and
+        // state: later passes only need the fanout of future changes.
+        self.heap.clear();
+        self.queued.iter_mut().for_each(|q| *q = false);
+        self.full_eval = false;
+        self.seq_dirty = false;
+        Ok(())
+    }
+
+    /// Incremental evaluation: re-run only the fanout cone of changed
+    /// input nets and (after a clock edge) changed sequential outputs.
+    fn eval_incremental(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        self.wave += 1;
+        // 1. Latch input ports, scheduling readers of changed nets.
+        for pi in 0..self.port_wiring.len() {
+            let (dir, net, signal) = {
+                let w = &self.port_wiring[pi];
+                (w.1, w.2, w.3)
+            };
+            if dir == PortDir::In {
+                let new = bus.read(signal)?;
+                if new != self.net_values[net.index()] {
+                    self.net_values[net.index()] = new;
+                    self.schedule_net_fanout(net.index());
+                }
+            }
+        }
+        // 2. After a clock edge, re-present sequential outputs.
+        if self.seq_dirty {
+            self.seq_dirty = false;
+            for i in 0..self.seq_cells.len() {
+                let ci = self.seq_cells[i];
+                for (net, v) in self.seq_output_values(ci) {
+                    if v != self.net_values[net] {
+                        self.net_values[net] = v;
+                        self.schedule_net_fanout(net);
+                    }
+                }
+            }
+        }
+        // 3. Drain the worklist in rank order. Rank order guarantees a
+        // reader runs after every (scheduled) driver of its inputs, so
+        // each cell sees settled values exactly as in the full sweep.
+        while let Some(Reverse((_, ci))) = self.heap.pop() {
+            self.queued[ci] = false;
+            let cell = &self.netlist.cells()[ci];
+            let inputs: Vec<LogicVector> = cell
+                .inputs()
+                .iter()
+                .map(|n| self.net_values[n.index()])
+                .collect();
+            let out_nets: Vec<usize> = cell.outputs().iter().map(|n| n.index()).collect();
+            let outputs = cell.prim().eval_comb(&inputs).map_err(SimError::from)?;
+            for (&net, value) in out_nets.iter().zip(outputs) {
+                let old = self.net_values[net];
+                let new = if self.comb_drivers[net].len() > 1 {
+                    // Shared net: Z-reset once per wave, then resolve
+                    // each co-driver's contribution (all of them are
+                    // scheduled together by `schedule_cell`).
+                    let base = if self.net_wave[net] == self.wave {
+                        old
+                    } else {
+                        self.net_wave[net] = self.wave;
+                        LogicVector::high_z(old.width()).expect("validated")
+                    };
+                    base.resolve(&value).map_err(SimError::from)?
+                } else {
+                    value
+                };
+                if new != old {
+                    self.net_values[net] = new;
+                    self.schedule_net_fanout(net);
+                }
+            }
+        }
+        // 4. Drive output ports (the bus deduplicates unchanged values).
+        for (_, dir, net, signal) in &self.port_wiring {
+            if *dir == PortDir::Out {
+                bus.drive(*signal, self.net_values[net.index()])?;
+            }
+        }
+        Ok(())
     }
 
     fn strobe(&self, net: hdp_hdl::NetId) -> bool {
@@ -229,47 +492,18 @@ impl Component for NetlistComponent {
     }
 
     fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
-        // 1. Latch input ports into their nets.
-        for (_, dir, net, signal) in &self.port_wiring {
-            if *dir == PortDir::In {
-                self.net_values[net.index()] = bus.read(*signal)?;
-            }
+        if self.full_eval || !self.incremental {
+            self.eval_full(bus)
+        } else {
+            self.eval_incremental(bus)
         }
-        // 2. Present sequential outputs.
-        self.drive_seq_outputs();
-        // 3. Pre-release tri-state buses.
-        for (ni, driven) in self.comb_driven.iter().enumerate() {
-            if *driven {
-                let width = self.net_values[ni].width();
-                self.net_values[ni] = LogicVector::high_z(width).expect("validated");
-            }
-        }
-        // 4. Evaluate combinational cells in topological order.
-        for &ci in &self.topo {
-            let cell = &self.netlist.cells()[ci.index()];
-            let inputs: Vec<LogicVector> = cell
-                .inputs()
-                .iter()
-                .map(|n| self.net_values[n.index()])
-                .collect();
-            let outputs = cell.prim().eval_comb(&inputs).map_err(SimError::from)?;
-            for (&net, value) in cell.outputs().iter().zip(outputs) {
-                let slot = &mut self.net_values[net.index()];
-                *slot = slot.resolve(&value).map_err(SimError::from)?;
-            }
-        }
-        // 5. Drive output ports.
-        for (_, dir, net, signal) in &self.port_wiring {
-            if *dir == PortDir::Out {
-                bus.drive(*signal, self.net_values[net.index()])?;
-            }
-        }
-        Ok(())
     }
 
     fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.seq_dirty = true;
         // net_values hold the settled pre-edge values from the last eval.
-        for ci in 0..self.netlist.cells().len() {
+        for si in 0..self.seq_cells.len() {
+            let ci = self.seq_cells[si];
             let cell = &self.netlist.cells()[ci];
             let ins = cell.inputs().to_vec();
             match cell.prim().clone() {
@@ -383,7 +617,23 @@ impl Component for NetlistComponent {
                 _ => {}
             }
         }
+        self.full_eval = true;
+        self.seq_dirty = true;
         Ok(())
+    }
+
+    fn sensitivity(&self) -> Sensitivity {
+        Sensitivity::Signals(
+            self.port_wiring
+                .iter()
+                .filter(|(_, dir, _, _)| *dir == PortDir::In)
+                .map(|&(_, _, _, signal)| signal)
+                .collect(),
+        )
+    }
+
+    fn is_clocked(&self) -> bool {
+        !self.seq_cells.is_empty()
     }
 }
 

@@ -58,6 +58,11 @@ impl Component for Stimulus {
         self.cursor = 0;
         Ok(())
     }
+
+    fn sensitivity(&self) -> crate::Sensitivity {
+        // eval drives from the cursor alone, which advances on ticks.
+        crate::Sensitivity::Signals(vec![])
+    }
 }
 
 /// Records the settled pre-edge value of a signal every cycle.
@@ -109,6 +114,11 @@ impl Component for Monitor {
     fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
         self.trace.clear();
         Ok(())
+    }
+
+    fn sensitivity(&self) -> crate::Sensitivity {
+        // A pure observer: it only samples at the clock edge.
+        crate::Sensitivity::Signals(vec![])
     }
 }
 

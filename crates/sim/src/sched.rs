@@ -1,11 +1,38 @@
 //! The clocked delta-cycle scheduler.
+//!
+//! Two interchangeable scheduling strategies share one set of
+//! semantics (see [`SchedMode`]):
+//!
+//! * **Event-driven** (default) — components declare the signals their
+//!   `eval` reads ([`crate::Sensitivity`]); each delta pass evaluates
+//!   only the components sensitive to a signal that changed in the
+//!   previous pass. Clocked components are additionally woken once
+//!   after every clock edge, everything after reset.
+//! * **Full sweep** — every component is evaluated in every delta
+//!   pass. Retained as the executable reference model: the event
+//!   scheduler is required (and property-tested) to produce
+//!   bit-identical signal traces.
 
-use crate::{Component, SignalBus, SignalId, SimError};
+use crate::signal::DRIVER_POKE;
+use crate::{Component, Sensitivity, SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
 use std::any::Any;
 
 /// Maximum settle iterations before declaring non-convergence.
 const DELTA_LIMIT: usize = 64;
+
+/// How many oscillating signals a non-convergence report names.
+const OSCILLATION_REPORT_CAP: usize = 8;
+
+/// Scheduling strategy of a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Evaluate only components sensitive to changed signals.
+    #[default]
+    EventDriven,
+    /// Evaluate every component in every delta pass (reference mode).
+    FullSweep,
+}
 
 /// Handle to a component instance owned by a [`Simulator`], returned
 /// by [`Simulator::add_component`] and usable with
@@ -31,7 +58,9 @@ impl<T: Component + Any> AnyComponent for T {
 /// A synchronous single-clock simulator.
 ///
 /// Owns the [`SignalBus`] and the component instances and advances
-/// them cycle by cycle. See the crate-level example.
+/// them cycle by cycle. See the crate-level example, and
+/// [`SimBuilder`] for construction that freezes the event scheduler's
+/// sensitivity tables before the first step.
 #[derive(Default)]
 pub struct Simulator {
     bus: SignalBus,
@@ -40,6 +69,25 @@ pub struct Simulator {
     /// settle iteration so they behave like external pad drivers.
     pokes: Vec<(SignalId, LogicVector)>,
     cycle: u64,
+    mode: SchedMode,
+    /// Sensitivity tables, valid while `tables_ready`.
+    tables_ready: bool,
+    /// signal index -> components sensitive to it.
+    watchers: Vec<Vec<usize>>,
+    /// Components evaluated in every pass: declared `Always` plus any
+    /// promoted for sharing a signal with another driver.
+    always: Vec<usize>,
+    /// Components with clock-edge behaviour.
+    clocked: Vec<usize>,
+    /// Sticky co-driver promotions (survive table rebuilds).
+    promoted: Vec<bool>,
+    /// Components to wake at the next settle.
+    seeds: Vec<usize>,
+    /// Signals poked since the last settle (their watchers get woken).
+    poked_signals: Vec<SignalId>,
+    /// Wake every component at the next settle (reset, mode switch,
+    /// late additions).
+    wake_all: bool,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -48,15 +96,41 @@ impl std::fmt::Debug for Simulator {
             .field("signals", &self.bus.len())
             .field("components", &self.components.len())
             .field("cycle", &self.cycle)
+            .field("mode", &self.mode)
             .finish()
     }
 }
 
 impl Simulator {
-    /// Creates an empty simulator.
+    /// Creates an empty simulator with the default (event-driven)
+    /// scheduler.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty simulator with an explicit scheduling mode.
+    #[must_use]
+    pub fn with_mode(mode: SchedMode) -> Self {
+        Simulator {
+            mode,
+            ..Self::default()
+        }
+    }
+
+    /// The active scheduling mode.
+    #[must_use]
+    pub fn mode(&self) -> SchedMode {
+        self.mode
+    }
+
+    /// Switches scheduling mode. Safe at any point: the next settle
+    /// re-evaluates everything once to re-synchronise.
+    pub fn set_mode(&mut self, mode: SchedMode) {
+        if self.mode != mode {
+            self.mode = mode;
+            self.wake_all = true;
+        }
     }
 
     /// Declares a signal.
@@ -69,13 +143,23 @@ impl Simulator {
         name: impl Into<String>,
         width: usize,
     ) -> Result<SignalId, SimError> {
-        self.bus.add(name, width)
+        let id = self.bus.add(name, width)?;
+        if self.tables_ready {
+            self.watchers.push(Vec::new());
+        }
+        Ok(id)
     }
 
     /// Adds a component instance, returning a handle for later
     /// inspection with [`Simulator::component`].
+    ///
+    /// Adding a component invalidates the frozen sensitivity tables;
+    /// they are rebuilt lazily at the next settle. Prefer registering
+    /// everything up front (see [`SimBuilder`]).
     pub fn add_component(&mut self, component: impl Component + 'static) -> ComponentId {
         self.components.push(Box::new(component));
+        self.tables_ready = false;
+        self.wake_all = true;
         ComponentId(self.components.len() - 1)
     }
 
@@ -93,8 +177,13 @@ impl Simulator {
 
     /// Mutable variant of [`Simulator::component`], e.g. to preload a
     /// [`crate::devices::Sram`] between runs.
+    ///
+    /// Mutating device state behind the scheduler's back is treated
+    /// like a reset for wake-up purposes: every component is
+    /// re-evaluated at the next settle.
     #[must_use]
     pub fn component_mut<T: Component + 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
+        self.wake_all = true;
         (**self.components.get_mut(id.0)?)
             .as_any_mut()
             .downcast_mut::<T>()
@@ -152,10 +241,13 @@ impl Simulator {
             Some((_, v)) => *v = value,
             None => self.pokes.push((id, value)),
         }
+        self.poked_signals.push(id);
         Ok(())
     }
 
     /// Stops driving a previously poked signal.
+    ///
+    /// The signal holds its last value until something else drives it.
     pub fn unpoke(&mut self, id: SignalId) {
         self.pokes.retain(|(s, _)| *s != id);
     }
@@ -167,9 +259,12 @@ impl Simulator {
     /// Propagates component errors and non-convergence.
     pub fn reset(&mut self) -> Result<(), SimError> {
         self.cycle = 0;
-        for c in &mut self.components {
+        for (i, c) in self.components.iter_mut().enumerate() {
+            self.bus.set_driver(i);
             c.reset(&mut self.bus)?;
         }
+        self.bus.set_driver(DRIVER_POKE);
+        self.wake_all = true;
         self.settle()
     }
 
@@ -181,19 +276,152 @@ impl Simulator {
     /// Returns [`SimError::NoConvergence`] on a zero-delay loop, or the
     /// first component error.
     pub fn settle(&mut self) -> Result<(), SimError> {
+        match self.mode {
+            SchedMode::FullSweep => self.settle_sweep(),
+            SchedMode::EventDriven => self.settle_event(),
+        }
+    }
+
+    /// Reference settle: every component, every pass.
+    fn settle_sweep(&mut self) -> Result<(), SimError> {
+        // A full sweep subsumes any pending targeted wake-ups.
+        self.seeds.clear();
+        self.poked_signals.clear();
+        self.wake_all = false;
         for _ in 0..DELTA_LIMIT {
             self.bus.begin_pass();
+            self.bus.set_driver(DRIVER_POKE);
             for (id, value) in &self.pokes {
                 self.bus.drive(*id, *value)?;
             }
-            for c in &mut self.components {
+            for (i, c) in self.components.iter_mut().enumerate() {
+                self.bus.set_driver(i);
                 c.eval(&mut self.bus)?;
             }
             if !self.bus.any_changed() {
                 return Ok(());
             }
         }
-        Err(SimError::NoConvergence { limit: DELTA_LIMIT })
+        Err(self.no_convergence())
+    }
+
+    /// Event-driven settle: evaluate only woken components.
+    fn settle_event(&mut self) -> Result<(), SimError> {
+        self.ensure_tables()?;
+        let mut wake: Vec<usize> = if self.wake_all {
+            (0..self.components.len()).collect()
+        } else {
+            let mut w = std::mem::take(&mut self.seeds);
+            for id in self.poked_signals.drain(..) {
+                w.extend_from_slice(&self.watchers[id.index()]);
+            }
+            w
+        };
+        self.wake_all = false;
+        self.seeds.clear();
+        self.poked_signals.clear();
+        for _ in 0..DELTA_LIMIT {
+            self.bus.begin_pass();
+            self.bus.set_driver(DRIVER_POKE);
+            for (id, value) in &self.pokes {
+                self.bus.drive(*id, *value)?;
+            }
+            // Components evaluate in registration order, exactly as the
+            // full sweep would order them.
+            wake.extend_from_slice(&self.always);
+            wake.sort_unstable();
+            wake.dedup();
+            for &i in &wake {
+                self.bus.set_driver(i);
+                self.components[i].eval(&mut self.bus)?;
+            }
+            // A signal that just gained a second driver needs all its
+            // drivers co-evaluated from now on, or per-pass resolution
+            // would see partial contributions.
+            let mut next: Vec<usize> = Vec::new();
+            for slot in self.bus.take_new_shared() {
+                for &d in self.bus.slot_drivers(slot) {
+                    if d != DRIVER_POKE && !self.promoted[d] {
+                        self.promoted[d] = true;
+                        self.always.push(d);
+                        next.push(d);
+                    }
+                }
+            }
+            for slot in self.bus.dirty_slots() {
+                next.extend_from_slice(&self.watchers[slot]);
+            }
+            if next.is_empty() {
+                return Ok(());
+            }
+            wake = next;
+        }
+        Err(self.no_convergence())
+    }
+
+    /// Builds the non-convergence report from the last pass's dirty set.
+    fn no_convergence(&self) -> SimError {
+        let oscillating = self
+            .bus
+            .dirty_slots()
+            .iter()
+            .take(OSCILLATION_REPORT_CAP)
+            .map(|&slot| {
+                let name = self
+                    .bus
+                    .name(SignalId(slot))
+                    .unwrap_or("<unknown>")
+                    .to_owned();
+                let driver = match self.bus.last_changer(slot) {
+                    DRIVER_POKE => "testbench".to_owned(),
+                    i => self
+                        .components
+                        .get(i)
+                        .map_or_else(|| format!("component #{i}"), |c| c.name().to_owned()),
+                };
+                format!("`{name}` (last driven by `{driver}`)")
+            })
+            .collect();
+        SimError::NoConvergence {
+            limit: DELTA_LIMIT,
+            oscillating,
+        }
+    }
+
+    /// Rebuilds the sensitivity tables if stale, validating every
+    /// declared signal id.
+    fn ensure_tables(&mut self) -> Result<(), SimError> {
+        if self.tables_ready {
+            return Ok(());
+        }
+        self.watchers = vec![Vec::new(); self.bus.len()];
+        self.always.clear();
+        self.clocked.clear();
+        self.promoted.resize(self.components.len(), false);
+        for (i, c) in self.components.iter().enumerate() {
+            match c.sensitivity() {
+                Sensitivity::Always => self.always.push(i),
+                Sensitivity::Signals(signals) => {
+                    if self.promoted[i] {
+                        self.always.push(i);
+                    }
+                    for s in signals {
+                        let watchers = self
+                            .watchers
+                            .get_mut(s.index())
+                            .ok_or(SimError::UnknownSignal { index: s.index() })?;
+                        if !watchers.contains(&i) {
+                            watchers.push(i);
+                        }
+                    }
+                }
+            }
+            if c.is_clocked() {
+                self.clocked.push(i);
+            }
+        }
+        self.tables_ready = true;
+        Ok(())
     }
 
     /// Executes one full clock cycle: settle, then clock edge.
@@ -203,9 +431,32 @@ impl Simulator {
     /// Propagates settle and component errors.
     pub fn step(&mut self) -> Result<(), SimError> {
         self.settle()?;
-        for c in &mut self.components {
-            c.tick(&mut self.bus)?;
+        // Track tick-phase drives on a clean pass so their watchers can
+        // be woken (no in-repo tick drives signals, but the contract
+        // allows it).
+        self.bus.begin_pass();
+        match self.mode {
+            SchedMode::FullSweep => {
+                for (i, c) in self.components.iter_mut().enumerate() {
+                    self.bus.set_driver(i);
+                    c.tick(&mut self.bus)?;
+                }
+            }
+            SchedMode::EventDriven => {
+                for idx in 0..self.clocked.len() {
+                    let i = self.clocked[idx];
+                    self.bus.set_driver(i);
+                    self.components[i].tick(&mut self.bus)?;
+                }
+                // The edge changed registered state: wake every clocked
+                // component, plus watchers of anything tick drove.
+                self.seeds.extend_from_slice(&self.clocked);
+                for slot in self.bus.dirty_slots() {
+                    self.seeds.extend_from_slice(&self.watchers[slot]);
+                }
+            }
         }
+        self.bus.set_driver(DRIVER_POKE);
         self.cycle += 1;
         // Settle again so post-edge outputs are observable immediately.
         self.settle()
@@ -244,9 +495,107 @@ impl Simulator {
     }
 }
 
+/// Builder-style construction of a [`Simulator`].
+///
+/// Registers signals, components and initial pokes up front, then
+/// [`SimBuilder::build`] freezes the event scheduler's sensitivity
+/// tables once, validates every declared sensitivity against the
+/// signal set, and applies power-on reset — so the returned simulator
+/// never rebuilds tables mid-run.
+///
+/// ```
+/// use hdp_sim::{SimBuilder, devices::FifoCore};
+///
+/// # fn main() -> Result<(), hdp_sim::SimError> {
+/// let mut b = SimBuilder::new();
+/// let push = b.signal("push", 1)?;
+/// let pop = b.signal("pop", 1)?;
+/// let wdata = b.signal("wdata", 8)?;
+/// let rdata = b.signal("rdata", 8)?;
+/// let empty = b.signal("empty", 1)?;
+/// let full = b.signal("full", 1)?;
+/// b.component(FifoCore::new("u_fifo", 4, 8, push, pop, wdata, rdata, empty, full));
+/// b.poke(push, 0)?;
+/// b.poke(pop, 0)?;
+/// b.poke(wdata, 0)?;
+/// let mut sim = b.build()?; // tables frozen, reset applied
+/// assert_eq!(sim.peek(empty)?.to_u64(), Some(1));
+/// sim.step()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SimBuilder {
+    sim: Simulator,
+}
+
+impl SimBuilder {
+    /// Starts an empty builder (event-driven mode).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts an empty builder with an explicit scheduling mode.
+    #[must_use]
+    pub fn with_mode(mode: SchedMode) -> Self {
+        SimBuilder {
+            sim: Simulator::with_mode(mode),
+        }
+    }
+
+    /// Declares a signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DuplicateSignal`] or a width error.
+    pub fn signal(&mut self, name: impl Into<String>, width: usize) -> Result<SignalId, SimError> {
+        self.sim.add_signal(name, width)
+    }
+
+    /// Registers a component.
+    pub fn component(&mut self, component: impl Component + 'static) -> ComponentId {
+        self.sim.add_component(component)
+    }
+
+    /// Sets an initial testbench drive, applied from the first settle.
+    ///
+    /// # Errors
+    ///
+    /// Returns width or unknown-signal errors.
+    pub fn poke(&mut self, id: SignalId, value: u64) -> Result<(), SimError> {
+        self.sim.poke(id, value)
+    }
+
+    /// Sets an initial testbench drive with an arbitrary logic value.
+    ///
+    /// # Errors
+    ///
+    /// Returns width or unknown-signal errors.
+    pub fn poke_vector(&mut self, id: SignalId, value: LogicVector) -> Result<(), SimError> {
+        self.sim.poke_vector(id, value)
+    }
+
+    /// Freezes the sensitivity tables, validates them, applies
+    /// power-on reset and returns the ready simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSignal`] if a component declared
+    /// sensitivity to a signal that does not exist, plus any reset or
+    /// settle error.
+    pub fn build(mut self) -> Result<Simulator, SimError> {
+        self.sim.ensure_tables()?;
+        self.sim.reset()?;
+        Ok(self.sim)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
 
     /// A register: q <= d on every edge.
     struct Reg {
@@ -271,6 +620,9 @@ mod tests {
             self.state = 0;
             Ok(())
         }
+        fn sensitivity(&self) -> Sensitivity {
+            Sensitivity::Signals(vec![])
+        }
     }
 
     /// Combinational +1.
@@ -278,6 +630,7 @@ mod tests {
         name: String,
         a: SignalId,
         y: SignalId,
+        evals: Option<Rc<Cell<usize>>>,
     }
 
     impl Component for Inc {
@@ -285,6 +638,9 @@ mod tests {
             &self.name
         }
         fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+            if let Some(evals) = &self.evals {
+                evals.set(evals.get() + 1);
+            }
             let a = bus.read(self.a)?;
             if let Some(v) = a.to_u64() {
                 bus.drive_u64(self.y, (v + 1) & 0xFF)?;
@@ -294,13 +650,16 @@ mod tests {
         fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
             Ok(())
         }
+        fn sensitivity(&self) -> Sensitivity {
+            Sensitivity::Signals(vec![self.a])
+        }
+        fn is_clocked(&self) -> bool {
+            false
+        }
     }
 
-    #[test]
-    fn counter_from_reg_and_inc() {
-        // q -> inc -> d -> reg -> q : a classic counter loop broken by
-        // the register.
-        let mut sim = Simulator::new();
+    fn counter_sim(mode: SchedMode) -> (Simulator, SignalId) {
+        let mut sim = Simulator::with_mode(mode);
         let q = sim.add_signal("q", 8).unwrap();
         let d = sim.add_signal("d", 8).unwrap();
         sim.add_component(Reg {
@@ -313,35 +672,84 @@ mod tests {
             name: "i".into(),
             a: q,
             y: d,
+            evals: None,
         });
         sim.reset().unwrap();
-        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(0));
-        sim.run(5).unwrap();
-        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(5));
-        assert_eq!(sim.cycle(), 5);
+        (sim, q)
+    }
+
+    #[test]
+    fn counter_from_reg_and_inc() {
+        // q -> inc -> d -> reg -> q : a classic counter loop broken by
+        // the register.
+        for mode in [SchedMode::EventDriven, SchedMode::FullSweep] {
+            let (mut sim, q) = counter_sim(mode);
+            assert_eq!(sim.peek(q).unwrap().to_u64(), Some(0));
+            sim.run(5).unwrap();
+            assert_eq!(sim.peek(q).unwrap().to_u64(), Some(5));
+            assert_eq!(sim.cycle(), 5);
+        }
     }
 
     #[test]
     fn poke_persists_across_cycles() {
-        let mut sim = Simulator::new();
-        let d = sim.add_signal("d", 8).unwrap();
-        let q = sim.add_signal("q", 8).unwrap();
-        sim.add_component(Reg {
-            name: "r".into(),
-            d,
-            q,
-            state: 0,
-        });
-        sim.reset().unwrap();
-        sim.poke(d, 42).unwrap();
-        sim.run(3).unwrap();
-        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(42));
+        for mode in [SchedMode::EventDriven, SchedMode::FullSweep] {
+            let mut sim = Simulator::with_mode(mode);
+            let d = sim.add_signal("d", 8).unwrap();
+            let q = sim.add_signal("q", 8).unwrap();
+            sim.add_component(Reg {
+                name: "r".into(),
+                d,
+                q,
+                state: 0,
+            });
+            sim.reset().unwrap();
+            sim.poke(d, 42).unwrap();
+            sim.run(3).unwrap();
+            assert_eq!(sim.peek(q).unwrap().to_u64(), Some(42));
+        }
     }
 
     #[test]
     fn zero_delay_loop_is_detected() {
         // Two combinational inverters in a loop: y = x+1, x = y+1 never
         // converges.
+        for mode in [SchedMode::EventDriven, SchedMode::FullSweep] {
+            let mut sim2 = Simulator::with_mode(mode);
+            let x2 = sim2.add_signal("x", 8).unwrap();
+            let y2 = sim2.add_signal("y", 8).unwrap();
+            sim2.add_component(Inc {
+                name: "a".into(),
+                a: x2,
+                y: y2,
+                evals: None,
+            });
+            sim2.add_component(Inc {
+                name: "b".into(),
+                a: y2,
+                y: x2,
+                evals: None,
+            });
+            // Seed the loop with a defined value so it oscillates.
+            sim2.poke(x2, 0).unwrap();
+            sim2.settle().ok(); // poked variant may resolve to X, that's fine
+            sim2.unpoke(x2);
+            let err = sim2.settle();
+            // Either the loop oscillates (NoConvergence) or collapses to X
+            // (converged); both are acceptable outcomes for an illegal
+            // netlist, but an infinite hang is not. The poked case must not
+            // hang either.
+            match err {
+                Ok(()) | Err(SimError::NoConvergence { .. }) => {}
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn no_convergence_report_names_loop_signals() {
+        // An unambiguous oscillator: y = x+1 and x = y+1 with defined
+        // seed values and no poke interference after the first settle.
         let mut sim = Simulator::new();
         let x = sim.add_signal("x", 8).unwrap();
         let y = sim.add_signal("y", 8).unwrap();
@@ -349,41 +757,28 @@ mod tests {
             name: "a".into(),
             a: x,
             y,
+            evals: None,
         });
         sim.add_component(Inc {
             name: "b".into(),
             a: y,
             y: x,
+            evals: None,
         });
         sim.poke(x, 0).unwrap();
-        // x is poked (external driver conflicts resolve to X quickly) —
-        // use an un-poked loop instead.
+        sim.settle().ok();
         sim.unpoke(x);
-        let mut sim2 = Simulator::new();
-        let x2 = sim2.add_signal("x", 8).unwrap();
-        let y2 = sim2.add_signal("y", 8).unwrap();
-        sim2.add_component(Inc {
-            name: "a".into(),
-            a: x2,
-            y: y2,
-        });
-        sim2.add_component(Inc {
-            name: "b".into(),
-            a: y2,
-            y: x2,
-        });
-        // Seed the loop with a defined value so it oscillates.
-        sim2.poke(x2, 0).unwrap();
-        sim2.settle().ok(); // poked variant may resolve to X, that's fine
-        sim2.unpoke(x2);
-        let err = sim2.settle();
-        // Either the loop oscillates (NoConvergence) or collapses to X
-        // (converged); both are acceptable outcomes for an illegal
-        // netlist, but an infinite hang is not. The poked case must not
-        // hang either.
-        match err {
-            Ok(()) | Err(SimError::NoConvergence { .. }) => {}
-            Err(other) => panic!("unexpected error {other}"),
+        if let Err(SimError::NoConvergence { oscillating, .. }) = sim.settle() {
+            assert!(!oscillating.is_empty(), "report must name signals");
+            let text = oscillating.join(", ");
+            assert!(
+                text.contains("`x`") || text.contains("`y`"),
+                "report names the loop wires: {text}"
+            );
+            assert!(
+                text.contains("`a`") || text.contains("`b`"),
+                "report names the drivers: {text}"
+            );
         }
     }
 
@@ -402,6 +797,7 @@ mod tests {
             name: "i".into(),
             a: q,
             y: d,
+            evals: None,
         });
         sim.reset().unwrap();
         let hit = sim
@@ -420,6 +816,161 @@ mod tests {
             .run_until(5, |bus| bus.read(q).unwrap().to_u64() == Some(1))
             .unwrap();
         assert!(!hit);
+    }
+
+    #[test]
+    fn event_mode_skips_unaffected_components() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 8).unwrap();
+        let y = sim.add_signal("y", 8).unwrap();
+        let evals = Rc::new(Cell::new(0));
+        sim.add_component(Inc {
+            name: "i".into(),
+            a,
+            y,
+            evals: Some(Rc::clone(&evals)),
+        });
+        sim.poke(a, 1).unwrap();
+        sim.reset().unwrap();
+        let after_reset = evals.get();
+        assert!(after_reset >= 1, "reset evaluates everything once");
+        // Nothing the component is sensitive to changes across idle
+        // cycles, and it is not clocked: zero further evaluations.
+        sim.run(10).unwrap();
+        assert_eq!(evals.get(), after_reset, "idle cycles must not re-eval");
+        // A poke on the watched signal wakes it again.
+        sim.poke(a, 7).unwrap();
+        sim.settle().unwrap();
+        assert!(evals.get() > after_reset);
+        assert_eq!(sim.peek(y).unwrap().to_u64(), Some(8));
+    }
+
+    #[test]
+    fn shared_signal_promotes_both_drivers() {
+        /// Drives `bus_sig` with `value` while `sel == me`, else `Z`.
+        struct TriState {
+            name: String,
+            sel: SignalId,
+            bus_sig: SignalId,
+            me: u64,
+            value: u64,
+        }
+        impl Component for TriState {
+            fn name(&self) -> &str {
+                &self.name
+            }
+            fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+                if bus.read(self.sel)?.to_u64() == Some(self.me) {
+                    bus.drive_u64(self.bus_sig, self.value)
+                } else {
+                    bus.drive(
+                        self.bus_sig,
+                        LogicVector::high_z(8).map_err(SimError::from)?,
+                    )
+                }
+            }
+            fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+                Ok(())
+            }
+            fn sensitivity(&self) -> Sensitivity {
+                Sensitivity::Signals(vec![self.sel])
+            }
+            fn is_clocked(&self) -> bool {
+                false
+            }
+        }
+        for mode in [SchedMode::EventDriven, SchedMode::FullSweep] {
+            let mut sim = Simulator::with_mode(mode);
+            let sel = sim.add_signal("sel", 1).unwrap();
+            let shared = sim.add_signal("shared", 8).unwrap();
+            sim.add_component(TriState {
+                name: "t0".into(),
+                sel,
+                bus_sig: shared,
+                me: 0,
+                value: 0x11,
+            });
+            sim.add_component(TriState {
+                name: "t1".into(),
+                sel,
+                bus_sig: shared,
+                me: 1,
+                value: 0x22,
+            });
+            sim.poke(sel, 0).unwrap();
+            sim.reset().unwrap();
+            assert_eq!(sim.peek(shared).unwrap().to_u64(), Some(0x11));
+            sim.poke(sel, 1).unwrap();
+            sim.settle().unwrap();
+            assert_eq!(sim.peek(shared).unwrap().to_u64(), Some(0x22));
+            sim.poke(sel, 0).unwrap();
+            sim.settle().unwrap();
+            assert_eq!(sim.peek(shared).unwrap().to_u64(), Some(0x11));
+        }
+    }
+
+    #[test]
+    fn builder_freezes_tables_and_resets() {
+        let mut b = SimBuilder::new();
+        let q = b.signal("q", 8).unwrap();
+        let d = b.signal("d", 8).unwrap();
+        b.component(Reg {
+            name: "r".into(),
+            d,
+            q,
+            state: 3,
+        });
+        b.component(Inc {
+            name: "i".into(),
+            a: q,
+            y: d,
+            evals: None,
+        });
+        let mut sim = b.build().unwrap();
+        // Reset applied by build: register state cleared and settled.
+        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(0));
+        sim.run(4).unwrap();
+        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn builder_rejects_unknown_sensitivity_signal() {
+        struct Liar {
+            bogus: SignalId,
+        }
+        impl Component for Liar {
+            fn name(&self) -> &str {
+                "liar"
+            }
+            fn eval(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+                Ok(())
+            }
+            fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+                Ok(())
+            }
+            fn sensitivity(&self) -> Sensitivity {
+                Sensitivity::Signals(vec![self.bogus])
+            }
+        }
+        let mut b = SimBuilder::new();
+        b.component(Liar {
+            bogus: SignalId(99),
+        });
+        assert!(matches!(
+            b.build(),
+            Err(SimError::UnknownSignal { index: 99 })
+        ));
+    }
+
+    #[test]
+    fn mode_switch_mid_run_stays_consistent() {
+        let (mut sim, q) = counter_sim(SchedMode::EventDriven);
+        sim.run(3).unwrap();
+        sim.set_mode(SchedMode::FullSweep);
+        sim.run(3).unwrap();
+        sim.set_mode(SchedMode::EventDriven);
+        sim.run(3).unwrap();
+        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(9));
     }
 
     #[test]

@@ -15,15 +15,37 @@ impl SignalId {
     }
 }
 
+/// Driver tag for a value poked from the testbench (vs. a component
+/// index).
+pub(crate) const DRIVER_POKE: usize = usize::MAX;
+
 #[derive(Debug, Clone)]
 struct Slot {
     name: String,
     value: LogicVector,
+    /// The settled value at the start of the current pass (snapshotted
+    /// on the pass's first write). A signal counts as *changed* only if
+    /// its pass-final resolved value differs from this — transient
+    /// intra-pass states (a tri-state driver writing `Z` before the
+    /// active driver resolves over it) are not changes, mirroring
+    /// VHDL's one-update-per-delta signal semantics.
+    prev_value: LogicVector,
     /// Whether any component wrote the signal during the current
     /// settle iteration (used for multi-driver resolution).
     written_this_pass: bool,
-    /// Whether the value changed during the current settle iteration.
+    /// Whether the value currently differs from `prev_value`.
     changed: bool,
+    /// Whether this slot was already queued on the dirty list this
+    /// pass (avoids duplicates when `changed` toggles).
+    queued_dirty: bool,
+    /// The driver (component index or [`DRIVER_POKE`]) whose drive
+    /// last changed the value — names the culprit in non-convergence
+    /// reports.
+    last_changer: usize,
+    /// Every distinct driver ever seen on this signal. Nearly always
+    /// one entry; growing past one flags the signal as shared so the
+    /// event scheduler can keep all its drivers co-evaluated.
+    drivers: Vec<usize>,
 }
 
 /// The set of signal values visible to components.
@@ -39,6 +61,20 @@ struct Slot {
 #[derive(Debug, Default)]
 pub struct SignalBus {
     slots: Vec<Slot>,
+    /// Slots written during the current pass (cleared by `begin_pass`,
+    /// keeping pass bookkeeping proportional to activity, not to the
+    /// total signal count).
+    touched: Vec<usize>,
+    /// Slots that at some point this pass differed from their
+    /// pass-start value — candidates for the event scheduler's wake
+    /// set. Filter by each slot's `changed` flag: a later resolve may
+    /// have restored the original value.
+    dirty: Vec<usize>,
+    /// Slots that newly gained a second distinct driver and have not
+    /// yet been reported to the scheduler.
+    new_shared: Vec<usize>,
+    /// The driver tag recorded for subsequent `drive` calls.
+    current_driver: usize,
 }
 
 impl SignalBus {
@@ -55,8 +91,12 @@ impl SignalBus {
         self.slots.push(Slot {
             name,
             value,
+            prev_value: value,
             written_this_pass: false,
             changed: false,
+            queued_dirty: false,
+            last_changer: DRIVER_POKE,
+            drivers: Vec::new(),
         });
         Ok(SignalId(self.slots.len() - 1))
     }
@@ -130,6 +170,7 @@ impl SignalBus {
     /// Returns [`SimError::SignalWidth`] on width mismatch or
     /// [`SimError::UnknownSignal`] for a stale id.
     pub fn drive(&mut self, id: SignalId, value: LogicVector) -> Result<(), SimError> {
+        let driver = self.current_driver;
         let slot = self
             .slots
             .get_mut(id.0)
@@ -141,14 +182,27 @@ impl SignalBus {
                 found: value.width(),
             });
         }
+        if !slot.drivers.contains(&driver) {
+            slot.drivers.push(driver);
+            if slot.drivers.len() == 2 {
+                self.new_shared.push(id.0);
+            }
+        }
         let new = if slot.written_this_pass {
             slot.value.resolve(&value).map_err(SimError::from)?
         } else {
+            self.touched.push(id.0);
+            slot.prev_value = slot.value;
             value
         };
         if new != slot.value {
             slot.value = new;
-            slot.changed = true;
+            slot.last_changer = driver;
+        }
+        slot.changed = slot.value != slot.prev_value;
+        if slot.changed && !slot.queued_dirty {
+            slot.queued_dirty = true;
+            self.dirty.push(id.0);
         }
         slot.written_this_pass = true;
         Ok(())
@@ -167,15 +221,47 @@ impl SignalBus {
 
     /// Begins a settle iteration: clears per-pass write/change flags.
     pub(crate) fn begin_pass(&mut self) {
-        for slot in &mut self.slots {
-            slot.written_this_pass = false;
-            slot.changed = false;
+        for i in self.touched.drain(..) {
+            self.slots[i].written_this_pass = false;
+            self.slots[i].changed = false;
+            self.slots[i].queued_dirty = false;
         }
+        self.dirty.clear();
     }
 
-    /// Whether any signal changed during the current settle iteration.
+    /// Whether any signal's settled value changed this pass.
     pub(crate) fn any_changed(&self) -> bool {
-        self.slots.iter().any(|s| s.changed)
+        self.dirty.iter().any(|&i| self.slots[i].changed)
+    }
+
+    /// Slots (raw indices) whose settled value changed this pass.
+    pub(crate) fn dirty_slots(&self) -> Vec<usize> {
+        self.dirty
+            .iter()
+            .copied()
+            .filter(|&i| self.slots[i].changed)
+            .collect()
+    }
+
+    /// Tags subsequent [`SignalBus::drive`] calls with their driver
+    /// (component index, or [`DRIVER_POKE`] for testbench pokes).
+    pub(crate) fn set_driver(&mut self, driver: usize) {
+        self.current_driver = driver;
+    }
+
+    /// Drains the list of slots that newly became multi-driver.
+    pub(crate) fn take_new_shared(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.new_shared)
+    }
+
+    /// Every distinct driver ever seen on a slot.
+    pub(crate) fn slot_drivers(&self, slot: usize) -> &[usize] {
+        &self.slots[slot].drivers
+    }
+
+    /// The driver whose drive last changed a slot's value.
+    pub(crate) fn last_changer(&self, slot: usize) -> usize {
+        self.slots[slot].last_changer
     }
 }
 
@@ -210,10 +296,12 @@ mod tests {
         assert!(!bus.any_changed());
         bus.drive_u64(a, 7).unwrap();
         assert!(bus.any_changed());
+        assert_eq!(bus.dirty_slots(), &[a.index()]);
         assert_eq!(bus.read(a).unwrap().to_u64(), Some(7));
         bus.begin_pass();
         bus.drive_u64(a, 7).unwrap();
         assert!(!bus.any_changed(), "same value is not a change");
+        assert!(bus.dirty_slots().is_empty());
     }
 
     #[test]
@@ -247,5 +335,25 @@ mod tests {
         let a = bus.add("a", 4).unwrap();
         let err = bus.read_u64(a, "dut").unwrap_err();
         assert!(matches!(err, SimError::Protocol { component, .. } if component == "dut"));
+    }
+
+    #[test]
+    fn distinct_drivers_are_reported_once() {
+        let mut bus = SignalBus::default();
+        let a = bus.add("a", 4).unwrap();
+        bus.begin_pass();
+        bus.set_driver(0);
+        bus.drive_u64(a, 1).unwrap();
+        assert!(bus.take_new_shared().is_empty(), "one driver is not shared");
+        bus.set_driver(1);
+        bus.drive(a, LogicVector::high_z(4).unwrap()).unwrap();
+        assert_eq!(bus.take_new_shared(), vec![a.index()]);
+        // Re-driving by known drivers does not re-report.
+        bus.begin_pass();
+        bus.set_driver(0);
+        bus.drive_u64(a, 2).unwrap();
+        assert!(bus.take_new_shared().is_empty());
+        assert_eq!(bus.slot_drivers(a.index()), &[0, 1]);
+        assert_eq!(bus.last_changer(a.index()), 0);
     }
 }

@@ -142,6 +142,11 @@ impl Component for VcdRecorder {
         self.cycle = 0;
         Ok(())
     }
+
+    fn sensitivity(&self) -> crate::Sensitivity {
+        // A pure observer: it only samples at the clock edge.
+        crate::Sensitivity::Signals(vec![])
+    }
 }
 
 #[cfg(test)]
