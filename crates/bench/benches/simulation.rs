@@ -4,7 +4,7 @@
 //! comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hdp_bench::{build_design_sim, build_design_sim_scheduled, run_design_sim};
+use hdp_bench::{build_design_sim, build_design_sim_scheduled, run_design_batch, run_design_sim};
 use hdp_core::golden::PixelOp;
 use hdp_core::model::{Algorithm, VideoPipelineModel};
 use hdp_core::pixel::{Frame, PixelFormat};
@@ -63,10 +63,10 @@ fn bench_model_sim(c: &mut Criterion) {
     group.finish();
 }
 
-/// Event-driven scheduling + incremental netlist evaluation against
-/// the legacy full-sweep/full-eval reference, on the blur-filter
-/// workload. The two configurations are asserted bit-identical before
-/// any time is measured.
+/// Three-way scheduling-mode matrix on the blur-filter workload:
+/// legacy full-sweep/full-eval, event-driven + incremental netlist
+/// evaluation, and parallel wave evaluation. All configurations are
+/// asserted bit-identical before any time is measured.
 fn bench_sched_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("sched_mode_blur_frame");
     let frame = Frame::noise(32, 8, PixelFormat::Gray8, 11);
@@ -87,17 +87,70 @@ fn bench_sched_modes(c: &mut Criterion) {
         );
         run_design_sim(&mut sim, sink, budget)
     };
-    assert_eq!(
-        run(SchedMode::EventDriven, true),
-        run(SchedMode::FullSweep, false),
-        "schedulers must agree bit for bit"
-    );
+    let reference = run(SchedMode::FullSweep, false);
+    for (label, mode) in [
+        ("event", SchedMode::EventDriven),
+        ("parallel_t2", SchedMode::Parallel { threads: 2 }),
+        ("parallel_t8", SchedMode::Parallel { threads: 8 }),
+    ] {
+        assert_eq!(
+            run(mode, true),
+            reference,
+            "{label} must agree bit for bit with the full sweep"
+        );
+    }
     group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("sweep", |b| {
+        b.iter(|| black_box(run(SchedMode::FullSweep, false)))
+    });
     group.bench_function("event", |b| {
         b.iter(|| black_box(run(SchedMode::EventDriven, true)))
     });
-    group.bench_function("sweep", |b| {
-        b.iter(|| black_box(run(SchedMode::FullSweep, false)))
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(run(SchedMode::parallel(), true)))
+    });
+    group.finish();
+}
+
+/// Frame-throughput batch: eight independent blur simulations, run on
+/// one worker vs. the machine's available parallelism via
+/// `run_design_batch`. Equality of every frame against the
+/// single-threaded batch is asserted before timing.
+fn bench_sched_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_mode_blur_batch");
+    let frame = Frame::noise(32, 8, PixelFormat::Gray8, 12);
+    let n = frame.pixels().len();
+    let out_len = (32 - 2) * (8 - 2);
+    let gap = 1u32;
+    let budget = n as u64 * u64::from(gap + 1) * 4 + 2000;
+    const BATCH: usize = 8;
+    let build_batch = || {
+        (0..BATCH)
+            .map(|_| {
+                build_design_sim_scheduled(
+                    DesignKind::Blur,
+                    Style::Pattern,
+                    DesignParams::small(32),
+                    frame.pixels().to_vec(),
+                    gap,
+                    out_len,
+                    SchedMode::EventDriven,
+                    true,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        run_design_batch(build_batch(), budget, 1),
+        run_design_batch(build_batch(), budget, 8),
+        "batch frames must not depend on worker count"
+    );
+    group.throughput(Throughput::Elements((n * BATCH) as u64));
+    group.bench_function("threads_1", |b| {
+        b.iter(|| black_box(run_design_batch(build_batch(), budget, 1)))
+    });
+    group.bench_function("threads_8", |b| {
+        b.iter(|| black_box(run_design_batch(build_batch(), budget, 8)))
     });
     group.finish();
 }
@@ -106,6 +159,7 @@ criterion_group!(
     benches,
     bench_netlist_sim,
     bench_model_sim,
-    bench_sched_modes
+    bench_sched_modes,
+    bench_sched_batch
 );
 criterion_main!(benches);

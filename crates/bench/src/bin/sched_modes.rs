@@ -1,0 +1,179 @@
+//! Scheduling-mode performance matrix, the start of the perf
+//! trajectory record: times the blur-filter frame workload under the
+//! full-sweep, event-driven and parallel schedulers, plus the
+//! multi-design batch runner at 1 and N worker threads, and writes the
+//! numbers to `BENCH_sched_modes.json`.
+//!
+//! Every configuration is asserted bit-identical against the
+//! full-sweep reference before any time is measured.
+
+use hdp_bench::{build_design_sim_scheduled, run_design_batch, run_design_sim};
+use hdp_core::pixel::{Frame, PixelFormat};
+use hdp_metagen::design::{DesignKind, DesignParams, Style};
+use hdp_sim::SchedMode;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const WIDTH: usize = 32;
+const HEIGHT: usize = 8;
+const GAP: u32 = 1;
+const BATCH: usize = 8;
+const REPS: usize = 5;
+
+fn build(
+    frame: &Frame,
+    mode: SchedMode,
+    incremental: bool,
+) -> (hdp_sim::Simulator, hdp_sim::ComponentId) {
+    build_design_sim_scheduled(
+        DesignKind::Blur,
+        Style::Pattern,
+        DesignParams::small(32),
+        frame.pixels().to_vec(),
+        GAP,
+        (WIDTH - 2) * (HEIGHT - 2),
+        mode,
+        incremental,
+    )
+}
+
+fn budget(frame: &Frame) -> u64 {
+    frame.pixels().len() as u64 * u64::from(GAP + 1) * 4 + 2000
+}
+
+/// Mean wall-clock milliseconds of `REPS` runs of `f`.
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    // One warm-up run keeps first-touch page faults out of the mean.
+    f();
+    let start = Instant::now();
+    for _ in 0..REPS {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / REPS as f64
+}
+
+fn main() {
+    let frame = Frame::noise(WIDTH, HEIGHT, PixelFormat::Gray8, 11);
+    let budget = budget(&frame);
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    // Always record a >=2-worker point, even on single-core hosts
+    // (there it measures scheduling overhead rather than speedup).
+    let threads = match SchedMode::parallel() {
+        SchedMode::Parallel { threads } => threads.max(2),
+        _ => unreachable!(),
+    };
+
+    // Bit-identity gate: no timing without agreement.
+    let reference = {
+        let (mut sim, sink) = build(&frame, SchedMode::FullSweep, false);
+        run_design_sim(&mut sim, sink, budget)
+    };
+    for (label, mode) in [
+        ("event", SchedMode::EventDriven),
+        ("parallel", SchedMode::Parallel { threads }),
+    ] {
+        let (mut sim, sink) = build(&frame, mode, true);
+        assert_eq!(
+            run_design_sim(&mut sim, sink, budget),
+            reference,
+            "{label} must match the full sweep bit for bit"
+        );
+    }
+
+    println!("Scheduling-mode matrix — blur 32x8, gap {GAP} ({REPS} reps)");
+    println!();
+    let mut single = Vec::new();
+    for (label, mode, incremental) in [
+        ("full_sweep", SchedMode::FullSweep, false),
+        ("event_driven", SchedMode::EventDriven, true),
+        ("parallel", SchedMode::Parallel { threads }, true),
+    ] {
+        let ms = time_ms(|| {
+            let (mut sim, sink) = build(&frame, mode, incremental);
+            std::hint::black_box(run_design_sim(&mut sim, sink, budget));
+        });
+        println!("  {label:<14} {ms:>8.3} ms/frame");
+        single.push((label, ms));
+    }
+
+    // Batch: the frame-throughput workload. Built once per timing run
+    // inside the closure so construction cost is paid equally.
+    let batch_frames_1 = run_design_batch(
+        (0..BATCH)
+            .map(|_| build(&frame, SchedMode::EventDriven, true))
+            .collect(),
+        budget,
+        1,
+    );
+    let batch_frames_n = run_design_batch(
+        (0..BATCH)
+            .map(|_| build(&frame, SchedMode::EventDriven, true))
+            .collect(),
+        budget,
+        threads,
+    );
+    assert_eq!(
+        batch_frames_1, batch_frames_n,
+        "batch results must not depend on worker count"
+    );
+    println!();
+    let mut batch = Vec::new();
+    // Simulations are consumed by a batch run; rebuild per rep but
+    // time only the run itself.
+    for t in [1usize, threads] {
+        let mut total = 0.0f64;
+        {
+            // Warm-up.
+            let sims: Vec<_> = (0..BATCH)
+                .map(|_| build(&frame, SchedMode::EventDriven, true))
+                .collect();
+            std::hint::black_box(run_design_batch(sims, budget, t));
+        }
+        for _ in 0..REPS {
+            let sims: Vec<_> = (0..BATCH)
+                .map(|_| build(&frame, SchedMode::EventDriven, true))
+                .collect();
+            let start = Instant::now();
+            std::hint::black_box(run_design_batch(sims, budget, t));
+            total += start.elapsed().as_secs_f64() * 1000.0;
+        }
+        let ms = total / REPS as f64;
+        println!("  batch x{BATCH}, {t:>2} thread(s) {ms:>8.3} ms");
+        batch.push((t, ms));
+    }
+    let speedup = batch[0].1 / batch[1].1;
+    println!();
+    println!(
+        "  batch speedup {speedup:.2}x on {} threads (event-driven baseline)",
+        batch[1].0
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"sched_modes\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"design\": \"blur\", \"width\": {WIDTH}, \"height\": {HEIGHT}, \"gap\": {GAP}, \"reps\": {REPS}}},"
+    );
+    json.push_str("  \"single_sim_ms_per_frame\": {\n");
+    for (i, (label, ms)) in single.iter().enumerate() {
+        let sep = if i + 1 == single.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{label}\": {ms:.4}{sep}");
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"batch\": {{\"designs\": {BATCH}, \"mode\": \"event_driven\","
+    );
+    for (i, (t, ms)) in batch.iter().enumerate() {
+        let sep = if i + 1 == batch.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"threads_{t}_ms\": {ms:.4}{sep}");
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"batch_speedup\": {speedup:.4},");
+    let _ = writeln!(json, "  \"batch_threads\": {threads},");
+    let _ = writeln!(json, "  \"host_threads\": {host}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_sched_modes.json", json).expect("write BENCH_sched_modes.json");
+    println!("wrote BENCH_sched_modes.json");
+}

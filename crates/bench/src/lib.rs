@@ -174,6 +174,52 @@ pub fn run_design_sim(sim: &mut Simulator, sink: hdp_sim::ComponentId, budget: u
         .expect("frame collected within budget")
 }
 
+/// Runs several independent, already-built design simulations to
+/// frame completion, distributed round-robin over `threads` worker
+/// threads ([`Simulator`] is `Send`, so whole simulations migrate to
+/// workers). Returns each design's first frame in input order —
+/// frame-throughput workloads (the paper's video pipelines processing
+/// a stream of frames, or a design-space sweep) are embarrassingly
+/// parallel at this granularity, complementing the intra-simulation
+/// parallelism of [`SchedMode::Parallel`].
+///
+/// # Panics
+///
+/// Panics on simulation errors or if any design misses its budget,
+/// like [`run_design_sim`].
+#[must_use]
+pub fn run_design_batch(
+    sims: Vec<(Simulator, hdp_sim::ComponentId)>,
+    budget: u64,
+    threads: usize,
+) -> Vec<Vec<u64>> {
+    let threads = threads.clamp(1, sims.len().max(1));
+    let mut work: Vec<Vec<(usize, Simulator, hdp_sim::ComponentId)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (i, (sim, sink)) in sims.into_iter().enumerate() {
+        work[i % threads].push((i, sim, sink));
+    }
+    let mut results: Vec<(usize, Vec<u64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = work
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|(i, mut sim, sink)| (i, run_design_sim(&mut sim, sink, budget)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, f)| f).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +237,36 @@ mod tests {
         );
         let out = run_design_sim(&mut sim, sink, 4000);
         assert_eq!(out, pixels);
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        let pixels: Vec<u64> = (0..32).map(|i| (i * 7) & 0xFF).collect();
+        let build = |mode| {
+            build_design_sim_scheduled(
+                DesignKind::Saa2vga1,
+                Style::Pattern,
+                DesignParams::small(8),
+                pixels.clone(),
+                0,
+                pixels.len(),
+                mode,
+                true,
+            )
+        };
+        let sims: Vec<_> = (0..5)
+            .map(|i| {
+                build(if i % 2 == 0 {
+                    SchedMode::EventDriven
+                } else {
+                    SchedMode::parallel()
+                })
+            })
+            .collect();
+        let frames = run_design_batch(sims, 4000, 3);
+        assert_eq!(frames.len(), 5);
+        for f in frames {
+            assert_eq!(f, pixels);
+        }
     }
 }

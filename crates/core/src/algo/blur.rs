@@ -2,7 +2,7 @@
 
 use crate::iface::{ColumnIface, IterIface};
 use crate::pixel::PixelFormat;
-use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
+use hdp_sim::{BusAccess, Component, Sensitivity, SignalBus, SimError};
 
 /// One column of three vertically adjacent pixels.
 #[derive(Debug, Clone, Copy, Default)]
@@ -102,7 +102,7 @@ impl Component for BlurEngine {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let avail = bus.read(self.input.avail)?.to_u64() == Some(1);
         let can_write = bus.read(self.output.can_write)?.to_u64() == Some(1);
         let window_full = self.x >= 2;

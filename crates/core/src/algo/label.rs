@@ -22,7 +22,7 @@
 //!   per cycle, on the output stream.
 
 use crate::iface::StreamIface;
-use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
+use hdp_sim::{BusAccess, Component, Sensitivity, SignalBus, SimError};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -128,7 +128,7 @@ impl Component for LabelEngine {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         match self.phase {
             Phase::Emit => {
                 let i = self.emit_cursor;

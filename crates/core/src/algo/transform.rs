@@ -3,7 +3,7 @@
 use crate::golden::PixelOp;
 use crate::iface::IterIface;
 use crate::pixel::PixelFormat;
-use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
+use hdp_sim::{BusAccess, Component, Sensitivity, SignalBus, SimError};
 
 /// Streaming transform: one element per cycle when both iterators are
 /// ready.
@@ -70,7 +70,7 @@ impl Component for TransformStreaming {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let can_read = bus.read(self.input.can_read)?.to_u64() == Some(1);
         let can_write = bus.read(self.output.can_write)?.to_u64() == Some(1);
         let go = self.active() && can_read && can_write;
@@ -195,7 +195,7 @@ impl Component for TransformSequenced {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let fetching = self.active() && self.state == SeqState::Fetch;
         let storing = self.active() && self.state == SeqState::Store;
         bus.drive_u64(self.input.read, u64::from(fetching))?;

@@ -12,7 +12,7 @@
 
 use crate::iface::IterIface;
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
+use hdp_sim::{BusAccess, Component, Sensitivity, SignalBus, SimError};
 
 /// Read-side width adapter: presents a `wide`-bit forward input
 /// iterator over a container with a `narrow`-bit one.
@@ -84,7 +84,7 @@ impl Component for ReadWidthAdapter {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         // Engine-facing outputs.
         let container_can_read = bus.read(self.container.can_read)?.to_u64() == Some(1);
         bus.drive_u64(
@@ -219,7 +219,7 @@ impl Component for WriteWidthAdapter {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let container_can_write = bus.read(self.container.can_write)?.to_u64() == Some(1);
         bus.drive_u64(
             self.engine.can_write,

@@ -8,7 +8,7 @@
 
 use crate::iface::SramPort;
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
+use hdp_sim::{BusAccess, Component, Sensitivity, SignalBus, SimError};
 
 /// Grant selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,7 +80,7 @@ impl Component for SramArbiter {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let addr_width = bus.width(self.down.addr)?;
         let data_width = bus.width(self.down.wdata)?;
         match self.granted {

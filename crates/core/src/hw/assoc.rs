@@ -2,7 +2,7 @@
 
 use crate::iface::RandomIterIface;
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, Sensitivity, SignalBus, SignalId, SimError};
+use hdp_sim::{BusAccess, Component, Sensitivity, SignalBus, SignalId, SimError};
 
 /// Associative array over on-chip block RAM: a direct-mapped store
 /// with a tag compare, the classic silicon realisation of the Table 1
@@ -88,7 +88,7 @@ impl Component for AssocBram {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let idle = self.completing.is_none();
         bus.drive_u64(self.it.seq.can_read, u64::from(idle))?;
         bus.drive_u64(self.it.seq.can_write, u64::from(idle))?;

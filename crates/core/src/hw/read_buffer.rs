@@ -3,7 +3,7 @@
 
 use crate::iface::{ColumnIface, IterIface, SramPort, StreamIface};
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
+use hdp_sim::{BusAccess, Component, Sensitivity, SignalBus, SimError};
 use std::collections::VecDeque;
 
 /// Read buffer over an on-chip FIFO core — the Figure 4 component.
@@ -69,7 +69,7 @@ impl Component for ReadBufferFifo {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let can_read = !self.data.is_empty();
         bus.drive_u64(self.it.can_read, u64::from(can_read))?;
         bus.drive_u64(self.it.can_write, 0)?; // input iterator only
@@ -224,7 +224,7 @@ impl Component for ReadBufferSram {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         bus.drive_u64(self.it.can_read, u64::from(self.count > 0))?;
         bus.drive_u64(self.it.can_write, 0)?;
         bus.drive_u64(self.it.done, u64::from(self.done_pulse))?;
@@ -400,7 +400,7 @@ impl Component for ColumnBuffer {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         bus.drive_u64(self.it.avail, u64::from(self.column_ready()))?;
         if self.column_ready() {
             let w = self.line_width;

@@ -3,7 +3,7 @@
 
 use crate::iface::{IterIface, SramPort};
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
+use hdp_sim::{BusAccess, Component, Sensitivity, SignalBus, SimError};
 
 /// Stack over an on-chip LIFO core.
 ///
@@ -64,7 +64,7 @@ impl Component for StackLifo {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let can_read = !self.data.is_empty();
         let can_write = self.data.len() < self.depth;
         bus.drive_u64(self.it.can_read, u64::from(can_read))?;
@@ -204,7 +204,7 @@ impl Component for StackSram {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let can_read = self.sp > 0 && self.fsm == StackFsm::Idle;
         let can_write = (self.sp as usize) < self.capacity
             && self.pending_push.is_none()

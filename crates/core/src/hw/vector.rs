@@ -2,7 +2,7 @@
 
 use crate::iface::{RandomIterIface, SramPort};
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
+use hdp_sim::{BusAccess, Component, Sensitivity, SignalBus, SimError};
 
 /// Which access a multi-cycle vector operation is performing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,7 +84,7 @@ impl Component for VectorBram {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let idle = self.completing.is_none();
         bus.drive_u64(self.it.seq.can_read, u64::from(idle))?;
         bus.drive_u64(self.it.seq.can_write, u64::from(idle))?;
@@ -254,7 +254,7 @@ impl Component for VectorSram {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let idle = self.fsm == VsFsm::Idle;
         bus.drive_u64(self.it.seq.can_read, u64::from(idle))?;
         bus.drive_u64(self.it.seq.can_write, u64::from(idle))?;

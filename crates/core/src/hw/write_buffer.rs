@@ -3,7 +3,7 @@
 
 use crate::iface::{IterIface, SramPort, StreamIface};
 use hdp_hdl::LogicVector;
-use hdp_sim::{Component, Sensitivity, SignalBus, SimError};
+use hdp_sim::{BusAccess, Component, Sensitivity, SignalBus, SimError};
 use std::collections::VecDeque;
 
 /// Write buffer over an on-chip FIFO core.
@@ -61,7 +61,7 @@ impl Component for WriteBufferFifo {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let can_write = self.data.len() < self.depth;
         bus.drive_u64(self.it.can_write, u64::from(can_write))?;
         bus.drive_u64(self.it.can_read, 0)?; // output iterator only
@@ -221,7 +221,7 @@ impl Component for WriteBufferSram {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         // can_write: room in the buffer and no write already pending.
         let can_write = self.count < self.capacity && self.pending.is_none();
         bus.drive_u64(self.it.can_write, u64::from(can_write))?;

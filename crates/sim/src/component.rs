@@ -1,5 +1,6 @@
 //! The [`Component`] trait implemented by every simulated hardware model.
 
+use crate::signal::{BusAccess, BusReader, DriveLog, SplitBus};
 use crate::{SignalBus, SignalId, SimError};
 
 /// What wakes a component's [`Component::eval`] during settling.
@@ -60,11 +61,33 @@ pub trait Component {
     /// state. Called one or more times per cycle; must be idempotent
     /// for fixed inputs.
     ///
+    /// The bus is handed out as [`BusAccess`] so the same
+    /// implementation serves both the sequential schedulers (which
+    /// pass the exclusive [`SignalBus`]) and the parallel workers
+    /// (which pass a snapshot/log [`SplitBus`]).
+    ///
     /// # Errors
     ///
     /// Implementations report wiring mistakes and protocol violations
     /// as [`SimError`].
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError>;
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError>;
+
+    /// Parallel-mode settle: read from the pass snapshot, append
+    /// drives to the worker's log. The scheduler commits logs in
+    /// registration order, so the observable effect is identical to
+    /// [`Component::eval`] under the sequential event scheduler.
+    ///
+    /// The default wraps `eval` in a [`SplitBus`]; override only to
+    /// exploit the split borrow directly (no component in this repo
+    /// needs to).
+    ///
+    /// # Errors
+    ///
+    /// As [`Component::eval`].
+    fn eval_split(&mut self, reader: &BusReader<'_>, log: &mut DriveLog) -> Result<(), SimError> {
+        let mut split = SplitBus::new(reader, log);
+        self.eval(&mut split)
+    }
 
     /// Clock edge: sample settled inputs and update registered state.
     ///
@@ -104,8 +127,12 @@ impl<T: Component + ?Sized> Component for Box<T> {
         (**self).name()
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         (**self).eval(bus)
+    }
+
+    fn eval_split(&mut self, reader: &BusReader<'_>, log: &mut DriveLog) -> Result<(), SimError> {
+        (**self).eval_split(reader, log)
     }
 
     fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {

@@ -1,6 +1,6 @@
 //! Synchronous-read block RAM (Block SelectRAM model).
 
-use crate::{Component, SignalBus, SignalId, SimError};
+use crate::{BusAccess, Component, SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
 
 /// A dual-port synchronous block RAM: one write port, one read port,
@@ -90,7 +90,7 @@ impl Component for Bram {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         match self.out {
             Some(v) => bus.drive_u64(self.rdata, v)?,
             None => bus.drive(

@@ -1,6 +1,6 @@
 //! First-word-fall-through FIFO core.
 
-use crate::{Component, SignalBus, SignalId, SimError};
+use crate::{BusAccess, Component, SignalBus, SignalId, SimError};
 use std::collections::VecDeque;
 
 /// A synchronous FIFO core with first-word fall-through, the on-chip
@@ -94,7 +94,7 @@ impl Component for FifoCore {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         bus.drive_u64(self.empty, u64::from(self.data.is_empty()))?;
         bus.drive_u64(self.full, u64::from(self.data.len() >= self.depth))?;
         match self.data.front() {

@@ -1,6 +1,6 @@
 //! LIFO (stack) core.
 
-use crate::{Component, SignalBus, SignalId, SimError};
+use crate::{BusAccess, Component, SignalBus, SignalId, SimError};
 
 /// A synchronous LIFO core, the on-chip stack device of the paper
 /// ("queues and read/write buffers can also \[be\] mapped over LIFOs",
@@ -75,7 +75,7 @@ impl Component for LifoCore {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         bus.drive_u64(self.empty, u64::from(self.data.is_empty()))?;
         bus.drive_u64(self.full, u64::from(self.data.len() >= self.depth))?;
         match self.data.last() {

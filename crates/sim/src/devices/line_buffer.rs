@@ -1,6 +1,6 @@
 //! The 3-line video buffer of the blur example.
 
-use crate::{Component, SignalBus, SignalId, SimError};
+use crate::{BusAccess, Component, SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
 use std::collections::VecDeque;
 
@@ -99,7 +99,7 @@ impl Component for LineBuffer3 {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         bus.drive_u64(self.avail, u64::from(self.column_ready()))?;
         bus.drive_u64(self.full, u64::from(self.window.len() >= self.capacity()))?;
         match self.column() {

@@ -1,6 +1,6 @@
 //! External static RAM behind a req/ack memory controller.
 
-use crate::{Component, SignalBus, SignalId, SimError};
+use crate::{BusAccess, Component, SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
 
 /// The handshake state of the controller.
@@ -121,7 +121,7 @@ impl Component for Sram {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         bus.drive_u64(self.ack, u64::from(self.phase == Phase::Ack))?;
         match (self.phase, self.out) {
             (Phase::Ack, Some(v)) => bus.drive_u64(self.rdata, v)?,

@@ -1,6 +1,6 @@
 //! Video stream source and sink (SAA7113 decoder / VGA coder models).
 
-use crate::{Component, SignalBus, SignalId, SimError};
+use crate::{BusAccess, Component, SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
 
 /// A pixel-stream source standing in for the SAA7113 video decoder of
@@ -82,7 +82,7 @@ impl Component for VideoIn {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         if self.emitting() {
             bus.drive_u64(self.valid, 1)?;
             bus.drive_u64(self.data, self.frame[self.index])?;
@@ -197,7 +197,7 @@ impl Component for VideoOut {
         &self.name
     }
 
-    fn eval(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, _bus: &mut dyn BusAccess) -> Result<(), SimError> {
         Ok(())
     }
 

@@ -11,7 +11,12 @@
 //!   settling to a fixpoint (delta cycles), then a synchronous clock
 //!   edge. Settling is event-driven by default — only components
 //!   sensitive to a changed signal re-evaluate — with a full-sweep
-//!   reference mode selectable via [`SchedMode`].
+//!   reference mode and a multi-threaded wave mode
+//!   ([`SchedMode::Parallel`]) selectable via [`SchedMode`]. Parallel
+//!   waves evaluate signal-disjoint islands of woken components on
+//!   worker threads against an immutable pass snapshot and commit
+//!   their drives in registration order, so every mode produces
+//!   bit-identical traces.
 //! * [`SimBuilder`] — builder-style construction that freezes the
 //!   scheduler's sensitivity tables once and applies power-on reset.
 //! * [`Component`] — the trait every hardware model implements,
@@ -68,4 +73,4 @@ pub use component::{Component, Sensitivity};
 pub use error::SimError;
 pub use netlist_sim::NetlistComponent;
 pub use sched::{ComponentId, SchedMode, SimBuilder, Simulator};
-pub use signal::{SignalBus, SignalId};
+pub use signal::{BusAccess, BusReader, DriveLog, SignalBus, SignalId, SplitBus};

@@ -1,6 +1,6 @@
 //! Cycle-accurate interpretation of generated netlists.
 
-use crate::{Component, Sensitivity, SignalBus, SignalId, SimError};
+use crate::{BusAccess, Component, Sensitivity, SignalBus, SignalId, SimError};
 use hdp_hdl::prim::Prim;
 use hdp_hdl::{CellId, LogicVector, Netlist, PortDir};
 use std::cmp::Reverse;
@@ -351,7 +351,7 @@ impl NetlistComponent {
     /// order. Used for the first pass after construction, reset or
     /// white-box mutation; also the reference the incremental path
     /// must match bit for bit.
-    fn eval_full(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval_full(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         // 1. Latch input ports into their nets.
         for (_, dir, net, signal) in &self.port_wiring {
             if *dir == PortDir::In {
@@ -399,7 +399,7 @@ impl NetlistComponent {
 
     /// Incremental evaluation: re-run only the fanout cone of changed
     /// input nets and (after a clock edge) changed sequential outputs.
-    fn eval_incremental(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval_incremental(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         self.wave += 1;
         // 1. Latch input ports, scheduling readers of changed nets.
         for pi in 0..self.port_wiring.len() {
@@ -491,7 +491,7 @@ impl Component for NetlistComponent {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         if self.full_eval || !self.incremental {
             self.eval_full(bus)
         } else {

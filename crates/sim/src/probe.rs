@@ -1,6 +1,6 @@
 //! Testbench helpers: stimulus drivers and signal monitors.
 
-use crate::{Component, SignalBus, SignalId, SimError};
+use crate::{BusAccess, Component, SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
 
 /// Drives a signal with a precomputed per-cycle sequence, then holds
@@ -41,7 +41,7 @@ impl Component for Stimulus {
         &self.name
     }
 
-    fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
         let v = self.values[self.cursor.min(self.values.len() - 1)];
         let value = LogicVector::from_u64(v, self.width).map_err(SimError::from)?;
         bus.drive(self.signal, value)
@@ -102,7 +102,7 @@ impl Component for Monitor {
         &self.name
     }
 
-    fn eval(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, _bus: &mut dyn BusAccess) -> Result<(), SimError> {
         Ok(())
     }
 

@@ -1,6 +1,6 @@
 //! The clocked delta-cycle scheduler.
 //!
-//! Two interchangeable scheduling strategies share one set of
+//! Three interchangeable scheduling strategies share one set of
 //! semantics (see [`SchedMode`]):
 //!
 //! * **Event-driven** (default) — components declare the signals their
@@ -9,12 +9,25 @@
 //!   previous pass. Clocked components are additionally woken once
 //!   after every clock edge, everything after reset.
 //! * **Full sweep** — every component is evaluated in every delta
-//!   pass. Retained as the executable reference model: the event
-//!   scheduler is required (and property-tested) to produce
+//!   pass. Retained as the executable reference model: the other
+//!   schedulers are required (and property-tested) to produce
 //!   bit-identical signal traces.
+//! * **Parallel** — the event scheduler's wake waves, distributed over
+//!   worker threads. The woken components are partitioned into
+//!   *islands* (connected components of the signal-connectivity
+//!   graph: a component belongs to the same island as every signal it
+//!   reads or drives); islands are signal-disjoint, so each worker
+//!   evaluates its islands against an immutable pass snapshot
+//!   ([`crate::BusReader`]) plus a worker-local overlay of its own
+//!   earlier writes, logging drives to a [`crate::DriveLog`]. The
+//!   scheduler then commits all logs in component registration order,
+//!   which reproduces the sequential pass bit for bit: multi-driver
+//!   resolution order, dirty tracking, driver attribution in
+//!   [`SimError::NoConvergence`] reports and VCD traces are all
+//!   identical at every thread count.
 
-use crate::signal::DRIVER_POKE;
-use crate::{Component, Sensitivity, SignalBus, SignalId, SimError};
+use crate::signal::{BusReader, DRIVER_POKE};
+use crate::{Component, DriveLog, Sensitivity, SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
 use std::any::Any;
 
@@ -24,6 +37,11 @@ const DELTA_LIMIT: usize = 64;
 /// How many oscillating signals a non-convergence report names.
 const OSCILLATION_REPORT_CAP: usize = 8;
 
+/// Minimum woken components in a pass before [`SchedMode::Parallel`]
+/// fans out to worker threads. Spawning scoped workers costs tens of
+/// microseconds; waves smaller than this evaluate inline faster.
+const PARALLEL_WAKE_MIN: usize = 8;
+
 /// Scheduling strategy of a [`Simulator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedMode {
@@ -32,6 +50,43 @@ pub enum SchedMode {
     EventDriven,
     /// Evaluate every component in every delta pass (reference mode).
     FullSweep,
+    /// Event-driven waves evaluated on `threads` worker threads, with
+    /// drives committed in registration order (bit-identical to
+    /// [`SchedMode::EventDriven`]). `threads <= 1` degenerates to the
+    /// sequential event scheduler, as do designs whose woken
+    /// components all share one connectivity island in a given pass.
+    ///
+    /// Requires every component to declare a concrete
+    /// [`Sensitivity::Signals`] list; if any component reports
+    /// [`Sensitivity::Always`] (reads undeclared), the simulator
+    /// conservatively falls back to the sequential event scheduler.
+    Parallel {
+        /// Number of worker threads for wave evaluation.
+        threads: usize,
+    },
+}
+
+impl SchedMode {
+    /// [`SchedMode::Parallel`] with the thread count taken from the
+    /// `HDP_SIM_THREADS` environment variable, falling back to the
+    /// machine's available parallelism (capped at 8).
+    #[must_use]
+    pub fn parallel() -> Self {
+        SchedMode::Parallel {
+            threads: default_threads(),
+        }
+    }
+}
+
+/// Thread count from `HDP_SIM_THREADS`, else available parallelism
+/// capped at 8 (waves rarely have more independent islands than that).
+fn default_threads() -> usize {
+    std::env::var("HDP_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get().min(8)))
+        .min(64)
 }
 
 /// Handle to a component instance owned by a [`Simulator`], returned
@@ -41,17 +96,77 @@ pub enum SchedMode {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ComponentId(usize);
 
-trait AnyComponent: Component {
+/// `Send` is a supertrait so component instances can be evaluated on
+/// [`SchedMode::Parallel`] worker threads.
+trait AnyComponent: Component + Send {
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-impl<T: Component + Any> AnyComponent for T {
+impl<T: Component + Send + Any> AnyComponent for T {
     fn as_any(&self) -> &dyn Any {
         self
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// Reusable per-worker state for parallel wave evaluation.
+#[derive(Default)]
+struct WorkerScratch {
+    /// Pass serial for which each overlay slot is live.
+    overlay_wave: Vec<u64>,
+    /// Worker-local committed value per slot (valid when the wave tag
+    /// matches the current pass).
+    overlay_val: Vec<LogicVector>,
+    /// `(component, signal, value)` drives awaiting ordered commit.
+    commits: Vec<(usize, SignalId, LogicVector)>,
+    /// Scratch drive log handed to each component evaluation.
+    log: DriveLog,
+    /// First evaluation error in this worker's registration-ordered
+    /// bucket, if any.
+    error: Option<(usize, SimError)>,
+}
+
+/// Evaluates one worker's registration-ordered bucket of woken
+/// components against the pass snapshot, accumulating drives in the
+/// worker's commit buffer. Stops at the first error, mirroring the
+/// sequential scheduler (drives logged before the error remain, the
+/// erroring component's later drives never happen).
+fn worker_eval(
+    bucket: Vec<(usize, &mut Box<dyn AnyComponent>)>,
+    scratch: &mut WorkerScratch,
+    bus: &SignalBus,
+    wave: u64,
+) {
+    scratch.overlay_wave.resize(bus.len(), 0);
+    scratch.overlay_val.resize(
+        bus.len(),
+        LogicVector::unknown(1).expect("1-bit placeholder"),
+    );
+    let WorkerScratch {
+        overlay_wave,
+        overlay_val,
+        commits,
+        log,
+        error,
+    } = scratch;
+    for (idx, comp) in bucket {
+        log.clear();
+        let reader = BusReader::new(bus, wave, overlay_wave, overlay_val);
+        let res = comp.eval_split(&reader, log);
+        for &(id, v) in log.raw() {
+            commits.push((idx, id, v));
+        }
+        for &(slot, v) in log.resolved() {
+            overlay_wave[slot] = wave;
+            overlay_val[slot] = v;
+        }
+        if let Err(e) = res {
+            *error = Some((idx, e));
+            return;
+        }
     }
 }
 
@@ -88,6 +203,34 @@ pub struct Simulator {
     /// Wake every component at the next settle (reset, mode switch,
     /// late additions).
     wake_all: bool,
+    /// Whether any component declared [`Sensitivity::Always`] — such
+    /// components may read arbitrary signals, so the parallel
+    /// scheduler cannot partition and falls back to sequential waves.
+    has_always: bool,
+    /// Connectivity island (union-find root) per component, for
+    /// [`SchedMode::Parallel`]. Rebuilt lazily when the component set,
+    /// signal set or discovered driver links change.
+    islands: Vec<usize>,
+    /// `SignalBus::driver_link_count` the islands were built from.
+    islands_links: usize,
+    /// `SignalBus::len` the islands were built from.
+    islands_sigs: usize,
+    /// Whether a full sequential wake-all settle has run since the
+    /// last table rebuild. Driver links (which components write which
+    /// signals) are discovered at runtime; the first settle runs
+    /// sequentially so the island partition is complete before any
+    /// parallel wave.
+    islands_validated: bool,
+    /// Monotonic parallel-pass serial, tagging worker overlay entries.
+    pass_serial: u64,
+    /// Reusable wake/next buffers for the settle loops (hoisted out of
+    /// the per-pass hot path to avoid allocator churn).
+    scratch_wake: Vec<usize>,
+    scratch_next: Vec<usize>,
+    /// Reusable per-worker evaluation state.
+    worker_scratch: Vec<WorkerScratch>,
+    /// Reusable merge buffer for ordered commits.
+    commit_scratch: Vec<(usize, SignalId, LogicVector)>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -151,12 +294,14 @@ impl Simulator {
     }
 
     /// Adds a component instance, returning a handle for later
-    /// inspection with [`Simulator::component`].
+    /// inspection with [`Simulator::component`]. Components must be
+    /// [`Send`] so [`SchedMode::Parallel`] can evaluate them on worker
+    /// threads.
     ///
     /// Adding a component invalidates the frozen sensitivity tables;
     /// they are rebuilt lazily at the next settle. Prefer registering
     /// everything up front (see [`SimBuilder`]).
-    pub fn add_component(&mut self, component: impl Component + 'static) -> ComponentId {
+    pub fn add_component(&mut self, component: impl Component + Send + 'static) -> ComponentId {
         self.components.push(Box::new(component));
         self.tables_ready = false;
         self.wake_all = true;
@@ -279,6 +424,7 @@ impl Simulator {
         match self.mode {
             SchedMode::FullSweep => self.settle_sweep(),
             SchedMode::EventDriven => self.settle_event(),
+            SchedMode::Parallel { threads } => self.settle_parallel(threads),
         }
     }
 
@@ -305,21 +451,68 @@ impl Simulator {
         Err(self.no_convergence())
     }
 
+    /// Collects the pending wake set (wake-all, seeds and poked-signal
+    /// watchers) into `wake` and clears the pending state.
+    fn collect_wake(&mut self, wake: &mut Vec<usize>) {
+        wake.clear();
+        if self.wake_all {
+            wake.extend(0..self.components.len());
+            self.seeds.clear();
+        } else {
+            wake.append(&mut self.seeds);
+            for id in self.poked_signals.drain(..) {
+                wake.extend_from_slice(&self.watchers[id.index()]);
+            }
+        }
+        self.wake_all = false;
+        self.poked_signals.clear();
+    }
+
+    /// Post-pass bookkeeping shared by the event-driven and parallel
+    /// settle loops: promote co-drivers of newly shared signals and
+    /// collect the next pass's wake set from the dirty slots.
+    ///
+    /// A signal that just gained a second driver needs all its drivers
+    /// co-evaluated from now on, or per-pass resolution would see
+    /// partial contributions.
+    fn pass_followup(&mut self, next: &mut Vec<usize>) {
+        next.clear();
+        for slot in self.bus.take_new_shared() {
+            for &d in self.bus.slot_drivers(slot) {
+                if d != DRIVER_POKE && !self.promoted[d] {
+                    self.promoted[d] = true;
+                    self.always.push(d);
+                    next.push(d);
+                }
+            }
+        }
+        for slot in self.bus.dirty_slots() {
+            next.extend_from_slice(&self.watchers[slot]);
+        }
+    }
+
     /// Event-driven settle: evaluate only woken components.
     fn settle_event(&mut self) -> Result<(), SimError> {
         self.ensure_tables()?;
-        let mut wake: Vec<usize> = if self.wake_all {
-            (0..self.components.len()).collect()
-        } else {
-            let mut w = std::mem::take(&mut self.seeds);
-            for id in self.poked_signals.drain(..) {
-                w.extend_from_slice(&self.watchers[id.index()]);
-            }
-            w
-        };
-        self.wake_all = false;
-        self.seeds.clear();
-        self.poked_signals.clear();
+        // Reuse the wake/next buffers across settles: the settle loop
+        // runs twice per clock cycle, and reallocating both vectors in
+        // every pass showed up as allocator churn on long runs.
+        let mut wake = std::mem::take(&mut self.scratch_wake);
+        let mut next = std::mem::take(&mut self.scratch_next);
+        self.collect_wake(&mut wake);
+        let res = self.settle_event_loop(&mut wake, &mut next);
+        wake.clear();
+        next.clear();
+        self.scratch_wake = wake;
+        self.scratch_next = next;
+        res
+    }
+
+    fn settle_event_loop(
+        &mut self,
+        wake: &mut Vec<usize>,
+        next: &mut Vec<usize>,
+    ) -> Result<(), SimError> {
         for _ in 0..DELTA_LIMIT {
             self.bus.begin_pass();
             self.bus.set_driver(DRIVER_POKE);
@@ -331,32 +524,231 @@ impl Simulator {
             wake.extend_from_slice(&self.always);
             wake.sort_unstable();
             wake.dedup();
-            for &i in &wake {
+            for &i in wake.iter() {
                 self.bus.set_driver(i);
                 self.components[i].eval(&mut self.bus)?;
             }
-            // A signal that just gained a second driver needs all its
-            // drivers co-evaluated from now on, or per-pass resolution
-            // would see partial contributions.
-            let mut next: Vec<usize> = Vec::new();
-            for slot in self.bus.take_new_shared() {
-                for &d in self.bus.slot_drivers(slot) {
-                    if d != DRIVER_POKE && !self.promoted[d] {
-                        self.promoted[d] = true;
-                        self.always.push(d);
-                        next.push(d);
-                    }
-                }
-            }
-            for slot in self.bus.dirty_slots() {
-                next.extend_from_slice(&self.watchers[slot]);
-            }
+            self.pass_followup(next);
             if next.is_empty() {
                 return Ok(());
             }
-            wake = next;
+            std::mem::swap(wake, next);
         }
         Err(self.no_convergence())
+    }
+
+    /// Parallel settle: event-driven waves with woken components
+    /// distributed over worker threads by connectivity island.
+    ///
+    /// Falls back to the sequential event scheduler when it would not
+    /// be bit-safe or useful: one worker, a component with undeclared
+    /// reads ([`Sensitivity::Always`]), or an island partition not yet
+    /// validated by a full sequential settle (driver links — which
+    /// component writes which signal — are discovered at runtime, and
+    /// the partition is only complete after every component has
+    /// evaluated once).
+    fn settle_parallel(&mut self, threads: usize) -> Result<(), SimError> {
+        self.ensure_tables()?;
+        if threads <= 1 || self.has_always || !self.islands_validated {
+            let was_wake_all = self.wake_all;
+            let res = self.settle_event();
+            if res.is_ok() && was_wake_all && !self.has_always {
+                self.islands_validated = true;
+            }
+            return res;
+        }
+        let mut wake = std::mem::take(&mut self.scratch_wake);
+        let mut next = std::mem::take(&mut self.scratch_next);
+        self.collect_wake(&mut wake);
+        let res = self.settle_parallel_loop(&mut wake, &mut next, threads);
+        wake.clear();
+        next.clear();
+        self.scratch_wake = wake;
+        self.scratch_next = next;
+        res
+    }
+
+    fn settle_parallel_loop(
+        &mut self,
+        wake: &mut Vec<usize>,
+        next: &mut Vec<usize>,
+        threads: usize,
+    ) -> Result<(), SimError> {
+        for _ in 0..DELTA_LIMIT {
+            // Promotion or late driver discovery in a previous pass may
+            // have invalidated the partition.
+            self.maybe_rebuild_islands();
+            self.bus.begin_pass();
+            self.bus.set_driver(DRIVER_POKE);
+            for (id, value) in &self.pokes {
+                self.bus.drive(*id, *value)?;
+            }
+            wake.extend_from_slice(&self.always);
+            wake.sort_unstable();
+            wake.dedup();
+            // A wave spanning a single island has no parallelism to
+            // exploit, and a small wave cannot amortize the spawn cost
+            // of scoped workers (~tens of µs vs. ~µs of evaluation);
+            // either way, evaluate inline on the real bus.
+            let mut multi = false;
+            if wake.len() >= PARALLEL_WAKE_MIN {
+                let mut first = None;
+                for &i in wake.iter() {
+                    let isl = self.islands[i];
+                    match first {
+                        None => first = Some(isl),
+                        Some(f) if f != isl => {
+                            multi = true;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            if multi {
+                self.eval_wave_parallel(wake, threads)?;
+            } else {
+                for &i in wake.iter() {
+                    self.bus.set_driver(i);
+                    self.components[i].eval(&mut self.bus)?;
+                }
+            }
+            self.pass_followup(next);
+            if next.is_empty() {
+                return Ok(());
+            }
+            std::mem::swap(wake, next);
+        }
+        Err(self.no_convergence())
+    }
+
+    /// Evaluates one wave on up to `threads` scoped workers and
+    /// commits the logged drives in registration order.
+    fn eval_wave_parallel(&mut self, wake: &[usize], threads: usize) -> Result<(), SimError> {
+        self.pass_serial += 1;
+        let wave = self.pass_serial;
+        let workers = threads.min(wake.len()).max(1);
+        if self.worker_scratch.len() < workers {
+            self.worker_scratch
+                .resize_with(workers, WorkerScratch::default);
+        }
+        let bus = &self.bus;
+        let islands = &self.islands;
+        let scratches = &mut self.worker_scratch[..workers];
+        // Split the component vector into disjoint mutable borrows so
+        // each worker owns exactly its bucket (safe split: every woken
+        // index is taken at most once).
+        let mut refs: Vec<Option<&mut Box<dyn AnyComponent>>> =
+            self.components.iter_mut().map(Some).collect();
+        let mut buckets: Vec<Vec<(usize, &mut Box<dyn AnyComponent>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for &i in wake {
+            let w = islands[i] % workers;
+            buckets[w].push((
+                i,
+                refs[i].take().expect("component woken twice in one pass"),
+            ));
+        }
+        std::thread::scope(|s| {
+            for (bucket, scratch) in buckets.into_iter().zip(scratches.iter_mut()) {
+                if bucket.is_empty() {
+                    continue;
+                }
+                s.spawn(move || worker_eval(bucket, scratch, bus, wave));
+            }
+        });
+        // Merge the per-worker logs into registration order. The sort
+        // is stable, so each component's own drive order is preserved.
+        let mut all = std::mem::take(&mut self.commit_scratch);
+        let mut first_err: Option<(usize, SimError)> = None;
+        for scratch in &mut self.worker_scratch[..workers] {
+            all.append(&mut scratch.commits);
+            if let Some((idx, e)) = scratch.error.take() {
+                if first_err.as_ref().is_none_or(|(k, _)| idx < *k) {
+                    first_err = Some((idx, e));
+                }
+            }
+        }
+        all.sort_by_key(|&(comp, _, _)| comp);
+        // Replay. On a component error, the sequential scheduler would
+        // have stopped mid-pass: commit only drives from components
+        // registered before the erroring one, plus the erroring
+        // component's drives logged before its error.
+        let mut replay_err = None;
+        let mut cur = DRIVER_POKE;
+        for &(comp, id, v) in &all {
+            if let Some((k, _)) = &first_err {
+                if comp > *k {
+                    break;
+                }
+            }
+            if comp != cur {
+                self.bus.set_driver(comp);
+                cur = comp;
+            }
+            if let Err(e) = self.bus.drive(id, v) {
+                replay_err = Some(e);
+                break;
+            }
+        }
+        all.clear();
+        self.commit_scratch = all;
+        match (first_err, replay_err) {
+            (Some((_, e)), _) => Err(e),
+            (None, Some(e)) => Err(e),
+            (None, None) => Ok(()),
+        }
+    }
+
+    /// Rebuilds the component islands if the component set, signal set
+    /// or discovered driver links changed since the last build.
+    ///
+    /// Islands are the connected components of the bipartite
+    /// signal/component graph with an edge for every declared read
+    /// (sensitivity) and every observed drive (driver links recorded
+    /// by the bus). Two components in different islands can never
+    /// touch the same signal in a pass, so their evaluation order is
+    /// immaterial and they may run on different workers.
+    fn maybe_rebuild_islands(&mut self) {
+        let links = self.bus.driver_link_count();
+        if self.islands.len() == self.components.len()
+            && self.islands_links == links
+            && self.islands_sigs == self.bus.len()
+        {
+            return;
+        }
+        let n_sig = self.bus.len();
+        let n = self.components.len();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        fn union(parent: &mut [usize], a: usize, b: usize) {
+            let ra = find(parent, a);
+            let rb = find(parent, b);
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        let mut parent: Vec<usize> = (0..n_sig + n).collect();
+        for (s, ws) in self.watchers.iter().enumerate() {
+            for &c in ws {
+                union(&mut parent, s, n_sig + c);
+            }
+        }
+        for s in 0..n_sig {
+            for &d in self.bus.slot_drivers(s) {
+                if d != DRIVER_POKE && d < n {
+                    union(&mut parent, s, n_sig + d);
+                }
+            }
+        }
+        self.islands = (0..n).map(|i| find(&mut parent, n_sig + i)).collect();
+        self.islands_links = links;
+        self.islands_sigs = n_sig;
     }
 
     /// Builds the non-convergence report from the last pass's dirty set.
@@ -397,22 +789,29 @@ impl Simulator {
         self.watchers = vec![Vec::new(); self.bus.len()];
         self.always.clear();
         self.clocked.clear();
+        self.has_always = false;
         self.promoted.resize(self.components.len(), false);
         for (i, c) in self.components.iter().enumerate() {
             match c.sensitivity() {
-                Sensitivity::Always => self.always.push(i),
-                Sensitivity::Signals(signals) => {
+                Sensitivity::Always => {
+                    self.always.push(i);
+                    self.has_always = true;
+                }
+                Sensitivity::Signals(mut signals) => {
                     if self.promoted[i] {
                         self.always.push(i);
                     }
+                    // Dedup the declared list up front; the watcher
+                    // vectors then never need a linear containment
+                    // scan, which was quadratic on high-fan-in
+                    // components.
+                    signals.sort_unstable();
+                    signals.dedup();
                     for s in signals {
-                        let watchers = self
-                            .watchers
+                        self.watchers
                             .get_mut(s.index())
-                            .ok_or(SimError::UnknownSignal { index: s.index() })?;
-                        if !watchers.contains(&i) {
-                            watchers.push(i);
-                        }
+                            .ok_or(SimError::UnknownSignal { index: s.index() })?
+                            .push(i);
                     }
                 }
             }
@@ -421,6 +820,11 @@ impl Simulator {
             }
         }
         self.tables_ready = true;
+        // The table rebuild means components (and thus driver links)
+        // may have changed: force a fresh island partition and require
+        // a sequential validation settle before going parallel.
+        self.islands.clear();
+        self.islands_validated = false;
         Ok(())
     }
 
@@ -442,7 +846,7 @@ impl Simulator {
                     c.tick(&mut self.bus)?;
                 }
             }
-            SchedMode::EventDriven => {
+            SchedMode::EventDriven | SchedMode::Parallel { .. } => {
                 for idx in 0..self.clocked.len() {
                     let i = self.clocked[idx];
                     self.bus.set_driver(i);
@@ -554,8 +958,16 @@ impl SimBuilder {
     }
 
     /// Registers a component.
-    pub fn component(&mut self, component: impl Component + 'static) -> ComponentId {
+    pub fn component(&mut self, component: impl Component + Send + 'static) -> ComponentId {
         self.sim.add_component(component)
+    }
+
+    /// Switches to [`SchedMode::Parallel`] with `n` worker threads
+    /// (`n <= 1` keeps parallel mode but degenerates to sequential
+    /// wave evaluation).
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.sim.mode = SchedMode::Parallel { threads: n.max(1) };
+        self
     }
 
     /// Sets an initial testbench drive, applied from the first settle.
@@ -594,8 +1006,17 @@ impl SimBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
-    use std::rc::Rc;
+    use crate::BusAccess;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// The scheduling modes every semantics test must agree across.
+    const ALL_MODES: [SchedMode; 4] = [
+        SchedMode::EventDriven,
+        SchedMode::FullSweep,
+        SchedMode::Parallel { threads: 1 },
+        SchedMode::Parallel { threads: 4 },
+    ];
 
     /// A register: q <= d on every edge.
     struct Reg {
@@ -609,7 +1030,7 @@ mod tests {
         fn name(&self) -> &str {
             &self.name
         }
-        fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
             bus.drive_u64(self.q, self.state)
         }
         fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
@@ -630,16 +1051,16 @@ mod tests {
         name: String,
         a: SignalId,
         y: SignalId,
-        evals: Option<Rc<Cell<usize>>>,
+        evals: Option<Arc<AtomicUsize>>,
     }
 
     impl Component for Inc {
         fn name(&self) -> &str {
             &self.name
         }
-        fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+        fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
             if let Some(evals) = &self.evals {
-                evals.set(evals.get() + 1);
+                evals.fetch_add(1, Ordering::Relaxed);
             }
             let a = bus.read(self.a)?;
             if let Some(v) = a.to_u64() {
@@ -682,7 +1103,7 @@ mod tests {
     fn counter_from_reg_and_inc() {
         // q -> inc -> d -> reg -> q : a classic counter loop broken by
         // the register.
-        for mode in [SchedMode::EventDriven, SchedMode::FullSweep] {
+        for mode in ALL_MODES {
             let (mut sim, q) = counter_sim(mode);
             assert_eq!(sim.peek(q).unwrap().to_u64(), Some(0));
             sim.run(5).unwrap();
@@ -693,7 +1114,7 @@ mod tests {
 
     #[test]
     fn poke_persists_across_cycles() {
-        for mode in [SchedMode::EventDriven, SchedMode::FullSweep] {
+        for mode in ALL_MODES {
             let mut sim = Simulator::with_mode(mode);
             let d = sim.add_signal("d", 8).unwrap();
             let q = sim.add_signal("q", 8).unwrap();
@@ -714,7 +1135,7 @@ mod tests {
     fn zero_delay_loop_is_detected() {
         // Two combinational inverters in a loop: y = x+1, x = y+1 never
         // converges.
-        for mode in [SchedMode::EventDriven, SchedMode::FullSweep] {
+        for mode in ALL_MODES {
             let mut sim2 = Simulator::with_mode(mode);
             let x2 = sim2.add_signal("x", 8).unwrap();
             let y2 = sim2.add_signal("y", 8).unwrap();
@@ -823,25 +1244,29 @@ mod tests {
         let mut sim = Simulator::new();
         let a = sim.add_signal("a", 8).unwrap();
         let y = sim.add_signal("y", 8).unwrap();
-        let evals = Rc::new(Cell::new(0));
+        let evals = Arc::new(AtomicUsize::new(0));
         sim.add_component(Inc {
             name: "i".into(),
             a,
             y,
-            evals: Some(Rc::clone(&evals)),
+            evals: Some(Arc::clone(&evals)),
         });
         sim.poke(a, 1).unwrap();
         sim.reset().unwrap();
-        let after_reset = evals.get();
+        let after_reset = evals.load(Ordering::Relaxed);
         assert!(after_reset >= 1, "reset evaluates everything once");
         // Nothing the component is sensitive to changes across idle
         // cycles, and it is not clocked: zero further evaluations.
         sim.run(10).unwrap();
-        assert_eq!(evals.get(), after_reset, "idle cycles must not re-eval");
+        assert_eq!(
+            evals.load(Ordering::Relaxed),
+            after_reset,
+            "idle cycles must not re-eval"
+        );
         // A poke on the watched signal wakes it again.
         sim.poke(a, 7).unwrap();
         sim.settle().unwrap();
-        assert!(evals.get() > after_reset);
+        assert!(evals.load(Ordering::Relaxed) > after_reset);
         assert_eq!(sim.peek(y).unwrap().to_u64(), Some(8));
     }
 
@@ -859,7 +1284,7 @@ mod tests {
             fn name(&self) -> &str {
                 &self.name
             }
-            fn eval(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
+            fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
                 if bus.read(self.sel)?.to_u64() == Some(self.me) {
                     bus.drive_u64(self.bus_sig, self.value)
                 } else {
@@ -879,7 +1304,7 @@ mod tests {
                 false
             }
         }
-        for mode in [SchedMode::EventDriven, SchedMode::FullSweep] {
+        for mode in ALL_MODES {
             let mut sim = Simulator::with_mode(mode);
             let sel = sim.add_signal("sel", 1).unwrap();
             let shared = sim.add_signal("shared", 8).unwrap();
@@ -942,7 +1367,7 @@ mod tests {
             fn name(&self) -> &str {
                 "liar"
             }
-            fn eval(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+            fn eval(&mut self, _bus: &mut dyn BusAccess) -> Result<(), SimError> {
                 Ok(())
             }
             fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
@@ -968,9 +1393,157 @@ mod tests {
         sim.run(3).unwrap();
         sim.set_mode(SchedMode::FullSweep);
         sim.run(3).unwrap();
+        sim.set_mode(SchedMode::parallel());
+        sim.run(3).unwrap();
         sim.set_mode(SchedMode::EventDriven);
         sim.run(3).unwrap();
-        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(9));
+        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(12));
+    }
+
+    /// Builds `n` independent counters (islands) in one simulator.
+    fn multi_counter_sim(mode: SchedMode, n: usize) -> (Simulator, Vec<SignalId>) {
+        let mut sim = Simulator::with_mode(mode);
+        let mut qs = Vec::new();
+        for k in 0..n {
+            let q = sim.add_signal(format!("q{k}"), 8).unwrap();
+            let d = sim.add_signal(format!("d{k}"), 8).unwrap();
+            sim.add_component(Reg {
+                name: format!("r{k}"),
+                d,
+                q,
+                state: 0,
+            });
+            sim.add_component(Inc {
+                name: format!("i{k}"),
+                a: q,
+                y: d,
+                evals: None,
+            });
+            qs.push(q);
+        }
+        sim.reset().unwrap();
+        (sim, qs)
+    }
+
+    #[test]
+    fn parallel_multi_island_matches_event_driven() {
+        let (mut reference, ref_qs) = multi_counter_sim(SchedMode::EventDriven, 6);
+        reference.run(10).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let (mut sim, qs) = multi_counter_sim(SchedMode::Parallel { threads }, 6);
+            sim.run(10).unwrap();
+            for (q, rq) in qs.iter().zip(&ref_qs) {
+                assert_eq!(
+                    sim.peek(*q).unwrap(),
+                    reference.peek(*rq).unwrap(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_partitions_independent_counters_into_islands() {
+        let (mut sim, qs) = multi_counter_sim(SchedMode::Parallel { threads: 4 }, 5);
+        // Force the partition to exist (it is built lazily at the first
+        // parallel wave, after the sequential validation settle).
+        sim.run(2).unwrap();
+        sim.maybe_rebuild_islands();
+        let distinct: std::collections::HashSet<usize> = sim.islands.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            5,
+            "five independent counters -> five islands"
+        );
+        assert_eq!(sim.peek(qs[0]).unwrap().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn parallel_falls_back_with_always_components() {
+        struct Sweeper {
+            y: SignalId,
+        }
+        impl Component for Sweeper {
+            fn name(&self) -> &str {
+                "sweeper"
+            }
+            fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
+                bus.drive_u64(self.y, 1)
+            }
+            fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+                Ok(())
+            }
+        }
+        let mut sim = Simulator::with_mode(SchedMode::Parallel { threads: 4 });
+        let y = sim.add_signal("y", 1).unwrap();
+        sim.add_component(Sweeper { y });
+        sim.reset().unwrap();
+        sim.run(3).unwrap();
+        assert_eq!(sim.peek(y).unwrap().to_u64(), Some(1));
+        assert!(sim.has_always, "Always component must disable partitioning");
+        assert!(!sim.islands_validated);
+    }
+
+    #[test]
+    fn parallel_component_error_is_reported() {
+        struct Faulty {
+            in_sig: SignalId,
+        }
+        impl Component for Faulty {
+            fn name(&self) -> &str {
+                "faulty"
+            }
+            fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
+                // Reads an X signal as an integer: protocol error.
+                bus.read_u64(self.in_sig, "faulty")?;
+                Ok(())
+            }
+            fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+                Ok(())
+            }
+            fn sensitivity(&self) -> Sensitivity {
+                Sensitivity::Signals(vec![self.in_sig])
+            }
+            fn is_clocked(&self) -> bool {
+                false
+            }
+        }
+        let mut sim = Simulator::with_mode(SchedMode::Parallel { threads: 2 });
+        let x = sim.add_signal("x", 4).unwrap();
+        sim.add_component(Faulty { in_sig: x });
+        assert!(matches!(sim.reset(), Err(SimError::Protocol { .. })));
+    }
+
+    #[test]
+    fn default_threads_respects_env_floor() {
+        // Cannot set the env var here without racing other tests; just
+        // pin the invariants of the fallback path.
+        let n = default_threads();
+        assert!((1..=64).contains(&n));
+    }
+
+    #[test]
+    fn builder_threads_sets_parallel_mode() {
+        let mut b = SimBuilder::new();
+        let q = b.signal("q", 8).unwrap();
+        let d = b.signal("d", 8).unwrap();
+        b.component(Reg {
+            name: "r".into(),
+            d,
+            q,
+            state: 0,
+        });
+        b.component(Inc {
+            name: "i".into(),
+            a: q,
+            y: d,
+            evals: None,
+        });
+        b.threads(3);
+        let mut sim = b.build().unwrap();
+        assert_eq!(sim.mode(), SchedMode::Parallel { threads: 3 });
+        sim.run(7).unwrap();
+        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(7));
     }
 
     #[test]

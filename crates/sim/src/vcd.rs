@@ -4,7 +4,7 @@
 //! the simulator, run, and write an IEEE 1364 VCD file viewable in
 //! GTKWave or any waveform viewer.
 
-use crate::{Component, SignalBus, SignalId, SimError};
+use crate::{BusAccess, Component, SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
 use std::fmt::Write as _;
 
@@ -120,7 +120,7 @@ impl Component for VcdRecorder {
         &self.name
     }
 
-    fn eval(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+    fn eval(&mut self, _bus: &mut dyn BusAccess) -> Result<(), SimError> {
         Ok(())
     }
 

@@ -409,8 +409,15 @@ proptest! {
         };
         let (event_vcd, event_frames) = run(SchedMode::EventDriven);
         let (sweep_vcd, sweep_frames) = run(SchedMode::FullSweep);
-        prop_assert_eq!(event_frames, sweep_frames);
-        prop_assert_eq!(event_vcd, sweep_vcd);
+        prop_assert_eq!(&event_frames, &sweep_frames);
+        prop_assert_eq!(&event_vcd, &sweep_vcd);
+        // The parallel scheduler must reproduce the same waveforms and
+        // frames bit for bit at every thread count.
+        for threads in [1usize, 2, 8] {
+            let (par_vcd, par_frames) = run(SchedMode::Parallel { threads });
+            prop_assert_eq!(&par_frames, &event_frames, "threads={}", threads);
+            prop_assert_eq!(&par_vcd, &event_vcd, "threads={}", threads);
+        }
     }
 
     /// The two scheduler modes also agree cycle by cycle on a random
@@ -483,7 +490,80 @@ proptest! {
             }
             trace
         };
-        prop_assert_eq!(run(SchedMode::EventDriven), run(SchedMode::FullSweep));
+        let reference = run(SchedMode::EventDriven);
+        prop_assert_eq!(&run(SchedMode::FullSweep), &reference);
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                &run(SchedMode::Parallel { threads }),
+                &reference,
+                "threads={}",
+                threads
+            );
+        }
+    }
+
+    /// Several independent randomized pipelines in ONE simulator: the
+    /// design family with genuinely disjoint connectivity islands,
+    /// where parallel waves actually fan out across workers. Frames
+    /// and waveforms must match the sequential schedulers bit for bit
+    /// at every thread count.
+    #[test]
+    fn parallel_scheduler_matches_on_multi_pipeline(
+        pixels in prop::collection::vec(0u64..256, 1..16),
+        gap in 0u32..2,
+        copies in 2usize..4,
+        ops in prop::collection::vec(prop::sample::select(vec![
+            golden::PixelOp::Identity,
+            golden::PixelOp::Invert,
+            golden::PixelOp::Threshold(128),
+        ]), 3),
+    ) {
+        let run = |mode: SchedMode| -> (String, Vec<Vec<Vec<u64>>>) {
+            let n = pixels.len();
+            let mut sim = Simulator::new();
+            sim.set_mode(mode);
+            let mut sinks = Vec::new();
+            let mut watched = Vec::new();
+            for k in 0..copies {
+                let vin = StreamIface::alloc(&mut sim, &format!("vin{k}"), 8).unwrap();
+                let it_in = IterIface::alloc(&mut sim, &format!("iti{k}"), 8).unwrap();
+                let it_out = IterIface::alloc(&mut sim, &format!("ito{k}"), 8).unwrap();
+                let vout = StreamIface::alloc(&mut sim, &format!("vout{k}"), 8).unwrap();
+                sim.add_component(VideoIn::new(
+                    format!("src{k}"), pixels.clone(), 8, gap, false, vin.valid, vin.data,
+                ));
+                sim.add_component(ReadBufferFifo::new(format!("rb{k}"), 16, 8, vin, it_in));
+                sim.add_component(TransformStreaming::new(
+                    format!("eng{k}"), ops[k % ops.len()], PixelFormat::Gray8,
+                    it_in, it_out, Some(n as u64),
+                ));
+                sim.add_component(WriteBufferFifo::new(format!("wb{k}"), 16, it_out, vout));
+                sinks.push(sim.add_component(VideoOut::new(
+                    format!("sink{k}"), n, None, vout.valid, vout.data,
+                )));
+                watched.extend(vin.signal_ids());
+                watched.extend(it_out.signal_ids());
+                watched.extend(vout.signal_ids());
+            }
+            let rec = sim.add_component(VcdRecorder::new("vcd", watched));
+            sim.reset().unwrap();
+            sim.run((gap as u64 + 4) * n as u64 + 30).unwrap();
+            let vcd = sim.component::<VcdRecorder>(rec).unwrap().render(sim.bus());
+            let frames = sinks
+                .iter()
+                .map(|&s| sim.component::<VideoOut>(s).unwrap().frames().to_vec())
+                .collect();
+            (vcd, frames)
+        };
+        let (event_vcd, event_frames) = run(SchedMode::EventDriven);
+        let (sweep_vcd, sweep_frames) = run(SchedMode::FullSweep);
+        prop_assert_eq!(&event_frames, &sweep_frames);
+        prop_assert_eq!(&event_vcd, &sweep_vcd);
+        for threads in [1usize, 2, 8] {
+            let (par_vcd, par_frames) = run(SchedMode::Parallel { threads });
+            prop_assert_eq!(&par_frames, &event_frames, "threads={}", threads);
+            prop_assert_eq!(&par_vcd, &event_vcd, "threads={}", threads);
+        }
     }
 
     /// Pixel operations stay in range for every format.
