@@ -1,0 +1,258 @@
+//! Telemetry profile of the blur design: runs the same frame workload
+//! under all three scheduler modes with full instrumentation, checks
+//! the cross-mode telemetry invariants, and writes
+//! `BENCH_profile.json` (counter summary) plus
+//! `BENCH_profile.trace.json` (Chrome trace-event spans, loadable in
+//! `chrome://tracing` / Perfetto).
+//!
+//! `profile --validate` re-reads the two artefacts and checks them
+//! against the expected schema — the CI telemetry smoke job runs the
+//! profile and then the validator.
+
+use hdp_bench::{build_design_sim_scheduled, run_design_sim};
+use hdp_core::pixel::{Frame, PixelFormat};
+use hdp_metagen::design::{DesignKind, DesignParams, Style};
+use hdp_sim::telemetry::json_string;
+use hdp_sim::{SchedMode, SimStats, TelemetryLevel};
+use std::fmt::Write as _;
+
+const WIDTH: usize = 32;
+const HEIGHT: usize = 8;
+const GAP: u32 = 1;
+const PROFILE_JSON: &str = "BENCH_profile.json";
+const TRACE_JSON: &str = "BENCH_profile.trace.json";
+
+fn profile_mode(frame: &Frame, mode: SchedMode) -> SimStats {
+    let (mut sim, sink) = build_design_sim_scheduled(
+        DesignKind::Blur,
+        Style::Pattern,
+        DesignParams::small(32),
+        frame.pixels().to_vec(),
+        GAP,
+        (WIDTH - 2) * (HEIGHT - 2),
+        mode,
+        true,
+    );
+    sim.set_telemetry(TelemetryLevel::Full);
+    let budget = frame.pixels().len() as u64 * u64::from(GAP + 1) * 4 + 2000;
+    std::hint::black_box(run_design_sim(&mut sim, sink, budget));
+    sim.stats()
+}
+
+fn mode_json(label: &str, stats: &SimStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "    \"{label}\": {{");
+    let _ = writeln!(out, "      \"steps\": {},", stats.steps);
+    let _ = writeln!(out, "      \"settles\": {},", stats.settles);
+    let _ = writeln!(out, "      \"delta_passes\": {},", stats.passes);
+    let _ = writeln!(
+        out,
+        "      \"max_passes_per_settle\": {},",
+        stats.max_passes
+    );
+    let _ = writeln!(out, "      \"total_evals\": {},", stats.total_evals());
+    let _ = writeln!(out, "      \"total_toggles\": {},", stats.total_toggles());
+    let _ = writeln!(out, "      \"total_drives\": {},", stats.total_drives());
+    let _ = writeln!(out, "      \"max_wake\": {},", stats.max_wake);
+    let _ = writeln!(out, "      \"parallel_waves\": {},", stats.parallel_waves);
+    let _ = writeln!(out, "      \"inline_waves\": {},", stats.inline_waves);
+    let _ = writeln!(
+        out,
+        "      \"fallback_settles\": {},",
+        stats.fallback_settles
+    );
+    let islands: Vec<String> = stats.island_sizes.iter().map(u64::to_string).collect();
+    let _ = writeln!(out, "      \"island_sizes\": [{}],", islands.join(","));
+    let _ = writeln!(out, "      \"trace_spans\": {},", stats.trace.len());
+    out.push_str("      \"components_by_evals\": [\n");
+    let mut comps: Vec<_> = stats.components.iter().collect();
+    comps.sort_by(|a, b| b.evals.cmp(&a.evals).then_with(|| a.name.cmp(&b.name)));
+    let top = comps.len().min(8);
+    for (i, c) in comps.iter().take(top).enumerate() {
+        let sep = if i + 1 == top { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "        {{\"name\": {}, \"evals\": {}, \"skips\": {}, \"eval_ns\": {}}}{sep}",
+            json_string(&c.name),
+            c.evals,
+            c.skips,
+            c.eval_ns
+        );
+    }
+    out.push_str("      ],\n");
+    out.push_str("      \"signals_by_toggles\": [\n");
+    let mut sigs: Vec<_> = stats.signals.iter().filter(|s| s.drives > 0).collect();
+    sigs.sort_by(|a, b| b.toggles.cmp(&a.toggles).then_with(|| a.name.cmp(&b.name)));
+    let top = sigs.len().min(8);
+    for (i, s) in sigs.iter().take(top).enumerate() {
+        let sep = if i + 1 == top { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "        {{\"name\": {}, \"toggles\": {}, \"drives\": {}}}{sep}",
+            json_string(&s.name),
+            s.toggles,
+            s.drives
+        );
+    }
+    out.push_str("      ]\n");
+    out.push_str("    }");
+    out
+}
+
+/// Checks the profile summary against its schema: every required key
+/// present, the modes object complete, and the trace file a Chrome
+/// trace-event object. Returns a list of problems (empty = valid).
+fn validate_artifacts(profile: &str, trace: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    for key in [
+        "\"bench\": \"profile\"",
+        "\"workload\"",
+        "\"telemetry_level\": \"Full\"",
+        "\"modes\"",
+        "\"full_sweep\"",
+        "\"event_driven\"",
+        "\"parallel\"",
+        "\"total_evals\"",
+        "\"total_toggles\"",
+        "\"island_sizes\"",
+        "\"components_by_evals\"",
+        "\"signals_by_toggles\"",
+        "\"invariants\"",
+        "\"eval_counts_event_eq_parallel\": true",
+        "\"toggle_counts_mode_invariant\": true",
+        "\"trace_file\"",
+    ] {
+        if !profile.contains(key) {
+            problems.push(format!("{PROFILE_JSON}: missing {key}"));
+        }
+    }
+    if profile.matches('{').count() != profile.matches('}').count() {
+        problems.push(format!("{PROFILE_JSON}: unbalanced braces"));
+    }
+    if !trace.trim_start().starts_with("{\"traceEvents\":[") {
+        problems.push(format!("{TRACE_JSON}: not a trace-event object"));
+    }
+    if !trace.contains("\"displayTimeUnit\"") {
+        problems.push(format!("{TRACE_JSON}: missing displayTimeUnit"));
+    }
+    if !trace.contains("\"ph\":\"X\"") {
+        problems.push(format!("{TRACE_JSON}: no complete-event spans"));
+    }
+    for (name, text) in [(PROFILE_JSON, profile), (TRACE_JSON, trace)] {
+        if text.matches('[').count() != text.matches(']').count() {
+            problems.push(format!("{name}: unbalanced brackets"));
+        }
+    }
+    problems
+}
+
+fn validate_existing() -> ! {
+    let profile = std::fs::read_to_string(PROFILE_JSON)
+        .unwrap_or_else(|e| panic!("cannot read {PROFILE_JSON}: {e}"));
+    let trace = std::fs::read_to_string(TRACE_JSON)
+        .unwrap_or_else(|e| panic!("cannot read {TRACE_JSON}: {e}"));
+    let problems = validate_artifacts(&profile, &trace);
+    if problems.is_empty() {
+        println!("{PROFILE_JSON} and {TRACE_JSON} match the expected schema");
+        std::process::exit(0);
+    }
+    for p in &problems {
+        eprintln!("schema violation: {p}");
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--validate") {
+        validate_existing();
+    }
+    let frame = Frame::noise(WIDTH, HEIGHT, PixelFormat::Gray8, 11);
+
+    let sweep = profile_mode(&frame, SchedMode::FullSweep);
+    let event = profile_mode(&frame, SchedMode::EventDriven);
+    let threads = match SchedMode::parallel() {
+        SchedMode::Parallel { threads } => threads.max(2),
+        _ => unreachable!(),
+    };
+    let parallel = profile_mode(&frame, SchedMode::Parallel { threads });
+
+    // Cross-mode telemetry invariants (the same invariants the test
+    // suite proves on the proptest families, checked here on the real
+    // blur workload): parallel waves are the event scheduler's wake
+    // sets, so eval counts match exactly; settled toggle activity is
+    // identical in every mode because the waveforms are bit-identical.
+    // The full sweep evaluates everything every pass, so its eval
+    // count is the upper bound the others are measured against.
+    assert_eq!(
+        event.total_evals(),
+        parallel.total_evals(),
+        "event and parallel eval counts must be bit-identical"
+    );
+    for (c, rc) in parallel.components.iter().zip(&event.components) {
+        assert_eq!(
+            (c.name.as_str(), c.evals),
+            (rc.name.as_str(), rc.evals),
+            "per-component eval counts must match"
+        );
+    }
+    for (label, stats) in [("event", &event), ("parallel", &parallel)] {
+        assert_eq!(
+            stats.total_toggles(),
+            sweep.total_toggles(),
+            "{label} toggle counts must match the full sweep"
+        );
+    }
+    assert!(
+        sweep.total_evals() >= event.total_evals(),
+        "the sweep is the eval-count upper bound"
+    );
+
+    println!("Telemetry profile — blur {WIDTH}x{HEIGHT}, gap {GAP}, level Full");
+    println!();
+    print!("{}", event.report());
+    println!();
+    println!(
+        "  cross-mode: sweep evals {} | event = parallel evals {} | toggles {} (all modes)",
+        sweep.total_evals(),
+        event.total_evals(),
+        event.total_toggles()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"profile\",\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"design\": \"blur\", \"width\": {WIDTH}, \"height\": {HEIGHT}, \"gap\": {GAP}}},"
+    );
+    json.push_str("  \"telemetry_level\": \"Full\",\n");
+    let _ = writeln!(json, "  \"parallel_threads\": {threads},");
+    json.push_str("  \"modes\": {\n");
+    let _ = writeln!(json, "{},", mode_json("full_sweep", &sweep));
+    let _ = writeln!(json, "{},", mode_json("event_driven", &event));
+    let _ = writeln!(json, "{}", mode_json("parallel", &parallel));
+    json.push_str("  },\n");
+    json.push_str("  \"invariants\": {\n");
+    json.push_str("    \"eval_counts_event_eq_parallel\": true,\n");
+    json.push_str("    \"toggle_counts_mode_invariant\": true,\n");
+    json.push_str("    \"sweep_evals_upper_bound\": true\n");
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"trace_file\": {}", json_string(TRACE_JSON));
+    json.push_str("}\n");
+
+    // The event-driven run's spans go to the trace artefact: one
+    // scheduler thread, step > pass > eval nesting.
+    let trace = event.chrome_trace();
+    let problems = validate_artifacts(&json, &trace);
+    assert!(
+        problems.is_empty(),
+        "schema self-check failed: {problems:?}"
+    );
+    std::fs::write(PROFILE_JSON, &json).expect("write profile json");
+    std::fs::write(TRACE_JSON, &trace).expect("write trace json");
+    println!();
+    println!(
+        "wrote {PROFILE_JSON} and {TRACE_JSON} ({} spans)",
+        event.trace.len()
+    );
+}

@@ -10,7 +10,7 @@
 use hdp_bench::{build_design_sim_scheduled, run_design_batch, run_design_sim};
 use hdp_core::pixel::{Frame, PixelFormat};
 use hdp_metagen::design::{DesignKind, DesignParams, Style};
-use hdp_sim::SchedMode;
+use hdp_sim::{SchedMode, SimStats, TelemetryLevel};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -82,7 +82,11 @@ fn main() {
 
     println!("Scheduling-mode matrix — blur 32x8, gap {GAP} ({REPS} reps)");
     println!();
+    // Timed runs stay at TelemetryLevel::Off (the zero-cost default);
+    // a separate instrumented run per mode records the wave/island
+    // shape behind each number.
     let mut single = Vec::new();
+    let mut shapes: Vec<(&str, SimStats)> = Vec::new();
     for (label, mode, incremental) in [
         ("full_sweep", SchedMode::FullSweep, false),
         ("event_driven", SchedMode::EventDriven, true),
@@ -94,6 +98,10 @@ fn main() {
         });
         println!("  {label:<14} {ms:>8.3} ms/frame");
         single.push((label, ms));
+        let (mut sim, sink) = build(&frame, mode, incremental);
+        sim.set_telemetry(TelemetryLevel::Counters);
+        std::hint::black_box(run_design_sim(&mut sim, sink, budget));
+        shapes.push((label, sim.stats()));
     }
 
     // Batch: the frame-throughput workload. Built once per timing run
@@ -168,6 +176,29 @@ fn main() {
     for (i, (t, ms)) in batch.iter().enumerate() {
         let sep = if i + 1 == batch.len() { "" } else { "," };
         let _ = writeln!(json, "    \"threads_{t}_ms\": {ms:.4}{sep}");
+    }
+    json.push_str("  },\n");
+    // Per-run scheduler shape from an instrumented (Counters) rerun of
+    // each single-sim configuration: island partition, wave fan-out
+    // and activity totals.
+    json.push_str("  \"telemetry\": {\n");
+    for (i, (label, stats)) in shapes.iter().enumerate() {
+        let sep = if i + 1 == shapes.len() { "" } else { "," };
+        let islands: Vec<String> = stats.island_sizes.iter().map(u64::to_string).collect();
+        let _ = writeln!(
+            json,
+            "    \"{label}\": {{\"evals\": {}, \"delta_passes\": {}, \"max_wake\": {}, \
+             \"toggles\": {}, \"parallel_waves\": {}, \"inline_waves\": {}, \
+             \"fallback_settles\": {}, \"island_sizes\": [{}]}}{sep}",
+            stats.total_evals(),
+            stats.passes,
+            stats.max_wake,
+            stats.total_toggles(),
+            stats.parallel_waves,
+            stats.inline_waves,
+            stats.fallback_settles,
+            islands.join(","),
+        );
     }
     json.push_str("  },\n");
     let _ = writeln!(json, "  \"batch_speedup\": {speedup:.4},");

@@ -54,7 +54,13 @@ pub enum Sensitivity {
 ///   a no-op and its `eval` output never depends on clock edges, so
 ///   the scheduler may skip both.
 pub trait Component {
-    /// The instance name, used in error reports and traces.
+    /// The instance name, used in error reports, telemetry
+    /// ([`crate::SimStats`] component tables, Chrome trace spans,
+    /// non-convergence forensics) and waveform traces.
+    ///
+    /// Names should be stable for the component's lifetime and unique
+    /// within a simulation — telemetry aggregates by instance, so two
+    /// components sharing a name become indistinguishable in reports.
     fn name(&self) -> &str;
 
     /// Combinational settle: drive outputs from inputs and registered

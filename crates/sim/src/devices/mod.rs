@@ -18,6 +18,11 @@
 //!   decoder, with configurable inter-pixel gaps (blanking).
 //! * [`VideoOut`] — pixel-stream sink standing in for the VGA coder,
 //!   collecting frames and checking stream discipline.
+//!
+//! Every device takes an instance name at construction; that name is
+//! the key telemetry reports under (see [`crate::Simulator::stats`]),
+//! so give each instance a distinct, stable name (`u_fifo0`,
+//! `u_line_buf`, ...) rather than reusing a type-like label.
 
 mod bram;
 mod fifo;

@@ -29,6 +29,9 @@
 //!   by the metaprogramming generator, so generated designs and
 //!   hand-written models run side by side in one simulation.
 //! * [`probe`] — stimulus and monitor helpers for testbenches.
+//! * [`telemetry`] — opt-in counters (eval counts, delta-pass depth,
+//!   wake shapes, per-signal toggle activity) and a Chrome trace-event
+//!   exporter; see [`Simulator::stats`] and [`TelemetryLevel`].
 //! * [`vcd`] — waveform dumping for debugging.
 //!
 //! ## Example
@@ -67,6 +70,7 @@ mod netlist_sim;
 pub mod probe;
 mod sched;
 mod signal;
+pub mod telemetry;
 pub mod vcd;
 
 pub use component::{Component, Sensitivity};
@@ -74,3 +78,4 @@ pub use error::SimError;
 pub use netlist_sim::NetlistComponent;
 pub use sched::{ComponentId, SchedMode, SimBuilder, Simulator};
 pub use signal::{BusAccess, BusReader, DriveLog, SignalBus, SignalId, SplitBus};
+pub use telemetry::{ComponentStats, SignalStats, SimStats, TelemetryLevel, TraceEvent};

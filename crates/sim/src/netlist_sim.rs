@@ -89,6 +89,15 @@ pub struct NetlistComponent {
     incremental: bool,
     /// A clock edge happened: sequential outputs must be re-presented.
     seq_dirty: bool,
+    /// Per-net activity counting enabled (off by default: the change
+    /// sites then pay one bool check).
+    track_activity: bool,
+    /// net index -> observed value changes (the per-net switching
+    /// activity of the generated design). Sized on first enable.
+    activity: Vec<u64>,
+    /// Pre-eval snapshot scratch for full evaluations, which rewrite
+    /// every net and so must diff rather than count at change sites.
+    activity_snapshot: Vec<LogicVector>,
 }
 
 impl std::fmt::Debug for NetlistComponent {
@@ -225,6 +234,9 @@ impl NetlistComponent {
             full_eval: true,
             incremental: true,
             seq_dirty: true,
+            track_activity: false,
+            activity: Vec::new(),
+            activity_snapshot: Vec::new(),
         })
     }
 
@@ -249,6 +261,41 @@ impl NetlistComponent {
     pub fn net_value(&self, name: &str) -> Option<LogicVector> {
         let id = self.netlist.find_net(name)?;
         Some(self.net_values[id.index()])
+    }
+
+    /// Enables or disables per-net activity counting (off by default).
+    /// While enabled, every observed net-value change — input latches,
+    /// sequential outputs after a clock edge, combinational settles —
+    /// increments that net's counter, giving generated designs the
+    /// same switching-activity profile telemetry gives top-level
+    /// signals. Counts accumulated so far are retained across toggles.
+    pub fn set_activity_tracking(&mut self, enabled: bool) {
+        self.track_activity = enabled;
+        if enabled && self.activity.len() != self.netlist.nets().len() {
+            self.activity.resize(self.netlist.nets().len(), 0);
+        }
+    }
+
+    /// The accumulated value-change count of an internal net, or
+    /// `None` for an unknown net. Zero until
+    /// [`NetlistComponent::set_activity_tracking`] is enabled.
+    #[must_use]
+    pub fn net_activity(&self, name: &str) -> Option<u64> {
+        let id = self.netlist.find_net(name)?;
+        Some(self.activity.get(id.index()).copied().unwrap_or(0))
+    }
+
+    /// All per-net activity counters as `(net name, changes)` pairs in
+    /// net declaration order. Empty until activity tracking has been
+    /// enabled.
+    #[must_use]
+    pub fn net_activity_table(&self) -> Vec<(&str, u64)> {
+        self.netlist
+            .nets()
+            .iter()
+            .zip(self.activity.iter())
+            .map(|(net, &count)| (net.name(), count))
+            .collect()
     }
 
     /// The current output-net values a sequential cell presents, as
@@ -352,6 +399,12 @@ impl NetlistComponent {
     /// white-box mutation; also the reference the incremental path
     /// must match bit for bit.
     fn eval_full(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
+        // Full evaluation rewrites every net (tri-states are pre-set to
+        // Z), so activity must be measured as a pre/post diff.
+        if self.track_activity {
+            self.activity_snapshot.clear();
+            self.activity_snapshot.extend_from_slice(&self.net_values);
+        }
         // 1. Latch input ports into their nets.
         for (_, dir, net, signal) in &self.port_wiring {
             if *dir == PortDir::In {
@@ -388,6 +441,13 @@ impl NetlistComponent {
                 bus.drive(*signal, self.net_values[net.index()])?;
             }
         }
+        if self.track_activity {
+            for (ni, old) in self.activity_snapshot.iter().enumerate() {
+                if self.net_values[ni] != *old {
+                    self.activity[ni] += 1;
+                }
+            }
+        }
         // The netlist is now fully settled from current inputs and
         // state: later passes only need the fanout of future changes.
         self.heap.clear();
@@ -411,6 +471,9 @@ impl NetlistComponent {
                 let new = bus.read(signal)?;
                 if new != self.net_values[net.index()] {
                     self.net_values[net.index()] = new;
+                    if self.track_activity {
+                        self.activity[net.index()] += 1;
+                    }
                     self.schedule_net_fanout(net.index());
                 }
             }
@@ -423,6 +486,9 @@ impl NetlistComponent {
                 for (net, v) in self.seq_output_values(ci) {
                     if v != self.net_values[net] {
                         self.net_values[net] = v;
+                        if self.track_activity {
+                            self.activity[net] += 1;
+                        }
                         self.schedule_net_fanout(net);
                     }
                 }
@@ -459,6 +525,9 @@ impl NetlistComponent {
                 };
                 if new != old {
                     self.net_values[net] = new;
+                    if self.track_activity {
+                        self.activity[net] += 1;
+                    }
                     self.schedule_net_fanout(net);
                 }
             }
@@ -677,10 +746,15 @@ mod tests {
         let q = sim.add_signal("q", 8).unwrap();
         let dut = NetlistComponent::new("dut", counter_netlist(), sim.bus(), &[("q", q)]).unwrap();
         sim.add_component(dut);
+        let mon = sim.add_component(crate::probe::Monitor::with_capacity("mon_q", q, 7));
         sim.reset().unwrap();
         assert_eq!(sim.peek(q).unwrap().to_u64(), Some(0));
         sim.run(7).unwrap();
         assert_eq!(sim.peek(q).unwrap().to_u64(), Some(7));
+        // The monitor samples the settled pre-edge value each cycle.
+        sim.component::<crate::probe::Monitor>(mon)
+            .unwrap()
+            .expect_values(&[0, 1, 2, 3, 4, 5, 6]);
     }
 
     #[test]
@@ -885,6 +959,41 @@ mod tests {
         assert_eq!(seen, vec![7, 6, 5]);
         sim.settle().unwrap();
         assert_eq!(sim.peek(empty_s).unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn net_activity_counts_changes() {
+        let mut sim = Simulator::new();
+        let q = sim.add_signal("q", 8).unwrap();
+        let mut dut =
+            NetlistComponent::new("dut", counter_netlist(), sim.bus(), &[("q", q)]).unwrap();
+        dut.set_activity_tracking(true);
+        let id = sim.add_component(dut);
+        sim.reset().unwrap();
+        sim.run(5).unwrap();
+        let dut = sim.component::<NetlistComponent>(id).unwrap();
+        // q changes on reset (X -> 0) and once per clock edge.
+        let q_act = dut.net_activity("q").unwrap();
+        let d_act = dut.net_activity("d").unwrap();
+        assert!(q_act >= 5, "q toggled at least once per cycle: {q_act}");
+        assert!(d_act >= 5, "d follows q: {d_act}");
+        assert!(dut.net_activity("nonexistent").is_none());
+        let table = dut.net_activity_table();
+        assert_eq!(table.len(), 2);
+        assert!(table.iter().any(|&(n, c)| n == "q" && c == q_act));
+    }
+
+    #[test]
+    fn net_activity_off_by_default() {
+        let mut sim = Simulator::new();
+        let q = sim.add_signal("q", 8).unwrap();
+        let dut = NetlistComponent::new("dut", counter_netlist(), sim.bus(), &[("q", q)]).unwrap();
+        let id = sim.add_component(dut);
+        sim.reset().unwrap();
+        sim.run(3).unwrap();
+        let dut = sim.component::<NetlistComponent>(id).unwrap();
+        assert_eq!(dut.net_activity("q"), Some(0));
+        assert!(dut.net_activity_table().is_empty());
     }
 
     #[test]

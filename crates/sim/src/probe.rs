@@ -84,6 +84,18 @@ impl Monitor {
         }
     }
 
+    /// Creates a monitor with the trace pre-allocated for a run of
+    /// `cycles_hint` clock cycles, so long captures never reallocate
+    /// mid-simulation.
+    #[must_use]
+    pub fn with_capacity(name: impl Into<String>, signal: SignalId, cycles_hint: usize) -> Self {
+        Self {
+            name: name.into(),
+            signal,
+            trace: Vec::with_capacity(cycles_hint),
+        }
+    }
+
     /// The recorded per-cycle values.
     #[must_use]
     pub fn trace(&self) -> &[LogicVector] {
@@ -94,6 +106,30 @@ impl Monitor {
     #[must_use]
     pub fn defined_values(&self) -> Vec<u64> {
         self.trace.iter().filter_map(LogicVector::to_u64).collect()
+    }
+
+    /// Asserts that the defined (non-`X`/`Z`) recorded values are
+    /// exactly `expected`, with a diff-style message on mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the defined values differ from `expected`, naming the
+    /// monitor, the first diverging cycle position and both sequences.
+    pub fn expect_values(&self, expected: &[u64]) {
+        let got = self.defined_values();
+        if got == expected {
+            return;
+        }
+        let first_diff = got
+            .iter()
+            .zip(expected.iter())
+            .position(|(g, e)| g != e)
+            .unwrap_or_else(|| got.len().min(expected.len()));
+        panic!(
+            "monitor `{}` trace mismatch at defined-value #{first_diff}: \
+             expected {expected:?}, got {got:?}",
+            self.name
+        );
     }
 }
 
@@ -132,11 +168,25 @@ mod tests {
         let mut sim = Simulator::new();
         let s = sim.add_signal("s", 8).unwrap();
         sim.add_component(Stimulus::new("stim", s, 8, vec![3, 1, 4]));
-        let mon = sim.add_component(Monitor::new("mon", s));
+        let mon = sim.add_component(Monitor::with_capacity("mon", s, 5));
         sim.reset().unwrap();
         sim.run(5).unwrap();
         let mon = sim.component::<Monitor>(mon).unwrap();
-        assert_eq!(mon.defined_values(), vec![3, 1, 4, 4, 4]);
+        mon.expect_values(&[3, 1, 4, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monitor `mon` trace mismatch at defined-value #1")]
+    fn expect_values_names_first_divergence() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 8).unwrap();
+        sim.add_component(Stimulus::new("stim", s, 8, vec![3, 1, 4]));
+        let mon = sim.add_component(Monitor::new("mon", s));
+        sim.reset().unwrap();
+        sim.run(3).unwrap();
+        sim.component::<Monitor>(mon)
+            .unwrap()
+            .expect_values(&[3, 9, 4]);
     }
 
     #[test]

@@ -27,9 +27,13 @@
 //!   identical at every thread count.
 
 use crate::signal::{BusReader, DRIVER_POKE};
+use crate::telemetry::{
+    ComponentStats, SignalStats, SimStats, Telemetry, TelemetryLevel, TraceEvent,
+};
 use crate::{Component, DriveLog, Sensitivity, SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
 use std::any::Any;
+use std::time::Instant;
 
 /// Maximum settle iterations before declaring non-convergence.
 const DELTA_LIMIT: usize = 64;
@@ -127,6 +131,28 @@ struct WorkerScratch {
     /// First evaluation error in this worker's registration-ordered
     /// bucket, if any.
     error: Option<(usize, SimError)>,
+    /// Telemetry: `(component, eval duration ns)` per evaluation this
+    /// wave, merged into the scheduler's counters at commit time so
+    /// workers never share counter memory (no atomics).
+    evals: Vec<(usize, u64)>,
+    /// Telemetry: spans recorded this wave ([`TelemetryLevel::Full`]).
+    spans: Vec<TraceEvent>,
+}
+
+/// The telemetry context a parallel worker needs: the level and the
+/// span epoch, both `Copy`, captured before the scoped spawn.
+#[derive(Clone, Copy)]
+struct WorkerTelemetry {
+    level: TelemetryLevel,
+    epoch: Option<Instant>,
+}
+
+impl WorkerTelemetry {
+    fn ns_since_epoch(&self, at: Instant) -> u64 {
+        self.epoch.map_or(0, |e| {
+            u64::try_from(at.saturating_duration_since(e).as_nanos()).unwrap_or(u64::MAX)
+        })
+    }
 }
 
 /// Evaluates one worker's registration-ordered bucket of woken
@@ -139,6 +165,8 @@ fn worker_eval(
     scratch: &mut WorkerScratch,
     bus: &SignalBus,
     wave: u64,
+    telem: WorkerTelemetry,
+    worker: u32,
 ) {
     scratch.overlay_wave.resize(bus.len(), 0);
     scratch.overlay_val.resize(
@@ -151,11 +179,29 @@ fn worker_eval(
         commits,
         log,
         error,
+        evals,
+        spans,
     } = scratch;
     for (idx, comp) in bucket {
         log.clear();
+        let started = telem.level.timed().then(Instant::now);
         let reader = BusReader::new(bus, wave, overlay_wave, overlay_val);
         let res = comp.eval_split(&reader, log);
+        if telem.level.enabled() {
+            let dur_ns = started.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            });
+            evals.push((idx, dur_ns));
+            if let Some(t0) = started {
+                spans.push(TraceEvent {
+                    name: comp.name().to_owned(),
+                    cat: "eval",
+                    ts_ns: telem.ns_since_epoch(t0),
+                    dur_ns,
+                    tid: worker + 1,
+                });
+            }
+        }
         for &(id, v) in log.raw() {
             commits.push((idx, id, v));
         }
@@ -231,6 +277,9 @@ pub struct Simulator {
     worker_scratch: Vec<WorkerScratch>,
     /// Reusable merge buffer for ordered commits.
     commit_scratch: Vec<(usize, SignalId, LogicVector)>,
+    /// Telemetry counters (all mutation behind a level check; zero
+    /// counter traffic at [`TelemetryLevel::Off`]).
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -340,6 +389,102 @@ impl Simulator {
         self.cycle
     }
 
+    /// Switches the telemetry level. Safe at any point; counters
+    /// accumulated so far are retained. See [`TelemetryLevel`] for
+    /// the overhead of each level.
+    pub fn set_telemetry(&mut self, level: TelemetryLevel) {
+        self.telemetry.set_level(level);
+        self.telemetry.ensure_components(self.components.len());
+        self.bus.set_telemetry(level.enabled());
+    }
+
+    /// The active telemetry level.
+    #[must_use]
+    pub fn telemetry_level(&self) -> TelemetryLevel {
+        self.telemetry.level
+    }
+
+    /// Snapshots the telemetry counters into a [`SimStats`].
+    ///
+    /// Empty when telemetry is [`TelemetryLevel::Off`]. Cheap enough
+    /// to call between runs; the counters keep accumulating.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        if !self.telemetry.on() {
+            return SimStats::default();
+        }
+        let t = &self.telemetry;
+        let components: Vec<ComponentStats> = self
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let evals = t.comp_evals.get(i).copied().unwrap_or(0);
+                ComponentStats {
+                    name: c.name().to_owned(),
+                    evals,
+                    skips: t.passes.saturating_sub(evals),
+                    eval_ns: t.comp_ns.get(i).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        let signals: Vec<SignalStats> = (0..self.bus.len())
+            .map(|slot| {
+                let (name, toggles, drives) = self.bus.slot_telemetry(slot);
+                SignalStats {
+                    name: name.to_owned(),
+                    toggles,
+                    drives,
+                }
+            })
+            .collect();
+        // Island sizes from the current partition, numbered by first
+        // appearance in registration order (deterministic).
+        let mut island_sizes: Vec<u64> = Vec::new();
+        let mut roots: Vec<usize> = Vec::new();
+        for &root in &self.islands {
+            match roots.iter().position(|&r| r == root) {
+                Some(k) => island_sizes[k] += 1,
+                None => {
+                    roots.push(root);
+                    island_sizes.push(1);
+                }
+            }
+        }
+        let last_wake_sets: Vec<Vec<String>> = t
+            .wake_ring
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .map(|&i| {
+                        self.components
+                            .get(i)
+                            .map_or_else(|| format!("component #{i}"), |c| c.name().to_owned())
+                    })
+                    .collect()
+            })
+            .collect();
+        SimStats {
+            level: t.level,
+            steps: t.steps,
+            settles: t.settles,
+            passes: t.passes,
+            max_passes: t.max_passes,
+            total_wake: t.total_wake,
+            max_wake: t.max_wake,
+            components,
+            signals,
+            parallel_waves: t.parallel_waves,
+            inline_waves: t.inline_waves,
+            fallback_settles: t.fallback_settles,
+            island_sizes,
+            worker_evals: t.worker_evals.clone(),
+            last_wake_sets,
+            trace: t.trace.clone(),
+            trace_dropped: t.trace_dropped,
+        }
+    }
+
     /// Immutable access to the signal bus (for monitors).
     #[must_use]
     pub fn bus(&self) -> &SignalBus {
@@ -434,6 +579,12 @@ impl Simulator {
         self.seeds.clear();
         self.poked_signals.clear();
         self.wake_all = false;
+        let telemetry_on = self.telemetry.on();
+        if telemetry_on {
+            self.telemetry.settles += 1;
+            self.telemetry.ensure_components(self.components.len());
+        }
+        let mut pass_count: u64 = 0;
         for _ in 0..DELTA_LIMIT {
             self.bus.begin_pass();
             self.bus.set_driver(DRIVER_POKE);
@@ -442,11 +593,32 @@ impl Simulator {
             }
             for (i, c) in self.components.iter_mut().enumerate() {
                 self.bus.set_driver(i);
+                let started = self.telemetry.timed().then(Instant::now);
                 c.eval(&mut self.bus)?;
+                if telemetry_on {
+                    let dur = started.map_or(0, |t| {
+                        u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                    });
+                    self.telemetry.record_eval(i, dur);
+                }
+            }
+            if telemetry_on {
+                pass_count += 1;
+                self.telemetry.passes += 1;
+                let n = self.components.len() as u64;
+                self.telemetry.total_wake += n;
+                self.telemetry.max_wake = self.telemetry.max_wake.max(n);
+                self.bus.count_pass_toggles();
             }
             if !self.bus.any_changed() {
+                if telemetry_on {
+                    self.telemetry.max_passes = self.telemetry.max_passes.max(pass_count);
+                }
                 return Ok(());
             }
+        }
+        if telemetry_on {
+            self.telemetry.max_passes = self.telemetry.max_passes.max(pass_count);
         }
         Err(self.no_convergence())
     }
@@ -513,6 +685,12 @@ impl Simulator {
         wake: &mut Vec<usize>,
         next: &mut Vec<usize>,
     ) -> Result<(), SimError> {
+        let telemetry_on = self.telemetry.on();
+        if telemetry_on {
+            self.telemetry.settles += 1;
+            self.telemetry.ensure_components(self.components.len());
+        }
+        let mut pass_count: u64 = 0;
         for _ in 0..DELTA_LIMIT {
             self.bus.begin_pass();
             self.bus.set_driver(DRIVER_POKE);
@@ -524,15 +702,54 @@ impl Simulator {
             wake.extend_from_slice(&self.always);
             wake.sort_unstable();
             wake.dedup();
+            if telemetry_on {
+                pass_count += 1;
+                self.telemetry.record_pass(wake);
+            }
+            let pass_t0 = self.telemetry.timed().then(|| self.telemetry.now_ns());
             for &i in wake.iter() {
                 self.bus.set_driver(i);
+                let started = self.telemetry.timed().then(Instant::now);
                 self.components[i].eval(&mut self.bus)?;
+                if telemetry_on {
+                    let dur = started.map_or(0, |t| {
+                        u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                    });
+                    self.telemetry.record_eval(i, dur);
+                    if started.is_some() {
+                        self.telemetry.push_span(TraceEvent {
+                            name: self.components[i].name().to_owned(),
+                            cat: "eval",
+                            ts_ns: self.telemetry.now_ns().saturating_sub(dur),
+                            dur_ns: dur,
+                            tid: 0,
+                        });
+                    }
+                }
+            }
+            if let Some(t0) = pass_t0 {
+                self.telemetry.push_span(TraceEvent {
+                    name: format!("pass ({} woken)", wake.len()),
+                    cat: "pass",
+                    ts_ns: t0,
+                    dur_ns: self.telemetry.now_ns().saturating_sub(t0),
+                    tid: 0,
+                });
+            }
+            if telemetry_on {
+                self.bus.count_pass_toggles();
             }
             self.pass_followup(next);
             if next.is_empty() {
+                if telemetry_on {
+                    self.telemetry.max_passes = self.telemetry.max_passes.max(pass_count);
+                }
                 return Ok(());
             }
             std::mem::swap(wake, next);
+        }
+        if telemetry_on {
+            self.telemetry.max_passes = self.telemetry.max_passes.max(pass_count);
         }
         Err(self.no_convergence())
     }
@@ -550,6 +767,9 @@ impl Simulator {
     fn settle_parallel(&mut self, threads: usize) -> Result<(), SimError> {
         self.ensure_tables()?;
         if threads <= 1 || self.has_always || !self.islands_validated {
+            if self.telemetry.on() {
+                self.telemetry.fallback_settles += 1;
+            }
             let was_wake_all = self.wake_all;
             let res = self.settle_event();
             if res.is_ok() && was_wake_all && !self.has_always {
@@ -574,6 +794,12 @@ impl Simulator {
         next: &mut Vec<usize>,
         threads: usize,
     ) -> Result<(), SimError> {
+        let telemetry_on = self.telemetry.on();
+        if telemetry_on {
+            self.telemetry.settles += 1;
+            self.telemetry.ensure_components(self.components.len());
+        }
+        let mut pass_count: u64 = 0;
         for _ in 0..DELTA_LIMIT {
             // Promotion or late driver discovery in a previous pass may
             // have invalidated the partition.
@@ -586,6 +812,10 @@ impl Simulator {
             wake.extend_from_slice(&self.always);
             wake.sort_unstable();
             wake.dedup();
+            if telemetry_on {
+                pass_count += 1;
+                self.telemetry.record_pass(wake);
+            }
             // A wave spanning a single island has no parallelism to
             // exploit, and a small wave cannot amortize the spawn cost
             // of scoped workers (~tens of µs vs. ~µs of evaluation);
@@ -606,18 +836,49 @@ impl Simulator {
                 }
             }
             if multi {
+                if telemetry_on {
+                    self.telemetry.parallel_waves += 1;
+                }
                 self.eval_wave_parallel(wake, threads)?;
             } else {
+                if telemetry_on {
+                    self.telemetry.inline_waves += 1;
+                }
                 for &i in wake.iter() {
                     self.bus.set_driver(i);
+                    let started = self.telemetry.timed().then(Instant::now);
                     self.components[i].eval(&mut self.bus)?;
+                    if telemetry_on {
+                        let dur = started.map_or(0, |t| {
+                            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                        });
+                        self.telemetry.record_eval(i, dur);
+                        if started.is_some() {
+                            self.telemetry.push_span(TraceEvent {
+                                name: self.components[i].name().to_owned(),
+                                cat: "eval",
+                                ts_ns: self.telemetry.now_ns().saturating_sub(dur),
+                                dur_ns: dur,
+                                tid: 0,
+                            });
+                        }
+                    }
                 }
+            }
+            if telemetry_on {
+                self.bus.count_pass_toggles();
             }
             self.pass_followup(next);
             if next.is_empty() {
+                if telemetry_on {
+                    self.telemetry.max_passes = self.telemetry.max_passes.max(pass_count);
+                }
                 return Ok(());
             }
             std::mem::swap(wake, next);
+        }
+        if telemetry_on {
+            self.telemetry.max_passes = self.telemetry.max_passes.max(pass_count);
         }
         Err(self.no_convergence())
     }
@@ -632,6 +893,11 @@ impl Simulator {
             self.worker_scratch
                 .resize_with(workers, WorkerScratch::default);
         }
+        let telem = WorkerTelemetry {
+            level: self.telemetry.level,
+            epoch: self.telemetry.epoch(),
+        };
+        let wave_t0 = telem.level.timed().then(|| self.telemetry.now_ns());
         let bus = &self.bus;
         let islands = &self.islands;
         let scratches = &mut self.worker_scratch[..workers];
@@ -650,24 +916,48 @@ impl Simulator {
             ));
         }
         std::thread::scope(|s| {
-            for (bucket, scratch) in buckets.into_iter().zip(scratches.iter_mut()) {
+            for (w, (bucket, scratch)) in buckets.into_iter().zip(scratches.iter_mut()).enumerate()
+            {
                 if bucket.is_empty() {
                     continue;
                 }
-                s.spawn(move || worker_eval(bucket, scratch, bus, wave));
+                let w = u32::try_from(w).unwrap_or(u32::MAX);
+                s.spawn(move || worker_eval(bucket, scratch, bus, wave, telem, w));
             }
         });
         // Merge the per-worker logs into registration order. The sort
         // is stable, so each component's own drive order is preserved.
+        // Telemetry merges here too: workers only ever wrote their own
+        // scratch, so the counters stay atomic-free.
         let mut all = std::mem::take(&mut self.commit_scratch);
         let mut first_err: Option<(usize, SimError)> = None;
-        for scratch in &mut self.worker_scratch[..workers] {
+        let telemetry_on = self.telemetry.on();
+        for (w, scratch) in self.worker_scratch[..workers].iter_mut().enumerate() {
             all.append(&mut scratch.commits);
+            if telemetry_on && !scratch.evals.is_empty() {
+                self.telemetry
+                    .record_worker_evals(w, scratch.evals.len() as u64);
+                for (idx, dur_ns) in scratch.evals.drain(..) {
+                    self.telemetry.record_eval(idx, dur_ns);
+                }
+            }
+            if !scratch.spans.is_empty() {
+                self.telemetry.extend_spans(&mut scratch.spans);
+            }
             if let Some((idx, e)) = scratch.error.take() {
                 if first_err.as_ref().is_none_or(|(k, _)| idx < *k) {
                     first_err = Some((idx, e));
                 }
             }
+        }
+        if let Some(t0) = wave_t0 {
+            self.telemetry.push_span(TraceEvent {
+                name: format!("wave ({} woken, {workers} workers)", wake.len()),
+                cat: "wave",
+                ts_ns: t0,
+                dur_ns: self.telemetry.now_ns().saturating_sub(t0),
+                tid: 0,
+            });
         }
         all.sort_by_key(|&(comp, _, _)| comp);
         // Replay. On a component error, the sequential scheduler would
@@ -834,6 +1124,11 @@ impl Simulator {
     ///
     /// Propagates settle and component errors.
     pub fn step(&mut self) -> Result<(), SimError> {
+        let telemetry_on = self.telemetry.on();
+        let step_t0 = self.telemetry.timed().then(|| self.telemetry.now_ns());
+        if telemetry_on {
+            self.telemetry.steps += 1;
+        }
         self.settle()?;
         // Track tick-phase drives on a clean pass so their watchers can
         // be woken (no in-repo tick drives signals, but the contract
@@ -861,9 +1156,26 @@ impl Simulator {
             }
         }
         self.bus.set_driver(DRIVER_POKE);
+        if telemetry_on {
+            // The clock edge's drives land on their own pass; count the
+            // settled changes before the post-edge settle resets the
+            // dirty tracking. Tick order is identical in every mode, so
+            // these toggles stay mode-identical too.
+            self.bus.count_pass_toggles();
+        }
         self.cycle += 1;
         // Settle again so post-edge outputs are observable immediately.
-        self.settle()
+        let res = self.settle();
+        if let Some(t0) = step_t0 {
+            self.telemetry.push_span(TraceEvent {
+                name: format!("cycle {}", self.cycle),
+                cat: "step",
+                ts_ns: t0,
+                dur_ns: self.telemetry.now_ns().saturating_sub(t0),
+                tid: 0,
+            });
+        }
+        res
     }
 
     /// Executes `n` clock cycles.
@@ -967,6 +1279,13 @@ impl SimBuilder {
     /// wave evaluation).
     pub fn threads(&mut self, n: usize) -> &mut Self {
         self.sim.mode = SchedMode::Parallel { threads: n.max(1) };
+        self
+    }
+
+    /// Enables telemetry at `level` from the very first settle (the
+    /// power-on reset in [`SimBuilder::build`] is already counted).
+    pub fn telemetry(&mut self, level: TelemetryLevel) -> &mut Self {
+        self.sim.set_telemetry(level);
         self
     }
 
@@ -1550,5 +1869,270 @@ mod tests {
     fn debug_format_mentions_counts() {
         let sim = Simulator::new();
         assert!(format!("{sim:?}").contains("components"));
+    }
+
+    /// `y = a + 1` while `sel` is 1, else `y = 0`: a quiescent
+    /// component that becomes half of a zero-delay oscillator when
+    /// enabled. Two of these back to back oscillate forever.
+    struct GatedInc {
+        name: String,
+        sel: SignalId,
+        a: SignalId,
+        y: SignalId,
+    }
+
+    impl Component for GatedInc {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
+            if bus.read(self.sel)?.to_u64() == Some(1) {
+                let a = bus.read(self.a)?.to_u64().unwrap_or(0);
+                bus.drive_u64(self.y, (a + 1) & 0xFF)
+            } else {
+                bus.drive_u64(self.y, 0)
+            }
+        }
+        fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+            Ok(())
+        }
+        fn sensitivity(&self) -> Sensitivity {
+            Sensitivity::Signals(vec![self.sel, self.a])
+        }
+        fn is_clocked(&self) -> bool {
+            false
+        }
+    }
+
+    /// `n` independent gated oscillator islands, quiescent (all `sel`
+    /// poked to 0) and settled after reset.
+    fn oscillator_farm(mode: SchedMode, n: usize) -> (Simulator, Vec<SignalId>) {
+        let mut sim = Simulator::with_mode(mode);
+        let mut sels = Vec::new();
+        for k in 0..n {
+            let sel = sim.add_signal(format!("sel{k}"), 1).unwrap();
+            let x = sim.add_signal(format!("x{k}"), 8).unwrap();
+            let y = sim.add_signal(format!("y{k}"), 8).unwrap();
+            sim.add_component(GatedInc {
+                name: format!("a{k}"),
+                sel,
+                a: x,
+                y,
+            });
+            sim.add_component(GatedInc {
+                name: format!("b{k}"),
+                sel,
+                a: y,
+                y: x,
+            });
+            sim.poke(sel, 0).unwrap();
+            sels.push(sel);
+        }
+        sim.reset().unwrap();
+        (sim, sels)
+    }
+
+    #[test]
+    fn no_convergence_report_identical_across_modes() {
+        // Enough islands that parallel mode really fans out
+        // (>= PARALLEL_WAKE_MIN woken components, > 1 island), then
+        // enable every oscillator at once. The resulting
+        // NoConvergence must name the same signals and drivers in
+        // every mode: the report is built from the bus's dirty set,
+        // and the commit replay keeps that bit-identical.
+        let n = PARALLEL_WAKE_MIN;
+        let mut reports = Vec::new();
+        for mode in [
+            SchedMode::EventDriven,
+            SchedMode::FullSweep,
+            SchedMode::Parallel { threads: 2 },
+            SchedMode::Parallel { threads: 4 },
+        ] {
+            let (mut sim, sels) = oscillator_farm(mode, n);
+            for sel in &sels {
+                sim.poke(*sel, 1).unwrap();
+            }
+            let err = sim.settle().unwrap_err();
+            assert!(
+                matches!(err, SimError::NoConvergence { .. }),
+                "{mode:?}: expected NoConvergence, got {err}"
+            );
+            reports.push((mode, err));
+        }
+        let (ref_mode, reference) = &reports[0];
+        for (mode, err) in &reports[1..] {
+            assert_eq!(
+                err, reference,
+                "{mode:?} must report the same oscillation as {ref_mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_convergence_forensics_capture_wake_sets() {
+        let (mut sim, sels) = oscillator_farm(SchedMode::EventDriven, 2);
+        sim.set_telemetry(TelemetryLevel::Counters);
+        for sel in &sels {
+            sim.poke(*sel, 1).unwrap();
+        }
+        sim.settle().unwrap_err();
+        let stats = sim.stats();
+        assert_eq!(
+            stats.last_wake_sets.len(),
+            crate::telemetry::WAKE_FORENSICS_DEPTH
+        );
+        let last = stats.last_wake_sets.last().unwrap();
+        assert!(
+            last.iter()
+                .any(|name| name.starts_with('a') || name.starts_with('b')),
+            "forensics name the chasing components: {last:?}"
+        );
+    }
+
+    #[test]
+    fn telemetry_off_leaves_stats_empty() {
+        let (mut sim, _) = counter_sim(SchedMode::EventDriven);
+        sim.run(20).unwrap();
+        assert_eq!(sim.telemetry_level(), TelemetryLevel::Off);
+        let stats = sim.stats();
+        assert!(stats.is_empty());
+        assert_eq!(stats, SimStats::default());
+    }
+
+    #[test]
+    fn telemetry_counters_accumulate() {
+        let (mut sim, _) = counter_sim(SchedMode::EventDriven);
+        sim.set_telemetry(TelemetryLevel::Counters);
+        sim.run(10).unwrap();
+        let stats = sim.stats();
+        assert_eq!(stats.steps, 10);
+        assert!(
+            stats.settles >= 20,
+            "two settles per step: {}",
+            stats.settles
+        );
+        assert!(stats.passes >= stats.settles);
+        assert!(stats.total_evals() > 0);
+        assert!(stats.total_toggles() > 0, "a counter toggles every cycle");
+        assert!(stats.max_wake >= 1);
+        let report = stats.report();
+        assert!(report.contains('r') && report.contains('i'), "{report}");
+        // Counters level records no spans.
+        assert!(stats.trace.is_empty());
+        let r = &stats.components[0];
+        assert_eq!(r.name, "r");
+        assert!(r.evals > 0);
+        assert_eq!(r.eval_ns, 0, "no clock reads below Full");
+    }
+
+    #[test]
+    fn telemetry_eval_counts_identical_event_vs_parallel() {
+        let runs: Vec<SimStats> = [
+            SchedMode::EventDriven,
+            SchedMode::Parallel { threads: 1 },
+            SchedMode::Parallel { threads: 2 },
+            SchedMode::Parallel { threads: 8 },
+        ]
+        .into_iter()
+        .map(|mode| {
+            let (mut sim, _) = multi_counter_sim(mode, 8);
+            sim.set_telemetry(TelemetryLevel::Counters);
+            sim.run(25).unwrap();
+            sim.stats()
+        })
+        .collect();
+        let reference = &runs[0];
+        for stats in &runs[1..] {
+            assert_eq!(stats.total_evals(), reference.total_evals());
+            for (c, rc) in stats.components.iter().zip(&reference.components) {
+                assert_eq!(
+                    (c.name.as_str(), c.evals),
+                    (rc.name.as_str(), rc.evals),
+                    "per-component eval counts must match the event scheduler"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_toggles_identical_across_all_modes() {
+        let runs: Vec<SimStats> = [
+            SchedMode::EventDriven,
+            SchedMode::FullSweep,
+            SchedMode::Parallel { threads: 4 },
+        ]
+        .into_iter()
+        .map(|mode| {
+            let (mut sim, _) = multi_counter_sim(mode, 8);
+            sim.set_telemetry(TelemetryLevel::Counters);
+            sim.run(25).unwrap();
+            sim.stats()
+        })
+        .collect();
+        let reference = &runs[0];
+        for stats in &runs[1..] {
+            assert_eq!(stats.total_toggles(), reference.total_toggles());
+            for (s, rs) in stats.signals.iter().zip(&reference.signals) {
+                assert_eq!(
+                    (s.name.as_str(), s.toggles),
+                    (rs.name.as_str(), rs.toggles),
+                    "settled toggle activity is mode-invariant"
+                );
+            }
+        }
+        // Drive counts are eval-proportional: identical between the
+        // event scheduler and parallel commit replay, strictly higher
+        // under the full sweep (every component re-drives every pass).
+        let (event, sweep, parallel) = (&runs[0], &runs[1], &runs[2]);
+        assert_eq!(event.total_drives(), parallel.total_drives());
+        assert!(sweep.total_drives() > event.total_drives());
+    }
+
+    #[test]
+    fn telemetry_full_records_spans() {
+        let (mut sim, _) = multi_counter_sim(SchedMode::Parallel { threads: 2 }, 8);
+        sim.set_telemetry(TelemetryLevel::Full);
+        sim.run(5).unwrap();
+        let stats = sim.stats();
+        assert!(!stats.trace.is_empty());
+        let cats: std::collections::HashSet<&str> = stats.trace.iter().map(|ev| ev.cat).collect();
+        assert!(cats.contains("step"), "{cats:?}");
+        assert!(cats.contains("eval"), "{cats:?}");
+        assert!(
+            stats.components.iter().any(|c| c.eval_ns > 0),
+            "Full level accumulates eval time"
+        );
+        let json = stats.chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Parallel shape counters: 8 islands of 2 components, waves
+        // fanned out across workers.
+        assert_eq!(stats.island_sizes, vec![2; 8]);
+        assert!(stats.parallel_waves > 0);
+        assert!(stats.worker_evals.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn builder_telemetry_covers_reset() {
+        let mut b = SimBuilder::new();
+        let q = b.signal("q", 8).unwrap();
+        let d = b.signal("d", 8).unwrap();
+        b.component(Reg {
+            name: "r".into(),
+            d,
+            q,
+            state: 0,
+        });
+        b.component(Inc {
+            name: "i".into(),
+            a: q,
+            y: d,
+            evals: None,
+        });
+        b.telemetry(TelemetryLevel::Counters);
+        let sim = b.build().unwrap();
+        let stats = sim.stats();
+        assert!(stats.settles > 0, "power-on reset settle is counted");
+        assert!(stats.total_evals() > 0);
     }
 }

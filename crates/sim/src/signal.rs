@@ -99,6 +99,13 @@ struct Slot {
     /// one entry; growing past one flags the signal as shared so the
     /// event scheduler can keep all its drivers co-evaluated.
     drivers: Vec<usize>,
+    /// Telemetry: settled-value changes (counted once per pass, at
+    /// pass end, so transient intra-pass states never count).
+    toggles: u64,
+    /// Telemetry: accepted `drive` calls. Parallel-mode drives are
+    /// replayed through [`SignalBus::drive`] at ordered commit, so the
+    /// count is identical at every thread count.
+    drives: u64,
 }
 
 /// The set of signal values visible to components.
@@ -132,6 +139,10 @@ pub struct SignalBus {
     driver_links: usize,
     /// The driver tag recorded for subsequent `drive` calls.
     current_driver: usize,
+    /// Whether per-slot telemetry counters (toggles, drives) are
+    /// collected. Off by default; the only cost when off is one branch
+    /// per `drive`.
+    telemetry: bool,
 }
 
 impl SignalBus {
@@ -154,6 +165,8 @@ impl SignalBus {
             queued_dirty: false,
             last_changer: DRIVER_POKE,
             drivers: Vec::new(),
+            toggles: 0,
+            drives: 0,
         });
         Ok(SignalId(self.slots.len() - 1))
     }
@@ -228,10 +241,14 @@ impl SignalBus {
     /// [`SimError::UnknownSignal`] for a stale id.
     pub fn drive(&mut self, id: SignalId, value: LogicVector) -> Result<(), SimError> {
         let driver = self.current_driver;
+        let telemetry = self.telemetry;
         let slot = self
             .slots
             .get_mut(id.0)
             .ok_or(SimError::UnknownSignal { index: id.0 })?;
+        if telemetry {
+            slot.drives += 1;
+        }
         if slot.value.width() != value.width() {
             return Err(SimError::SignalWidth {
                 signal: slot.name.clone(),
@@ -330,6 +347,32 @@ impl SignalBus {
     /// Total `(slot, driver)` pairs ever recorded (monotonic).
     pub(crate) fn driver_link_count(&self) -> usize {
         self.driver_links
+    }
+
+    /// Enables or disables per-slot telemetry counters.
+    pub(crate) fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
+    }
+
+    /// Credits one toggle to every slot whose settled value changed in
+    /// the pass that just ended. The scheduler calls this once per
+    /// delta pass (and once after the tick phase), so a slot's toggle
+    /// count is exactly its number of settled-value changes — the
+    /// switching-activity proxy — and is bit-identical across
+    /// scheduling modes because the dirty set is.
+    pub(crate) fn count_pass_toggles(&mut self) {
+        for &i in &self.dirty {
+            let slot = &mut self.slots[i];
+            if slot.changed {
+                slot.toggles += 1;
+            }
+        }
+    }
+
+    /// Telemetry snapshot of one slot: `(name, toggles, drives)`.
+    pub(crate) fn slot_telemetry(&self, slot: usize) -> (&str, u64, u64) {
+        let s = &self.slots[slot];
+        (s.name.as_str(), s.toggles, s.drives)
     }
 }
 

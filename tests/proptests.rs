@@ -566,6 +566,75 @@ proptest! {
         }
     }
 
+    /// Telemetry invariants on the multi-pipeline family: per-component
+    /// eval counts are identical between the event-driven scheduler and
+    /// the parallel scheduler at 1/2/8 threads (parallel waves *are*
+    /// the event wake sets), settled per-signal toggle counts are
+    /// identical across all modes including the full sweep (every mode
+    /// produces bit-identical waveforms), the sweep's eval counts upper-
+    /// bound the event scheduler's, and `TelemetryLevel::Off` leaves
+    /// stats completely empty.
+    #[test]
+    fn telemetry_invariants_on_multi_pipeline(
+        pixels in prop::collection::vec(0u64..256, 1..8),
+        gap in 0u32..2,
+        copies in 2usize..4,
+    ) {
+        use hdp::sim::{SimStats, TelemetryLevel};
+        let run = |mode: SchedMode, level: TelemetryLevel| -> SimStats {
+            let n = pixels.len();
+            let mut sim = Simulator::new();
+            sim.set_mode(mode);
+            sim.set_telemetry(level);
+            for k in 0..copies {
+                let vin = StreamIface::alloc(&mut sim, &format!("vin{k}"), 8).unwrap();
+                let it_in = IterIface::alloc(&mut sim, &format!("iti{k}"), 8).unwrap();
+                let it_out = IterIface::alloc(&mut sim, &format!("ito{k}"), 8).unwrap();
+                let vout = StreamIface::alloc(&mut sim, &format!("vout{k}"), 8).unwrap();
+                sim.add_component(VideoIn::new(
+                    format!("src{k}"), pixels.clone(), 8, gap, false, vin.valid, vin.data,
+                ));
+                sim.add_component(ReadBufferFifo::new(format!("rb{k}"), 16, 8, vin, it_in));
+                sim.add_component(TransformStreaming::new(
+                    format!("eng{k}"), golden::PixelOp::Invert, PixelFormat::Gray8,
+                    it_in, it_out, Some(n as u64),
+                ));
+                sim.add_component(WriteBufferFifo::new(format!("wb{k}"), 16, it_out, vout));
+                sim.add_component(VideoOut::new(
+                    format!("sink{k}"), n, None, vout.valid, vout.data,
+                ));
+            }
+            sim.reset().unwrap();
+            sim.run((gap as u64 + 4) * n as u64 + 10).unwrap();
+            sim.stats()
+        };
+        let reference = run(SchedMode::EventDriven, TelemetryLevel::Counters);
+        prop_assert!(reference.total_evals() > 0);
+        for threads in [1usize, 2, 8] {
+            let stats = run(SchedMode::Parallel { threads }, TelemetryLevel::Counters);
+            prop_assert_eq!(
+                stats.total_evals(), reference.total_evals(), "threads={}", threads
+            );
+            for (c, rc) in stats.components.iter().zip(&reference.components) {
+                prop_assert_eq!(&c.name, &rc.name);
+                prop_assert_eq!(c.evals, rc.evals, "component {} threads={}", c.name, threads);
+            }
+            for (s, rs) in stats.signals.iter().zip(&reference.signals) {
+                prop_assert_eq!(s.toggles, rs.toggles, "signal {} threads={}", s.name, threads);
+                prop_assert_eq!(s.drives, rs.drives, "signal {} threads={}", s.name, threads);
+            }
+        }
+        let sweep = run(SchedMode::FullSweep, TelemetryLevel::Counters);
+        prop_assert_eq!(sweep.total_toggles(), reference.total_toggles());
+        for (s, rs) in sweep.signals.iter().zip(&reference.signals) {
+            prop_assert_eq!(s.toggles, rs.toggles, "signal {} (sweep)", s.name);
+        }
+        prop_assert!(sweep.total_evals() >= reference.total_evals());
+        let off = run(SchedMode::EventDriven, TelemetryLevel::Off);
+        prop_assert!(off.is_empty());
+        prop_assert_eq!(off, SimStats::default());
+    }
+
     /// Pixel operations stay in range for every format.
     #[test]
     fn pixel_ops_stay_in_range(p in 0u64..0x1_000_000, t in 0u64..256, mul in 1u64..8, shift in 0u32..4) {
