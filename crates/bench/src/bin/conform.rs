@@ -1,0 +1,170 @@
+//! Differential conformance fuzzer.
+//!
+//! Samples random designs from the metagen design space, runs each
+//! through the five-oracle conformance stack (`hdp-conform`), shrinks
+//! any diverging case to a minimal reproducer and writes it next to
+//! the summary as `conform_repro_<n>.json`. The run summary lands in
+//! `BENCH_conform.json`; the process exits non-zero when any
+//! divergence survives, so CI can gate on it directly.
+//!
+//! ```text
+//! conform [--seed N] [--count N] [--budget-ms N] [--cycles N]
+//! ```
+//!
+//! `--budget-ms` stops sampling early once the wall-clock budget is
+//! spent (the case in flight is finished, never abandoned), so smoke
+//! jobs get a hard upper bound on runtime.
+
+use hdp_conform::{shrink, Case, Json, Stimulus};
+use hdp_metagen::sampler::sample_spec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const SUMMARY_JSON: &str = "BENCH_conform.json";
+
+struct Args {
+    seed: u64,
+    count: usize,
+    budget_ms: Option<u64>,
+    cycles: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 0xC0F0,
+        count: 200,
+        budget_ms: None,
+        cycles: 12,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} expects a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{flag}: {e}"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?,
+            "--count" => args.count = value("--count")? as usize,
+            "--budget-ms" => args.budget_ms = Some(value("--budget-ms")?),
+            "--cycles" => args.cycles = (value("--cycles")? as usize).max(1),
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (expected --seed/--count/--budget-ms/--cycles)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("conform: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    let mut targets: BTreeMap<String, u64> = BTreeMap::new();
+    let mut divergences = Vec::new();
+    let mut checked = 0usize;
+
+    for index in 0..args.count {
+        if let Some(budget) = args.budget_ms {
+            if start.elapsed().as_millis() as u64 >= budget {
+                break;
+            }
+        }
+        let spec = sample_spec(&mut rng);
+        let label = spec.label();
+        *kinds.entry(spec.kind().to_owned()).or_insert(0) += 1;
+        *targets.entry(spec.target().to_owned()).or_insert(0) += 1;
+        let stimulus = match spec.instantiate() {
+            Ok(netlist) => Stimulus::sample(&netlist, args.cycles, &mut rng),
+            // A generator failure still goes through Case::check so it
+            // is reported (and serialised) like any other divergence.
+            Err(_) => Stimulus {
+                inputs: vec![],
+                cycles: vec![vec![]],
+            },
+        };
+        let case = Case { spec, stimulus };
+        checked += 1;
+        if case.check().is_none() {
+            continue;
+        }
+        let (minimal, divergence) = shrink(&case);
+        let divergence = divergence.expect("a diverging case shrinks to a diverging case");
+        let path = format!("conform_repro_{index}.json");
+        let doc = hdp_conform::repro::to_json(args.seed, &minimal, &divergence);
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("conform: cannot write {path}: {e}");
+        }
+        eprintln!("conform: DIVERGENCE in {label} -> {path}\n  {divergence}");
+        divergences.push(Json::Obj(vec![
+            ("index".to_owned(), Json::Num(index as u64)),
+            ("design".to_owned(), Json::Str(label)),
+            ("reproducer".to_owned(), Json::Str(path)),
+            ("report".to_owned(), Json::Str(divergence.to_string())),
+        ]));
+    }
+
+    let count_map = |map: &BTreeMap<String, u64>| {
+        Json::Obj(
+            map.iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        )
+    };
+    let n_div = divergences.len();
+    let summary = Json::Obj(vec![
+        ("seed".to_owned(), Json::Num(args.seed)),
+        ("requested".to_owned(), Json::Num(args.count as u64)),
+        ("checked".to_owned(), Json::Num(checked as u64)),
+        (
+            "cycles_per_design".to_owned(),
+            Json::Num(args.cycles as u64),
+        ),
+        (
+            "elapsed_ms".to_owned(),
+            Json::Num(start.elapsed().as_millis() as u64),
+        ),
+        (
+            "oracles".to_owned(),
+            Json::Arr(
+                hdp_conform::ORACLE_LABELS
+                    .iter()
+                    .map(|l| Json::Str((*l).to_owned()))
+                    .collect(),
+            ),
+        ),
+        ("kinds".to_owned(), count_map(&kinds)),
+        ("targets".to_owned(), count_map(&targets)),
+        ("divergences".to_owned(), Json::Arr(divergences)),
+    ]);
+    let text = summary.to_string();
+    if let Err(e) = std::fs::write(SUMMARY_JSON, &text) {
+        eprintln!("conform: cannot write {SUMMARY_JSON}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{text}");
+    eprintln!(
+        "conform: {checked} designs x {} cycles x {} oracles in {} ms, {n_div} divergence(s)",
+        args.cycles,
+        hdp_conform::ORACLE_LABELS.len(),
+        start.elapsed().as_millis(),
+    );
+    if n_div == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,53 @@
+//! Differential conformance engine for the hardware-design-pattern
+//! stack.
+//!
+//! This crate closes the loop between the pattern generators
+//! (`hdp-metagen`), the simulator (`hdp-sim`) and the VHDL emitter
+//! (`hdp-hdl`): it samples random-but-valid designs from the metagen
+//! design space, drives each one with random stimulus through five
+//! independent oracles, and demands bit-for-bit agreement every
+//! cycle on every output port:
+//!
+//! 1. `full_sweep` — the simulator re-evaluating every component
+//!    per delta cycle (the reference),
+//! 2. `event_driven` — sensitivity-based scheduling,
+//! 3. `parallel2` — the island-partitioned wave scheduler on two
+//!    threads,
+//! 4. `levelized` — the non-incremental [`NetlistComponent`] fast
+//!    path,
+//! 5. `vhdl_interp` — an interpreter executing the *emitted VHDL
+//!    text* ([`hdp_hdl::interp::VhdlInterp`]), so the comparison
+//!    covers the emitter as well as the netlist semantics.
+//!
+//! Diverging cases are shrunk greedily ([`shrink`]) to minimal
+//! reproducers and serialised as self-contained JSON documents
+//! ([`repro`]) that replay as regression tests.
+//!
+//! [`NetlistComponent`]: hdp_sim::netlist_sim::NetlistComponent
+//!
+//! # Example
+//!
+//! ```
+//! use hdp_conform::{check, Stimulus};
+//! use hdp_metagen::sampler::sample_spec;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let spec = sample_spec(&mut rng);
+//! let netlist = spec.instantiate().unwrap();
+//! let stimulus = Stimulus::sample(&netlist, 8, &mut rng);
+//! assert!(check(&netlist, &stimulus).is_none(), "oracles diverged");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod oracle;
+pub mod repro;
+pub mod shrink;
+
+pub use json::Json;
+pub use oracle::{check, Divergence, Stimulus, ORACLE_LABELS};
+pub use shrink::{shrink, Case};

@@ -1,0 +1,150 @@
+//! Greedy reduction of diverging cases to minimal reproducers.
+//!
+//! The shrinker never needs to understand *why* a case diverges: it
+//! re-runs the full oracle stack after every candidate reduction and
+//! keeps the smaller case whenever any divergence (not necessarily
+//! the original one) persists. Reductions are attempted to a
+//! fixpoint, in this order per round:
+//!
+//! 1. truncate the stimulus at the first divergence,
+//! 2. drop the leading stimulus cycle,
+//! 3. reduce `depth` towards 2,
+//! 4. reduce `data_width` towards 1 (re-masking the stimulus),
+//! 5. reduce `addr_width` / `key_width` towards their floors.
+
+use crate::oracle::{check, Divergence, Stimulus};
+use hdp_metagen::sampler::DesignSpec;
+
+/// A design/stimulus pair — the unit the fuzzer checks and the
+/// shrinker minimises.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// The design-space point.
+    pub spec: DesignSpec,
+    /// The input trace driving it.
+    pub stimulus: Stimulus,
+}
+
+impl Case {
+    /// Runs the oracle stack on this case.
+    #[must_use]
+    pub fn check(&self) -> Option<Divergence> {
+        match self.spec.instantiate() {
+            Ok(netlist) => check(&netlist, &self.stimulus),
+            Err(e) => Some(Divergence {
+                cycle: 0,
+                port: None,
+                details: vec![("generator".to_owned(), format!("error: {e}"))],
+            }),
+        }
+    }
+}
+
+/// Builds the candidate with `mutate` applied to the spec, rebinding
+/// the stimulus onto the regenerated netlist. `None` if the mutated
+/// spec no longer generates or the ports changed shape.
+fn mutated(case: &Case, mutate: impl FnOnce(&mut DesignSpec)) -> Option<Case> {
+    let mut spec = case.spec.clone();
+    mutate(&mut spec);
+    let netlist = spec.instantiate().ok()?;
+    let stimulus = case.stimulus.rebind(&netlist)?;
+    Some(Case { spec, stimulus })
+}
+
+/// Greedily shrinks a diverging case; returns the minimal case and
+/// its divergence. If `case` does not diverge it is returned with
+/// `None` untouched.
+#[must_use]
+pub fn shrink(case: &Case) -> (Case, Option<Divergence>) {
+    let Some(mut divergence) = case.check() else {
+        return (case.clone(), None);
+    };
+    let mut best = case.clone();
+    // Cap the effort: each accepted reduction re-runs five oracles.
+    let mut budget = 200usize;
+    loop {
+        let mut reduced = false;
+        // 1. Truncate at the divergence (always sound: the prefix
+        // reproduces it by definition).
+        if best.stimulus.cycles.len() > divergence.cycle + 1 {
+            best.stimulus.cycles.truncate(divergence.cycle + 1);
+            reduced = true;
+        }
+        type Reduction = fn(&mut DesignSpec);
+        let spec_reductions: [(bool, Reduction); 4] = [
+            (best.spec.depth > 2, |s| s.depth -= 1),
+            (best.spec.data_width > 1 && best.spec.wide == 0, |s| {
+                s.data_width -= 1;
+            }),
+            (best.spec.addr_width > 8, |s| s.addr_width -= 1),
+            (best.spec.key_width > 8, |s| s.key_width -= 1),
+        ];
+        // 2. Drop the leading cycle (state evolves differently, but
+        // any surviving divergence is as good as the original).
+        if best.stimulus.cycles.len() > 1 && budget > 0 {
+            budget -= 1;
+            let mut candidate = best.clone();
+            candidate.stimulus.cycles.remove(0);
+            if let Some(d) = candidate.check() {
+                best = candidate;
+                divergence = d;
+                reduced = true;
+            }
+        }
+        // 3..5. Structural reductions.
+        for (applicable, mutate) in spec_reductions {
+            if !applicable || budget == 0 {
+                continue;
+            }
+            budget -= 1;
+            if let Some(candidate) = mutated(&best, mutate) {
+                if let Some(d) = candidate.check() {
+                    best = candidate;
+                    divergence = d;
+                    reduced = true;
+                }
+            }
+        }
+        if !reduced || budget == 0 {
+            return (best, Some(divergence));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_metagen::sampler::sample_spec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conforming_case_is_left_alone() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let spec = sample_spec(&mut rng);
+        let netlist = spec.instantiate().unwrap();
+        let stimulus = Stimulus::sample(&netlist, 6, &mut rng);
+        let case = Case { spec, stimulus };
+        let (shrunk, d) = shrink(&case);
+        assert!(d.is_none());
+        assert_eq!(shrunk.stimulus.cycles.len(), case.stimulus.cycles.len());
+    }
+
+    #[test]
+    fn generator_failure_is_reported_as_divergence() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut spec = sample_spec(&mut rng);
+        spec.family = 7; // assoc_bram
+        spec.key_width = 0; // invalid: below the address width
+        let case = Case {
+            spec,
+            stimulus: Stimulus {
+                inputs: vec![],
+                cycles: vec![vec![]],
+            },
+        };
+        let d = case.check().expect("invalid spec must not conform");
+        assert_eq!(d.cycle, 0);
+        assert!(d.details[0].1.contains("error"), "{:?}", d.details);
+    }
+}

@@ -1,0 +1,1922 @@
+//! An executable model of the emitted VHDL subset.
+//!
+//! [`crate::vhdl`] prints netlists as synthesizable VHDL'93, but until
+//! now that text was only ever string-matched, never *run*. This
+//! module closes the loop: [`VhdlInterp::parse`] elaborates the exact
+//! constructs the emitter produces — entity/port declarations, signal
+//! declarations, concurrent signal assignments, selected-signal
+//! assignments, case and clocked processes, and `block_ram` /
+//! `fifo_core` / `lifo_core` component instantiations — into a
+//! cycle-accurate four-state interpreter.
+//!
+//! The interpreter is an *independent oracle*: it evaluates the
+//! printed expressions with VHDL semantics (IEEE 1164 resolution on
+//! multiply-driven signals, pessimistic `X` propagation, ternary
+//! case-statement evaluation) rather than re-using
+//! [`crate::prim::Prim::eval_comb`]. The differential conformance
+//! engine in `hdp-conform` compares it bit-for-bit against the
+//! netlist interpreter of `hdp-sim`.
+//!
+//! ## Scope
+//!
+//! Exactly the emission subset, nothing more. Entities never declare
+//! `clk`/`rst` even when their architectures reference them (the
+//! emitter leaves the clock tree implicit, as the paper's figures
+//! do); the interpreter materialises them as implicit 1-bit inputs
+//! initialised to `'0'`.
+//!
+//! ## Semantics notes
+//!
+//! * Bare `std_logic_vector` comparisons (only emitted for the
+//!   reduction operators) are evaluated *metalogically*: a definite
+//!   per-bit difference decides the comparison, fully-defined
+//!   operands compare exactly, anything else yields `'X'` — matching
+//!   the pessimistic ternary semantics of the netlist simulator
+//!   rather than the literal-equality of `std_logic_vector`'s
+//!   built-in `=`.
+//! * `unsigned(...)` comparisons and arithmetic poison to all-`X`
+//!   when any operand bit is undefined.
+//! * A when-else condition on an undefined bit (`en = '1'` with `en`
+//!   at `'X'`) poisons the tri-state result to all-`X`.
+//! * Case processes use the same ternary enumeration of undefined
+//!   input bits as the truth-table primitive, including its 10-bit
+//!   enumeration cap.
+
+use crate::{Bit, HdlError, LogicVector, PortDir};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Maximum undefined input bits a case process enumerates before
+/// giving up and returning all-`X` (mirrors the truth-table
+/// primitive).
+const MAX_X_ENUM: usize = 10;
+
+/// Errors raised while parsing or executing emitted VHDL.
+#[derive(Debug)]
+pub enum InterpError {
+    /// The text deviates from the emitted subset.
+    Parse {
+        /// 1-based source line of the offending construct.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A poke/peek referenced a signal that does not exist.
+    UnknownSignal {
+        /// The requested signal name.
+        name: String,
+    },
+    /// A poked value has the wrong width for its signal.
+    Width {
+        /// The signal name.
+        signal: String,
+        /// The declared width.
+        expected: usize,
+        /// The poked width.
+        found: usize,
+    },
+    /// The combinational network failed to reach a fixpoint.
+    NoConvergence {
+        /// Passes executed before giving up.
+        passes: usize,
+    },
+    /// A component instance was driven outside its protocol (e.g. pop
+    /// on an empty `fifo_core`), matching the conditions the netlist
+    /// simulator reports as protocol errors.
+    Protocol {
+        /// Description of the violation.
+        message: String,
+    },
+    /// Re-emission of the netlist failed structural validation.
+    Hdl(HdlError),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Parse { line, message } => {
+                write!(f, "VHDL parse error at line {line}: {message}")
+            }
+            InterpError::UnknownSignal { name } => write!(f, "unknown signal `{name}`"),
+            InterpError::Width {
+                signal,
+                expected,
+                found,
+            } => write!(f, "signal `{signal}` is {expected} bits wide, got {found}"),
+            InterpError::NoConvergence { passes } => {
+                write!(f, "no combinational fixpoint after {passes} passes")
+            }
+            InterpError::Protocol { message } => write!(f, "protocol violation: {message}"),
+            InterpError::Hdl(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<HdlError> for InterpError {
+    fn from(e: HdlError) -> Self {
+        InterpError::Hdl(e)
+    }
+}
+
+/// How a signal entered the design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SigKind {
+    /// Declared in the entity port clause.
+    Port(PortDir),
+    /// Declared in the architecture declarative part.
+    Internal,
+    /// `clk`/`rst` referenced without declaration.
+    Implicit,
+}
+
+#[derive(Debug)]
+struct Signal {
+    name: String,
+    width: usize,
+    kind: SigKind,
+    value: LogicVector,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArithOp {
+    Add,
+    Sub,
+    Inc,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateKind {
+    And,
+    Or,
+    Xor,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnsCmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+}
+
+/// Right-hand side of a concurrent signal assignment.
+#[derive(Debug)]
+enum Expr {
+    Copy(usize),
+    Const(LogicVector),
+    Not(usize),
+    Gate {
+        op: GateKind,
+        a: usize,
+        b: usize,
+    },
+    /// `'1' when a = "lit" else '0'` (metalogical slv comparison).
+    SlvCmp {
+        eq: bool,
+        a: usize,
+        lit: LogicVector,
+    },
+    /// `'1' when unsigned(a) OP unsigned(b) else '0'`.
+    UnsCmp {
+        op: UnsCmpOp,
+        a: usize,
+        b: usize,
+    },
+    Arith {
+        op: ArithOp,
+        a: usize,
+        b: Option<usize>,
+        width: usize,
+    },
+    Slice {
+        a: usize,
+        low: usize,
+        len: usize,
+    },
+    Concat(Vec<usize>),
+    /// `d when en = '1' else 'Z'`.
+    TriBuf {
+        en: usize,
+        d: usize,
+        width: usize,
+    },
+}
+
+/// A combinational concurrent statement (driver).
+#[derive(Debug)]
+enum CombStmt {
+    Assign {
+        target: usize,
+        expr: Expr,
+    },
+    /// `with sel select`.
+    Select {
+        target: usize,
+        sel: usize,
+        arms: Vec<(u64, usize)>,
+        others: usize,
+    },
+    /// Case process over concatenated inputs (truth-table logic).
+    Case {
+        target: usize,
+        inputs: Vec<usize>,
+        out_width: usize,
+        table: Vec<Option<u64>>,
+    },
+}
+
+impl CombStmt {
+    fn target(&self) -> usize {
+        match self {
+            CombStmt::Assign { target, .. }
+            | CombStmt::Select { target, .. }
+            | CombStmt::Case { target, .. } => *target,
+        }
+    }
+}
+
+/// A clocked register process.
+#[derive(Debug)]
+struct RegProc {
+    target: usize,
+    reset_value: LogicVector,
+    enable: Option<usize>,
+    d: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InstKind {
+    BlockRam,
+    Fifo,
+    Lifo,
+}
+
+#[derive(Debug)]
+enum InstState {
+    Bram {
+        mem: Vec<Option<u64>>,
+        out: Option<u64>,
+    },
+    Queue {
+        depth: usize,
+        data: VecDeque<u64>,
+    },
+    Stack {
+        depth: usize,
+        data: Vec<u64>,
+    },
+}
+
+#[derive(Debug)]
+struct Instance {
+    name: String,
+    kind: InstKind,
+    /// Formal name -> signal index, from the port map.
+    conns: HashMap<String, usize>,
+    state: InstState,
+}
+
+/// A cycle-accurate interpreter for the emitted VHDL subset.
+///
+/// ```
+/// use hdp_hdl::interp::VhdlInterp;
+/// use hdp_hdl::prim::Prim;
+/// use hdp_hdl::{Entity, LogicVector, Netlist, PortDir};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let entity = Entity::builder("incr")
+///     .port("a", PortDir::In, 8)?
+///     .port("y", PortDir::Out, 8)?
+///     .build()?;
+/// let mut nl = Netlist::new(entity);
+/// let a = nl.add_net("a", 8)?;
+/// let y = nl.add_net("y", 8)?;
+/// nl.add_cell("u_inc", Prim::Inc { width: 8 }, vec![a], vec![y])?;
+/// nl.bind_port("a", a)?;
+/// nl.bind_port("y", y)?;
+/// let mut vm = VhdlInterp::from_netlist(&nl, "rtl")?;
+/// vm.poke("a", LogicVector::from_u64(41, 8)?)?;
+/// vm.settle()?;
+/// assert_eq!(vm.peek("y")?.to_u64(), Some(42));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct VhdlInterp {
+    entity_name: String,
+    signals: Vec<Signal>,
+    by_name: HashMap<String, usize>,
+    comb: Vec<CombStmt>,
+    /// Signal index -> indices into `comb` driving it (len > 1 only
+    /// for shared tri-state signals).
+    drivers: Vec<Vec<usize>>,
+    /// Targets in first-driver order (the settle sweep order).
+    comb_targets: Vec<usize>,
+    regs: Vec<RegProc>,
+    insts: Vec<Instance>,
+    /// The global reset rail, if any process or instance uses it.
+    rst: Option<usize>,
+}
+
+impl VhdlInterp {
+    /// Emits the netlist as VHDL and parses it back into an
+    /// interpreter — the round trip the conformance engine exercises.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emission (structural validation) and parse errors.
+    pub fn from_netlist(netlist: &crate::Netlist, arch: &str) -> Result<Self, InterpError> {
+        let text = crate::vhdl::emit_component(netlist, arch)?;
+        Self::parse(&text)
+    }
+
+    /// Parses one emitted design unit (library clause + entity +
+    /// architecture).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::Parse`] for any construct outside the
+    /// emitted subset.
+    pub fn parse(text: &str) -> Result<Self, InterpError> {
+        Parser::new(text).run()
+    }
+
+    /// The parsed entity's name.
+    #[must_use]
+    pub fn entity_name(&self) -> &str {
+        &self.entity_name
+    }
+
+    /// The entity ports as `(name, dir, width)`, in declaration
+    /// order. Implicit `clk`/`rst` rails are not listed.
+    #[must_use]
+    pub fn ports(&self) -> Vec<(String, PortDir, usize)> {
+        self.signals
+            .iter()
+            .filter_map(|s| match s.kind {
+                SigKind::Port(dir) => Some((s.name.clone(), dir, s.width)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn sig(&self, name: &str) -> Result<usize, InterpError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| InterpError::UnknownSignal { name: name.into() })
+    }
+
+    /// Drives an input signal (or the implicit `clk`/`rst` rail).
+    ///
+    /// # Errors
+    ///
+    /// Unknown signal or width mismatch.
+    pub fn poke(&mut self, name: &str, value: LogicVector) -> Result<(), InterpError> {
+        let idx = self.sig(name)?;
+        let s = &mut self.signals[idx];
+        if value.width() != s.width {
+            return Err(InterpError::Width {
+                signal: name.into(),
+                expected: s.width,
+                found: value.width(),
+            });
+        }
+        s.value = value;
+        Ok(())
+    }
+
+    /// Reads the current value of any signal.
+    ///
+    /// # Errors
+    ///
+    /// Unknown signal.
+    pub fn peek(&self, name: &str) -> Result<LogicVector, InterpError> {
+        Ok(self.signals[self.sig(name)?].value)
+    }
+
+    fn lv_x(width: usize) -> LogicVector {
+        LogicVector::unknown(width).expect("declared widths validated")
+    }
+
+    fn eval_expr(&self, expr: &Expr) -> LogicVector {
+        let v = |i: usize| self.signals[i].value;
+        match expr {
+            Expr::Copy(a) => v(*a),
+            Expr::Const(value) => *value,
+            Expr::Not(a) => {
+                let a = v(*a);
+                match a.to_u64() {
+                    Some(x) => LogicVector::from_u64(!x & mask(a.width()), a.width())
+                        .expect("masked value fits"),
+                    None => Self::lv_x(a.width()),
+                }
+            }
+            Expr::Gate { op, a, b } => {
+                let (a, b) = (v(*a), v(*b));
+                let width = a.width();
+                match (a.to_u64(), b.to_u64()) {
+                    (Some(x), Some(y)) => {
+                        let r = match op {
+                            GateKind::And => x & y,
+                            GateKind::Or => x | y,
+                            GateKind::Xor => x ^ y,
+                        };
+                        LogicVector::from_u64(r, width).expect("masked value fits")
+                    }
+                    // Per-bit with dominance: 0 and X = 0, 1 or X = 1.
+                    _ => {
+                        let mut out = Self::lv_x(width);
+                        for i in 0..width {
+                            let x = a.bit(i).expect("within width");
+                            let y = b.bit(i).expect("within width");
+                            let bit = match op {
+                                GateKind::And => x & y,
+                                GateKind::Or => x | y,
+                                GateKind::Xor => x ^ y,
+                            };
+                            out.set(i, bit).expect("within width");
+                        }
+                        out
+                    }
+                }
+            }
+            Expr::SlvCmp { eq, a, lit } => {
+                let a = v(*a);
+                // Metalogical comparison: decided by a definite bit
+                // difference, exact when fully defined, X otherwise.
+                let mut definite_diff = false;
+                let mut all_defined = true;
+                for i in 0..a.width() {
+                    let x = a.bit(i).expect("within width");
+                    let y = lit.bit(i).expect("literal width checked");
+                    match x {
+                        Bit::Zero | Bit::One => {
+                            if x != y {
+                                definite_diff = true;
+                            }
+                        }
+                        Bit::X | Bit::Z => all_defined = false,
+                    }
+                }
+                if definite_diff {
+                    bit_lv(!*eq)
+                } else if all_defined {
+                    bit_lv(*eq)
+                } else {
+                    Self::lv_x(1)
+                }
+            }
+            Expr::UnsCmp { op, a, b } => match (v(*a).to_u64(), v(*b).to_u64()) {
+                (Some(x), Some(y)) => bit_lv(match op {
+                    UnsCmpOp::Eq => x == y,
+                    UnsCmpOp::Ne => x != y,
+                    UnsCmpOp::Lt => x < y,
+                    UnsCmpOp::Ge => x >= y,
+                }),
+                _ => Self::lv_x(1),
+            },
+            Expr::Arith { op, a, b, width } => {
+                let a = v(*a).to_u64();
+                let b = match (op, b) {
+                    (ArithOp::Inc, _) => Some(1),
+                    (_, Some(i)) => v(*i).to_u64(),
+                    (_, None) => Some(0),
+                };
+                match (a, b) {
+                    (Some(x), Some(y)) => {
+                        let r = match op {
+                            ArithOp::Add | ArithOp::Inc => x.wrapping_add(y),
+                            ArithOp::Sub => x.wrapping_sub(y),
+                        };
+                        LogicVector::from_u64(r & mask(*width), *width).expect("masked value fits")
+                    }
+                    _ => Self::lv_x(*width),
+                }
+            }
+            Expr::Slice { a, low, len } => v(*a).slice(*low, *len).expect("parsed bounds checked"),
+            Expr::Concat(parts) => {
+                let mut acc = v(parts[0]);
+                for p in &parts[1..] {
+                    acc = acc.concat(&v(*p)).expect("total width checked");
+                }
+                acc
+            }
+            Expr::TriBuf { en, d, width } => match v(*en).to_u64() {
+                Some(1) => v(*d),
+                Some(_) => LogicVector::high_z(*width).expect("declared width"),
+                None => Self::lv_x(*width),
+            },
+        }
+    }
+
+    fn eval_case(&self, inputs: &[usize], out_width: usize, table: &[Option<u64>]) -> LogicVector {
+        // Ternary evaluation, mirroring the truth-table primitive:
+        // enumerate the undefined input bits; an output bit is defined
+        // only when constant across the enumeration.
+        let mut known: u64 = 0;
+        let mut x_positions: Vec<u32> = Vec::new();
+        let mut bit_pos = 0u32;
+        for &input in inputs.iter().rev() {
+            let value = self.signals[input].value;
+            for i in 0..value.width() {
+                match value.bit(i).expect("within width") {
+                    Bit::One => known |= 1 << bit_pos,
+                    Bit::Zero => {}
+                    Bit::X | Bit::Z => x_positions.push(bit_pos),
+                }
+                bit_pos += 1;
+            }
+        }
+        if x_positions.len() > MAX_X_ENUM {
+            return Self::lv_x(out_width);
+        }
+        let full = mask(out_width);
+        let mut ones = full;
+        let mut zeros = full;
+        for combo in 0..(1u64 << x_positions.len()) {
+            let mut index = known;
+            for (i, &pos) in x_positions.iter().enumerate() {
+                if combo >> i & 1 == 1 {
+                    index |= 1 << pos;
+                }
+            }
+            let Some(Some(word)) = table.get(index as usize).copied() else {
+                return Self::lv_x(out_width);
+            };
+            ones &= word;
+            zeros &= !word;
+        }
+        let mut out = Self::lv_x(out_width);
+        for i in 0..out_width {
+            if ones >> i & 1 == 1 {
+                out.set(i, Bit::One).expect("within width");
+            } else if zeros >> i & 1 == 1 {
+                out.set(i, Bit::Zero).expect("within width");
+            }
+        }
+        out
+    }
+
+    fn eval_stmt(&self, stmt: &CombStmt) -> LogicVector {
+        match stmt {
+            CombStmt::Assign { expr, .. } => self.eval_expr(expr),
+            CombStmt::Select {
+                sel, arms, others, ..
+            } => match self.signals[*sel].value.to_u64() {
+                None => Self::lv_x(self.signals[stmt.target()].width),
+                Some(s) => {
+                    let pick = arms
+                        .iter()
+                        .find(|(lit, _)| *lit == s)
+                        .map_or(*others, |&(_, src)| src);
+                    self.signals[pick].value
+                }
+            },
+            CombStmt::Case {
+                inputs,
+                out_width,
+                table,
+                ..
+            } => self.eval_case(inputs, *out_width, table),
+        }
+    }
+
+    /// Presents instance outputs (FIFO/LIFO first-word fall-through
+    /// flags, registered block-RAM read data) from their state.
+    fn present_instances(&mut self) {
+        for ii in 0..self.insts.len() {
+            let mut writes: Vec<(usize, LogicVector)> = Vec::new();
+            {
+                let inst = &self.insts[ii];
+                let out = |formal: &str| inst.conns.get(formal).copied();
+                match &inst.state {
+                    InstState::Bram { out: word, .. } => {
+                        if let Some(sig) = out("rdata") {
+                            let w = self.signals[sig].width;
+                            let v = match word {
+                                Some(d) => LogicVector::from_u64(*d, w).expect("stored word fits"),
+                                None => Self::lv_x(w),
+                            };
+                            writes.push((sig, v));
+                        }
+                    }
+                    InstState::Queue { depth, data } => {
+                        if let Some(sig) = out("rdata") {
+                            let w = self.signals[sig].width;
+                            let v = match data.front() {
+                                Some(&d) => LogicVector::from_u64(d, w).expect("stored word"),
+                                None => Self::lv_x(w),
+                            };
+                            writes.push((sig, v));
+                        }
+                        if let Some(sig) = out("empty") {
+                            writes.push((sig, bit_lv(data.is_empty())));
+                        }
+                        if let Some(sig) = out("full") {
+                            writes.push((sig, bit_lv(data.len() >= *depth)));
+                        }
+                    }
+                    InstState::Stack { depth, data } => {
+                        if let Some(sig) = out("rdata") {
+                            let w = self.signals[sig].width;
+                            let v = match data.last() {
+                                Some(&d) => LogicVector::from_u64(d, w).expect("stored word"),
+                                None => Self::lv_x(w),
+                            };
+                            writes.push((sig, v));
+                        }
+                        if let Some(sig) = out("empty") {
+                            writes.push((sig, bit_lv(data.is_empty())));
+                        }
+                        if let Some(sig) = out("full") {
+                            writes.push((sig, bit_lv(data.len() >= *depth)));
+                        }
+                    }
+                }
+            }
+            for (sig, v) in writes {
+                self.signals[sig].value = v;
+            }
+        }
+    }
+
+    /// Settles the combinational network to a fixpoint.
+    ///
+    /// Each pass sweeps every driven signal in declaration order,
+    /// folding multi-driver (tri-state) contributions with IEEE 1164
+    /// resolution; the loop exits when a pass changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::NoConvergence`] if the network oscillates.
+    pub fn settle(&mut self) -> Result<(), InterpError> {
+        self.present_instances();
+        let max_passes = self.comb.len() + 8;
+        for _pass in 0..max_passes {
+            let mut changed = false;
+            for ti in 0..self.comb_targets.len() {
+                let target = self.comb_targets[ti];
+                let width = self.signals[target].width;
+                let driver_ids = &self.drivers[target];
+                let new = if driver_ids.len() == 1 {
+                    self.eval_stmt(&self.comb[driver_ids[0]])
+                } else {
+                    // Shared tri-state signal: resolve all drivers
+                    // against a released ('Z') bus.
+                    let mut acc = LogicVector::high_z(width).expect("declared width");
+                    for &di in driver_ids {
+                        let contribution = self.eval_stmt(&self.comb[di]);
+                        acc = acc.resolve(&contribution)?;
+                    }
+                    acc
+                };
+                if new != self.signals[target].value {
+                    self.signals[target].value = new;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+        Err(InterpError::NoConvergence { passes: max_passes })
+    }
+
+    fn strobe(&self, sig: Option<usize>) -> bool {
+        sig.is_some_and(|s| self.signals[s].value.to_u64() == Some(1))
+    }
+
+    fn word(&self, inst: &str, sig: Option<usize>, what: &str) -> Result<u64, InterpError> {
+        sig.and_then(|s| self.signals[s].value.to_u64())
+            .ok_or_else(|| InterpError::Protocol {
+                message: format!("undefined {what} for `{inst}`"),
+            })
+    }
+
+    /// Applies one rising clock edge: clocked processes sample their
+    /// settled inputs and commit simultaneously; component instances
+    /// update their internal state.
+    ///
+    /// A defined-high `rst` takes the processes' synchronous-reset
+    /// branch and clears FIFO/LIFO cores, exactly as the emitted
+    /// `if rst = '1'` arms read.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::Protocol`] on FIFO/LIFO underflow/overflow or an
+    /// undefined strobed write, matching the netlist simulator's
+    /// protocol conditions.
+    pub fn tick(&mut self) -> Result<(), InterpError> {
+        let rst_high = self
+            .rst
+            .is_some_and(|r| self.signals[r].value.to_u64() == Some(1));
+        // Sample every process input before committing anything: all
+        // registers see the same pre-edge values.
+        let mut reg_nexts: Vec<Option<LogicVector>> = Vec::with_capacity(self.regs.len());
+        for reg in &self.regs {
+            let next = if rst_high {
+                Some(reg.reset_value)
+            } else {
+                let load = match reg.enable {
+                    Some(en) => self.signals[en].value.to_u64() == Some(1),
+                    None => true,
+                };
+                load.then(|| self.signals[reg.d].value)
+            };
+            reg_nexts.push(next);
+        }
+        // Instance updates (also sampled pre-edge; instance state is
+        // not visible to the combinational network until the next
+        // settle, so ordering against the register commits is moot).
+        for ii in 0..self.insts.len() {
+            let conn = |formal: &str| self.insts[ii].conns.get(formal).copied();
+            let name = self.insts[ii].name.clone();
+            match self.insts[ii].kind {
+                InstKind::BlockRam => {
+                    let we = self.strobe(conn("we"));
+                    let (waddr, wdata) = if we {
+                        (
+                            Some(self.word(&name, conn("waddr"), "write address")?),
+                            Some(self.word(&name, conn("wdata"), "write data")?),
+                        )
+                    } else {
+                        (None, None)
+                    };
+                    let raddr = conn("raddr").and_then(|s| self.signals[s].value.to_u64());
+                    if let InstState::Bram { mem, out } = &mut self.insts[ii].state {
+                        if let (Some(a), Some(d)) = (waddr, wdata) {
+                            mem[a as usize] = Some(d);
+                        }
+                        *out = raddr.and_then(|a| mem[a as usize]);
+                    }
+                }
+                InstKind::Fifo | InstKind::Lifo => {
+                    if rst_high {
+                        match &mut self.insts[ii].state {
+                            InstState::Queue { data, .. } => data.clear(),
+                            InstState::Stack { data, .. } => data.clear(),
+                            InstState::Bram { .. } => {}
+                        }
+                        continue;
+                    }
+                    let push = self.strobe(conn("push"));
+                    let pop = self.strobe(conn("pop"));
+                    let wdata = if push {
+                        Some(self.word(&name, conn("wdata"), "write data")?)
+                    } else {
+                        None
+                    };
+                    match &mut self.insts[ii].state {
+                        InstState::Queue { depth, data } => {
+                            if pop && data.pop_front().is_none() {
+                                return Err(InterpError::Protocol {
+                                    message: format!("pop on empty fifo `{name}`"),
+                                });
+                            }
+                            if let Some(d) = wdata {
+                                if data.len() >= *depth {
+                                    return Err(InterpError::Protocol {
+                                        message: format!("push on full fifo `{name}`"),
+                                    });
+                                }
+                                data.push_back(d);
+                            }
+                        }
+                        InstState::Stack { depth, data } => {
+                            if pop && data.pop().is_none() {
+                                return Err(InterpError::Protocol {
+                                    message: format!("pop on empty lifo `{name}`"),
+                                });
+                            }
+                            if let Some(d) = wdata {
+                                if data.len() >= *depth {
+                                    return Err(InterpError::Protocol {
+                                        message: format!("push on full lifo `{name}`"),
+                                    });
+                                }
+                                data.push(d);
+                            }
+                        }
+                        InstState::Bram { .. } => {}
+                    }
+                }
+            }
+        }
+        for (reg, next) in self.regs.iter().zip(reg_nexts) {
+            if let Some(v) = next {
+                self.signals[reg.target].value = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// One full clock cycle: settle, rising edge, settle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VhdlInterp::settle`] and [`VhdlInterp::tick`]
+    /// failures.
+    pub fn step(&mut self) -> Result<(), InterpError> {
+        self.settle()?;
+        self.tick()?;
+        self.settle()
+    }
+
+    /// Out-of-band state reset, mirroring the netlist simulator's
+    /// component reset: registers load their reset values, FIFO/LIFO
+    /// cores clear, block-RAM read registers go undefined (memory
+    /// contents are retained). Call [`VhdlInterp::settle`] afterwards.
+    pub fn reset(&mut self) {
+        for ri in 0..self.regs.len() {
+            let (target, value) = (self.regs[ri].target, self.regs[ri].reset_value);
+            self.signals[target].value = value;
+        }
+        for inst in &mut self.insts {
+            match &mut inst.state {
+                InstState::Bram { out, .. } => *out = None,
+                InstState::Queue { data, .. } => data.clear(),
+                InstState::Stack { data, .. } => data.clear(),
+            }
+        }
+    }
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn bit_lv(value: bool) -> LogicVector {
+    LogicVector::from_u64(u64::from(value), 1).expect("1-bit value")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+    entity_name: String,
+    signals: Vec<Signal>,
+    by_name: HashMap<String, usize>,
+    comb: Vec<CombStmt>,
+    regs: Vec<RegProc>,
+    insts: Vec<Instance>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            lines: text.lines().collect(),
+            pos: 0,
+            entity_name: String::new(),
+            signals: Vec::new(),
+            by_name: HashMap::new(),
+            comb: Vec::new(),
+            regs: Vec::new(),
+            insts: Vec::new(),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> InterpError {
+        InterpError::Parse {
+            line: self.pos.min(self.lines.len()),
+            message: message.into(),
+        }
+    }
+
+    /// The current line, trimmed, with any `--` comment stripped
+    /// (emitted literals never contain `-`).
+    fn peek_line(&self) -> Option<&'a str> {
+        self.lines.get(self.pos).map(|l| {
+            let l = match l.find("--") {
+                Some(i) => &l[..i],
+                None => l,
+            };
+            l.trim()
+        })
+    }
+
+    fn next_line(&mut self) -> Option<&'a str> {
+        let l = self.peek_line();
+        if l.is_some() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    fn expect_line(&mut self, what: &str) -> Result<&'a str, InterpError> {
+        self.next_line()
+            .ok_or_else(|| self.err(format!("unexpected end of input, expected {what}")))
+    }
+
+    fn add_signal(
+        &mut self,
+        name: &str,
+        width: usize,
+        kind: SigKind,
+    ) -> Result<usize, InterpError> {
+        if self.by_name.contains_key(name) {
+            return Err(self.err(format!("duplicate signal `{name}`")));
+        }
+        let init = match kind {
+            // The clock tree and reset rail are testbench-driven: they
+            // start deasserted rather than undefined.
+            SigKind::Implicit => LogicVector::zeros(width).expect("validated width"),
+            _ => LogicVector::unknown(width).expect("validated width"),
+        };
+        let idx = self.signals.len();
+        self.signals.push(Signal {
+            name: name.to_owned(),
+            width,
+            kind,
+            value: init,
+        });
+        self.by_name.insert(name.to_owned(), idx);
+        Ok(idx)
+    }
+
+    /// Resolves a referenced name, materialising implicit `clk`/`rst`.
+    fn lookup(&mut self, name: &str) -> Result<usize, InterpError> {
+        if let Some(&idx) = self.by_name.get(name) {
+            return Ok(idx);
+        }
+        if name == "clk" || name == "rst" {
+            return self.add_signal(name, 1, SigKind::Implicit);
+        }
+        Err(self.err(format!("reference to undeclared signal `{name}`")))
+    }
+
+    fn parse_type(&self, ty: &str) -> Result<usize, InterpError> {
+        if ty == "std_logic" {
+            return Ok(1);
+        }
+        if let Some(rest) = ty.strip_prefix("std_logic_vector(") {
+            if let Some(body) = rest.strip_suffix(")") {
+                if let Some(high) = body.strip_suffix(" downto 0") {
+                    if let Ok(h) = high.parse::<usize>() {
+                        return Ok(h + 1);
+                    }
+                }
+            }
+        }
+        Err(self.err(format!("unsupported type `{ty}`")))
+    }
+
+    fn run(mut self) -> Result<VhdlInterp, InterpError> {
+        // Preamble: library/use clauses and blank lines.
+        while let Some(l) = self.peek_line() {
+            if l.is_empty() || l.starts_with("library ") || l.starts_with("use ") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.parse_entity()?;
+        while let Some(l) = self.peek_line() {
+            if l.is_empty() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.parse_architecture()?;
+        self.finish()
+    }
+
+    fn parse_entity(&mut self) -> Result<(), InterpError> {
+        let l = self.expect_line("entity declaration")?;
+        let name = l
+            .strip_prefix("entity ")
+            .and_then(|r| r.strip_suffix(" is"))
+            .ok_or_else(|| self.err(format!("expected `entity <name> is`, got `{l}`")))?;
+        self.entity_name = name.to_owned();
+        loop {
+            let l = self.expect_line("entity body")?;
+            if l == format!("end {};", self.entity_name) {
+                return Ok(());
+            }
+            if l == "generic (" {
+                // Generic defaults are inlined at emission; skip.
+                while self.expect_line("generic clause")? != ");" {}
+                continue;
+            }
+            if l == "port (" {
+                loop {
+                    let p = self.expect_line("port declaration")?;
+                    if p == ");" {
+                        break;
+                    }
+                    if p.is_empty() {
+                        continue; // stripped group comment
+                    }
+                    let p = p.strip_suffix(';').unwrap_or(p);
+                    let (name, rest) = p
+                        .split_once(" : ")
+                        .ok_or_else(|| self.err(format!("malformed port `{p}`")))?;
+                    let (dir, ty) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| self.err(format!("malformed port `{p}`")))?;
+                    let dir = match dir {
+                        "in" => PortDir::In,
+                        "out" => PortDir::Out,
+                        "inout" => PortDir::InOut,
+                        other => return Err(self.err(format!("bad port direction `{other}`"))),
+                    };
+                    let width = self.parse_type(ty)?;
+                    self.add_signal(name, width, SigKind::Port(dir))?;
+                }
+                continue;
+            }
+            if l.is_empty() {
+                continue;
+            }
+            return Err(self.err(format!("unexpected entity item `{l}`")));
+        }
+    }
+
+    fn parse_architecture(&mut self) -> Result<(), InterpError> {
+        let l = self.expect_line("architecture")?;
+        let rest = l
+            .strip_prefix("architecture ")
+            .and_then(|r| r.strip_suffix(" is"))
+            .ok_or_else(|| self.err(format!("expected architecture header, got `{l}`")))?;
+        let arch_name = rest
+            .split_once(" of ")
+            .map(|(a, _)| a.to_owned())
+            .ok_or_else(|| self.err("architecture header without entity name"))?;
+        // Declarative part.
+        loop {
+            let l = self.expect_line("architecture declarations")?;
+            if l == "begin" {
+                break;
+            }
+            if l.is_empty() {
+                continue;
+            }
+            if let Some(rest) = l.strip_prefix("signal ") {
+                let rest = rest.strip_suffix(';').unwrap_or(rest);
+                let (name, ty) = rest
+                    .split_once(" : ")
+                    .ok_or_else(|| self.err(format!("malformed signal `{l}`")))?;
+                let width = self.parse_type(ty)?;
+                self.add_signal(name, width, SigKind::Internal)?;
+                continue;
+            }
+            if l.starts_with("component ") {
+                while self.expect_line("component declaration")? != "end component;" {}
+                continue;
+            }
+            return Err(self.err(format!("unexpected declaration `{l}`")));
+        }
+        // Statement part.
+        let end_marker = format!("end {arch_name};");
+        loop {
+            let Some(l) = self.peek_line() else {
+                return Err(self.err("missing architecture end"));
+            };
+            if l == end_marker {
+                self.pos += 1;
+                return Ok(());
+            }
+            if l.is_empty() {
+                self.pos += 1;
+                continue;
+            }
+            if l.starts_with("process (") {
+                self.parse_process()?;
+            } else if l.starts_with("with ") {
+                self.parse_select()?;
+            } else if l.contains(" generic map (") {
+                self.parse_instance()?;
+            } else {
+                self.parse_assignment()?;
+            }
+        }
+    }
+
+    fn split_assign<'b>(&self, l: &'b str) -> Result<(&'b str, &'b str), InterpError> {
+        let l = l.strip_suffix(';').unwrap_or(l).trim();
+        l.split_once(" <= ")
+            .map(|(t, r)| (t.trim(), r.trim()))
+            .ok_or_else(|| self.err(format!("expected assignment, got `{l}`")))
+    }
+
+    fn parse_assignment(&mut self) -> Result<(), InterpError> {
+        let l = self.expect_line("assignment")?;
+        let (target, rhs) = self.split_assign(l)?;
+        let target = self.lookup(target)?;
+        let width = self.signals[target].width;
+        let expr = self.parse_expr(rhs, width)?;
+        self.comb.push(CombStmt::Assign { target, expr });
+        Ok(())
+    }
+
+    fn parse_literal(&self, tok: &str) -> Option<LogicVector> {
+        let inner = tok
+            .strip_prefix('"')
+            .and_then(|t| t.strip_suffix('"'))
+            .or_else(|| tok.strip_prefix('\'').and_then(|t| t.strip_suffix('\'')))?;
+        LogicVector::parse(inner).ok()
+    }
+
+    fn parse_unsigned_pair<'b>(&self, text: &'b str) -> Option<(&'b str, &'b str, &'b str)> {
+        // `unsigned(a) <op> <rest>` -> (a, op, rest)
+        let rest = text.strip_prefix("unsigned(")?;
+        let close = rest.find(')')?;
+        let a = &rest[..close];
+        let tail = rest[close + 1..].trim_start();
+        let (op, operand) = tail.split_once(' ')?;
+        Some((a, op, operand.trim()))
+    }
+
+    fn parse_arith(&mut self, inner: &str, width: usize) -> Result<Expr, InterpError> {
+        let (a, op, operand) = self
+            .parse_unsigned_pair(inner)
+            .ok_or_else(|| self.err(format!("unsupported arithmetic `{inner}`")))?;
+        let a = self.lookup(a)?;
+        match (op, operand) {
+            ("+", "1") => Ok(Expr::Arith {
+                op: ArithOp::Inc,
+                a,
+                b: None,
+                width,
+            }),
+            ("+" | "-", _) => {
+                let b = operand
+                    .strip_prefix("unsigned(")
+                    .and_then(|r| r.strip_suffix(')'))
+                    .ok_or_else(|| self.err(format!("unsupported operand `{operand}`")))?;
+                let b = self.lookup(b)?;
+                Ok(Expr::Arith {
+                    op: if op == "+" {
+                        ArithOp::Add
+                    } else {
+                        ArithOp::Sub
+                    },
+                    a,
+                    b: Some(b),
+                    width,
+                })
+            }
+            _ => Err(self.err(format!("unsupported arithmetic operator `{op}`"))),
+        }
+    }
+
+    fn parse_condition(&mut self, cond: &str) -> Result<Expr, InterpError> {
+        if cond.starts_with("unsigned(") {
+            let (a, op, b) = self
+                .parse_unsigned_pair(cond)
+                .ok_or_else(|| self.err(format!("unsupported condition `{cond}`")))?;
+            let op = match op {
+                "=" => UnsCmpOp::Eq,
+                "/=" => UnsCmpOp::Ne,
+                "<" => UnsCmpOp::Lt,
+                ">=" => UnsCmpOp::Ge,
+                other => return Err(self.err(format!("unsupported comparison `{other}`"))),
+            };
+            let a = self.lookup(a)?;
+            let b = b
+                .strip_prefix("unsigned(")
+                .and_then(|r| r.strip_suffix(')'))
+                .ok_or_else(|| self.err(format!("unsupported comparison operand `{b}`")))?;
+            let b = self.lookup(b)?;
+            return Ok(Expr::UnsCmp { op, a, b });
+        }
+        // `name /= "lit"` or `name = "lit"` — the reduction operators.
+        let (name, rest) = cond
+            .split_once(' ')
+            .ok_or_else(|| self.err(format!("unsupported condition `{cond}`")))?;
+        let (op, lit) = rest
+            .split_once(' ')
+            .ok_or_else(|| self.err(format!("unsupported condition `{cond}`")))?;
+        let eq = match op {
+            "=" => true,
+            "/=" => false,
+            other => return Err(self.err(format!("unsupported slv comparison `{other}`"))),
+        };
+        let a = self.lookup(name)?;
+        let lit = self
+            .parse_literal(lit)
+            .ok_or_else(|| self.err(format!("bad literal in condition `{cond}`")))?;
+        if lit.width() != self.signals[a].width {
+            return Err(self.err(format!("literal width mismatch in `{cond}`")));
+        }
+        Ok(Expr::SlvCmp { eq, a, lit })
+    }
+
+    fn parse_expr(&mut self, rhs: &str, width: usize) -> Result<Expr, InterpError> {
+        // Literal constant.
+        if let Some(value) = self.parse_literal(rhs) {
+            if value.width() != width {
+                return Err(self.err(format!("constant width mismatch in `{rhs}`")));
+            }
+            return Ok(Expr::Const(value));
+        }
+        // Arithmetic, slv-wrapped or (width 1) bare.
+        if let Some(inner) = rhs
+            .strip_prefix("std_logic_vector(")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            return self.parse_arith(inner, width);
+        }
+        // Conditional forms.
+        if let Some((data, rest)) = rhs.split_once(" when ") {
+            let (cond, alt) = rest
+                .split_once(" else ")
+                .ok_or_else(|| self.err(format!("when-expression without else: `{rhs}`")))?;
+            if data == "'1'" && alt == "'0'" {
+                return self.parse_condition(cond);
+            }
+            // Tri-state buffer: `d when en = '1' else 'Z'`.
+            if alt == "'Z'" || alt == "(others => 'Z')" {
+                let en = cond
+                    .strip_suffix(" = '1'")
+                    .ok_or_else(|| self.err(format!("unsupported enable `{cond}`")))?;
+                let en = self.lookup(en)?;
+                let d = self.lookup(data)?;
+                return Ok(Expr::TriBuf { en, d, width });
+            }
+            return Err(self.err(format!("unsupported when-expression `{rhs}`")));
+        }
+        if let Some(a) = rhs.strip_prefix("not ") {
+            return Ok(Expr::Not(self.lookup(a)?));
+        }
+        for (tok, op) in [
+            (" and ", GateKind::And),
+            (" or ", GateKind::Or),
+            (" xor ", GateKind::Xor),
+        ] {
+            if let Some((a, b)) = rhs.split_once(tok) {
+                let a = self.lookup(a)?;
+                let b = self.lookup(b)?;
+                return Ok(Expr::Gate { op, a, b });
+            }
+        }
+        if rhs.contains(" & ") {
+            let mut parts = Vec::new();
+            for p in rhs.split(" & ") {
+                parts.push(self.lookup(p.trim())?);
+            }
+            return Ok(Expr::Concat(parts));
+        }
+        if rhs.starts_with("unsigned(") {
+            // Width-1 arithmetic is emitted without the slv cast.
+            return self.parse_arith(rhs, width);
+        }
+        // Slice: `name(hi downto lo)` or `name(idx)`.
+        if let Some(open) = rhs.find('(') {
+            if rhs.ends_with(')') {
+                let name = &rhs[..open];
+                let idx = &rhs[open + 1..rhs.len() - 1];
+                let a = self.lookup(name)?;
+                let (low, len) = if let Some((hi, lo)) = idx.split_once(" downto ") {
+                    let hi: usize = hi
+                        .parse()
+                        .map_err(|_| self.err(format!("bad slice bound `{hi}`")))?;
+                    let lo: usize = lo
+                        .parse()
+                        .map_err(|_| self.err(format!("bad slice bound `{lo}`")))?;
+                    (lo, hi + 1 - lo)
+                } else {
+                    let i: usize = idx
+                        .parse()
+                        .map_err(|_| self.err(format!("bad index `{idx}`")))?;
+                    (i, 1)
+                };
+                if low + len > self.signals[a].width {
+                    return Err(self.err(format!("slice out of range in `{rhs}`")));
+                }
+                return Ok(Expr::Slice { a, low, len });
+            }
+        }
+        // Plain copy.
+        Ok(Expr::Copy(self.lookup(rhs)?))
+    }
+
+    fn parse_select(&mut self) -> Result<(), InterpError> {
+        let l = self.expect_line("with-select header")?;
+        let sel = l
+            .strip_prefix("with ")
+            .and_then(|r| r.strip_suffix(" select"))
+            .ok_or_else(|| self.err(format!("malformed with-select `{l}`")))?;
+        let sel = self.lookup(sel)?;
+        let mut target = None;
+        let mut arms: Vec<(u64, usize)> = Vec::new();
+        let mut others = None;
+        loop {
+            let l = self.expect_line("with-select arm")?;
+            let done = l.ends_with(';');
+            let l = l.trim_end_matches([';', ',']);
+            let (t, rest) = l
+                .split_once(" <= ")
+                .ok_or_else(|| self.err(format!("malformed select arm `{l}`")))?;
+            let t = self.lookup(t)?;
+            match target {
+                None => target = Some(t),
+                Some(prev) if prev == t => {}
+                Some(_) => return Err(self.err("select arms disagree on target")),
+            }
+            let (src, choice) = rest
+                .split_once(" when ")
+                .ok_or_else(|| self.err(format!("malformed select arm `{l}`")))?;
+            let src = self.lookup(src)?;
+            if choice == "others" {
+                others = Some(src);
+            } else {
+                let lit = self
+                    .parse_literal(choice)
+                    .and_then(|v| v.to_u64())
+                    .ok_or_else(|| self.err(format!("bad select choice `{choice}`")))?;
+                arms.push((lit, src));
+            }
+            if done {
+                break;
+            }
+        }
+        let target = target.ok_or_else(|| self.err("empty with-select"))?;
+        let others = others.ok_or_else(|| self.err("with-select without others arm"))?;
+        self.comb.push(CombStmt::Select {
+            target,
+            sel,
+            arms,
+            others,
+        });
+        Ok(())
+    }
+
+    fn parse_process(&mut self) -> Result<(), InterpError> {
+        let header = self.expect_line("process header")?.to_owned();
+        let body_start = self.pos;
+        // Find the end of this process to decide its shape.
+        let mut clocked = false;
+        let mut end = None;
+        for (i, l) in self.lines[self.pos..].iter().enumerate() {
+            let t = l.trim();
+            if t.contains("rising_edge") {
+                clocked = true;
+            }
+            if t == "end process;" {
+                end = Some(self.pos + i);
+                break;
+            }
+        }
+        let Some(end) = end else {
+            return Err(self.err("process without `end process;`"));
+        };
+        self.pos = body_start;
+        if clocked {
+            self.parse_reg_process()?;
+        } else {
+            self.parse_case_process(&header)?;
+        }
+        self.pos = end + 1;
+        Ok(())
+    }
+
+    fn parse_reg_process(&mut self) -> Result<(), InterpError> {
+        // begin / if rising_edge(clk) then / if rst = '1' then
+        for expected in ["begin", "if rising_edge(clk) then", "if rst = '1' then"] {
+            let l = self.expect_line(expected)?;
+            if l != expected {
+                return Err(self.err(format!("expected `{expected}`, got `{l}`")));
+            }
+        }
+        // Make sure the implicit rails exist.
+        self.lookup("clk")?;
+        self.lookup("rst")?;
+        let l = self.expect_line("reset assignment")?;
+        let (target, reset_rhs) = self.split_assign(l)?;
+        let target = self.lookup(target)?;
+        let reset_value = self
+            .parse_literal(reset_rhs)
+            .ok_or_else(|| self.err(format!("bad reset literal `{reset_rhs}`")))?;
+        if reset_value.width() != self.signals[target].width {
+            return Err(self.err("reset literal width mismatch"));
+        }
+        let l = self.expect_line("enable branch")?;
+        let enable = if l == "else" {
+            None
+        } else if let Some(en) = l
+            .strip_prefix("elsif ")
+            .and_then(|r| r.strip_suffix(" = '1' then"))
+        {
+            Some(self.lookup(en)?)
+        } else {
+            return Err(self.err(format!(
+                "expected `else`/`elsif <en> = '1' then`, got `{l}`"
+            )));
+        };
+        let l = self.expect_line("load assignment")?;
+        let (load_target, d) = self.split_assign(l)?;
+        if self.lookup(load_target)? != target {
+            return Err(self.err("register process assigns two different targets"));
+        }
+        let d = self.lookup(d)?;
+        self.regs.push(RegProc {
+            target,
+            reset_value,
+            enable,
+            d,
+        });
+        Ok(())
+    }
+
+    fn parse_case_process(&mut self, _header: &str) -> Result<(), InterpError> {
+        let l = self.expect_line("process begin")?;
+        if l != "begin" {
+            return Err(self.err(format!("expected `begin`, got `{l}`")));
+        }
+        let l = self.expect_line("case statement")?;
+        let sel = l
+            .strip_prefix("case ")
+            .and_then(|r| r.strip_suffix(" is"))
+            .ok_or_else(|| self.err(format!("expected case statement, got `{l}`")))?;
+        let mut inputs = Vec::new();
+        for part in sel.split(" & ") {
+            inputs.push(self.lookup(part.trim())?);
+        }
+        let total: usize = inputs.iter().map(|&i| self.signals[i].width).sum();
+        if total > 24 {
+            return Err(self.err(format!("case selector too wide ({total} bits)")));
+        }
+        let mut table: Vec<Option<u64>> = vec![None; 1usize << total];
+        let mut target = None;
+        let mut out_width = 0;
+        loop {
+            let l = self.expect_line("case arm")?;
+            if l == "end case;" {
+                break;
+            }
+            let arm = l
+                .strip_prefix("when ")
+                .ok_or_else(|| self.err(format!("expected case arm, got `{l}`")))?;
+            let (choice, rest) = arm
+                .split_once(" => ")
+                .ok_or_else(|| self.err(format!("malformed case arm `{l}`")))?;
+            let (t, rhs) = self.split_assign(rest)?;
+            let t = self.lookup(t)?;
+            match target {
+                None => {
+                    target = Some(t);
+                    out_width = self.signals[t].width;
+                }
+                Some(prev) if prev == t => {}
+                Some(_) => return Err(self.err("case arms disagree on target")),
+            }
+            if choice == "others" {
+                // Emitted as all-X: leave unset entries as None.
+                continue;
+            }
+            let index = self
+                .parse_literal(choice)
+                .and_then(|v| v.to_u64())
+                .ok_or_else(|| self.err(format!("bad case choice `{choice}`")))?;
+            let word = self
+                .parse_literal(rhs)
+                .and_then(|v| v.to_u64())
+                .ok_or_else(|| self.err(format!("bad case output `{rhs}`")))?;
+            table[index as usize] = Some(word);
+        }
+        let target = target.ok_or_else(|| self.err("case statement without arms"))?;
+        self.comb.push(CombStmt::Case {
+            target,
+            inputs,
+            out_width,
+            table,
+        });
+        Ok(())
+    }
+
+    fn parse_kv_list(&self, body: &str) -> Result<Vec<(String, String)>, InterpError> {
+        let mut out = Vec::new();
+        for part in body.split(", ") {
+            let (k, v) = part
+                .split_once(" => ")
+                .ok_or_else(|| self.err(format!("malformed association `{part}`")))?;
+            out.push((k.trim().to_owned(), v.trim().to_owned()));
+        }
+        Ok(out)
+    }
+
+    fn parse_instance(&mut self) -> Result<(), InterpError> {
+        let l = self.expect_line("instance")?.to_owned();
+        let (inst_name, rest) = l
+            .split_once(" : ")
+            .ok_or_else(|| self.err(format!("malformed instantiation `{l}`")))?;
+        let (comp, generics) = rest
+            .split_once(" generic map (")
+            .ok_or_else(|| self.err(format!("instantiation without generic map `{l}`")))?;
+        let generics = generics
+            .strip_suffix(')')
+            .ok_or_else(|| self.err(format!("unterminated generic map `{l}`")))?;
+        let generics = self.parse_kv_list(generics)?;
+        let generic = |name: &str| -> Result<usize, InterpError> {
+            generics
+                .iter()
+                .find(|(k, _)| k == name)
+                .and_then(|(_, v)| v.parse::<usize>().ok())
+                .ok_or_else(|| self.err(format!("missing generic `{name}` on `{inst_name}`")))
+        };
+        let (kind, state) = match comp {
+            "block_ram" => {
+                let aw = generic("addr_width")?;
+                if aw > 24 {
+                    return Err(self.err(format!("block_ram addr_width {aw} too large")));
+                }
+                (
+                    InstKind::BlockRam,
+                    InstState::Bram {
+                        mem: vec![None; 1usize << aw],
+                        out: None,
+                    },
+                )
+            }
+            "fifo_core" => (
+                InstKind::Fifo,
+                InstState::Queue {
+                    depth: generic("depth")?,
+                    data: VecDeque::new(),
+                },
+            ),
+            "lifo_core" => (
+                InstKind::Lifo,
+                InstState::Stack {
+                    depth: generic("depth")?,
+                    data: Vec::new(),
+                },
+            ),
+            other => return Err(self.err(format!("unknown component `{other}`"))),
+        };
+        let l = self.expect_line("port map")?;
+        let body = l
+            .strip_prefix("port map (")
+            .and_then(|r| r.strip_suffix(");"))
+            .ok_or_else(|| self.err(format!("malformed port map `{l}`")))?;
+        let mut conns = HashMap::new();
+        for (formal, actual) in self.parse_kv_list(body)? {
+            let sig = self.lookup(&actual)?;
+            conns.insert(formal, sig);
+        }
+        self.insts.push(Instance {
+            name: inst_name.to_owned(),
+            kind,
+            conns,
+            state,
+        });
+        Ok(())
+    }
+
+    fn finish(self) -> Result<VhdlInterp, InterpError> {
+        let mut drivers: Vec<Vec<usize>> = vec![Vec::new(); self.signals.len()];
+        let mut comb_targets: Vec<usize> = Vec::new();
+        for (si, stmt) in self.comb.iter().enumerate() {
+            let t = stmt.target();
+            if drivers[t].is_empty() {
+                comb_targets.push(t);
+            }
+            drivers[t].push(si);
+        }
+        let rst = self.by_name.get("rst").copied();
+        Ok(VhdlInterp {
+            entity_name: self.entity_name,
+            signals: self.signals,
+            by_name: self.by_name,
+            comb: self.comb,
+            drivers,
+            comb_targets,
+            regs: self.regs,
+            insts: self.insts,
+            rst,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim::{CmpKind, GateOp, Prim};
+    use crate::{Entity, Netlist};
+
+    fn lv(v: u64, w: usize) -> LogicVector {
+        LogicVector::from_u64(v, w).unwrap()
+    }
+
+    /// Counter netlist: q' = q + 1 via Reg + Inc (the netlist-sim
+    /// reference example).
+    fn counter_netlist() -> Netlist {
+        let entity = Entity::builder("counter")
+            .port("q", PortDir::Out, 8)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let q = nl.add_net("q", 8).unwrap();
+        let d = nl.add_net("d", 8).unwrap();
+        nl.add_cell(
+            "u_reg",
+            Prim::Reg {
+                width: 8,
+                has_enable: false,
+                reset_value: 0,
+            },
+            vec![d],
+            vec![q],
+        )
+        .unwrap();
+        nl.add_cell("u_inc", Prim::Inc { width: 8 }, vec![q], vec![d])
+            .unwrap();
+        nl.bind_port("q", q).unwrap();
+        nl
+    }
+
+    #[test]
+    fn counter_counts_through_emitted_text() {
+        let mut vm = VhdlInterp::from_netlist(&counter_netlist(), "rtl").unwrap();
+        vm.reset();
+        vm.settle().unwrap();
+        assert_eq!(vm.peek("q").unwrap().to_u64(), Some(0));
+        for i in 1..=7u64 {
+            vm.step().unwrap();
+            assert_eq!(vm.peek("q").unwrap().to_u64(), Some(i));
+        }
+    }
+
+    #[test]
+    fn synchronous_rst_signal_resets_registers() {
+        let mut vm = VhdlInterp::from_netlist(&counter_netlist(), "rtl").unwrap();
+        vm.reset();
+        vm.settle().unwrap();
+        vm.step().unwrap();
+        vm.step().unwrap();
+        assert_eq!(vm.peek("q").unwrap().to_u64(), Some(2));
+        // Assert the rst rail: the emitted `if rst = '1'` branch runs.
+        vm.poke("rst", lv(1, 1)).unwrap();
+        vm.step().unwrap();
+        assert_eq!(vm.peek("q").unwrap().to_u64(), Some(0));
+        vm.poke("rst", lv(0, 1)).unwrap();
+        vm.step().unwrap();
+        assert_eq!(vm.peek("q").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn gates_comparisons_and_mux_evaluate() {
+        let entity = Entity::builder("comb")
+            .port("a", PortDir::In, 4)
+            .unwrap()
+            .port("b", PortDir::In, 4)
+            .unwrap()
+            .port("sel", PortDir::In, 1)
+            .unwrap()
+            .port("y_and", PortDir::Out, 4)
+            .unwrap()
+            .port("y_eq", PortDir::Out, 1)
+            .unwrap()
+            .port("y_mux", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let a = nl.add_net("a", 4).unwrap();
+        let b = nl.add_net("b", 4).unwrap();
+        let sel = nl.add_net("sel", 1).unwrap();
+        let y_and = nl.add_net("y_and", 4).unwrap();
+        let y_eq = nl.add_net("y_eq", 1).unwrap();
+        let y_mux = nl.add_net("y_mux", 4).unwrap();
+        nl.add_cell(
+            "u_and",
+            Prim::Gate {
+                op: GateOp::And,
+                width: 4,
+            },
+            vec![a, b],
+            vec![y_and],
+        )
+        .unwrap();
+        nl.add_cell(
+            "u_eq",
+            Prim::Cmp {
+                kind: CmpKind::Eq,
+                width: 4,
+            },
+            vec![a, b],
+            vec![y_eq],
+        )
+        .unwrap();
+        nl.add_cell(
+            "u_mux",
+            Prim::Mux { width: 4, ways: 2 },
+            vec![sel, a, b],
+            vec![y_mux],
+        )
+        .unwrap();
+        for (p, n) in [
+            ("a", a),
+            ("b", b),
+            ("sel", sel),
+            ("y_and", y_and),
+            ("y_eq", y_eq),
+            ("y_mux", y_mux),
+        ] {
+            nl.bind_port(p, n).unwrap();
+        }
+        let mut vm = VhdlInterp::from_netlist(&nl, "rtl").unwrap();
+        vm.poke("a", lv(0b1100, 4)).unwrap();
+        vm.poke("b", lv(0b1010, 4)).unwrap();
+        vm.poke("sel", lv(1, 1)).unwrap();
+        vm.settle().unwrap();
+        assert_eq!(vm.peek("y_and").unwrap().to_u64(), Some(0b1000));
+        assert_eq!(vm.peek("y_eq").unwrap().to_u64(), Some(0));
+        assert_eq!(vm.peek("y_mux").unwrap().to_u64(), Some(0b1010));
+        // Undefined select poisons the mux output.
+        vm.poke("sel", LogicVector::unknown(1).unwrap()).unwrap();
+        vm.settle().unwrap();
+        assert_eq!(vm.peek("y_mux").unwrap().to_u64(), None);
+    }
+
+    #[test]
+    fn fifo_core_instance_runs_and_reports_protocol_errors() {
+        let entity = Entity::builder("f")
+            .port("push", PortDir::In, 1)
+            .unwrap()
+            .port("pop", PortDir::In, 1)
+            .unwrap()
+            .port("wdata", PortDir::In, 8)
+            .unwrap()
+            .port("rdata", PortDir::Out, 8)
+            .unwrap()
+            .port("empty", PortDir::Out, 1)
+            .unwrap()
+            .port("full", PortDir::Out, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let push = nl.add_net("push", 1).unwrap();
+        let pop = nl.add_net("pop", 1).unwrap();
+        let wdata = nl.add_net("wdata", 8).unwrap();
+        let rdata = nl.add_net("rdata", 8).unwrap();
+        let empty = nl.add_net("empty", 1).unwrap();
+        let full = nl.add_net("full", 1).unwrap();
+        nl.add_cell(
+            "u_fifo",
+            Prim::FifoMacro { depth: 2, width: 8 },
+            vec![push, pop, wdata],
+            vec![rdata, empty, full],
+        )
+        .unwrap();
+        for (p, n) in [
+            ("push", push),
+            ("pop", pop),
+            ("wdata", wdata),
+            ("rdata", rdata),
+            ("empty", empty),
+            ("full", full),
+        ] {
+            nl.bind_port(p, n).unwrap();
+        }
+        let mut vm = VhdlInterp::from_netlist(&nl, "rtl").unwrap();
+        vm.poke("push", lv(0, 1)).unwrap();
+        vm.poke("pop", lv(0, 1)).unwrap();
+        vm.poke("wdata", lv(0, 8)).unwrap();
+        vm.reset();
+        vm.settle().unwrap();
+        assert_eq!(vm.peek("empty").unwrap().to_u64(), Some(1));
+        vm.poke("push", lv(1, 1)).unwrap();
+        vm.poke("wdata", lv(0x33, 8)).unwrap();
+        vm.step().unwrap();
+        vm.poke("push", lv(0, 1)).unwrap();
+        vm.settle().unwrap();
+        // First-word fall-through.
+        assert_eq!(vm.peek("rdata").unwrap().to_u64(), Some(0x33));
+        assert_eq!(vm.peek("empty").unwrap().to_u64(), Some(0));
+        // Drain, then pop on empty is a protocol error.
+        vm.poke("pop", lv(1, 1)).unwrap();
+        vm.step().unwrap();
+        let err = vm.step().unwrap_err();
+        assert!(matches!(err, InterpError::Protocol { .. }));
+    }
+
+    #[test]
+    fn tristate_bus_resolves_between_drivers() {
+        let entity = Entity::builder("bus3")
+            .port("en_a", PortDir::In, 1)
+            .unwrap()
+            .port("en_b", PortDir::In, 1)
+            .unwrap()
+            .port("da", PortDir::In, 4)
+            .unwrap()
+            .port("db", PortDir::In, 4)
+            .unwrap()
+            .port("y", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let en_a = nl.add_net("en_a", 1).unwrap();
+        let en_b = nl.add_net("en_b", 1).unwrap();
+        let da = nl.add_net("da", 4).unwrap();
+        let db = nl.add_net("db", 4).unwrap();
+        let y = nl.add_net("y", 4).unwrap();
+        nl.add_cell("u_ta", Prim::TriBuf { width: 4 }, vec![en_a, da], vec![y])
+            .unwrap();
+        nl.add_cell("u_tb", Prim::TriBuf { width: 4 }, vec![en_b, db], vec![y])
+            .unwrap();
+        for (p, n) in [
+            ("en_a", en_a),
+            ("en_b", en_b),
+            ("da", da),
+            ("db", db),
+            ("y", y),
+        ] {
+            nl.bind_port(p, n).unwrap();
+        }
+        let mut vm = VhdlInterp::from_netlist(&nl, "rtl").unwrap();
+        vm.poke("da", lv(0xA, 4)).unwrap();
+        vm.poke("db", lv(0x5, 4)).unwrap();
+        vm.poke("en_a", lv(1, 1)).unwrap();
+        vm.poke("en_b", lv(0, 1)).unwrap();
+        vm.settle().unwrap();
+        assert_eq!(vm.peek("y").unwrap().to_u64(), Some(0xA));
+        vm.poke("en_a", lv(0, 1)).unwrap();
+        vm.poke("en_b", lv(1, 1)).unwrap();
+        vm.settle().unwrap();
+        assert_eq!(vm.peek("y").unwrap().to_u64(), Some(0x5));
+        // Both released: the bus floats.
+        vm.poke("en_b", lv(0, 1)).unwrap();
+        vm.settle().unwrap();
+        assert_eq!(vm.peek("y").unwrap(), LogicVector::high_z(4).unwrap());
+        // Contention: both drive, bits disagree -> X where they clash.
+        vm.poke("en_a", lv(1, 1)).unwrap();
+        vm.poke("en_b", lv(1, 1)).unwrap();
+        vm.settle().unwrap();
+        assert_eq!(vm.peek("y").unwrap().to_u64(), None);
+    }
+
+    #[test]
+    fn truth_table_case_uses_ternary_semantics() {
+        // y bit0 = b, bit1 = a; with b undefined only bit0 is X.
+        let entity = Entity::builder("tt")
+            .port("a", PortDir::In, 1)
+            .unwrap()
+            .port("b", PortDir::In, 1)
+            .unwrap()
+            .port("y", PortDir::Out, 2)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let a = nl.add_net("a", 1).unwrap();
+        let b = nl.add_net("b", 1).unwrap();
+        let y = nl.add_net("y", 2).unwrap();
+        nl.add_cell(
+            "u_tt",
+            Prim::TruthTable {
+                in_widths: vec![1, 1],
+                out_width: 2,
+                table: vec![0b00, 0b01, 0b10, 0b11],
+            },
+            vec![a, b],
+            vec![y],
+        )
+        .unwrap();
+        nl.bind_port("a", a).unwrap();
+        nl.bind_port("b", b).unwrap();
+        nl.bind_port("y", y).unwrap();
+        let mut vm = VhdlInterp::from_netlist(&nl, "rtl").unwrap();
+        vm.poke("a", lv(1, 1)).unwrap();
+        vm.poke("b", LogicVector::unknown(1).unwrap()).unwrap();
+        vm.settle().unwrap();
+        let y = vm.peek("y").unwrap();
+        assert_eq!(y.bit(1).unwrap(), Bit::One);
+        assert_eq!(y.bit(0).unwrap(), Bit::X);
+        vm.poke("b", lv(1, 1)).unwrap();
+        vm.settle().unwrap();
+        assert_eq!(vm.peek("y").unwrap().to_u64(), Some(0b11));
+    }
+
+    #[test]
+    fn non_subset_text_is_rejected_with_line_info() {
+        let text = "library ieee;\n\nentity x is\n  port (\n    a : in std_logic\n  );\nend x;\n\narchitecture rtl of x is\nbegin\n  a <= a sll 2;\nend rtl;\n";
+        let err = VhdlInterp::parse(text).unwrap_err();
+        match err {
+            InterpError::Parse { line, .. } => assert_eq!(line, 11),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ports_reports_entity_interface() {
+        let vm = VhdlInterp::from_netlist(&counter_netlist(), "rtl").unwrap();
+        assert_eq!(vm.entity_name(), "counter");
+        assert_eq!(vm.ports(), vec![("q".to_owned(), PortDir::Out, 8)]);
+    }
+}

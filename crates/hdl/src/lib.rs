@@ -46,6 +46,7 @@ mod bit;
 mod entity;
 mod error;
 mod ident;
+pub mod interp;
 mod netlist;
 pub mod prim;
 pub mod validate;

@@ -45,6 +45,7 @@ pub mod design;
 pub mod fsm;
 pub mod iterator_gen;
 pub mod ops;
+pub mod sampler;
 pub mod stack_gen;
 
 pub use design::{Design, DesignKind};

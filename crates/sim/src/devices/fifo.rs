@@ -258,6 +258,44 @@ mod tests {
     }
 
     #[test]
+    fn simultaneous_push_pop_at_full_keeps_it_full() {
+        let mut r = rig(2);
+        r.sim.poke(r.push, 1).unwrap();
+        for v in [1u64, 2] {
+            r.sim.poke(r.wdata, v).unwrap();
+            r.sim.step().unwrap();
+        }
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.full).unwrap().to_u64(), Some(1));
+        // Push+pop on a full FIFO: the pop frees its slot within the
+        // same edge, so the push is legal and the level stays at
+        // capacity with the queue advanced by one.
+        r.sim.poke(r.pop, 1).unwrap();
+        r.sim.poke(r.wdata, 3).unwrap();
+        r.sim.step().unwrap();
+        r.sim.poke(r.push, 0).unwrap();
+        r.sim.poke(r.pop, 0).unwrap();
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.full).unwrap().to_u64(), Some(1));
+        assert_eq!(r.sim.peek(r.empty).unwrap().to_u64(), Some(0));
+        assert_eq!(r.sim.peek(r.rdata).unwrap().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn simultaneous_push_pop_on_empty_is_error() {
+        let mut r = rig(2);
+        r.sim.poke(r.push, 1).unwrap();
+        r.sim.poke(r.pop, 1).unwrap();
+        r.sim.poke(r.wdata, 9).unwrap();
+        // The pop is serviced before the push, and there is nothing to
+        // pop — the push cannot lend it an element through the edge.
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+
+    #[test]
     fn reset_clears_contents() {
         let mut r = rig(4);
         r.sim.poke(r.push, 1).unwrap();

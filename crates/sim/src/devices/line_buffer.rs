@@ -282,6 +282,30 @@ mod tests {
     }
 
     #[test]
+    fn window_wraps_into_the_next_row_after_a_full_line_of_pops() {
+        let w = 3;
+        let mut r = rig(w);
+        for i in 0..(2 * w as u64 + 1) {
+            push(&mut r, px(i / w as u64, i % w as u64));
+        }
+        // Pop an entire line of columns, pushing one new pixel for
+        // each, so the head of the window crosses the row-0/row-1
+        // boundary.
+        for v in [px(2, 1), px(2, 2), px(3, 0)] {
+            r.sim.poke(r.pop, 1).unwrap();
+            r.sim.step().unwrap();
+            r.sim.poke(r.pop, 0).unwrap();
+            push(&mut r, v);
+        }
+        r.sim.settle().unwrap();
+        assert_eq!(r.sim.peek(r.avail).unwrap().to_u64(), Some(1));
+        // The column presented is now one row down: (1,0)/(2,0)/(3,0).
+        assert_eq!(r.sim.peek(r.top).unwrap().to_u64(), Some(px(1, 0)));
+        assert_eq!(r.sim.peek(r.mid).unwrap().to_u64(), Some(px(2, 0)));
+        assert_eq!(r.sim.peek(r.bot).unwrap().to_u64(), Some(px(3, 0)));
+    }
+
+    #[test]
     fn simultaneous_push_pop_streams() {
         let w = 2;
         let mut r = rig(w);

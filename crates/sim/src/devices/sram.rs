@@ -335,6 +335,67 @@ mod tests {
     }
 
     #[test]
+    fn wait_states_hold_ack_low_and_rdata_undefined() {
+        let mut r = rig(3);
+        write(&mut r, 9, 0x5A);
+        r.sim.poke(r.req, 1).unwrap();
+        r.sim.poke(r.addr, 9).unwrap();
+        // Latency 3: the capture cycle plus one wait state before ack.
+        for wait in 0..2 {
+            r.sim.step().unwrap();
+            assert_eq!(
+                r.sim.peek(r.ack).unwrap().to_u64(),
+                Some(0),
+                "wait state {wait}"
+            );
+            assert_eq!(
+                r.sim.peek(r.rdata).unwrap().to_u64(),
+                None,
+                "wait state {wait}"
+            );
+        }
+        r.sim.step().unwrap();
+        assert_eq!(r.sim.peek(r.ack).unwrap().to_u64(), Some(1));
+        assert_eq!(r.sim.peek(r.rdata).unwrap().to_u64(), Some(0x5A));
+        // Dropping req releases the handshake and rdata goes back to
+        // undefined.
+        r.sim.poke(r.req, 0).unwrap();
+        r.sim.step().unwrap();
+        assert_eq!(r.sim.peek(r.ack).unwrap().to_u64(), Some(0));
+        assert_eq!(r.sim.peek(r.rdata).unwrap().to_u64(), None);
+    }
+
+    #[test]
+    fn back_to_back_transactions_each_pay_full_latency() {
+        let mut r = rig(2);
+        write(&mut r, 1, 11);
+        write(&mut r, 2, 22);
+        for (a, v) in [(1u64, 11u64), (2, 22)] {
+            r.sim.poke(r.req, 1).unwrap();
+            r.sim.poke(r.addr, a).unwrap();
+            assert_eq!(wait_ack(&mut r, 20), 2, "addr {a}");
+            assert_eq!(r.sim.peek(r.rdata).unwrap().to_u64(), Some(v));
+            r.sim.poke(r.req, 0).unwrap();
+            r.sim.step().unwrap();
+        }
+    }
+
+    #[test]
+    fn changing_write_data_mid_transaction_is_error() {
+        let mut r = rig(3);
+        r.sim.poke(r.req, 1).unwrap();
+        r.sim.poke(r.we, 1).unwrap();
+        r.sim.poke(r.addr, 4).unwrap();
+        r.sim.poke(r.wdata, 1).unwrap();
+        r.sim.step().unwrap(); // transaction captured
+        r.sim.poke(r.wdata, 2).unwrap();
+        assert!(matches!(
+            r.sim.step().unwrap_err(),
+            SimError::Protocol { .. }
+        ));
+    }
+
+    #[test]
     fn dropping_req_mid_transaction_is_error() {
         let mut r = rig(4);
         r.sim.poke(r.req, 1).unwrap();

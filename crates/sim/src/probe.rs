@@ -190,6 +190,39 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "monitor `mon` trace mismatch at defined-value #3")]
+    fn expect_values_points_past_the_common_prefix_on_length_mismatch() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 8).unwrap();
+        sim.add_component(Stimulus::new("stim", s, 8, vec![3, 1, 4]));
+        let mon = sim.add_component(Monitor::new("mon", s));
+        sim.reset().unwrap();
+        sim.run(3).unwrap();
+        // All recorded values match but the expectation is longer: the
+        // diagnostic points at the first missing position, not #0.
+        sim.component::<Monitor>(mon)
+            .unwrap()
+            .expect_values(&[3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn expect_values_skips_undefined_cycles() {
+        let mut sim = Simulator::new();
+        let driven = sim.add_signal("driven", 8).unwrap();
+        let floating = sim.add_signal("floating", 8).unwrap();
+        sim.add_component(Stimulus::new("stim", driven, 8, vec![7]));
+        let mon = sim.add_component(Monitor::new("mon", floating));
+        sim.reset().unwrap();
+        sim.run(3).unwrap();
+        let mon = sim.component::<Monitor>(mon).unwrap();
+        // Three cycles recorded, all X — the trace is kept but no
+        // value is "defined", so the expectation list is empty.
+        assert_eq!(mon.trace().len(), 3);
+        assert!(mon.defined_values().is_empty());
+        mon.expect_values(&[]);
+    }
+
+    #[test]
     fn monitor_clears_on_reset() {
         let mut sim = Simulator::new();
         let s = sim.add_signal("s", 4).unwrap();

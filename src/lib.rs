@@ -17,6 +17,7 @@
 //! | [`pattern`] | `hdp-core` | the iterator pattern, containers, algorithms, system model |
 //! | [`metagen`] | `hdp-metagen` | the metaprogramming code generator |
 //! | [`synth`] | `hdp-synth` | technology mapping, timing, power, characterisation |
+//! | [`conform`] | `hdp-conform` | differential conformance fuzzing across simulator oracles and an executable VHDL model |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hdp_conform as conform;
 pub use hdp_hdl as hdl;
 pub use hdp_metagen as metagen;
 pub use hdp_sim as sim;

@@ -1,0 +1,211 @@
+//! Shared testbench builders for the integration-test suite.
+//!
+//! Each integration-test binary that declares `mod common;` gets its
+//! own copy, so helpers unused by a particular binary are expected —
+//! hence the blanket `dead_code` allow.
+
+#![allow(dead_code)]
+
+use hdp::metagen::design::{generate, DesignKind, DesignParams, Style};
+use hdp::pattern::algo::TransformStreaming;
+use hdp::pattern::golden::PixelOp;
+use hdp::pattern::hw::{ReadBufferFifo, WriteBufferFifo};
+use hdp::pattern::iface::{IterIface, StreamIface};
+use hdp::pattern::pixel::PixelFormat;
+use hdp::sim::devices::{Sram, VideoIn, VideoOut};
+use hdp::sim::{ComponentId, NetlistComponent, SignalId, Simulator};
+use proptest::prelude::*;
+
+/// Runs the simulator in 256-cycle chunks (up to `budget` cycles)
+/// until the `VideoOut` sink has captured a complete frame, and
+/// returns that frame, or `None` if the budget ran out first.
+pub fn collect_first_frame(
+    sim: &mut Simulator,
+    sink: ComponentId,
+    budget: u64,
+) -> Option<Vec<u64>> {
+    let mut remaining = budget;
+    while remaining > 0 {
+        let chunk = remaining.min(256);
+        sim.run(chunk).expect("simulation error");
+        remaining -= chunk;
+        if !sim.component::<VideoOut>(sink).unwrap().frames().is_empty() {
+            break;
+        }
+    }
+    sim.component::<VideoOut>(sink)
+        .unwrap()
+        .frames()
+        .first()
+        .cloned()
+}
+
+/// Simulates a generated stream design on one frame and returns the
+/// collected output pixels.
+pub fn run_design(
+    kind: DesignKind,
+    style: Style,
+    params: DesignParams,
+    pixels: Vec<u64>,
+    gap: u32,
+    out_len: usize,
+) -> Vec<u64> {
+    let design = generate(kind, style, params).expect("design generates");
+    let mut sim = Simulator::new();
+    let vid_valid = sim.add_signal("vid_valid", 1).unwrap();
+    let vid_data = sim.add_signal("vid_data", params.data_width).unwrap();
+    let vga_valid = sim.add_signal("vga_valid", 1).unwrap();
+    let vga_data = sim.add_signal("vga_data", params.data_width).unwrap();
+    let mut map: Vec<(String, SignalId)> = vec![
+        ("vid_valid".into(), vid_valid),
+        ("vid_data".into(), vid_data),
+        ("vga_valid".into(), vga_valid),
+        ("vga_data".into(), vga_data),
+    ];
+    if kind == DesignKind::Saa2vga2 {
+        for prefix in ["im", "om"] {
+            let req = sim.add_signal(format!("{prefix}_req"), 1).unwrap();
+            let we = sim.add_signal(format!("{prefix}_we"), 1).unwrap();
+            let addr = sim
+                .add_signal(format!("{prefix}_addr"), params.addr_width)
+                .unwrap();
+            let wdata = sim
+                .add_signal(format!("{prefix}_wdata"), params.data_width)
+                .unwrap();
+            let ack = sim.add_signal(format!("{prefix}_ack"), 1).unwrap();
+            let rdata = sim
+                .add_signal(format!("{prefix}_rdata"), params.data_width)
+                .unwrap();
+            sim.add_component(Sram::new(
+                format!("sram_{prefix}"),
+                params.addr_width,
+                params.data_width,
+                2,
+                req,
+                we,
+                addr,
+                wdata,
+                ack,
+                rdata,
+            ));
+            for (p, s) in [
+                (format!("{prefix}_req"), req),
+                (format!("{prefix}_we"), we),
+                (format!("{prefix}_addr"), addr),
+                (format!("{prefix}_wdata"), wdata),
+                (format!("{prefix}_ack"), ack),
+                (format!("{prefix}_rdata"), rdata),
+            ] {
+                map.push((p, s));
+            }
+        }
+    }
+    let map_refs: Vec<(&str, SignalId)> = map.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+    let n_pixels = pixels.len() as u64;
+    let dut = NetlistComponent::new("dut", design.netlist, sim.bus(), &map_refs)
+        .expect("design wires up");
+    sim.add_component(dut);
+    sim.add_component(VideoIn::new(
+        "video_decoder",
+        pixels,
+        params.data_width,
+        gap,
+        false,
+        vid_valid,
+        vid_data,
+    ));
+    let sink = sim.add_component(VideoOut::new(
+        "vga_coder",
+        out_len,
+        None,
+        vga_valid,
+        vga_data,
+    ));
+    sim.reset().unwrap();
+    let budget = n_pixels * u64::from(gap + 1) * 4 + 2000;
+    collect_first_frame(&mut sim, sink, budget).unwrap_or_else(|| {
+        panic!(
+            "no complete frame after {budget} cycles (partial: {} px)",
+            sim.component::<VideoOut>(sink).unwrap().partial().len()
+        )
+    })
+}
+
+/// Operations a container testbench can perform.
+#[derive(Debug, Clone, Copy)]
+pub enum QueueOp {
+    /// Push a value.
+    Push(u8),
+    /// Pop the front/top element.
+    Pop,
+}
+
+/// Proptest strategy over [`QueueOp`].
+pub fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![any::<u8>().prop_map(QueueOp::Push), Just(QueueOp::Pop)]
+}
+
+/// The interfaces and sink of one source → read-buffer → transform →
+/// write-buffer → sink pipeline built by [`build_transform_pipeline`].
+pub struct TransformPipeline {
+    /// Source stream (decoder side).
+    pub vin: StreamIface,
+    /// Iterator interface into the input buffer.
+    pub it_in: IterIface,
+    /// Iterator interface out of the engine.
+    pub it_out: IterIface,
+    /// Output stream (coder side).
+    pub vout: StreamIface,
+    /// The `VideoOut` sink component.
+    pub sink: ComponentId,
+}
+
+/// Builds the canonical streaming pipeline over 8-bit pixels with
+/// FIFO-backed buffers of depth 16. `tag` disambiguates signal and
+/// component names when several pipelines share one simulator.
+pub fn build_transform_pipeline(
+    sim: &mut Simulator,
+    tag: &str,
+    pixels: Vec<u64>,
+    gap: u32,
+    op: PixelOp,
+) -> TransformPipeline {
+    let n = pixels.len();
+    let vin = StreamIface::alloc(sim, &format!("vin{tag}"), 8).unwrap();
+    let it_in = IterIface::alloc(sim, &format!("iti{tag}"), 8).unwrap();
+    let it_out = IterIface::alloc(sim, &format!("ito{tag}"), 8).unwrap();
+    let vout = StreamIface::alloc(sim, &format!("vout{tag}"), 8).unwrap();
+    sim.add_component(VideoIn::new(
+        format!("src{tag}"),
+        pixels,
+        8,
+        gap,
+        false,
+        vin.valid,
+        vin.data,
+    ));
+    sim.add_component(ReadBufferFifo::new(format!("rb{tag}"), 16, 8, vin, it_in));
+    sim.add_component(TransformStreaming::new(
+        format!("eng{tag}"),
+        op,
+        PixelFormat::Gray8,
+        it_in,
+        it_out,
+        Some(n as u64),
+    ));
+    sim.add_component(WriteBufferFifo::new(format!("wb{tag}"), 16, it_out, vout));
+    let sink = sim.add_component(VideoOut::new(
+        format!("sink{tag}"),
+        n,
+        None,
+        vout.valid,
+        vout.data,
+    ));
+    TransformPipeline {
+        vin,
+        it_in,
+        it_out,
+        vout,
+        sink,
+    }
+}

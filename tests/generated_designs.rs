@@ -7,116 +7,12 @@
 //! experiment: the resource half (`hdp-synth`) is only meaningful if
 //! both styles actually work.
 
-use hdp::metagen::design::{generate, DesignKind, DesignParams, Style};
+mod common;
+
+use common::run_design;
+use hdp::metagen::design::{DesignKind, DesignParams, Style};
 use hdp::pattern::golden::{blur3x3, BlurBorder};
 use hdp::pattern::pixel::{Frame, PixelFormat};
-use hdp::sim::devices::{Sram, VideoIn, VideoOut};
-use hdp::sim::{NetlistComponent, SignalId, Simulator};
-
-/// Simulates a generated stream design on one frame and returns the
-/// collected output pixels.
-fn run_design(
-    kind: DesignKind,
-    style: Style,
-    params: DesignParams,
-    pixels: Vec<u64>,
-    gap: u32,
-    out_len: usize,
-) -> Vec<u64> {
-    let design = generate(kind, style, params).expect("design generates");
-    let mut sim = Simulator::new();
-    let vid_valid = sim.add_signal("vid_valid", 1).unwrap();
-    let vid_data = sim.add_signal("vid_data", params.data_width).unwrap();
-    let vga_valid = sim.add_signal("vga_valid", 1).unwrap();
-    let vga_data = sim.add_signal("vga_data", params.data_width).unwrap();
-    let mut map: Vec<(String, SignalId)> = vec![
-        ("vid_valid".into(), vid_valid),
-        ("vid_data".into(), vid_data),
-        ("vga_valid".into(), vga_valid),
-        ("vga_data".into(), vga_data),
-    ];
-    if kind == DesignKind::Saa2vga2 {
-        for prefix in ["im", "om"] {
-            let req = sim.add_signal(format!("{prefix}_req"), 1).unwrap();
-            let we = sim.add_signal(format!("{prefix}_we"), 1).unwrap();
-            let addr = sim
-                .add_signal(format!("{prefix}_addr"), params.addr_width)
-                .unwrap();
-            let wdata = sim
-                .add_signal(format!("{prefix}_wdata"), params.data_width)
-                .unwrap();
-            let ack = sim.add_signal(format!("{prefix}_ack"), 1).unwrap();
-            let rdata = sim
-                .add_signal(format!("{prefix}_rdata"), params.data_width)
-                .unwrap();
-            sim.add_component(Sram::new(
-                format!("sram_{prefix}"),
-                params.addr_width,
-                params.data_width,
-                2,
-                req,
-                we,
-                addr,
-                wdata,
-                ack,
-                rdata,
-            ));
-            for (p, s) in [
-                (format!("{prefix}_req"), req),
-                (format!("{prefix}_we"), we),
-                (format!("{prefix}_addr"), addr),
-                (format!("{prefix}_wdata"), wdata),
-                (format!("{prefix}_ack"), ack),
-                (format!("{prefix}_rdata"), rdata),
-            ] {
-                map.push((p, s));
-            }
-        }
-    }
-    let map_refs: Vec<(&str, SignalId)> = map.iter().map(|(n, s)| (n.as_str(), *s)).collect();
-    let n_pixels = pixels.len() as u64;
-    let dut = NetlistComponent::new("dut", design.netlist, sim.bus(), &map_refs)
-        .expect("design wires up");
-    sim.add_component(dut);
-    sim.add_component(VideoIn::new(
-        "video_decoder",
-        pixels,
-        params.data_width,
-        gap,
-        false,
-        vid_valid,
-        vid_data,
-    ));
-    let sink = sim.add_component(VideoOut::new(
-        "vga_coder",
-        out_len,
-        None,
-        vga_valid,
-        vga_data,
-    ));
-    sim.reset().unwrap();
-    let budget = n_pixels * u64::from(gap + 1) * 4 + 2000;
-    let mut remaining = budget;
-    while remaining > 0 {
-        let chunk = remaining.min(256);
-        sim.run(chunk).expect("simulation error");
-        remaining -= chunk;
-        if !sim.component::<VideoOut>(sink).unwrap().frames().is_empty() {
-            break;
-        }
-    }
-    sim.component::<VideoOut>(sink)
-        .unwrap()
-        .frames()
-        .first()
-        .cloned()
-        .unwrap_or_else(|| {
-            panic!(
-                "no complete frame after {budget} cycles (partial: {} px)",
-                sim.component::<VideoOut>(sink).unwrap().partial().len()
-            )
-        })
-}
 
 #[test]
 fn saa2vga1_pattern_copies_the_stream() {

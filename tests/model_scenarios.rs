@@ -3,6 +3,9 @@
 //! sharing one physical memory between containers through generated
 //! arbitration.
 
+mod common;
+
+use common::collect_first_frame;
 use hdp::pattern::algo::TransformSequenced;
 use hdp::pattern::golden::{self, PixelOp};
 use hdp::pattern::hw::{ArbiterPolicy, ReadBufferSram, SramArbiter, WriteBufferSram};
@@ -156,16 +159,8 @@ fn shared_sram_through_arbiter() {
         sim.add_component(WriteBufferSram::new("wbuffer", 64, 4096, it_out, vout, m1));
         let sink = sim.add_component(VideoOut::new("sink", n, None, vout.valid, vout.data));
         sim.reset().unwrap();
-        let mut remaining = 40_000u64;
-        while remaining > 0 {
-            sim.run(256).unwrap();
-            remaining -= 256;
-            if !sim.component::<VideoOut>(sink).unwrap().frames().is_empty() {
-                break;
-            }
-        }
-        let frames = sim.component::<VideoOut>(sink).unwrap().frames();
-        assert_eq!(frames.first().cloned(), Some(pixels), "{policy:?}");
+        let frame = collect_first_frame(&mut sim, sink, 40_000);
+        assert_eq!(frame, Some(pixels), "{policy:?}");
     }
 }
 

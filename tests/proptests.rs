@@ -5,27 +5,18 @@
 //! structural transformations (wrapper dissolution, width adaptation)
 //! are checked for behaviour preservation.
 
+mod common;
+
+use common::{build_transform_pipeline, queue_op, QueueOp};
 use hdp::hdl::LogicVector;
-use hdp::pattern::algo::TransformStreaming;
 use hdp::pattern::golden;
-use hdp::pattern::hw::{ReadBufferFifo, StackLifo, VectorBram, WriteBufferFifo};
+use hdp::pattern::hw::{ReadBufferFifo, StackLifo, VectorBram};
 use hdp::pattern::iface::{IfaceBundle, IterIface, RandomIterIface, StreamIface};
 use hdp::pattern::pixel::{join_pixel, split_pixel, PixelFormat};
-use hdp::sim::devices::{FifoCore, LifoCore, VideoIn, VideoOut};
+use hdp::sim::devices::{FifoCore, LifoCore, VideoOut};
 use hdp::sim::vcd::VcdRecorder;
 use hdp::sim::{SchedMode, SignalId, Simulator};
 use proptest::prelude::*;
-
-/// Operations a queue testbench can perform.
-#[derive(Debug, Clone, Copy)]
-enum QueueOp {
-    Push(u8),
-    Pop,
-}
-
-fn queue_op() -> impl Strategy<Value = QueueOp> {
-    prop_oneof![any::<u8>().prop_map(QueueOp::Push), Just(QueueOp::Pop),]
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -383,28 +374,16 @@ proptest! {
             let n = pixels.len();
             let mut sim = Simulator::new();
             sim.set_mode(mode);
-            let vin = StreamIface::alloc(&mut sim, "vin", 8).unwrap();
-            let it_in = IterIface::alloc(&mut sim, "it_in", 8).unwrap();
-            let it_out = IterIface::alloc(&mut sim, "it_out", 8).unwrap();
-            let vout = StreamIface::alloc(&mut sim, "vout", 8).unwrap();
-            sim.add_component(VideoIn::new(
-                "src", pixels.clone(), 8, gap, false, vin.valid, vin.data,
-            ));
-            sim.add_component(ReadBufferFifo::new("rb", 16, 8, vin, it_in));
-            sim.add_component(TransformStreaming::new(
-                "engine", op, PixelFormat::Gray8, it_in, it_out, Some(n as u64),
-            ));
-            sim.add_component(WriteBufferFifo::new("wb", 16, it_out, vout));
-            let sink = sim.add_component(VideoOut::new("sink", n, None, vout.valid, vout.data));
-            let mut watched = vin.signal_ids();
-            watched.extend(it_in.signal_ids());
-            watched.extend(it_out.signal_ids());
-            watched.extend(vout.signal_ids());
+            let p = build_transform_pipeline(&mut sim, "", pixels.clone(), gap, op);
+            let mut watched = p.vin.signal_ids();
+            watched.extend(p.it_in.signal_ids());
+            watched.extend(p.it_out.signal_ids());
+            watched.extend(p.vout.signal_ids());
             let rec = sim.add_component(VcdRecorder::new("vcd", watched));
             sim.reset().unwrap();
             sim.run((gap as u64 + 4) * n as u64 + 30).unwrap();
             let vcd = sim.component::<VcdRecorder>(rec).unwrap().render(sim.bus());
-            let frames = sim.component::<VideoOut>(sink).unwrap().frames().to_vec();
+            let frames = sim.component::<VideoOut>(p.sink).unwrap().frames().to_vec();
             (vcd, frames)
         };
         let (event_vcd, event_frames) = run(SchedMode::EventDriven);
@@ -525,25 +504,13 @@ proptest! {
             let mut sinks = Vec::new();
             let mut watched = Vec::new();
             for k in 0..copies {
-                let vin = StreamIface::alloc(&mut sim, &format!("vin{k}"), 8).unwrap();
-                let it_in = IterIface::alloc(&mut sim, &format!("iti{k}"), 8).unwrap();
-                let it_out = IterIface::alloc(&mut sim, &format!("ito{k}"), 8).unwrap();
-                let vout = StreamIface::alloc(&mut sim, &format!("vout{k}"), 8).unwrap();
-                sim.add_component(VideoIn::new(
-                    format!("src{k}"), pixels.clone(), 8, gap, false, vin.valid, vin.data,
-                ));
-                sim.add_component(ReadBufferFifo::new(format!("rb{k}"), 16, 8, vin, it_in));
-                sim.add_component(TransformStreaming::new(
-                    format!("eng{k}"), ops[k % ops.len()], PixelFormat::Gray8,
-                    it_in, it_out, Some(n as u64),
-                ));
-                sim.add_component(WriteBufferFifo::new(format!("wb{k}"), 16, it_out, vout));
-                sinks.push(sim.add_component(VideoOut::new(
-                    format!("sink{k}"), n, None, vout.valid, vout.data,
-                )));
-                watched.extend(vin.signal_ids());
-                watched.extend(it_out.signal_ids());
-                watched.extend(vout.signal_ids());
+                let p = build_transform_pipeline(
+                    &mut sim, &k.to_string(), pixels.clone(), gap, ops[k % ops.len()],
+                );
+                sinks.push(p.sink);
+                watched.extend(p.vin.signal_ids());
+                watched.extend(p.it_out.signal_ids());
+                watched.extend(p.vout.signal_ids());
             }
             let rec = sim.add_component(VcdRecorder::new("vcd", watched));
             sim.reset().unwrap();
@@ -587,22 +554,9 @@ proptest! {
             sim.set_mode(mode);
             sim.set_telemetry(level);
             for k in 0..copies {
-                let vin = StreamIface::alloc(&mut sim, &format!("vin{k}"), 8).unwrap();
-                let it_in = IterIface::alloc(&mut sim, &format!("iti{k}"), 8).unwrap();
-                let it_out = IterIface::alloc(&mut sim, &format!("ito{k}"), 8).unwrap();
-                let vout = StreamIface::alloc(&mut sim, &format!("vout{k}"), 8).unwrap();
-                sim.add_component(VideoIn::new(
-                    format!("src{k}"), pixels.clone(), 8, gap, false, vin.valid, vin.data,
-                ));
-                sim.add_component(ReadBufferFifo::new(format!("rb{k}"), 16, 8, vin, it_in));
-                sim.add_component(TransformStreaming::new(
-                    format!("eng{k}"), golden::PixelOp::Invert, PixelFormat::Gray8,
-                    it_in, it_out, Some(n as u64),
-                ));
-                sim.add_component(WriteBufferFifo::new(format!("wb{k}"), 16, it_out, vout));
-                sim.add_component(VideoOut::new(
-                    format!("sink{k}"), n, None, vout.valid, vout.data,
-                ));
+                build_transform_pipeline(
+                    &mut sim, &k.to_string(), pixels.clone(), gap, golden::PixelOp::Invert,
+                );
             }
             sim.reset().unwrap();
             sim.run((gap as u64 + 4) * n as u64 + 10).unwrap();
