@@ -1,8 +1,8 @@
 //! Scheduling-mode performance matrix, the start of the perf
 //! trajectory record: times the blur-filter frame workload under the
-//! full-sweep, event-driven and parallel schedulers, plus the
-//! multi-design batch runner at 1 and N worker threads, and writes the
-//! numbers to `BENCH_sched_modes.json`.
+//! full-sweep, event-driven, parallel and compiled schedulers, plus
+//! the multi-design batch runner at 1 and N worker threads, and writes
+//! the numbers to `BENCH_sched_modes.json`.
 //!
 //! Every configuration is asserted bit-identical against the
 //! full-sweep reference before any time is measured.
@@ -18,7 +18,7 @@ const WIDTH: usize = 32;
 const HEIGHT: usize = 8;
 const GAP: u32 = 1;
 const BATCH: usize = 8;
-const REPS: usize = 5;
+const REPS: usize = 20;
 
 fn build(
     frame: &Frame,
@@ -71,6 +71,7 @@ fn main() {
     for (label, mode) in [
         ("event", SchedMode::EventDriven),
         ("parallel", SchedMode::Parallel { threads }),
+        ("compiled", SchedMode::Compiled),
     ] {
         let (mut sim, sink) = build(&frame, mode, true);
         assert_eq!(
@@ -91,6 +92,7 @@ fn main() {
         ("full_sweep", SchedMode::FullSweep, false),
         ("event_driven", SchedMode::EventDriven, true),
         ("parallel", SchedMode::Parallel { threads }, true),
+        ("compiled", SchedMode::Compiled, true),
     ] {
         let ms = time_ms(|| {
             let (mut sim, sink) = build(&frame, mode, incremental);
@@ -155,6 +157,18 @@ fn main() {
         "  batch speedup {speedup:.2}x on {} threads (event-driven baseline)",
         batch[1].0
     );
+    let event_ms = single
+        .iter()
+        .find(|(l, _)| *l == "event_driven")
+        .expect("event timing recorded")
+        .1;
+    let compiled_ms = single
+        .iter()
+        .find(|(l, _)| *l == "compiled")
+        .expect("compiled timing recorded")
+        .1;
+    let compiled_speedup = event_ms / compiled_ms;
+    println!("  compiled speedup {compiled_speedup:.2}x vs event-driven (single sim)");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -189,7 +203,7 @@ fn main() {
             json,
             "    \"{label}\": {{\"evals\": {}, \"delta_passes\": {}, \"max_wake\": {}, \
              \"toggles\": {}, \"parallel_waves\": {}, \"inline_waves\": {}, \
-             \"fallback_settles\": {}, \"island_sizes\": [{}]}}{sep}",
+             \"fallback_settles\": {}, \"compiled_settles\": {}, \"island_sizes\": [{}]}}{sep}",
             stats.total_evals(),
             stats.passes,
             stats.max_wake,
@@ -197,10 +211,15 @@ fn main() {
             stats.parallel_waves,
             stats.inline_waves,
             stats.fallback_settles,
+            stats.compiled_settles,
             islands.join(","),
         );
     }
     json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"compiled_speedup_vs_event\": {compiled_speedup:.4},"
+    );
     let _ = writeln!(json, "  \"batch_speedup\": {speedup:.4},");
     let _ = writeln!(json, "  \"batch_threads\": {threads},");
     let _ = writeln!(json, "  \"host_threads\": {host}");

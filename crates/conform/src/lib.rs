@@ -19,11 +19,11 @@
 //!    text* ([`hdp_hdl::interp::VhdlInterp`]), so the comparison
 //!    covers the emitter as well as the netlist semantics.
 //!
-//! Diverging cases are shrunk greedily ([`shrink`]) to minimal
+//! Diverging cases are shrunk greedily ([`mod@shrink`]) to minimal
 //! reproducers and serialised as self-contained JSON documents
 //! ([`repro`]) that replay as regression tests.
 //!
-//! [`NetlistComponent`]: hdp_sim::netlist_sim::NetlistComponent
+//! [`NetlistComponent`]: hdp_sim::NetlistComponent
 //!
 //! # Example
 //!

@@ -1,6 +1,6 @@
 //! The oracle stack and the differential cycle engine.
 //!
-//! A design conforms when every oracle — the four scheduler/evaluator
+//! A design conforms when every oracle — the five scheduler/evaluator
 //! paths of `hdp-sim` plus the executable VHDL model of
 //! `hdp_hdl::interp` — produces bit-identical output-port traces for
 //! the same stimulus. Errors participate in the comparison too:
@@ -16,10 +16,11 @@ use rand::Rng;
 
 /// Display labels of the oracle stack, in comparison order. The
 /// first entry is the reference the others are compared against.
-pub const ORACLE_LABELS: [&str; 5] = [
+pub const ORACLE_LABELS: [&str; 6] = [
     "full_sweep",
     "event_driven",
     "parallel2",
+    "compiled",
     "levelized",
     "vhdl_interp",
 ];
@@ -298,7 +299,7 @@ fn phase_all(
 
 /// Runs `netlist` through the full oracle stack under `stim`.
 ///
-/// Returns `None` when the design conforms: all five oracles produce
+/// Returns `None` when the design conforms: all six oracles produce
 /// bit-identical four-state output traces (or all fail at the same
 /// cycle). Returns the first [`Divergence`] otherwise. Oracle
 /// *construction* failures (e.g. the VHDL interpreter rejecting the
@@ -311,6 +312,7 @@ pub fn check(netlist: &Netlist, stim: &Stimulus) -> Option<Divergence> {
         build_sim(netlist, SchedMode::FullSweep, true, stim),
         build_sim(netlist, SchedMode::EventDriven, true, stim),
         build_sim(netlist, SchedMode::Parallel { threads: 2 }, true, stim),
+        build_sim(netlist, SchedMode::Compiled, true, stim),
         build_sim(netlist, SchedMode::FullSweep, false, stim),
         build_vhdl(netlist, stim),
     ];

@@ -318,6 +318,46 @@ impl LogicVector {
     pub fn iter(&self) -> impl Iterator<Item = Bit> + '_ {
         (0..self.width()).map(|i| self.bit(i).expect("index within width"))
     }
+
+    /// The raw packed bit planes `(value, unknown, highz)`.
+    ///
+    /// This is the vector's storage representation: bit `i` of the
+    /// vector is `Z` if `highz` has bit `i` set, else `X` if `unknown`
+    /// has it set, else the `0`/`1` payload in `value`. Intended for
+    /// bulk storage layers (e.g. a packed signal arena) that want to
+    /// move whole vectors with word operations; round-trips through
+    /// [`LogicVector::from_raw_masks`].
+    #[must_use]
+    pub fn raw_masks(&self) -> (u64, u64, u64) {
+        (self.value, self.unknown, self.highz)
+    }
+
+    /// Rebuilds a vector from raw bit planes (see
+    /// [`LogicVector::raw_masks`]). Plane bits above `width` are
+    /// masked off; within the width, `highz` takes precedence over
+    /// `unknown`, which takes precedence over `value`, matching the
+    /// storage invariant `set` maintains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::InvalidWidth`] for an unsupported width.
+    pub fn from_raw_masks(
+        width: usize,
+        value: u64,
+        unknown: u64,
+        highz: u64,
+    ) -> Result<Self, HdlError> {
+        Self::check_width(width)?;
+        let m = mask(width);
+        let highz = highz & m;
+        let unknown = unknown & m & !highz;
+        Ok(Self {
+            width: width as u8,
+            value: value & m & !unknown & !highz,
+            unknown,
+            highz,
+        })
+    }
 }
 
 impl fmt::Display for LogicVector {
@@ -443,6 +483,29 @@ mod tests {
         v.set(3, Bit::Zero).unwrap();
         assert_eq!(v.bit(3).unwrap(), Bit::Zero);
         assert!(v.set(4, Bit::One).is_err());
+    }
+
+    #[test]
+    fn raw_masks_round_trip() {
+        for text in ["10XZ", "0000", "ZZZZ", "X1Z0"] {
+            let v = LogicVector::parse(text).unwrap();
+            let (value, unknown, highz) = v.raw_masks();
+            let back = LogicVector::from_raw_masks(v.width(), value, unknown, highz).unwrap();
+            assert_eq!(back, v, "{text}");
+        }
+    }
+
+    #[test]
+    fn from_raw_masks_normalises_overlapping_planes() {
+        // Z wins over X wins over the payload, and bits above the
+        // width are dropped — the same invariants `set` maintains.
+        let v = LogicVector::from_raw_masks(4, 0xFF, 0b0010, 0b0011).unwrap();
+        assert_eq!(v.to_string(), "\"11ZZ\"");
+        assert_eq!(v.bit(0).unwrap(), Bit::Z);
+        assert_eq!(v.bit(1).unwrap(), Bit::Z);
+        assert_eq!(v.bit(2).unwrap(), Bit::One);
+        assert_eq!(v.bit(3).unwrap(), Bit::One);
+        assert!(LogicVector::from_raw_masks(0, 0, 0, 0).is_err());
     }
 
     #[test]

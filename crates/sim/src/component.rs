@@ -126,6 +126,26 @@ pub trait Component {
     fn is_clocked(&self) -> bool {
         true
     }
+
+    /// The signals [`Component::eval`] may drive, when statically
+    /// known. The compiled scheduler
+    /// ([`crate::SchedMode::Compiled`]) unions this declaration with
+    /// the drives observed during its validation settle to complete
+    /// the write side of its dependency graph before a conditional
+    /// drive has ever fired; the other schedulers ignore it.
+    ///
+    /// The default, `None`, means "discover at runtime" and is always
+    /// safe: a drive on a signal the scheduler had not attributed to
+    /// this component merely invalidates the compiled schedule for
+    /// one settle. Declaring a superset of the real drive set is also
+    /// safe (it only adds dependency edges); omitting a driven signal
+    /// from a `Some` list is not an error but forfeits the guarantee
+    /// the declaration exists to provide. Like
+    /// [`Component::sensitivity`], the list must be stable for the
+    /// component's lifetime.
+    fn drives(&self) -> Option<Vec<SignalId>> {
+        None
+    }
 }
 
 impl<T: Component + ?Sized> Component for Box<T> {
@@ -155,5 +175,9 @@ impl<T: Component + ?Sized> Component for Box<T> {
 
     fn is_clocked(&self) -> bool {
         (**self).is_clocked()
+    }
+
+    fn drives(&self) -> Option<Vec<SignalId>> {
+        (**self).drives()
     }
 }

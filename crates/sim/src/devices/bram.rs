@@ -129,6 +129,10 @@ impl Component for Bram {
         // write ports are sampled at the clock edge.
         crate::Sensitivity::Signals(vec![])
     }
+
+    fn drives(&self) -> Option<Vec<SignalId>> {
+        Some(vec![self.rdata])
+    }
 }
 
 #[cfg(test)]

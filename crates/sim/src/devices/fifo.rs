@@ -139,6 +139,10 @@ impl Component for FifoCore {
         // sampled at the clock edge.
         crate::Sensitivity::Signals(vec![])
     }
+
+    fn drives(&self) -> Option<Vec<SignalId>> {
+        Some(vec![self.rdata, self.empty, self.full])
+    }
 }
 
 #[cfg(test)]

@@ -120,6 +120,10 @@ impl Component for LifoCore {
         // at the clock edge.
         crate::Sensitivity::Signals(vec![])
     }
+
+    fn drives(&self) -> Option<Vec<SignalId>> {
+        Some(vec![self.rdata, self.empty, self.full])
+    }
 }
 
 #[cfg(test)]

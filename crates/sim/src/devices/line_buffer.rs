@@ -157,6 +157,10 @@ impl Component for LineBuffer3 {
         // sampled at the clock edge.
         crate::Sensitivity::Signals(vec![])
     }
+
+    fn drives(&self) -> Option<Vec<SignalId>> {
+        Some(vec![self.avail, self.top, self.mid, self.bot, self.full])
+    }
 }
 
 #[cfg(test)]

@@ -221,6 +221,10 @@ impl Component for Sram {
         // and the address/data pins are sampled at the clock edge.
         crate::Sensitivity::Signals(vec![])
     }
+
+    fn drives(&self) -> Option<Vec<SignalId>> {
+        Some(vec![self.ack, self.rdata])
+    }
 }
 
 impl Sram {

@@ -129,6 +129,10 @@ impl Component for VideoIn {
         // A free-running source: eval drives purely from stream state.
         crate::Sensitivity::Signals(vec![])
     }
+
+    fn drives(&self) -> Option<Vec<SignalId>> {
+        Some(vec![self.valid, self.data])
+    }
 }
 
 /// A pixel-stream sink standing in for the VGA coder of Figure 1.
@@ -237,6 +241,10 @@ impl Component for VideoOut {
     fn sensitivity(&self) -> crate::Sensitivity {
         // A pure sink: eval drives nothing at all.
         crate::Sensitivity::Signals(vec![])
+    }
+
+    fn drives(&self) -> Option<Vec<SignalId>> {
+        Some(Vec::new())
     }
 }
 

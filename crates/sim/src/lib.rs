@@ -11,12 +11,15 @@
 //!   settling to a fixpoint (delta cycles), then a synchronous clock
 //!   edge. Settling is event-driven by default — only components
 //!   sensitive to a changed signal re-evaluate — with a full-sweep
-//!   reference mode and a multi-threaded wave mode
-//!   ([`SchedMode::Parallel`]) selectable via [`SchedMode`]. Parallel
+//!   reference mode, a multi-threaded wave mode
+//!   ([`SchedMode::Parallel`]) and an ahead-of-time compiled mode
+//!   ([`SchedMode::Compiled`]) selectable via [`SchedMode`]. Parallel
 //!   waves evaluate signal-disjoint islands of woken components on
 //!   worker threads against an immutable pass snapshot and commit
-//!   their drives in registration order, so every mode produces
-//!   bit-identical traces.
+//!   their drives in registration order; compiled mode freezes the
+//!   design into a levelized rank schedule over a bit-packed signal
+//!   arena and settles in one walk. Every mode produces bit-identical
+//!   traces.
 //! * [`SimBuilder`] — builder-style construction that freezes the
 //!   scheduler's sensitivity tables once and applies power-on reset.
 //! * [`Component`] — the trait every hardware model implements,
@@ -59,10 +62,115 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Choosing a scheduler
+//!
+//! All four [`SchedMode`]s run the same designs and produce
+//! bit-identical settled values; they differ only in how the settle
+//! phase finds the fixpoint. The default event-driven mode needs no
+//! setup:
+//!
+//! ```
+//! use hdp_sim::{SchedMode, SimBuilder, devices::FifoCore};
+//!
+//! # fn main() -> Result<(), hdp_sim::SimError> {
+//! let mut b = SimBuilder::new(); // SchedMode::EventDriven
+//! let push = b.signal("push", 1)?;
+//! let pop = b.signal("pop", 1)?;
+//! let wdata = b.signal("wdata", 8)?;
+//! let rdata = b.signal("rdata", 8)?;
+//! let empty = b.signal("empty", 1)?;
+//! let full = b.signal("full", 1)?;
+//! b.component(FifoCore::new("u_fifo", 16, 8, push, pop, wdata, rdata, empty, full));
+//! let mut sim = b.build()?;
+//! assert_eq!(sim.mode(), SchedMode::EventDriven);
+//! sim.step()?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The full sweep is the executable reference model, useful when
+//! debugging a suspected scheduling problem:
+//!
+//! ```
+//! use hdp_sim::{SchedMode, SimBuilder};
+//!
+//! # fn main() -> Result<(), hdp_sim::SimError> {
+//! let mut b = SimBuilder::with_mode(SchedMode::FullSweep);
+//! let clk_count = b.signal("unused", 4)?;
+//! let mut sim = b.build()?;
+//! sim.poke(clk_count, 3)?;
+//! sim.step()?;
+//! assert_eq!(sim.peek(clk_count)?.to_u64(), Some(3));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Parallel mode fans event-driven waves out over worker threads —
+//! worthwhile for designs with many independent islands:
+//!
+//! ```
+//! use hdp_sim::{SchedMode, SimBuilder, devices::Bram};
+//!
+//! # fn main() -> Result<(), hdp_sim::SimError> {
+//! let mut b = SimBuilder::new();
+//! let we = b.signal("we", 1)?;
+//! let waddr = b.signal("waddr", 4)?;
+//! let wdata = b.signal("wdata", 8)?;
+//! let raddr = b.signal("raddr", 4)?;
+//! let rdata = b.signal("rdata", 8)?;
+//! b.component(Bram::new("u_bram", 4, 8, we, waddr, wdata, raddr, rdata));
+//! b.poke(we, 0)?;
+//! b.poke(waddr, 0)?;
+//! b.poke(wdata, 0)?;
+//! b.poke(raddr, 0)?;
+//! b.threads(4); // SchedMode::Parallel { threads: 4 }
+//! let mut sim = b.build()?;
+//! assert_eq!(sim.mode(), SchedMode::Parallel { threads: 4 });
+//! sim.run(3)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Compiled mode freezes the design after a validation settle and
+//! replaces the delta loop with one walk of a levelized schedule —
+//! the fastest mode for fixed netlists simulated over many cycles.
+//! Designs it cannot levelize fall back to event-driven evaluation
+//! transparently ([`Simulator::compile_fallback_reason`] says why):
+//!
+//! ```
+//! use hdp_sim::{SchedMode, SimBuilder, devices::LifoCore};
+//!
+//! # fn main() -> Result<(), hdp_sim::SimError> {
+//! let mut b = SimBuilder::new();
+//! let push = b.signal("push", 1)?;
+//! let pop = b.signal("pop", 1)?;
+//! let wdata = b.signal("wdata", 8)?;
+//! let rdata = b.signal("rdata", 8)?;
+//! let empty = b.signal("empty", 1)?;
+//! let full = b.signal("full", 1)?;
+//! b.component(LifoCore::new("u_lifo", 8, 8, push, pop, wdata, rdata, empty, full));
+//! b.poke(push, 0)?;
+//! b.poke(pop, 0)?;
+//! b.poke(wdata, 0)?;
+//! b.compiled(); // SchedMode::Compiled
+//! let mut sim = b.build()?;
+//! assert_eq!(sim.mode(), SchedMode::Compiled);
+//! assert!(sim.compile()?, "a LIFO levelizes cleanly");
+//! sim.poke(push, 1)?;
+//! sim.poke(wdata, 0x5A)?;
+//! sim.step()?;
+//! sim.poke(push, 0)?;
+//! sim.settle()?;
+//! assert_eq!(sim.peek(rdata)?.to_u64(), Some(0x5A));
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod component;
 pub mod devices;
 mod error;

@@ -704,6 +704,16 @@ impl Component for NetlistComponent {
     fn is_clocked(&self) -> bool {
         !self.seq_cells.is_empty()
     }
+
+    fn drives(&self) -> Option<Vec<SignalId>> {
+        Some(
+            self.port_wiring
+                .iter()
+                .filter(|(_, dir, _, _)| *dir != PortDir::In)
+                .map(|&(_, _, _, signal)| signal)
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]

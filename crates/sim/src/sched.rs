@@ -1,6 +1,6 @@
 //! The clocked delta-cycle scheduler.
 //!
-//! Three interchangeable scheduling strategies share one set of
+//! Four interchangeable scheduling strategies share one set of
 //! semantics (see [`SchedMode`]):
 //!
 //! * **Event-driven** (default) — components declare the signals their
@@ -25,8 +25,19 @@
 //!   resolution order, dirty tracking, driver attribution in
 //!   [`SimError::NoConvergence`] reports and VCD traces are all
 //!   identical at every thread count.
+//! * **Compiled** — after a validation settle, the design is frozen
+//!   ahead of time: components are levelized into static ranks by
+//!   combinational depth and signals are flattened into a bit-packed
+//!   `u64`-word arena ([`crate::SchedMode::Compiled`]). Every
+//!   subsequent settle is a single in-order walk of the rank schedule
+//!   instead of a delta-cycle loop. Designs the levelizer cannot
+//!   order (combinational cycles, [`Sensitivity::Always`]) fall back
+//!   transparently — and permanently — to the event-driven scheduler;
+//!   an invalidated schedule (newly discovered driver, added
+//!   components) falls back for one settle and rebuilds.
 
-use crate::signal::{BusReader, DRIVER_POKE};
+use crate::compiled::{CompiledBus, CompiledSchedule, SignalArena};
+use crate::signal::{BusAccess as _, BusReader, DRIVER_POKE};
 use crate::telemetry::{
     ComponentStats, SignalStats, SimStats, Telemetry, TelemetryLevel, TraceEvent,
 };
@@ -68,6 +79,24 @@ pub enum SchedMode {
         /// Number of worker threads for wave evaluation.
         threads: usize,
     },
+    /// Ahead-of-time compiled evaluation: after a validation settle
+    /// the design is frozen into a levelized schedule (components
+    /// sorted into static ranks by longest combinational path) over a
+    /// bit-packed signal arena, and each settle becomes one in-order
+    /// walk — no delta-cycle loop, no per-pass wake bookkeeping.
+    /// Settled values, VCD traces, telemetry toggle totals and error
+    /// reports are bit-identical to [`SchedMode::EventDriven`].
+    ///
+    /// Falls back transparently to the event-driven scheduler:
+    /// *permanently* for designs that cannot be levelized — a
+    /// combinational cycle, or any component declaring
+    /// [`Sensitivity::Always`] (see
+    /// [`Simulator::compile_fallback_reason`]) — and for *one settle*
+    /// whenever the frozen schedule is invalidated (a drive by a
+    /// component the schedule had not seen drive that signal, added
+    /// components or signals, or direct device mutation through
+    /// [`Simulator::component_mut`]), after which it rebuilds.
+    Compiled,
 }
 
 impl SchedMode {
@@ -216,6 +245,24 @@ fn worker_eval(
     }
 }
 
+/// The frozen state of [`SchedMode::Compiled`]: the schedule itself
+/// (or the reason none could be built) plus the design snapshot it was
+/// built from, so any later growth of the design is detected cheaply.
+struct CompiledPlan {
+    /// `SignalBus::len` at build time.
+    n_sigs: usize,
+    /// Component count at build time.
+    n_comps: usize,
+    /// `SignalBus::driver_link_count` at build time. The count is
+    /// monotonic, so any newly discovered `(signal, driver)` pair —
+    /// including ones the compiled walk itself observes and records —
+    /// invalidates the plan.
+    links: usize,
+    /// The levelized schedule, or the human-readable reason the design
+    /// cannot be levelized (permanent event-driven fallback).
+    sched: Result<CompiledSchedule, String>,
+}
+
 /// A synchronous single-clock simulator.
 ///
 /// Owns the [`SignalBus`] and the component instances and advances
@@ -277,6 +324,10 @@ pub struct Simulator {
     worker_scratch: Vec<WorkerScratch>,
     /// Reusable merge buffer for ordered commits.
     commit_scratch: Vec<(usize, SignalId, LogicVector)>,
+    /// The frozen plan for [`SchedMode::Compiled`], built after a
+    /// validation settle. `None` until the first compiled settle or
+    /// after invalidation.
+    compiled: Option<CompiledPlan>,
     /// Telemetry counters (all mutation behind a level check; zero
     /// counter traffic at [`TelemetryLevel::Off`]).
     telemetry: Telemetry,
@@ -464,6 +515,18 @@ impl Simulator {
                     .collect()
             })
             .collect();
+        let compiled_ranks = self
+            .compiled
+            .as_ref()
+            .and_then(|p| p.sched.as_ref().ok())
+            .map(|s| s.rank_counts.clone())
+            .unwrap_or_default();
+        let mut notes = t.notes.clone();
+        if let Some(reason) = self.compile_fallback_reason() {
+            notes.push(format!(
+                "compiled: permanently falling back to event-driven — {reason}"
+            ));
+        }
         SimStats {
             level: t.level,
             steps: t.steps,
@@ -477,6 +540,9 @@ impl Simulator {
             parallel_waves: t.parallel_waves,
             inline_waves: t.inline_waves,
             fallback_settles: t.fallback_settles,
+            compiled_settles: t.compiled_settles,
+            compiled_ranks,
+            notes,
             island_sizes,
             worker_evals: t.worker_evals.clone(),
             last_wake_sets,
@@ -570,6 +636,7 @@ impl Simulator {
             SchedMode::FullSweep => self.settle_sweep(),
             SchedMode::EventDriven => self.settle_event(),
             SchedMode::Parallel { threads } => self.settle_parallel(threads),
+            SchedMode::Compiled => self.settle_compiled(),
         }
     }
 
@@ -990,6 +1057,382 @@ impl Simulator {
         }
     }
 
+    /// Compiled settle: one walk of the frozen rank schedule, with
+    /// transparent event-driven fallback whenever the plan is missing,
+    /// stale, unbuildable, or a full re-evaluation is pending.
+    fn settle_compiled(&mut self) -> Result<(), SimError> {
+        self.ensure_tables()?;
+        let fresh = self.compiled.as_ref().is_some_and(|p| {
+            p.n_sigs == self.bus.len()
+                && p.n_comps == self.components.len()
+                && p.links == self.bus.driver_link_count()
+        });
+        if !fresh {
+            // (Re)build: run one full event-driven settle so the bus's
+            // driver links record every writer the current state
+            // exercises, then freeze the schedule from the settled
+            // design.
+            self.compiled = None;
+            self.wake_all = true;
+            if self.telemetry.on() {
+                self.telemetry.fallback_settles += 1;
+            }
+            self.settle_event()?;
+            self.build_compiled();
+            return Ok(());
+        }
+        if self.wake_all {
+            // A full re-evaluation was requested (reset, mode switch,
+            // device mutation): the event scheduler handles it with
+            // identical semantics; the arena just needs a reload
+            // before the next compiled walk.
+            if let Some(Ok(sched)) = self.compiled.as_mut().map(|p| p.sched.as_mut()) {
+                sched.arena_stale = true;
+            }
+            if self.telemetry.on() {
+                self.telemetry.fallback_settles += 1;
+            }
+            return self.settle_event();
+        }
+        let mut plan = self.compiled.take().expect("freshness implies a plan");
+        let res = match &mut plan.sched {
+            Err(_) => {
+                // Permanent fallback (cycle / Always): event-driven
+                // with the same observable semantics.
+                if self.telemetry.on() {
+                    self.telemetry.fallback_settles += 1;
+                }
+                self.settle_event()
+            }
+            Ok(sched) => match self.run_compiled(sched) {
+                Ok(true) => Ok(()),
+                Ok(false) => {
+                    // The walk observed a drive the schedule was not
+                    // built with. Nothing was committed; record the
+                    // links (bumping the link count so the stale plan
+                    // is rebuilt next settle) and re-run this settle
+                    // event-driven from the still-pending wake state.
+                    sched.arena_stale = true;
+                    for &(slot, driver) in &sched.new_links {
+                        self.bus.note_driver(slot, driver);
+                    }
+                    if self.telemetry.on() {
+                        self.telemetry.fallback_settles += 1;
+                        self.telemetry.note_once(
+                            "compiled: schedule invalidated by a newly discovered driver; \
+                             settle re-ran event-driven and the schedule will be rebuilt",
+                        );
+                    }
+                    self.settle_event()
+                }
+                Err(e) => {
+                    sched.arena_stale = true;
+                    for &(slot, driver) in &sched.new_links {
+                        self.bus.note_driver(slot, driver);
+                    }
+                    Err(e)
+                }
+            },
+        };
+        self.compiled = Some(plan);
+        res
+    }
+
+    /// Executes one settle as a single walk of the levelized schedule.
+    ///
+    /// Returns `Ok(true)` on success (changes committed to the bus),
+    /// `Ok(false)` if the walk discovered a driver the schedule was
+    /// not built with (nothing committed; caller falls back), or the
+    /// first component error (nothing committed).
+    ///
+    /// Correctness of the single pass: every reader of a signal is
+    /// ranked strictly above all of the signal's writers, and `eval`
+    /// is required to be a pure function of signal values and
+    /// registered state — so by the time a component evaluates, every
+    /// input it can observe already has its fixpoint value, and one
+    /// rank-ordered walk reaches the same fixpoint the delta loop
+    /// would. Multi-driver resolution folds with the same
+    /// first-drive-replaces / later-drives-resolve rule as the bus,
+    /// and [`hdp_hdl::LogicVector::resolve`] is commutative and
+    /// associative, so fold order cannot change settled values.
+    fn run_compiled(&mut self, sched: &mut CompiledSchedule) -> Result<bool, SimError> {
+        if sched.arena_stale {
+            sched.arena.load_from(&self.bus);
+            sched.arena_stale = false;
+        }
+        sched.begin_settle();
+        let telemetry_on = self.telemetry.on();
+        if telemetry_on {
+            self.telemetry.ensure_components(self.components.len());
+        }
+        let mut evaluated: Vec<usize> = Vec::new();
+        {
+            let Simulator {
+                components,
+                bus,
+                pokes,
+                watchers,
+                always,
+                seeds,
+                poked_signals,
+                telemetry,
+                ..
+            } = self;
+            // Wake set: pending seeds (tick aftermath), watchers of
+            // poked signals, and the always/promoted list. Peeked, not
+            // drained — on fallback the event settle must still see
+            // them.
+            for &i in seeds.iter() {
+                sched.wake(i);
+            }
+            for id in poked_signals.iter() {
+                for &w in &watchers[id.index()] {
+                    sched.wake(w);
+                }
+            }
+            for &i in always.iter() {
+                sched.wake(i);
+            }
+            // Testbench pokes land first, with replace semantics, just
+            // as they open every event-driven pass.
+            {
+                let mut cb = CompiledBus {
+                    sched: &mut *sched,
+                    bus,
+                    driver: DRIVER_POKE,
+                    telemetry: telemetry_on,
+                };
+                for (id, value) in pokes.iter() {
+                    cb.drive(*id, *value)?;
+                }
+            }
+            let mut cursor = 0usize;
+            while cursor < sched.changed.len() {
+                let slot = sched.changed[cursor];
+                cursor += 1;
+                for &w in &watchers[slot] {
+                    sched.wake(w);
+                }
+            }
+            // The rank walk. Readers rank above writers, so waking a
+            // watcher always targets a component later in the order.
+            for k in 0..sched.order.len() {
+                let i = sched.order[k] as usize;
+                if !sched.is_woken(i) {
+                    continue;
+                }
+                if telemetry_on {
+                    evaluated.push(i);
+                }
+                let started = telemetry.timed().then(Instant::now);
+                let res = {
+                    let mut cb = CompiledBus {
+                        sched: &mut *sched,
+                        bus,
+                        driver: i,
+                        telemetry: telemetry_on,
+                    };
+                    components[i].eval(&mut cb)
+                };
+                if telemetry_on {
+                    let dur = started.map_or(0, |t| {
+                        u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                    });
+                    telemetry.record_eval(i, dur);
+                    if started.is_some() {
+                        telemetry.push_span(TraceEvent {
+                            name: components[i].name().to_owned(),
+                            cat: "eval",
+                            ts_ns: telemetry.now_ns().saturating_sub(dur),
+                            dur_ns: dur,
+                            tid: 0,
+                        });
+                    }
+                }
+                res?;
+                if sched.stale {
+                    return Ok(false);
+                }
+                while cursor < sched.changed.len() {
+                    let slot = sched.changed[cursor];
+                    cursor += 1;
+                    for &w in &watchers[slot] {
+                        sched.wake(w);
+                    }
+                }
+            }
+        }
+        // Commit: import the net per-settle changes onto the live bus
+        // so peeks, VCD monitors and the tick phase observe them with
+        // the usual dirty bookkeeping.
+        self.bus.begin_pass();
+        for idx in 0..sched.changed.len() {
+            let slot = sched.changed[idx];
+            let v = sched.arena.get(slot);
+            if self.bus.read(SignalId(slot))? != v {
+                self.bus.sync_compiled(slot, v, sched.changer[slot]);
+            }
+        }
+        for (slot, n) in sched.take_drive_counts() {
+            self.bus.add_drives(slot, n);
+        }
+        if telemetry_on {
+            self.telemetry.settles += 1;
+            self.telemetry.compiled_settles += 1;
+            self.telemetry.record_pass(&evaluated);
+            self.telemetry.max_passes = self.telemetry.max_passes.max(1);
+            self.bus.count_pass_toggles();
+        }
+        self.seeds.clear();
+        self.poked_signals.clear();
+        Ok(true)
+    }
+
+    /// Freezes the current (settled) design into a [`CompiledPlan`]:
+    /// levelizes the components if possible, records the reason if
+    /// not, and snapshots the design shape for staleness detection.
+    fn build_compiled(&mut self) {
+        let plan = CompiledPlan {
+            n_sigs: self.bus.len(),
+            n_comps: self.components.len(),
+            links: self.bus.driver_link_count(),
+            sched: self.try_levelize(),
+        };
+        self.compiled = Some(plan);
+    }
+
+    /// Attempts to levelize the design: writers per signal are the
+    /// drivers the bus observed (the build settle evaluated every
+    /// component once) unioned with each component's declared
+    /// [`Component::drives`] — the declaration covers conditional
+    /// drives that have not fired yet. Readers come from the
+    /// sensitivity tables. Kahn's algorithm with longest-path ranks
+    /// then orders components by combinational depth; any cycle (or an
+    /// [`Sensitivity::Always`] component, whose reads are unknown)
+    /// makes the design non-levelizable.
+    fn try_levelize(&self) -> Result<CompiledSchedule, String> {
+        let n = self.components.len();
+        if self.has_always {
+            let name = self
+                .components
+                .iter()
+                .find(|c| matches!(c.sensitivity(), Sensitivity::Always))
+                .map_or_else(|| "?".to_owned(), |c| c.name().to_owned());
+            return Err(format!(
+                "component `{name}` declares Sensitivity::Always (undeclared reads), \
+                 so no static evaluation order is safe"
+            ));
+        }
+        let mut writers: Vec<Vec<usize>> = vec![Vec::new(); self.bus.len()];
+        for (s, ws) in writers.iter_mut().enumerate() {
+            for &d in self.bus.slot_drivers(s) {
+                if d != DRIVER_POKE && d < n {
+                    ws.push(d);
+                }
+            }
+        }
+        for (i, c) in self.components.iter().enumerate() {
+            if let Some(declared) = c.drives() {
+                for id in declared {
+                    if let Some(ws) = writers.get_mut(id.index()) {
+                        if !ws.contains(&i) {
+                            ws.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        let mut indeg = vec![0usize; n];
+        let mut edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (s, ws) in writers.iter().enumerate() {
+            for &w in ws {
+                for &r in &self.watchers[s] {
+                    if r == w {
+                        return Err(format!(
+                            "combinational cycle: `{}` reads a signal it drives (`{}`)",
+                            self.components[w].name(),
+                            self.bus.name(SignalId(s)).unwrap_or("?")
+                        ));
+                    }
+                    edges[w].push(u32::try_from(r).unwrap_or(u32::MAX));
+                    indeg[r] += 1;
+                }
+            }
+        }
+        let mut rank = vec![0usize; n];
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let w = queue[head];
+            head += 1;
+            for &r in &edges[w] {
+                let r = r as usize;
+                rank[r] = rank[r].max(rank[w] + 1);
+                indeg[r] -= 1;
+                if indeg[r] == 0 {
+                    queue.push(r);
+                }
+            }
+        }
+        if queue.len() < n {
+            let stuck: Vec<String> = (0..n)
+                .filter(|&i| indeg[i] > 0)
+                .take(4)
+                .map(|i| format!("`{}`", self.components[i].name()))
+                .collect();
+            let extra = n - queue.len() - stuck.len().min(n - queue.len());
+            let more = if extra > 0 {
+                format!(" (+{extra} more)")
+            } else {
+                String::new()
+            };
+            return Err(format!(
+                "combinational cycle through {}{more}",
+                stuck.join(", ")
+            ));
+        }
+        let mut order: Vec<u32> = (0..u32::try_from(n).unwrap_or(u32::MAX)).collect();
+        order.sort_by_key(|&i| (rank[i as usize], i));
+        let mut rank_counts = vec![0u64; rank.iter().copied().max().map_or(0, |m| m + 1)];
+        for &r in &rank {
+            rank_counts[r] += 1;
+        }
+        let arena = SignalArena::build(&self.bus);
+        Ok(CompiledSchedule::new(arena, order, rank_counts))
+    }
+
+    /// Switches to [`SchedMode::Compiled`] and builds the schedule
+    /// immediately (the build settle runs now rather than lazily at
+    /// the next settle). Returns whether a compiled schedule is
+    /// active; `false` means the design cannot be levelized and every
+    /// settle will transparently use the event-driven scheduler — see
+    /// [`Simulator::compile_fallback_reason`] for why. Results are
+    /// bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the validation settle.
+    pub fn compile(&mut self) -> Result<bool, SimError> {
+        self.set_mode(SchedMode::Compiled);
+        self.settle()?;
+        // The wake-all fallback path defers the build to the next
+        // settle; force it now so callers get a definitive answer.
+        if self.compiled.is_none() {
+            self.build_compiled();
+        }
+        Ok(self.compiled.as_ref().is_some_and(|p| p.sched.is_ok()))
+    }
+
+    /// Why [`SchedMode::Compiled`] permanently fell back to
+    /// event-driven evaluation, if it did. `None` while a compiled
+    /// schedule is active, or before one was ever built.
+    #[must_use]
+    pub fn compile_fallback_reason(&self) -> Option<&str> {
+        self.compiled
+            .as_ref()
+            .and_then(|p| p.sched.as_ref().err().map(String::as_str))
+    }
+
     /// Rebuilds the component islands if the component set, signal set
     /// or discovered driver links changed since the last build.
     ///
@@ -1141,7 +1584,7 @@ impl Simulator {
                     c.tick(&mut self.bus)?;
                 }
             }
-            SchedMode::EventDriven | SchedMode::Parallel { .. } => {
+            SchedMode::EventDriven | SchedMode::Parallel { .. } | SchedMode::Compiled => {
                 for idx in 0..self.clocked.len() {
                     let i = self.clocked[idx];
                     self.bus.set_driver(i);
@@ -1152,6 +1595,20 @@ impl Simulator {
                 self.seeds.extend_from_slice(&self.clocked);
                 for slot in self.bus.dirty_slots() {
                     self.seeds.extend_from_slice(&self.watchers[slot]);
+                }
+                // Keep the compiled arena coherent incrementally: a
+                // tick is allowed to drive signals directly on the
+                // bus, and reloading the whole arena every cycle would
+                // cost more than the compiled walk saves.
+                if self.mode == SchedMode::Compiled {
+                    if let Some(Ok(sched)) = self.compiled.as_mut().map(|p| p.sched.as_mut()) {
+                        if !sched.arena_stale {
+                            for slot in self.bus.dirty_slots() {
+                                let v = self.bus.read(SignalId(slot))?;
+                                sched.arena.set(slot, v);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -1282,6 +1739,15 @@ impl SimBuilder {
         self
     }
 
+    /// Switches to [`SchedMode::Compiled`]: after the power-on settle
+    /// in [`SimBuilder::build`], the design is frozen into a levelized
+    /// rank schedule over a bit-packed signal arena, falling back to
+    /// event-driven evaluation wherever that is unsafe.
+    pub fn compiled(&mut self) -> &mut Self {
+        self.sim.mode = SchedMode::Compiled;
+        self
+    }
+
     /// Enables telemetry at `level` from the very first settle (the
     /// power-on reset in [`SimBuilder::build`] is already counted).
     pub fn telemetry(&mut self, level: TelemetryLevel) -> &mut Self {
@@ -1330,11 +1796,12 @@ mod tests {
     use std::sync::Arc;
 
     /// The scheduling modes every semantics test must agree across.
-    const ALL_MODES: [SchedMode; 4] = [
+    const ALL_MODES: [SchedMode; 5] = [
         SchedMode::EventDriven,
         SchedMode::FullSweep,
         SchedMode::Parallel { threads: 1 },
         SchedMode::Parallel { threads: 4 },
+        SchedMode::Compiled,
     ];
 
     /// A register: q <= d on every edge.
@@ -1714,9 +2181,11 @@ mod tests {
         sim.run(3).unwrap();
         sim.set_mode(SchedMode::parallel());
         sim.run(3).unwrap();
+        sim.set_mode(SchedMode::Compiled);
+        sim.run(3).unwrap();
         sim.set_mode(SchedMode::EventDriven);
         sim.run(3).unwrap();
-        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(12));
+        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(15));
     }
 
     /// Builds `n` independent counters (islands) in one simulator.
@@ -1947,6 +2416,7 @@ mod tests {
             SchedMode::FullSweep,
             SchedMode::Parallel { threads: 2 },
             SchedMode::Parallel { threads: 4 },
+            SchedMode::Compiled,
         ] {
             let (mut sim, sels) = oscillator_farm(mode, n);
             for sel in &sels {
@@ -2134,5 +2604,198 @@ mod tests {
         let stats = sim.stats();
         assert!(stats.settles > 0, "power-on reset settle is counted");
         assert!(stats.total_evals() > 0);
+    }
+
+    #[test]
+    fn compile_levelizes_a_counter_and_reports_ranks() {
+        let (mut sim, q) = counter_sim(SchedMode::Compiled);
+        sim.set_telemetry(TelemetryLevel::Counters);
+        assert!(sim.compile().unwrap(), "a registered counter levelizes");
+        assert!(sim.compile_fallback_reason().is_none());
+        sim.run(10).unwrap();
+        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(10));
+        let stats = sim.stats();
+        assert!(stats.compiled_settles > 0, "settles use the rank walk");
+        // Reg (reads nothing) at rank 0, Inc (reads q) at rank 1.
+        assert_eq!(stats.compiled_ranks, vec![1, 1]);
+        assert!(
+            stats.notes.is_empty(),
+            "no fallback notes: {:?}",
+            stats.notes
+        );
+        assert!(stats.report().contains("rank-walk settles"));
+    }
+
+    #[test]
+    fn compiled_falls_back_permanently_on_combinational_cycle() {
+        // The gated oscillator pair is a static cycle (a reads x and
+        // drives y; b reads y and drives x) even while quiescent.
+        let (mut sim, sels) = oscillator_farm(SchedMode::Compiled, 1);
+        sim.set_telemetry(TelemetryLevel::Counters);
+        assert!(!sim.compile().unwrap(), "a static cycle cannot levelize");
+        let reason = sim.compile_fallback_reason().unwrap();
+        assert!(reason.contains("combinational cycle"), "{reason}");
+        // The fallback is transparent: runs keep working and results
+        // are bit-identical to a plain event-driven simulation.
+        let (mut reference, ref_sels) = oscillator_farm(SchedMode::EventDriven, 1);
+        sim.run(5).unwrap();
+        reference.run(5).unwrap();
+        assert_eq!(
+            sim.peek(sels[0]).unwrap(),
+            reference.peek(ref_sels[0]).unwrap()
+        );
+        let stats = sim.stats();
+        assert_eq!(stats.compiled_settles, 0, "no rank walks ever ran");
+        assert!(stats.fallback_settles > 0);
+        assert!(
+            stats
+                .notes
+                .iter()
+                .any(|n| n.contains("permanently falling back")),
+            "stats must surface the reason: {:?}",
+            stats.notes
+        );
+    }
+
+    #[test]
+    fn compiled_falls_back_permanently_on_always_sensitivity() {
+        struct Sweeper {
+            y: SignalId,
+        }
+        impl Component for Sweeper {
+            fn name(&self) -> &str {
+                "sweeper"
+            }
+            fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
+                bus.drive_u64(self.y, 1)
+            }
+            fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+                Ok(())
+            }
+            // Default sensitivity: Sensitivity::Always.
+        }
+        let mut sim = Simulator::with_mode(SchedMode::Compiled);
+        let y = sim.add_signal("y", 1).unwrap();
+        sim.add_component(Sweeper { y });
+        sim.reset().unwrap();
+        assert!(!sim.compile().unwrap());
+        let reason = sim.compile_fallback_reason().unwrap();
+        assert!(reason.contains("Sensitivity::Always"), "{reason}");
+        assert!(reason.contains("sweeper"), "{reason}");
+        sim.run(3).unwrap();
+        assert_eq!(sim.peek(y).unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn compiled_rebuilds_after_new_driver_discovery() {
+        /// Drives `y` only while `en` is high — invisible to the
+        /// schedule build when constructed with `en` low, and with no
+        /// `drives()` declaration to warn the levelizer.
+        struct LateDriver {
+            en: SignalId,
+            y: SignalId,
+        }
+        impl Component for LateDriver {
+            fn name(&self) -> &str {
+                "late"
+            }
+            fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
+                if bus.read(self.en)?.to_u64() == Some(1) {
+                    bus.drive_u64(self.y, 1)?;
+                }
+                Ok(())
+            }
+            fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+                Ok(())
+            }
+            fn sensitivity(&self) -> Sensitivity {
+                Sensitivity::Signals(vec![self.en])
+            }
+            fn is_clocked(&self) -> bool {
+                false
+            }
+        }
+        let mut sim = Simulator::with_mode(SchedMode::Compiled);
+        let en = sim.add_signal("en", 1).unwrap();
+        let y = sim.add_signal("y", 1).unwrap();
+        sim.add_component(LateDriver { en, y });
+        sim.poke(en, 0).unwrap();
+        sim.set_telemetry(TelemetryLevel::Counters);
+        sim.reset().unwrap();
+        assert!(
+            sim.compile().unwrap(),
+            "levelizes while the drive is hidden"
+        );
+        // Enabling the driver mid-run invalidates the schedule: the
+        // walk aborts without committing, the settle re-runs
+        // event-driven, and the link is recorded for the rebuild.
+        sim.poke(en, 1).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek(y).unwrap().to_u64(), Some(1));
+        let notes = sim.stats().notes;
+        assert!(
+            notes.iter().any(|n| n.contains("newly discovered driver")),
+            "{notes:?}"
+        );
+        // Next settle rebuilds the plan (event-driven), the one after
+        // walks the rebuilt schedule.
+        sim.settle().unwrap();
+        let before = sim.stats().compiled_settles;
+        sim.settle().unwrap();
+        assert!(sim.stats().compiled_settles > before, "rank walks resume");
+        assert!(sim.compile_fallback_reason().is_none());
+    }
+
+    #[test]
+    fn compiled_vcd_trace_is_bit_identical_to_event_driven() {
+        let render = |mode: SchedMode| -> String {
+            let mut sim = Simulator::with_mode(mode);
+            let q = sim.add_signal("q", 8).unwrap();
+            let d = sim.add_signal("d", 8).unwrap();
+            sim.add_component(Reg {
+                name: "r".into(),
+                d,
+                q,
+                state: 0,
+            });
+            sim.add_component(Inc {
+                name: "i".into(),
+                a: q,
+                y: d,
+                evals: None,
+            });
+            let rec = sim.add_component(crate::vcd::VcdRecorder::new("vcd", vec![q, d]));
+            sim.reset().unwrap();
+            if mode == SchedMode::Compiled {
+                assert!(sim.compile().unwrap());
+            }
+            sim.run(8).unwrap();
+            sim.component::<crate::vcd::VcdRecorder>(rec)
+                .unwrap()
+                .render(sim.bus())
+        };
+        assert_eq!(render(SchedMode::Compiled), render(SchedMode::EventDriven));
+    }
+
+    #[test]
+    fn compiled_toggles_match_event_driven() {
+        let runs: Vec<SimStats> = [SchedMode::EventDriven, SchedMode::Compiled]
+            .into_iter()
+            .map(|mode| {
+                let (mut sim, _) = multi_counter_sim(mode, 8);
+                sim.set_telemetry(TelemetryLevel::Counters);
+                sim.run(25).unwrap();
+                sim.stats()
+            })
+            .collect();
+        let (reference, compiled) = (&runs[0], &runs[1]);
+        assert_eq!(compiled.total_toggles(), reference.total_toggles());
+        for (s, rs) in compiled.signals.iter().zip(&reference.signals) {
+            assert_eq!(
+                (s.name.as_str(), s.toggles),
+                (rs.name.as_str(), rs.toggles),
+                "settled toggle activity is mode-invariant"
+            );
+        }
     }
 }

@@ -374,6 +374,51 @@ impl SignalBus {
         let s = &self.slots[slot];
         (s.name.as_str(), s.toggles, s.drives)
     }
+
+    /// Imports one settled value computed by the compiled scheduler's
+    /// arena walk. The compiled settle resolves multi-driver conflicts
+    /// inside its own arena and commits only the net per-settle change,
+    /// so this bypasses the per-pass resolve path: it snapshots
+    /// `prev_value`, installs the new value and raises the same
+    /// written/changed/dirty bookkeeping a [`SignalBus::drive`] would,
+    /// keeping `dirty_slots` (and thus toggle counting and tick wake
+    /// seeding) identical in shape to an event-driven pass.
+    pub(crate) fn sync_compiled(&mut self, slot: usize, value: LogicVector, changer: usize) {
+        let s = &mut self.slots[slot];
+        s.prev_value = s.value;
+        s.value = value;
+        s.written_this_pass = true;
+        s.changed = true;
+        s.queued_dirty = true;
+        s.last_changer = changer;
+        self.touched.push(slot);
+        self.dirty.push(slot);
+    }
+
+    /// Credits `n` drive events to a slot's telemetry counter. The
+    /// compiled scheduler batches its per-settle drive counts through
+    /// here because its drives land in the arena, not on the bus.
+    pub(crate) fn add_drives(&mut self, slot: usize, n: u64) {
+        if self.telemetry {
+            self.slots[slot].drives += n;
+        }
+    }
+
+    /// Records a `(slot, driver)` link observed by the compiled
+    /// scheduler outside a bus drive. Bumps the monotonic link count
+    /// (invalidating schedules snapshotted against the old count) and
+    /// feeds the shared-slot promotion queue exactly as a live
+    /// [`SignalBus::drive`] would.
+    pub(crate) fn note_driver(&mut self, slot: usize, driver: usize) {
+        let s = &mut self.slots[slot];
+        if !s.drivers.contains(&driver) {
+            s.drivers.push(driver);
+            self.driver_links += 1;
+            if s.drivers.len() == 2 {
+                self.new_shared.push(slot);
+            }
+        }
+    }
 }
 
 impl BusAccess for SignalBus {

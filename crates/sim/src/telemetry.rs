@@ -34,6 +34,14 @@
 //! scheduler's wake sets); `FullSweep` evaluates every component in
 //! every pass by definition, so its eval counts are the upper bound
 //! the event scheduler is measured against.
+//!
+//! [`crate::SchedMode::Compiled`] settles in a single rank walk, so it
+//! has no delta passes to count per-pass activity against: each
+//! compiled settle counts as one pass, toggles credit the *net*
+//! per-settle value change (identical to the other modes except in
+//! transient multi-pass oscillations that settle back to their
+//! starting value), and eval/drive counts are lower by design — that
+//! reduction is the mode's speedup, reported rather than hidden.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -155,8 +163,20 @@ pub struct SimStats {
     pub inline_waves: u64,
     /// Parallel-mode settles that fell back to the sequential event
     /// scheduler (validation settles, `Sensitivity::Always` designs,
-    /// `threads <= 1`).
+    /// `threads <= 1`), plus compiled-mode settles that fell back
+    /// (build/validation settles, invalidated schedules, designs that
+    /// cannot be levelized).
     pub fallback_settles: u64,
+    /// Settles executed as a single compiled rank walk
+    /// ([`crate::SchedMode::Compiled`]).
+    pub compiled_settles: u64,
+    /// Component count per levelized rank of the active compiled
+    /// schedule (index = rank; empty when no compiled schedule is
+    /// active).
+    pub compiled_ranks: Vec<u64>,
+    /// One-line scheduler notes (fallback reasons, schedule
+    /// invalidations), deduplicated.
+    pub notes: Vec<String>,
     /// Component count per connectivity island, by island, from the
     /// current partition (empty until a parallel partition is built).
     pub island_sizes: Vec<u64>,
@@ -241,6 +261,18 @@ impl SimStats {
                 "  parallel: {} waves fanned out, {} inline, {} fallback settles",
                 self.parallel_waves, self.inline_waves, self.fallback_settles
             );
+        }
+        if self.compiled_settles > 0 || !self.compiled_ranks.is_empty() {
+            let _ = writeln!(
+                out,
+                "  compiled: {} rank-walk settles, {} ranks (components per rank: {:?})",
+                self.compiled_settles,
+                self.compiled_ranks.len(),
+                self.compiled_ranks
+            );
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
         }
         if !self.island_sizes.is_empty() {
             let _ = writeln!(
@@ -367,6 +399,10 @@ pub(crate) struct Telemetry {
     pub(crate) parallel_waves: u64,
     pub(crate) inline_waves: u64,
     pub(crate) fallback_settles: u64,
+    pub(crate) compiled_settles: u64,
+    /// Deduplicated one-line scheduler notes (fallbacks,
+    /// invalidations) surfaced in [`SimStats::notes`].
+    pub(crate) notes: Vec<String>,
     pub(crate) worker_evals: Vec<u64>,
     /// Ring of the last few wake sets (component indices).
     pub(crate) wake_ring: VecDeque<Vec<usize>>,
@@ -455,6 +491,15 @@ impl Telemetry {
             evs.truncate(room);
         }
         self.trace.append(evs);
+    }
+
+    /// Records a scheduler note, skipping exact duplicates so a
+    /// recurring condition (e.g. a schedule invalidated every settle)
+    /// produces one line, not thousands.
+    pub(crate) fn note_once(&mut self, note: &str) {
+        if !self.notes.iter().any(|n| n == note) {
+            self.notes.push(note.to_owned());
+        }
     }
 
     /// Records a worker-slot evaluation total from a parallel wave.

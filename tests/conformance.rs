@@ -1,7 +1,7 @@
 //! Fixed-seed differential conformance sweep.
 //!
 //! Samples 200 designs from the metagen design space and demands that
-//! all five oracles — three simulator scheduling modes, the levelized
+//! all six oracles — four simulator scheduling modes, the levelized
 //! netlist path and the VHDL-text interpreter — agree bit-for-bit on
 //! every output, every cycle. This is the committed, deterministic
 //! slice of what the `conform` fuzz binary explores with arbitrary
