@@ -4,7 +4,7 @@
 //! comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hdp_bench::{build_design_sim, build_design_sim_scheduled, run_design_batch, run_design_sim};
+use hdp_bench::{build_design_sim, run_design_batch, run_design_sim, DesignSimSpec};
 use hdp_core::golden::PixelOp;
 use hdp_core::model::{Algorithm, VideoPipelineModel};
 use hdp_core::pixel::{Frame, PixelFormat};
@@ -23,14 +23,15 @@ fn bench_netlist_sim(c: &mut Criterion) {
     ] {
         group.bench_function(kind.label().replace(' ', ""), |b| {
             b.iter(|| {
-                let (mut sim, sink) = build_design_sim(
+                let spec = DesignSimSpec::new(
                     kind,
                     Style::Pattern,
                     DesignParams::small(32),
                     frame.pixels().to_vec(),
-                    gap,
-                    out_len,
-                );
+                )
+                .gap(gap)
+                .out_len(out_len);
+                let (mut sim, sink) = build_design_sim(&spec).unwrap();
                 let budget = n as u64 * u64::from(gap + 1) * 4 + 2000;
                 black_box(run_design_sim(&mut sim, sink, budget))
             })
@@ -75,16 +76,17 @@ fn bench_sched_modes(c: &mut Criterion) {
     let gap = 1u32;
     let budget = n as u64 * u64::from(gap + 1) * 4 + 2000;
     let run = |mode: SchedMode, incremental: bool| {
-        let (mut sim, sink) = build_design_sim_scheduled(
+        let spec = DesignSimSpec::new(
             DesignKind::Blur,
             Style::Pattern,
             DesignParams::small(32),
             frame.pixels().to_vec(),
-            gap,
-            out_len,
-            mode,
-            incremental,
-        );
+        )
+        .gap(gap)
+        .out_len(out_len)
+        .mode(mode)
+        .incremental(incremental);
+        let (mut sim, sink) = build_design_sim(&spec).unwrap();
         run_design_sim(&mut sim, sink, budget)
     };
     let reference = run(SchedMode::FullSweep, false);
@@ -125,19 +127,17 @@ fn bench_sched_batch(c: &mut Criterion) {
     let budget = n as u64 * u64::from(gap + 1) * 4 + 2000;
     const BATCH: usize = 8;
     let build_batch = || {
+        let spec = DesignSimSpec::new(
+            DesignKind::Blur,
+            Style::Pattern,
+            DesignParams::small(32),
+            frame.pixels().to_vec(),
+        )
+        .gap(gap)
+        .out_len(out_len)
+        .mode(SchedMode::EventDriven);
         (0..BATCH)
-            .map(|_| {
-                build_design_sim_scheduled(
-                    DesignKind::Blur,
-                    Style::Pattern,
-                    DesignParams::small(32),
-                    frame.pixels().to_vec(),
-                    gap,
-                    out_len,
-                    SchedMode::EventDriven,
-                    true,
-                )
-            })
+            .map(|_| build_design_sim(&spec).unwrap())
             .collect::<Vec<_>>()
     };
     assert_eq!(

@@ -104,7 +104,7 @@ fn main() -> ExitCode {
         let (minimal, divergence) = shrink(&case);
         let divergence = divergence.expect("a diverging case shrinks to a diverging case");
         let path = format!("conform_repro_{index}.json");
-        let doc = hdp_conform::repro::to_json(args.seed, &minimal, &divergence);
+        let doc = hdp_conform::wire::repro_to_json(args.seed, &minimal, &divergence);
         if let Err(e) = std::fs::write(&path, &doc) {
             eprintln!("conform: cannot write {path}: {e}");
         }

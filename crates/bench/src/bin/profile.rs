@@ -9,7 +9,7 @@
 //! against the expected schema — the CI telemetry smoke job runs the
 //! profile and then the validator.
 
-use hdp_bench::{build_design_sim_scheduled, run_design_sim};
+use hdp_bench::{build_design_sim, run_design_sim, DesignSimSpec};
 use hdp_core::pixel::{Frame, PixelFormat};
 use hdp_metagen::design::{DesignKind, DesignParams, Style};
 use hdp_sim::telemetry::json_string;
@@ -23,17 +23,17 @@ const PROFILE_JSON: &str = "BENCH_profile.json";
 const TRACE_JSON: &str = "BENCH_profile.trace.json";
 
 fn profile_mode(frame: &Frame, mode: SchedMode) -> SimStats {
-    let (mut sim, sink) = build_design_sim_scheduled(
+    let spec = DesignSimSpec::new(
         DesignKind::Blur,
         Style::Pattern,
         DesignParams::small(32),
         frame.pixels().to_vec(),
-        GAP,
-        (WIDTH - 2) * (HEIGHT - 2),
-        mode,
-        true,
-    );
-    sim.set_telemetry(TelemetryLevel::Full);
+    )
+    .gap(GAP)
+    .out_len((WIDTH - 2) * (HEIGHT - 2))
+    .mode(mode)
+    .telemetry(TelemetryLevel::Full);
+    let (mut sim, sink) = build_design_sim(&spec).expect("design builds");
     let budget = frame.pixels().len() as u64 * u64::from(GAP + 1) * 4 + 2000;
     std::hint::black_box(run_design_sim(&mut sim, sink, budget));
     sim.stats()

@@ -7,7 +7,7 @@
 //! Every configuration is asserted bit-identical against the
 //! full-sweep reference before any time is measured.
 
-use hdp_bench::{build_design_sim_scheduled, run_design_batch, run_design_sim};
+use hdp_bench::{build_design_sim, run_design_batch, run_design_sim, DesignSimSpec};
 use hdp_core::pixel::{Frame, PixelFormat};
 use hdp_metagen::design::{DesignKind, DesignParams, Style};
 use hdp_sim::{SchedMode, SimStats, TelemetryLevel};
@@ -25,16 +25,17 @@ fn build(
     mode: SchedMode,
     incremental: bool,
 ) -> (hdp_sim::Simulator, hdp_sim::ComponentId) {
-    build_design_sim_scheduled(
+    let spec = DesignSimSpec::new(
         DesignKind::Blur,
         Style::Pattern,
         DesignParams::small(32),
         frame.pixels().to_vec(),
-        GAP,
-        (WIDTH - 2) * (HEIGHT - 2),
-        mode,
-        incremental,
     )
+    .gap(GAP)
+    .out_len((WIDTH - 2) * (HEIGHT - 2))
+    .mode(mode)
+    .incremental(incremental);
+    build_design_sim(&spec).expect("design builds")
 }
 
 fn budget(frame: &Frame) -> u64 {

@@ -12,7 +12,7 @@
 //! blur       3145/3145  4170/4169   2/2       98/98
 //! ```
 
-use hdp_bench::{build_design_sim, run_design_sim};
+use hdp_bench::{build_design_sim, run_design_sim, DesignSimSpec};
 use hdp_core::golden::{blur3x3, BlurBorder};
 use hdp_core::pixel::{Frame, PixelFormat};
 use hdp_metagen::design::{generate, DesignKind, DesignParams, Style};
@@ -68,14 +68,10 @@ fn main() {
                     1,
                 ),
             };
-            let (mut sim, sink) = build_design_sim(
-                kind,
-                style,
-                small,
-                frame.pixels().to_vec(),
-                gap,
-                expected.len(),
-            );
+            let spec = DesignSimSpec::new(kind, style, small, frame.pixels().to_vec())
+                .gap(gap)
+                .out_len(expected.len());
+            let (mut sim, sink) = build_design_sim(&spec).expect("design builds");
             let budget = frame.pixels().len() as u64 * u64::from(gap + 1) * 4 + 4000;
             let out = run_design_sim(&mut sim, sink, budget);
             let ok = out == expected;

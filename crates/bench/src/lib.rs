@@ -16,86 +16,147 @@
 
 use hdp_metagen::design::{generate, DesignKind, DesignParams, Style};
 use hdp_sim::devices::{Sram, VideoIn, VideoOut};
-use hdp_sim::{NetlistComponent, SchedMode, SignalId, Simulator};
+use hdp_sim::{NetlistComponent, SchedMode, SignalId, SimError, Simulator, TelemetryLevel};
+
+/// Complete configuration for one generated Table 3 design
+/// simulation: the design-space point (kind, style, parameters), the
+/// stimulus the video decoder model feeds it, and the simulator
+/// set-up (scheduler mode, interpreter strategy, telemetry). The one
+/// argument of [`build_design_sim`].
+///
+/// Construct with [`DesignSimSpec::new`] and refine with the
+/// builder-style setters:
+///
+/// ```
+/// use hdp_bench::DesignSimSpec;
+/// use hdp_metagen::design::{DesignKind, DesignParams, Style};
+/// use hdp_sim::SchedMode;
+///
+/// let spec = DesignSimSpec::new(
+///     DesignKind::Saa2vga1,
+///     Style::Pattern,
+///     DesignParams::small(8),
+///     (0..16).collect(),
+/// )
+/// .mode(SchedMode::Compiled);
+/// let (mut sim, sink) = hdp_bench::build_design_sim(&spec).unwrap();
+/// let frame = hdp_bench::run_design_sim(&mut sim, sink, 4000);
+/// assert_eq!(frame.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignSimSpec {
+    /// Which Table 3 design to generate.
+    pub kind: DesignKind,
+    /// Pattern-based or custom implementation style.
+    pub style: Style,
+    /// Generator parameters (widths, depth, address bus).
+    pub params: DesignParams,
+    /// Pixel stream the video decoder model emits.
+    pub pixels: Vec<u64>,
+    /// Idle cycles the decoder inserts between pixels.
+    pub gap: u32,
+    /// Frame length the VGA sink collects before reporting a frame.
+    pub out_len: usize,
+    /// Scheduler mode for the simulator.
+    pub mode: SchedMode,
+    /// Whether the netlist interpreter evaluates incrementally.
+    /// `(FullSweep, false)` reproduces the legacy evaluate-everything
+    /// behaviour for baseline measurements.
+    pub incremental: bool,
+    /// Instrumentation level for the simulator.
+    pub telemetry: TelemetryLevel,
+}
+
+impl DesignSimSpec {
+    /// A spec with the common defaults: no inter-pixel gap, a frame
+    /// as long as the pixel stream, the default scheduler, the
+    /// incremental interpreter and no telemetry.
+    #[must_use]
+    pub fn new(kind: DesignKind, style: Style, params: DesignParams, pixels: Vec<u64>) -> Self {
+        let out_len = pixels.len();
+        Self {
+            kind,
+            style,
+            params,
+            pixels,
+            gap: 0,
+            out_len,
+            mode: SchedMode::default(),
+            incremental: true,
+            telemetry: TelemetryLevel::default(),
+        }
+    }
+
+    /// Sets the idle-cycle gap between pixels.
+    #[must_use]
+    pub fn gap(mut self, gap: u32) -> Self {
+        self.gap = gap;
+        self
+    }
+
+    /// Sets the frame length the sink collects.
+    #[must_use]
+    pub fn out_len(mut self, out_len: usize) -> Self {
+        self.out_len = out_len;
+        self
+    }
+
+    /// Sets the scheduler mode.
+    #[must_use]
+    pub fn mode(mut self, mode: SchedMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects incremental or evaluate-everything interpretation.
+    #[must_use]
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Sets the telemetry level.
+    #[must_use]
+    pub fn telemetry(mut self, level: TelemetryLevel) -> Self {
+        self.telemetry = level;
+        self
+    }
+}
 
 /// Builds a ready-to-run simulation of one generated Table 3 design:
 /// the design netlist plus video source, sink and (for the SRAM
-/// design) two external memories. Returns the simulator and the sink
-/// handle.
+/// design) two external memories, configured exactly as the spec
+/// says. Returns the simulator and the sink handle.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on generation or wiring failures — the harness treats those
-/// as fatal.
-#[must_use]
+/// Propagates generation and wiring failures as [`SimError`].
 pub fn build_design_sim(
-    kind: DesignKind,
-    style: Style,
-    params: DesignParams,
-    pixels: Vec<u64>,
-    gap: u32,
-    out_len: usize,
-) -> (Simulator, hdp_sim::ComponentId) {
-    build_design_sim_scheduled(
-        kind,
-        style,
-        params,
-        pixels,
-        gap,
-        out_len,
-        SchedMode::default(),
-        true,
-    )
-}
-
-/// [`build_design_sim`] with explicit scheduler configuration: the
-/// simulator's [`SchedMode`] and whether the netlist interpreter uses
-/// incremental evaluation. `(FullSweep, false)` reproduces the legacy
-/// evaluate-everything behaviour for baseline measurements.
-///
-/// # Panics
-///
-/// Panics on generation or wiring failures — the harness treats those
-/// as fatal.
-#[must_use]
-#[allow(clippy::too_many_arguments)]
-pub fn build_design_sim_scheduled(
-    kind: DesignKind,
-    style: Style,
-    params: DesignParams,
-    pixels: Vec<u64>,
-    gap: u32,
-    out_len: usize,
-    mode: SchedMode,
-    incremental: bool,
-) -> (Simulator, hdp_sim::ComponentId) {
-    let design = generate(kind, style, params).expect("design generates");
+    spec: &DesignSimSpec,
+) -> Result<(Simulator, hdp_sim::ComponentId), SimError> {
+    let params = spec.params;
+    let design = generate(spec.kind, spec.style, params)?;
     let mut sim = Simulator::new();
-    sim.set_mode(mode);
-    let vid_valid = sim.add_signal("vid_valid", 1).unwrap();
-    let vid_data = sim.add_signal("vid_data", params.data_width).unwrap();
-    let vga_valid = sim.add_signal("vga_valid", 1).unwrap();
-    let vga_data = sim.add_signal("vga_data", params.data_width).unwrap();
+    sim.set_mode(spec.mode);
+    sim.set_telemetry(spec.telemetry);
+    let vid_valid = sim.add_signal("vid_valid", 1)?;
+    let vid_data = sim.add_signal("vid_data", params.data_width)?;
+    let vga_valid = sim.add_signal("vga_valid", 1)?;
+    let vga_data = sim.add_signal("vga_data", params.data_width)?;
     let mut map: Vec<(String, SignalId)> = vec![
         ("vid_valid".into(), vid_valid),
         ("vid_data".into(), vid_data),
         ("vga_valid".into(), vga_valid),
         ("vga_data".into(), vga_data),
     ];
-    if kind == DesignKind::Saa2vga2 {
+    if spec.kind == DesignKind::Saa2vga2 {
         for prefix in ["im", "om"] {
-            let req = sim.add_signal(format!("{prefix}_req"), 1).unwrap();
-            let we = sim.add_signal(format!("{prefix}_we"), 1).unwrap();
-            let addr = sim
-                .add_signal(format!("{prefix}_addr"), params.addr_width)
-                .unwrap();
-            let wdata = sim
-                .add_signal(format!("{prefix}_wdata"), params.data_width)
-                .unwrap();
-            let ack = sim.add_signal(format!("{prefix}_ack"), 1).unwrap();
-            let rdata = sim
-                .add_signal(format!("{prefix}_rdata"), params.data_width)
-                .unwrap();
+            let req = sim.add_signal(format!("{prefix}_req"), 1)?;
+            let we = sim.add_signal(format!("{prefix}_we"), 1)?;
+            let addr = sim.add_signal(format!("{prefix}_addr"), params.addr_width)?;
+            let wdata = sim.add_signal(format!("{prefix}_wdata"), params.data_width)?;
+            let ack = sim.add_signal(format!("{prefix}_ack"), 1)?;
+            let rdata = sim.add_signal(format!("{prefix}_rdata"), params.data_width)?;
             sim.add_component(Sram::new(
                 format!("sram_{prefix}"),
                 params.addr_width,
@@ -121,32 +182,64 @@ pub fn build_design_sim_scheduled(
         }
     }
     let map_refs: Vec<(&str, SignalId)> = map.iter().map(|(n, s)| (n.as_str(), *s)).collect();
-    let dut =
-        NetlistComponent::new("dut", design.netlist, sim.bus(), &map_refs).expect("design wires");
+    let dut = NetlistComponent::new("dut", design.netlist, sim.bus(), &map_refs)?;
     let dut = sim.add_component(dut);
-    if !incremental {
+    if !spec.incremental {
         sim.component_mut::<NetlistComponent>(dut)
-            .expect("dut present")
+            .ok_or_else(|| SimError::Protocol {
+                component: "dut".into(),
+                message: "netlist component vanished after registration".into(),
+            })?
             .set_incremental(false);
     }
     sim.add_component(VideoIn::new(
         "video_decoder",
-        pixels,
+        spec.pixels.clone(),
         params.data_width,
-        gap,
+        spec.gap,
         false,
         vid_valid,
         vid_data,
     ));
     let sink = sim.add_component(VideoOut::new(
         "vga_coder",
-        out_len,
+        spec.out_len,
         None,
         vga_valid,
         vga_data,
     ));
-    sim.reset().unwrap();
-    (sim, sink)
+    sim.reset()?;
+    Ok((sim, sink))
+}
+
+/// Legacy positional form of [`build_design_sim`].
+///
+/// # Panics
+///
+/// Panics on generation or wiring failures, preserving the original
+/// contract.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `build_design_sim(&DesignSimSpec)` — scheduler and telemetry now live in the spec"
+)]
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn build_design_sim_scheduled(
+    kind: DesignKind,
+    style: Style,
+    params: DesignParams,
+    pixels: Vec<u64>,
+    gap: u32,
+    out_len: usize,
+    mode: SchedMode,
+    incremental: bool,
+) -> (Simulator, hdp_sim::ComponentId) {
+    let spec = DesignSimSpec::new(kind, style, params, pixels)
+        .gap(gap)
+        .out_len(out_len)
+        .mode(mode)
+        .incremental(incremental);
+    build_design_sim(&spec).expect("design builds")
 }
 
 /// Runs a built design simulation until a frame is collected or the
@@ -193,31 +286,9 @@ pub fn run_design_batch(
     budget: u64,
     threads: usize,
 ) -> Vec<Vec<u64>> {
-    let threads = threads.clamp(1, sims.len().max(1));
-    let mut work: Vec<Vec<(usize, Simulator, hdp_sim::ComponentId)>> =
-        (0..threads).map(|_| Vec::new()).collect();
-    for (i, (sim, sink)) in sims.into_iter().enumerate() {
-        work[i % threads].push((i, sim, sink));
-    }
-    let mut results: Vec<(usize, Vec<u64>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = work
-            .into_iter()
-            .map(|chunk| {
-                s.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .map(|(i, mut sim, sink)| (i, run_design_sim(&mut sim, sink, budget)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("batch worker panicked"))
-            .collect()
-    });
-    results.sort_by_key(|&(i, _)| i);
-    results.into_iter().map(|(_, f)| f).collect()
+    hdp_service::pool::run_sharded(sims, threads, |(mut sim, sink)| {
+        run_design_sim(&mut sim, sink, budget)
+    })
 }
 
 #[cfg(test)]
@@ -227,14 +298,13 @@ mod tests {
     #[test]
     fn harness_runs_the_fifo_design() {
         let pixels: Vec<u64> = (0..32).map(|i| i & 0xFF).collect();
-        let (mut sim, sink) = build_design_sim(
+        let spec = DesignSimSpec::new(
             DesignKind::Saa2vga1,
             Style::Pattern,
             DesignParams::small(8),
             pixels.clone(),
-            0,
-            pixels.len(),
         );
+        let (mut sim, sink) = build_design_sim(&spec).unwrap();
         let out = run_design_sim(&mut sim, sink, 4000);
         assert_eq!(out, pixels);
     }
@@ -242,25 +312,20 @@ mod tests {
     #[test]
     fn batch_matches_sequential_runs() {
         let pixels: Vec<u64> = (0..32).map(|i| (i * 7) & 0xFF).collect();
-        let build = |mode| {
-            build_design_sim_scheduled(
-                DesignKind::Saa2vga1,
-                Style::Pattern,
-                DesignParams::small(8),
-                pixels.clone(),
-                0,
-                pixels.len(),
-                mode,
-                true,
-            )
-        };
+        let base = DesignSimSpec::new(
+            DesignKind::Saa2vga1,
+            Style::Pattern,
+            DesignParams::small(8),
+            pixels.clone(),
+        );
         let sims: Vec<_> = (0..5)
             .map(|i| {
-                build(if i % 2 == 0 {
+                let mode = if i % 2 == 0 {
                     SchedMode::EventDriven
                 } else {
                     SchedMode::parallel()
-                })
+                };
+                build_design_sim(&base.clone().mode(mode)).unwrap()
             })
             .collect();
         let frames = run_design_batch(sims, 4000, 3);
@@ -268,5 +333,32 @@ mod tests {
         for f in frames {
             assert_eq!(f, pixels);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_matches_the_spec_api() {
+        let pixels: Vec<u64> = (0..16).collect();
+        let (mut old_sim, old_sink) = build_design_sim_scheduled(
+            DesignKind::Saa2vga1,
+            Style::Pattern,
+            DesignParams::small(8),
+            pixels.clone(),
+            0,
+            pixels.len(),
+            SchedMode::EventDriven,
+            true,
+        );
+        let spec = DesignSimSpec::new(
+            DesignKind::Saa2vga1,
+            Style::Pattern,
+            DesignParams::small(8),
+            pixels.clone(),
+        );
+        let (mut new_sim, new_sink) = build_design_sim(&spec).unwrap();
+        assert_eq!(
+            run_design_sim(&mut old_sim, old_sink, 4000),
+            run_design_sim(&mut new_sim, new_sink, 4000),
+        );
     }
 }

@@ -89,7 +89,7 @@ impl Json {
     }
 }
 
-fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+pub(crate) fn write_escaped<W: fmt::Write + ?Sized>(f: &mut W, s: &str) -> fmt::Result {
     f.write_str("\"")?;
     for c in s.chars() {
         match c {

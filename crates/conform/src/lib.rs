@@ -20,8 +20,10 @@
 //!    covers the emitter as well as the netlist semantics.
 //!
 //! Diverging cases are shrunk greedily ([`mod@shrink`]) to minimal
-//! reproducers and serialised as self-contained JSON documents
-//! ([`repro`]) that replay as regression tests.
+//! reproducers and serialised as self-contained JSON documents in the
+//! versioned [`wire`] format that replay as regression tests. The
+//! same wire format carries job submissions for the `hdp-service`
+//! simulation server.
 //!
 //! [`NetlistComponent`]: hdp_sim::NetlistComponent
 //!
@@ -47,7 +49,9 @@ pub mod json;
 pub mod oracle;
 pub mod repro;
 pub mod shrink;
+pub mod wire;
 
 pub use json::Json;
 pub use oracle::{check, Divergence, Stimulus, ORACLE_LABELS};
 pub use shrink::{shrink, Case};
+pub use wire::WireError;

@@ -1,175 +1,23 @@
-//! Self-contained reproducer files for diverging cases.
+//! Deprecated shims over the [`crate::wire`] module.
 //!
-//! A reproducer holds everything needed to re-run one case — the
-//! design-space point, the exact stimulus, and the divergence that
-//! was observed — as a single JSON document. Committed reproducers
-//! (under `tests/repros/`) are replayed by the conformance test
-//! suite, turning every fuzz finding into a permanent regression
-//! test.
+//! The reproducer serialisation grew into a general wire format (jobs
+//! for the simulation service use the same schema), so its real home
+//! is now [`crate::wire`], which documents every field and reports
+//! structured [`WireError`](crate::wire::WireError)s. These free
+//! functions survive with their original `String`-error signatures so
+//! existing callers keep compiling; new code should use `wire`
+//! directly.
 
-use crate::json::Json;
-use crate::oracle::{Divergence, Stimulus};
+use crate::oracle::Divergence;
 use crate::shrink::Case;
-use hdp_metagen::sampler::DesignSpec;
-use hdp_metagen::{MethodOp, OpSet};
-
-fn ops_to_json(ops: OpSet) -> Json {
-    Json::Arr(
-        ops.iter()
-            .map(|op| Json::Str(op.port_name().to_owned()))
-            .collect(),
-    )
-}
-
-fn spec_to_json(spec: &DesignSpec) -> Json {
-    Json::Obj(vec![
-        ("label".to_owned(), Json::Str(spec.label())),
-        ("kind".to_owned(), Json::Str(spec.kind().to_owned())),
-        ("target".to_owned(), Json::Str(spec.target().to_owned())),
-        ("family".to_owned(), Json::Num(spec.family as u64)),
-        ("data_width".to_owned(), Json::Num(spec.data_width as u64)),
-        ("depth".to_owned(), Json::Num(spec.depth as u64)),
-        ("addr_width".to_owned(), Json::Num(spec.addr_width as u64)),
-        ("key_width".to_owned(), Json::Num(spec.key_width as u64)),
-        ("wide".to_owned(), Json::Num(spec.wide as u64)),
-        ("write_side".to_owned(), Json::Bool(spec.write_side)),
-        ("ops".to_owned(), ops_to_json(spec.ops)),
-    ])
-}
-
-fn stimulus_to_json(stim: &Stimulus) -> Json {
-    Json::Obj(vec![
-        (
-            "inputs".to_owned(),
-            Json::Arr(
-                stim.inputs
-                    .iter()
-                    .map(|(name, width)| {
-                        Json::Obj(vec![
-                            ("name".to_owned(), Json::Str(name.clone())),
-                            ("width".to_owned(), Json::Num(*width as u64)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-        (
-            "cycles".to_owned(),
-            Json::Arr(
-                stim.cycles
-                    .iter()
-                    .map(|row| Json::Arr(row.iter().map(|&v| Json::Num(v)).collect()))
-                    .collect(),
-            ),
-        ),
-    ])
-}
-
-fn divergence_to_json(d: &Divergence) -> Json {
-    Json::Obj(vec![
-        ("cycle".to_owned(), Json::Num(d.cycle as u64)),
-        (
-            "port".to_owned(),
-            d.port.clone().map_or(Json::Null, Json::Str),
-        ),
-        (
-            "details".to_owned(),
-            Json::Arr(
-                d.details
-                    .iter()
-                    .map(|(oracle, value)| {
-                        Json::Obj(vec![
-                            ("oracle".to_owned(), Json::Str(oracle.clone())),
-                            ("value".to_owned(), Json::Str(value.clone())),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-        ("report".to_owned(), Json::Str(d.to_string())),
-    ])
-}
+use crate::wire;
 
 /// Serialises a diverging case (plus the divergence it produced and
 /// the seed it came from) as a reproducer document.
+#[deprecated(since = "0.1.0", note = "use `hdp_conform::wire::repro_to_json`")]
 #[must_use]
 pub fn to_json(seed: u64, case: &Case, divergence: &Divergence) -> String {
-    Json::Obj(vec![
-        (
-            "schema".to_owned(),
-            Json::Str("hdp-conform-repro-v1".into()),
-        ),
-        ("seed".to_owned(), Json::Num(seed)),
-        ("design".to_owned(), spec_to_json(&case.spec)),
-        ("stimulus".to_owned(), stimulus_to_json(&case.stimulus)),
-        ("divergence".to_owned(), divergence_to_json(divergence)),
-    ])
-    .to_string()
-}
-
-fn field(obj: &Json, key: &str) -> Result<u64, String> {
-    obj.get(key)
-        .and_then(Json::as_u64)
-        .ok_or_else(|| format!("missing numeric field `{key}`"))
-}
-
-fn parse_spec(obj: &Json) -> Result<DesignSpec, String> {
-    let mut ops = OpSet::new();
-    for item in obj
-        .get("ops")
-        .and_then(Json::as_arr)
-        .ok_or("missing `ops` array")?
-    {
-        let name = item.as_str().ok_or("non-string op name")?;
-        let op = MethodOp::ALL
-            .into_iter()
-            .find(|op| op.port_name() == name)
-            .ok_or_else(|| format!("unknown op `{name}`"))?;
-        ops = ops.with(op);
-    }
-    Ok(DesignSpec {
-        family: field(obj, "family")? as usize,
-        data_width: field(obj, "data_width")? as usize,
-        depth: field(obj, "depth")? as usize,
-        addr_width: field(obj, "addr_width")? as usize,
-        key_width: field(obj, "key_width")? as usize,
-        wide: field(obj, "wide")? as usize,
-        write_side: obj
-            .get("write_side")
-            .and_then(Json::as_bool)
-            .ok_or("missing `write_side`")?,
-        ops,
-    })
-}
-
-fn parse_stimulus(obj: &Json) -> Result<Stimulus, String> {
-    let inputs = obj
-        .get("inputs")
-        .and_then(Json::as_arr)
-        .ok_or("missing `inputs`")?
-        .iter()
-        .map(|item| {
-            let name = item
-                .get("name")
-                .and_then(Json::as_str)
-                .ok_or("input without name")?;
-            Ok((name.to_owned(), field(item, "width")? as usize))
-        })
-        .collect::<Result<Vec<_>, String>>()?;
-    let cycles = obj
-        .get("cycles")
-        .and_then(Json::as_arr)
-        .ok_or("missing `cycles`")?
-        .iter()
-        .map(|row| {
-            row.as_arr()
-                .ok_or_else(|| "non-array stimulus row".to_owned())?
-                .iter()
-                .map(|v| v.as_u64().ok_or_else(|| "non-numeric stimulus".to_owned()))
-                .collect::<Result<Vec<_>, _>>()
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(Stimulus { inputs, cycles })
+    wire::repro_to_json(seed, case, divergence)
 }
 
 /// Parses a reproducer document back into a runnable [`Case`].
@@ -177,15 +25,9 @@ fn parse_stimulus(obj: &Json) -> Result<Stimulus, String> {
 /// # Errors
 ///
 /// Returns a description of the first malformed field.
+#[deprecated(since = "0.1.0", note = "use `hdp_conform::wire::parse_case`")]
 pub fn from_json(text: &str) -> Result<Case, String> {
-    let doc = Json::parse(text)?;
-    if doc.get("schema").and_then(Json::as_str) != Some("hdp-conform-repro-v1") {
-        return Err("not an hdp-conform reproducer (bad `schema`)".into());
-    }
-    Ok(Case {
-        spec: parse_spec(doc.get("design").ok_or("missing `design`")?)?,
-        stimulus: parse_stimulus(doc.get("stimulus").ok_or("missing `stimulus`")?)?,
-    })
+    wire::parse_case(text).map_err(|e| e.to_string())
 }
 
 /// Replays a reproducer document: re-runs the oracle stack on its
@@ -195,43 +37,23 @@ pub fn from_json(text: &str) -> Result<Case, String> {
 ///
 /// Propagates parse failures; a conforming replay returns `Ok(None)`
 /// (the underlying bug was fixed — delete the reproducer).
+#[deprecated(since = "0.1.0", note = "use `hdp_conform::wire::replay`")]
 pub fn replay(text: &str) -> Result<Option<Divergence>, String> {
-    Ok(from_json(text)?.check())
+    wire::replay(text).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::oracle::Stimulus;
     use hdp_metagen::sampler::sample_spec;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]
-    fn reproducer_round_trips() {
+    fn shims_delegate_to_the_wire_module() {
         let mut rng = StdRng::seed_from_u64(21);
-        let spec = sample_spec(&mut rng);
-        let netlist = spec.instantiate().unwrap();
-        let stimulus = Stimulus::sample(&netlist, 5, &mut rng);
-        let case = Case { spec, stimulus };
-        let divergence = Divergence {
-            cycle: 2,
-            port: Some("data".into()),
-            details: vec![
-                ("full_sweep".into(), "\"00\"".into()),
-                ("vhdl_interp".into(), "\"01\"".into()),
-            ],
-        };
-        let text = to_json(21, &case, &divergence);
-        let back = from_json(&text).unwrap();
-        assert_eq!(back.spec, case.spec);
-        assert_eq!(back.stimulus, case.stimulus);
-        // And the document carries the human-readable report.
-        assert!(text.contains("conformance mismatch at cycle #2"));
-    }
-
-    #[test]
-    fn replay_of_conforming_case_returns_none() {
-        let mut rng = StdRng::seed_from_u64(33);
         let spec = sample_spec(&mut rng);
         let netlist = spec.instantiate().unwrap();
         let stimulus = Stimulus::sample(&netlist, 4, &mut rng);
@@ -241,13 +63,11 @@ mod tests {
             port: None,
             details: vec![],
         };
-        let text = to_json(33, &case, &divergence);
+        let text = to_json(21, &case, &divergence);
+        assert_eq!(text, wire::repro_to_json(21, &case, &divergence));
+        assert_eq!(from_json(&text).unwrap(), case);
         assert_eq!(replay(&text).unwrap(), None);
-    }
-
-    #[test]
-    fn rejects_foreign_documents() {
-        assert!(from_json("{}").is_err());
-        assert!(from_json("{\"schema\":\"something-else\"}").is_err());
+        // Errors arrive as plain strings, matching the old contract.
+        assert!(from_json("{}").unwrap_err().contains("schema"));
     }
 }

@@ -17,7 +17,7 @@ use hdp_metagen::sampler::DesignSpec;
 
 /// A design/stimulus pair — the unit the fuzzer checks and the
 /// shrinker minimises.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Case {
     /// The design-space point.
     pub spec: DesignSpec,

@@ -1,0 +1,671 @@
+//! The `hdp-conform-repro-v1` wire format.
+//!
+//! This module is the stable, documented home of the JSON interchange
+//! format that started life as the conformance engine's reproducer
+//! files and is now also the submission format of the `hdp-service`
+//! job server. A document is a single JSON object with these fields:
+//!
+//! | field        | type   | required | meaning                                   |
+//! |--------------|--------|----------|-------------------------------------------|
+//! | `schema`     | string | yes      | always [`SCHEMA`] (`hdp-conform-repro-v1`)|
+//! | `design`     | object | yes      | a design-space point (see below)          |
+//! | `stimulus`   | object | yes      | per-cycle input vectors (see below)       |
+//! | `seed`       | number | no       | RNG seed the case was sampled from        |
+//! | `divergence` | object | no       | oracle disagreement report (repro files)  |
+//!
+//! The `design` object carries every [`DesignSpec`] axis —
+//! `family` (index into [`FAMILIES`]), `data_width`, `depth`,
+//! `addr_width`, `key_width`, `wide`, `write_side` and the `ops`
+//! array of method-port names — plus redundant human-readable
+//! `label`/`kind`/`target` strings that parsers ignore. The
+//! `stimulus` object has an `inputs` array of `{name, width}` port
+//! descriptors and a `cycles` array of per-cycle value rows, one
+//! number per input in declaration order.
+//!
+//! Two document flavours share the schema:
+//!
+//! * **Reproducers** ([`repro_to_json`]) additionally record the
+//!   sampling `seed` and the observed `divergence`; they are committed
+//!   under `tests/repros/` and replayed as regression tests.
+//! * **Jobs** ([`job_to_json`]) are bare `design` + `stimulus`
+//!   submissions for the simulation service.
+//!
+//! [`parse_case`] accepts both flavours (extra fields are ignored),
+//! never panics on malformed input, and reports the first problem as
+//! a structured [`WireError`].
+//!
+//! # Content addressing
+//!
+//! [`design_hash`] derives a 32-hex-digit content address from the
+//! canonical serialised form of a design point. The service's plan
+//! cache keys on it: two submissions hash alike exactly when their
+//! design axes are identical, so a compiled schedule validated for
+//! one can be reused for the other. The hash is part of the wire
+//! contract — it must stay stable across releases, and a pinned
+//! literal in this module's tests enforces that.
+//!
+//! [`DesignSpec`]: hdp_metagen::sampler::DesignSpec
+//! [`FAMILIES`]: hdp_metagen::sampler::FAMILIES
+
+use crate::json::Json;
+use crate::oracle::{Divergence, Stimulus};
+use crate::shrink::Case;
+use hdp_metagen::sampler::{DesignSpec, FAMILIES};
+use hdp_metagen::{MethodOp, OpSet};
+use std::error::Error;
+use std::fmt;
+
+/// The schema identifier every v1 document carries.
+pub const SCHEMA: &str = "hdp-conform-repro-v1";
+
+/// A structured parse failure for a v1 wire document.
+///
+/// Exactly one error is reported per parse — the first problem
+/// encountered. The enum is `#[non_exhaustive]`: future format
+/// revisions may add variants without a semver break.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The text is not syntactically valid JSON.
+    Syntax {
+        /// The underlying parser's description (includes a byte
+        /// offset where available).
+        detail: String,
+    },
+    /// The document's `schema` field is missing or names a different
+    /// format.
+    Schema {
+        /// The schema string found, if any.
+        found: Option<String>,
+    },
+    /// A required field is missing, has the wrong JSON type, or holds
+    /// an out-of-range value.
+    Field {
+        /// Dotted path of the offending field (e.g. `design.family`).
+        path: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Syntax { detail } => write!(f, "malformed JSON: {detail}"),
+            WireError::Schema { found: Some(s) } => {
+                write!(f, "not an `{SCHEMA}` document (schema is `{s}`)")
+            }
+            WireError::Schema { found: None } => {
+                write!(f, "not an `{SCHEMA}` document (no `schema` field)")
+            }
+            WireError::Field { path, detail } => write!(f, "bad field `{path}`: {detail}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+fn bad(path: impl Into<String>, detail: impl Into<String>) -> WireError {
+    WireError::Field {
+        path: path.into(),
+        detail: detail.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------------
+
+fn ops_to_json(ops: OpSet) -> Json {
+    Json::Arr(
+        ops.iter()
+            .map(|op| Json::Str(op.port_name().to_owned()))
+            .collect(),
+    )
+}
+
+/// Serialises a design-space point as the wire `design` object.
+///
+/// The canonical form — field order, label strings and all — feeds
+/// [`design_hash`], so it must not change observably for specs that
+/// already round-trip.
+#[must_use]
+pub fn spec_to_json(spec: &DesignSpec) -> Json {
+    Json::Obj(vec![
+        ("label".to_owned(), Json::Str(spec.label())),
+        ("kind".to_owned(), Json::Str(spec.kind().to_owned())),
+        ("target".to_owned(), Json::Str(spec.target().to_owned())),
+        ("family".to_owned(), Json::Num(spec.family as u64)),
+        ("data_width".to_owned(), Json::Num(spec.data_width as u64)),
+        ("depth".to_owned(), Json::Num(spec.depth as u64)),
+        ("addr_width".to_owned(), Json::Num(spec.addr_width as u64)),
+        ("key_width".to_owned(), Json::Num(spec.key_width as u64)),
+        ("wide".to_owned(), Json::Num(spec.wide as u64)),
+        ("write_side".to_owned(), Json::Bool(spec.write_side)),
+        ("ops".to_owned(), ops_to_json(spec.ops)),
+    ])
+}
+
+/// Serialises a stimulus as the wire `stimulus` object.
+#[must_use]
+pub fn stimulus_to_json(stim: &Stimulus) -> Json {
+    Json::Obj(vec![
+        (
+            "inputs".to_owned(),
+            Json::Arr(
+                stim.inputs
+                    .iter()
+                    .map(|(name, width)| {
+                        Json::Obj(vec![
+                            ("name".to_owned(), Json::Str(name.clone())),
+                            ("width".to_owned(), Json::Num(*width as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "cycles".to_owned(),
+            Json::Arr(
+                stim.cycles
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(|&v| Json::Num(v)).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serialises a divergence report as the wire `divergence` object.
+#[must_use]
+pub fn divergence_to_json(d: &Divergence) -> Json {
+    Json::Obj(vec![
+        ("cycle".to_owned(), Json::Num(d.cycle as u64)),
+        (
+            "port".to_owned(),
+            d.port.clone().map_or(Json::Null, Json::Str),
+        ),
+        (
+            "details".to_owned(),
+            Json::Arr(
+                d.details
+                    .iter()
+                    .map(|(oracle, value)| {
+                        Json::Obj(vec![
+                            ("oracle".to_owned(), Json::Str(oracle.clone())),
+                            ("value".to_owned(), Json::Str(value.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("report".to_owned(), Json::Str(d.to_string())),
+    ])
+}
+
+/// Serialises a diverging case — plus the divergence it produced and
+/// the seed it came from — as a self-contained reproducer document.
+#[must_use]
+pub fn repro_to_json(seed: u64, case: &Case, divergence: &Divergence) -> String {
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Str(SCHEMA.into())),
+        ("seed".to_owned(), Json::Num(seed)),
+        ("design".to_owned(), spec_to_json(&case.spec)),
+        ("stimulus".to_owned(), stimulus_to_json(&case.stimulus)),
+        ("divergence".to_owned(), divergence_to_json(divergence)),
+    ])
+    .to_string()
+}
+
+/// Serialises a bare design + stimulus pair as a service job
+/// document (no seed, no divergence).
+#[must_use]
+pub fn job_to_json(case: &Case) -> String {
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Str(SCHEMA.into())),
+        ("design".to_owned(), spec_to_json(&case.spec)),
+        ("stimulus".to_owned(), stimulus_to_json(&case.stimulus)),
+    ])
+    .to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Content addressing
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A [`fmt::Write`] sink that folds every written byte into a 128-bit
+/// FNV-1a hash, so serialised output can be content-addressed without
+/// materialising the string.
+struct Fnv128Writer {
+    hash: u128,
+}
+
+impl Fnv128Writer {
+    fn new() -> Self {
+        Self { hash: FNV_OFFSET }
+    }
+}
+
+impl fmt::Write for Fnv128Writer {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &b in s.as_bytes() {
+            self.hash ^= u128::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        Ok(())
+    }
+}
+
+/// Streams the same bytes `spec_to_json(spec).to_string()` would
+/// produce, without building the intermediate tree. [`design_hash`]
+/// sits on the service's per-job cache-lookup path, so the canonical
+/// serialisation is written straight into the hash sink; the
+/// `streamed_hash_matches_the_tree_serialisation` test pins the two
+/// forms together.
+fn write_spec_canonical<W: fmt::Write>(w: &mut W, spec: &DesignSpec) -> fmt::Result {
+    use crate::json::write_escaped;
+    w.write_str("{\"label\":")?;
+    write_escaped(w, &spec.label())?;
+    w.write_str(",\"kind\":")?;
+    write_escaped(w, spec.kind())?;
+    w.write_str(",\"target\":")?;
+    write_escaped(w, spec.target())?;
+    write!(
+        w,
+        ",\"family\":{},\"data_width\":{},\"depth\":{},\"addr_width\":{},\"key_width\":{},\"wide\":{},\"write_side\":{}",
+        spec.family, spec.data_width, spec.depth, spec.addr_width, spec.key_width, spec.wide, spec.write_side
+    )?;
+    w.write_str(",\"ops\":[")?;
+    for (i, op) in spec.ops.iter().enumerate() {
+        if i > 0 {
+            w.write_str(",")?;
+        }
+        write_escaped(w, op.port_name())?;
+    }
+    w.write_str("]}")
+}
+
+/// The content address of a design-space point: 32 lowercase hex
+/// digits derived from the canonical [`spec_to_json`] serialisation
+/// (the serialised bytes are streamed straight into a 128-bit FNV-1a
+/// hash — this sits on the service's per-job lookup path).
+///
+/// Two specs hash alike exactly when every design axis matches, so
+/// the hash is a sound cache key for per-design artefacts (compiled
+/// schedules, validated netlists). Stable across processes, runs and
+/// releases — see the pinned-literal test in this module.
+#[must_use]
+pub fn design_hash(spec: &DesignSpec) -> String {
+    let mut w = Fnv128Writer::new();
+    write_spec_canonical(&mut w, spec).expect("hashing writer never fails");
+    format!("{:032x}", w.hash)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn num_field(obj: &Json, parent: &str, key: &str) -> Result<u64, WireError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad(format!("{parent}.{key}"), "missing or non-numeric"))
+}
+
+fn parse_spec(obj: &Json) -> Result<DesignSpec, WireError> {
+    let mut ops = OpSet::new();
+    for item in obj
+        .get("ops")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("design.ops", "missing or not an array"))?
+    {
+        let name = item
+            .as_str()
+            .ok_or_else(|| bad("design.ops", "non-string op name"))?;
+        let op = MethodOp::ALL
+            .into_iter()
+            .find(|op| op.port_name() == name)
+            .ok_or_else(|| bad("design.ops", format!("unknown op `{name}`")))?;
+        ops = ops.with(op);
+    }
+    let family = num_field(obj, "design", "family")? as usize;
+    if family >= FAMILIES.len() {
+        return Err(bad(
+            "design.family",
+            format!("{family} out of range (< {})", FAMILIES.len()),
+        ));
+    }
+    Ok(DesignSpec {
+        family,
+        data_width: num_field(obj, "design", "data_width")? as usize,
+        depth: num_field(obj, "design", "depth")? as usize,
+        addr_width: num_field(obj, "design", "addr_width")? as usize,
+        key_width: num_field(obj, "design", "key_width")? as usize,
+        wide: num_field(obj, "design", "wide")? as usize,
+        write_side: obj
+            .get("write_side")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| bad("design.write_side", "missing or non-boolean"))?,
+        ops,
+    })
+}
+
+fn parse_stimulus(obj: &Json) -> Result<Stimulus, WireError> {
+    let inputs = obj
+        .get("inputs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("stimulus.inputs", "missing or not an array"))?
+        .iter()
+        .map(|item| {
+            let name = item
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("stimulus.inputs", "input without a string `name`"))?;
+            Ok((
+                name.to_owned(),
+                num_field(item, "stimulus.inputs", "width")? as usize,
+            ))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let cycles = obj
+        .get("cycles")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("stimulus.cycles", "missing or not an array"))?
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .ok_or_else(|| bad("stimulus.cycles", "non-array stimulus row"))?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| bad("stimulus.cycles", "non-numeric stimulus value"))
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if cycles.iter().any(|row| row.len() != inputs.len()) {
+        return Err(bad(
+            "stimulus.cycles",
+            format!(
+                "row length does not match the {} declared inputs",
+                inputs.len()
+            ),
+        ));
+    }
+    Ok(Stimulus { inputs, cycles })
+}
+
+/// Parses a v1 document (reproducer or job) into a runnable [`Case`].
+///
+/// Extra fields — `seed`, `divergence`, anything a future revision
+/// adds — are ignored. Never panics on malformed input.
+///
+/// # Errors
+///
+/// The first [`WireError`] encountered, in document order.
+pub fn parse_case(text: &str) -> Result<Case, WireError> {
+    let doc = Json::parse(text).map_err(|detail| WireError::Syntax { detail })?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        found => {
+            return Err(WireError::Schema {
+                found: found.map(str::to_owned),
+            })
+        }
+    }
+    Ok(Case {
+        spec: parse_spec(doc.get("design").ok_or_else(|| bad("design", "missing"))?)?,
+        stimulus: parse_stimulus(
+            doc.get("stimulus")
+                .ok_or_else(|| bad("stimulus", "missing"))?,
+        )?,
+    })
+}
+
+/// Parses a document and returns the `seed` field, if present.
+///
+/// # Errors
+///
+/// [`WireError::Syntax`] if the text is not JSON at all.
+pub fn parse_seed(text: &str) -> Result<Option<u64>, WireError> {
+    let doc = Json::parse(text).map_err(|detail| WireError::Syntax { detail })?;
+    Ok(doc.get("seed").and_then(Json::as_u64))
+}
+
+/// Replays a reproducer document: re-runs the oracle stack on its
+/// case and returns the observed divergence, if it still reproduces.
+///
+/// # Errors
+///
+/// Propagates parse failures; a conforming replay returns `Ok(None)`
+/// (the underlying bug was fixed — delete the reproducer).
+pub fn replay(text: &str) -> Result<Option<Divergence>, WireError> {
+    Ok(parse_case(text)?.check())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_metagen::sampler::sample_spec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_case(seed: u64, cycles: usize) -> Case {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = sample_spec(&mut rng);
+        let netlist = spec.instantiate().unwrap();
+        let stimulus = Stimulus::sample(&netlist, cycles, &mut rng);
+        Case { spec, stimulus }
+    }
+
+    #[test]
+    fn reproducer_round_trips() {
+        let case = sample_case(21, 5);
+        let divergence = Divergence {
+            cycle: 2,
+            port: Some("data".into()),
+            details: vec![
+                ("full_sweep".into(), "\"00\"".into()),
+                ("vhdl_interp".into(), "\"01\"".into()),
+            ],
+        };
+        let text = repro_to_json(21, &case, &divergence);
+        let back = parse_case(&text).unwrap();
+        assert_eq!(back.spec, case.spec);
+        assert_eq!(back.stimulus, case.stimulus);
+        assert_eq!(parse_seed(&text).unwrap(), Some(21));
+        // And the document carries the human-readable report.
+        assert!(text.contains("conformance mismatch at cycle #2"));
+    }
+
+    #[test]
+    fn job_round_trips_without_seed() {
+        let case = sample_case(77, 3);
+        let text = job_to_json(&case);
+        let back = parse_case(&text).unwrap();
+        assert_eq!(back, case);
+        assert_eq!(parse_seed(&text).unwrap(), None);
+        assert!(!text.contains("divergence"));
+    }
+
+    #[test]
+    fn replay_of_conforming_case_returns_none() {
+        let case = sample_case(33, 4);
+        let divergence = Divergence {
+            cycle: 0,
+            port: None,
+            details: vec![],
+        };
+        let text = repro_to_json(33, &case, &divergence);
+        assert_eq!(replay(&text).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_foreign_documents_with_schema_errors() {
+        assert_eq!(parse_case("{}"), Err(WireError::Schema { found: None }));
+        assert_eq!(
+            parse_case("{\"schema\":\"something-else\"}"),
+            Err(WireError::Schema {
+                found: Some("something-else".into())
+            })
+        );
+        assert!(matches!(
+            parse_case("not json"),
+            Err(WireError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn reports_field_paths() {
+        let case = sample_case(5, 2);
+        let good = job_to_json(&case);
+        // Drop the design object entirely.
+        let doc = Json::parse(&good).unwrap();
+        let Json::Obj(pairs) = doc else {
+            unreachable!()
+        };
+        let without_design = Json::Obj(
+            pairs
+                .iter()
+                .filter(|(k, _)| k != "design")
+                .cloned()
+                .collect(),
+        )
+        .to_string();
+        assert_eq!(parse_case(&without_design), Err(bad("design", "missing")));
+        // An out-of-range family index is caught before it can panic
+        // downstream accessors.
+        let with_bad_family = good.replace(
+            &format!("\"family\":{}", case.spec.family),
+            "\"family\":999",
+        );
+        match parse_case(&with_bad_family) {
+            Err(WireError::Field { path, .. }) => assert_eq!(path, "design.family"),
+            other => panic!("expected a field error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_stimulus_rows() {
+        let case = sample_case(9, 2);
+        let mut ragged = case.clone();
+        ragged.stimulus.cycles[0].push(0);
+        let text = job_to_json(&ragged);
+        match parse_case(&text) {
+            Err(WireError::Field { path, .. }) => assert_eq!(path, "stimulus.cycles"),
+            other => panic!("expected a field error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn design_hash_is_stable_and_content_addressed() {
+        let case = sample_case(21, 1);
+        // Same value across calls and across an unrelated clone.
+        assert_eq!(design_hash(&case.spec), design_hash(&case.spec.clone()));
+        // Any axis change moves the hash.
+        let mut other = case.spec.clone();
+        other.data_width += 1;
+        assert_ne!(design_hash(&case.spec), design_hash(&other));
+        // Round-tripping through the wire format preserves it.
+        let back = parse_case(&job_to_json(&case)).unwrap();
+        assert_eq!(design_hash(&back.spec), design_hash(&case.spec));
+    }
+
+    #[test]
+    fn design_hash_literal_is_pinned() {
+        // The hash is part of the wire contract: if this test breaks,
+        // the canonical serialisation changed and every persisted
+        // cache key goes stale. Do not update the literal casually.
+        let spec = DesignSpec {
+            family: 5,
+            data_width: 8,
+            depth: 4,
+            addr_width: 8,
+            key_width: 4,
+            wide: 16,
+            write_side: false,
+            ops: OpSet::new().with(MethodOp::Empty).with(MethodOp::Size),
+        };
+        assert_eq!(design_hash(&spec), "e2e88e2d98719295caa553b7c241c387");
+    }
+
+    #[test]
+    fn streamed_hash_matches_the_tree_serialisation() {
+        // `design_hash` streams the canonical bytes directly; this
+        // pins it to the `spec_to_json` tree it must mirror.
+        for seed in 0..64 {
+            let spec = sample_case(seed, 1).spec;
+            let mut streamed = String::new();
+            write_spec_canonical(&mut streamed, &spec).unwrap();
+            assert_eq!(streamed, spec_to_json(&spec).to_string(), "seed {seed}");
+        }
+    }
+
+    /// A tiny deterministic generator for the mutation fuzzer (no
+    /// reliance on the `rand` crate's stability guarantees).
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    #[test]
+    fn fuzz_truncated_documents_never_panic() {
+        let case = sample_case(13, 4);
+        let divergence = Divergence {
+            cycle: 1,
+            port: Some("q".into()),
+            details: vec![("full_sweep".into(), "\"0\"".into())],
+        };
+        let text = repro_to_json(13, &case, &divergence);
+        for end in 0..text.len() {
+            if !text.is_char_boundary(end) {
+                continue;
+            }
+            // Every proper prefix must be a clean error, never a panic.
+            assert!(
+                parse_case(&text[..end]).is_err(),
+                "prefix of length {end} parsed"
+            );
+        }
+        assert!(parse_case(&text).is_ok());
+    }
+
+    #[test]
+    fn fuzz_mutated_documents_never_panic() {
+        let case = sample_case(17, 3);
+        let text = job_to_json(&case);
+        let bytes = text.as_bytes();
+        let mut lcg = Lcg(0x5eed);
+        for _ in 0..500 {
+            let mut mutated = bytes.to_vec();
+            let idx = (lcg.next() as usize) % mutated.len();
+            mutated[idx] = (lcg.next() & 0xff) as u8;
+            let Ok(s) = String::from_utf8(mutated) else {
+                continue;
+            };
+            // Ok or Err are both fine; panicking or hanging is not.
+            let _ = parse_case(&s);
+        }
+    }
+
+    #[test]
+    fn fuzz_byte_deletions_never_panic() {
+        let case = sample_case(19, 2);
+        let text = job_to_json(&case);
+        for i in 0..text.len() {
+            let mut mutated = text.as_bytes().to_vec();
+            mutated.remove(i);
+            if let Ok(s) = String::from_utf8(mutated) {
+                let _ = parse_case(&s);
+            }
+        }
+    }
+}

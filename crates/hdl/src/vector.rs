@@ -360,13 +360,34 @@ impl LogicVector {
     }
 }
 
+impl LogicVector {
+    /// Renders the bare bit-string, MSB first: exactly the characters
+    /// [`fmt::Display`] prints between its quotes. One `String`
+    /// allocation, no formatter machinery — hot paths that render
+    /// traces (the simulation service renders every port every cycle)
+    /// use this instead of `to_string()` plus quote trimming.
+    #[must_use]
+    pub fn to_bit_string(&self) -> String {
+        let mut s = String::with_capacity(self.width());
+        for i in (0..self.width()).rev() {
+            let m = 1u64 << i;
+            s.push(if self.highz & m != 0 {
+                'Z'
+            } else if self.unknown & m != 0 {
+                'X'
+            } else if self.value & m != 0 {
+                '1'
+            } else {
+                '0'
+            });
+        }
+        s
+    }
+}
+
 impl fmt::Display for LogicVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "\"")?;
-        for i in (0..self.width()).rev() {
-            write!(f, "{}", self.bit(i).map_err(|_| fmt::Error)?.to_char())?;
-        }
-        write!(f, "\"")
+        write!(f, "\"{}\"", self.to_bit_string())
     }
 }
 
@@ -513,5 +534,14 @@ mod tests {
         let v = LogicVector::from_u64(0b01, 2).unwrap();
         let bits: Vec<Bit> = v.iter().collect();
         assert_eq!(bits, vec![Bit::One, Bit::Zero]);
+    }
+
+    #[test]
+    fn bit_string_matches_display_without_quotes() {
+        for text in ["10XZ", "0", "Z", "X1Z0", "1111000010100101"] {
+            let v = LogicVector::parse(text).unwrap();
+            assert_eq!(v.to_bit_string(), text);
+            assert_eq!(v.to_string(), format!("\"{text}\""));
+        }
     }
 }

@@ -1,0 +1,148 @@
+//! The `service` CLI: serve, submit, bench.
+//!
+//! ```text
+//! service serve  [--addr HOST:PORT] [--threads N] [--cache N]
+//! service submit [--addr HOST:PORT] [FILE ...]
+//! service bench  [--designs N] [--cycles N] [--seed N] [--threads N]
+//!                [--reps N] [--cache N] [--out FILE]
+//! ```
+//!
+//! `serve` runs the job server in the foreground until killed.
+//! `submit` reads newline-delimited job documents from the given
+//! files (or stdin when none) and prints one response per line.
+//! `bench` runs the cold-vs-warm cache benchmark and writes
+//! `BENCH_service.json`.
+
+use hdp_service::bench::BenchConfig;
+use hdp_service::{serve, submit, Service};
+use std::io::Read;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} expects a value"))
+}
+
+fn num(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    value(it, flag)?
+        .parse::<u64>()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7501".to_owned();
+    let mut threads = 4usize;
+    let mut cache = 256usize;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = value(&mut it, "--addr")?,
+            "--threads" => threads = num(&mut it, "--threads")?.max(1) as usize,
+            "--cache" => cache = num(&mut it, "--cache")? as usize,
+            other => return Err(format!("serve: unknown argument `{other}`")),
+        }
+    }
+    let handle =
+        serve(addr.as_str(), Arc::new(Service::new(cache)), threads).map_err(|e| e.to_string())?;
+    eprintln!(
+        "service: listening on {} ({threads} workers, cache capacity {cache})",
+        handle.addr()
+    );
+    // Foreground server: park until killed. The handle's drop logic
+    // never runs, which is fine — the process exit tears it down.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_submit(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7501".to_owned();
+    let mut files = Vec::new();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = value(&mut it, "--addr")?,
+            other => files.push(other.to_owned()),
+        }
+    }
+    let mut lines = Vec::new();
+    if files.is_empty() {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("stdin: {e}"))?;
+        lines.extend(text.lines().map(str::to_owned));
+    } else {
+        for file in &files {
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            lines.extend(text.lines().map(str::to_owned));
+        }
+    }
+    lines.retain(|l| !l.trim().is_empty());
+    if lines.is_empty() {
+        return Err("submit: no job documents given".to_owned());
+    }
+    let responses = submit(addr.as_str(), &lines).map_err(|e| e.to_string())?;
+    for response in responses {
+        println!("{response}");
+    }
+    Ok(())
+}
+
+fn cmd_bench(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut config = BenchConfig::default();
+    let mut out = "BENCH_service.json".to_owned();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--designs" => config.designs = num(&mut it, "--designs")?.max(1) as usize,
+            "--cycles" => config.cycles = num(&mut it, "--cycles")?.max(1) as usize,
+            "--seed" => config.seed = num(&mut it, "--seed")?,
+            "--threads" => config.threads = num(&mut it, "--threads")?.max(1) as usize,
+            "--reps" => config.reps = num(&mut it, "--reps")?.max(1) as usize,
+            "--cache" => config.cache_capacity = num(&mut it, "--cache")? as usize,
+            "--out" => out = value(&mut it, "--out")?,
+            other => return Err(format!("bench: unknown argument `{other}`")),
+        }
+    }
+    if config.cache_capacity < config.designs {
+        return Err(format!(
+            "bench: cache capacity {} cannot hold all {} designs (the warm pass would miss)",
+            config.cache_capacity, config.designs
+        ));
+    }
+    let report = hdp_service::bench::run(&config).map_err(|e| e.to_string())?;
+    let text = report.to_json();
+    std::fs::write(&out, &text).map_err(|e| format!("{out}: {e}"))?;
+    println!("{text}");
+    eprintln!(
+        "service bench: {} designs, cold {:.1}/s warm {:.1}/s (x{:.2}), hit ratio {:.3}, identical={}",
+        report.config.designs,
+        report.cold_rate(),
+        report.warm_rate(),
+        report.speedup(),
+        report.warm_hit_ratio,
+        report.identical,
+    );
+    if !report.identical {
+        return Err("bench: warm trace diverged from cold trace".to_owned());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let result = match args.next().as_deref() {
+        Some("serve") => cmd_serve(args),
+        Some("submit") => cmd_submit(args),
+        Some("bench") => cmd_bench(args),
+        Some(other) => Err(format!(
+            "unknown subcommand `{other}` (expected serve/submit/bench)"
+        )),
+        None => Err("usage: service <serve|submit|bench> [options]".to_owned()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("service: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The content-addressed plan cache.
+//!
+//! The expensive part of simulating a generated design is not the
+//! cycle loop — it is everything before it: metagen instantiation,
+//! netlist validation and the compiled scheduler's levelization. All
+//! three depend only on the *design*, never on the stimulus, so the
+//! service caches their products keyed by the design's content
+//! address ([`hdp_conform::wire::design_hash`]): the validated
+//! [`Netlist`], the pristine (never-evaluated) [`NetlistComponent`]
+//! built from it, and, when the design levelizes, the exported
+//! [`CompiledPlan`]. A warm submission clones the component template
+//! (a memcpy of its state vectors — the netlist itself is shared
+//! behind an `Arc`) and installs the plan
+//! ([`hdp_sim::Simulator::install_plan`]) instead of re-deriving any
+//! of it — compile once, simulate millions of stimuli.
+//!
+//! Eviction is least-recently-used over a fixed entry budget, and
+//! every lookup outcome is counted so the server can report its hit
+//! ratio.
+
+use hdp_hdl::Netlist;
+use hdp_sim::{CompiledPlan, NetlistComponent};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Lookup / insertion counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a cached entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted (first insertion per key).
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0.0 when none happened).
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// The per-design artefacts the cache hands out on a hit.
+#[derive(Debug, Clone)]
+pub struct CachedDesign {
+    /// The validated netlist.
+    pub netlist: Arc<Netlist>,
+    /// A pristine, never-evaluated interpreter instance; clone it per
+    /// job instead of re-levelizing and re-wiring.
+    pub template: Arc<NetlistComponent>,
+    /// The exported compiled schedule, once some job derived one.
+    pub plan: Option<Arc<CompiledPlan>>,
+}
+
+/// One cached design plus its LRU stamp.
+#[derive(Debug, Clone)]
+struct Entry {
+    design: CachedDesign,
+    last_used: u64,
+}
+
+/// An LRU cache of per-design artefacts, keyed by content address.
+///
+/// Not internally synchronised — the service wraps it in a mutex and
+/// holds the lock only for lookups and insertions, never while a
+/// simulation runs.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, Entry>,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` designs. A zero
+    /// capacity disables caching: every lookup misses and inserts are
+    /// dropped.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up a design by content address, refreshing its LRU
+    /// position. Returns shared handles — the cache keeps ownership,
+    /// and a lookup costs reference-count bumps, not deep clones.
+    pub fn lookup(&mut self, hash: &str) -> Option<CachedDesign> {
+        self.tick += 1;
+        match self.entries.get_mut(hash) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(entry.design.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a design, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn insert(&mut self, hash: String, design: CachedDesign) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&hash) {
+            // Concurrent submitters may both miss and both insert;
+            // keep the richer entry (a plan beats no plan).
+            entry.last_used = self.tick;
+            if entry.design.plan.is_none() {
+                entry.design.plan = design.plan;
+            }
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            hash,
+            Entry {
+                design,
+                last_used: self.tick,
+            },
+        );
+        self.stats.insertions += 1;
+    }
+
+    /// Attaches a plan to an already cached design (a warm submission
+    /// that had to compile locally publishes its schedule here).
+    pub fn attach_plan(&mut self, hash: &str, plan: CompiledPlan) {
+        if let Some(entry) = self.entries.get_mut(hash) {
+            if entry.design.plan.is_none() {
+                entry.design.plan = Some(Arc::new(plan));
+            }
+        }
+    }
+
+    /// Number of cached designs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry budget.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_hdl::{Entity, Netlist, PortDir};
+
+    /// A minimal valid design (q' = q + 1) wrapped as a cache entry.
+    fn tiny_design(name: &str) -> CachedDesign {
+        let entity = Entity::builder(name)
+            .port("q", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let q = nl.add_net("q", 4).unwrap();
+        let d = nl.add_net("d", 4).unwrap();
+        nl.add_cell(
+            "u_reg",
+            hdp_hdl::prim::Prim::Reg {
+                width: 4,
+                has_enable: false,
+                reset_value: 0,
+            },
+            vec![d],
+            vec![q],
+        )
+        .unwrap();
+        nl.add_cell(
+            "u_inc",
+            hdp_hdl::prim::Prim::Inc { width: 4 },
+            vec![q],
+            vec![d],
+        )
+        .unwrap();
+        nl.bind_port("q", q).unwrap();
+        let mut sim = hdp_sim::Simulator::new();
+        let sig = sim.add_signal("q", 4).unwrap();
+        let netlist = Arc::new(nl);
+        let template = NetlistComponent::new_prevalidated(
+            "dut",
+            Arc::clone(&netlist),
+            sim.bus(),
+            &[("q", sig)],
+        )
+        .unwrap();
+        CachedDesign {
+            netlist,
+            template: Arc::new(template),
+            plan: None,
+        }
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let mut cache = PlanCache::new(4);
+        assert!(cache.lookup("h1").is_none());
+        cache.insert("h1".into(), tiny_design("a"));
+        assert!(cache.lookup("h1").is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = PlanCache::new(2);
+        cache.insert("h1".into(), tiny_design("a"));
+        cache.insert("h2".into(), tiny_design("b"));
+        assert!(cache.lookup("h1").is_some()); // refresh h1: h2 is now LRU
+        cache.insert("h3".into(), tiny_design("c"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup("h2").is_none(), "h2 was the LRU victim");
+        assert!(cache.lookup("h1").is_some());
+        assert!(cache.lookup("h3").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = PlanCache::new(0);
+        cache.insert("h1".into(), tiny_design("a"));
+        assert!(cache.is_empty());
+        assert!(cache.lookup("h1").is_none());
+    }
+
+    #[test]
+    fn reinsert_keeps_existing_plan_slot_filled_once() {
+        let mut cache = PlanCache::new(2);
+        cache.insert("h1".into(), tiny_design("a"));
+        cache.insert("h1".into(), tiny_design("a"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+}

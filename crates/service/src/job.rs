@@ -1,0 +1,285 @@
+//! The service's JSON request/response layer.
+//!
+//! A request is one `hdp-conform-repro-v1` document per line — the
+//! exact format the conformance engine's reproducers use
+//! ([`hdp_conform::wire`]) — optionally extended with an `options`
+//! object the wire parser ignores:
+//!
+//! ```json
+//! {"schema": "hdp-conform-repro-v1", "design": {…}, "stimulus": {…},
+//!  "options": {"mode": "compiled", "vcd": false,
+//!              "telemetry": false, "verify": false, "threads": 2}}
+//! ```
+//!
+//! | option      | values                                                  | default    |
+//! |-------------|---------------------------------------------------------|------------|
+//! | `mode`      | `compiled`, `event_driven`, `full_sweep`, `parallel`    | `compiled` |
+//! | `threads`   | worker threads for `parallel` mode                      | `2`        |
+//! | `vcd`       | return a VCD waveform (disables plan reuse)             | `false`    |
+//! | `telemetry` | return a telemetry summary                              | `false`    |
+//! | `verify`    | re-run cache-free under full sweep and compare          | `false`    |
+//!
+//! A response is one `hdp-service-result-v1` JSON document per line:
+//! `design_hash`, `cache` (`"hit"`/`"miss"`), `plan_installed`, the
+//! output `ports`, the per-cycle `trace` of bit-strings, and the
+//! optional `telemetry` / `vcd` / `verified` sections. Failures
+//! produce `{"schema": "hdp-service-result-v1", "error": {…}}` with
+//! the failing `stage` (`wire`, `build` or `sim`).
+
+use crate::exec::{JobOptions, JobOutcome, ServiceError};
+use hdp_conform::wire::{self, WireError};
+use hdp_conform::{Case, Json};
+use hdp_sim::{SchedMode, SimStats};
+
+/// The schema identifier of every response document.
+pub const RESULT_SCHEMA: &str = "hdp-service-result-v1";
+
+/// Parses one submission line: the wire case plus the service
+/// options.
+///
+/// # Errors
+///
+/// [`WireError`] for a malformed document, unknown mode string, or
+/// out-of-range thread count.
+pub fn parse_job(text: &str) -> Result<(Case, JobOptions), WireError> {
+    let case = wire::parse_case(text)?;
+    let doc = Json::parse(text).map_err(|detail| WireError::Syntax { detail })?;
+    let mut opts = JobOptions::default();
+    if let Some(options) = doc.get("options") {
+        let threads = match options.get("threads") {
+            None => 2,
+            Some(v) => {
+                let t = v.as_u64().ok_or_else(|| WireError::Field {
+                    path: "options.threads".into(),
+                    detail: "not a number".into(),
+                })?;
+                usize::try_from(t)
+                    .ok()
+                    .filter(|&t| (1..=256).contains(&t))
+                    .ok_or_else(|| WireError::Field {
+                        path: "options.threads".into(),
+                        detail: format!("{t} outside 1..=256"),
+                    })?
+            }
+        };
+        if let Some(mode) = options.get("mode") {
+            opts.mode = match mode.as_str() {
+                Some("compiled") => SchedMode::Compiled,
+                Some("event_driven") => SchedMode::EventDriven,
+                Some("full_sweep") => SchedMode::FullSweep,
+                Some("parallel") => SchedMode::Parallel { threads },
+                other => {
+                    return Err(WireError::Field {
+                        path: "options.mode".into(),
+                        detail: format!("unknown mode {other:?}"),
+                    })
+                }
+            };
+        }
+        for (key, slot) in [
+            ("vcd", &mut opts.vcd as &mut bool),
+            ("telemetry", &mut opts.telemetry),
+            ("verify", &mut opts.verify),
+        ] {
+            if let Some(v) = options.get(key) {
+                *slot = v.as_bool().ok_or_else(|| WireError::Field {
+                    path: format!("options.{key}"),
+                    detail: "not a boolean".into(),
+                })?;
+            }
+        }
+    }
+    Ok((case, opts))
+}
+
+fn stats_to_json(stats: &SimStats) -> Json {
+    Json::Obj(vec![
+        ("steps".to_owned(), Json::Num(stats.steps)),
+        ("settles".to_owned(), Json::Num(stats.settles)),
+        ("delta_passes".to_owned(), Json::Num(stats.passes)),
+        ("total_evals".to_owned(), Json::Num(stats.total_evals())),
+        ("total_toggles".to_owned(), Json::Num(stats.total_toggles())),
+        (
+            "compiled_settles".to_owned(),
+            Json::Num(stats.compiled_settles),
+        ),
+        (
+            "fallback_settles".to_owned(),
+            Json::Num(stats.fallback_settles),
+        ),
+        ("plan_installs".to_owned(), Json::Num(stats.plan_installs)),
+    ])
+}
+
+/// Renders a completed job as a response document.
+#[must_use]
+pub fn outcome_to_json(out: &JobOutcome) -> String {
+    let mut fields = vec![
+        ("schema".to_owned(), Json::Str(RESULT_SCHEMA.into())),
+        ("design_hash".to_owned(), Json::Str(out.design_hash.clone())),
+        ("label".to_owned(), Json::Str(out.label.clone())),
+        (
+            "cache".to_owned(),
+            Json::Str(if out.cache_hit { "hit" } else { "miss" }.into()),
+        ),
+        ("plan_installed".to_owned(), Json::Bool(out.plan_installed)),
+        ("cycles".to_owned(), Json::Num(out.cycles as u64)),
+        (
+            "ports".to_owned(),
+            Json::Arr(
+                out.ports
+                    .iter()
+                    .map(|(name, width)| {
+                        Json::Obj(vec![
+                            ("name".to_owned(), Json::Str(name.clone())),
+                            ("width".to_owned(), Json::Num(*width as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "trace".to_owned(),
+            Json::Arr(
+                out.trace
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(|v| Json::Str(v.clone())).collect()))
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(stats) = &out.stats {
+        fields.push(("telemetry".to_owned(), stats_to_json(stats)));
+    }
+    if let Some(vcd) = &out.vcd {
+        fields.push(("vcd".to_owned(), Json::Str(vcd.clone())));
+    }
+    if let Some(verified) = out.verified {
+        fields.push(("verified".to_owned(), Json::Bool(verified)));
+    }
+    Json::Obj(fields).to_string()
+}
+
+/// Renders a failed job as a response document.
+#[must_use]
+pub fn error_to_json(err: &ServiceError) -> String {
+    let stage = match err {
+        ServiceError::Wire(_) => "wire",
+        ServiceError::Build { .. } => "build",
+        ServiceError::Sim { .. } => "sim",
+    };
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Str(RESULT_SCHEMA.into())),
+        (
+            "error".to_owned(),
+            Json::Obj(vec![
+                ("stage".to_owned(), Json::Str(stage.into())),
+                ("message".to_owned(), Json::Str(err.to_string())),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+/// Runs one submission line end to end against a service: parse,
+/// execute, render. Infallible by construction — failures render as
+/// error documents.
+#[must_use]
+pub fn handle_line(service: &crate::exec::Service, line: &str) -> String {
+    match parse_job(line) {
+        Ok((case, opts)) => match service.run_case(&case, &opts) {
+            Ok(outcome) => outcome_to_json(&outcome),
+            Err(e) => error_to_json(&e),
+        },
+        Err(e) => error_to_json(&ServiceError::Wire(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Service;
+    use hdp_conform::Stimulus;
+    use hdp_metagen::sampler::sample_spec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn job_line(seed: u64, cycles: usize, options: &str) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = sample_spec(&mut rng);
+        let netlist = spec.instantiate().unwrap();
+        let stimulus = Stimulus::sample(&netlist, cycles, &mut rng);
+        let doc = wire::job_to_json(&Case { spec, stimulus });
+        if options.is_empty() {
+            doc
+        } else {
+            format!(
+                "{},\"options\":{}}}",
+                doc.strip_suffix('}').unwrap(),
+                options
+            )
+        }
+    }
+
+    #[test]
+    fn parses_options() {
+        let line = job_line(
+            3,
+            4,
+            "{\"mode\":\"parallel\",\"threads\":4,\"vcd\":true,\"verify\":true}",
+        );
+        let (_, opts) = parse_job(&line).unwrap();
+        assert_eq!(opts.mode, SchedMode::Parallel { threads: 4 });
+        assert!(opts.vcd);
+        assert!(opts.verify);
+        assert!(!opts.telemetry);
+    }
+
+    #[test]
+    fn defaults_to_compiled_mode() {
+        let line = job_line(3, 4, "");
+        let (_, opts) = parse_job(&line).unwrap();
+        assert_eq!(opts, JobOptions::default());
+        assert_eq!(opts.mode, SchedMode::Compiled);
+    }
+
+    #[test]
+    fn rejects_unknown_mode() {
+        let line = job_line(3, 4, "{\"mode\":\"warp\"}");
+        assert!(matches!(
+            parse_job(&line),
+            Err(WireError::Field { path, .. }) if path == "options.mode"
+        ));
+    }
+
+    #[test]
+    fn handle_line_round_trips_a_job() {
+        let service = Service::new(4);
+        let line = job_line(21, 6, "{\"telemetry\":true}");
+        let cold = handle_line(&service, &line);
+        let warm = handle_line(&service, &line);
+        let cold_doc = Json::parse(&cold).unwrap();
+        let warm_doc = Json::parse(&warm).unwrap();
+        assert_eq!(
+            cold_doc.get("schema").and_then(Json::as_str),
+            Some(RESULT_SCHEMA)
+        );
+        assert_eq!(cold_doc.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(warm_doc.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(cold_doc.get("trace"), warm_doc.get("trace"));
+        assert!(cold_doc.get("telemetry").is_some());
+    }
+
+    #[test]
+    fn handle_line_reports_errors_as_documents() {
+        let service = Service::new(4);
+        let response = handle_line(&service, "not json at all");
+        let doc = Json::parse(&response).unwrap();
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("stage"))
+                .and_then(Json::as_str),
+            Some("wire")
+        );
+    }
+}

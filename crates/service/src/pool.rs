@@ -1,0 +1,69 @@
+//! A generic sharded work pool over scoped threads.
+//!
+//! Items are distributed round-robin over a fixed set of workers and
+//! the results returned in input order. Sharding up front (instead of
+//! a shared queue) keeps the pool allocation-light and deterministic:
+//! which worker runs which item depends only on the item index and
+//! the worker count, never on timing. That determinism is what lets
+//! the service promise bit-identical batch results for any `threads`
+//! value, and it is why `hdp_bench::run_design_batch` delegates here.
+
+/// Runs `f` over every item on `threads` workers, returning results
+/// in input order. `threads` is clamped to `1..=items.len()`; with
+/// one worker the items run sequentially on a single spawned thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_sharded<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    let mut shards: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        shards[i % threads].push((i, item));
+    }
+    let f = &f;
+    let mut results: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                s.spawn(move || {
+                    shard
+                        .into_iter()
+                        .map(|(i, item)| (i, f(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = run_sharded(items.clone(), threads, |x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_input() {
+        let out: Vec<u64> = run_sharded(Vec::<u64>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! The long-running job server.
+//!
+//! Transport is deliberately minimal: newline-delimited JSON over
+//! TCP. A client connects, writes one job document per line
+//! ([`crate::job`]), and reads one response document per line, in
+//! order. Connections are distributed over a fixed pool of worker
+//! threads that all share one [`Service`] — and therefore one plan
+//! cache, so a design compiled for any client is warm for every
+//! client.
+//!
+//! Everything here is `std`: `std::net` sockets, `std::thread`
+//! workers and an `mpsc` hand-off channel. No async runtime.
+
+use crate::exec::Service;
+use crate::job;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A running server: the bound address plus the machinery to stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0`).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service, e.g. for reading cache statistics.
+    #[must_use]
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Stops accepting, drains the workers and joins every thread.
+    /// Connections already handed to a worker finish first.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept()`; poke it awake with a
+        // throwaway connection so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn handle_connection(service: &Service, stream: &TcpStream) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = job::handle_line(service, &line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Binds `addr` and serves jobs on `threads` workers until
+/// [`ServerHandle::shutdown`].
+///
+/// # Errors
+///
+/// An [`std::io::Error`] when the listener cannot bind.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    service: Arc<Service>,
+    threads: usize,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers: Vec<JoinHandle<()>> = (0..threads.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || loop {
+                let stream = {
+                    let guard = rx.lock().expect("worker queue poisoned");
+                    guard.recv()
+                };
+                match stream {
+                    Ok(stream) => {
+                        let _ = handle_connection(&service, &stream);
+                    }
+                    Err(_) => break, // channel closed: server shut down
+                }
+            })
+        })
+        .collect();
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            drop(tx); // closing the channel stops the workers
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        service,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+/// Submits job lines over one connection and returns the response
+/// lines, in order.
+///
+/// # Errors
+///
+/// An [`std::io::Error`] for connect/read/write failures, including a
+/// server that closes the connection before answering every line.
+pub fn submit(addr: impl ToSocketAddrs, lines: &[String]) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut responses = Vec::with_capacity(lines.len());
+    for line in lines {
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-batch",
+            ));
+        }
+        responses.push(response.trim_end().to_owned());
+    }
+    Ok(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_conform::wire::job_to_json;
+    use hdp_conform::{Case, Json, Stimulus};
+    use hdp_metagen::sampler::sample_spec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn job_line(seed: u64, cycles: usize) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = sample_spec(&mut rng);
+        let netlist = spec.instantiate().unwrap();
+        let stimulus = Stimulus::sample(&netlist, cycles, &mut rng);
+        job_to_json(&Case { spec, stimulus })
+    }
+
+    #[test]
+    fn serves_jobs_and_shares_the_cache_across_connections() {
+        let handle = serve("127.0.0.1:0", Arc::new(Service::new(8)), 2).unwrap();
+        let addr = handle.addr();
+        let line = job_line(77, 6);
+
+        let first = submit(addr, std::slice::from_ref(&line)).unwrap();
+        let second = submit(addr, std::slice::from_ref(&line)).unwrap();
+        let cold = Json::parse(&first[0]).unwrap();
+        let warm = Json::parse(&second[0]).unwrap();
+        assert_eq!(cold.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(warm.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(cold.get("trace"), warm.get("trace"));
+
+        let stats = handle.service().cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_documents_without_killing_the_connection() {
+        let handle = serve("127.0.0.1:0", Arc::new(Service::new(8)), 1).unwrap();
+        let lines = vec!["{\"schema\": \"wrong\"}".to_owned(), job_line(5, 4)];
+        let responses = submit(handle.addr(), &lines).unwrap();
+        let err = Json::parse(&responses[0]).unwrap();
+        assert!(err.get("error").is_some());
+        let ok = Json::parse(&responses[1]).unwrap();
+        assert!(ok.get("trace").is_some());
+        handle.shutdown();
+    }
+}

@@ -15,6 +15,72 @@ use crate::signal::{BusAccess, DRIVER_POKE};
 use crate::{SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
 
+/// A reusable snapshot of a validated compiled schedule: everything
+/// the compile step derives from a design that is *independent of
+/// signal values* — the levelized component order, the per-rank
+/// counts, and the `(signal, driver)` links the validation settle
+/// discovered.
+///
+/// Exported from a simulator whose [`crate::SchedMode::Compiled`]
+/// schedule is active ([`crate::Simulator::export_plan`]) and
+/// installed into a *freshly built* simulator of the same design
+/// ([`crate::Simulator::install_plan`]), skipping the levelization
+/// step entirely. The plan carries a structural signature (signal
+/// names/widths, component names, sensitivities, clocking and
+/// declared drives) so installation into a different design is
+/// rejected instead of silently mis-scheduling. Settled values are
+/// bit-identical with or without plan reuse: the installed schedule
+/// is byte-for-byte the one a cold compile would have produced.
+///
+/// This is the unit a content-addressed plan cache stores —
+/// compile a design once, then simulate millions of stimuli against
+/// installed copies of the plan (see `hdp-service`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPlan {
+    /// Structural signature of the source design
+    /// ([`crate::Simulator::design_signature`]).
+    pub(crate) signature: u64,
+    /// Signal count at export time.
+    pub(crate) n_sigs: usize,
+    /// Component count at export time.
+    pub(crate) n_comps: usize,
+    /// Every `(signal slot, driver component)` link the source bus
+    /// had observed, in slot order.
+    pub(crate) links: Vec<(u32, u32)>,
+    /// Component indices sorted by `(rank, registration order)`.
+    pub(crate) order: Vec<u32>,
+    /// Component count per levelized rank.
+    pub(crate) rank_counts: Vec<u64>,
+}
+
+impl CompiledPlan {
+    /// The structural signature of the design this plan was compiled
+    /// from. [`crate::Simulator::install_plan`] refuses a plan whose
+    /// signature does not match the target simulator.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
+    /// Component count per levelized rank (index = rank).
+    #[must_use]
+    pub fn rank_counts(&self) -> &[u64] {
+        &self.rank_counts
+    }
+
+    /// Number of components the plan schedules.
+    #[must_use]
+    pub fn components(&self) -> usize {
+        self.n_comps
+    }
+
+    /// Number of signals the plan's source design declared.
+    #[must_use]
+    pub fn signals(&self) -> usize {
+        self.n_sigs
+    }
+}
+
 /// Bit mask selecting the low `width` bits of a word.
 fn mask(width: u8) -> u64 {
     if width >= 64 {

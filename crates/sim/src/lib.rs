@@ -181,6 +181,7 @@ mod signal;
 pub mod telemetry;
 pub mod vcd;
 
+pub use compiled::CompiledPlan;
 pub use component::{Component, Sensitivity};
 pub use error::SimError;
 pub use netlist_sim::NetlistComponent;

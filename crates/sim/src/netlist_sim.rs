@@ -5,6 +5,7 @@ use hdp_hdl::prim::Prim;
 use hdp_hdl::{CellId, LogicVector, Netlist, PortDir};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// Per-cell state of sequential primitives.
 #[derive(Debug, Clone)]
@@ -49,9 +50,15 @@ enum SeqState {
 /// activity rather than to design size, and is bit-identical to the
 /// full sweep (the rank order is exactly the full sweep's visit
 /// order over the affected cells).
+///
+/// The component is `Clone`: a pristine (never-evaluated) instance
+/// can be cloned per job as a cheap template — the netlist is shared
+/// behind an `Arc` and the derived state vectors memcpy, skipping
+/// re-levelization and port re-wiring entirely.
+#[derive(Clone)]
 pub struct NetlistComponent {
     name: String,
-    netlist: Netlist,
+    netlist: Arc<Netlist>,
     /// (port index in entity, sim signal) pairs.
     port_wiring: Vec<(String, PortDir, hdp_hdl::NetId, SignalId)>,
     topo: Vec<CellId>,
@@ -125,8 +132,27 @@ impl NetlistComponent {
         bus: &SignalBus,
         port_map: &[(&str, SignalId)],
     ) -> Result<Self, SimError> {
-        let name = name.into();
         hdp_hdl::validate::check(&netlist)?;
+        Self::new_prevalidated(name, Arc::new(netlist), bus, port_map)
+    }
+
+    /// Like [`NetlistComponent::new`] but skips the netlist validation
+    /// pass, for netlists already validated by an earlier `new` — e.g.
+    /// a content-addressed design cache replaying the same netlist for
+    /// every stimulus. Port wiring is still fully checked.
+    ///
+    /// # Errors
+    ///
+    /// A [`SimError::Protocol`] for an unmapped or unsupported port, a
+    /// width mismatch between a port and its signal, or a
+    /// combinational cycle (levelization runs either way).
+    pub fn new_prevalidated(
+        name: impl Into<String>,
+        netlist: Arc<Netlist>,
+        bus: &SignalBus,
+        port_map: &[(&str, SignalId)],
+    ) -> Result<Self, SimError> {
+        let name = name.into();
         let topo = netlist.comb_topo_order()?;
         let mut port_wiring = Vec::new();
         for port in netlist.entity().ports() {

@@ -36,7 +36,7 @@
 //!   an invalidated schedule (newly discovered driver, added
 //!   components) falls back for one settle and rebuilds.
 
-use crate::compiled::{CompiledBus, CompiledSchedule, SignalArena};
+use crate::compiled::{CompiledBus, CompiledPlan, CompiledSchedule, SignalArena};
 use crate::signal::{BusAccess as _, BusReader, DRIVER_POKE};
 use crate::telemetry::{
     ComponentStats, SignalStats, SimStats, Telemetry, TelemetryLevel, TraceEvent,
@@ -56,6 +56,37 @@ const OSCILLATION_REPORT_CAP: usize = 8;
 /// fans out to worker threads. Spawning scoped workers costs tens of
 /// microseconds; waves smaller than this evaluate inline faster.
 const PARALLEL_WAKE_MIN: usize = 8;
+
+/// Incremental FNV-1a (64-bit) hasher for design signatures. Inputs
+/// are length-prefixed, so distinct field sequences cannot collide by
+/// concatenation.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Scheduling strategy of a [`Simulator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -248,7 +279,7 @@ fn worker_eval(
 /// The frozen state of [`SchedMode::Compiled`]: the schedule itself
 /// (or the reason none could be built) plus the design snapshot it was
 /// built from, so any later growth of the design is detected cheaply.
-struct CompiledPlan {
+struct ActivePlan {
     /// `SignalBus::len` at build time.
     n_sigs: usize,
     /// Component count at build time.
@@ -327,7 +358,7 @@ pub struct Simulator {
     /// The frozen plan for [`SchedMode::Compiled`], built after a
     /// validation settle. `None` until the first compiled settle or
     /// after invalidation.
-    compiled: Option<CompiledPlan>,
+    compiled: Option<ActivePlan>,
     /// Telemetry counters (all mutation behind a level check; zero
     /// counter traffic at [`TelemetryLevel::Off`]).
     telemetry: Telemetry,
@@ -541,6 +572,7 @@ impl Simulator {
             inline_waves: t.inline_waves,
             fallback_settles: t.fallback_settles,
             compiled_settles: t.compiled_settles,
+            plan_installs: t.plan_installs,
             compiled_ranks,
             notes,
             island_sizes,
@@ -1288,11 +1320,11 @@ impl Simulator {
         Ok(true)
     }
 
-    /// Freezes the current (settled) design into a [`CompiledPlan`]:
+    /// Freezes the current (settled) design into an active plan:
     /// levelizes the components if possible, records the reason if
     /// not, and snapshots the design shape for staleness detection.
     fn build_compiled(&mut self) {
-        let plan = CompiledPlan {
+        let plan = ActivePlan {
             n_sigs: self.bus.len(),
             n_comps: self.components.len(),
             links: self.bus.driver_link_count(),
@@ -1431,6 +1463,175 @@ impl Simulator {
         self.compiled
             .as_ref()
             .and_then(|p| p.sched.as_ref().err().map(String::as_str))
+    }
+
+    /// A structural signature of the current design: an FNV-1a hash
+    /// over every signal's name and width and every component's name,
+    /// sensitivity, clocking and declared drives, all in declaration
+    /// order. Two simulators built through the same construction
+    /// sequence produce the same signature; signal *values* and
+    /// simulation progress do not participate, so the signature is
+    /// stable for a design's whole lifetime.
+    ///
+    /// This is the compatibility key for [`CompiledPlan`] reuse:
+    /// [`Simulator::install_plan`] rejects a plan whose signature does
+    /// not match the target simulator.
+    #[must_use]
+    pub fn design_signature(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.u64(self.bus.len() as u64);
+        for slot in 0..self.bus.len() {
+            let id = SignalId(slot);
+            h.str(self.bus.name(id).unwrap_or(""));
+            h.u64(self.bus.width(id).unwrap_or(0) as u64);
+        }
+        h.u64(self.components.len() as u64);
+        for c in &self.components {
+            h.str(c.name());
+            match c.sensitivity() {
+                Sensitivity::Always => h.u64(u64::MAX),
+                Sensitivity::Signals(mut sigs) => {
+                    sigs.sort_unstable();
+                    sigs.dedup();
+                    h.u64(sigs.len() as u64);
+                    for s in sigs {
+                        h.u64(s.index() as u64);
+                    }
+                }
+            }
+            h.u64(u64::from(c.is_clocked()));
+            match c.drives() {
+                None => h.u64(u64::MAX),
+                Some(mut drives) => {
+                    drives.sort_unstable();
+                    drives.dedup();
+                    h.u64(drives.len() as u64);
+                    for d in drives {
+                        h.u64(d.index() as u64);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Snapshots the active compiled schedule as a reusable
+    /// [`CompiledPlan`]: the levelized order, the rank shape, and
+    /// every `(signal, driver)` link the bus has observed. `None`
+    /// while no compiled schedule is active (mode is not
+    /// [`SchedMode::Compiled`], [`Simulator::compile`] has not run, or
+    /// the design permanently fell back to event-driven evaluation).
+    ///
+    /// The plan is plain data — hash it, cache it, ship it to another
+    /// simulator of the same design via [`Simulator::install_plan`].
+    #[must_use]
+    pub fn export_plan(&self) -> Option<CompiledPlan> {
+        let plan = self.compiled.as_ref()?;
+        let sched = plan.sched.as_ref().ok()?;
+        let mut links = Vec::new();
+        for slot in 0..self.bus.len() {
+            for &d in self.bus.slot_drivers(slot) {
+                let driver = if d == DRIVER_POKE {
+                    u32::MAX
+                } else {
+                    u32::try_from(d).unwrap_or(u32::MAX)
+                };
+                links.push((u32::try_from(slot).unwrap_or(u32::MAX), driver));
+            }
+        }
+        Some(CompiledPlan {
+            signature: self.design_signature(),
+            n_sigs: plan.n_sigs,
+            n_comps: plan.n_comps,
+            links,
+            order: sched.order.clone(),
+            rank_counts: sched.rank_counts.clone(),
+        })
+    }
+
+    /// Installs a [`CompiledPlan`] exported from another simulator of
+    /// the same design, switching this simulator to
+    /// [`SchedMode::Compiled`] with the schedule already built — the
+    /// validation levelization is skipped entirely. Call after all
+    /// signals and components are registered (and before running);
+    /// the recorded driver links are replayed onto the bus so the
+    /// installed schedule ages exactly like a locally compiled one.
+    ///
+    /// Settled values, traces and telemetry toggle counts are
+    /// bit-identical to a cold [`Simulator::compile`]: the installed
+    /// schedule is the one a local compile would have produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PlanMismatch`] when the plan's structural
+    /// signature or shape does not match this simulator's design.
+    pub fn install_plan(&mut self, plan: &CompiledPlan) -> Result<(), SimError> {
+        self.ensure_tables()?;
+        if plan.n_sigs != self.bus.len() || plan.n_comps != self.components.len() {
+            return Err(SimError::PlanMismatch {
+                reason: format!(
+                    "plan shape is {} signals / {} components, design has {} / {}",
+                    plan.n_sigs,
+                    plan.n_comps,
+                    self.bus.len(),
+                    self.components.len()
+                ),
+            });
+        }
+        let expected = self.design_signature();
+        if plan.signature != expected {
+            return Err(SimError::PlanMismatch {
+                reason: format!(
+                    "plan signature {:#018x} != design signature {expected:#018x}",
+                    plan.signature
+                ),
+            });
+        }
+        if plan.order.len() != plan.n_comps {
+            return Err(SimError::PlanMismatch {
+                reason: format!(
+                    "plan orders {} components, expected {}",
+                    plan.order.len(),
+                    plan.n_comps
+                ),
+            });
+        }
+        for &(slot, driver) in &plan.links {
+            if slot as usize >= self.bus.len()
+                || (driver != u32::MAX && driver as usize >= self.components.len())
+            {
+                return Err(SimError::PlanMismatch {
+                    reason: format!("plan link ({slot}, {driver}) is out of range"),
+                });
+            }
+        }
+        // Replay the recorded driver links (deduplicated by the bus)
+        // so shared-signal promotion and plan-staleness accounting
+        // behave exactly as they would after a local validation
+        // settle.
+        for &(slot, driver) in &plan.links {
+            let d = if driver == u32::MAX {
+                DRIVER_POKE
+            } else {
+                driver as usize
+            };
+            self.bus.note_driver(slot as usize, d);
+        }
+        let arena = SignalArena::build(&self.bus);
+        let sched = CompiledSchedule::new(arena, plan.order.clone(), plan.rank_counts.clone());
+        self.compiled = Some(ActivePlan {
+            n_sigs: plan.n_sigs,
+            n_comps: plan.n_comps,
+            links: self.bus.driver_link_count(),
+            sched: Ok(sched),
+        });
+        self.set_mode(SchedMode::Compiled);
+        if self.telemetry.on() {
+            self.telemetry.plan_installs += 1;
+            self.telemetry
+                .note_once("compiled: schedule installed from a cached plan");
+        }
+        Ok(())
     }
 
     /// Rebuilds the component islands if the component set, signal set
@@ -2797,5 +2998,106 @@ mod tests {
                 "settled toggle activity is mode-invariant"
             );
         }
+    }
+
+    /// The counter rig without reset, for plan-reuse tests that need
+    /// two identically constructed simulators.
+    fn unreset_counter_sim() -> (Simulator, SignalId) {
+        let mut sim = Simulator::new();
+        let q = sim.add_signal("q", 8).unwrap();
+        let d = sim.add_signal("d", 8).unwrap();
+        sim.add_component(Reg {
+            name: "r".into(),
+            d,
+            q,
+            state: 0,
+        });
+        sim.add_component(Inc {
+            name: "i".into(),
+            a: q,
+            y: d,
+            evals: None,
+        });
+        (sim, q)
+    }
+
+    #[test]
+    fn design_signature_is_stable_and_structural() {
+        let (a, _) = unreset_counter_sim();
+        let (b, _) = unreset_counter_sim();
+        assert_eq!(a.design_signature(), b.design_signature());
+        assert_eq!(a.design_signature(), a.design_signature());
+        // A structural difference (extra signal) changes the signature.
+        let (mut c, _) = unreset_counter_sim();
+        c.add_signal("extra", 1).unwrap();
+        assert_ne!(a.design_signature(), c.design_signature());
+    }
+
+    #[test]
+    fn exported_plan_installs_and_runs_bit_identically() {
+        // Cold: compile locally, export the plan mid-run.
+        let (mut cold, q_cold) = unreset_counter_sim();
+        cold.set_telemetry(TelemetryLevel::Counters);
+        cold.reset().unwrap();
+        assert!(cold.compile().unwrap());
+        let plan = cold.export_plan().expect("active schedule exports");
+        assert_eq!(plan.components(), 2);
+        assert!(!plan.rank_counts().is_empty());
+        cold.run(9).unwrap();
+
+        // Warm: same design, schedule installed instead of levelized.
+        let (mut warm, q_warm) = unreset_counter_sim();
+        warm.set_telemetry(TelemetryLevel::Counters);
+        warm.install_plan(&plan).unwrap();
+        assert_eq!(warm.mode(), SchedMode::Compiled);
+        warm.reset().unwrap();
+        warm.run(9).unwrap();
+        assert_eq!(
+            warm.peek(q_warm).unwrap(),
+            cold.peek(q_cold).unwrap(),
+            "installed plan settles bit-identically"
+        );
+        let stats = warm.stats();
+        assert_eq!(stats.plan_installs, 1);
+        assert!(
+            stats.compiled_settles > 0,
+            "the installed schedule actually ran compiled walks"
+        );
+        // The plan survives the whole run: exporting again round-trips.
+        let again = warm.export_plan().expect("plan still active");
+        assert_eq!(again.signature(), plan.signature());
+    }
+
+    #[test]
+    fn install_plan_rejects_a_foreign_design() {
+        let (mut donor, _) = unreset_counter_sim();
+        donor.reset().unwrap();
+        assert!(donor.compile().unwrap());
+        let plan = donor.export_plan().unwrap();
+
+        // Same shape, different signal width: signature mismatch.
+        let mut other = Simulator::new();
+        let q = other.add_signal("q", 4).unwrap();
+        let d = other.add_signal("d", 4).unwrap();
+        other.add_component(Reg {
+            name: "r".into(),
+            d,
+            q,
+            state: 0,
+        });
+        other.add_component(Inc {
+            name: "i".into(),
+            a: q,
+            y: d,
+            evals: None,
+        });
+        let err = other.install_plan(&plan).unwrap_err();
+        assert!(matches!(err, SimError::PlanMismatch { .. }), "{err}");
+
+        // Different shape entirely.
+        let mut tiny = Simulator::new();
+        tiny.add_signal("s", 1).unwrap();
+        let err = tiny.install_plan(&plan).unwrap_err();
+        assert!(err.to_string().contains("plan shape"), "{err}");
     }
 }

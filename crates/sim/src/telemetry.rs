@@ -170,6 +170,10 @@ pub struct SimStats {
     /// Settles executed as a single compiled rank walk
     /// ([`crate::SchedMode::Compiled`]).
     pub compiled_settles: u64,
+    /// Compiled schedules installed from a cached [`crate::CompiledPlan`]
+    /// ([`crate::Simulator::install_plan`]) instead of being levelized
+    /// locally — the per-simulator face of a plan-cache hit.
+    pub plan_installs: u64,
     /// Component count per levelized rank of the active compiled
     /// schedule (index = rank; empty when no compiled schedule is
     /// active).
@@ -269,6 +273,13 @@ impl SimStats {
                 self.compiled_settles,
                 self.compiled_ranks.len(),
                 self.compiled_ranks
+            );
+        }
+        if self.plan_installs > 0 {
+            let _ = writeln!(
+                out,
+                "  compiled: {} schedule(s) installed from cached plans",
+                self.plan_installs
             );
         }
         for note in &self.notes {
@@ -400,6 +411,7 @@ pub(crate) struct Telemetry {
     pub(crate) inline_waves: u64,
     pub(crate) fallback_settles: u64,
     pub(crate) compiled_settles: u64,
+    pub(crate) plan_installs: u64,
     /// Deduplicated one-line scheduler notes (fallbacks,
     /// invalidations) surfaced in [`SimStats::notes`].
     pub(crate) notes: Vec<String>,

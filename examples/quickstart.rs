@@ -10,8 +10,8 @@ use hdp::pattern::golden::PixelOp;
 use hdp::pattern::hw::{ReadBufferFifo, WriteBufferFifo};
 use hdp::pattern::iface::{IterIface, StreamIface};
 use hdp::pattern::pixel::PixelFormat;
+use hdp::prelude::*;
 use hdp::sim::devices::{VideoIn, VideoOut};
-use hdp::sim::Simulator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The data to move: a short burst of bytes.

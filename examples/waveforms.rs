@@ -11,9 +11,8 @@ use hdp::pattern::golden::PixelOp;
 use hdp::pattern::hw::{ReadBufferFifo, WriteBufferFifo};
 use hdp::pattern::iface::{IterIface, StreamIface};
 use hdp::pattern::pixel::PixelFormat;
+use hdp::prelude::*;
 use hdp::sim::devices::{VideoIn, VideoOut};
-use hdp::sim::vcd::VcdRecorder;
-use hdp::sim::Simulator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data: Vec<u64> = (0..16).map(|i| (i * 17) & 0xFF).collect();

@@ -18,6 +18,21 @@
 //! | [`metagen`] | `hdp-metagen` | the metaprogramming code generator |
 //! | [`synth`] | `hdp-synth` | technology mapping, timing, power, characterisation |
 //! | [`conform`] | `hdp-conform` | differential conformance fuzzing across simulator oracles and an executable VHDL model |
+//! | [`service`] | `hdp-service` | simulation-as-a-service job server with a content-addressed compiled-plan cache |
+//!
+//! For day-to-day use, [`prelude`] re-exports the simulation and
+//! service surface in one import:
+//!
+//! ```
+//! use hdp::prelude::*;
+//!
+//! # fn main() -> Result<(), SimError> {
+//! let mut sim = SimBuilder::with_mode(SchedMode::FullSweep).build()?;
+//! sim.set_telemetry(TelemetryLevel::Counters);
+//! assert_eq!(sim.stats().steps, 0);
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -61,9 +76,30 @@
 pub use hdp_conform as conform;
 pub use hdp_hdl as hdl;
 pub use hdp_metagen as metagen;
+pub use hdp_service as service;
 pub use hdp_sim as sim;
 pub use hdp_synth as synth;
 
 /// The paper's primary contribution: the iterator pattern and the
 /// basic component library (`hdp-core`).
 pub use hdp_core as pattern;
+
+/// The one-import surface for simulating and serving designs.
+///
+/// Brings in the simulator construction and scheduling types, the
+/// probing helpers, the `hdp-conform-repro-v1` wire format, and the
+/// service client — everything the `examples/` directory needs
+/// without deep crate paths.
+pub mod prelude {
+    pub use hdp_conform::wire::{design_hash, job_to_json, parse_case, repro_to_json};
+    pub use hdp_conform::{Case, Divergence, Json, Stimulus as WireStimulus, WireError};
+    pub use hdp_service::{
+        serve, submit, CacheStats, CachedDesign, JobOptions, JobOutcome, PlanCache, ServerHandle,
+        Service, ServiceError,
+    };
+    pub use hdp_sim::probe::{Monitor, Stimulus};
+    pub use hdp_sim::vcd::VcdRecorder;
+    pub use hdp_sim::{
+        CompiledPlan, SchedMode, SimBuilder, SimError, SimStats, Simulator, TelemetryLevel,
+    };
+}

@@ -96,7 +96,7 @@ fn committed_reproducers_replay_and_still_parse() {
             continue;
         }
         let text = std::fs::read_to_string(&path).expect("readable reproducer");
-        let divergence = hdp::conform::repro::replay(&text)
+        let divergence = hdp::conform::wire::replay(&text)
             .unwrap_or_else(|e| panic!("{}: malformed reproducer: {e}", path.display()));
         assert!(
             divergence.is_some(),
