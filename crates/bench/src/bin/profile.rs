@@ -1,6 +1,7 @@
 //! Telemetry profile of the blur design: runs the same frame workload
-//! under all three scheduler modes with full instrumentation, checks
-//! the cross-mode telemetry invariants, and writes
+//! under the full-sweep, event-driven, parallel and lowered scheduler
+//! modes with full instrumentation, checks the cross-mode telemetry
+//! invariants, and writes
 //! `BENCH_profile.json` (counter summary) plus
 //! `BENCH_profile.trace.json` (Chrome trace-event spans, loadable in
 //! `chrome://tracing` / Perfetto).
@@ -61,6 +62,15 @@ fn mode_json(label: &str, stats: &SimStats) -> String {
         "      \"fallback_settles\": {},",
         stats.fallback_settles
     );
+    let _ = writeln!(
+        out,
+        "      \"compiled_settles\": {},",
+        stats.compiled_settles
+    );
+    let _ = writeln!(out, "      \"lowered_settles\": {},", stats.lowered_settles);
+    let _ = writeln!(out, "      \"ops_executed\": {},", stats.ops_executed);
+    let notes: Vec<String> = stats.notes.iter().map(|n| json_string(n)).collect();
+    let _ = writeln!(out, "      \"notes\": [{}],", notes.join(","));
     let islands: Vec<String> = stats.island_sizes.iter().map(u64::to_string).collect();
     let _ = writeln!(out, "      \"island_sizes\": [{}],", islands.join(","));
     let _ = writeln!(out, "      \"trace_spans\": {},", stats.trace.len());
@@ -112,6 +122,9 @@ fn validate_artifacts(profile: &str, trace: &str) -> Vec<String> {
         "\"full_sweep\"",
         "\"event_driven\"",
         "\"parallel\"",
+        "\"lowered\"",
+        "\"lowered_settles\"",
+        "\"ops_executed\"",
         "\"total_evals\"",
         "\"total_toggles\"",
         "\"island_sizes\"",
@@ -175,6 +188,7 @@ fn main() {
         _ => unreachable!(),
     };
     let parallel = profile_mode(&frame, SchedMode::Parallel { threads });
+    let lowered = profile_mode(&frame, SchedMode::Lowered);
 
     // Cross-mode telemetry invariants (the same invariants the test
     // suite proves on the proptest families, checked here on the real
@@ -195,13 +209,21 @@ fn main() {
             "per-component eval counts must match"
         );
     }
-    for (label, stats) in [("event", &event), ("parallel", &parallel)] {
+    for (label, stats) in [
+        ("event", &event),
+        ("parallel", &parallel),
+        ("lowered", &lowered),
+    ] {
         assert_eq!(
             stats.total_toggles(),
             sweep.total_toggles(),
             "{label} toggle counts must match the full sweep"
         );
     }
+    assert!(
+        lowered.lowered_settles > 0,
+        "the lowered mode must settle on the op-stream walk"
+    );
     assert!(
         sweep.total_evals() >= event.total_evals(),
         "the sweep is the eval-count upper bound"
@@ -230,7 +252,8 @@ fn main() {
     json.push_str("  \"modes\": {\n");
     let _ = writeln!(json, "{},", mode_json("full_sweep", &sweep));
     let _ = writeln!(json, "{},", mode_json("event_driven", &event));
-    let _ = writeln!(json, "{}", mode_json("parallel", &parallel));
+    let _ = writeln!(json, "{},", mode_json("parallel", &parallel));
+    let _ = writeln!(json, "{}", mode_json("lowered", &lowered));
     json.push_str("  },\n");
     json.push_str("  \"invariants\": {\n");
     json.push_str("    \"eval_counts_event_eq_parallel\": true,\n");

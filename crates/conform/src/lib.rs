@@ -4,7 +4,7 @@
 //! This crate closes the loop between the pattern generators
 //! (`hdp-metagen`), the simulator (`hdp-sim`) and the VHDL emitter
 //! (`hdp-hdl`): it samples random-but-valid designs from the metagen
-//! design space, drives each one with random stimulus through five
+//! design space, drives each one with random stimulus through seven
 //! independent oracles, and demands bit-for-bit agreement every
 //! cycle on every output port:
 //!
@@ -13,11 +13,20 @@
 //! 2. `event_driven` — sensitivity-based scheduling,
 //! 3. `parallel2` — the island-partitioned wave scheduler on two
 //!    threads,
-//! 4. `levelized` — the non-incremental [`NetlistComponent`] fast
+//! 4. `compiled` — the levelized rank-schedule walk over a
+//!    bit-packed signal arena,
+//! 5. `lowered` — the compiled walk executing flat word-level op
+//!    streams instead of the netlist interpreter,
+//! 6. `levelized` — the non-incremental [`NetlistComponent`] fast
 //!    path,
-//! 5. `vhdl_interp` — an interpreter executing the *emitted VHDL
+//! 7. `vhdl_interp` — an interpreter executing the *emitted VHDL
 //!    text* ([`hdp_hdl::interp::VhdlInterp`]), so the comparison
 //!    covers the emitter as well as the netlist semantics.
+//!
+//! [`check_lanes`] adds a throughput-oriented eighth angle: up to 64
+//! random stimuli packed one-per-bit into a single
+//! [`hdp_sim::LaneBatch`] run, each lane refereed against its own
+//! scalar event-driven simulation.
 //!
 //! Diverging cases are shrunk greedily ([`mod@shrink`]) to minimal
 //! reproducers and serialised as self-contained JSON documents in the
@@ -52,6 +61,6 @@ pub mod shrink;
 pub mod wire;
 
 pub use json::Json;
-pub use oracle::{check, Divergence, Stimulus, ORACLE_LABELS};
+pub use oracle::{check, check_lanes, Divergence, Stimulus, ORACLE_LABELS};
 pub use shrink::{shrink, Case};
 pub use wire::WireError;

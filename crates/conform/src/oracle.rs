@@ -1,26 +1,27 @@
 //! The oracle stack and the differential cycle engine.
 //!
-//! A design conforms when every oracle — the five scheduler/evaluator
-//! paths of `hdp-sim` plus the executable VHDL model of
-//! `hdp_hdl::interp` — produces bit-identical output-port traces for
-//! the same stimulus. Errors participate in the comparison too:
+//! A design conforms when every oracle — the six scheduler/evaluator
+//! paths of `hdp-sim` (including the lowered word-level op-stream
+//! mode) plus the executable VHDL model of `hdp_hdl::interp` —
+//! produces bit-identical output-port traces for the same stimulus. Errors participate in the comparison too:
 //! *error parity* (every oracle failing at the same cycle) is
 //! conforming, because the oracles agree the stimulus left the legal
 //! protocol; an asymmetric error is a divergence like any other.
 
 use hdp_hdl::interp::VhdlInterp;
 use hdp_hdl::{LogicVector, Netlist, PortDir};
-use hdp_sim::{NetlistComponent, SchedMode, SignalId, Simulator};
+use hdp_sim::{LaneBatch, NetlistComponent, SchedMode, SignalId, Simulator, LANES};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Display labels of the oracle stack, in comparison order. The
 /// first entry is the reference the others are compared against.
-pub const ORACLE_LABELS: [&str; 6] = [
+pub const ORACLE_LABELS: [&str; 7] = [
     "full_sweep",
     "event_driven",
     "parallel2",
     "compiled",
+    "lowered",
     "levelized",
     "vhdl_interp",
 ];
@@ -299,7 +300,7 @@ fn phase_all(
 
 /// Runs `netlist` through the full oracle stack under `stim`.
 ///
-/// Returns `None` when the design conforms: all six oracles produce
+/// Returns `None` when the design conforms: all seven oracles produce
 /// bit-identical four-state output traces (or all fail at the same
 /// cycle). Returns the first [`Divergence`] otherwise. Oracle
 /// *construction* failures (e.g. the VHDL interpreter rejecting the
@@ -313,6 +314,7 @@ pub fn check(netlist: &Netlist, stim: &Stimulus) -> Option<Divergence> {
         build_sim(netlist, SchedMode::EventDriven, true, stim),
         build_sim(netlist, SchedMode::Parallel { threads: 2 }, true, stim),
         build_sim(netlist, SchedMode::Compiled, true, stim),
+        build_sim(netlist, SchedMode::Lowered, true, stim),
         build_sim(netlist, SchedMode::FullSweep, false, stim),
         build_vhdl(netlist, stim),
     ];
@@ -388,6 +390,121 @@ pub fn check(netlist: &Netlist, stim: &Stimulus) -> Option<Divergence> {
     None
 }
 
+/// Differentially checks up to [`LANES`] stimuli at once: one 64-way
+/// bit-parallel [`LaneBatch`] run of `netlist`, each lane compared
+/// cycle-for-cycle against its own scalar event-driven simulation of
+/// the same stimulus. This is the fuzzing fast path — one packed run
+/// covers 64 random stimuli — with the scalar scheduler as the
+/// per-lane referee.
+///
+/// A batch-level protocol error is conforming only under error
+/// parity: at least one scalar lane must fail at the same cycle
+/// (the batch stops at the first offending lane, so lane-exact
+/// attribution is in the error text, not the comparison).
+///
+/// # Errors
+///
+/// Returns `Err` — not a divergence — when the design is outside the
+/// lane engine's scope (tri-state nets, `inout` ports, high-Z
+/// constants; the scalar oracle stack still covers such designs), or
+/// when the stimuli disagree on input set or cycle count.
+pub fn check_lanes(netlist: &Netlist, stims: &[Stimulus]) -> Result<Option<Divergence>, String> {
+    if stims.is_empty() || stims.len() > LANES {
+        return Err(format!(
+            "check_lanes takes 1..={LANES} stimuli, got {}",
+            stims.len()
+        ));
+    }
+    let n_cycles = stims[0].cycles.len();
+    if stims
+        .iter()
+        .any(|s| s.cycles.len() != n_cycles || s.inputs != stims[0].inputs)
+    {
+        return Err("all lane stimuli must share one input set and cycle count".into());
+    }
+    let mut lanes = LaneBatch::new("lanes", netlist).map_err(|e| e.to_string())?;
+    let mut scalars = stims
+        .iter()
+        .map(|s| build_sim(netlist, SchedMode::EventDriven, true, s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let out_names: Vec<String> = netlist
+        .entity()
+        .ports()
+        .iter()
+        .filter(|p| p.dir() != PortDir::In)
+        .map(|p| p.name().to_owned())
+        .collect();
+    lanes.reset();
+    for cycle in 0..n_cycles {
+        for (l, stim) in stims.iter().enumerate() {
+            let row = &stim.cycles[cycle];
+            for (i, (name, _)) in stim.inputs.iter().enumerate() {
+                lanes.poke(name, l, row[i]).map_err(|e| e.to_string())?;
+            }
+            scalars[l].poke(row)?;
+        }
+        lanes.settle();
+        // Scalar settles (power-on reset on the first cycle). The lane
+        // engine cannot fail to settle, so a scalar settle failure is
+        // always asymmetric.
+        for (l, s) in scalars.iter_mut().enumerate() {
+            let r = if cycle == 0 { s.reset() } else { s.settle() };
+            if let Err(e) = r {
+                return Ok(Some(Divergence {
+                    cycle,
+                    port: None,
+                    details: vec![
+                        (format!("lane{l}"), "ok".to_owned()),
+                        ("event_driven".to_owned(), format!("error: {e}")),
+                    ],
+                }));
+            }
+        }
+        for (l, s) in scalars.iter().enumerate() {
+            let trace = s.outputs()?;
+            for (pi, name) in out_names.iter().enumerate() {
+                let packed = lanes.peek(name, l).map_err(|e| e.to_string())?;
+                if packed != trace[pi] {
+                    return Ok(Some(Divergence {
+                        cycle,
+                        port: Some(name.clone()),
+                        details: vec![
+                            (format!("lane{l}"), packed.to_string()),
+                            ("event_driven".to_owned(), trace[pi].to_string()),
+                        ],
+                    }));
+                }
+            }
+        }
+        // Clock edge: error parity between the packed tick and the
+        // scalar lanes.
+        let batch_err = lanes.tick().err();
+        let scalar_errs: Vec<Option<String>> = scalars.iter_mut().map(|s| s.step().err()).collect();
+        let any_scalar = scalar_errs.iter().any(Option::is_some);
+        match (batch_err, any_scalar) {
+            (None, false) => {}
+            (Some(_), true) => return Ok(None), // error parity: conforming stop
+            (batch, _) => {
+                let mut details = vec![(
+                    "lane_batch".to_owned(),
+                    batch.map_or_else(|| "ok".to_owned(), |e| format!("error: {e}")),
+                )];
+                for (l, e) in scalar_errs.iter().enumerate() {
+                    if let Some(e) = e {
+                        details.push((format!("lane{l}"), format!("error: {e}")));
+                    }
+                }
+                return Ok(Some(Divergence {
+                    cycle,
+                    port: None,
+                    details,
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +524,24 @@ mod tests {
                 design.label
             );
         }
+    }
+
+    #[test]
+    fn sampled_designs_conform_lane_packed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut batched = 0;
+        for _ in 0..12 {
+            let design = sample_design(&mut rng).unwrap();
+            let stims: Vec<Stimulus> = (0..8)
+                .map(|_| Stimulus::sample(&design.netlist, 6, &mut rng))
+                .collect();
+            match check_lanes(&design.netlist, &stims) {
+                Ok(None) => batched += 1,
+                Ok(Some(d)) => panic!("lane divergence in {}: {d}", design.label),
+                Err(_) => {} // out of the lane engine's scope
+            }
+        }
+        assert!(batched > 0, "no sampled design was lane-packable");
     }
 
     #[test]

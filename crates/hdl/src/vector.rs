@@ -293,7 +293,15 @@ impl LogicVector {
         }
     }
 
-    /// IEEE 1164 resolution of two drivers on the same bus, bit by bit.
+    /// IEEE 1164 resolution of two drivers on the same bus.
+    ///
+    /// Computed word-level on the packed planes — `Z` yields to the
+    /// other driver, agreement keeps the value, conflict or any `X`
+    /// produces `X` — so resolving a whole vector costs a handful of
+    /// plane ops rather than a bit-at-a-time fold. The planes are
+    /// mutually exclusive per bit (the invariant [`LogicVector::set`]
+    /// maintains), which is what lets each term below intersect them
+    /// directly.
     ///
     /// # Errors
     ///
@@ -306,12 +314,18 @@ impl LogicVector {
                 found: other.width(),
             });
         }
-        let mut out = Self::zeros(self.width())?;
-        for i in 0..self.width() {
-            let bit = self.bit(i)?.resolve(other.bit(i)?);
-            out.set(i, bit)?;
-        }
-        Ok(out)
+        let (va, ua, za) = self.raw_masks();
+        let (vb, ub, zb) = other.raw_masks();
+        let both = !za & !zb;
+        let highz = za & zb;
+        let unknown = (za & ub) | (zb & ua) | (both & (ua | ub | (va ^ vb)));
+        let value = ((za & vb) | (zb & va) | (both & va & vb)) & !unknown;
+        Ok(Self {
+            width: self.width,
+            value,
+            unknown,
+            highz,
+        })
     }
 
     /// Iterates over bits from least significant to most significant.
@@ -492,6 +506,37 @@ mod tests {
         let r = a.resolve(&b).unwrap();
         assert!(!r.is_defined());
         assert_eq!(r.bit(0).unwrap(), Bit::X);
+    }
+
+    #[test]
+    fn word_level_resolve_matches_bit_level_resolve() {
+        // Exhaustive over every 2-bit four-state pair: the plane
+        // computation must agree with Bit::resolve on each bit and
+        // leave the planes in the canonical (mutually exclusive)
+        // form `set` produces.
+        let bits = [Bit::Zero, Bit::One, Bit::X, Bit::Z];
+        let vectors: Vec<LogicVector> = bits
+            .iter()
+            .flat_map(|&hi| bits.iter().map(move |&lo| (hi, lo)))
+            .map(|(hi, lo)| {
+                let mut v = LogicVector::zeros(2).unwrap();
+                v.set(0, lo).unwrap();
+                v.set(1, hi).unwrap();
+                v
+            })
+            .collect();
+        for a in &vectors {
+            for b in &vectors {
+                let word = a.resolve(b).unwrap();
+                let mut bitwise = LogicVector::zeros(2).unwrap();
+                for i in 0..2 {
+                    bitwise
+                        .set(i, a.bit(i).unwrap().resolve(b.bit(i).unwrap()))
+                        .unwrap();
+                }
+                assert_eq!(word, bitwise, "{a} resolve {b}");
+            }
+        }
     }
 
     #[test]

@@ -9,13 +9,14 @@
 //! The cache closes the reuse loop:
 //!
 //! * **miss** — instantiate the spec, validate it while wiring the
-//!   interpreter, simulate (the compiled scheduler levelizes on the
-//!   fly), then publish the netlist and the exported
-//!   [`CompiledPlan`](hdp_sim::CompiledPlan) under the design's
-//!   content address;
+//!   interpreter, simulate (the compiled scheduler levelizes — and,
+//!   in the default lowered mode, translates each interpreter into a
+//!   word-level op stream — on the fly), then publish the netlist and
+//!   the exported [`CompiledPlan`](hdp_sim::CompiledPlan) under the
+//!   design's content address;
 //! * **hit** — clone the cached netlist and install the cached plan
-//!   ([`Simulator::install_plan`]), skipping metagen instantiation
-//!   and the levelization settle entirely.
+//!   ([`Simulator::install_plan`]), skipping metagen instantiation,
+//!   the levelization settle and the lowering pass entirely.
 //!
 //! Cached and cold execution are bit-identical: the installed
 //! schedule is the one a local compile would have produced, and the
@@ -88,9 +89,10 @@ impl From<WireError> for ServiceError {
 /// Per-job execution options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobOptions {
-    /// Scheduler mode. The default, [`SchedMode::Compiled`], is the
-    /// only mode that exports and installs plans; the cache still
-    /// serves netlists to the others.
+    /// Scheduler mode. The default, [`SchedMode::Lowered`], and
+    /// [`SchedMode::Compiled`] are the modes that export and install
+    /// plans (a lowered plan also carries the word-level op streams);
+    /// the cache still serves netlists to the others.
     pub mode: SchedMode,
     /// Record and return a VCD waveform of every port. Disables plan
     /// reuse for the job (the recorder changes the design shape).
@@ -105,7 +107,7 @@ pub struct JobOptions {
 impl Default for JobOptions {
     fn default() -> Self {
         Self {
-            mode: SchedMode::Compiled,
+            mode: SchedMode::Lowered,
             vcd: false,
             telemetry: false,
             verify: false,
@@ -123,7 +125,8 @@ pub struct JobOutcome {
     /// Whether the design was served from the cache.
     pub cache_hit: bool,
     /// Whether a cached [`CompiledPlan`](hdp_sim::CompiledPlan) was
-    /// installed (always `false` on a miss or for non-compiled modes).
+    /// installed (always `false` on a miss or for modes that neither
+    /// export nor install plans).
     pub plan_installed: bool,
     /// The design's non-input ports as `(name, width)`, in entity
     /// order — the columns of `trace`.
@@ -317,7 +320,8 @@ impl Service {
 
         // A VCD recorder adds a component, so the sim no longer has
         // the shape the cached plan was exported from.
-        let plan_eligible = opts.mode == SchedMode::Compiled && !opts.vcd;
+        let plan_eligible =
+            matches!(opts.mode, SchedMode::Compiled | SchedMode::Lowered) && !opts.vcd;
         let telemetry = if opts.telemetry {
             TelemetryLevel::Counters
         } else {
@@ -469,6 +473,29 @@ mod tests {
         assert_eq!(cold.design_hash, warm.design_hash);
         let stats = service.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn lowered_default_executes_op_streams_and_hits_warm() {
+        let service = Service::new(8);
+        let case = sample_case(42, 10);
+        let opts = JobOptions {
+            telemetry: true,
+            ..JobOptions::default()
+        };
+        assert_eq!(opts.mode, SchedMode::Lowered);
+        let cold = service.run_case(&case, &opts).unwrap();
+        let warm = service.run_case(&case, &opts).unwrap();
+        assert!(warm.cache_hit && warm.plan_installed);
+        assert_eq!(
+            cold.trace, warm.trace,
+            "warm lowered run must be bit-identical"
+        );
+        let stats = warm.stats.expect("telemetry requested");
+        assert!(
+            stats.lowered_settles > 0,
+            "the warm job must settle on the lowered op-stream walk"
+        );
     }
 
     #[test]

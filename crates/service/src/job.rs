@@ -7,17 +7,17 @@
 //!
 //! ```json
 //! {"schema": "hdp-conform-repro-v1", "design": {…}, "stimulus": {…},
-//!  "options": {"mode": "compiled", "vcd": false,
+//!  "options": {"mode": "lowered", "vcd": false,
 //!              "telemetry": false, "verify": false, "threads": 2}}
 //! ```
 //!
-//! | option      | values                                                  | default    |
-//! |-------------|---------------------------------------------------------|------------|
-//! | `mode`      | `compiled`, `event_driven`, `full_sweep`, `parallel`    | `compiled` |
-//! | `threads`   | worker threads for `parallel` mode                      | `2`        |
-//! | `vcd`       | return a VCD waveform (disables plan reuse)             | `false`    |
-//! | `telemetry` | return a telemetry summary                              | `false`    |
-//! | `verify`    | re-run cache-free under full sweep and compare          | `false`    |
+//! | option      | values                                                           | default   |
+//! |-------------|------------------------------------------------------------------|-----------|
+//! | `mode`      | `lowered`, `compiled`, `event_driven`, `full_sweep`, `parallel`  | `lowered` |
+//! | `threads`   | worker threads for `parallel` mode                               | `2`       |
+//! | `vcd`       | return a VCD waveform (disables plan reuse)                      | `false`   |
+//! | `telemetry` | return a telemetry summary                                       | `false`   |
+//! | `verify`    | re-run cache-free under full sweep and compare                   | `false`   |
 //!
 //! A response is one `hdp-service-result-v1` JSON document per line:
 //! `design_hash`, `cache` (`"hit"`/`"miss"`), `plan_installed`, the
@@ -64,6 +64,7 @@ pub fn parse_job(text: &str) -> Result<(Case, JobOptions), WireError> {
         };
         if let Some(mode) = options.get("mode") {
             opts.mode = match mode.as_str() {
+                Some("lowered") => SchedMode::Lowered,
                 Some("compiled") => SchedMode::Compiled,
                 Some("event_driven") => SchedMode::EventDriven,
                 Some("full_sweep") => SchedMode::FullSweep,
@@ -103,6 +104,11 @@ fn stats_to_json(stats: &SimStats) -> Json {
             "compiled_settles".to_owned(),
             Json::Num(stats.compiled_settles),
         ),
+        (
+            "lowered_settles".to_owned(),
+            Json::Num(stats.lowered_settles),
+        ),
+        ("ops_executed".to_owned(), Json::Num(stats.ops_executed)),
         (
             "fallback_settles".to_owned(),
             Json::Num(stats.fallback_settles),
@@ -236,11 +242,18 @@ mod tests {
     }
 
     #[test]
-    fn defaults_to_compiled_mode() {
+    fn defaults_to_lowered_mode() {
         let line = job_line(3, 4, "");
         let (_, opts) = parse_job(&line).unwrap();
         assert_eq!(opts, JobOptions::default());
-        assert_eq!(opts.mode, SchedMode::Compiled);
+        assert_eq!(opts.mode, SchedMode::Lowered);
+    }
+
+    #[test]
+    fn parses_lowered_mode() {
+        let line = job_line(3, 4, "{\"mode\":\"lowered\"}");
+        let (_, opts) = parse_job(&line).unwrap();
+        assert_eq!(opts.mode, SchedMode::Lowered);
     }
 
     #[test]

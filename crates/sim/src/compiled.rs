@@ -11,9 +11,11 @@
 //! the pure data structures plus [`CompiledBus`], the [`BusAccess`]
 //! façade components see while evaluating against the arena.
 
+use crate::lower::LoweredProgram;
 use crate::signal::{BusAccess, DRIVER_POKE};
 use crate::{SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
+use std::sync::Arc;
 
 /// A reusable snapshot of a validated compiled schedule: everything
 /// the compile step derives from a design that is *independent of
@@ -51,6 +53,14 @@ pub struct CompiledPlan {
     pub(crate) order: Vec<u32>,
     /// Component count per levelized rank.
     pub(crate) rank_counts: Vec<u64>,
+    /// Per-component lowered op-stream programs (`None` where the
+    /// component keeps interpreted evaluation), indexed by component
+    /// registration order. Populated when the exporting simulator ran
+    /// [`crate::SchedMode::Lowered`]; empty otherwise. Value-free like
+    /// the rest of the plan, so the service's content-addressed cache
+    /// hands warm jobs a ready-to-run op stream and the lowering
+    /// translation happens once per design, not once per job.
+    pub(crate) lowered: Vec<Option<Arc<LoweredProgram>>>,
 }
 
 impl CompiledPlan {
@@ -78,6 +88,14 @@ impl CompiledPlan {
     #[must_use]
     pub fn signals(&self) -> usize {
         self.n_sigs
+    }
+
+    /// Number of components the plan carries a lowered op-stream
+    /// program for (zero when the plan was exported from a
+    /// non-lowered simulator).
+    #[must_use]
+    pub fn lowered_components(&self) -> usize {
+        self.lowered.iter().filter(|p| p.is_some()).count()
     }
 }
 

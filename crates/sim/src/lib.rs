@@ -12,14 +12,21 @@
 //!   edge. Settling is event-driven by default — only components
 //!   sensitive to a changed signal re-evaluate — with a full-sweep
 //!   reference mode, a multi-threaded wave mode
-//!   ([`SchedMode::Parallel`]) and an ahead-of-time compiled mode
-//!   ([`SchedMode::Compiled`]) selectable via [`SchedMode`]. Parallel
+//!   ([`SchedMode::Parallel`]), an ahead-of-time compiled mode
+//!   ([`SchedMode::Compiled`]) and a lowered mode
+//!   ([`SchedMode::Lowered`]) selectable via [`SchedMode`]. Parallel
 //!   waves evaluate signal-disjoint islands of woken components on
 //!   worker threads against an immutable pass snapshot and commit
 //!   their drives in registration order; compiled mode freezes the
 //!   design into a levelized rank schedule over a bit-packed signal
-//!   arena and settles in one walk. Every mode produces bit-identical
-//!   traces.
+//!   arena and settles in one walk; lowered mode additionally
+//!   translates every [`NetlistComponent`] on that walk into a flat
+//!   word-level op stream executed straight against `u64` planes.
+//!   Every mode produces bit-identical traces.
+//! * [`LaneBatch`] — 64-way bit-parallel execution of one feed-forward
+//!   netlist: [`LANES`] independent stimulus lanes are packed one per
+//!   bit of a `u64` word per net-bit column, so a single settle/tick
+//!   advances 64 runs at once (conformance fuzzing, service batches).
 //! * [`SimBuilder`] — builder-style construction that freezes the
 //!   scheduler's sensitivity tables once and applies power-on reset.
 //! * [`Component`] — the trait every hardware model implements,
@@ -65,7 +72,7 @@
 //!
 //! ## Choosing a scheduler
 //!
-//! All four [`SchedMode`]s run the same designs and produce
+//! All five [`SchedMode`]s run the same designs and produce
 //! bit-identical settled values; they differ only in how the settle
 //! phase finds the fixpoint. The default event-driven mode needs no
 //! setup:
@@ -174,6 +181,7 @@ mod compiled;
 mod component;
 pub mod devices;
 mod error;
+mod lower;
 mod netlist_sim;
 pub mod probe;
 mod sched;
@@ -184,6 +192,7 @@ pub mod vcd;
 pub use compiled::CompiledPlan;
 pub use component::{Component, Sensitivity};
 pub use error::SimError;
+pub use lower::{LaneBatch, LANES};
 pub use netlist_sim::NetlistComponent;
 pub use sched::{ComponentId, SchedMode, SimBuilder, Simulator};
 pub use signal::{BusAccess, BusReader, DriveLog, SignalBus, SignalId, SplitBus};

@@ -282,6 +282,35 @@ impl NetlistComponent {
         &self.netlist
     }
 
+    /// The port wiring, for the lowering translator: `(port, dir, net,
+    /// signal)` in wiring order.
+    pub(crate) fn lowered_wiring(&self) -> &[(String, PortDir, hdp_hdl::NetId, SignalId)] {
+        &self.port_wiring
+    }
+
+    /// The output-net values a sequential cell currently presents, for
+    /// the lowered executor (which reproduces the interpreter's
+    /// sequential-presentation phase on its own planes).
+    pub(crate) fn lowered_seq_outputs(&self, ci: usize) -> Vec<(usize, LogicVector)> {
+        self.seq_output_values(ci)
+    }
+
+    /// Writes a settled net value back into the interpreter's net
+    /// cache. The lowered executor uses this for sequential cell
+    /// *inputs* so a delegated `tick` samples exactly the values the op
+    /// stream computed.
+    pub(crate) fn lowered_sync_net(&mut self, net: usize, value: LogicVector) {
+        self.net_values[net] = value;
+    }
+
+    /// Marks the interpreter's combinational cache stale after a
+    /// lowered settle, so any later interpreted evaluation (fallback,
+    /// mode switch) recomputes every net instead of trusting values
+    /// the op stream may have bypassed.
+    pub(crate) fn lowered_mark_stale(&mut self) {
+        self.full_eval = true;
+    }
+
     /// The settled value of an internal net, for white-box assertions.
     #[must_use]
     pub fn net_value(&self, name: &str) -> Option<LogicVector> {

@@ -1,6 +1,6 @@
 //! The clocked delta-cycle scheduler.
 //!
-//! Four interchangeable scheduling strategies share one set of
+//! Five interchangeable scheduling strategies share one set of
 //! semantics (see [`SchedMode`]):
 //!
 //! * **Event-driven** (default) — components declare the signals their
@@ -35,8 +35,19 @@
 //!   transparently — and permanently — to the event-driven scheduler;
 //!   an invalidated schedule (newly discovered driver, added
 //!   components) falls back for one settle and rebuilds.
+//! * **Lowered** — the compiled rank walk, with every
+//!   [`crate::NetlistComponent`] additionally translated into a flat
+//!   word-level op stream ([`crate::SchedMode::Lowered`]) executed
+//!   straight against `u64` value/unknown/high-Z planes: no virtual
+//!   `eval` dispatch, no `BusAccess` reads per net, no `LogicVector`
+//!   materialisation between cells. Components that are not netlist
+//!   interpreters (or whose shape cannot lower) keep their virtual
+//!   `eval` on the same walk, and every fallback rule of compiled
+//!   mode applies unchanged.
 
 use crate::compiled::{CompiledBus, CompiledPlan, CompiledSchedule, SignalArena};
+use crate::lower::{exec_settle, LoweredProgram, LoweredScratch};
+use crate::netlist_sim::NetlistComponent;
 use crate::signal::{BusAccess as _, BusReader, DRIVER_POKE};
 use crate::telemetry::{
     ComponentStats, SignalStats, SimStats, Telemetry, TelemetryLevel, TraceEvent,
@@ -44,6 +55,7 @@ use crate::telemetry::{
 use crate::{Component, DriveLog, Sensitivity, SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
 use std::any::Any;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Maximum settle iterations before declaring non-convergence.
@@ -128,6 +140,24 @@ pub enum SchedMode {
     /// components or signals, or direct device mutation through
     /// [`Simulator::component_mut`]), after which it rebuilds.
     Compiled,
+    /// [`SchedMode::Compiled`]'s rank walk with netlist interpreters
+    /// lowered to flat word-level op streams: each
+    /// [`crate::NetlistComponent`] is translated once into a
+    /// `Vec<LoweredOp>` over per-net `u64` value/unknown/high-Z
+    /// planes, and its slot in the walk executes that straight-line
+    /// stream — no per-cell virtual dispatch, no `BusAccess` facade
+    /// between cells, no `LogicVector` allocation on the hot path.
+    /// Clock edges, memory-port protocol checks and their error
+    /// messages stay with the interpreter's `tick`, which samples the
+    /// settled planes.
+    ///
+    /// Components that are not netlist interpreters — or whose shape
+    /// cannot lower (e.g. inout ports) — keep their virtual `eval` on
+    /// the same walk, and all of [`SchedMode::Compiled`]'s
+    /// transient/permanent fallback rules apply unchanged. Settled
+    /// values, traces and telemetry toggle totals remain bit-identical
+    /// to [`SchedMode::EventDriven`].
+    Lowered,
 }
 
 impl SchedMode {
@@ -294,6 +324,15 @@ struct ActivePlan {
     sched: Result<CompiledSchedule, String>,
 }
 
+/// One component's lowered op-stream program plus its reusable scratch
+/// planes ([`SchedMode::Lowered`]). The program is behind an `Arc` so
+/// [`Simulator::export_plan`] can ship it inside a [`CompiledPlan`]
+/// without cloning the op stream.
+struct LoweredUnit {
+    prog: Arc<LoweredProgram>,
+    scratch: LoweredScratch,
+}
+
 /// A synchronous single-clock simulator.
 ///
 /// Owns the [`SignalBus`] and the component instances and advances
@@ -359,6 +398,13 @@ pub struct Simulator {
     /// validation settle. `None` until the first compiled settle or
     /// after invalidation.
     compiled: Option<ActivePlan>,
+    /// Per-component lowered op-stream programs for
+    /// [`SchedMode::Lowered`], index-aligned with `components`. `None`
+    /// entries evaluate through the virtual `eval` path on the rank
+    /// walk (not a netlist interpreter, or a shape that cannot lower).
+    lowered: Vec<Option<LoweredUnit>>,
+    /// Whether `lowered` is current for the component set.
+    lowered_ready: bool,
     /// Telemetry counters (all mutation behind a level check; zero
     /// counter traffic at [`TelemetryLevel::Off`]).
     telemetry: Telemetry,
@@ -435,6 +481,7 @@ impl Simulator {
     pub fn add_component(&mut self, component: impl Component + Send + 'static) -> ComponentId {
         self.components.push(Box::new(component));
         self.tables_ready = false;
+        self.lowered_ready = false;
         self.wake_all = true;
         ComponentId(self.components.len() - 1)
     }
@@ -572,6 +619,8 @@ impl Simulator {
             inline_waves: t.inline_waves,
             fallback_settles: t.fallback_settles,
             compiled_settles: t.compiled_settles,
+            lowered_settles: t.lowered_settles,
+            ops_executed: t.ops_executed,
             plan_installs: t.plan_installs,
             compiled_ranks,
             notes,
@@ -668,7 +717,7 @@ impl Simulator {
             SchedMode::FullSweep => self.settle_sweep(),
             SchedMode::EventDriven => self.settle_event(),
             SchedMode::Parallel { threads } => self.settle_parallel(threads),
-            SchedMode::Compiled => self.settle_compiled(),
+            SchedMode::Compiled | SchedMode::Lowered => self.settle_compiled(),
         }
     }
 
@@ -1094,6 +1143,9 @@ impl Simulator {
     /// stale, unbuildable, or a full re-evaluation is pending.
     fn settle_compiled(&mut self) -> Result<(), SimError> {
         self.ensure_tables()?;
+        if self.mode == SchedMode::Lowered {
+            self.ensure_lowered();
+        }
         let fresh = self.compiled.as_ref().is_some_and(|p| {
             p.n_sigs == self.bus.len()
                 && p.n_comps == self.components.len()
@@ -1191,12 +1243,19 @@ impl Simulator {
         if sched.arena_stale {
             sched.arena.load_from(&self.bus);
             sched.arena_stale = false;
+            // An event-driven settle (or reset / device mutation) ran
+            // since the last walk: the lowered input memos may be
+            // describing stale sequential state.
+            for unit in self.lowered.iter_mut().flatten() {
+                unit.scratch.dirty = true;
+            }
         }
         sched.begin_settle();
         let telemetry_on = self.telemetry.on();
         if telemetry_on {
             self.telemetry.ensure_components(self.components.len());
         }
+        let use_lowered = self.mode == SchedMode::Lowered;
         let mut evaluated: Vec<usize> = Vec::new();
         {
             let Simulator {
@@ -1208,6 +1267,7 @@ impl Simulator {
                 seeds,
                 poked_signals,
                 telemetry,
+                lowered,
                 ..
             } = self;
             // Wake set: pending seeds (tick aftermath), watchers of
@@ -1257,6 +1317,7 @@ impl Simulator {
                     evaluated.push(i);
                 }
                 let started = telemetry.timed().then(Instant::now);
+                let mut lowered_ops = 0u64;
                 let res = {
                     let mut cb = CompiledBus {
                         sched: &mut *sched,
@@ -1264,13 +1325,29 @@ impl Simulator {
                         driver: i,
                         telemetry: telemetry_on,
                     };
-                    components[i].eval(&mut cb)
+                    let unit = if use_lowered {
+                        lowered.get_mut(i).and_then(Option::as_mut)
+                    } else {
+                        None
+                    };
+                    match unit {
+                        Some(unit) => {
+                            let comp = (*components[i])
+                                .as_any_mut()
+                                .downcast_mut::<NetlistComponent>()
+                                .expect("a lowered unit is built from a NetlistComponent");
+                            exec_settle(&unit.prog, &mut unit.scratch, comp, &mut cb)
+                                .map(|ops| lowered_ops = ops)
+                        }
+                        None => components[i].eval(&mut cb),
+                    }
                 };
                 if telemetry_on {
                     let dur = started.map_or(0, |t| {
                         u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
                     });
                     telemetry.record_eval(i, dur);
+                    telemetry.ops_executed += lowered_ops;
                     if started.is_some() {
                         telemetry.push_span(TraceEvent {
                             name: components[i].name().to_owned(),
@@ -1310,7 +1387,11 @@ impl Simulator {
         }
         if telemetry_on {
             self.telemetry.settles += 1;
-            self.telemetry.compiled_settles += 1;
+            if use_lowered {
+                self.telemetry.lowered_settles += 1;
+            } else {
+                self.telemetry.compiled_settles += 1;
+            }
             self.telemetry.record_pass(&evaluated);
             self.telemetry.max_passes = self.telemetry.max_passes.max(1);
             self.bus.count_pass_toggles();
@@ -1331,6 +1412,50 @@ impl Simulator {
             sched: self.try_levelize(),
         };
         self.compiled = Some(plan);
+    }
+
+    /// (Re)derives the per-component lowered op streams for
+    /// [`SchedMode::Lowered`]. Every [`NetlistComponent`] is
+    /// translated once into a flat word-level program; anything else —
+    /// or a netlist shape that cannot lower — keeps its virtual `eval`
+    /// on the rank walk, with the reason recorded as a telemetry note.
+    fn ensure_lowered(&mut self) {
+        if self.lowered_ready && self.lowered.len() == self.components.len() {
+            return;
+        }
+        let mut units = Vec::with_capacity(self.components.len());
+        let mut fallbacks: Vec<String> = Vec::new();
+        for c in &self.components {
+            let unit = (**c)
+                .as_any()
+                .downcast_ref::<NetlistComponent>()
+                .and_then(|nc| {
+                    match LoweredProgram::try_lower(nc.netlist(), nc.lowered_wiring()) {
+                        Ok(prog) => {
+                            let scratch = LoweredScratch::new(&prog);
+                            Some(LoweredUnit {
+                                prog: Arc::new(prog),
+                                scratch,
+                            })
+                        }
+                        Err(reason) => {
+                            fallbacks.push(format!(
+                                "lowered: component `{}` keeps interpreted eval — {reason}",
+                                c.name()
+                            ));
+                            None
+                        }
+                    }
+                });
+            units.push(unit);
+        }
+        self.lowered = units;
+        self.lowered_ready = true;
+        if self.telemetry.on() {
+            for note in &fallbacks {
+                self.telemetry.note_once(note);
+            }
+        }
     }
 
     /// Attempts to levelize the design: writers per signal are the
@@ -1539,6 +1664,17 @@ impl Simulator {
                 links.push((u32::try_from(slot).unwrap_or(u32::MAX), driver));
             }
         }
+        // A simulator that ran [`SchedMode::Lowered`] also ships its
+        // per-component op streams (cheap: `Arc` bumps), so a warm
+        // install skips the lowering pass as well as levelization.
+        let lowered: Vec<Option<Arc<LoweredProgram>>> = if self.lowered.len() == plan.n_comps {
+            self.lowered
+                .iter()
+                .map(|u| u.as_ref().map(|u| Arc::clone(&u.prog)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Some(CompiledPlan {
             signature: self.design_signature(),
             n_sigs: plan.n_sigs,
@@ -1546,6 +1682,7 @@ impl Simulator {
             links,
             order: sched.order.clone(),
             rank_counts: sched.rank_counts.clone(),
+            lowered,
         })
     }
 
@@ -1625,7 +1762,42 @@ impl Simulator {
             links: self.bus.driver_link_count(),
             sched: Ok(sched),
         });
-        self.set_mode(SchedMode::Compiled);
+        // Adopt the plan's lowered op streams when it carries a
+        // complete, still-matching set — the warm simulator then skips
+        // its own lowering pass entirely.
+        if plan.lowered.len() == self.components.len() {
+            let mut units = Vec::with_capacity(plan.lowered.len());
+            let mut compatible = true;
+            for (i, prog) in plan.lowered.iter().enumerate() {
+                match prog {
+                    Some(prog) => {
+                        let ok = (*self.components[i])
+                            .as_any()
+                            .downcast_ref::<NetlistComponent>()
+                            .is_some_and(|nc| prog.matches(nc));
+                        if !ok {
+                            compatible = false;
+                            break;
+                        }
+                        units.push(Some(LoweredUnit {
+                            prog: Arc::clone(prog),
+                            scratch: LoweredScratch::new(prog),
+                        }));
+                    }
+                    None => units.push(None),
+                }
+            }
+            if compatible {
+                self.lowered = units;
+                self.lowered_ready = true;
+            }
+        }
+        // A simulator already running lowered keeps that mode; anything
+        // else lands on the classic compiled walk (the historical
+        // contract of `install_plan`).
+        if self.mode != SchedMode::Lowered {
+            self.set_mode(SchedMode::Compiled);
+        }
         if self.telemetry.on() {
             self.telemetry.plan_installs += 1;
             self.telemetry
@@ -1785,7 +1957,10 @@ impl Simulator {
                     c.tick(&mut self.bus)?;
                 }
             }
-            SchedMode::EventDriven | SchedMode::Parallel { .. } | SchedMode::Compiled => {
+            SchedMode::EventDriven
+            | SchedMode::Parallel { .. }
+            | SchedMode::Compiled
+            | SchedMode::Lowered => {
                 for idx in 0..self.clocked.len() {
                     let i = self.clocked[idx];
                     self.bus.set_driver(i);
@@ -1801,13 +1976,24 @@ impl Simulator {
                 // tick is allowed to drive signals directly on the
                 // bus, and reloading the whole arena every cycle would
                 // cost more than the compiled walk saves.
-                if self.mode == SchedMode::Compiled {
+                if matches!(self.mode, SchedMode::Compiled | SchedMode::Lowered) {
                     if let Some(Ok(sched)) = self.compiled.as_mut().map(|p| p.sched.as_mut()) {
                         if !sched.arena_stale {
                             for slot in self.bus.dirty_slots() {
                                 let v = self.bus.read(SignalId(slot))?;
                                 sched.arena.set(slot, v);
                             }
+                        }
+                    }
+                }
+                // A clock edge advanced every clocked interpreter's
+                // sequential state, which a lowered program's input
+                // memo cannot see: force those op streams to re-run.
+                if self.mode == SchedMode::Lowered {
+                    for idx in 0..self.clocked.len() {
+                        let i = self.clocked[idx];
+                        if let Some(unit) = self.lowered.get_mut(i).and_then(Option::as_mut) {
+                            unit.scratch.dirty = true;
                         }
                     }
                 }
@@ -1997,12 +2183,13 @@ mod tests {
     use std::sync::Arc;
 
     /// The scheduling modes every semantics test must agree across.
-    const ALL_MODES: [SchedMode; 5] = [
+    const ALL_MODES: [SchedMode; 6] = [
         SchedMode::EventDriven,
         SchedMode::FullSweep,
         SchedMode::Parallel { threads: 1 },
         SchedMode::Parallel { threads: 4 },
         SchedMode::Compiled,
+        SchedMode::Lowered,
     ];
 
     /// A register: q <= d on every edge.
@@ -2384,9 +2571,11 @@ mod tests {
         sim.run(3).unwrap();
         sim.set_mode(SchedMode::Compiled);
         sim.run(3).unwrap();
+        sim.set_mode(SchedMode::Lowered);
+        sim.run(3).unwrap();
         sim.set_mode(SchedMode::EventDriven);
         sim.run(3).unwrap();
-        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(15));
+        assert_eq!(sim.peek(q).unwrap().to_u64(), Some(18));
     }
 
     /// Builds `n` independent counters (islands) in one simulator.
@@ -2618,6 +2807,7 @@ mod tests {
             SchedMode::Parallel { threads: 2 },
             SchedMode::Parallel { threads: 4 },
             SchedMode::Compiled,
+            SchedMode::Lowered,
         ] {
             let (mut sim, sels) = oscillator_farm(mode, n);
             for sel in &sels {

@@ -170,6 +170,14 @@ pub struct SimStats {
     /// Settles executed as a single compiled rank walk
     /// ([`crate::SchedMode::Compiled`]).
     pub compiled_settles: u64,
+    /// Settles executed as a rank walk with lowered op-stream
+    /// execution ([`crate::SchedMode::Lowered`]). Disjoint from
+    /// [`SimStats::compiled_settles`]: a settle counts under exactly
+    /// one of the two depending on the active mode.
+    pub lowered_settles: u64,
+    /// Word-level ops executed by lowered components across all
+    /// lowered settles (memo-skipped walks contribute zero).
+    pub ops_executed: u64,
     /// Compiled schedules installed from a cached [`crate::CompiledPlan`]
     /// ([`crate::Simulator::install_plan`]) instead of being levelized
     /// locally — the per-simulator face of a plan-cache hit.
@@ -273,6 +281,13 @@ impl SimStats {
                 self.compiled_settles,
                 self.compiled_ranks.len(),
                 self.compiled_ranks
+            );
+        }
+        if self.lowered_settles > 0 || self.ops_executed > 0 {
+            let _ = writeln!(
+                out,
+                "  lowered: {} op-stream settles, {} word ops executed",
+                self.lowered_settles, self.ops_executed
             );
         }
         if self.plan_installs > 0 {
@@ -411,6 +426,8 @@ pub(crate) struct Telemetry {
     pub(crate) inline_waves: u64,
     pub(crate) fallback_settles: u64,
     pub(crate) compiled_settles: u64,
+    pub(crate) lowered_settles: u64,
+    pub(crate) ops_executed: u64,
     pub(crate) plan_installs: u64,
     /// Deduplicated one-line scheduler notes (fallbacks,
     /// invalidations) surfaced in [`SimStats::notes`].

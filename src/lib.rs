@@ -92,7 +92,9 @@ pub use hdp_core as pattern;
 /// without deep crate paths.
 pub mod prelude {
     pub use hdp_conform::wire::{design_hash, job_to_json, parse_case, repro_to_json};
-    pub use hdp_conform::{Case, Divergence, Json, Stimulus as WireStimulus, WireError};
+    pub use hdp_conform::{
+        check_lanes, Case, Divergence, Json, Stimulus as WireStimulus, WireError,
+    };
     pub use hdp_service::{
         serve, submit, CacheStats, CachedDesign, JobOptions, JobOutcome, PlanCache, ServerHandle,
         Service, ServiceError,
@@ -100,6 +102,7 @@ pub mod prelude {
     pub use hdp_sim::probe::{Monitor, Stimulus};
     pub use hdp_sim::vcd::VcdRecorder;
     pub use hdp_sim::{
-        CompiledPlan, SchedMode, SimBuilder, SimError, SimStats, Simulator, TelemetryLevel,
+        CompiledPlan, LaneBatch, SchedMode, SimBuilder, SimError, SimStats, Simulator,
+        TelemetryLevel, LANES,
     };
 }
