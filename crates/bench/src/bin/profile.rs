@@ -69,6 +69,11 @@ fn mode_json(label: &str, stats: &SimStats) -> String {
     );
     let _ = writeln!(out, "      \"lowered_settles\": {},", stats.lowered_settles);
     let _ = writeln!(out, "      \"ops_executed\": {},", stats.ops_executed);
+    let causes: Vec<String> = stats
+        .fallback_cause_counts()
+        .map(|(cause, n)| format!("\"{}\": {n}", cause.label()))
+        .collect();
+    let _ = writeln!(out, "      \"fallback_causes\": {{{}}},", causes.join(", "));
     let notes: Vec<String> = stats.notes.iter().map(|n| json_string(n)).collect();
     let _ = writeln!(out, "      \"notes\": [{}],", notes.join(","));
     let islands: Vec<String> = stats.island_sizes.iter().map(u64::to_string).collect();
@@ -109,8 +114,27 @@ fn mode_json(label: &str, stats: &SimStats) -> String {
     out
 }
 
+/// The text of one mode's object inside the profile summary (from
+/// its label to the closing brace at mode indentation).
+fn mode_section<'a>(profile: &'a str, label: &str) -> Option<&'a str> {
+    let start = profile.find(&format!("\"{label}\": {{"))?;
+    let rest = &profile[start..];
+    let end = rest.find("\n    }")?;
+    Some(&rest[..end])
+}
+
+/// A numeric field's value inside one mode section.
+fn field_u64(section: &str, key: &str) -> Option<u64> {
+    let pos = section.find(&format!("\"{key}\": "))?;
+    let rest = &section[pos + key.len() + 4..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
 /// Checks the profile summary against its schema: every required key
-/// present, the modes object complete, and the trace file a Chrome
+/// present, the modes object complete — with the per-mode lowered
+/// counters (`lowered_settles`, `ops_executed`, `fallback_causes`)
+/// pinned per scheduler mode — and the trace file a Chrome
 /// trace-event object. Returns a list of problems (empty = valid).
 fn validate_artifacts(profile: &str, trace: &str) -> Vec<String> {
     let mut problems = Vec::new();
@@ -137,6 +161,52 @@ fn validate_artifacts(profile: &str, trace: &str) -> Vec<String> {
     ] {
         if !profile.contains(key) {
             problems.push(format!("{PROFILE_JSON}: missing {key}"));
+        }
+    }
+    // Per-mode schema: every mode section carries the full counter
+    // set, and the lowered counters are pinned to the scheduler that
+    // produced them — only the lowered mode executes op streams.
+    for label in ["full_sweep", "event_driven", "parallel", "lowered"] {
+        let Some(section) = mode_section(profile, label) else {
+            problems.push(format!("{PROFILE_JSON}: missing mode section {label}"));
+            continue;
+        };
+        for key in [
+            "settles",
+            "lowered_settles",
+            "compiled_settles",
+            "fallback_settles",
+            "ops_executed",
+            "fallback_causes",
+        ] {
+            if !section.contains(&format!("\"{key}\"")) {
+                problems.push(format!("{PROFILE_JSON}: mode {label} missing {key}"));
+            }
+        }
+        let lowered_settles = field_u64(section, "lowered_settles");
+        let ops_executed = field_u64(section, "ops_executed");
+        if label == "lowered" {
+            if lowered_settles == Some(0) {
+                problems.push(format!(
+                    "{PROFILE_JSON}: lowered mode reports zero lowered_settles"
+                ));
+            }
+            if ops_executed == Some(0) {
+                problems.push(format!(
+                    "{PROFILE_JSON}: lowered mode reports zero ops_executed"
+                ));
+            }
+        } else {
+            if lowered_settles.is_some_and(|n| n > 0) {
+                problems.push(format!(
+                    "{PROFILE_JSON}: mode {label} reports lowered_settles but never lowers"
+                ));
+            }
+            if ops_executed.is_some_and(|n| n > 0) {
+                problems.push(format!(
+                    "{PROFILE_JSON}: mode {label} reports ops_executed but never lowers"
+                ));
+            }
         }
     }
     if profile.matches('{').count() != profile.matches('}').count() {

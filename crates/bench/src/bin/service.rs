@@ -6,13 +6,15 @@
 //! every design (all cache misses); the second pass reuses every
 //! cached plan (all hits). The run fails — exits non-zero — when the
 //! warm pass is not bit-identical to the cold pass, when the
-//! second-pass hit ratio falls below `--min-hit-ratio`, or when the
-//! warm/cold speedup falls below `--min-speedup`.
+//! second-pass hit ratio falls below `--min-hit-ratio`, when the
+//! warm/cold speedup falls below `--min-speedup`, or when the
+//! observability plane's warm-pass overhead (counters on vs fully
+//! disabled) exceeds `--max-obs-overhead` percent.
 //!
 //! ```text
 //! service [--designs N] [--cycles N] [--seed N] [--threads N]
 //!         [--reps N] [--min-hit-ratio F%] [--min-speedup F%]
-//!         [--out FILE]
+//!         [--max-obs-overhead F%] [--out FILE]
 //! ```
 //!
 //! The ratio flags take integer percentages (`--min-speedup 200` =
@@ -28,6 +30,7 @@ struct Args {
     config: BenchConfig,
     min_hit_pct: u64,
     min_speedup_pct: u64,
+    max_obs_overhead_pct: Option<u64>,
     out: String,
 }
 
@@ -36,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         config: BenchConfig::default(),
         min_hit_pct: 90,
         min_speedup_pct: 100,
+        max_obs_overhead_pct: None,
         out: SUMMARY_JSON.to_owned(),
     };
     let mut it = std::env::args().skip(1);
@@ -58,9 +62,12 @@ fn parse_args() -> Result<Args, String> {
             "--reps" => args.config.reps = value("--reps")?.max(1) as usize,
             "--min-hit-ratio" => args.min_hit_pct = value("--min-hit-ratio")?,
             "--min-speedup" => args.min_speedup_pct = value("--min-speedup")?,
+            "--max-obs-overhead" => {
+                args.max_obs_overhead_pct = Some(value("--max-obs-overhead")?);
+            }
             other => {
                 return Err(format!(
-                    "unknown argument `{other}` (expected --designs/--cycles/--seed/--threads/--reps/--min-hit-ratio/--min-speedup/--out)"
+                    "unknown argument `{other}` (expected --designs/--cycles/--seed/--threads/--reps/--min-hit-ratio/--min-speedup/--max-obs-overhead/--out)"
                 ))
             }
         }
@@ -95,13 +102,14 @@ fn main() -> ExitCode {
 
     let second_pass_ratio = report.warm_hit_ratio;
     eprintln!(
-        "service bench: {} designs x {} cycles, cold {:.1}/s warm {:.1}/s (x{:.2}), second-pass hit ratio {:.3}",
+        "service bench: {} designs x {} cycles, cold {:.1}/s warm {:.1}/s (x{:.2}), second-pass hit ratio {:.3}, obs overhead {:.2}%",
         report.config.designs,
         report.config.cycles,
         report.cold_rate(),
         report.warm_rate(),
         report.speedup(),
         second_pass_ratio,
+        report.obs_overhead_pct,
     );
 
     let mut ok = true;
@@ -123,6 +131,15 @@ fn main() -> ExitCode {
             args.min_speedup_pct
         );
         ok = false;
+    }
+    if let Some(max_pct) = args.max_obs_overhead_pct {
+        if report.obs_overhead_pct > max_pct as f64 {
+            eprintln!(
+                "service bench: FAIL: observability overhead {:.2}% above {max_pct}%",
+                report.obs_overhead_pct
+            );
+            ok = false;
+        }
     }
     if ok {
         ExitCode::SUCCESS

@@ -1,19 +1,26 @@
-//! The `service` CLI: serve, submit, bench.
+//! The `service` CLI: serve, submit, bench, metrics.
 //!
 //! ```text
-//! service serve  [--addr HOST:PORT] [--threads N] [--cache N]
-//! service submit [--addr HOST:PORT] [FILE ...]
-//! service bench  [--designs N] [--cycles N] [--seed N] [--threads N]
-//!                [--reps N] [--cache N] [--out FILE]
+//! service serve   [--addr HOST:PORT] [--threads N] [--cache N]
+//!                 [--obs off|counters|sample]
+//! service submit  [--addr HOST:PORT] [FILE ...]
+//! service bench   [--designs N] [--cycles N] [--seed N] [--threads N]
+//!                 [--reps N] [--cache N] [--out FILE]
+//! service metrics [--addr HOST:PORT] [--json]
 //! ```
 //!
-//! `serve` runs the job server in the foreground until killed.
-//! `submit` reads newline-delimited job documents from the given
-//! files (or stdin when none) and prints one response per line.
-//! `bench` runs the cold-vs-warm cache benchmark and writes
-//! `BENCH_service.json`.
+//! `serve` runs the job server in the foreground until killed; by
+//! default it samples (`--obs sample`): per-stage latency histograms
+//! and span timing on every job. `submit` reads newline-delimited job
+//! documents from the given files (or stdin when none) and prints one
+//! response per line. `bench` runs the cold-vs-warm cache benchmark
+//! and writes `BENCH_service.json`. `metrics` fetches a live
+//! `hdp-service-metrics-v1` snapshot from a running server via the
+//! `stats` verb and renders it Prometheus-style (`--json` prints the
+//! raw snapshot document instead).
 
 use hdp_service::bench::BenchConfig;
+use hdp_service::metrics::{MetricsSnapshot, ObsMode};
 use hdp_service::{serve, submit, Service};
 use std::io::Read;
 use std::process::ExitCode;
@@ -33,19 +40,22 @@ fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     let mut addr = "127.0.0.1:7501".to_owned();
     let mut threads = 4usize;
     let mut cache = 256usize;
+    let mut obs = ObsMode::Sampled;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--addr" => addr = value(&mut it, "--addr")?,
             "--threads" => threads = num(&mut it, "--threads")?.max(1) as usize,
             "--cache" => cache = num(&mut it, "--cache")? as usize,
+            "--obs" => obs = ObsMode::parse(&value(&mut it, "--obs")?)?,
             other => return Err(format!("serve: unknown argument `{other}`")),
         }
     }
-    let handle =
-        serve(addr.as_str(), Arc::new(Service::new(cache)), threads).map_err(|e| e.to_string())?;
+    let service = Arc::new(Service::with_obs(cache, obs));
+    let handle = serve(addr.as_str(), service, threads).map_err(|e| e.to_string())?;
     eprintln!(
-        "service: listening on {} ({threads} workers, cache capacity {cache})",
-        handle.addr()
+        "service: listening on {} ({threads} workers, cache capacity {cache}, obs {})",
+        handle.addr(),
+        obs.label()
     );
     // Foreground server: park until killed. The handle's drop logic
     // never runs, which is fine — the process exit tears it down.
@@ -127,16 +137,42 @@ fn cmd_bench(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_metrics(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7501".to_owned();
+    let mut raw_json = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = value(&mut it, "--addr")?,
+            "--json" => raw_json = true,
+            other => return Err(format!("metrics: unknown argument `{other}`")),
+        }
+    }
+    let responses = submit(addr.as_str(), &["{\"verb\":\"stats\"}".to_owned()])
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let line = responses
+        .first()
+        .ok_or_else(|| "metrics: empty response".to_owned())?;
+    if raw_json {
+        println!("{line}");
+        return Ok(());
+    }
+    let doc = hdp_conform::Json::parse(line).map_err(|e| format!("metrics: bad snapshot: {e}"))?;
+    let snapshot = MetricsSnapshot::from_json(&doc)?;
+    print!("{}", snapshot.render_text());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let result = match args.next().as_deref() {
         Some("serve") => cmd_serve(args),
         Some("submit") => cmd_submit(args),
         Some("bench") => cmd_bench(args),
+        Some("metrics") => cmd_metrics(args),
         Some(other) => Err(format!(
-            "unknown subcommand `{other}` (expected serve/submit/bench)"
+            "unknown subcommand `{other}` (expected serve/submit/bench/metrics)"
         )),
-        None => Err("usage: service <serve|submit|bench> [options]".to_owned()),
+        None => Err("usage: service <serve|submit|bench|metrics> [options]".to_owned()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -16,9 +16,12 @@
 //!
 //! Eviction is least-recently-used over a fixed entry budget, and
 //! every lookup outcome is counted so the server can report its hit
-//! ratio.
+//! ratio. Alongside the entry count the cache keeps a byte-level
+//! estimate of what is resident ([`PlanCache::bytes_resident`]) and
+//! cumulative inserted/evicted byte counters, so the metrics plane
+//! can expose cache pressure, not just hit ratio.
 
-use hdp_hdl::Netlist;
+use hdp_hdl::{Cell, Netlist};
 use hdp_sim::{CompiledPlan, NetlistComponent};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -34,6 +37,14 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Plans attached to already cached designs
+    /// ([`PlanCache::attach_plan`] calls that stuck).
+    pub plan_attaches: u64,
+    /// Estimated bytes ever made resident (insertions plus plan
+    /// attachments; cumulative, survives evictions).
+    pub bytes_inserted: u64,
+    /// Estimated bytes released by evictions (cumulative).
+    pub bytes_evicted: u64,
 }
 
 impl CacheStats {
@@ -64,11 +75,42 @@ pub struct CachedDesign {
     pub plan: Option<Arc<CompiledPlan>>,
 }
 
-/// One cached design plus its LRU stamp.
+impl CachedDesign {
+    /// Estimated resident footprint of this entry in bytes: netlist
+    /// structure plus the compiled plan's
+    /// [`CompiledPlan::estimate_bytes`]. A cache-sizing estimate, not
+    /// an allocator measurement — the interpreter template is counted
+    /// via its netlist, whose shape dominates its state vectors.
+    #[must_use]
+    pub fn estimate_bytes(&self) -> u64 {
+        let nets: u64 = self
+            .netlist
+            .nets()
+            .iter()
+            .map(|n| (std::mem::size_of::<hdp_hdl::Net>() + n.name().len()) as u64)
+            .sum();
+        let cells: u64 = self
+            .netlist
+            .cells()
+            .iter()
+            .map(|c| {
+                (std::mem::size_of::<Cell>()
+                    + c.name().len()
+                    + (c.inputs().len() + c.outputs().len()) * std::mem::size_of::<u32>())
+                    as u64
+            })
+            .sum();
+        let plan = self.plan.as_ref().map_or(0, |p| p.estimate_bytes());
+        nets + cells + plan
+    }
+}
+
+/// One cached design plus its LRU stamp and byte estimate.
 #[derive(Debug, Clone)]
 struct Entry {
     design: CachedDesign,
     last_used: u64,
+    bytes: u64,
 }
 
 /// An LRU cache of per-design artefacts, keyed by content address.
@@ -82,6 +124,7 @@ pub struct PlanCache {
     tick: u64,
     entries: HashMap<String, Entry>,
     stats: CacheStats,
+    bytes_resident: u64,
 }
 
 impl PlanCache {
@@ -95,6 +138,7 @@ impl PlanCache {
             tick: 0,
             entries: HashMap::new(),
             stats: CacheStats::default(),
+            bytes_resident: 0,
         }
     }
 
@@ -127,8 +171,12 @@ impl PlanCache {
             // Concurrent submitters may both miss and both insert;
             // keep the richer entry (a plan beats no plan).
             entry.last_used = self.tick;
-            if entry.design.plan.is_none() {
+            if entry.design.plan.is_none() && design.plan.is_some() {
                 entry.design.plan = design.plan;
+                let grown = entry.design.estimate_bytes();
+                self.stats.bytes_inserted += grown - entry.bytes;
+                self.bytes_resident += grown - entry.bytes;
+                entry.bytes = grown;
             }
             return;
         }
@@ -139,15 +187,22 @@ impl PlanCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
-                self.entries.remove(&victim);
-                self.stats.evictions += 1;
+                if let Some(evicted) = self.entries.remove(&victim) {
+                    self.stats.evictions += 1;
+                    self.stats.bytes_evicted += evicted.bytes;
+                    self.bytes_resident -= evicted.bytes;
+                }
             }
         }
+        let bytes = design.estimate_bytes();
+        self.stats.bytes_inserted += bytes;
+        self.bytes_resident += bytes;
         self.entries.insert(
             hash,
             Entry {
                 design,
                 last_used: self.tick,
+                bytes,
             },
         );
         self.stats.insertions += 1;
@@ -158,7 +213,12 @@ impl PlanCache {
     pub fn attach_plan(&mut self, hash: &str, plan: CompiledPlan) {
         if let Some(entry) = self.entries.get_mut(hash) {
             if entry.design.plan.is_none() {
+                let plan_bytes = plan.estimate_bytes();
                 entry.design.plan = Some(Arc::new(plan));
+                self.stats.plan_attaches += 1;
+                self.stats.bytes_inserted += plan_bytes;
+                self.bytes_resident += plan_bytes;
+                entry.bytes += plan_bytes;
             }
         }
     }
@@ -179,6 +239,14 @@ impl PlanCache {
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Estimated bytes currently resident across all entries (the
+    /// gauge behind `cache.bytes_resident` in metrics snapshots;
+    /// always `bytes_inserted - bytes_evicted`).
+    #[must_use]
+    pub fn bytes_resident(&self) -> u64 {
+        self.bytes_resident
     }
 
     /// Counters since construction.
@@ -270,6 +338,46 @@ mod tests {
         cache.insert("h1".into(), tiny_design("a"));
         assert!(cache.is_empty());
         assert!(cache.lookup("h1").is_none());
+    }
+
+    #[test]
+    fn byte_accounting_reconciles_across_insert_attach_evict() {
+        let mut cache = PlanCache::new(1);
+        cache.insert("h1".into(), tiny_design("a"));
+        let after_insert = cache.bytes_resident();
+        assert!(after_insert > 0, "a design has a nonzero footprint");
+        assert_eq!(cache.stats().bytes_inserted, after_insert);
+
+        // Attach a plan: resident and cumulative grow by the same amount.
+        let design = tiny_design("a");
+        let mut sim = hdp_sim::Simulator::new();
+        let q = sim.add_signal("q", 4).unwrap();
+        let comp = NetlistComponent::new_prevalidated(
+            "dut",
+            Arc::clone(&design.netlist),
+            sim.bus(),
+            &[("q", q)],
+        )
+        .unwrap();
+        sim.add_component(comp);
+        sim.set_mode(hdp_sim::SchedMode::Compiled);
+        assert!(sim.compile().unwrap());
+        let plan = sim.export_plan().expect("a counter levelizes");
+        cache.attach_plan("h1", plan);
+        let stats = cache.stats();
+        assert_eq!(stats.plan_attaches, 1);
+        assert!(cache.bytes_resident() > after_insert);
+        assert_eq!(stats.bytes_inserted, cache.bytes_resident());
+
+        // Evict by inserting a second design into capacity 1.
+        cache.insert("h2".into(), tiny_design("b"));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(
+            stats.bytes_inserted,
+            stats.bytes_evicted + cache.bytes_resident(),
+            "every byte is either resident or evicted"
+        );
     }
 
     #[test]

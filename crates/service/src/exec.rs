@@ -25,7 +25,9 @@
 //! to prove it.
 
 use crate::cache::{CacheStats, CachedDesign, PlanCache};
-use crate::pool::run_sharded;
+use crate::metrics::{CacheSection, Counter, MetricsRegistry, MetricsSnapshot, ObsMode};
+use crate::obs::{timed, JobSpan, SpanBuilder, Stage};
+use crate::pool::run_sharded_observed;
 use hdp_conform::wire::{design_hash, WireError};
 use hdp_conform::{Case, Stimulus};
 use hdp_hdl::{Netlist, PortDir};
@@ -102,6 +104,9 @@ pub struct JobOptions {
     /// Re-run the job cache-free under the full-sweep reference
     /// scheduler and compare traces bit for bit.
     pub verify: bool,
+    /// Record this job's per-stage [`JobSpan`] and return it in the
+    /// outcome, even when the service is not sampling.
+    pub span: bool,
 }
 
 impl Default for JobOptions {
@@ -111,6 +116,7 @@ impl Default for JobOptions {
             vcd: false,
             telemetry: false,
             verify: false,
+            span: false,
         }
     }
 }
@@ -142,6 +148,9 @@ pub struct JobOutcome {
     pub vcd: Option<String>,
     /// Outcome of the cold-reference comparison, when requested.
     pub verified: Option<bool>,
+    /// The job's server-side stage timeline, when requested
+    /// ([`JobOptions::span`]).
+    pub span: Option<JobSpan>,
 }
 
 /// A simulator wired for one job.
@@ -249,23 +258,43 @@ fn drive(built: &mut BuiltSim, stim: &Stimulus) -> Result<Vec<Vec<String>>, Serv
     Ok(trace)
 }
 
-/// The simulation service: a plan cache plus the execution engine.
+/// The simulation service: a plan cache plus the execution engine and
+/// its metrics plane.
 ///
 /// `Service` is `Sync` — one instance is shared by every worker of a
 /// [server](crate::server) or batch run. The cache lock is held only
-/// for lookups and insertions, never across a simulation.
+/// for lookups and insertions, never across a simulation; the
+/// [`MetricsRegistry`] is lock-free.
 #[derive(Debug)]
 pub struct Service {
     cache: Mutex<PlanCache>,
+    metrics: MetricsRegistry,
 }
 
 impl Service {
-    /// A service whose cache holds at most `cache_capacity` designs.
+    /// A service whose cache holds at most `cache_capacity` designs,
+    /// recording monotonic counters ([`ObsMode::Counters`]).
     #[must_use]
     pub fn new(cache_capacity: usize) -> Self {
+        Self::with_obs(cache_capacity, ObsMode::Counters)
+    }
+
+    /// A service with an explicit observability mode:
+    /// [`ObsMode::Disabled`] for benchmarking the bare job path,
+    /// [`ObsMode::Sampled`] for stage histograms, spans and
+    /// simulator-telemetry absorption on every job.
+    #[must_use]
+    pub fn with_obs(cache_capacity: usize, obs: ObsMode) -> Self {
         Self {
             cache: Mutex::new(PlanCache::new(cache_capacity)),
+            metrics: MetricsRegistry::new(obs),
         }
+    }
+
+    /// The live metrics plane.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Cache counters since construction.
@@ -288,6 +317,34 @@ impl Service {
         self.cache.lock().expect("cache lock poisoned").len()
     }
 
+    /// A complete metrics snapshot: the registry's counters, gauges
+    /// and histograms with the cache section stitched in from
+    /// [`PlanCache::stats`]. This is the document behind the `stats`
+    /// wire verb and the `hdp-service metrics` CLI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous cache user panicked while holding the lock.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let cache = self.cache.lock().expect("cache lock poisoned");
+        let stats = cache.stats();
+        snap.cache = Some(CacheSection {
+            hits: stats.hits,
+            misses: stats.misses,
+            insertions: stats.insertions,
+            evictions: stats.evictions,
+            plan_attaches: stats.plan_attaches,
+            bytes_inserted: stats.bytes_inserted,
+            bytes_evicted: stats.bytes_evicted,
+            bytes_resident: cache.bytes_resident(),
+            len: cache.len() as u64,
+            capacity: cache.capacity() as u64,
+        });
+        snap
+    }
+
     /// Executes one job.
     ///
     /// # Errors
@@ -295,100 +352,185 @@ impl Service {
     /// [`ServiceError`] when the design cannot be built or the
     /// simulation fails; see the module docs for the cache protocol.
     pub fn run_case(&self, case: &Case, opts: &JobOptions) -> Result<JobOutcome, ServiceError> {
+        // Reject before the job is counted: a rejected submission
+        // never reaches the cache, so counting it in `jobs_total`
+        // would break the `hits + misses == jobs_total` invariant.
         if case.spec.family >= FAMILIES.len() {
+            self.metrics.inc(Counter::JobsRejected);
             return Err(ServiceError::Build {
                 message: format!("design family index {} is out of range", case.spec.family),
             });
         }
-        let hash = design_hash(&case.spec);
-        let label = case.spec.label();
-        let cached = self
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .lookup(&hash);
-        let cache_hit = cached.is_some();
-        let (netlist, template, cached_plan) = match cached {
-            Some(design) => (design.netlist, Some(design.template), design.plan),
-            None => {
-                let netlist = case.spec.instantiate().map_err(|e| ServiceError::Build {
-                    message: e.to_string(),
-                })?;
-                (Arc::new(netlist), None, None)
+        let mut span = (self.metrics.mode().sampled() || opts.span).then(SpanBuilder::new);
+        let result = self.run_accepted(case, opts, &mut span);
+        match &result {
+            Ok(out) => {
+                self.metrics.inc(Counter::JobsOk);
+                self.metrics.inc(Counter::for_mode(opts.mode));
+                if out.plan_installed {
+                    self.metrics.inc(Counter::PlansInstalled);
+                }
+                if opts.vcd {
+                    self.metrics.inc(Counter::JobsVcd);
+                }
+                if opts.verify {
+                    self.metrics.inc(Counter::JobsVerify);
+                }
+                if out.verified == Some(false) {
+                    self.metrics.inc(Counter::VerifyFailures);
+                }
             }
-        };
+            Err(ServiceError::Sim { .. }) => {
+                self.metrics.inc(Counter::ErrorsSim);
+                self.metrics.inc(Counter::for_mode(opts.mode));
+            }
+            Err(_) => {
+                self.metrics.inc(Counter::ErrorsBuild);
+                self.metrics.inc(Counter::for_mode(opts.mode));
+            }
+        }
+        match result {
+            Ok(mut out) => {
+                if let Some(builder) = span {
+                    let job_span = builder.finish();
+                    for stage in &job_span.stages {
+                        self.metrics.record_stage_ns(stage.stage, stage.dur_ns);
+                    }
+                    if opts.span {
+                        out.span = Some(job_span);
+                    }
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                // Errored jobs still record their timeline — a latency
+                // regression visible only on failures is still real.
+                if let Some(builder) = span {
+                    let job_span = builder.finish();
+                    for stage in &job_span.stages {
+                        self.metrics.record_stage_ns(stage.stage, stage.dur_ns);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The accepted-job path: everything after the family-range
+    /// check. `jobs_total` is incremented exactly at the cache
+    /// lookup, so `cache hits + misses == jobs_total` by construction.
+    fn run_accepted(
+        &self,
+        case: &Case,
+        opts: &JobOptions,
+        span: &mut Option<SpanBuilder>,
+    ) -> Result<JobOutcome, ServiceError> {
+        let label = case.spec.label();
+        let (hash, cached) = timed(span, Stage::CacheLookup, || {
+            let hash = design_hash(&case.spec);
+            self.metrics.inc(Counter::JobsTotal);
+            let cached = self
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .lookup(&hash);
+            (hash, cached)
+        });
+        let cache_hit = cached.is_some();
 
         // A VCD recorder adds a component, so the sim no longer has
         // the shape the cached plan was exported from.
         let plan_eligible =
             matches!(opts.mode, SchedMode::Compiled | SchedMode::Lowered) && !opts.vcd;
-        let telemetry = if opts.telemetry {
+        // Sampled services run every job with simulator counters on,
+        // so settles / executed ops / fallback causes aggregate into
+        // the service-wide metrics.
+        let telemetry = if opts.telemetry || self.metrics.mode().sampled() {
             TelemetryLevel::Counters
         } else {
             TelemetryLevel::Off
         };
-        let (mut built, built_template) = build_sim(
-            &netlist,
-            template.as_deref(),
-            &case.stimulus,
-            opts.mode,
-            telemetry,
-            opts.vcd,
-        )?;
-        let mut plan_installed = false;
-        if plan_eligible {
-            if let Some(plan) = &cached_plan {
-                // A mismatch can only mean the cached entry predates a
-                // generator change; fall back to a local compile.
-                plan_installed = built.sim.install_plan(plan).is_ok();
+        let (mut built, built_template, plan_installed) = timed(span, Stage::Build, || {
+            let (netlist, template, cached_plan) = match cached {
+                Some(design) => (design.netlist, Some(design.template), design.plan),
+                None => {
+                    let netlist = case.spec.instantiate().map_err(|e| ServiceError::Build {
+                        message: e.to_string(),
+                    })?;
+                    (Arc::new(netlist), None, None)
+                }
+            };
+            let (mut built, built_template) = build_sim(
+                &netlist,
+                template.as_deref(),
+                &case.stimulus,
+                opts.mode,
+                telemetry,
+                opts.vcd,
+            )?;
+            let mut plan_installed = false;
+            if plan_eligible {
+                if let Some(plan) = &cached_plan {
+                    // A mismatch can only mean the cached entry predates a
+                    // generator change; fall back to a local compile.
+                    plan_installed = built.sim.install_plan(plan).is_ok();
+                }
             }
-        }
+            Ok::<_, ServiceError>((built, (netlist, built_template), plan_installed))
+        })?;
+        let (netlist, built_template) = built_template;
 
-        let trace = drive(&mut built, &case.stimulus)?;
+        let trace = timed(span, Stage::Execute, || drive(&mut built, &case.stimulus))?;
 
         // Publish what this run derived. Exporting after the run (not
         // before) captures every driver link the stimulus exercised,
         // so the installed schedule ages exactly like this one did.
-        if plan_eligible && !plan_installed {
-            let exported = match built.sim.export_plan() {
-                Some(plan) => Some(plan),
-                None => {
-                    // Short stimuli can finish before the lazy build
-                    // triggers; force it so the next submission wins.
-                    built.sim.compile().map_err(|source| ServiceError::Sim {
-                        cycle: case.stimulus.cycles.len(),
-                        source,
-                    })?;
-                    built.sim.export_plan()
+        timed(span, Stage::Publish, || {
+            if plan_eligible && !plan_installed {
+                let exported = match built.sim.export_plan() {
+                    Some(plan) => Some(plan),
+                    None => {
+                        // Short stimuli can finish before the lazy build
+                        // triggers; force it so the next submission wins.
+                        built.sim.compile().map_err(|source| ServiceError::Sim {
+                            cycle: case.stimulus.cycles.len(),
+                            source,
+                        })?;
+                        built.sim.export_plan()
+                    }
+                };
+                let mut cache = self.cache.lock().expect("cache lock poisoned");
+                if cache_hit {
+                    if let Some(plan) = exported {
+                        cache.attach_plan(&hash, plan);
+                    }
+                } else {
+                    cache.insert(
+                        hash.clone(),
+                        CachedDesign {
+                            netlist: Arc::clone(&netlist),
+                            template: built_template.expect("miss path built a template"),
+                            plan: exported.map(Arc::new),
+                        },
+                    );
                 }
-            };
-            let mut cache = self.cache.lock().expect("cache lock poisoned");
-            if cache_hit {
-                if let Some(plan) = exported {
-                    cache.attach_plan(&hash, plan);
-                }
-            } else {
-                cache.insert(
+            } else if !cache_hit {
+                self.cache.lock().expect("cache lock poisoned").insert(
                     hash.clone(),
                     CachedDesign {
                         netlist: Arc::clone(&netlist),
                         template: built_template.expect("miss path built a template"),
-                        plan: exported.map(Arc::new),
+                        plan: None,
                     },
                 );
             }
-        } else if !cache_hit {
-            self.cache.lock().expect("cache lock poisoned").insert(
-                hash.clone(),
-                CachedDesign {
-                    netlist: Arc::clone(&netlist),
-                    template: built_template.expect("miss path built a template"),
-                    plan: None,
-                },
-            );
-        }
+            Ok::<_, ServiceError>(())
+        })?;
 
-        let verified = if opts.verify {
+        let verified = timed(span, Stage::Verify, || {
+            if !opts.verify {
+                return Ok::<_, ServiceError>(None);
+            }
             let cold_netlist = case.spec.instantiate().map_err(|e| ServiceError::Build {
                 message: e.to_string(),
             })?;
@@ -400,12 +542,13 @@ impl Service {
                 TelemetryLevel::Off,
                 false,
             )?;
-            Some(drive(&mut cold, &case.stimulus)? == trace)
-        } else {
-            None
-        };
+            Ok(Some(drive(&mut cold, &case.stimulus)? == trace))
+        })?;
 
-        let stats = opts.telemetry.then(|| built.sim.stats());
+        let stats = (telemetry != TelemetryLevel::Off).then(|| built.sim.stats());
+        if let Some(stats) = &stats {
+            self.metrics.absorb_sim_stats(stats);
+        }
         let vcd = built.recorder.map(|id| {
             built
                 .sim
@@ -425,14 +568,17 @@ impl Service {
                 .collect(),
             trace,
             cycles: case.stimulus.cycles.len(),
-            stats,
+            stats: opts.telemetry.then(|| stats.clone()).flatten(),
             vcd,
             verified,
+            span: None,
         })
     }
 
     /// Executes a batch of jobs on a sharded worker pool, sharing
-    /// this service's cache. Results come back in input order.
+    /// this service's cache. Results come back in input order; each
+    /// shard reports its busy time and item count to the metrics
+    /// plane (busy time only when sampling — it is a clock read).
     #[must_use]
     pub fn run_batch(
         &self,
@@ -440,7 +586,16 @@ impl Service {
         opts: &JobOptions,
         threads: usize,
     ) -> Vec<Result<JobOutcome, ServiceError>> {
-        run_sharded(cases, threads, |case| self.run_case(&case, opts))
+        let sampled = self.metrics.mode().sampled();
+        run_sharded_observed(
+            cases,
+            threads,
+            |case| self.run_case(&case, opts),
+            |shard, busy_ns, items| {
+                self.metrics
+                    .record_shard(shard, if sampled { busy_ns } else { 0 }, items);
+            },
+        )
     }
 }
 

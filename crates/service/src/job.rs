@@ -18,6 +18,13 @@
 //! | `vcd`       | return a VCD waveform (disables plan reuse)                      | `false`   |
 //! | `telemetry` | return a telemetry summary                                       | `false`   |
 //! | `verify`    | re-run cache-free under full sweep and compare                   | `false`   |
+//! | `span`      | return the job's per-stage server-side timeline                  | `false`   |
+//!
+//! Besides job submissions, the layer answers one control verb:
+//! `{"verb": "stats"}` returns the service's live
+//! [`hdp-service-metrics-v1`](crate::metrics::METRICS_SCHEMA)
+//! snapshot — counters, cache state and latency histograms — as a
+//! single-line document.
 //!
 //! A response is one `hdp-service-result-v1` JSON document per line:
 //! `design_hash`, `cache` (`"hit"`/`"miss"`), `plan_installed`, the
@@ -27,9 +34,12 @@
 //! the failing `stage` (`wire`, `build` or `sim`).
 
 use crate::exec::{JobOptions, JobOutcome, ServiceError};
+use crate::metrics::Counter;
+use crate::obs::Stage;
 use hdp_conform::wire::{self, WireError};
 use hdp_conform::{Case, Json};
 use hdp_sim::{SchedMode, SimStats};
+use std::time::Instant;
 
 /// The schema identifier of every response document.
 pub const RESULT_SCHEMA: &str = "hdp-service-result-v1";
@@ -81,6 +91,7 @@ pub fn parse_job(text: &str) -> Result<(Case, JobOptions), WireError> {
             ("vcd", &mut opts.vcd as &mut bool),
             ("telemetry", &mut opts.telemetry),
             ("verify", &mut opts.verify),
+            ("span", &mut opts.span),
         ] {
             if let Some(v) = options.get(key) {
                 *slot = v.as_bool().ok_or_else(|| WireError::Field {
@@ -114,6 +125,15 @@ fn stats_to_json(stats: &SimStats) -> Json {
             Json::Num(stats.fallback_settles),
         ),
         ("plan_installs".to_owned(), Json::Num(stats.plan_installs)),
+        (
+            "fallback_causes".to_owned(),
+            Json::Obj(
+                stats
+                    .fallback_cause_counts()
+                    .map(|(cause, n)| (cause.label().to_owned(), Json::Num(n)))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -163,6 +183,30 @@ pub fn outcome_to_json(out: &JobOutcome) -> String {
     if let Some(verified) = out.verified {
         fields.push(("verified".to_owned(), Json::Bool(verified)));
     }
+    if let Some(span) = &out.span {
+        fields.push((
+            "span".to_owned(),
+            Json::Obj(vec![
+                ("total_ns".to_owned(), Json::Num(span.total_ns())),
+                (
+                    "stages".to_owned(),
+                    Json::Arr(
+                        span.stages
+                            .iter()
+                            .map(|s| {
+                                Json::Obj(vec![
+                                    ("stage".to_owned(), Json::Str(s.stage.label().into())),
+                                    ("ts_ns".to_owned(), Json::Num(s.ts_ns)),
+                                    ("dur_ns".to_owned(), Json::Num(s.dur_ns)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("chrome_trace".to_owned(), Json::Str(span.chrome_trace())),
+            ]),
+        ));
+    }
     Json::Obj(fields).to_string()
 }
 
@@ -189,16 +233,64 @@ pub fn error_to_json(err: &ServiceError) -> String {
 
 /// Runs one submission line end to end against a service: parse,
 /// execute, render. Infallible by construction — failures render as
-/// error documents.
+/// error documents. The `{"verb": "stats"}` control line answers
+/// with the live metrics snapshot instead of running a job.
 #[must_use]
 pub fn handle_line(service: &crate::exec::Service, line: &str) -> String {
-    match parse_job(line) {
+    if let Some(response) = handle_verb(service, line) {
+        return response;
+    }
+    let metrics = service.metrics();
+    let sampled = metrics.mode().sampled();
+    let parse_started = sampled.then(Instant::now);
+    let parsed = parse_job(line);
+    if let Some(started) = parse_started {
+        metrics.record_stage_ns(Stage::Parse, elapsed_ns(started));
+    }
+    match parsed {
         Ok((case, opts)) => match service.run_case(&case, &opts) {
-            Ok(outcome) => outcome_to_json(&outcome),
+            Ok(outcome) => {
+                let render_started = sampled.then(Instant::now);
+                let response = outcome_to_json(&outcome);
+                if let Some(started) = render_started {
+                    metrics.record_stage_ns(Stage::Render, elapsed_ns(started));
+                }
+                response
+            }
             Err(e) => error_to_json(&e),
         },
-        Err(e) => error_to_json(&ServiceError::Wire(e)),
+        Err(e) => {
+            metrics.inc(Counter::ErrorsWire);
+            error_to_json(&ServiceError::Wire(e))
+        }
     }
+}
+
+/// Answers a control verb (`{"verb": "stats"}`), or `None` when the
+/// line is a job submission. The substring pre-check keeps the job
+/// path free of a second parse attempt.
+fn handle_verb(service: &crate::exec::Service, line: &str) -> Option<String> {
+    if !line.contains("\"verb\"") {
+        return None;
+    }
+    let doc = Json::parse(line).ok()?;
+    match doc.get("verb").and_then(Json::as_str)? {
+        "stats" => {
+            service.metrics().inc(Counter::StatsRequests);
+            Some(service.metrics_snapshot().to_json())
+        }
+        other => {
+            service.metrics().inc(Counter::ErrorsWire);
+            Some(error_to_json(&ServiceError::Wire(WireError::Field {
+                path: "verb".into(),
+                detail: format!("unknown verb {other:?}"),
+            })))
+        }
+    }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

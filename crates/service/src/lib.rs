@@ -24,6 +24,10 @@
 //!   (`hdp-service-result-v1`).
 //! - [`server`] — newline-delimited JSON over TCP, plain `std::net`
 //!   and `std::thread`.
+//! - [`obs`] / [`metrics`] — the observability plane: per-job
+//!   [`obs::JobSpan`] stage tracing (Chrome-trace renderable) and the
+//!   service-wide [`metrics::MetricsRegistry`] of counters, gauges and
+//!   log2 latency histograms, served live by the `stats` wire verb.
 //! - [`bench`](mod@bench) — the cold-vs-warm self-benchmark behind
 //!   `BENCH_service.json`.
 //!
@@ -43,11 +47,17 @@ pub mod bench;
 pub mod cache;
 pub mod exec;
 pub mod job;
+pub mod metrics;
+pub mod obs;
 pub mod pool;
 pub mod server;
 
 pub use cache::{CacheStats, CachedDesign, PlanCache};
 pub use exec::{JobOptions, JobOutcome, Service, ServiceError};
 pub use job::{handle_line, parse_job, RESULT_SCHEMA};
+pub use metrics::{
+    validate_snapshot, Counter, MetricsRegistry, MetricsSnapshot, ObsMode, METRICS_SCHEMA,
+};
+pub use obs::{JobSpan, SpanBuilder, Stage};
 pub use pool::run_sharded;
 pub use server::{serve, submit, ServerHandle};

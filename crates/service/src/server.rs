@@ -18,6 +18,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A running server: the bound address plus the machinery to stop it.
 #[derive(Debug)]
@@ -87,7 +88,11 @@ fn handle_connection(service: &Service, stream: &TcpStream) -> std::io::Result<(
 }
 
 /// Binds `addr` and serves jobs on `threads` workers until
-/// [`ServerHandle::shutdown`].
+/// [`ServerHandle::shutdown`]. Every accept, queue hand-off and
+/// worker pickup is reported to the service's metrics plane:
+/// `connections_total`, the `queue_depth` / `connections_active`
+/// gauges, per-worker busy time, and (when sampling) the
+/// [`Queue`](crate::obs::Stage::Queue) latency histogram.
 ///
 /// # Errors
 ///
@@ -100,11 +105,11 @@ pub fn serve(
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let (tx, rx) = mpsc::channel::<(TcpStream, Instant)>();
     let rx = Arc::new(Mutex::new(rx));
 
     let workers: Vec<JoinHandle<()>> = (0..threads.max(1))
-        .map(|_| {
+        .map(|worker_index| {
             let rx = Arc::clone(&rx);
             let service = Arc::clone(&service);
             std::thread::spawn(move || loop {
@@ -113,8 +118,16 @@ pub fn serve(
                     guard.recv()
                 };
                 match stream {
-                    Ok(stream) => {
+                    Ok((stream, accepted)) => {
+                        let sampled = service.metrics().mode().sampled();
+                        service
+                            .metrics()
+                            .connection_claimed(sampled.then(|| elapsed_ns(accepted)));
+                        let claimed = sampled.then(Instant::now);
                         let _ = handle_connection(&service, &stream);
+                        service
+                            .metrics()
+                            .connection_closed(worker_index, claimed.map(elapsed_ns));
                     }
                     Err(_) => break, // channel closed: server shut down
                 }
@@ -124,6 +137,7 @@ pub fn serve(
 
     let accept_thread = {
         let shutdown = Arc::clone(&shutdown);
+        let service = Arc::clone(&service);
         std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if shutdown.load(Ordering::SeqCst) {
@@ -131,7 +145,8 @@ pub fn serve(
                 }
                 match stream {
                     Ok(stream) => {
-                        if tx.send(stream).is_err() {
+                        service.metrics().connection_queued();
+                        if tx.send((stream, Instant::now())).is_err() {
                             break;
                         }
                     }
@@ -177,6 +192,10 @@ pub fn submit(addr: impl ToSocketAddrs, lines: &[String]) -> std::io::Result<Vec
         responses.push(response.trim_end().to_owned());
     }
     Ok(responses)
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

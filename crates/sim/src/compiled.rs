@@ -97,6 +97,32 @@ impl CompiledPlan {
     pub fn lowered_components(&self) -> usize {
         self.lowered.iter().filter(|p| p.is_some()).count()
     }
+
+    /// Rough resident-memory estimate of this plan in bytes: the
+    /// backing vectors' element counts times their element sizes,
+    /// including each lowered program's op stream. An estimate for
+    /// cache-sizing gauges, not an allocator measurement.
+    #[must_use]
+    pub fn estimate_bytes(&self) -> u64 {
+        let base = std::mem::size_of::<Self>()
+            + self.links.len() * std::mem::size_of::<(u32, u32)>()
+            + self.order.len() * std::mem::size_of::<u32>()
+            + self.rank_counts.len() * std::mem::size_of::<u64>()
+            + self.lowered.len() * std::mem::size_of::<Option<Arc<LoweredProgram>>>();
+        let lowered: usize = self
+            .lowered
+            .iter()
+            .flatten()
+            .map(|p| {
+                p.masks.len() * std::mem::size_of::<u64>()
+                    + p.shared_z.len() * std::mem::size_of::<u32>()
+                    + p.ops.len() * std::mem::size_of::<crate::lower::LoweredOp>()
+                    + (p.in_ports.len() + p.out_ports.len())
+                        * std::mem::size_of::<(u32, SignalId)>()
+            })
+            .sum();
+        (base + lowered) as u64
+    }
 }
 
 /// Bit mask selecting the low `width` bits of a word.

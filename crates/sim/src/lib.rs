@@ -196,4 +196,6 @@ pub use lower::{LaneBatch, LANES};
 pub use netlist_sim::NetlistComponent;
 pub use sched::{ComponentId, SchedMode, SimBuilder, Simulator};
 pub use signal::{BusAccess, BusReader, DriveLog, SignalBus, SignalId, SplitBus};
-pub use telemetry::{ComponentStats, SignalStats, SimStats, TelemetryLevel, TraceEvent};
+pub use telemetry::{
+    ComponentStats, FallbackCause, SignalStats, SimStats, TelemetryLevel, TraceEvent,
+};

@@ -50,7 +50,7 @@ use crate::lower::{exec_settle, LoweredProgram, LoweredScratch};
 use crate::netlist_sim::NetlistComponent;
 use crate::signal::{BusAccess as _, BusReader, DRIVER_POKE};
 use crate::telemetry::{
-    ComponentStats, SignalStats, SimStats, Telemetry, TelemetryLevel, TraceEvent,
+    ComponentStats, FallbackCause, SignalStats, SimStats, Telemetry, TelemetryLevel, TraceEvent,
 };
 use crate::{Component, DriveLog, Sensitivity, SignalBus, SignalId, SimError};
 use hdp_hdl::LogicVector;
@@ -618,6 +618,7 @@ impl Simulator {
             parallel_waves: t.parallel_waves,
             inline_waves: t.inline_waves,
             fallback_settles: t.fallback_settles,
+            fallback_causes: t.fallback_causes,
             compiled_settles: t.compiled_settles,
             lowered_settles: t.lowered_settles,
             ops_executed: t.ops_executed,
@@ -916,7 +917,8 @@ impl Simulator {
         self.ensure_tables()?;
         if threads <= 1 || self.has_always || !self.islands_validated {
             if self.telemetry.on() {
-                self.telemetry.fallback_settles += 1;
+                self.telemetry
+                    .record_fallback_settle(FallbackCause::ParallelSequential);
             }
             let was_wake_all = self.wake_all;
             let res = self.settle_event();
@@ -1159,7 +1161,8 @@ impl Simulator {
             self.compiled = None;
             self.wake_all = true;
             if self.telemetry.on() {
-                self.telemetry.fallback_settles += 1;
+                self.telemetry
+                    .record_fallback_settle(FallbackCause::Rebuild);
             }
             self.settle_event()?;
             self.build_compiled();
@@ -1174,7 +1177,8 @@ impl Simulator {
                 sched.arena_stale = true;
             }
             if self.telemetry.on() {
-                self.telemetry.fallback_settles += 1;
+                self.telemetry
+                    .record_fallback_settle(FallbackCause::WakeAll);
             }
             return self.settle_event();
         }
@@ -1184,7 +1188,8 @@ impl Simulator {
                 // Permanent fallback (cycle / Always): event-driven
                 // with the same observable semantics.
                 if self.telemetry.on() {
-                    self.telemetry.fallback_settles += 1;
+                    self.telemetry
+                        .record_fallback_settle(FallbackCause::NonLevelizable);
                 }
                 self.settle_event()
             }
@@ -1201,7 +1206,8 @@ impl Simulator {
                         self.bus.note_driver(slot, driver);
                     }
                     if self.telemetry.on() {
-                        self.telemetry.fallback_settles += 1;
+                        self.telemetry
+                            .record_fallback_settle(FallbackCause::StaleDriver);
                         self.telemetry.note_once(
                             "compiled: schedule invalidated by a newly discovered driver; \
                              settle re-ran event-driven and the schedule will be rebuilt",
@@ -1453,6 +1459,7 @@ impl Simulator {
         self.lowered_ready = true;
         if self.telemetry.on() {
             for note in &fallbacks {
+                self.telemetry.record_cause(FallbackCause::LoweredComponent);
                 self.telemetry.note_once(note);
             }
         }

@@ -56,6 +56,81 @@ pub(crate) const WAKE_FORENSICS_DEPTH: usize = 4;
 /// the cap are dropped (and counted in [`SimStats::trace_dropped`]).
 const TRACE_EVENT_CAP: usize = 1_000_000;
 
+/// Why a settle (or a component's lowering) left its mode's fast path.
+///
+/// Every fallback the compiled, lowered and parallel schedulers take
+/// is counted under exactly one of these causes — the typed,
+/// aggregatable face of the free-text [`SimStats::notes`] strings,
+/// which remain for human output. A service aggregating thousands of
+/// jobs sums these counters per cause instead of string-matching
+/// notes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FallbackCause {
+    /// The compiled/lowered plan was missing or stale, so the settle
+    /// ran event-driven to (re)discover driver links before freezing a
+    /// schedule. Every compiled-mode simulator pays at least one.
+    Rebuild,
+    /// A full re-evaluation was pending (reset, mode switch, device
+    /// mutation), which the event scheduler handles.
+    WakeAll,
+    /// The design cannot be levelized (combinational cycle or
+    /// [`crate::Sensitivity::Always`]); every settle permanently falls
+    /// back to event-driven evaluation.
+    NonLevelizable,
+    /// A compiled walk observed a `(signal, driver)` link the schedule
+    /// was not built with; the settle re-ran event-driven and the
+    /// schedule is rebuilt.
+    StaleDriver,
+    /// [`crate::SchedMode::Parallel`] ran a settle sequentially (one
+    /// worker, undeclared reads, or an unvalidated island partition).
+    ParallelSequential,
+    /// A component kept its interpreted `eval` on the lowered rank
+    /// walk because its netlist shape cannot lower to a word-level op
+    /// stream (counted once per component per lowering pass).
+    LoweredComponent,
+}
+
+impl FallbackCause {
+    /// Number of distinct causes (the length of [`FallbackCause::ALL`]).
+    pub const COUNT: usize = 6;
+
+    /// Every cause, in counter order.
+    pub const ALL: [FallbackCause; FallbackCause::COUNT] = [
+        FallbackCause::Rebuild,
+        FallbackCause::WakeAll,
+        FallbackCause::NonLevelizable,
+        FallbackCause::StaleDriver,
+        FallbackCause::ParallelSequential,
+        FallbackCause::LoweredComponent,
+    ];
+
+    /// Position of this cause in [`SimStats::fallback_causes`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FallbackCause::Rebuild => 0,
+            FallbackCause::WakeAll => 1,
+            FallbackCause::NonLevelizable => 2,
+            FallbackCause::StaleDriver => 3,
+            FallbackCause::ParallelSequential => 4,
+            FallbackCause::LoweredComponent => 5,
+        }
+    }
+
+    /// Stable snake_case label used in metrics and JSON documents.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FallbackCause::Rebuild => "rebuild",
+            FallbackCause::WakeAll => "wake_all",
+            FallbackCause::NonLevelizable => "non_levelizable",
+            FallbackCause::StaleDriver => "stale_driver",
+            FallbackCause::ParallelSequential => "parallel_sequential",
+            FallbackCause::LoweredComponent => "lowered_component",
+        }
+    }
+}
+
 /// Instrumentation level of a [`crate::Simulator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TelemetryLevel {
@@ -167,6 +242,12 @@ pub struct SimStats {
     /// (build/validation settles, invalidated schedules, designs that
     /// cannot be levelized).
     pub fallback_settles: u64,
+    /// Fallback events by typed cause, indexed by
+    /// [`FallbackCause::index`]. The settle-shaped causes sum to
+    /// [`SimStats::fallback_settles`];
+    /// [`FallbackCause::LoweredComponent`] counts components, not
+    /// settles, so it sits outside that sum.
+    pub fallback_causes: [u64; FallbackCause::COUNT],
     /// Settles executed as a single compiled rank walk
     /// ([`crate::SchedMode::Compiled`]).
     pub compiled_settles: u64,
@@ -226,6 +307,19 @@ impl SimStats {
     #[must_use]
     pub fn total_drives(&self) -> u64 {
         self.signals.iter().map(|s| s.drives).sum()
+    }
+
+    /// The counter for one typed fallback cause.
+    #[must_use]
+    pub fn fallback_cause(&self, cause: FallbackCause) -> u64 {
+        self.fallback_causes[cause.index()]
+    }
+
+    /// `(cause, count)` pairs in counter order, including zeros.
+    pub fn fallback_cause_counts(&self) -> impl Iterator<Item = (FallbackCause, u64)> + '_ {
+        FallbackCause::ALL
+            .iter()
+            .map(|&c| (c, self.fallback_causes[c.index()]))
     }
 
     /// Whether the snapshot carries no data (telemetry was off).
@@ -289,6 +383,14 @@ impl SimStats {
                 "  lowered: {} op-stream settles, {} word ops executed",
                 self.lowered_settles, self.ops_executed
             );
+        }
+        if self.fallback_causes.iter().any(|&n| n > 0) {
+            let causes: Vec<String> = self
+                .fallback_cause_counts()
+                .filter(|&(_, n)| n > 0)
+                .map(|(c, n)| format!("{} {n}", c.label()))
+                .collect();
+            let _ = writeln!(out, "  fallbacks by cause: {}", causes.join(", "));
         }
         if self.plan_installs > 0 {
             let _ = writeln!(
@@ -425,6 +527,7 @@ pub(crate) struct Telemetry {
     pub(crate) parallel_waves: u64,
     pub(crate) inline_waves: u64,
     pub(crate) fallback_settles: u64,
+    pub(crate) fallback_causes: [u64; FallbackCause::COUNT],
     pub(crate) compiled_settles: u64,
     pub(crate) lowered_settles: u64,
     pub(crate) ops_executed: u64,
@@ -520,6 +623,21 @@ impl Telemetry {
             evs.truncate(room);
         }
         self.trace.append(evs);
+    }
+
+    /// Records one settle that fell back to the event scheduler,
+    /// attributing it to a typed cause.
+    #[inline]
+    pub(crate) fn record_fallback_settle(&mut self, cause: FallbackCause) {
+        self.fallback_settles += 1;
+        self.fallback_causes[cause.index()] += 1;
+    }
+
+    /// Records a non-settle fallback event (e.g. one component kept
+    /// interpreted evaluation on the lowered walk).
+    #[inline]
+    pub(crate) fn record_cause(&mut self, cause: FallbackCause) {
+        self.fallback_causes[cause.index()] += 1;
     }
 
     /// Records a scheduler note, skipping exact duplicates so a

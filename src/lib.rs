@@ -96,13 +96,14 @@ pub mod prelude {
         check_lanes, Case, Divergence, Json, Stimulus as WireStimulus, WireError,
     };
     pub use hdp_service::{
-        serve, submit, CacheStats, CachedDesign, JobOptions, JobOutcome, PlanCache, ServerHandle,
-        Service, ServiceError,
+        serve, submit, validate_snapshot, CacheStats, CachedDesign, JobOptions, JobOutcome,
+        JobSpan, MetricsRegistry, MetricsSnapshot, ObsMode, PlanCache, ServerHandle, Service,
+        ServiceError, Stage, METRICS_SCHEMA,
     };
     pub use hdp_sim::probe::{Monitor, Stimulus};
     pub use hdp_sim::vcd::VcdRecorder;
     pub use hdp_sim::{
-        CompiledPlan, LaneBatch, SchedMode, SimBuilder, SimError, SimStats, Simulator,
-        TelemetryLevel, LANES,
+        CompiledPlan, FallbackCause, LaneBatch, SchedMode, SimBuilder, SimError, SimStats,
+        Simulator, TelemetryLevel, LANES,
     };
 }
