@@ -26,7 +26,9 @@
 //! [`check_lanes`] adds a throughput-oriented eighth angle: up to 64
 //! random stimuli packed one-per-bit into a single
 //! [`hdp_sim::LaneBatch`] run, each lane refereed against its own
-//! scalar event-driven simulation.
+//! scalar event-driven simulation. Designs the lane engine cannot
+//! pack — tri-state nets, `inout` ports, multi-clock-domain
+//! netlists — are reported as out-of-scope, not as failures.
 //!
 //! Diverging cases are shrunk greedily ([`mod@shrink`]) to minimal
 //! reproducers and serialised as self-contained JSON documents in the

@@ -135,6 +135,12 @@ enum Oracle {
         vm: Box<VhdlInterp>,
         inputs: Vec<(String, usize)>,
         outputs: Vec<String>,
+        /// The design's clock rails as `(name, period)`, mirroring the
+        /// netlist's domain table.
+        clocks: Vec<(String, u64)>,
+        /// Base step counter — drives which rails fire on each step,
+        /// matching the scheduler's `fires_at` rule (`t % period == 0`).
+        cycle: u64,
     },
 }
 
@@ -191,10 +197,17 @@ fn build_vhdl(netlist: &Netlist, stim: &Stimulus) -> Result<Oracle, String> {
         .filter(|p| p.dir() != PortDir::In)
         .map(|p| p.name().to_owned())
         .collect();
+    let clocks = netlist
+        .domains()
+        .iter()
+        .map(|d| (d.name().to_owned(), d.period()))
+        .collect();
     Ok(Oracle::Vhdl {
         vm: Box::new(vm),
         inputs: stim.inputs.clone(),
         outputs,
+        clocks,
+        cycle: 0,
     })
 }
 
@@ -220,8 +233,9 @@ impl Oracle {
     fn reset(&mut self) -> Result<(), String> {
         match self {
             Oracle::Sim { sim, .. } => sim.reset().map_err(|e| e.to_string()),
-            Oracle::Vhdl { vm, .. } => {
+            Oracle::Vhdl { vm, cycle, .. } => {
                 vm.reset();
+                *cycle = 0;
                 vm.settle().map_err(|e| e.to_string())
             }
         }
@@ -237,7 +251,19 @@ impl Oracle {
     fn step(&mut self) -> Result<(), String> {
         match self {
             Oracle::Sim { sim, .. } => sim.step().map_err(|e| e.to_string()),
-            Oracle::Vhdl { vm, .. } => vm.step().map_err(|e| e.to_string()),
+            Oracle::Vhdl {
+                vm, clocks, cycle, ..
+            } => {
+                // Fire exactly the rails the scheduler would: domain
+                // `d` ticks at base step `t` iff `t % period == 0`.
+                let firing: Vec<&str> = clocks
+                    .iter()
+                    .filter(|(_, p)| *cycle % (*p).max(1) == 0)
+                    .map(|(n, _)| n.as_str())
+                    .collect();
+                *cycle += 1;
+                vm.step_clocks(&firing).map_err(|e| e.to_string())
+            }
         }
     }
 

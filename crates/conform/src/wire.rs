@@ -17,7 +17,12 @@
 //! `family` (index into [`FAMILIES`]), `data_width`, `depth`,
 //! `addr_width`, `key_width`, `wide`, `write_side` and the `ops`
 //! array of method-port names — plus redundant human-readable
-//! `label`/`kind`/`target` strings that parsers ignore. The
+//! `label`/`kind`/`target` strings that parsers ignore. Designs with
+//! a non-trivial clock-domain ratio additionally carry `wr_period`
+//! and `rd_period` (integer domain periods in base steps); both
+//! default to 1 when absent, and serialisation omits them at the
+//! default so pre-existing single-clock documents — and their content
+//! addresses — are unchanged. The
 //! `stimulus` object has an `inputs` array of `{name, width}` port
 //! descriptors and a `cycles` array of per-cycle value rows, one
 //! number per input in declaration order.
@@ -131,7 +136,7 @@ fn ops_to_json(ops: OpSet) -> Json {
 /// already round-trip.
 #[must_use]
 pub fn spec_to_json(spec: &DesignSpec) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("label".to_owned(), Json::Str(spec.label())),
         ("kind".to_owned(), Json::Str(spec.kind().to_owned())),
         ("target".to_owned(), Json::Str(spec.target().to_owned())),
@@ -142,8 +147,16 @@ pub fn spec_to_json(spec: &DesignSpec) -> Json {
         ("key_width".to_owned(), Json::Num(spec.key_width as u64)),
         ("wide".to_owned(), Json::Num(spec.wide as u64)),
         ("write_side".to_owned(), Json::Bool(spec.write_side)),
-        ("ops".to_owned(), ops_to_json(spec.ops)),
-    ])
+    ];
+    // The clock-domain axes are emitted only when they deviate from
+    // the synchronous default, so every pre-existing single-clock
+    // document (and its content address) is byte-identical.
+    if spec.wr_period != 1 || spec.rd_period != 1 {
+        fields.push(("wr_period".to_owned(), Json::Num(spec.wr_period)));
+        fields.push(("rd_period".to_owned(), Json::Num(spec.rd_period)));
+    }
+    fields.push(("ops".to_owned(), ops_to_json(spec.ops)));
+    Json::Obj(fields)
 }
 
 /// Serialises a stimulus as the wire `stimulus` object.
@@ -278,6 +291,13 @@ fn write_spec_canonical<W: fmt::Write>(w: &mut W, spec: &DesignSpec) -> fmt::Res
         ",\"family\":{},\"data_width\":{},\"depth\":{},\"addr_width\":{},\"key_width\":{},\"wide\":{},\"write_side\":{}",
         spec.family, spec.data_width, spec.depth, spec.addr_width, spec.key_width, spec.wide, spec.write_side
     )?;
+    if spec.wr_period != 1 || spec.rd_period != 1 {
+        write!(
+            w,
+            ",\"wr_period\":{},\"rd_period\":{}",
+            spec.wr_period, spec.rd_period
+        )?;
+    }
     w.write_str(",\"ops\":[")?;
     for (i, op) in spec.ops.iter().enumerate() {
         if i > 0 {
@@ -312,6 +332,17 @@ fn num_field(obj: &Json, parent: &str, key: &str) -> Result<u64, WireError> {
     obj.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| bad(format!("{parent}.{key}"), "missing or non-numeric"))
+}
+
+/// An optional numeric field: absent means `default`, present must be
+/// numeric.
+fn opt_num_field(obj: &Json, parent: &str, key: &str, default: u64) -> Result<u64, WireError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| bad(format!("{parent}.{key}"), "non-numeric")),
+    }
 }
 
 fn parse_spec(obj: &Json) -> Result<DesignSpec, WireError> {
@@ -349,6 +380,8 @@ fn parse_spec(obj: &Json) -> Result<DesignSpec, WireError> {
             .and_then(Json::as_bool)
             .ok_or_else(|| bad("design.write_side", "missing or non-boolean"))?,
         ops,
+        wr_period: opt_num_field(obj, "design", "wr_period", 1)?,
+        rd_period: opt_num_field(obj, "design", "rd_period", 1)?,
     })
 }
 
@@ -587,8 +620,50 @@ mod tests {
             wide: 16,
             write_side: false,
             ops: OpSet::new().with(MethodOp::Empty).with(MethodOp::Size),
+            wr_period: 1,
+            rd_period: 1,
         };
         assert_eq!(design_hash(&spec), "e2e88e2d98719295caa553b7c241c387");
+    }
+
+    #[test]
+    fn async_fifo_design_hash_literal_is_pinned() {
+        // The multi-clock axes join the canonical form only when
+        // non-trivial; this pins the serialisation of a ratio'd spec.
+        let spec = DesignSpec {
+            family: 11,
+            data_width: 8,
+            depth: 4,
+            addr_width: 8,
+            key_width: 4,
+            wide: 0,
+            write_side: false,
+            ops: OpSet::new(),
+            wr_period: 2,
+            rd_period: 3,
+        };
+        let text = spec_to_json(&spec).to_string();
+        assert!(text.contains("\"wr_period\":2,\"rd_period\":3"), "{text}");
+        assert_eq!(design_hash(&spec), "c801a7866e213b3359ad7e16fae0d236");
+    }
+
+    #[test]
+    fn default_periods_are_omitted_and_round_trip() {
+        let mut spec = sample_case(21, 1).spec;
+        spec.wr_period = 1;
+        spec.rd_period = 1;
+        let case = Case {
+            spec,
+            stimulus: Stimulus {
+                inputs: vec![],
+                cycles: vec![],
+            },
+        };
+        let text = job_to_json(&case);
+        assert!(!text.contains("wr_period"), "{text}");
+        let back = parse_case(&text).unwrap();
+        assert_eq!(back.spec.wr_period, 1);
+        assert_eq!(back.spec.rd_period, 1);
     }
 
     #[test]

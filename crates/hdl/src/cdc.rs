@@ -1,0 +1,504 @@
+//! Static clock-domain-crossing lint.
+//!
+//! Multi-clock designs fail in ways no cycle-accurate single-trace
+//! simulation can exhibit: a register sampling a signal launched from
+//! another clock domain can go metastable on silicon whenever the two
+//! edges land close together. The classic discipline — and the one the
+//! generated `async_fifo` family follows — is that every crossing must
+//! be either a single-bit (or Gray-coded vector) launched register
+//! sampled by a clean two-flop synchronizer, with no combinational
+//! logic on the crossing path.
+//!
+//! [`lint`] walks every driver→sampler edge of a validated [`Netlist`]
+//! and reports each crossing that breaks the discipline:
+//!
+//! * [`CdcViolation::CombinationalCrossing`] — a foreign-domain launch
+//!   reaches the sampler through combinational logic, so glitches on
+//!   the path can be captured.
+//! * [`CdcViolation::UnsynchronizedMultiBit`] — a multi-bit vector
+//!   crosses directly but its launching register is not Gray-coded, so
+//!   per-bit skew can deliver torn values.
+//! * [`CdcViolation::MissingSynchronizer`] — the crossing is direct but
+//!   the sampling register is not a clean synchronizer head (it has a
+//!   clock enable, is a macro cell, or its output feeds anything other
+//!   than register data pins in its own domain).
+//!
+//! Launches from entity input ports carry no domain and are never
+//! flagged; single-domain netlists trivially pass.
+
+use crate::netlist::Driver;
+use crate::prim::{GateOp, Prim};
+use crate::{CellId, NetId, Netlist};
+use std::fmt;
+
+/// One clock-domain-crossing violation found by [`lint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdcViolation {
+    /// A foreign-domain launch reaches a sampler through combinational
+    /// logic.
+    CombinationalCrossing {
+        /// The launching sequential cell.
+        launch: String,
+        /// The sampling sequential cell.
+        sampler: String,
+        /// The net at the sampler pin where the cone was entered.
+        net: String,
+    },
+    /// A multi-bit vector crosses domains without Gray coding.
+    UnsynchronizedMultiBit {
+        /// The launching sequential cell.
+        launch: String,
+        /// The sampling sequential cell.
+        sampler: String,
+        /// The crossing net.
+        net: String,
+        /// The crossing width in bits.
+        width: usize,
+    },
+    /// A direct crossing lands on a register that is not a clean
+    /// two-flop synchronizer head.
+    MissingSynchronizer {
+        /// The launching sequential cell.
+        launch: String,
+        /// The sampling sequential cell.
+        sampler: String,
+        /// The crossing net.
+        net: String,
+    },
+}
+
+impl fmt::Display for CdcViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdcViolation::CombinationalCrossing {
+                launch,
+                sampler,
+                net,
+            } => write!(
+                f,
+                "combinational logic on crossing from `{launch}` to `{sampler}` (net `{net}`)"
+            ),
+            CdcViolation::UnsynchronizedMultiBit {
+                launch,
+                sampler,
+                net,
+                width,
+            } => write!(
+                f,
+                "{width}-bit crossing `{net}` from `{launch}` to `{sampler}` is not Gray-coded"
+            ),
+            CdcViolation::MissingSynchronizer {
+                launch,
+                sampler,
+                net,
+            } => write!(
+                f,
+                "`{sampler}` samples foreign-domain `{net}` from `{launch}` without a clean \
+                 2-flop synchronizer"
+            ),
+        }
+    }
+}
+
+/// Lints a netlist for unsafe clock-domain crossings.
+///
+/// Returns every violation found, in deterministic cell order; an empty
+/// vector means the design is CDC-clean. Call on a validated netlist
+/// (see [`crate::validate::check`]) — the walk assumes pin contracts
+/// hold.
+#[must_use]
+pub fn lint(netlist: &Netlist) -> Vec<CdcViolation> {
+    if !netlist.is_multi_domain() {
+        return Vec::new();
+    }
+    let drivers = netlist.drivers();
+    let mut violations = Vec::new();
+    for (si, sampler) in netlist.cells().iter().enumerate() {
+        if !sampler.prim().is_sequential() {
+            continue;
+        }
+        let s_domain = netlist.cell_domain(CellId(si));
+        let mut reported: Vec<CellId> = Vec::new();
+        for &pin_net in sampler.inputs() {
+            for (launch, through_comb) in cone_launches(netlist, &drivers, pin_net) {
+                if netlist.cell_domain(launch) == s_domain || reported.contains(&launch) {
+                    continue;
+                }
+                reported.push(launch);
+                let launch_name = netlist.cell(launch).name().to_owned();
+                let sampler_name = sampler.name().to_owned();
+                let net_name = netlist.net(pin_net).name().to_owned();
+                let width = netlist.net(pin_net).width();
+                if through_comb {
+                    violations.push(CdcViolation::CombinationalCrossing {
+                        launch: launch_name,
+                        sampler: sampler_name,
+                        net: net_name,
+                    });
+                } else if width > 1 && !is_gray_launch(netlist, &drivers, launch) {
+                    violations.push(CdcViolation::UnsynchronizedMultiBit {
+                        launch: launch_name,
+                        sampler: sampler_name,
+                        net: net_name,
+                        width,
+                    });
+                } else if !is_clean_sync_head(netlist, CellId(si), s_domain) {
+                    violations.push(CdcViolation::MissingSynchronizer {
+                        launch: launch_name,
+                        sampler: sampler_name,
+                        net: net_name,
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// All sequential launches reaching `net`, each flagged with whether
+/// any combinational cell sits on the path. Input-port drivers carry no
+/// domain and are skipped.
+fn cone_launches(netlist: &Netlist, drivers: &[Vec<Driver>], net: NetId) -> Vec<(CellId, bool)> {
+    let mut out: Vec<(CellId, bool)> = Vec::new();
+    // (net, reached through >= 1 comb cell). A net can be revisited
+    // with the stronger `true` flag, so visited tracks the flag too.
+    let mut stack = vec![(net, false)];
+    let mut visited: Vec<(NetId, bool)> = Vec::new();
+    while let Some((n, through_comb)) = stack.pop() {
+        if visited.contains(&(n, through_comb)) {
+            continue;
+        }
+        visited.push((n, through_comb));
+        for driver in &drivers[n.index()] {
+            let Driver::CellOutput { cell, .. } = driver else {
+                continue;
+            };
+            let c = netlist.cell(*cell);
+            if c.prim().is_sequential() {
+                match out.iter_mut().find(|(l, _)| l == cell) {
+                    Some((_, flag)) => *flag |= through_comb,
+                    None => out.push((*cell, through_comb)),
+                }
+            } else {
+                for &input in c.inputs() {
+                    stack.push((input, true));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True if the launching register is structurally Gray-coded: its data
+/// input is `x xor (x srl 1)`, with the shift built as the emitted
+/// `concat('0', x(hi downto 1))` pattern.
+fn is_gray_launch(netlist: &Netlist, drivers: &[Vec<Driver>], launch: CellId) -> bool {
+    let cell = netlist.cell(launch);
+    if !matches!(cell.prim(), Prim::Reg { .. }) {
+        return false;
+    }
+    let d = cell.inputs()[0];
+    let Some(xor) = sole_comb_driver(netlist, drivers, d) else {
+        return false;
+    };
+    if !matches!(
+        xor.prim(),
+        Prim::Gate {
+            op: GateOp::Xor,
+            ..
+        }
+    ) {
+        return false;
+    }
+    let (a, b) = (xor.inputs()[0], xor.inputs()[1]);
+    is_shr1_of(netlist, drivers, b, a) || is_shr1_of(netlist, drivers, a, b)
+}
+
+/// True if `shifted` is `base srl 1`: a concat of a 1-bit constant zero
+/// and `base(hi downto 1)`.
+fn is_shr1_of(netlist: &Netlist, drivers: &[Vec<Driver>], shifted: NetId, base: NetId) -> bool {
+    let Some(concat) = sole_comb_driver(netlist, drivers, shifted) else {
+        return false;
+    };
+    let Prim::Concat { widths } = concat.prim() else {
+        return false;
+    };
+    if widths.len() != 2 || widths[0] != 1 {
+        return false;
+    }
+    let Some(zero) = sole_comb_driver(netlist, drivers, concat.inputs()[0]) else {
+        return false;
+    };
+    let zero_ok = matches!(zero.prim(), Prim::Const { value } if value.to_u64() == Some(0));
+    let Some(slice) = sole_comb_driver(netlist, drivers, concat.inputs()[1]) else {
+        return false;
+    };
+    let slice_ok = matches!(slice.prim(), Prim::Slice { low: 1, .. });
+    zero_ok && slice_ok && slice.inputs()[0] == base
+}
+
+fn sole_comb_driver<'a>(
+    netlist: &'a Netlist,
+    drivers: &[Vec<Driver>],
+    net: NetId,
+) -> Option<&'a crate::Cell> {
+    match drivers[net.index()].as_slice() {
+        [Driver::CellOutput { cell, .. }] => {
+            let c = netlist.cell(*cell);
+            (!c.prim().is_sequential()).then_some(c)
+        }
+        _ => None,
+    }
+}
+
+/// True if the sampler is a clean synchronizer head: an enable-less
+/// register whose output feeds nothing but register data pins in its
+/// own domain (the second flop; entity output ports are outside lint
+/// scope).
+fn is_clean_sync_head(netlist: &Netlist, sampler: CellId, s_domain: usize) -> bool {
+    let cell = netlist.cell(sampler);
+    if !matches!(
+        cell.prim(),
+        Prim::Reg {
+            has_enable: false,
+            ..
+        }
+    ) {
+        return false;
+    }
+    let q = cell.outputs()[0];
+    for (ri, reader) in netlist.cells().iter().enumerate() {
+        for (pin, &input) in reader.inputs().iter().enumerate() {
+            if input != q {
+                continue;
+            }
+            let is_second_flop = matches!(reader.prim(), Prim::Reg { .. })
+                && pin == 0
+                && netlist.cell_domain(CellId(ri)) == s_domain;
+            if !is_second_flop {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Entity, PortDir};
+
+    fn reg(width: usize) -> Prim {
+        Prim::Reg {
+            width,
+            has_enable: false,
+            reset_value: 0,
+        }
+    }
+
+    /// A minimal clean crossing: wr-domain Gray-coded counter sampled
+    /// by a 2-flop synchronizer in the rd domain.
+    fn clean_crossing() -> Netlist {
+        let entity = Entity::builder("xing")
+            .port("q", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let wr = nl.add_domain("wr_clk", 2).unwrap();
+        let rd = nl.add_domain("rd_clk", 3).unwrap();
+        let bin = nl.add_net("bin", 4).unwrap();
+        let bin_next = nl.add_net("bin_next", 4).unwrap();
+        let gray_next = nl.add_net("gray_next", 4).unwrap();
+        let gray = nl.add_net("gray", 4).unwrap();
+        let zero = nl.add_net("zero", 1).unwrap();
+        let hi = nl.add_net("hi", 3).unwrap();
+        let shifted = nl.add_net("shifted", 4).unwrap();
+        let q1 = nl.add_net("q1", 4).unwrap();
+        let q2 = nl.add_net("q2", 4).unwrap();
+        nl.add_cell_in_domain("u_bin", reg(4), vec![bin_next], vec![bin], wr)
+            .unwrap();
+        nl.add_cell("u_inc", Prim::Inc { width: 4 }, vec![bin], vec![bin_next])
+            .unwrap();
+        nl.add_cell(
+            "u_zero",
+            Prim::Const {
+                value: crate::LogicVector::from_u64(0, 1).unwrap(),
+            },
+            vec![],
+            vec![zero],
+        )
+        .unwrap();
+        nl.add_cell(
+            "u_hi",
+            Prim::Slice {
+                in_width: 4,
+                low: 1,
+                len: 3,
+            },
+            vec![bin_next],
+            vec![hi],
+        )
+        .unwrap();
+        nl.add_cell(
+            "u_cat",
+            Prim::Concat { widths: vec![1, 3] },
+            vec![zero, hi],
+            vec![shifted],
+        )
+        .unwrap();
+        nl.add_cell(
+            "u_xor",
+            Prim::Gate {
+                op: GateOp::Xor,
+                width: 4,
+            },
+            vec![bin_next, shifted],
+            vec![gray_next],
+        )
+        .unwrap();
+        nl.add_cell_in_domain("u_gray", reg(4), vec![gray_next], vec![gray], wr)
+            .unwrap();
+        nl.add_cell_in_domain("u_q1", reg(4), vec![gray], vec![q1], rd)
+            .unwrap();
+        nl.add_cell_in_domain("u_q2", reg(4), vec![q1], vec![q2], rd)
+            .unwrap();
+        nl.bind_port("q", q2).unwrap();
+        nl
+    }
+
+    #[test]
+    fn clean_gray_crossing_passes() {
+        let nl = clean_crossing();
+        crate::validate::check(&nl).unwrap();
+        assert_eq!(lint(&nl), Vec::new());
+    }
+
+    #[test]
+    fn single_domain_netlist_trivially_passes() {
+        let entity = Entity::builder("e")
+            .port("q", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let d = nl.add_net("d", 4).unwrap();
+        let q = nl.add_net("q", 4).unwrap();
+        nl.add_cell("u_r", reg(4), vec![d], vec![q]).unwrap();
+        nl.add_cell("u_i", Prim::Inc { width: 4 }, vec![q], vec![d])
+            .unwrap();
+        nl.bind_port("q", q).unwrap();
+        assert!(lint(&nl).is_empty());
+    }
+
+    #[test]
+    fn binary_coded_multi_bit_crossing_is_flagged() {
+        // Same shape but the crossing register launches the raw binary
+        // counter value.
+        let entity = Entity::builder("xing")
+            .port("q", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let wr = nl.add_domain("wr_clk", 2).unwrap();
+        let rd = nl.add_domain("rd_clk", 3).unwrap();
+        let bin = nl.add_net("bin", 4).unwrap();
+        let bin_next = nl.add_net("bin_next", 4).unwrap();
+        let q1 = nl.add_net("q1", 4).unwrap();
+        let q2 = nl.add_net("q2", 4).unwrap();
+        nl.add_cell_in_domain("u_bin", reg(4), vec![bin_next], vec![bin], wr)
+            .unwrap();
+        nl.add_cell("u_inc", Prim::Inc { width: 4 }, vec![bin], vec![bin_next])
+            .unwrap();
+        nl.add_cell_in_domain("u_q1", reg(4), vec![bin], vec![q1], rd)
+            .unwrap();
+        nl.add_cell_in_domain("u_q2", reg(4), vec![q1], vec![q2], rd)
+            .unwrap();
+        nl.bind_port("q", q2).unwrap();
+        let violations = lint(&nl);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            CdcViolation::UnsynchronizedMultiBit { launch, width: 4, .. } if launch == "u_bin"
+        ));
+    }
+
+    #[test]
+    fn combinational_logic_on_crossing_is_flagged() {
+        // Insert an incrementer between the Gray launch and the
+        // synchronizer: the crossing is no longer glitch-free.
+        let entity = Entity::builder("xing")
+            .port("q", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let wr = nl.add_domain("wr_clk", 2).unwrap();
+        let rd = nl.add_domain("rd_clk", 3).unwrap();
+        let bin = nl.add_net("bin", 4).unwrap();
+        let bin_next = nl.add_net("bin_next", 4).unwrap();
+        let mangled = nl.add_net("mangled", 4).unwrap();
+        let q1 = nl.add_net("q1", 4).unwrap();
+        let q2 = nl.add_net("q2", 4).unwrap();
+        nl.add_cell_in_domain("u_bin", reg(4), vec![bin_next], vec![bin], wr)
+            .unwrap();
+        nl.add_cell("u_inc", Prim::Inc { width: 4 }, vec![bin], vec![bin_next])
+            .unwrap();
+        nl.add_cell("u_mangle", Prim::Inc { width: 4 }, vec![bin], vec![mangled])
+            .unwrap();
+        nl.add_cell_in_domain("u_q1", reg(4), vec![mangled], vec![q1], rd)
+            .unwrap();
+        nl.add_cell_in_domain("u_q2", reg(4), vec![q1], vec![q2], rd)
+            .unwrap();
+        nl.bind_port("q", q2).unwrap();
+        let violations = lint(&nl);
+        assert!(violations.iter().any(
+            |v| matches!(v, CdcViolation::CombinationalCrossing { launch, .. } if launch == "u_bin")
+        ));
+    }
+
+    #[test]
+    fn single_flop_sampler_is_flagged() {
+        // Drop the second flop: u_q1's output feeds an incrementer, so
+        // it is no longer a clean synchronizer head.
+        let entity = Entity::builder("xing")
+            .port("q", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let wr = nl.add_domain("wr_clk", 2).unwrap();
+        let rd = nl.add_domain("rd_clk", 3).unwrap();
+        let bit = nl.add_net("bit", 1).unwrap();
+        let bit_next = nl.add_net("bit_next", 1).unwrap();
+        let q1 = nl.add_net("q1", 1).unwrap();
+        let used = nl.add_net("used", 1).unwrap();
+        let q = nl.add_net("q", 4).unwrap();
+        nl.add_cell_in_domain("u_bit", reg(1), vec![bit_next], vec![bit], wr)
+            .unwrap();
+        nl.add_cell("u_not", Prim::Not { width: 1 }, vec![bit], vec![bit_next])
+            .unwrap();
+        nl.add_cell_in_domain("u_q1", reg(1), vec![bit], vec![q1], rd)
+            .unwrap();
+        nl.add_cell("u_use", Prim::Not { width: 1 }, vec![q1], vec![used])
+            .unwrap();
+        nl.add_cell(
+            "u_pad",
+            Prim::Concat {
+                widths: vec![1, 1, 1, 1],
+            },
+            vec![used, used, used, used],
+            vec![q],
+        )
+        .unwrap();
+        nl.bind_port("q", q).unwrap();
+        let violations = lint(&nl);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            CdcViolation::MissingSynchronizer { launch, sampler, .. }
+                if launch == "u_bit" && sampler == "u_q1"
+        ));
+    }
+}

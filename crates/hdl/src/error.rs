@@ -79,6 +79,11 @@ pub enum HdlError {
         /// The valid length.
         len: usize,
     },
+    /// A clock-domain declaration or reference is invalid.
+    InvalidDomain {
+        /// Description of the problem.
+        context: String,
+    },
 }
 
 impl fmt::Display for HdlError {
@@ -117,6 +122,9 @@ impl fmt::Display for HdlError {
             }
             HdlError::IndexOutOfRange { index, len } => {
                 write!(f, "index {index} out of range for length {len}")
+            }
+            HdlError::InvalidDomain { context } => {
+                write!(f, "invalid clock domain: {context}")
             }
         }
     }

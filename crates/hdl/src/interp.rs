@@ -245,6 +245,9 @@ struct RegProc {
     reset_value: LogicVector,
     enable: Option<usize>,
     d: usize,
+    /// The clock rail this process is sensitive to (`clk` for the
+    /// default domain, the domain name otherwise).
+    clock: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -319,6 +322,8 @@ pub struct VhdlInterp {
     insts: Vec<Instance>,
     /// The global reset rail, if any process or instance uses it.
     rst: Option<usize>,
+    /// Clock rail names in first-seen order (`clk` first when present).
+    clocks: Vec<String>,
 }
 
 impl VhdlInterp {
@@ -711,14 +716,36 @@ impl VhdlInterp {
     /// undefined strobed write, matching the netlist simulator's
     /// protocol conditions.
     pub fn tick(&mut self) -> Result<(), InterpError> {
+        self.tick_filtered(None)
+    }
+
+    /// Applies a rising edge on a subset of the clock rails: only
+    /// register processes clocked by a rail named in `firing` sample,
+    /// and component instances (hard-wired to `clk`) update only when
+    /// `clk` fires. `tick` is the all-rails special case.
+    ///
+    /// Coincident edges behave exactly like a single-clock tick: every
+    /// firing register samples pre-edge values, then all commit.
+    fn tick_filtered(&mut self, firing: Option<&[&str]>) -> Result<(), InterpError> {
         let rst_high = self
             .rst
             .is_some_and(|r| self.signals[r].value.to_u64() == Some(1));
+        let fires: Vec<bool> = self
+            .regs
+            .iter()
+            .map(|reg| match firing {
+                None => true,
+                Some(f) => f.contains(&self.signals[reg.clock].name.as_str()),
+            })
+            .collect();
+        let default_fires = firing.is_none_or(|f| f.contains(&"clk"));
         // Sample every process input before committing anything: all
         // registers see the same pre-edge values.
         let mut reg_nexts: Vec<Option<LogicVector>> = Vec::with_capacity(self.regs.len());
-        for reg in &self.regs {
-            let next = if rst_high {
+        for (reg, &fire) in self.regs.iter().zip(&fires) {
+            let next = if !fire {
+                None
+            } else if rst_high {
                 Some(reg.reset_value)
             } else {
                 let load = match reg.enable {
@@ -732,7 +759,8 @@ impl VhdlInterp {
         // Instance updates (also sampled pre-edge; instance state is
         // not visible to the combinational network until the next
         // settle, so ordering against the register commits is moot).
-        for ii in 0..self.insts.len() {
+        let n_insts = if default_fires { self.insts.len() } else { 0 };
+        for ii in 0..n_insts {
             let conn = |formal: &str| self.insts[ii].conns.get(formal).copied();
             let name = self.insts[ii].name.clone();
             match self.insts[ii].kind {
@@ -824,6 +852,30 @@ impl VhdlInterp {
         self.settle()?;
         self.tick()?;
         self.settle()
+    }
+
+    /// One base step of a multi-clock design: settle, a rising edge on
+    /// exactly the clock rails named in `firing`, settle.
+    ///
+    /// Rails not named keep their registers' state; unknown names are
+    /// ignored. `step_clocks(&["clk", "rd_clk", ...])` with every rail
+    /// listed is identical to [`VhdlInterp::step`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VhdlInterp::settle`] and the same protocol errors
+    /// as [`VhdlInterp::tick`].
+    pub fn step_clocks(&mut self, firing: &[&str]) -> Result<(), InterpError> {
+        self.settle()?;
+        self.tick_filtered(Some(firing))?;
+        self.settle()
+    }
+
+    /// The clock rail names referenced by the design, in first-seen
+    /// order (`clk` for the default domain).
+    #[must_use]
+    pub fn clocks(&self) -> &[String] {
+        &self.clocks
     }
 
     /// Out-of-band state reset, mirroring the netlist simulator's
@@ -953,6 +1005,20 @@ impl<'a> Parser<'a> {
             return self.add_signal(name, 1, SigKind::Implicit);
         }
         Err(self.err(format!("reference to undeclared signal `{name}`")))
+    }
+
+    /// Resolves a clock rail referenced by `rising_edge(..)`,
+    /// materialising it as an implicit testbench-driven signal. Any
+    /// identifier is accepted: each non-default clock domain contributes
+    /// its own rail, declared nowhere (like `clk` itself).
+    fn implicit_rail(&mut self, name: &str) -> Result<usize, InterpError> {
+        if let Some(&idx) = self.by_name.get(name) {
+            return Ok(idx);
+        }
+        if !crate::is_valid_identifier(name) {
+            return Err(self.err(format!("invalid clock rail `{name}`")));
+        }
+        self.add_signal(name, 1, SigKind::Implicit)
     }
 
     fn parse_type(&self, ty: &str) -> Result<usize, InterpError> {
@@ -1383,15 +1449,23 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_reg_process(&mut self) -> Result<(), InterpError> {
-        // begin / if rising_edge(clk) then / if rst = '1' then
-        for expected in ["begin", "if rising_edge(clk) then", "if rst = '1' then"] {
-            let l = self.expect_line(expected)?;
-            if l != expected {
-                return Err(self.err(format!("expected `{expected}`, got `{l}`")));
-            }
+        // begin / if rising_edge(<clock>) then / if rst = '1' then
+        let l = self.expect_line("begin")?;
+        if l != "begin" {
+            return Err(self.err(format!("expected `begin`, got `{l}`")));
+        }
+        let l = self.expect_line("clock edge")?;
+        let clock_name = l
+            .strip_prefix("if rising_edge(")
+            .and_then(|r| r.strip_suffix(") then"))
+            .ok_or_else(|| self.err(format!("expected `if rising_edge(..) then`, got `{l}`")))?
+            .to_owned();
+        let l = self.expect_line("reset branch")?;
+        if l != "if rst = '1' then" {
+            return Err(self.err(format!("expected `if rst = '1' then`, got `{l}`")));
         }
         // Make sure the implicit rails exist.
-        self.lookup("clk")?;
+        let clock = self.implicit_rail(&clock_name)?;
         self.lookup("rst")?;
         let l = self.expect_line("reset assignment")?;
         let (target, reset_rhs) = self.split_assign(l)?;
@@ -1426,6 +1500,7 @@ impl<'a> Parser<'a> {
             reset_value,
             enable,
             d,
+            clock,
         });
         Ok(())
     }
@@ -1586,6 +1661,24 @@ impl<'a> Parser<'a> {
             drivers[t].push(si);
         }
         let rst = self.by_name.get("rst").copied();
+        // Clock rails in deterministic order: the default `clk` first
+        // when anything uses it, then the other domains as their
+        // register processes appeared.
+        let mut clocks: Vec<String> = Vec::new();
+        if !self.insts.is_empty()
+            || self
+                .regs
+                .iter()
+                .any(|r| self.signals[r.clock].name == "clk")
+        {
+            clocks.push("clk".to_owned());
+        }
+        for reg in &self.regs {
+            let name = &self.signals[reg.clock].name;
+            if !clocks.iter().any(|c| c == name) {
+                clocks.push(name.clone());
+            }
+        }
         Ok(VhdlInterp {
             entity_name: self.entity_name,
             signals: self.signals,
@@ -1596,6 +1689,7 @@ impl<'a> Parser<'a> {
             regs: self.regs,
             insts: self.insts,
             rst,
+            clocks,
         })
     }
 }
@@ -1918,5 +2012,48 @@ mod tests {
         let vm = VhdlInterp::from_netlist(&counter_netlist(), "rtl").unwrap();
         assert_eq!(vm.entity_name(), "counter");
         assert_eq!(vm.ports(), vec![("q".to_owned(), PortDir::Out, 8)]);
+    }
+
+    #[test]
+    fn step_clocks_ticks_only_firing_rails() {
+        // Two free-running counters, one per domain.
+        let entity = Entity::builder("two_cnt")
+            .port("qa", PortDir::Out, 4)
+            .unwrap()
+            .port("qb", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let rd = nl.add_domain("rd_clk", 2).unwrap();
+        let qa = nl.add_net("qa", 4).unwrap();
+        let da = nl.add_net("da", 4).unwrap();
+        let qb = nl.add_net("qb", 4).unwrap();
+        let db = nl.add_net("db", 4).unwrap();
+        let reg = |reset_value| Prim::Reg {
+            width: 4,
+            has_enable: false,
+            reset_value,
+        };
+        nl.add_cell("u_a", reg(0), vec![da], vec![qa]).unwrap();
+        nl.add_cell("u_ia", Prim::Inc { width: 4 }, vec![qa], vec![da])
+            .unwrap();
+        nl.add_cell_in_domain("u_b", reg(0), vec![db], vec![qb], rd)
+            .unwrap();
+        nl.add_cell("u_ib", Prim::Inc { width: 4 }, vec![qb], vec![db])
+            .unwrap();
+        nl.bind_port("qa", qa).unwrap();
+        nl.bind_port("qb", qb).unwrap();
+        let mut vm = VhdlInterp::from_netlist(&nl, "rtl").unwrap();
+        vm.reset();
+        assert_eq!(vm.clocks(), ["clk".to_owned(), "rd_clk".to_owned()]);
+        vm.step_clocks(&["clk", "rd_clk"]).unwrap(); // both edges coincide
+        vm.step_clocks(&["clk"]).unwrap(); // rd_clk sits this one out
+        assert_eq!(vm.peek("qa").unwrap().to_u64(), Some(2));
+        assert_eq!(vm.peek("qb").unwrap().to_u64(), Some(1));
+        // All rails firing is exactly the single-clock step.
+        vm.step_clocks(&["clk", "rd_clk"]).unwrap();
+        assert_eq!(vm.peek("qa").unwrap().to_u64(), Some(3));
+        assert_eq!(vm.peek("qb").unwrap().to_u64(), Some(2));
     }
 }

@@ -17,6 +17,9 @@
 //!   architectures as synthesizable VHDL'93 text.
 //! * [`validate`] — structural sanity checks (single driver per net, port
 //!   width agreement, dangling pins, identifier legality).
+//! * [`cdc`] — a static clock-domain-crossing lint over validated
+//!   netlists: every register sampling a foreign-domain launch must do so
+//!   through a clean synchronizer (or a Gray-coded vector).
 //!
 //! Downstream, `hdp-sim` interprets netlists cycle-accurately and
 //! `hdp-synth` maps them onto Spartan-IIE resources to reproduce the
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod bit;
+pub mod cdc;
 mod entity;
 mod error;
 mod ident;
@@ -57,5 +61,5 @@ pub use bit::Bit;
 pub use entity::{Entity, EntityBuilder, Generic, GenericValue, Port, PortDir};
 pub use error::HdlError;
 pub use ident::is_valid_identifier;
-pub use netlist::{Cell, CellId, Net, NetId, Netlist, PortBinding};
+pub use netlist::{Cell, CellId, ClockDomain, Net, NetId, Netlist, PortBinding};
 pub use vector::{LogicVector, MAX_WIDTH};

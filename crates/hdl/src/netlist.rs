@@ -83,6 +83,33 @@ impl Cell {
     }
 }
 
+/// A clock domain of a netlist: a named clock with an integer period
+/// expressed in simulator base steps.
+///
+/// Domain 0 is always the implicit default clock `clk` with period 1;
+/// further domains are declared with [`Netlist::add_domain`] and tick
+/// every `period` base steps (all domains coincide at step 0). Sequential
+/// cells are assigned to a domain with [`Netlist::add_cell_in_domain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockDomain {
+    name: String,
+    period: u64,
+}
+
+impl ClockDomain {
+    /// The clock name (also the `rising_edge(..)` rail in emitted VHDL).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The clock period in simulator base steps.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+}
+
 /// Association between an entity port and an internal net.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortBinding {
@@ -107,10 +134,13 @@ impl PortBinding {
 /// A structural architecture: an [`Entity`] plus a graph of primitive
 /// cells and nets, the output format of the metaprogramming generator.
 ///
-/// The single implicit clock and synchronous reset of the paper's
-/// designs are not modelled as nets; sequential primitives are clocked
-/// by the simulator and reset globally, which matches the generated
-/// VHDL's single `clk`/`rst` pair.
+/// Clocks and the synchronous reset are not modelled as nets; sequential
+/// primitives are clocked by the simulator and reset globally, which
+/// matches the generated VHDL's implicit `clk`/`rst` rails. A netlist
+/// starts with the single default domain `clk` (period 1) and may declare
+/// further [`ClockDomain`]s for registers via [`Netlist::add_domain`] and
+/// [`Netlist::add_cell_in_domain`] — the basis of the async-FIFO/CDC
+/// families.
 ///
 /// # Example
 ///
@@ -139,10 +169,15 @@ pub struct Netlist {
     nets: Vec<Net>,
     cells: Vec<Cell>,
     bindings: Vec<PortBinding>,
+    domains: Vec<ClockDomain>,
+    cell_domains: Vec<usize>,
 }
 
 impl Netlist {
     /// Creates an empty netlist implementing `entity`.
+    ///
+    /// The netlist starts with the single implicit clock domain `clk`
+    /// (period 1); see [`Netlist::add_domain`].
     #[must_use]
     pub fn new(entity: Entity) -> Self {
         Self {
@@ -150,6 +185,11 @@ impl Netlist {
             nets: Vec::new(),
             cells: Vec::new(),
             bindings: Vec::new(),
+            domains: vec![ClockDomain {
+                name: "clk".into(),
+                period: 1,
+            }],
+            cell_domains: Vec::new(),
         }
     }
 
@@ -175,6 +215,66 @@ impl Netlist {
     #[must_use]
     pub fn bindings(&self) -> &[PortBinding] {
         &self.bindings
+    }
+
+    /// All clock domains; index 0 is always the default `clk` / period 1.
+    #[must_use]
+    pub fn domains(&self) -> &[ClockDomain] {
+        &self.domains
+    }
+
+    /// Whether more than one clock domain is declared.
+    #[must_use]
+    pub fn is_multi_domain(&self) -> bool {
+        self.domains.len() > 1
+    }
+
+    /// The domain index of a cell (0 = the default `clk` domain).
+    #[must_use]
+    pub fn cell_domain(&self, id: CellId) -> usize {
+        self.cell_domains[id.0]
+    }
+
+    /// The domain indices of all cells, indexable by [`CellId::index`]
+    /// (for callers iterating cells by raw position).
+    #[must_use]
+    pub fn cell_domains(&self) -> &[usize] {
+        &self.cell_domains
+    }
+
+    /// Declares a new clock domain and returns its index.
+    ///
+    /// The name must be a legal identifier distinct from every existing
+    /// domain and net name (the emitted VHDL references the clock as an
+    /// implicit rail of that name), and the period must be at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::InvalidIdentifier`], [`HdlError::DuplicateName`]
+    /// or [`HdlError::InvalidDomain`].
+    pub fn add_domain(&mut self, name: impl Into<String>, period: u64) -> Result<usize, HdlError> {
+        let name = name.into();
+        if !crate::is_valid_identifier(&name) {
+            return Err(HdlError::InvalidIdentifier { name });
+        }
+        if period == 0 {
+            return Err(HdlError::InvalidDomain {
+                context: format!("domain `{name}` has period 0"),
+            });
+        }
+        if self.domains.iter().any(|d| d.name == name) || name == "rst" {
+            return Err(HdlError::DuplicateName {
+                name,
+                kind: "clock domain",
+            });
+        }
+        if self.nets.iter().any(|n| n.name == name) {
+            return Err(HdlError::InvalidDomain {
+                context: format!("domain `{name}` collides with a net name"),
+            });
+        }
+        self.domains.push(ClockDomain { name, period });
+        Ok(self.domains.len() - 1)
     }
 
     /// Looks up a net by id.
@@ -217,6 +317,11 @@ impl Netlist {
         }
         if self.nets.iter().any(|n| n.name == name) {
             return Err(HdlError::DuplicateName { name, kind: "net" });
+        }
+        if self.domains[1..].iter().any(|d| d.name == name) {
+            return Err(HdlError::InvalidDomain {
+                context: format!("net `{name}` collides with a clock domain name"),
+            });
         }
         self.nets.push(Net { name, width });
         Ok(NetId(self.nets.len() - 1))
@@ -288,7 +393,52 @@ impl Netlist {
             inputs,
             outputs,
         });
+        self.cell_domains.push(0);
         Ok(CellId(self.cells.len() - 1))
+    }
+
+    /// Adds a cell clocked by the given domain (see [`Netlist::add_domain`]).
+    ///
+    /// Only register cells may live outside the default domain: the macro
+    /// primitives (block RAM, FIFO, LIFO) model vendor cores that are
+    /// hard-wired to the implicit `clk`, and combinational cells have no
+    /// clock at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::InvalidDomain`] for an unknown domain index or
+    /// a non-register primitive in a non-default domain, plus everything
+    /// [`Netlist::add_cell`] returns.
+    pub fn add_cell_in_domain(
+        &mut self,
+        name: impl Into<String>,
+        prim: Prim,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+        domain: usize,
+    ) -> Result<CellId, HdlError> {
+        let name = name.into();
+        if domain >= self.domains.len() {
+            return Err(HdlError::InvalidDomain {
+                context: format!(
+                    "cell `{name}` references domain #{domain} but only {} are declared",
+                    self.domains.len()
+                ),
+            });
+        }
+        if domain != 0 && !matches!(prim, Prim::Reg { .. }) {
+            return Err(HdlError::InvalidDomain {
+                context: format!(
+                    "cell `{name}` ({}) cannot join domain `{}`: only registers may \
+                     leave the default `clk` domain",
+                    prim.mnemonic(),
+                    self.domains[domain].name
+                ),
+            });
+        }
+        let id = self.add_cell(name, prim, inputs, outputs)?;
+        self.cell_domains[id.0] = domain;
+        Ok(id)
     }
 
     fn net_width(&self, net: NetId, cell: &str) -> Result<usize, HdlError> {
@@ -624,6 +774,88 @@ mod tests {
         )
         .unwrap();
         assert!(nl.comb_topo_order().is_ok());
+    }
+
+    #[test]
+    fn domains_start_with_default_clk() {
+        let nl = Netlist::new(simple_entity());
+        assert_eq!(nl.domains().len(), 1);
+        assert_eq!(nl.domains()[0].name(), "clk");
+        assert_eq!(nl.domains()[0].period(), 1);
+        assert!(!nl.is_multi_domain());
+    }
+
+    #[test]
+    fn add_domain_and_place_register() {
+        let mut nl = Netlist::new(simple_entity());
+        let rd = nl.add_domain("rd_clk", 3).unwrap();
+        assert_eq!(rd, 1);
+        assert!(nl.is_multi_domain());
+        let d = nl.add_net("d", 8).unwrap();
+        let q = nl.add_net("q", 8).unwrap();
+        let c = nl
+            .add_cell_in_domain(
+                "u_q",
+                Prim::Reg {
+                    width: 8,
+                    has_enable: false,
+                    reset_value: 0,
+                },
+                vec![d],
+                vec![q],
+                rd,
+            )
+            .unwrap();
+        assert_eq!(nl.cell_domain(c), rd);
+    }
+
+    #[test]
+    fn domain_rejects_bad_period_and_duplicates() {
+        let mut nl = Netlist::new(simple_entity());
+        assert!(matches!(
+            nl.add_domain("rd_clk", 0),
+            Err(HdlError::InvalidDomain { .. })
+        ));
+        assert!(matches!(
+            nl.add_domain("clk", 2),
+            Err(HdlError::DuplicateName { .. })
+        ));
+        nl.add_domain("rd_clk", 2).unwrap();
+        assert!(matches!(
+            nl.add_domain("rd_clk", 2),
+            Err(HdlError::DuplicateName { .. })
+        ));
+        // The clock rail name must stay free on the net side, both ways.
+        assert!(matches!(
+            nl.add_net("rd_clk", 1),
+            Err(HdlError::InvalidDomain { .. })
+        ));
+        nl.add_net("wr_clk", 1).unwrap();
+        assert!(matches!(
+            nl.add_domain("wr_clk", 2),
+            Err(HdlError::InvalidDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn only_registers_leave_the_default_domain() {
+        let mut nl = Netlist::new(simple_entity());
+        let rd = nl.add_domain("rd_clk", 2).unwrap();
+        let a = nl.add_net("a", 8).unwrap();
+        let y = nl.add_net("y", 8).unwrap();
+        assert!(matches!(
+            nl.add_cell_in_domain("u0", Prim::Inc { width: 8 }, vec![a], vec![y], rd),
+            Err(HdlError::InvalidDomain { .. })
+        ));
+        assert!(matches!(
+            nl.add_cell_in_domain("u0", Prim::Inc { width: 8 }, vec![a], vec![y], 9),
+            Err(HdlError::InvalidDomain { .. })
+        ));
+        // Default-domain placement through the new API matches add_cell.
+        let c = nl
+            .add_cell_in_domain("u0", Prim::Inc { width: 8 }, vec![a], vec![y], 0)
+            .unwrap();
+        assert_eq!(nl.cell_domain(c), 0);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::{HdlError, Netlist, PortDir};
 /// # Errors
 ///
 /// Returns the first failure found, in the order: bindings, drivers,
-/// combinational loops.
+/// combinational loops, clock domains.
 ///
 /// # Example
 ///
@@ -44,6 +44,50 @@ pub fn check(netlist: &Netlist) -> Result<(), HdlError> {
     check_bindings(netlist)?;
     check_drivers(netlist)?;
     check_no_comb_loops(netlist)?;
+    check_domains(netlist)?;
+    Ok(())
+}
+
+/// Checks the clock-domain table and per-cell domain assignments.
+///
+/// The constructors already enforce these invariants; re-checking them
+/// here keeps `validate::check` a complete gate for netlists arriving
+/// from any future deserializer.
+///
+/// # Errors
+///
+/// Returns [`HdlError::InvalidDomain`] for an out-of-range cell domain,
+/// a zero period, or a non-register cell outside the default domain.
+pub fn check_domains(netlist: &Netlist) -> Result<(), HdlError> {
+    for (di, domain) in netlist.domains().iter().enumerate() {
+        if domain.period() == 0 {
+            return Err(HdlError::InvalidDomain {
+                context: format!("domain `{}` has period 0", domain.name()),
+            });
+        }
+        if di == 0 && (domain.name() != "clk" || domain.period() != 1) {
+            return Err(HdlError::InvalidDomain {
+                context: "domain 0 must be the default `clk` with period 1".into(),
+            });
+        }
+    }
+    for (ci, cell) in netlist.cells().iter().enumerate() {
+        let domain = netlist.cell_domain(crate::CellId(ci));
+        if domain >= netlist.domains().len() {
+            return Err(HdlError::InvalidDomain {
+                context: format!("cell `{}` references domain #{domain}", cell.name()),
+            });
+        }
+        if domain != 0 && !matches!(cell.prim(), Prim::Reg { .. }) {
+            return Err(HdlError::InvalidDomain {
+                context: format!(
+                    "cell `{}` ({}) outside the default domain",
+                    cell.name(),
+                    cell.prim().mnemonic()
+                ),
+            });
+        }
+    }
     Ok(())
 }
 
@@ -205,6 +249,29 @@ mod tests {
         nl.bind_port("a", a).unwrap();
         nl.bind_port("y", bus).unwrap();
         check_drivers(&nl).unwrap();
+    }
+
+    #[test]
+    fn multi_domain_netlist_validates() {
+        let mut nl = Netlist::new(entity());
+        let rd = nl.add_domain("rd_clk", 2).unwrap();
+        let a = nl.add_net("a", 4).unwrap();
+        let y = nl.add_net("y", 4).unwrap();
+        nl.add_cell_in_domain(
+            "u_q",
+            Prim::Reg {
+                width: 4,
+                has_enable: false,
+                reset_value: 0,
+            },
+            vec![a],
+            vec![y],
+            rd,
+        )
+        .unwrap();
+        nl.bind_port("a", a).unwrap();
+        nl.bind_port("y", y).unwrap();
+        check(&nl).unwrap();
     }
 
     #[test]

@@ -198,14 +198,15 @@ pub fn emit_architecture(netlist: &Netlist, arch_name: &str) -> Result<String, c
             }
         }
     }
-    for cell in netlist.cells() {
-        emit_cell(&mut out, netlist, cell);
+    for (ci, cell) in netlist.cells().iter().enumerate() {
+        let clock = netlist.domains()[netlist.cell_domain(crate::CellId(ci))].name();
+        emit_cell(&mut out, netlist, cell, clock);
     }
     let _ = writeln!(out, "end {arch_name};");
     Ok(out)
 }
 
-fn emit_cell(out: &mut String, netlist: &Netlist, cell: &crate::Cell) {
+fn emit_cell(out: &mut String, netlist: &Netlist, cell: &crate::Cell, clock: &str) {
     let r = |i: usize| net_ref(netlist, cell.inputs()[i]);
     let w = |i: usize| net_ref(netlist, cell.outputs()[i]);
     match cell.prim() {
@@ -342,9 +343,9 @@ fn emit_cell(out: &mut String, netlist: &Netlist, cell: &crate::Cell) {
             has_enable,
             reset_value,
         } => {
-            let _ = writeln!(out, "  process (clk)");
+            let _ = writeln!(out, "  process ({clock})");
             let _ = writeln!(out, "  begin");
-            let _ = writeln!(out, "    if rising_edge(clk) then");
+            let _ = writeln!(out, "    if rising_edge({clock}) then");
             let _ = writeln!(out, "      if rst = '1' then");
             let _ = writeln!(
                 out,
@@ -599,6 +600,39 @@ end rbuffer_fifo;
         assert!(text.contains("rising_edge(clk)"));
         assert!(text.contains("q <= \"0101\";"));
         assert!(needs_clock(&nl));
+    }
+
+    #[test]
+    fn register_in_second_domain_renders_its_own_clock() {
+        let entity = Entity::builder("r2")
+            .port("d", PortDir::In, 4)
+            .unwrap()
+            .port("q", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let rd = nl.add_domain("rd_clk", 3).unwrap();
+        let d = nl.add_net("d", 4).unwrap();
+        let q = nl.add_net("q", 4).unwrap();
+        nl.add_cell_in_domain(
+            "u_r",
+            Prim::Reg {
+                width: 4,
+                has_enable: false,
+                reset_value: 0,
+            },
+            vec![d],
+            vec![q],
+            rd,
+        )
+        .unwrap();
+        nl.bind_port("d", d).unwrap();
+        nl.bind_port("q", q).unwrap();
+        let text = emit_architecture(&nl, "rtl").unwrap();
+        assert!(text.contains("process (rd_clk)"));
+        assert!(text.contains("rising_edge(rd_clk)"));
+        assert!(!text.contains("rising_edge(clk)"));
     }
 
     #[test]

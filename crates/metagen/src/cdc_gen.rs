@@ -1,0 +1,437 @@
+//! Clock-domain-crossing generators: the `async_fifo` family.
+//!
+//! The asynchronous FIFO is the canonical hardware design pattern for
+//! moving data between two clock domains: binary read/write pointers
+//! are Gray-coded before crossing (so at most one bit is in flight per
+//! edge) and resynchronized through two-flop synchronizer chains. The
+//! generator here produces the textbook structure — Gray-coded
+//! pointers, 2-flop synchronizers, a register-file data array — over a
+//! `wr`/`rd` domain pair with parameterized integer periods, matching
+//! the structural patterns [`hdp_hdl::cdc::lint`] accepts.
+//!
+//! Three deliberately *broken* variants accompany the clean one, each
+//! tripping exactly one lint class: a binary-coded pointer crossing
+//! ([`hdp_hdl::cdc::CdcViolation::UnsynchronizedMultiBit`]),
+//! combinational logic inside a crossing
+//! ([`hdp_hdl::cdc::CdcViolation::CombinationalCrossing`]), and a
+//! single-flop synchronizer
+//! ([`hdp_hdl::cdc::CdcViolation::MissingSynchronizer`]).
+
+use crate::fsm::Rtl;
+use hdp_hdl::prim::CmpKind;
+use hdp_hdl::{Entity, HdlError, NetId, Netlist, PortDir};
+
+/// Parameters of one [`async_fifo`] instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncFifoParams {
+    /// Payload width in bits (at least 1).
+    pub data_width: usize,
+    /// Address width: the FIFO holds `2^addr_width` entries (at
+    /// least 1, so pointers are at least 2 bits wide).
+    pub addr_width: usize,
+    /// Integer period of the write-side `wr` domain in base steps.
+    pub wr_period: u64,
+    /// Integer period of the read-side `rd` domain in base steps.
+    pub rd_period: u64,
+}
+
+/// Which synchronizer structure to build — the clean pattern or one
+/// of the hand-broken lint fixtures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    Clean,
+    /// The read pointer crosses binary-coded (not Gray).
+    BinarySync,
+    /// An inverter sits between the write pointer and its first
+    /// synchronizer flop.
+    CombCrossing,
+    /// The read-pointer crossing has a single flop whose output feeds
+    /// combinational logic directly.
+    MissingSync,
+}
+
+/// The textbook Gray encoder `g = x ^ (x >> 1)`, built exactly in the
+/// shape the CDC lint recognises: an XOR of `x` against the
+/// concatenation of a 1-bit zero with `x`'s upper bits.
+fn gray_encode(rtl: &mut Rtl<'_>, x: NetId, width: usize) -> Result<NetId, HdlError> {
+    let hi = rtl.slice(x, 1, width - 1)?;
+    let zero = rtl.constant(0, 1)?;
+    let shifted = rtl.concat(&[zero, hi])?;
+    rtl.xor(x, shifted)
+}
+
+#[allow(clippy::too_many_lines)]
+fn build(params: &AsyncFifoParams, variant: Variant) -> Result<Netlist, HdlError> {
+    let AsyncFifoParams {
+        data_width: dw,
+        addr_width: aw,
+        wr_period,
+        rd_period,
+    } = *params;
+    if dw == 0 {
+        return Err(HdlError::InvalidWidth { width: dw });
+    }
+    if aw == 0 {
+        return Err(HdlError::InvalidWidth { width: aw });
+    }
+    let pw = aw + 1; // pointer width: one wrap bit above the address
+    let depth = 1usize << aw;
+    let entity = Entity::builder("async_fifo")
+        .port("push", PortDir::In, 1)?
+        .port("wdata", PortDir::In, dw)?
+        .port("pop", PortDir::In, 1)?
+        .port("full", PortDir::Out, 1)?
+        .port("empty", PortDir::Out, 1)?
+        .port("rdata", PortDir::Out, dw)?
+        .build()?;
+    let mut nl = Netlist::new(entity);
+    let wr_dom = nl.add_domain("wr", wr_period)?;
+    let rd_dom = nl.add_domain("rd", rd_period)?;
+
+    let push = nl.add_net("push", 1)?;
+    let wdata = nl.add_net("wdata", dw)?;
+    let pop = nl.add_net("pop", 1)?;
+    let mut rtl = Rtl::new(&mut nl);
+
+    // Pointer state and the synchronizer stage outputs. `rq*` live in
+    // the write domain (resynchronized read pointer), `wq*` in the
+    // read domain (resynchronized write pointer).
+    let wbin = rtl.wire("wbin", pw)?;
+    let wgray = rtl.wire("wgray", pw)?;
+    let rbin = rtl.wire("rbin", pw)?;
+    let rgray = rtl.wire("rgray", pw)?;
+    let rq1 = rtl.wire("rq1", pw)?;
+    let wq1 = rtl.wire("wq1", pw)?;
+
+    // ---- read pointer, resynchronized into the write domain ----
+    // The clean and broken variants differ only in what crosses and
+    // through how many flops.
+    let rq_synced = match variant {
+        Variant::Clean | Variant::CombCrossing => {
+            let rq2 = rtl.wire("rq2", pw)?;
+            rtl.reg_into_in_domain(rq1, rgray, None, 0, wr_dom)?;
+            rtl.reg_into_in_domain(rq2, rq1, None, 0, wr_dom)?;
+            rq2
+        }
+        Variant::BinarySync => {
+            // Broken: the *binary* pointer crosses; multiple bits can
+            // flip per read-domain edge.
+            let rq2 = rtl.wire("rq2", pw)?;
+            rtl.reg_into_in_domain(rq1, rbin, None, 0, wr_dom)?;
+            rtl.reg_into_in_domain(rq2, rq1, None, 0, wr_dom)?;
+            rq2
+        }
+        Variant::MissingSync => {
+            // Broken: one flop, its output consumed combinationally.
+            rtl.reg_into_in_domain(rq1, rgray, None, 0, wr_dom)?;
+            rq1
+        }
+    };
+
+    // ---- write side (wr domain) ----
+    let waddr = rtl.slice(wbin, 0, aw)?;
+    let wbin_next = rtl.inc(wbin)?;
+    let wgray_next = gray_encode(&mut rtl, wbin_next, pw)?;
+    // Full when the write pointer equals the synchronized read
+    // pointer with its two top (Gray) bits inverted — the Gray-code
+    // image of "write pointer one full wrap ahead".
+    let full_net = match variant {
+        Variant::BinarySync => {
+            // The crossing carries a binary pointer here, so compare
+            // occupancy directly: full when wbin - rq2 == depth.
+            let occ = rtl.sub(wbin, rq_synced)?;
+            rtl.eq_const(occ, depth as u64)?
+        }
+        _ => {
+            let top_mask = rtl.constant(0b11 << (pw - 2), pw)?;
+            let inverted = rtl.xor(rq_synced, top_mask)?;
+            rtl.cmp(CmpKind::Eq, wgray, inverted)?
+        }
+    };
+    let not_full = rtl.not(full_net)?;
+    let ok_push = rtl.and(push, not_full)?;
+    rtl.reg_into_in_domain(wbin, wbin_next, Some(ok_push), 0, wr_dom)?;
+    rtl.reg_into_in_domain(wgray, wgray_next, Some(ok_push), 0, wr_dom)?;
+
+    // The data array: one write-enabled register per slot, decoded
+    // off the binary write address.
+    let mut slots = Vec::with_capacity(depth);
+    for i in 0..depth {
+        let here = rtl.eq_const(waddr, i as u64)?;
+        let wen = rtl.and(ok_push, here)?;
+        slots.push(rtl.reg_in_domain(wdata, Some(wen), 0, wr_dom)?);
+    }
+
+    // ---- write pointer, resynchronized into the read domain ----
+    let wq2 = rtl.wire("wq2", pw)?;
+    match variant {
+        Variant::CombCrossing => {
+            // Broken: an inverter mangles the Gray pointer before the
+            // first flop — the crossing passes through combinational
+            // logic.
+            let mangled = rtl.not(wgray)?;
+            rtl.reg_into_in_domain(wq1, mangled, None, 0, rd_dom)?;
+        }
+        _ => rtl.reg_into_in_domain(wq1, wgray, None, 0, rd_dom)?,
+    }
+    rtl.reg_into_in_domain(wq2, wq1, None, 0, rd_dom)?;
+
+    // ---- read side (rd domain) ----
+    let raddr = rtl.slice(rbin, 0, aw)?;
+    let rbin_next = rtl.inc(rbin)?;
+    let rgray_next = gray_encode(&mut rtl, rbin_next, pw)?;
+    let empty_net = rtl.cmp(CmpKind::Eq, rgray, wq2)?;
+    let not_empty = rtl.not(empty_net)?;
+    let ok_pop = rtl.and(pop, not_empty)?;
+    rtl.reg_into_in_domain(rbin, rbin_next, Some(ok_pop), 0, rd_dom)?;
+    rtl.reg_into_in_domain(rgray, rgray_next, Some(ok_pop), 0, rd_dom)?;
+    let rdata = rtl.mux(raddr, &slots)?;
+
+    nl.bind_port("push", push)?;
+    nl.bind_port("wdata", wdata)?;
+    nl.bind_port("pop", pop)?;
+    nl.bind_port("full", full_net)?;
+    nl.bind_port("empty", empty_net)?;
+    nl.bind_port("rdata", rdata)?;
+    hdp_hdl::validate::check(&nl)?;
+    Ok(nl)
+}
+
+/// The clean asynchronous FIFO: Gray-coded pointers and two-flop
+/// synchronizers in both directions. Passes [`hdp_hdl::cdc::lint`].
+///
+/// # Errors
+///
+/// Returns [`HdlError::InvalidWidth`] for zero `data_width` or
+/// `addr_width`, [`HdlError::InvalidDomain`] for zero periods, plus
+/// ordinary netlist errors.
+pub fn async_fifo(params: &AsyncFifoParams) -> Result<Netlist, HdlError> {
+    build(params, Variant::Clean)
+}
+
+/// Broken variant: the read pointer crosses binary-coded instead of
+/// Gray-coded. The CDC lint flags the crossing as
+/// [`hdp_hdl::cdc::CdcViolation::UnsynchronizedMultiBit`].
+///
+/// # Errors
+///
+/// As [`async_fifo`].
+pub fn async_fifo_binary_sync(params: &AsyncFifoParams) -> Result<Netlist, HdlError> {
+    build(params, Variant::BinarySync)
+}
+
+/// Broken variant: an inverter sits between the write-side Gray
+/// pointer and its first read-domain synchronizer flop. The CDC lint
+/// flags it as
+/// [`hdp_hdl::cdc::CdcViolation::CombinationalCrossing`].
+///
+/// # Errors
+///
+/// As [`async_fifo`].
+pub fn async_fifo_comb_crossing(params: &AsyncFifoParams) -> Result<Netlist, HdlError> {
+    build(params, Variant::CombCrossing)
+}
+
+/// Broken variant: the read-pointer crossing is sampled by a single
+/// flop whose output feeds the full-flag logic directly. The CDC lint
+/// flags it as
+/// [`hdp_hdl::cdc::CdcViolation::MissingSynchronizer`].
+///
+/// # Errors
+///
+/// As [`async_fifo`].
+pub fn async_fifo_missing_sync(params: &AsyncFifoParams) -> Result<Netlist, HdlError> {
+    build(params, Variant::MissingSync)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdp_hdl::cdc::{lint, CdcViolation};
+    use hdp_sim::{SignalId, Simulator};
+
+    fn params(aw: usize, wr: u64, rd: u64) -> AsyncFifoParams {
+        AsyncFifoParams {
+            data_width: 8,
+            addr_width: aw,
+            wr_period: wr,
+            rd_period: rd,
+        }
+    }
+
+    #[test]
+    fn clean_async_fifo_passes_cdc_lint() {
+        for (aw, wr, rd) in [(1, 1, 1), (2, 1, 2), (3, 3, 2)] {
+            let nl = async_fifo(&params(aw, wr, rd)).unwrap();
+            let violations = lint(&nl);
+            assert!(
+                violations.is_empty(),
+                "aw={aw}: unexpected violations {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_sync_variant_is_flagged_multi_bit() {
+        let nl = async_fifo_binary_sync(&params(2, 1, 2)).unwrap();
+        let violations = lint(&nl);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, CdcViolation::UnsynchronizedMultiBit { .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn comb_crossing_variant_is_flagged() {
+        let nl = async_fifo_comb_crossing(&params(2, 1, 2)).unwrap();
+        let violations = lint(&nl);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, CdcViolation::CombinationalCrossing { .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn missing_sync_variant_is_flagged() {
+        let nl = async_fifo_missing_sync(&params(2, 1, 2)).unwrap();
+        let violations = lint(&nl);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, CdcViolation::MissingSynchronizer { .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn zero_widths_are_rejected() {
+        assert!(async_fifo(&params(0, 1, 1)).is_err());
+        let mut p = params(1, 1, 1);
+        p.data_width = 0;
+        assert!(async_fifo(&p).is_err());
+    }
+
+    struct Dut {
+        sim: Simulator,
+        push: SignalId,
+        wdata: SignalId,
+        pop: SignalId,
+        full: SignalId,
+        empty: SignalId,
+        rdata: SignalId,
+    }
+
+    fn bring_up(p: &AsyncFifoParams) -> Dut {
+        let nl = async_fifo(p).unwrap();
+        let mut sim = Simulator::new();
+        let push = sim.add_signal("push", 1).unwrap();
+        let wdata = sim.add_signal("wdata", p.data_width).unwrap();
+        let pop = sim.add_signal("pop", 1).unwrap();
+        let full = sim.add_signal("full", 1).unwrap();
+        let empty = sim.add_signal("empty", 1).unwrap();
+        let rdata = sim.add_signal("rdata", p.data_width).unwrap();
+        let dut = hdp_sim::NetlistComponent::new(
+            "fifo",
+            nl,
+            sim.bus(),
+            &[
+                ("push", push),
+                ("wdata", wdata),
+                ("pop", pop),
+                ("full", full),
+                ("empty", empty),
+                ("rdata", rdata),
+            ],
+        )
+        .unwrap();
+        sim.add_component(dut);
+        Dut {
+            sim,
+            push,
+            wdata,
+            pop,
+            full,
+            empty,
+            rdata,
+        }
+    }
+
+    fn flag(sim: &mut Simulator, s: SignalId) -> u64 {
+        sim.settle().unwrap();
+        sim.peek(s).unwrap().to_u64().unwrap()
+    }
+
+    /// Push three words at the fast write clock, watch them drain in
+    /// order at the half-rate read clock (wr period 1, rd period 2:
+    /// the read domain only fires on even base steps).
+    #[test]
+    fn async_fifo_round_trips_data_across_a_period_ratio() {
+        let mut dut = bring_up(&AsyncFifoParams {
+            data_width: 8,
+            addr_width: 2,
+            wr_period: 1,
+            rd_period: 2,
+        });
+        dut.sim.poke(dut.push, 1).unwrap();
+        dut.sim.poke(dut.pop, 1).unwrap();
+        dut.sim.poke(dut.wdata, 0xA1).unwrap();
+        dut.sim.reset().unwrap();
+        assert_eq!(flag(&mut dut.sim, dut.empty), 1);
+        assert_eq!(flag(&mut dut.sim, dut.full), 0);
+        dut.sim.step().unwrap(); // t=0: both domains; 0xA1 -> slot 0
+        dut.sim.poke(dut.wdata, 0xB2).unwrap();
+        dut.sim.step().unwrap(); // t=1: wr only; 0xB2 -> slot 1
+        dut.sim.poke(dut.wdata, 0xC3).unwrap();
+        dut.sim.step().unwrap(); // t=2: both; 0xC3 -> slot 2
+        dut.sim.poke(dut.push, 0).unwrap();
+        dut.sim.step().unwrap(); // t=3: wr only, push deasserted
+        dut.sim.step().unwrap(); // t=4: both; wgray now visible to rd
+        assert_eq!(flag(&mut dut.sim, dut.empty), 0);
+        assert_eq!(flag(&mut dut.sim, dut.rdata), 0xA1);
+        dut.sim.step().unwrap(); // t=5: wr only — nothing pops
+        assert_eq!(flag(&mut dut.sim, dut.rdata), 0xA1);
+        dut.sim.step().unwrap(); // t=6: both; first pop lands
+        assert_eq!(flag(&mut dut.sim, dut.rdata), 0xB2);
+        dut.sim.step().unwrap(); // t=7
+        dut.sim.step().unwrap(); // t=8: second pop
+        assert_eq!(flag(&mut dut.sim, dut.rdata), 0xC3);
+        assert_eq!(flag(&mut dut.sim, dut.empty), 0);
+        dut.sim.step().unwrap(); // t=9
+        dut.sim.step().unwrap(); // t=10: third pop drains the FIFO
+        assert_eq!(flag(&mut dut.sim, dut.empty), 1);
+    }
+
+    /// A depth-2 FIFO goes full after two un-popped pushes and then
+    /// refuses further writes.
+    #[test]
+    fn async_fifo_full_flag_blocks_writes() {
+        let mut dut = bring_up(&AsyncFifoParams {
+            data_width: 8,
+            addr_width: 1,
+            wr_period: 1,
+            rd_period: 1,
+        });
+        dut.sim.poke(dut.push, 1).unwrap();
+        dut.sim.poke(dut.pop, 0).unwrap();
+        dut.sim.poke(dut.wdata, 0x11).unwrap();
+        dut.sim.reset().unwrap();
+        dut.sim.step().unwrap();
+        assert_eq!(flag(&mut dut.sim, dut.full), 0);
+        dut.sim.poke(dut.wdata, 0x22).unwrap();
+        dut.sim.step().unwrap();
+        assert_eq!(flag(&mut dut.sim, dut.full), 1);
+        dut.sim.poke(dut.wdata, 0x33).unwrap();
+        dut.sim.step().unwrap(); // blocked: slot 0 must keep 0x11
+        assert_eq!(flag(&mut dut.sim, dut.full), 1);
+        // Drain and check order survived the blocked write.
+        dut.sim.poke(dut.push, 0).unwrap();
+        dut.sim.poke(dut.pop, 1).unwrap();
+        assert_eq!(flag(&mut dut.sim, dut.rdata), 0x11);
+        dut.sim.step().unwrap();
+        assert_eq!(flag(&mut dut.sim, dut.rdata), 0x22);
+    }
+}

@@ -179,6 +179,24 @@ impl<'a> Rtl<'a> {
         )
     }
 
+    /// Bitwise XOR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist errors.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> Result<NetId, HdlError> {
+        let w = self.width(a);
+        self.binary(
+            "xor",
+            Prim::Gate {
+                op: GateOp::Xor,
+                width: w,
+            },
+            a,
+            b,
+        )
+    }
+
     /// Adder.
     ///
     /// # Errors
@@ -251,6 +269,29 @@ impl<'a> Rtl<'a> {
             cell,
             Prim::Mux { width: w, ways: 2 },
             vec![sel, d0, d1],
+            vec![y],
+        )?;
+        Ok(y)
+    }
+
+    /// N-way multiplexer: `sel` picks among `inputs` (in order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist errors.
+    pub fn mux(&mut self, sel: NetId, inputs: &[NetId]) -> Result<NetId, HdlError> {
+        let w = self.width(inputs[0]);
+        let y = self.wire("mux", w)?;
+        let cell = self.fresh("u_mux");
+        let mut pins = vec![sel];
+        pins.extend_from_slice(inputs);
+        self.netlist.add_cell(
+            cell,
+            Prim::Mux {
+                width: w,
+                ways: inputs.len(),
+            },
+            pins,
             vec![y],
         )?;
         Ok(y)
@@ -354,6 +395,64 @@ impl<'a> Rtl<'a> {
         let w = self.width(d);
         let q = self.wire("q", w)?;
         self.reg_into(q, d, en, reset_value)?;
+        Ok(q)
+    }
+
+    /// Like [`Rtl::reg_into`], but the register is clocked by the
+    /// netlist clock domain at `domain` (an index from
+    /// [`Netlist::add_domain`]) instead of the default `clk`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist errors (including unknown domain indices).
+    pub fn reg_into_in_domain(
+        &mut self,
+        q: NetId,
+        d: NetId,
+        en: Option<NetId>,
+        reset_value: u64,
+        domain: usize,
+    ) -> Result<(), HdlError> {
+        let w = self.width(d);
+        let cell = self.fresh("u_reg");
+        let (prim, inputs) = match en {
+            Some(en) => (
+                Prim::Reg {
+                    width: w,
+                    has_enable: true,
+                    reset_value,
+                },
+                vec![d, en],
+            ),
+            None => (
+                Prim::Reg {
+                    width: w,
+                    has_enable: false,
+                    reset_value,
+                },
+                vec![d],
+            ),
+        };
+        self.netlist
+            .add_cell_in_domain(cell, prim, inputs, vec![q], domain)?;
+        Ok(())
+    }
+
+    /// A register in clock domain `domain` with a fresh output net.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist errors (including unknown domain indices).
+    pub fn reg_in_domain(
+        &mut self,
+        d: NetId,
+        en: Option<NetId>,
+        reset_value: u64,
+        domain: usize,
+    ) -> Result<NetId, HdlError> {
+        let w = self.width(d);
+        let q = self.wire("q", w)?;
+        self.reg_into_in_domain(q, d, en, reset_value, domain)?;
         Ok(q)
     }
 

@@ -26,6 +26,10 @@
 //!   iterator FSMs.
 //! * [`arbiter_gen`] — arbitration logic for shared physical
 //!   resources.
+//! * [`cdc_gen`] — clock-domain-crossing patterns: the Gray-coded
+//!   asynchronous FIFO family (two-flop synchronizers, parameterized
+//!   `wr`/`rd` period ratio) plus deliberately broken variants used as
+//!   CDC-lint fixtures.
 //! * [`algo_gen`] — algorithm FSMs/datapaths (copy, transform, blur).
 //!   The paper leaves algorithm metamodels as future work; they are
 //!   implemented here as an extension so complete designs can be
@@ -40,6 +44,7 @@
 pub mod algo_gen;
 pub mod arbiter_gen;
 pub mod assoc_gen;
+pub mod cdc_gen;
 pub mod container_gen;
 pub mod design;
 pub mod fsm;

@@ -156,7 +156,8 @@ pub struct SampledDesign {
     /// the standalone iterator components).
     pub kind: &'static str,
     /// The physical-target axis (`fifo_core`, `lifo_core`, `sram`,
-    /// `block_ram`, or `registers` for iterator wrappers).
+    /// `block_ram`, `registers` for iterator wrappers, or
+    /// `async_fifo` for the clock-domain-crossing queue).
     pub target: &'static str,
     /// The generated, validated netlist.
     pub netlist: Netlist,
@@ -165,7 +166,7 @@ pub struct SampledDesign {
 /// The `(kind, target)` families the sampler draws from — every
 /// Table 1 container row mapped onto its physical target, plus the
 /// standalone iterator components.
-pub const FAMILIES: [(&str, &str); 11] = [
+pub const FAMILIES: [(&str, &str); 12] = [
     ("read_buffer", "fifo_core"),
     ("read_buffer", "sram"),
     ("write_buffer", "fifo_core"),
@@ -177,7 +178,15 @@ pub const FAMILIES: [(&str, &str); 11] = [
     ("iterator", "registers"), // forward wrapper
     ("iterator", "registers"), // stack iterator pair
     ("iterator", "registers"), // width adapters
+    ("queue", "async_fifo"),   // Gray-coded clock-domain crossing
 ];
+
+/// The `wr:rd` integer period ratios the sampler draws for the
+/// `async_fifo` family — both directions of 1:1, 1:2 and 1:3, plus
+/// the coprime 2:3 pair, so the conformance sweep exercises every
+/// interleaving class the deterministic multi-domain scheduler
+/// distinguishes.
+pub const RATIOS: [(u64, u64); 7] = [(1, 1), (1, 2), (2, 1), (1, 3), (3, 1), (2, 3), (3, 2)];
 
 /// A point of the design space as parameters, separate from the
 /// netlist it instantiates — so the conformance shrinker can mutate
@@ -203,6 +212,12 @@ pub struct DesignSpec {
     pub write_side: bool,
     /// The operation subset (container families only).
     pub ops: OpSet,
+    /// Write-domain period in base steps (`async_fifo` only; 1
+    /// elsewhere).
+    pub wr_period: u64,
+    /// Read-domain period in base steps (`async_fifo` only; 1
+    /// elsewhere).
+    pub rd_period: u64,
 }
 
 impl DesignSpec {
@@ -235,10 +250,14 @@ impl DesignSpec {
             7 => format!("assoc_bram w={w} d={d} k={} ops={ops}", self.key_width),
             8 => format!("forward_iterator w={w}"),
             9 => format!("stack_iterators w={w}"),
-            _ => {
+            10 => {
                 let side = if self.write_side { "write" } else { "read" };
                 format!("{side}_width_adapter {}->{w}", self.wide)
             }
+            _ => format!(
+                "async_fifo w={w} d={d} ratio={}:{}",
+                self.wr_period, self.rd_period
+            ),
         }
     }
 
@@ -267,13 +286,19 @@ impl DesignSpec {
             7 => crate::assoc_gen::assoc_bram(params, self.key_width, self.ops),
             8 => forward_iterator("fwd_it", w),
             9 => stack_iterators("stack_it", w),
-            _ => {
+            10 => {
                 if self.write_side {
                     write_width_adapter("wr_adapt", self.wide, w)
                 } else {
                     read_width_adapter("rd_adapt", self.wide, w)
                 }
             }
+            _ => crate::cdc_gen::async_fifo(&crate::cdc_gen::AsyncFifoParams {
+                data_width: w,
+                addr_width: crate::fsm::state_bits(self.depth.max(2)),
+                wr_period: self.wr_period,
+                rd_period: self.rd_period,
+            }),
         }
     }
 }
@@ -343,6 +368,17 @@ pub fn sample_spec(rng: &mut StdRng) -> DesignSpec {
     } else {
         (data_width, 0)
     };
+    // The CDC queue constrains depth to a power of two (its pointers
+    // carry exactly one wrap bit) and draws a period ratio for its
+    // `wr`/`rd` domain pair.
+    let (depth, (wr_period, rd_period)) = if family == 11 {
+        (
+            [2usize, 4, 8][rng.gen_range(0..3usize)],
+            RATIOS[rng.gen_range(0..RATIOS.len())],
+        )
+    } else {
+        (depth, (1, 1))
+    };
     DesignSpec {
         family,
         data_width,
@@ -352,6 +388,8 @@ pub fn sample_spec(rng: &mut StdRng) -> DesignSpec {
         wide,
         write_side: rng.gen_range(0..2u32) == 1,
         ops,
+        wr_period,
+        rd_period,
     }
 }
 
@@ -411,8 +449,24 @@ mod tests {
         ] {
             assert!(kinds.contains(kind), "kind {kind} never sampled");
         }
-        for target in ["fifo_core", "lifo_core", "sram", "block_ram"] {
+        for target in ["fifo_core", "lifo_core", "sram", "block_ram", "async_fifo"] {
             assert!(targets.contains(target), "target {target} never sampled");
+        }
+    }
+
+    #[test]
+    fn sampled_async_fifos_pass_the_cdc_lint() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut seen = 0;
+        while seen < 5 {
+            let d = sample_design(&mut rng).unwrap();
+            if d.spec.family != 11 {
+                continue;
+            }
+            seen += 1;
+            assert!(d.netlist.is_multi_domain(), "{}", d.label);
+            let violations = hdp_hdl::cdc::lint(&d.netlist);
+            assert!(violations.is_empty(), "{}: {violations:?}", d.label);
         }
     }
 

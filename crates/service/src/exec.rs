@@ -694,4 +694,49 @@ mod tests {
         assert_eq!(stats.hits + stats.misses, 6);
         assert!(stats.hits >= 1, "same design must eventually hit");
     }
+
+    /// The multi-clock `async_fifo` family rides through the service
+    /// like any other design: the family-range gate admits it, the
+    /// cold run executes (falling back from lowered op streams to
+    /// interpreted ticks on partial firings), the warm run serves the
+    /// cached artefacts bit-identically, and the trace is independent
+    /// of the scheduler mode.
+    #[test]
+    fn async_fifo_jobs_run_and_cache_across_modes() {
+        use hdp_metagen::sampler::DesignSpec;
+        use hdp_metagen::OpSet;
+        let service = Service::new(8);
+        let mut rng = StdRng::seed_from_u64(0xF1F0);
+        let spec = DesignSpec {
+            family: 11,
+            data_width: 4,
+            depth: 4,
+            addr_width: 8,
+            key_width: 8,
+            wide: 0,
+            write_side: false,
+            ops: OpSet::new(),
+            wr_period: 2,
+            rd_period: 3,
+        };
+        let netlist = spec.instantiate().unwrap();
+        let stimulus = Stimulus::sample(&netlist, 12, &mut rng);
+        let case = Case { spec, stimulus };
+        let cold = service.run_case(&case, &JobOptions::default()).unwrap();
+        let warm = service.run_case(&case, &JobOptions::default()).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert_eq!(cold.trace, warm.trace);
+        assert!(!cold.trace.is_empty());
+        let full = service
+            .run_case(
+                &case,
+                &JobOptions {
+                    mode: SchedMode::FullSweep,
+                    ..JobOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(cold.trace, full.trace, "trace must be mode-independent");
+    }
 }

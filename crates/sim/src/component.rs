@@ -3,6 +3,50 @@
 use crate::signal::{BusAccess, BusReader, DriveLog, SplitBus};
 use crate::{SignalBus, SignalId, SimError};
 
+/// The name of the implicit default clock domain, period 1.
+pub const DEFAULT_CLOCK: &str = "clk";
+
+/// A named clock with an integer period in simulator base steps.
+///
+/// The simulator advances in *base steps* (what [`crate::Simulator::step`]
+/// has always counted); a domain with period `p` presents a rising edge
+/// at every step `t` with `t % p == 0`, so all domains coincide at step
+/// 0 and the interleaving of any set of domains is fully determined by
+/// their integer periods — the deterministic stand-in for rational
+/// frequency ratios. Components declare their domains via
+/// [`Component::clock_domains`]; a design whose every domain has period
+/// 1 behaves exactly like the historical single-clock simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockDomain {
+    /// The domain name; [`DEFAULT_CLOCK`] is the implicit default.
+    pub name: String,
+    /// The period in base steps (>= 1).
+    pub period: u64,
+}
+
+impl ClockDomain {
+    /// Creates a domain.
+    #[must_use]
+    pub fn new(name: impl Into<String>, period: u64) -> Self {
+        Self {
+            name: name.into(),
+            period,
+        }
+    }
+
+    /// The implicit default domain: `clk`, period 1.
+    #[must_use]
+    pub fn default_clock() -> Self {
+        Self::new(DEFAULT_CLOCK, 1)
+    }
+
+    /// Whether this domain presents a rising edge at base step `t`.
+    #[must_use]
+    pub fn fires_at(&self, t: u64) -> bool {
+        t.is_multiple_of(self.period.max(1))
+    }
+}
+
 /// What wakes a component's [`Component::eval`] during settling.
 ///
 /// The event-driven scheduler evaluates a component only when a signal
@@ -103,6 +147,40 @@ pub trait Component {
     /// handshake misuse) as [`SimError`].
     fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError>;
 
+    /// The clock domains this component's state belongs to. The
+    /// default — the single [`ClockDomain::default_clock`] — keeps
+    /// every pre-existing component on the historical implicit clock.
+    ///
+    /// Domains are merged by name across the whole simulation (see
+    /// [`crate::Simulator::clock_domains`]); two components naming the
+    /// same domain with different periods is a wiring error. Must be
+    /// stable for the component's lifetime; the scheduler caches it.
+    fn clock_domains(&self) -> Vec<ClockDomain> {
+        vec![ClockDomain::default_clock()]
+    }
+
+    /// Clock edge restricted to the domains named in `firing` — the
+    /// multi-domain generalisation of [`Component::tick`].
+    ///
+    /// The default forwards to `tick` when the default clock fires and
+    /// does nothing otherwise, which is exactly right for any
+    /// component that left [`Component::clock_domains`] at its default.
+    /// Multi-domain components must override both: on a step where only
+    /// a subset of their domains fire, only state in those domains may
+    /// advance. The scheduler calls plain `tick` whenever *all* domains
+    /// fire, so single-rate simulations never take this path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Component::tick`].
+    fn tick_domains(&mut self, bus: &mut SignalBus, firing: &[&str]) -> Result<(), SimError> {
+        if firing.contains(&DEFAULT_CLOCK) {
+            self.tick(bus)
+        } else {
+            Ok(())
+        }
+    }
+
     /// Synchronous reset: restore power-on state. The default does
     /// nothing, which suits purely combinational components.
     ///
@@ -163,6 +241,14 @@ impl<T: Component + ?Sized> Component for Box<T> {
 
     fn tick(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {
         (**self).tick(bus)
+    }
+
+    fn clock_domains(&self) -> Vec<ClockDomain> {
+        (**self).clock_domains()
+    }
+
+    fn tick_domains(&mut self, bus: &mut SignalBus, firing: &[&str]) -> Result<(), SimError> {
+        (**self).tick_domains(bus, firing)
     }
 
     fn reset(&mut self, bus: &mut SignalBus) -> Result<(), SimError> {

@@ -190,7 +190,7 @@ pub mod telemetry;
 pub mod vcd;
 
 pub use compiled::CompiledPlan;
-pub use component::{Component, Sensitivity};
+pub use component::{ClockDomain, Component, Sensitivity, DEFAULT_CLOCK};
 pub use error::SimError;
 pub use lower::{LaneBatch, LANES};
 pub use netlist_sim::NetlistComponent;

@@ -987,13 +987,34 @@ impl LaneBatch {
     ///
     /// [`SimError::Protocol`] when the design cannot be lane-packed
     /// exactly: tri-state primitives, multiply-driven nets, `inout`
-    /// ports, high-Z constants, or a combinational cycle.
+    /// ports, high-Z constants, a combinational cycle, or a second
+    /// clock domain (lanes advance every lane on one shared edge).
     pub fn new(name: impl Into<String>, netlist: &Netlist) -> Result<Self, SimError> {
         let name = name.into();
         let refuse = |message: String| SimError::Protocol {
             component: name.clone(),
             message,
         };
+        if netlist.is_multi_domain() {
+            let culprit = netlist
+                .cell_domains()
+                .iter()
+                .position(|&d| d != 0)
+                .map_or_else(
+                    || format!("domain `{}` is declared", netlist.domains()[1].name()),
+                    |ci| {
+                        format!(
+                            "cell `{}` is clocked by domain `{}`",
+                            netlist.cells()[ci].name(),
+                            netlist.domains()[netlist.cell_domains()[ci]].name()
+                        )
+                    },
+                );
+            return Err(refuse(format!(
+                "lane packing refused: {culprit} (lanes share one clock edge; multi-domain \
+                 designs need the event-driven scheduler)"
+            )));
+        }
         let nets = netlist.nets();
         let topo = netlist
             .comb_topo_order()
@@ -2209,7 +2230,92 @@ mod tests {
     fn lane_batch_refuses_tristate() {
         let nl = one_cell(Prim::TriBuf { width: 2 });
         let err = LaneBatch::new("pack", &nl).unwrap_err();
-        assert!(err.to_string().contains("tri-state"));
+        let msg = err.to_string();
+        assert!(msg.contains("tri-state"), "{msg}");
+        assert!(msg.contains("`u`"), "{msg}");
+    }
+
+    #[test]
+    fn lane_batch_refuses_high_z_constants() {
+        let nl = one_cell(Prim::Const {
+            value: LogicVector::high_z(2).unwrap(),
+        });
+        let err = LaneBatch::new("pack", &nl).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("high-Z"), "{msg}");
+        assert!(msg.contains("`u`"), "{msg}");
+    }
+
+    #[test]
+    fn lane_batch_refuses_multiply_driven_nets() {
+        let entity = Entity::builder("sharednet")
+            .port("a", PortDir::In, 2)
+            .unwrap()
+            .port("y", PortDir::Out, 2)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let a = nl.add_net("a", 2).unwrap();
+        let shared = nl.add_net("merged", 2).unwrap();
+        nl.add_cell("u_buf_a", Prim::Buf { width: 2 }, vec![a], vec![shared])
+            .unwrap();
+        nl.add_cell("u_buf_b", Prim::Not { width: 2 }, vec![a], vec![shared])
+            .unwrap();
+        nl.bind_port("a", a).unwrap();
+        nl.bind_port("y", shared).unwrap();
+        let err = LaneBatch::new("pack", &nl).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("multiple drivers"), "{msg}");
+        assert!(msg.contains("`merged`"), "{msg}");
+    }
+
+    #[test]
+    fn lane_batch_refuses_inout_ports() {
+        let entity = Entity::builder("pad")
+            .port("io", PortDir::InOut, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let io = nl.add_net("io", 1).unwrap();
+        nl.bind_port("io", io).unwrap();
+        let err = LaneBatch::new("pack", &nl).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("inout"), "{msg}");
+        assert!(msg.contains("`io`"), "{msg}");
+    }
+
+    #[test]
+    fn lane_batch_refuses_multi_domain_netlists() {
+        let entity = Entity::builder("cdc")
+            .port("q", PortDir::Out, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let d = nl.add_net("d", 4).unwrap();
+        let q = nl.add_net("q", 4).unwrap();
+        let wr = nl.add_domain("wr", 2).unwrap();
+        nl.add_cell_in_domain(
+            "u_wr_reg",
+            Prim::Reg {
+                width: 4,
+                has_enable: false,
+                reset_value: 0,
+            },
+            vec![d],
+            vec![q],
+            wr,
+        )
+        .unwrap();
+        nl.add_cell("u_inc", Prim::Inc { width: 4 }, vec![q], vec![d])
+            .unwrap();
+        nl.bind_port("q", q).unwrap();
+        let err = LaneBatch::new("pack", &nl).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("u_wr_reg"), "{msg}");
+        assert!(msg.contains("`wr`"), "{msg}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Cycle-accurate interpretation of generated netlists.
 
-use crate::{BusAccess, Component, Sensitivity, SignalBus, SignalId, SimError};
+use crate::{BusAccess, ClockDomain, Component, Sensitivity, SignalBus, SignalId, SimError};
 use hdp_hdl::prim::Prim;
 use hdp_hdl::{CellId, LogicVector, Netlist, PortDir};
 use std::cmp::Reverse;
@@ -608,26 +608,27 @@ impl NetlistComponent {
                 message: format!("undefined {what} on net `{}`", self.netlist.net(net).name()),
             })
     }
-}
 
-impl Component for NetlistComponent {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
-        if self.full_eval || !self.incremental {
-            self.eval_full(bus)
-        } else {
-            self.eval_incremental(bus)
-        }
-    }
-
-    fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+    /// The clock-edge body shared by [`Component::tick`] (every cell)
+    /// and [`Component::tick_domains`] (only cells whose domain fires).
+    fn tick_cells(&mut self, firing: Option<&[&str]>) -> Result<(), SimError> {
         self.seq_dirty = true;
+        // Per-domain firing mask, indexable by the cell's domain index.
+        let fires: Option<Vec<bool>> = firing.map(|f| {
+            self.netlist
+                .domains()
+                .iter()
+                .map(|d| f.contains(&d.name()))
+                .collect()
+        });
         // net_values hold the settled pre-edge values from the last eval.
         for si in 0..self.seq_cells.len() {
             let ci = self.seq_cells[si];
+            if let Some(mask) = &fires {
+                if !mask[self.netlist.cell_domains()[ci]] {
+                    continue;
+                }
+            }
             let cell = &self.netlist.cells()[ci];
             let ins = cell.inputs().to_vec();
             match cell.prim().clone() {
@@ -722,6 +723,36 @@ impl Component for NetlistComponent {
             }
         }
         Ok(())
+    }
+}
+
+impl Component for NetlistComponent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
+        if self.full_eval || !self.incremental {
+            self.eval_full(bus)
+        } else {
+            self.eval_incremental(bus)
+        }
+    }
+
+    fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+        self.tick_cells(None)
+    }
+
+    fn clock_domains(&self) -> Vec<ClockDomain> {
+        self.netlist
+            .domains()
+            .iter()
+            .map(|d| ClockDomain::new(d.name(), d.period()))
+            .collect()
+    }
+
+    fn tick_domains(&mut self, _bus: &mut SignalBus, firing: &[&str]) -> Result<(), SimError> {
+        self.tick_cells(Some(firing))
     }
 
     fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
@@ -1059,6 +1090,51 @@ mod tests {
         let dut = sim.component::<NetlistComponent>(id).unwrap();
         assert_eq!(dut.net_activity("q"), Some(0));
         assert!(dut.net_activity_table().is_empty());
+    }
+
+    #[test]
+    fn second_domain_register_ticks_at_its_own_rate() {
+        // Two independent counters in one netlist: `u_fast` on the
+        // default clk, `u_slow` in an `rd` domain firing every second
+        // base step.
+        let entity = Entity::builder("two")
+            .port("qf", PortDir::Out, 8)
+            .unwrap()
+            .port("qs", PortDir::Out, 8)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut nl = Netlist::new(entity);
+        let qf = nl.add_net("qf", 8).unwrap();
+        let df = nl.add_net("df", 8).unwrap();
+        let qs = nl.add_net("qs", 8).unwrap();
+        let ds = nl.add_net("ds", 8).unwrap();
+        let rd = nl.add_domain("rd", 2).unwrap();
+        let reg = |v| Prim::Reg {
+            width: 8,
+            has_enable: false,
+            reset_value: v,
+        };
+        nl.add_cell("u_fast", reg(0), vec![df], vec![qf]).unwrap();
+        nl.add_cell_in_domain("u_slow", reg(0), vec![ds], vec![qs], rd)
+            .unwrap();
+        nl.add_cell("i_f", Prim::Inc { width: 8 }, vec![qf], vec![df])
+            .unwrap();
+        nl.add_cell("i_s", Prim::Inc { width: 8 }, vec![qs], vec![ds])
+            .unwrap();
+        nl.bind_port("qf", qf).unwrap();
+        nl.bind_port("qs", qs).unwrap();
+        let mut sim = Simulator::new();
+        let qf_s = sim.add_signal("qf", 8).unwrap();
+        let qs_s = sim.add_signal("qs", 8).unwrap();
+        let dut =
+            NetlistComponent::new("dut", nl, sim.bus(), &[("qf", qf_s), ("qs", qs_s)]).unwrap();
+        sim.add_component(dut);
+        sim.reset().unwrap();
+        sim.run(6).unwrap();
+        assert_eq!(sim.peek(qf_s).unwrap().to_u64(), Some(6));
+        // `rd` fires at t = 0, 2, 4 — three edges in six steps.
+        assert_eq!(sim.peek(qs_s).unwrap().to_u64(), Some(3));
     }
 
     #[test]

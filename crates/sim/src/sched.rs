@@ -52,7 +52,9 @@ use crate::signal::{BusAccess as _, BusReader, DRIVER_POKE};
 use crate::telemetry::{
     ComponentStats, FallbackCause, SignalStats, SimStats, Telemetry, TelemetryLevel, TraceEvent,
 };
-use crate::{Component, DriveLog, Sensitivity, SignalBus, SignalId, SimError};
+use crate::{
+    ClockDomain, Component, DriveLog, Sensitivity, SignalBus, SignalId, SimError, DEFAULT_CLOCK,
+};
 use hdp_hdl::LogicVector;
 use std::any::Any;
 use std::sync::Arc;
@@ -405,6 +407,21 @@ pub struct Simulator {
     lowered: Vec<Option<LoweredUnit>>,
     /// Whether `lowered` is current for the component set.
     lowered_ready: bool,
+    /// Clock domains registered directly on the simulator with
+    /// [`Simulator::add_clock_domain`] (testbench-level declarations),
+    /// merged with component declarations into `domains`.
+    extra_domains: Vec<ClockDomain>,
+    /// The merged clock-domain table, valid while `domains_ready`:
+    /// index 0 is always the default `clk`/period-1 domain, further
+    /// entries in first-declaration order. A domain named by several
+    /// components must carry one period everywhere.
+    domains: Vec<ClockDomain>,
+    /// Whether `domains` is current for the component set.
+    domains_ready: bool,
+    /// True when every merged domain has period 1: every step fires
+    /// every domain and the tick phase takes the exact historical
+    /// single-clock path.
+    single_rate: bool,
     /// Telemetry counters (all mutation behind a level check; zero
     /// counter traffic at [`TelemetryLevel::Off`]).
     telemetry: Telemetry,
@@ -482,8 +499,111 @@ impl Simulator {
         self.components.push(Box::new(component));
         self.tables_ready = false;
         self.lowered_ready = false;
+        self.domains_ready = false;
         self.wake_all = true;
         ComponentId(self.components.len() - 1)
+    }
+
+    /// Declares a clock domain at the simulator level, e.g. for a
+    /// testbench that drives [`Component::tick_domains`] semantics
+    /// without a netlist. Component-declared domains (see
+    /// [`Component::clock_domains`]) are merged in automatically; a
+    /// name declared twice must carry the same period everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Protocol`] for a zero period or a period
+    /// conflict with an earlier declaration.
+    pub fn add_clock_domain(
+        &mut self,
+        name: impl Into<String>,
+        period: u64,
+    ) -> Result<(), SimError> {
+        let name = name.into();
+        if period == 0 {
+            return Err(SimError::Protocol {
+                component: "simulator".into(),
+                message: format!("clock domain `{name}` has period 0"),
+            });
+        }
+        if name == DEFAULT_CLOCK && period != 1 {
+            return Err(SimError::Protocol {
+                component: "simulator".into(),
+                message: "the default `clk` domain is fixed at period 1".into(),
+            });
+        }
+        if let Some(prev) = self.extra_domains.iter().find(|d| d.name == name) {
+            if prev.period != period {
+                return Err(SimError::Protocol {
+                    component: "simulator".into(),
+                    message: format!(
+                        "clock domain `{name}` redeclared with period {period} (was {})",
+                        prev.period
+                    ),
+                });
+            }
+            return Ok(());
+        }
+        self.extra_domains.push(ClockDomain::new(name, period));
+        self.domains_ready = false;
+        Ok(())
+    }
+
+    /// The merged clock-domain table: the default `clk` first, then
+    /// every domain declared by [`Simulator::add_clock_domain`] or a
+    /// component, in first-declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Protocol`] if two declarations disagree on
+    /// a domain's period.
+    pub fn clock_domains(&mut self) -> Result<&[ClockDomain], SimError> {
+        self.ensure_domains()?;
+        Ok(&self.domains)
+    }
+
+    /// Rebuilds the merged domain table if stale.
+    fn ensure_domains(&mut self) -> Result<(), SimError> {
+        if self.domains_ready {
+            return Ok(());
+        }
+        let mut domains = vec![ClockDomain::default_clock()];
+        let merge = |domains: &mut Vec<ClockDomain>, d: ClockDomain, who: &str| match domains
+            .iter()
+            .find(|x| x.name == d.name)
+        {
+            Some(prev) if prev.period != d.period => Err(SimError::Protocol {
+                component: who.to_owned(),
+                message: format!(
+                    "clock domain `{}` declared with period {} but already registered \
+                         with period {}",
+                    d.name, d.period, prev.period
+                ),
+            }),
+            Some(_) => Ok(()),
+            None => {
+                if d.period == 0 {
+                    return Err(SimError::Protocol {
+                        component: who.to_owned(),
+                        message: format!("clock domain `{}` has period 0", d.name),
+                    });
+                }
+                domains.push(d);
+                Ok(())
+            }
+        };
+        for d in self.extra_domains.clone() {
+            merge(&mut domains, d, "simulator")?;
+        }
+        for c in &self.components {
+            for d in c.clock_domains() {
+                merge(&mut domains, d, c.name())?;
+            }
+        }
+        self.single_rate = domains.iter().all(|d| d.period == 1);
+        self.domains = domains;
+        self.domains_ready = true;
+        Ok(())
     }
 
     /// Downcasts a component back to its concrete type, e.g. to read
@@ -1644,6 +1764,33 @@ impl Simulator {
                 }
             }
         }
+        // Clock domains participate only when the design actually has
+        // more than the implicit `clk`/1, so every pre-existing
+        // signature (including pinned plan-cache keys) is unchanged.
+        // The table is recomputed here rather than read from the cache
+        // because the signature must not depend on whether
+        // `ensure_domains` has run yet.
+        let mut domains = vec![ClockDomain::default_clock()];
+        let merge = |domains: &mut Vec<ClockDomain>, d: ClockDomain| {
+            if !domains.iter().any(|x| x.name == d.name) {
+                domains.push(d);
+            }
+        };
+        for d in &self.extra_domains {
+            merge(&mut domains, d.clone());
+        }
+        for c in &self.components {
+            for d in c.clock_domains() {
+                merge(&mut domains, d);
+            }
+        }
+        if domains.len() > 1 {
+            h.u64(domains.len() as u64);
+            for d in &domains {
+                h.str(&d.name);
+                h.u64(d.period);
+            }
+        }
         h.finish()
     }
 
@@ -1952,6 +2099,21 @@ impl Simulator {
         if telemetry_on {
             self.telemetry.steps += 1;
         }
+        self.ensure_domains()?;
+        // A step where every domain presents an edge takes the exact
+        // historical tick path; a single-rate design (all periods 1)
+        // always does, so the multi-domain machinery costs it nothing.
+        let all_fire = self.single_rate || self.domains.iter().all(|d| d.fires_at(self.cycle));
+        let firing_names: Vec<String> = if all_fire {
+            Vec::new()
+        } else {
+            self.domains
+                .iter()
+                .filter(|d| d.fires_at(self.cycle))
+                .map(|d| d.name.clone())
+                .collect()
+        };
+        let firing: Vec<&str> = firing_names.iter().map(String::as_str).collect();
         self.settle()?;
         // Track tick-phase drives on a clean pass so their watchers can
         // be woken (no in-repo tick drives signals, but the contract
@@ -1961,7 +2123,11 @@ impl Simulator {
             SchedMode::FullSweep => {
                 for (i, c) in self.components.iter_mut().enumerate() {
                     self.bus.set_driver(i);
-                    c.tick(&mut self.bus)?;
+                    if all_fire {
+                        c.tick(&mut self.bus)?;
+                    } else {
+                        c.tick_domains(&mut self.bus, &firing)?;
+                    }
                 }
             }
             SchedMode::EventDriven
@@ -1971,7 +2137,11 @@ impl Simulator {
                 for idx in 0..self.clocked.len() {
                     let i = self.clocked[idx];
                     self.bus.set_driver(i);
-                    self.components[i].tick(&mut self.bus)?;
+                    if all_fire {
+                        self.components[i].tick(&mut self.bus)?;
+                    } else {
+                        self.components[i].tick_domains(&mut self.bus, &firing)?;
+                    }
                 }
                 // The edge changed registered state: wake every clocked
                 // component, plus watchers of anything tick drove.
@@ -1996,7 +2166,14 @@ impl Simulator {
                 // A clock edge advanced every clocked interpreter's
                 // sequential state, which a lowered program's input
                 // memo cannot see: force those op streams to re-run.
+                // On a partial-firing multi-rate step the memos are
+                // surrendered even for components whose domains sat
+                // out — the honest cost of domain filtering, surfaced
+                // as a fallback cause rather than hidden.
                 if self.mode == SchedMode::Lowered {
+                    if !all_fire && telemetry_on {
+                        self.telemetry.record_cause(FallbackCause::MultiDomain);
+                    }
                     for idx in 0..self.clocked.len() {
                         let i = self.clocked[idx];
                         if let Some(unit) = self.lowered.get_mut(i).and_then(Option::as_mut) {
@@ -3296,5 +3473,124 @@ mod tests {
         tiny.add_signal("s", 1).unwrap();
         let err = tiny.install_plan(&plan).unwrap_err();
         assert!(err.to_string().contains("plan shape"), "{err}");
+    }
+
+    /// A counter that advances only when its declared domain fires.
+    struct DomainReg {
+        name: String,
+        domain: ClockDomain,
+        q: SignalId,
+        state: u64,
+    }
+
+    impl Component for DomainReg {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn eval(&mut self, bus: &mut dyn BusAccess) -> Result<(), SimError> {
+            bus.drive_u64(self.q, self.state)
+        }
+        fn tick(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+            self.state += 1;
+            Ok(())
+        }
+        fn clock_domains(&self) -> Vec<ClockDomain> {
+            vec![self.domain.clone()]
+        }
+        fn tick_domains(&mut self, bus: &mut SignalBus, firing: &[&str]) -> Result<(), SimError> {
+            if firing.contains(&self.domain.name.as_str()) {
+                self.tick(bus)
+            } else {
+                Ok(())
+            }
+        }
+        fn reset(&mut self, _bus: &mut SignalBus) -> Result<(), SimError> {
+            self.state = 0;
+            Ok(())
+        }
+        fn sensitivity(&self) -> Sensitivity {
+            Sensitivity::Signals(vec![])
+        }
+    }
+
+    #[test]
+    fn multi_domain_interleaving_is_mode_identical() {
+        let run = |mode: SchedMode| -> Vec<(u64, u64)> {
+            let mut sim = Simulator::with_mode(mode);
+            let qf = sim.add_signal("q_fast", 8).unwrap();
+            let qs = sim.add_signal("q_slow", 8).unwrap();
+            sim.add_component(DomainReg {
+                name: "fast".into(),
+                domain: ClockDomain::default_clock(),
+                q: qf,
+                state: 0,
+            });
+            sim.add_component(DomainReg {
+                name: "slow".into(),
+                domain: ClockDomain::new("slow", 3),
+                q: qs,
+                state: 0,
+            });
+            sim.reset().unwrap();
+            let mut trace = Vec::new();
+            for _ in 0..12 {
+                sim.step().unwrap();
+                trace.push((
+                    sim.peek(qf).unwrap().to_u64().unwrap(),
+                    sim.peek(qs).unwrap().to_u64().unwrap(),
+                ));
+            }
+            trace
+        };
+        let reference = run(SchedMode::FullSweep);
+        // `slow` fires at t = 0, 3, 6, 9 — four edges in twelve steps.
+        assert_eq!(reference[11], (12, 4));
+        for mode in ALL_MODES {
+            assert_eq!(run(mode), reference, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn clock_domain_period_conflict_is_reported() {
+        let mut sim = Simulator::new();
+        let qa = sim.add_signal("qa", 8).unwrap();
+        let qb = sim.add_signal("qb", 8).unwrap();
+        sim.add_component(DomainReg {
+            name: "a".into(),
+            domain: ClockDomain::new("wr", 2),
+            q: qa,
+            state: 0,
+        });
+        sim.add_component(DomainReg {
+            name: "b".into(),
+            domain: ClockDomain::new("wr", 3),
+            q: qb,
+            state: 0,
+        });
+        let err = sim.step().unwrap_err();
+        assert!(err.to_string().contains("wr"), "{err}");
+    }
+
+    #[test]
+    fn simulator_level_domain_declarations_validate() {
+        let mut sim = Simulator::new();
+        assert!(sim.add_clock_domain("rd", 0).is_err());
+        assert!(sim.add_clock_domain("clk", 2).is_err());
+        sim.add_clock_domain("rd", 3).unwrap();
+        sim.add_clock_domain("rd", 3).unwrap(); // same-period redeclare is fine
+        assert!(sim.add_clock_domain("rd", 4).is_err());
+        let domains = sim.clock_domains().unwrap().to_vec();
+        assert_eq!(domains.len(), 2);
+        assert_eq!(domains[1], ClockDomain::new("rd", 3));
+    }
+
+    #[test]
+    fn extra_domain_changes_design_signature() {
+        let (sim_a, _) = counter_sim(SchedMode::EventDriven);
+        let (mut sim_b, _) = counter_sim(SchedMode::EventDriven);
+        let base = sim_a.design_signature();
+        assert_eq!(base, sim_b.design_signature());
+        sim_b.add_clock_domain("rd", 2).unwrap();
+        assert_ne!(base, sim_b.design_signature());
     }
 }

@@ -88,11 +88,17 @@ pub enum FallbackCause {
     /// walk because its netlist shape cannot lower to a word-level op
     /// stream (counted once per component per lowering pass).
     LoweredComponent,
+    /// A multi-rate step fired only a subset of the clock domains, so
+    /// the lowered fast path surrendered its input memos (every lowered
+    /// clocked unit is re-marked dirty even though its own domain may
+    /// not have ticked) — the event-driven-shaped cost multiple clock
+    /// domains impose on the compiled/lowered schedulers.
+    MultiDomain,
 }
 
 impl FallbackCause {
     /// Number of distinct causes (the length of [`FallbackCause::ALL`]).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every cause, in counter order.
     pub const ALL: [FallbackCause; FallbackCause::COUNT] = [
@@ -102,6 +108,7 @@ impl FallbackCause {
         FallbackCause::StaleDriver,
         FallbackCause::ParallelSequential,
         FallbackCause::LoweredComponent,
+        FallbackCause::MultiDomain,
     ];
 
     /// Position of this cause in [`SimStats::fallback_causes`].
@@ -114,6 +121,7 @@ impl FallbackCause {
             FallbackCause::StaleDriver => 3,
             FallbackCause::ParallelSequential => 4,
             FallbackCause::LoweredComponent => 5,
+            FallbackCause::MultiDomain => 6,
         }
     }
 
@@ -127,6 +135,7 @@ impl FallbackCause {
             FallbackCause::StaleDriver => "stale_driver",
             FallbackCause::ParallelSequential => "parallel_sequential",
             FallbackCause::LoweredComponent => "lowered_component",
+            FallbackCause::MultiDomain => "multi_domain",
         }
     }
 }

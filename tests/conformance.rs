@@ -1,14 +1,15 @@
 //! Fixed-seed differential conformance sweep.
 //!
-//! Samples 200 designs from the metagen design space and demands that
-//! all six oracles — four simulator scheduling modes, the levelized
-//! netlist path and the VHDL-text interpreter — agree bit-for-bit on
-//! every output, every cycle. This is the committed, deterministic
-//! slice of what the `conform` fuzz binary explores with arbitrary
-//! seeds.
+//! Samples 200 designs from the metagen design space — including the
+//! multi-clock `async_fifo` family — and demands that all seven
+//! oracles — five simulator scheduling modes, the levelized netlist
+//! path and the VHDL-text interpreter — agree bit-for-bit on every
+//! output, every cycle. This is the committed, deterministic slice of
+//! what the `conform` fuzz binary explores with arbitrary seeds.
 
 use hdp::conform::{check, shrink, Case, Stimulus};
-use hdp::metagen::sampler::sample_spec;
+use hdp::metagen::sampler::{sample_spec, DesignSpec, RATIOS};
+use hdp::metagen::OpSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
@@ -77,7 +78,59 @@ fn two_hundred_sampled_designs_conform_across_all_oracles() {
     expect(
         "target",
         &targets,
-        &["fifo_core", "lifo_core", "sram", "block_ram", "registers"],
+        &[
+            "fifo_core",
+            "lifo_core",
+            "sram",
+            "block_ram",
+            "registers",
+            "async_fifo",
+        ],
+    );
+}
+
+/// Every `wr:rd` period ratio the sampler draws, at two depths, must
+/// conform across the full seven-oracle stack: the deterministic
+/// multi-domain interleaving has to come out bit-identical whether
+/// the ticks are dispatched by the full sweep, the event queue, the
+/// parallel islands, the compiled walk, the lowered op streams (which
+/// fall back to interpreted ticks on partial firings), the levelized
+/// path or the VHDL-text interpreter's per-rail clock stepping.
+#[test]
+fn async_fifo_conforms_across_all_period_ratios() {
+    let mut rng = StdRng::seed_from_u64(0xCDC);
+    let mut failures = Vec::new();
+    for &(wr_period, rd_period) in &RATIOS {
+        for depth in [2usize, 4] {
+            let spec = DesignSpec {
+                family: 11,
+                data_width: 4,
+                depth,
+                addr_width: 8,
+                key_width: 8,
+                wide: 0,
+                write_side: false,
+                ops: OpSet::new(),
+                wr_period,
+                rd_period,
+            };
+            let label = spec.label();
+            let netlist = spec
+                .instantiate()
+                .unwrap_or_else(|e| panic!("{label} failed to generate: {e}"));
+            // 18 base steps cover three full lcm(2,3)=6 interleaving
+            // periods of the largest ratio in the table.
+            let stimulus = Stimulus::sample(&netlist, 18, &mut rng);
+            if let Some(d) = check(&netlist, &stimulus) {
+                failures.push(format!("{label}: {d}"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} async_fifo points diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
     );
 }
 
