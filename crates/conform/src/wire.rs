@@ -345,7 +345,19 @@ fn opt_num_field(obj: &Json, parent: &str, key: &str, default: u64) -> Result<u6
     }
 }
 
-fn parse_spec(obj: &Json) -> Result<DesignSpec, WireError> {
+/// Parses a wire `design` object back into a [`DesignSpec`].
+///
+/// This is the inverse of [`spec_to_json`]: redundant `label`/`kind`/
+/// `target` strings are ignored, the clock-domain periods default to
+/// 1 when absent, and the family index is range-checked against
+/// [`FAMILIES`]. Exposed so other consumers of the canonical design
+/// encoding (the characterisation database in `hdp-synth`) parse it
+/// identically to the conformance stack.
+///
+/// # Errors
+///
+/// [`WireError::Field`] for a missing, mistyped or out-of-range axis.
+pub fn parse_spec(obj: &Json) -> Result<DesignSpec, WireError> {
     let mut ops = OpSet::new();
     for item in obj
         .get("ops")

@@ -332,6 +332,27 @@ fn ops_suffix(ops: OpSet) -> String {
 /// respected by construction.
 pub fn sample_spec(rng: &mut StdRng) -> DesignSpec {
     let family = rng.gen_range(0..FAMILIES.len());
+    sample_spec_in(rng, family)
+}
+
+/// Samples the non-family axes of a specification for a *fixed*
+/// family — the stratified form of [`sample_spec`] used by the
+/// characterisation sweep, which round-robins the family axis to
+/// guarantee even coverage instead of leaving it to chance.
+///
+/// Draws exactly the random values [`sample_spec`] draws after its
+/// family pick, so `sample_spec` delegates here and fixed-seed
+/// sequences are unchanged.
+///
+/// # Panics
+///
+/// When `family` is not an index into [`FAMILIES`].
+pub fn sample_spec_in(rng: &mut StdRng, family: usize) -> DesignSpec {
+    assert!(
+        family < FAMILIES.len(),
+        "family {family} out of range (< {})",
+        FAMILIES.len()
+    );
     let data_width = rng.gen_range(1..=16usize);
     let depth = rng.gen_range(2..=8usize);
     let addr_width = rng.gen_range(8..=16usize);
@@ -426,6 +447,30 @@ mod tests {
             let db = sample_design(&mut b).unwrap();
             assert_eq!(da.label, db.label);
             assert_eq!(da.netlist.cells().len(), db.netlist.cells().len());
+        }
+    }
+
+    #[test]
+    fn stratified_sampling_matches_the_family_draw() {
+        // `sample_spec` must equal "draw the family, then delegate" —
+        // this pins the split point so fixed-seed conformance
+        // sequences survive the stratified refactor.
+        let mut a = StdRng::seed_from_u64(97);
+        let mut b = StdRng::seed_from_u64(97);
+        for _ in 0..50 {
+            let spec = sample_spec(&mut a);
+            let family = b.gen_range(0..FAMILIES.len());
+            assert_eq!(spec, sample_spec_in(&mut b, family));
+        }
+    }
+
+    #[test]
+    fn stratified_sampling_covers_every_family_in_one_round() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for family in 0..FAMILIES.len() {
+            let spec = sample_spec_in(&mut rng, family);
+            assert_eq!(spec.family, family);
+            spec.instantiate().unwrap();
         }
     }
 

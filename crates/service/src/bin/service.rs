@@ -1,9 +1,12 @@
-//! The `service` CLI: serve, submit, bench, metrics.
+//! The `service` CLI: serve, submit, select, bench, metrics.
 //!
 //! ```text
 //! service serve   [--addr HOST:PORT] [--threads N] [--cache N]
-//!                 [--obs off|counters|sample]
+//!                 [--obs off|counters|sample] [--catalog FILE]
 //! service submit  [--addr HOST:PORT] [FILE ...]
+//! service select  --kind KIND [--catalog FILE | --addr HOST:PORT]
+//!                 [--min-width N] [--min-depth N] [--min-clk-khz N]
+//!                 [--max-area N] [--max-power-uw N] [--max-access N]
 //! service bench   [--designs N] [--cycles N] [--seed N] [--threads N]
 //!                 [--reps N] [--cache N] [--out FILE]
 //! service metrics [--addr HOST:PORT] [--json]
@@ -11,17 +14,25 @@
 //!
 //! `serve` runs the job server in the foreground until killed; by
 //! default it samples (`--obs sample`): per-stage latency histograms
-//! and span timing on every job. `submit` reads newline-delimited job
-//! documents from the given files (or stdin when none) and prints one
-//! response per line. `bench` runs the cold-vs-warm cache benchmark
-//! and writes `BENCH_service.json`. `metrics` fetches a live
+//! and span timing on every job. `--catalog` loads an `hdp-chardb-v1`
+//! characterisation database and enables the `select` wire verb.
+//! `submit` reads newline-delimited job documents from the given
+//! files (or stdin when none) and prints one response per line.
+//! `select` answers one §3.4 implementation-selection query — the
+//! cheapest characterised target satisfying the constraints — either
+//! locally against `--catalog FILE` or over the wire against a
+//! running server's catalog, printing an `hdp-service-select-v1`
+//! document. `bench` runs the cold-vs-warm cache benchmark and writes
+//! `BENCH_service.json`. `metrics` fetches a live
 //! `hdp-service-metrics-v1` snapshot from a running server via the
 //! `stats` verb and renders it Prometheus-style (`--json` prints the
 //! raw snapshot document instead).
 
 use hdp_service::bench::BenchConfig;
+use hdp_service::job::SELECT_SCHEMA;
 use hdp_service::metrics::{MetricsSnapshot, ObsMode};
 use hdp_service::{serve, submit, Service};
+use hdp_synth::{auto_select, CharDb, SelectConstraints};
 use std::io::Read;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -41,19 +52,27 @@ fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     let mut threads = 4usize;
     let mut cache = 256usize;
     let mut obs = ObsMode::Sampled;
+    let mut catalog: Option<String> = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--addr" => addr = value(&mut it, "--addr")?,
             "--threads" => threads = num(&mut it, "--threads")?.max(1) as usize,
             "--cache" => cache = num(&mut it, "--cache")? as usize,
             "--obs" => obs = ObsMode::parse(&value(&mut it, "--obs")?)?,
+            "--catalog" => catalog = Some(value(&mut it, "--catalog")?),
             other => return Err(format!("serve: unknown argument `{other}`")),
         }
     }
     let service = Arc::new(Service::with_obs(cache, obs));
+    let mut catalog_note = String::new();
+    if let Some(path) = &catalog {
+        let db = CharDb::load(path).map_err(|e| e.to_string())?;
+        catalog_note = format!(", catalog {} points", db.len());
+        service.set_catalog(Arc::new(db));
+    }
     let handle = serve(addr.as_str(), service, threads).map_err(|e| e.to_string())?;
     eprintln!(
-        "service: listening on {} ({threads} workers, cache capacity {cache}, obs {})",
+        "service: listening on {} ({threads} workers, cache capacity {cache}, obs {}{catalog_note})",
         handle.addr(),
         obs.label()
     );
@@ -93,6 +112,75 @@ fn cmd_submit(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     let responses = submit(addr.as_str(), &lines).map_err(|e| e.to_string())?;
     for response in responses {
         println!("{response}");
+    }
+    Ok(())
+}
+
+fn cmd_select(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7501".to_owned();
+    let mut catalog: Option<String> = None;
+    let mut constraints = SelectConstraints::default();
+    let mut have_kind = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = value(&mut it, "--addr")?,
+            "--catalog" => catalog = Some(value(&mut it, "--catalog")?),
+            "--kind" => {
+                constraints.kind = value(&mut it, "--kind")?;
+                have_kind = true;
+            }
+            "--min-width" => {
+                constraints.min_data_width = num(&mut it, "--min-width")? as usize;
+            }
+            "--min-depth" => constraints.min_depth = num(&mut it, "--min-depth")? as usize,
+            "--min-clk-khz" => constraints.min_clk_khz = num(&mut it, "--min-clk-khz")?,
+            "--max-area" => constraints.max_area_cells = Some(num(&mut it, "--max-area")?),
+            "--max-power-uw" => {
+                constraints.max_power_uw = Some(num(&mut it, "--max-power-uw")?);
+            }
+            "--max-access" => {
+                let n = num(&mut it, "--max-access")?;
+                constraints.max_access_cycles =
+                    Some(u32::try_from(n).map_err(|_| format!("--max-access: {n} too large"))?);
+            }
+            other => return Err(format!("select: unknown argument `{other}`")),
+        }
+    }
+    if !have_kind {
+        return Err("select: --kind is required (e.g. --kind queue)".to_owned());
+    }
+    match catalog {
+        // Local mode: load the database and answer in-process,
+        // printing the same document shape the wire verb returns.
+        Some(path) => {
+            let db = CharDb::load(&path).map_err(|e| e.to_string())?;
+            let selection = auto_select(&db, &constraints);
+            let doc = hdp_conform::Json::Obj(vec![
+                (
+                    "schema".to_owned(),
+                    hdp_conform::Json::Str(SELECT_SCHEMA.into()),
+                ),
+                (
+                    "catalog_points".to_owned(),
+                    hdp_conform::Json::Num(db.len() as u64),
+                ),
+                ("constraints".to_owned(), constraints.to_json()),
+                ("result".to_owned(), selection.to_json()),
+            ]);
+            println!("{doc}");
+            eprintln!("service select: {selection}");
+        }
+        // Wire mode: ask a running server's catalog.
+        None => {
+            let line = format!("{{\"verb\":\"select\",\"constraints\":{}}}", {
+                constraints.to_json()
+            });
+            let responses = submit(addr.as_str(), &[line]).map_err(|e| format!("{addr}: {e}"))?;
+            let response = responses
+                .first()
+                .ok_or_else(|| "select: empty response".to_owned())?;
+            println!("{response}");
+        }
     }
     Ok(())
 }
@@ -167,12 +255,13 @@ fn main() -> ExitCode {
     let result = match args.next().as_deref() {
         Some("serve") => cmd_serve(args),
         Some("submit") => cmd_submit(args),
+        Some("select") => cmd_select(args),
         Some("bench") => cmd_bench(args),
         Some("metrics") => cmd_metrics(args),
         Some(other) => Err(format!(
-            "unknown subcommand `{other}` (expected serve/submit/bench/metrics)"
+            "unknown subcommand `{other}` (expected serve/submit/select/bench/metrics)"
         )),
-        None => Err("usage: service <serve|submit|bench|metrics> [options]".to_owned()),
+        None => Err("usage: service <serve|submit|select|bench|metrics> [options]".to_owned()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

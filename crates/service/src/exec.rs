@@ -269,6 +269,7 @@ fn drive(built: &mut BuiltSim, stim: &Stimulus) -> Result<Vec<Vec<String>>, Serv
 pub struct Service {
     cache: Mutex<PlanCache>,
     metrics: MetricsRegistry,
+    catalog: Mutex<Option<Arc<hdp_synth::CharDb>>>,
 }
 
 impl Service {
@@ -288,7 +289,32 @@ impl Service {
         Self {
             cache: Mutex::new(PlanCache::new(cache_capacity)),
             metrics: MetricsRegistry::new(obs),
+            catalog: Mutex::new(None),
         }
+    }
+
+    /// Installs a characterisation catalog, enabling the `select`
+    /// wire verb. Replaces any previously installed catalog; the
+    /// `Arc` lets every in-flight query keep a consistent snapshot
+    /// while a newer catalog is swapped in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous catalog user panicked while holding the
+    /// lock.
+    pub fn set_catalog(&self, catalog: Arc<hdp_synth::CharDb>) {
+        *self.catalog.lock().expect("catalog lock poisoned") = Some(catalog);
+    }
+
+    /// The installed characterisation catalog, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous catalog user panicked while holding the
+    /// lock.
+    #[must_use]
+    pub fn catalog(&self) -> Option<Arc<hdp_synth::CharDb>> {
+        self.catalog.lock().expect("catalog lock poisoned").clone()
     }
 
     /// The live metrics plane.

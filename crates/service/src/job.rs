@@ -20,11 +20,19 @@
 //! | `verify`    | re-run cache-free under full sweep and compare                   | `false`   |
 //! | `span`      | return the job's per-stage server-side timeline                  | `false`   |
 //!
-//! Besides job submissions, the layer answers one control verb:
-//! `{"verb": "stats"}` returns the service's live
-//! [`hdp-service-metrics-v1`](crate::metrics::METRICS_SCHEMA)
-//! snapshot — counters, cache state and latency histograms — as a
-//! single-line document.
+//! Besides job submissions, the layer answers two control verbs:
+//!
+//! * `{"verb": "stats"}` returns the service's live
+//!   [`hdp-service-metrics-v1`](crate::metrics::METRICS_SCHEMA)
+//!   snapshot — counters, cache state and latency histograms — as a
+//!   single-line document.
+//! * `{"verb": "select", "constraints": {…}}` answers a §3.4
+//!   implementation-selection query against the server's
+//!   characterisation catalog ([`hdp_synth::CharDb`], installed via
+//!   [`Service::set_catalog`](crate::exec::Service::set_catalog)):
+//!   the cheapest recorded target satisfying the constraints, as an
+//!   [`hdp-service-select-v1`](SELECT_SCHEMA) document wrapping
+//!   [`hdp_synth::Selection`]. Control verbs never count as jobs.
 //!
 //! A response is one `hdp-service-result-v1` JSON document per line:
 //! `design_hash`, `cache` (`"hit"`/`"miss"`), `plan_installed`, the
@@ -39,10 +47,14 @@ use crate::obs::Stage;
 use hdp_conform::wire::{self, WireError};
 use hdp_conform::{Case, Json};
 use hdp_sim::{SchedMode, SimStats};
+use hdp_synth::{auto_select, SelectConstraints, Selection};
 use std::time::Instant;
 
 /// The schema identifier of every response document.
 pub const RESULT_SCHEMA: &str = "hdp-service-result-v1";
+
+/// The schema identifier of every `select` verb response document.
+pub const SELECT_SCHEMA: &str = "hdp-service-select-v1";
 
 /// Parses one submission line: the wire case plus the service
 /// options.
@@ -266,9 +278,10 @@ pub fn handle_line(service: &crate::exec::Service, line: &str) -> String {
     }
 }
 
-/// Answers a control verb (`{"verb": "stats"}`), or `None` when the
-/// line is a job submission. The substring pre-check keeps the job
-/// path free of a second parse attempt.
+/// Answers a control verb (`{"verb": "stats"}` or
+/// `{"verb": "select"}`), or `None` when the line is a job
+/// submission. The substring pre-check keeps the job path free of a
+/// second parse attempt.
 fn handle_verb(service: &crate::exec::Service, line: &str) -> Option<String> {
     if !line.contains("\"verb\"") {
         return None;
@@ -279,6 +292,7 @@ fn handle_verb(service: &crate::exec::Service, line: &str) -> Option<String> {
             service.metrics().inc(Counter::StatsRequests);
             Some(service.metrics_snapshot().to_json())
         }
+        "select" => Some(answer_select(service, &doc)),
         other => {
             service.metrics().inc(Counter::ErrorsWire);
             Some(error_to_json(&ServiceError::Wire(WireError::Field {
@@ -287,6 +301,50 @@ fn handle_verb(service: &crate::exec::Service, line: &str) -> Option<String> {
             })))
         }
     }
+}
+
+/// Answers one `select` verb request: parse the constraints, run
+/// [`auto_select`] against the installed catalog, wrap the
+/// [`Selection`] in a [`SELECT_SCHEMA`] document. A request counts as
+/// a hit or a no-target only when it actually reached the optimiser —
+/// malformed constraints and a missing catalog render as error
+/// documents and count as neither, so
+/// `select_hits + select_no_target <= select_requests` always holds.
+fn answer_select(service: &crate::exec::Service, doc: &Json) -> String {
+    let metrics = service.metrics();
+    metrics.inc(Counter::SelectRequests);
+    let bad = |path: &str, detail: String| {
+        metrics.inc(Counter::ErrorsWire);
+        error_to_json(&ServiceError::Wire(WireError::Field {
+            path: path.into(),
+            detail,
+        }))
+    };
+    let Some(constraints_doc) = doc.get("constraints") else {
+        return bad("constraints", "missing constraints object".into());
+    };
+    let constraints = match SelectConstraints::from_json(constraints_doc) {
+        Ok(c) => c,
+        Err(detail) => return bad("constraints", detail),
+    };
+    let Some(catalog) = service.catalog() else {
+        return bad(
+            "verb",
+            "no characterisation catalog installed (serve with --catalog FILE)".into(),
+        );
+    };
+    let selection = auto_select(&catalog, &constraints);
+    metrics.inc(match selection {
+        Selection::Target { .. } => Counter::SelectHits,
+        Selection::NoTarget(_) => Counter::SelectNoTarget,
+    });
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Str(SELECT_SCHEMA.into())),
+        ("catalog_points".to_owned(), Json::Num(catalog.len() as u64)),
+        ("constraints".to_owned(), constraints.to_json()),
+        ("result".to_owned(), selection.to_json()),
+    ])
+    .to_string()
 }
 
 fn elapsed_ns(started: Instant) -> u64 {
@@ -298,9 +356,24 @@ mod tests {
     use super::*;
     use crate::exec::Service;
     use hdp_conform::Stimulus;
-    use hdp_metagen::sampler::sample_spec;
+    use hdp_metagen::sampler::{sample_spec, sample_spec_in, FAMILIES};
+    use hdp_synth::board::Xsb300e;
+    use hdp_synth::{characterize_spec, CharDb};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn small_catalog() -> CharDb {
+        let mut rng = StdRng::seed_from_u64(5);
+        let board = Xsb300e::new();
+        let mut db = CharDb::new();
+        for family in 0..FAMILIES.len() {
+            let spec = sample_spec_in(&mut rng, family);
+            let record = characterize_spec(&spec, &board).unwrap();
+            let _ = db.append(record);
+        }
+        db
+    }
 
     fn job_line(seed: u64, cycles: usize, options: &str) -> String {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -373,6 +446,77 @@ mod tests {
         assert_eq!(warm_doc.get("cache").and_then(Json::as_str), Some("hit"));
         assert_eq!(cold_doc.get("trace"), warm_doc.get("trace"));
         assert!(cold_doc.get("telemetry").is_some());
+    }
+
+    #[test]
+    fn select_verb_answers_from_the_catalog() {
+        let service = Service::new(4);
+        service.set_catalog(Arc::new(small_catalog()));
+        let hit = handle_line(
+            &service,
+            "{\"verb\":\"select\",\"constraints\":{\"kind\":\"queue\"}}",
+        );
+        let doc = Json::parse(&hit).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(SELECT_SCHEMA)
+        );
+        let result = doc.get("result").unwrap();
+        assert_eq!(result.get("selected"), Some(&Json::Bool(true)));
+        assert_eq!(result.get("kind").and_then(Json::as_str), Some("queue"));
+
+        // An unachievable clock gets a structured no-target answer,
+        // not an error document.
+        let miss = handle_line(
+            &service,
+            "{\"verb\":\"select\",\"constraints\":{\"kind\":\"queue\",\"min_clk_khz\":10000000000}}",
+        );
+        let miss_doc = Json::parse(&miss).unwrap();
+        assert!(miss_doc.get("error").is_none());
+        assert_eq!(
+            miss_doc.get("result").and_then(|r| r.get("selected")),
+            Some(&Json::Bool(false))
+        );
+
+        let m = service.metrics();
+        assert_eq!(m.get(Counter::SelectRequests), 2);
+        assert_eq!(m.get(Counter::SelectHits), 1);
+        assert_eq!(m.get(Counter::SelectNoTarget), 1);
+        assert_eq!(m.get(Counter::JobsTotal), 0, "control verbs are not jobs");
+        let snap = Json::parse(&service.metrics_snapshot().to_json()).unwrap();
+        let problems = crate::metrics::validate_snapshot(&snap);
+        assert!(
+            problems.is_empty(),
+            "snapshot invariants broke: {problems:?}"
+        );
+    }
+
+    #[test]
+    fn select_without_a_catalog_or_constraints_is_a_wire_error() {
+        let service = Service::new(4);
+        for line in [
+            // No catalog installed.
+            "{\"verb\":\"select\",\"constraints\":{\"kind\":\"queue\"}}",
+            // Missing constraints object.
+            "{\"verb\":\"select\"}",
+        ] {
+            let response = handle_line(&service, line);
+            let doc = Json::parse(&response).unwrap();
+            assert_eq!(
+                doc.get("error")
+                    .and_then(|e| e.get("stage"))
+                    .and_then(Json::as_str),
+                Some("wire"),
+                "line {line:?} must fail at the wire stage"
+            );
+        }
+        let m = service.metrics();
+        assert_eq!(m.get(Counter::SelectRequests), 2);
+        assert_eq!(
+            m.get(Counter::SelectHits) + m.get(Counter::SelectNoTarget),
+            0,
+            "requests that never reach the optimiser count as neither"
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //!   cache, with optional VCD capture, telemetry and oracle
 //!   verification.
 //! - [`job`] — the JSON request/response layer
-//!   (`hdp-service-result-v1`).
+//!   (`hdp-service-result-v1`), including the `stats` and `select`
+//!   control verbs (the latter answers §3.4 implementation-selection
+//!   queries against an installed [`hdp_synth::CharDb`] catalog).
 //! - [`server`] — newline-delimited JSON over TCP, plain `std::net`
 //!   and `std::thread`.
 //! - [`obs`] / [`metrics`] — the observability plane: per-job
@@ -54,7 +56,7 @@ pub mod server;
 
 pub use cache::{CacheStats, CachedDesign, PlanCache};
 pub use exec::{JobOptions, JobOutcome, Service, ServiceError};
-pub use job::{handle_line, parse_job, RESULT_SCHEMA};
+pub use job::{handle_line, parse_job, RESULT_SCHEMA, SELECT_SCHEMA};
 pub use metrics::{
     validate_snapshot, Counter, MetricsRegistry, MetricsSnapshot, ObsMode, METRICS_SCHEMA,
 };

@@ -154,11 +154,17 @@ pub enum Counter {
     ConnectionsTotal,
     /// `stats` verb requests served.
     StatsRequests,
+    /// `select` verb requests received (including malformed ones).
+    SelectRequests,
+    /// `select` requests answered with a satisfying target.
+    SelectHits,
+    /// `select` requests answered with a structured no-target result.
+    SelectNoTarget,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 27;
 
     /// Every counter, in table order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -186,6 +192,9 @@ impl Counter {
         Counter::SimPlanInstalls,
         Counter::ConnectionsTotal,
         Counter::StatsRequests,
+        Counter::SelectRequests,
+        Counter::SelectHits,
+        Counter::SelectNoTarget,
     ];
 
     /// Stable snake_case name used in snapshot documents.
@@ -216,6 +225,9 @@ impl Counter {
             Counter::SimPlanInstalls => "sim_plan_installs",
             Counter::ConnectionsTotal => "connections_total",
             Counter::StatsRequests => "stats_requests",
+            Counter::SelectRequests => "select_requests",
+            Counter::SelectHits => "select_hits",
+            Counter::SelectNoTarget => "select_no_target",
         }
     }
 
@@ -946,6 +958,17 @@ pub fn validate_snapshot(doc: &Json) -> Vec<String> {
     }
     if snap.counter(Counter::VerifyFailures) > 0 {
         problems.push("verify_failures is nonzero: cached execution diverged".to_owned());
+    }
+    // Select requests that were not malformed resolve to exactly one
+    // of hit / no-target, so the two can never exceed the requests.
+    let select_resolved = snap.counter(Counter::SelectHits) + snap.counter(Counter::SelectNoTarget);
+    if select_resolved > snap.counter(Counter::SelectRequests) {
+        problems.push(format!(
+            "select hits {} + no-target {} exceed select_requests {}",
+            snap.counter(Counter::SelectHits),
+            snap.counter(Counter::SelectNoTarget),
+            snap.counter(Counter::SelectRequests)
+        ));
     }
     for (stage, h) in &snap.stages {
         let (p50, p99) = (h.quantile_ns(0.50), h.quantile_ns(0.99));

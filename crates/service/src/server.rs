@@ -235,6 +235,39 @@ mod tests {
     }
 
     #[test]
+    fn select_verb_round_trips_over_tcp() {
+        use hdp_metagen::sampler::sample_spec_in;
+        use hdp_synth::board::Xsb300e;
+        use hdp_synth::{characterize_spec, CharDb};
+
+        let service = Arc::new(Service::new(8));
+        let mut rng = StdRng::seed_from_u64(9);
+        let board = Xsb300e::new();
+        let mut db = CharDb::new();
+        for family in 0..hdp_metagen::sampler::FAMILIES.len() {
+            let spec = sample_spec_in(&mut rng, family);
+            let _ = db.append(characterize_spec(&spec, &board).unwrap());
+        }
+        service.set_catalog(Arc::new(db));
+
+        let handle = serve("127.0.0.1:0", service, 2).unwrap();
+        let lines = vec!["{\"verb\":\"select\",\"constraints\":{\"kind\":\"queue\"}}".to_owned()];
+        let responses = submit(handle.addr(), &lines).unwrap();
+        let doc = Json::parse(&responses[0]).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(crate::job::SELECT_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("result").and_then(|r| r.get("selected")),
+            Some(&Json::Bool(true))
+        );
+        let metrics = handle.service().metrics();
+        assert_eq!(metrics.get(crate::metrics::Counter::SelectHits), 1);
+        handle.shutdown();
+    }
+
+    #[test]
     fn malformed_lines_get_error_documents_without_killing_the_connection() {
         let handle = serve("127.0.0.1:0", Arc::new(Service::new(8)), 1).unwrap();
         let lines = vec!["{\"schema\": \"wrong\"}".to_owned(), job_line(5, 4)];

@@ -6,10 +6,21 @@
 //! space would delimit the region of interest given a certain set of
 //! constraints."
 //!
-//! [`sweep`] does exactly that: it invokes the metaprogramming
-//! generator for every container×target×parameter combination,
-//! synthesizes each variant, and records area, access time and power.
-//! [`region_of_interest`] then filters the table by constraints.
+//! [`sweep`] is the small in-memory demonstration of that idea: it
+//! invokes the metaprogramming generator for a read/write-buffer
+//! container×target×parameter grid, synthesizes each variant, and
+//! records area, access time and power; [`region_of_interest`] then
+//! filters the table by constraints.
+//!
+//! The production form of the same sweep lives in [`crate::chardb`]:
+//! [`crate::chardb::characterize_spec`] characterises *any* sampled
+//! [`DesignSpec`](hdp_metagen::sampler::DesignSpec) (all families,
+//! every physical target) into a persistent, versioned
+//! `hdp-chardb-v1` database with constraint queries, a Pareto
+//! frontier, and the [`crate::select::auto_select`] optimiser on
+//! top — see `docs/CHARACTERIZATION.md` and the `chardb_sweep`
+//! bench driver. Prefer the database for anything beyond a quick
+//! table; this module remains the paper-shaped CSV exhibit.
 
 use crate::board::Xsb300e;
 use crate::power::estimate_mw;

@@ -24,6 +24,12 @@
 //!   obtained information about data access times for every
 //!   container, area, power consumption"; generates every
 //!   container×target×parameter implementation and tabulates it.
+//! * [`chardb`] — the persistent form of that sweep: the versioned
+//!   `hdp-chardb-v1` characterisation database with append/merge/load,
+//!   integrity checks, constraint queries and a Pareto frontier.
+//! * [`select`] — [`select::auto_select`]: the §3.4 implementation
+//!   decision automated — the cheapest database record satisfying a
+//!   constraint set, served by `hdp-service` as the `select` verb.
 //! * [`board`] — the XSB-300E device limits.
 //!
 //! The absolute numbers of a model never equal a vendor tool's; the
@@ -35,14 +41,18 @@
 
 pub mod board;
 pub mod characterize;
+pub mod chardb;
 pub mod map;
 pub mod optimize;
 pub mod power;
+pub mod select;
 pub mod timing;
 
 pub use board::{Xsb300e, XC2S300E};
+pub use chardb::{characterize_spec, CharDb, CharDbError, CharRecord, Query, CHARDB_SCHEMA};
 pub use map::{map_resources, ResourceReport};
 pub use optimize::dissolve_wrappers;
+pub use select::{auto_select, SelectConstraints, Selection};
 pub use timing::{critical_path_ns, fmax_mhz};
 
 use hdp_hdl::{HdlError, Netlist};

@@ -1,0 +1,522 @@
+//! Automatic target selection over the characterisation database.
+//!
+//! §3.4's punchline: once every container×target×parameter point is
+//! characterised, the implementation decision the paper made by hand
+//! — "which physical target should this container use, given my
+//! constraints?" — becomes a database query. [`auto_select`] is that
+//! query: given a [`SelectConstraints`] (container kind, minimum
+//! width/depth/clock, maxima for area, power and access cycles), it
+//! scans a [`CharDb`] and returns the *cheapest* satisfying record,
+//! with cost ordered lexicographically by (area, power, access
+//! cycles) and ties broken deterministically by record key.
+//!
+//! An unsatisfiable constraint set is a structured answer, not a
+//! failure: [`Selection::NoTarget`] reports how many candidates each
+//! constraint eliminated, which is exactly what a user needs to relax
+//! the right one. The JSON round-trip on both types carries the
+//! `hdp-service` `{"verb":"select"}` wire verb.
+
+use crate::chardb::{CharDb, CharRecord};
+use hdp_conform::json::Json;
+use std::fmt;
+
+/// The constraint set of one selection request.
+///
+/// `kind` is mandatory — selection picks a *target for* a container
+/// kind; the remaining axes default to unconstrained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelectConstraints {
+    /// Container kind to implement (`"queue"`, `"stack"`, …).
+    pub kind: String,
+    /// Minimum element width in bits (0 = unconstrained).
+    pub min_data_width: usize,
+    /// Minimum capacity in elements (0 = unconstrained).
+    pub min_depth: usize,
+    /// Minimum achievable clock in kHz (0 = unconstrained).
+    pub min_clk_khz: u64,
+    /// Maximum scalar area in cells ([`CharRecord::area_cells`]).
+    pub max_area_cells: Option<u64>,
+    /// Maximum power in µW.
+    pub max_power_uw: Option<u64>,
+    /// Maximum cycles per element access.
+    pub max_access_cycles: Option<u32>,
+}
+
+impl SelectConstraints {
+    /// Serialises the constraints as a wire JSON object (`None`
+    /// maxima are omitted).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("kind".to_owned(), Json::Str(self.kind.clone())),
+            (
+                "min_data_width".to_owned(),
+                Json::Num(self.min_data_width as u64),
+            ),
+            ("min_depth".to_owned(), Json::Num(self.min_depth as u64)),
+            ("min_clk_khz".to_owned(), Json::Num(self.min_clk_khz)),
+        ];
+        if let Some(m) = self.max_area_cells {
+            fields.push(("max_area_cells".to_owned(), Json::Num(m)));
+        }
+        if let Some(m) = self.max_power_uw {
+            fields.push(("max_power_uw".to_owned(), Json::Num(m)));
+        }
+        if let Some(m) = self.max_access_cycles {
+            fields.push(("max_access_cycles".to_owned(), Json::Num(u64::from(m))));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Parses a constraints object: `kind` is required, minima
+    /// default to 0 and absent maxima stay unconstrained.
+    ///
+    /// # Errors
+    ///
+    /// A `field: problem` description of the first bad field.
+    pub fn from_json(obj: &Json) -> Result<Self, String> {
+        let kind = obj
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("constraints.kind: missing or non-string")?
+            .to_owned();
+        let opt = |key: &str| -> Result<Option<u64>, String> {
+            match obj.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("constraints.{key}: non-numeric")),
+            }
+        };
+        Ok(Self {
+            kind,
+            min_data_width: opt("min_data_width")?.unwrap_or(0) as usize,
+            min_depth: opt("min_depth")?.unwrap_or(0) as usize,
+            min_clk_khz: opt("min_clk_khz")?.unwrap_or(0),
+            max_area_cells: opt("max_area_cells")?,
+            max_power_uw: opt("max_power_uw")?,
+            max_access_cycles: opt("max_access_cycles")?
+                .map(|v| {
+                    u32::try_from(v)
+                        .map_err(|_| "constraints.max_access_cycles: out of range".to_owned())
+                })
+                .transpose()?,
+        })
+    }
+}
+
+/// Why the candidate pool drained: per-constraint elimination counts
+/// over the whole database, in the order constraints are applied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Rejections {
+    /// Records inspected (the database size).
+    pub considered: usize,
+    /// Eliminated: different container kind.
+    pub wrong_kind: usize,
+    /// Eliminated: element width below the minimum.
+    pub too_narrow: usize,
+    /// Eliminated: capacity below the minimum.
+    pub too_shallow: usize,
+    /// Eliminated: achievable clock below the minimum.
+    pub too_slow: usize,
+    /// Eliminated: area above the maximum.
+    pub too_big: usize,
+    /// Eliminated: power above the maximum.
+    pub too_hungry: usize,
+    /// Eliminated: access cycles above the budget.
+    pub over_budget: usize,
+}
+
+/// The outcome of [`auto_select`]: either the cheapest satisfying
+/// record, or a structured account of why no record satisfies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// A target was found: the winning record and its key.
+    Target {
+        /// The winner's `design_hash@board` database key.
+        key: String,
+        /// The winning characterised point.
+        record: CharRecord,
+    },
+    /// No record satisfies the constraints.
+    NoTarget(Rejections),
+}
+
+impl Selection {
+    /// Serialises the outcome as a wire JSON object
+    /// (`selected: true/false` plus the winner's axes and metrics, or
+    /// the rejection counts).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Selection::Target { key, record } => Json::Obj(vec![
+                ("selected".to_owned(), Json::Bool(true)),
+                ("key".to_owned(), Json::Str(key.clone())),
+                ("kind".to_owned(), Json::Str(record.spec.kind().to_owned())),
+                (
+                    "target".to_owned(),
+                    Json::Str(record.spec.target().to_owned()),
+                ),
+                ("label".to_owned(), Json::Str(record.spec.label())),
+                ("board".to_owned(), Json::Str(record.board.clone())),
+                ("ffs".to_owned(), Json::Num(record.ffs as u64)),
+                ("luts".to_owned(), Json::Num(record.luts as u64)),
+                ("brams".to_owned(), Json::Num(record.brams as u64)),
+                ("area_cells".to_owned(), Json::Num(record.area_cells())),
+                ("clk_khz".to_owned(), Json::Num(record.clk_khz)),
+                (
+                    "access_cycles".to_owned(),
+                    Json::Num(u64::from(record.access_cycles)),
+                ),
+                ("power_uw".to_owned(), Json::Num(record.power_uw)),
+            ]),
+            Selection::NoTarget(r) => Json::Obj(vec![
+                ("selected".to_owned(), Json::Bool(false)),
+                ("considered".to_owned(), Json::Num(r.considered as u64)),
+                (
+                    "rejected".to_owned(),
+                    Json::Obj(vec![
+                        ("wrong_kind".to_owned(), Json::Num(r.wrong_kind as u64)),
+                        ("too_narrow".to_owned(), Json::Num(r.too_narrow as u64)),
+                        ("too_shallow".to_owned(), Json::Num(r.too_shallow as u64)),
+                        ("too_slow".to_owned(), Json::Num(r.too_slow as u64)),
+                        ("too_big".to_owned(), Json::Num(r.too_big as u64)),
+                        ("too_hungry".to_owned(), Json::Num(r.too_hungry as u64)),
+                        ("over_budget".to_owned(), Json::Num(r.over_budget as u64)),
+                    ]),
+                ),
+            ]),
+        }
+    }
+}
+
+impl fmt::Display for Selection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Selection::Target { key, record } => {
+                write!(f, "selected {} [{key}]\n  {record}", record.spec.target())
+            }
+            Selection::NoTarget(r) => write!(
+                f,
+                "no satisfying target among {} records (wrong kind {}, too narrow {}, \
+                 too shallow {}, too slow {}, too big {}, too hungry {}, over budget {})",
+                r.considered,
+                r.wrong_kind,
+                r.too_narrow,
+                r.too_shallow,
+                r.too_slow,
+                r.too_big,
+                r.too_hungry,
+                r.over_budget
+            ),
+        }
+    }
+}
+
+/// Picks the cheapest database record satisfying the constraints —
+/// the paper's manual implementation decision, automated.
+///
+/// Constraints are applied in a fixed order (kind, width, depth,
+/// clock, area, power, access budget) and each record's elimination
+/// is attributed to the *first* constraint it fails, so the
+/// [`Rejections`] counts sum to `considered` on a miss. Among the
+/// survivors, cost is compared lexicographically by
+/// (area, power, access cycles); exact ties fall back to the record
+/// key, so the result is deterministic regardless of database order.
+///
+/// # Example
+///
+/// ```
+/// use hdp_synth::board::Xsb300e;
+/// use hdp_synth::chardb::{characterize_spec, CharDb};
+/// use hdp_synth::select::{auto_select, SelectConstraints, Selection};
+/// use hdp_metagen::sampler::DesignSpec;
+/// use hdp_metagen::{MethodOp, OpSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let board = Xsb300e::new();
+/// let mut db = CharDb::new();
+/// for family in [0, 1] { // read buffer over FIFO core vs SRAM
+///     let spec = DesignSpec {
+///         family,
+///         data_width: 8,
+///         depth: 4,
+///         addr_width: 16,
+///         key_width: 4,
+///         wide: 0,
+///         write_side: false,
+///         ops: OpSet::of(&[MethodOp::Pop]),
+///         wr_period: 1,
+///         rd_period: 1,
+///     };
+///     db.append(characterize_spec(&spec, &board)?)?;
+/// }
+/// // A single-cycle access budget forces the FIFO-core target.
+/// let fast = auto_select(&db, &SelectConstraints {
+///     kind: "read_buffer".into(),
+///     max_access_cycles: Some(1),
+///     ..SelectConstraints::default()
+/// });
+/// match fast {
+///     Selection::Target { record, .. } => {
+///         assert_eq!(record.spec.target(), "fifo_core");
+///     }
+///     Selection::NoTarget(_) => unreachable!(),
+/// }
+/// // An impossible clock floor is a structured miss, not a panic.
+/// let miss = auto_select(&db, &SelectConstraints {
+///     kind: "read_buffer".into(),
+///     min_clk_khz: 10_000_000,
+///     ..SelectConstraints::default()
+/// });
+/// assert!(matches!(miss, Selection::NoTarget(r) if r.too_slow == 2));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn auto_select(db: &CharDb, c: &SelectConstraints) -> Selection {
+    let mut rej = Rejections {
+        considered: db.len(),
+        ..Rejections::default()
+    };
+    let mut best: Option<(u64, u64, u64, String, &CharRecord)> = None;
+    for r in db.records() {
+        if r.spec.kind() != c.kind {
+            rej.wrong_kind += 1;
+            continue;
+        }
+        if r.spec.data_width < c.min_data_width {
+            rej.too_narrow += 1;
+            continue;
+        }
+        if r.spec.depth < c.min_depth {
+            rej.too_shallow += 1;
+            continue;
+        }
+        if r.clk_khz < c.min_clk_khz {
+            rej.too_slow += 1;
+            continue;
+        }
+        if c.max_area_cells.is_some_and(|m| r.area_cells() > m) {
+            rej.too_big += 1;
+            continue;
+        }
+        if c.max_power_uw.is_some_and(|m| r.power_uw > m) {
+            rej.too_hungry += 1;
+            continue;
+        }
+        if c.max_access_cycles.is_some_and(|m| r.access_cycles > m) {
+            rej.over_budget += 1;
+            continue;
+        }
+        let cost = (
+            r.area_cells(),
+            r.power_uw,
+            u64::from(r.access_cycles),
+            r.key(),
+        );
+        if best
+            .as_ref()
+            .is_none_or(|(a, p, t, k, _)| cost < (*a, *p, *t, k.clone()))
+        {
+            best = Some((cost.0, cost.1, cost.2, cost.3, r));
+        }
+    }
+    match best {
+        Some((_, _, _, key, record)) => Selection::Target {
+            key,
+            record: record.clone(),
+        },
+        None => Selection::NoTarget(rej),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::Xsb300e;
+    use crate::chardb::characterize_spec;
+    use hdp_metagen::sampler::DesignSpec;
+    use hdp_metagen::{MethodOp, OpSet};
+
+    fn rbuffer_spec(family: usize, addr_width: usize) -> DesignSpec {
+        DesignSpec {
+            family,
+            data_width: 8,
+            depth: 4,
+            addr_width,
+            key_width: 4,
+            wide: 0,
+            write_side: false,
+            ops: OpSet::of(&[MethodOp::Pop]),
+            wr_period: 1,
+            rd_period: 1,
+        }
+    }
+
+    fn two_target_db() -> CharDb {
+        let board = Xsb300e::new();
+        let mut db = CharDb::new();
+        for family in [0, 1] {
+            db.append(characterize_spec(&rbuffer_spec(family, 16), &board).unwrap())
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn exactly_one_satisfying_target_wins() {
+        let db = two_target_db();
+        // The access budget leaves only the FIFO core.
+        let sel = auto_select(
+            &db,
+            &SelectConstraints {
+                kind: "read_buffer".into(),
+                max_access_cycles: Some(1),
+                ..SelectConstraints::default()
+            },
+        );
+        match sel {
+            Selection::Target { ref record, .. } => {
+                assert_eq!(record.spec.target(), "fifo_core");
+            }
+            Selection::NoTarget(r) => panic!("no target: {r:?}"),
+        }
+        // Unconstrained, the smallest-area point wins.
+        let cheapest = db
+            .records()
+            .iter()
+            .min_by_key(|r| (r.area_cells(), r.power_uw, r.access_cycles))
+            .unwrap()
+            .key();
+        let sel = auto_select(
+            &db,
+            &SelectConstraints {
+                kind: "read_buffer".into(),
+                ..SelectConstraints::default()
+            },
+        );
+        match sel {
+            Selection::Target { ref key, .. } => assert_eq!(*key, cheapest),
+            Selection::NoTarget(r) => panic!("no target: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_is_structured_and_counts_sum() {
+        let db = two_target_db();
+        let sel = auto_select(
+            &db,
+            &SelectConstraints {
+                kind: "read_buffer".into(),
+                min_clk_khz: 10_000_000,
+                ..SelectConstraints::default()
+            },
+        );
+        let Selection::NoTarget(r) = sel else {
+            panic!("expected NoTarget");
+        };
+        assert_eq!(r.considered, 2);
+        assert_eq!(
+            r.wrong_kind
+                + r.too_narrow
+                + r.too_shallow
+                + r.too_slow
+                + r.too_big
+                + r.too_hungry
+                + r.over_budget,
+            r.considered
+        );
+        assert_eq!(r.too_slow, 2);
+        // A kind nothing in the db has.
+        let sel = auto_select(
+            &db,
+            &SelectConstraints {
+                kind: "assoc_array".into(),
+                ..SelectConstraints::default()
+            },
+        );
+        assert!(matches!(sel, Selection::NoTarget(r) if r.wrong_kind == 2));
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_key() {
+        // Two SRAM rbuffers differing only in the (cost-irrelevant)
+        // external address width: identical metrics, different keys.
+        let board = Xsb300e::new();
+        let a = characterize_spec(&rbuffer_spec(1, 12), &board).unwrap();
+        let b = characterize_spec(&rbuffer_spec(1, 13), &board).unwrap();
+        assert_eq!((a.ffs, a.luts, a.power_uw), (b.ffs, b.luts, b.power_uw));
+        let expect = a.key().min(b.key());
+        let constraints = SelectConstraints {
+            kind: "read_buffer".into(),
+            ..SelectConstraints::default()
+        };
+        for order in [[&a, &b], [&b, &a]] {
+            let mut db = CharDb::new();
+            for r in order {
+                db.append(r.clone()).unwrap();
+            }
+            match auto_select(&db, &constraints) {
+                Selection::Target { key, .. } => assert_eq!(key, expect),
+                Selection::NoTarget(r) => panic!("no target: {r:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn constraints_round_trip_through_json() {
+        let full = SelectConstraints {
+            kind: "queue".into(),
+            min_data_width: 8,
+            min_depth: 4,
+            min_clk_khz: 50_000,
+            max_area_cells: Some(500),
+            max_power_uw: Some(20_000),
+            max_access_cycles: Some(2),
+        };
+        let back = SelectConstraints::from_json(&full.to_json()).unwrap();
+        assert_eq!(back, full);
+        let sparse = SelectConstraints {
+            kind: "stack".into(),
+            ..SelectConstraints::default()
+        };
+        let back = SelectConstraints::from_json(&sparse.to_json()).unwrap();
+        assert_eq!(back, sparse);
+        // kind is mandatory.
+        let err = SelectConstraints::from_json(&Json::Obj(vec![])).unwrap_err();
+        assert!(err.contains("constraints.kind"), "{err}");
+    }
+
+    #[test]
+    fn selection_json_carries_the_outcome() {
+        let db = two_target_db();
+        let hit = auto_select(
+            &db,
+            &SelectConstraints {
+                kind: "read_buffer".into(),
+                ..SelectConstraints::default()
+            },
+        );
+        let doc = hit.to_json();
+        assert_eq!(doc.get("selected").and_then(Json::as_bool), Some(true));
+        assert!(doc.get("key").and_then(Json::as_str).is_some());
+        assert!(doc.get("area_cells").and_then(Json::as_u64).is_some());
+        let miss = auto_select(
+            &db,
+            &SelectConstraints {
+                kind: "vector".into(),
+                ..SelectConstraints::default()
+            },
+        );
+        let doc = miss.to_json();
+        assert_eq!(doc.get("selected").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            doc.get("rejected")
+                .and_then(|r| r.get("wrong_kind"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+}
